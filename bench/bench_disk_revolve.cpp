@@ -1,0 +1,61 @@
+// Extension experiment E9: two-level (RAM + SD card) checkpointing on the
+// Waggle node. The paper cites INRIA's disk-revolve; here we quantify when
+// spilling checkpoints to the SD card beats RAM-only Revolve for
+// LinearResNet chains, using the Waggle device's measured-class IO rates
+// to convert write/read latencies into forward-step units.
+#include <cstdio>
+
+#include "core/disk_revolve.hpp"
+#include "core/revolve.hpp"
+#include "edge/device.hpp"
+#include "models/linear_resnet.hpp"
+#include "models/memory_model.hpp"
+
+int main() {
+  using namespace edgetrain;
+
+  const edge::EdgeDevice waggle = edge::EdgeDevice::waggle_odroid_xu4();
+  std::printf(
+      "Two-level checkpointing on %s (SD write %.0f MB/s, read %.0f MB/s)\n\n",
+      waggle.name.c_str(), waggle.storage_write_mbps,
+      waggle.storage_read_mbps);
+
+  std::printf("%-14s %-6s %-6s %-10s %-10s %-10s %-10s %-10s\n", "model",
+              "batch", "ram", "io-w", "io-r", "ram-only", "ram+disk",
+              "disk-ckpts");
+  for (const models::ResNetVariant v : models::all_resnet_variants()) {
+    const models::ResNetSpec spec = models::ResNetSpec::make(v);
+    const models::ResNetMemoryModel mm(spec);
+    for (const std::int64_t batch : {1, 8}) {
+      const models::LinearResNet linear =
+          models::LinearResNet::from_resnet(mm, 224, batch);
+      // One checkpoint = one boundary activation of the linear chain; one
+      // forward step costs total MACs / depth.
+      const auto costs = spec.chain_step_forward_costs(224, batch);
+      double total_flops = 0.0;
+      for (const double c : costs) total_flops += c;
+      const double step_flops = total_flops / linear.depth;
+
+      for (const int ram_slots : {1, 2, 4}) {
+        core::disk::DiskRevolveOptions options;
+        options.ram_slots = ram_slots;
+        options.write_cost = waggle.disk_write_cost_units(
+            linear.act_bytes_per_step, step_flops);
+        options.read_cost = waggle.disk_read_cost_units(
+            linear.act_bytes_per_step, step_flops);
+        const core::disk::DiskRevolveSolver solver(linear.depth, options);
+        const std::int64_t ram_only =
+            core::revolve::forward_cost(linear.depth, ram_slots);
+        std::printf("%-14s %-6lld %-6d %-10.2f %-10.2f %-10lld %-10.1f %-10d\n",
+                    linear.name.c_str(), static_cast<long long>(batch),
+                    ram_slots, options.write_cost, options.read_cost,
+                    static_cast<long long>(ram_only), solver.forward_cost(),
+                    solver.peak_disk_slots());
+      }
+    }
+  }
+  std::printf(
+      "\n(io-w / io-r: one checkpoint's SD write/read in forward-step units;"
+      "\n ram-only vs ram+disk: total schedule cost in the same units)\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Experiment E6: the model-vs-measurement bench. Runs a *physical*
+// LinearResNet (a homogeneous conv chain where every step has identical
+// activation size and cost) through Revolve schedules at every slot count
+// and compares:
+//   * measured peak tracked bytes   vs  planner's fixed + (s+1) * M_A
+//   * measured wall time            vs  the strict work model
+// This validates that the paper's analytic memory/work trade-off is what
+// the executor actually delivers on real tensors.
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+#include "core/executor.hpp"
+#include "core/planner.hpp"
+#include "core/revolve.hpp"
+#include "core/sequential.hpp"
+#include "models/small_nets.hpp"
+#include "nn/chain_runner.hpp"
+
+int main() {
+  using namespace edgetrain;
+  using Clock = std::chrono::steady_clock;
+
+  constexpr int kDepth = 32;
+  constexpr std::int64_t kChannels = 16;
+  constexpr std::int64_t kSide = 24;
+
+  std::mt19937 rng(4242);
+  nn::LayerChain chain = models::build_conv_chain(kDepth, kChannels, rng);
+  Tensor input = Tensor::randn(Shape{1, kChannels, kSide, kSide}, rng);
+  const double act_bytes =
+      static_cast<double>(kChannels * kSide * kSide) * 4.0;
+
+  const core::LossGradFn seed = [](const Tensor& output) {
+    return Tensor::full(output.shape(), 1.0F);
+  };
+
+  auto run_once = [&](const core::Schedule& schedule, double* seconds) {
+    chain.zero_grad();
+    chain.clear_saved();
+    nn::LayerChainRunner runner(chain, nn::Phase::Train);
+    runner.begin_pass();
+    core::ScheduleExecutor executor;
+    const auto start = Clock::now();
+    const core::ExecutionResult result =
+        executor.run(runner, schedule, input, seed);
+    *seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    return result;
+  };
+
+  // Baseline: full storage.
+  double full_seconds = 0.0;
+  const core::ExecutionResult full =
+      run_once(core::full_storage_schedule(kDepth), &full_seconds);
+  const double full_peak =
+      static_cast<double>(full.peak_tracked_bytes - full.baseline_bytes);
+
+  std::printf("Physical LinearResNet: depth %d, activation %.1f KiB/step\n",
+              kDepth, act_bytes / 1024.0);
+  std::printf("full storage: peak %.1f KiB, %.1f ms\n\n",
+              full_peak / 1024.0, full_seconds * 1e3);
+
+  std::printf("%-6s %-10s %-12s %-12s %-10s %-12s %-10s %-10s\n", "slots",
+              "rho(model)", "peak KiB", "model KiB", "peak/mod", "advances",
+              "time ms", "t/t_full");
+  for (const int s : {0, 1, 2, 3, 5, 8, 12, 16, 24, 31}) {
+    const core::Schedule schedule = core::revolve::make_schedule(kDepth, s);
+    double seconds = 0.0;
+    const core::ExecutionResult result = run_once(schedule, &seconds);
+    const double peak =
+        static_cast<double>(result.peak_tracked_bytes - result.baseline_bytes);
+    // Analytic model: (s+1) checkpoints + transient conv workspace; report
+    // the checkpoint part only.
+    const double model_bytes = (s + 1) * act_bytes;
+    const double rho = core::revolve::recompute_factor(kDepth, s);
+    std::printf("%-6d %-10.3f %-12.1f %-12.1f %-10.2f %-12lld %-10.1f %-10.2f\n",
+                s, rho, peak / 1024.0, model_bytes / 1024.0,
+                peak / model_bytes,
+                static_cast<long long>(result.stats.advances), seconds * 1e3,
+                seconds / full_seconds);
+  }
+
+  std::printf("\ncheckpoint_sequential for comparison:\n");
+  std::printf("%-9s %-12s %-12s %-10s\n", "segments", "peak KiB",
+              "formula KiB", "time ms");
+  for (const int segments : {1, 2, 4, 6, 8, 16}) {
+    const core::Schedule schedule = core::seq::make_schedule(kDepth, segments);
+    double seconds = 0.0;
+    const core::ExecutionResult result = run_once(schedule, &seconds);
+    const double peak =
+        static_cast<double>(result.peak_tracked_bytes - result.baseline_bytes);
+    const double formula_bytes =
+        static_cast<double>(core::seq::memory_units(kDepth, segments)) *
+        act_bytes;
+    std::printf("%-9d %-12.1f %-12.1f %-10.1f\n", segments, peak / 1024.0,
+                formula_bytes / 1024.0, seconds * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Reproduces Figure 1: "Peak memory requirement vs recompute factor" for
+// LinearResNet_x, x in {18,34,50,101,152}, four panels:
+//   (a) batch 1, image 224      (b) batch 8, image 224
+//   (c) batch 1, image 500      (d) batch 8, image 500
+// For each rho on a grid, the minimal number of Revolve checkpoint slots
+// whose schedule stays within the 2*rho*l work budget is found (binary
+// search over the DP cost table via the planner), and the resulting peak
+// memory fixed + (s+1)*k*M_A is printed. The 2 GB Waggle line marks
+// feasibility; the "fits 2GB at rho" row gives each curve's crossing point.
+//
+// Flags: --hetero  additionally solve the *heterogeneous* block-level chain
+//                  of each real ResNet (stem/blocks/head with true per-step
+//                  costs) and report its rho at the same memory, validating
+//                  the homogenised LinearResNet model.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/dynprog.hpp"
+#include "core/planner.hpp"
+#include "models/linear_resnet.hpp"
+#include "models/memory_model.hpp"
+
+namespace {
+
+using namespace edgetrain;
+
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kLimit = models::kWaggleMemoryBytes;
+
+struct Panel {
+  const char* name;
+  std::int64_t batch;
+  int image;
+};
+
+void run_panel(const Panel& panel,
+               const std::vector<models::ResNetMemoryModel>& memory_models) {
+  std::printf("--- Figure 1%s: batch %lld, image %d ---\n", panel.name,
+              static_cast<long long>(panel.batch), panel.image);
+  std::printf("%-6s", "rho");
+  std::vector<core::MemoryPlanner> planners;
+  planners.reserve(memory_models.size());
+  for (const auto& mm : memory_models) {
+    const models::LinearResNet linear =
+        models::LinearResNet::from_resnet(mm, panel.image, panel.batch);
+    std::printf(" %12s", linear.name.c_str());
+    planners.emplace_back(linear.to_chain_spec());
+  }
+  std::printf("   (peak memory, MB)\n");
+
+  for (double rho = 1.0; rho <= 3.001; rho += 0.1) {
+    std::printf("%-6.2f", rho);
+    for (const auto& planner : planners) {
+      const core::PlanPoint point = planner.plan_for_rho(rho);
+      const char marker = point.peak_bytes > kLimit ? '*' : ' ';
+      std::printf(" %11.1f%c", point.peak_bytes / kMiB, marker);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-6s", "fits@");
+  for (const auto& planner : planners) {
+    const core::PlanReport report = planner.report_for_device(kLimit);
+    if (!report.fits_with_checkpointing) {
+      std::printf(" %12s", "never");
+    } else if (report.fits_without_checkpointing) {
+      std::printf(" %12s", "rho=1");
+    } else {
+      std::printf("    rho=%5.2f", report.min_rho_to_fit);
+    }
+  }
+  std::printf("   (smallest rho fitting 2 GB)\n\n");
+}
+
+void run_hetero(const Panel& panel) {
+  std::printf("--- heterogeneous block-level chains (%s) ---\n", panel.name);
+  std::printf("%-10s %-10s %-14s %-14s %-14s %-12s\n", "model", "steps",
+              "rho@mem(hom)", "rho(hetero)", "rho(bytes)", "mem MB");
+  for (const models::ResNetVariant v : models::all_resnet_variants()) {
+    const models::ResNetSpec spec = models::ResNetSpec::make(v);
+    const models::ResNetMemoryModel mm(spec);
+    // Homogenised plan at rho budget 1.5.
+    const models::LinearResNet linear =
+        models::LinearResNet::from_resnet(mm, panel.image, panel.batch);
+    const core::MemoryPlanner planner(linear.to_chain_spec());
+    const core::PlanPoint plan = planner.plan_for_rho(1.5);
+
+    // Heterogeneous block chain with true per-step forward costs.
+    const std::vector<double> costs =
+        spec.chain_step_forward_costs(panel.image, panel.batch);
+    const int l = static_cast<int>(costs.size());
+    const core::hetero::HeteroSolver solver(costs, l - 1);
+    const auto act_per_block =
+        spec.chain_step_activation_elems(panel.image, panel.batch);
+
+    // Boundary i is the output of chain step i-1; approximate its bytes as
+    // that block's activation total over its op count (~one tensor of ~4).
+    std::vector<double> boundary_bytes;
+    double max_boundary = 0.0;
+    double min_boundary = 1e300;
+    for (int i = 1; i < l; ++i) {
+      // elems / ~4 ops per block * 4 bytes per element == elems, numerically.
+      const double bytes =
+          static_cast<double>(act_per_block[static_cast<std::size_t>(i - 1)]);
+      boundary_bytes.push_back(bytes);
+      max_boundary = std::max(max_boundary, bytes);
+      min_boundary = std::min(min_boundary, bytes);
+    }
+    const double act_budget = plan.peak_bytes - linear.fixed_bytes;
+
+    // Uniform slots must be provisioned for the worst-case boundary.
+    const int block_slots = std::clamp(
+        static_cast<int>(act_budget / max_boundary) - 1, 0, l - 1);
+    const double hetero_rho = solver.recompute_factor(block_slots);
+
+    // Byte-budget DP spends the same bytes against the true sizes.
+    std::vector<int> state_units;
+    for (const double bytes : boundary_bytes) {
+      state_units.push_back(
+          std::max(1, static_cast<int>(bytes / min_boundary + 0.5)));
+    }
+    const int unit_budget = std::max(
+        0, static_cast<int>(act_budget / min_boundary) -
+               static_cast<int>(max_boundary / min_boundary));
+    double byte_rho = hetero_rho;
+    if (static_cast<std::size_t>(l + 1) * (l + 1) * (unit_budget + 1) <
+        (96ULL << 20)) {
+      const core::hetero::ByteBudgetSolver byte_solver(costs, state_units,
+                                                       unit_budget);
+      byte_rho = byte_solver.recompute_factor();
+    }
+    std::printf("%-10s %-10d %-14.3f %-14.3f %-14.3f %-12.1f\n",
+                spec.name().c_str(), l, plan.achieved_rho, hetero_rho,
+                byte_rho, plan.peak_bytes / kMiB);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<models::ResNetMemoryModel> memory_models = [] {
+    std::vector<models::ResNetMemoryModel> result;
+    for (const models::ResNetVariant v : models::all_resnet_variants()) {
+      result.emplace_back(models::ResNetSpec::make(v));
+    }
+    return result;
+  }();
+
+  const Panel panels[] = {
+      {"a", 1, 224}, {"b", 8, 224}, {"c", 1, 500}, {"d", 8, 500}};
+
+  std::printf(
+      "Figure 1: peak memory vs recompute factor (Revolve optimal "
+      "checkpointing)\n'*' = exceeds the 2 GB Waggle budget\n\n");
+  for (const Panel& panel : panels) run_panel(panel, memory_models);
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hetero") == 0) {
+      run_hetero(panels[3]);  // batch 8, image 500 (the hardest panel)
+    }
+  }
+  return 0;
+}

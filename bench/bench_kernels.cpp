@@ -1,0 +1,93 @@
+// Substrate throughput benchmarks (google-benchmark): GEMM, conv2d
+// forward/backward, batch norm, and the thread-pool scaling that stands in
+// for the Waggle node's 4+4 cores.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
+
+namespace {
+
+using namespace edgetrain;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  std::mt19937 rng(1);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c = Tensor::zeros(Shape{n, n});
+  for (auto _ : state) {
+    ops::gemm(false, false, n, n, n, 1.0F, a.data(), b.data(), 0.0F,
+              c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto channels = state.range(0);
+  std::mt19937 rng(2);
+  Tensor x = Tensor::randn(Shape{1, channels, 32, 32}, rng);
+  Tensor w = Tensor::randn(Shape{channels, channels, 3, 3}, rng);
+  const ops::ConvParams p{1, 1};
+  for (auto _ : state) {
+    Tensor y = ops::conv2d_forward(x, w, Tensor{}, p);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * channels * channels * 9 *
+                          32 * 32);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const auto channels = state.range(0);
+  std::mt19937 rng(3);
+  Tensor x = Tensor::randn(Shape{1, channels, 32, 32}, rng);
+  Tensor w = Tensor::randn(Shape{channels, channels, 3, 3}, rng);
+  Tensor gy = Tensor::randn(Shape{1, channels, 32, 32}, rng);
+  const ops::ConvParams p{1, 1};
+  for (auto _ : state) {
+    ops::Conv2dGrads grads = ops::conv2d_backward(gy, x, w, p, false);
+    benchmark::DoNotOptimize(grads.grad_x.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  std::mt19937 rng(4);
+  const std::int64_t c = state.range(0);
+  Tensor x = Tensor::randn(Shape{4, c, 28, 28}, rng);
+  Tensor gamma = Tensor::full(Shape{c}, 1.0F);
+  Tensor beta = Tensor::zeros(Shape{c});
+  Tensor rm = Tensor::zeros(Shape{c});
+  Tensor rv = Tensor::full(Shape{c}, 1.0F);
+  for (auto _ : state) {
+    ops::BatchNormState s =
+        ops::batchnorm2d_forward(x, gamma, beta, rm, rv, 0.1F, 1e-5F, false);
+    benchmark::DoNotOptimize(s.y.data());
+  }
+}
+BENCHMARK(BM_BatchNormForward)->Arg(16)->Arg(64);
+
+// Thread scaling of the pool on an embarrassingly parallel GEMM: emulates
+// little/big core counts of the Waggle node.
+void BM_GemmThreads(benchmark::State& state) {
+  ThreadPool::set_global_threads(static_cast<unsigned>(state.range(0)));
+  std::mt19937 rng(5);
+  const std::int64_t n = 192;
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c = Tensor::zeros(Shape{n, n});
+  for (auto _ : state) {
+    ops::gemm(false, false, n, n, n, 1.0F, a.data(), b.data(), 0.0F,
+              c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

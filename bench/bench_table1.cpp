@@ -1,0 +1,57 @@
+// Reproduces Table I: "Memory requirement for each model to keep all
+// weights and activations for the standard size of image (224x224)", MB,
+// over batch sizes {1,3,5,10,30,50}. Cells marked '*' exceed the 2 GB
+// Waggle budget (the paper's shading). Deviations against the paper's
+// published values are printed per cell and collected in EXPERIMENTS.md.
+//
+// Flags: --policy=outputs|outputs+grads   (default outputs+grads)
+//        --spatial=exact|area             (default exact)
+#include <array>
+#include <cstdio>
+
+#include "table_common.hpp"
+
+namespace {
+constexpr std::array<std::int64_t, 6> kBatches{1, 3, 5, 10, 30, 50};
+// Paper Table I values (MB), rows = batch, columns = ResNet{18..152}.
+constexpr double kPaper[6][5] = {
+    {230.05, 413.00, 620.27, 1027.21, 1410.62},
+    {340.05, 580.42, 1091.11, 1732.33, 2405.14},
+    {450.06, 747.85, 1561.94, 2437.45, 3399.67},
+    {725.07, 1166.42, 2739.04, 4200.25, 5885.98},
+    {1825.13, 2840.70, 7447.42, 11251.43, 15831.23},
+    {2925.18, 4514.97, 12155.79, 18302.62, 25776.48},
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace edgetrain;
+  using namespace edgetrain::bench;
+
+  const auto policy = parse_policy(argc, argv);
+  const auto mode = parse_mode(argc, argv);
+  const auto models = all_models(policy, mode);
+
+  std::printf("Table I: training memory (MB) at image 224x224 vs batch size\n");
+  std::printf("('*' = exceeds 2 GB; (%%) = deviation from the paper's value)\n\n");
+  print_header("batch_size");
+  for (std::size_t b = 0; b < kBatches.size(); ++b) {
+    std::printf("%-12lld", static_cast<long long>(kBatches[b]));
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const double ours = models[m].estimate(224, kBatches[b]).total_mib();
+      print_cell(ours, kPaper[b][m]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFixed (weights+grads+optimizer) MB per model: ");
+  for (const auto& model : models) {
+    std::printf(" %.2f", model.fixed_bytes() / kMiB);
+  }
+  std::printf("\nPer-sample activation MB at 224: ");
+  for (const auto& model : models) {
+    std::printf(" %.2f", model.activation_bytes(224, 1) / kMiB);
+  }
+  std::printf("\n");
+  return 0;
+}

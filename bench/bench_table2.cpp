@@ -1,0 +1,42 @@
+// Reproduces Table II: memory (MB) at batch 1 over image sizes
+// {224,350,500,650,1100,1500}. The paper scales activations exactly with
+// image area; run with --spatial=area to replicate that methodology, or
+// the default --spatial=exact for true conv arithmetic at each size.
+#include <array>
+#include <cstdio>
+
+#include "table_common.hpp"
+
+namespace {
+constexpr std::array<int, 6> kImages{224, 350, 500, 650, 1100, 1500};
+constexpr double kPaper[6][5] = {
+    {230.05, 413.00, 620.27, 1027.21, 1410.62},
+    {309.83, 534.96, 964.66, 1543.72, 2139.75},
+    {449.21, 749.73, 1570.93, 2472.72, 3458.50},
+    {639.07, 1039.08, 2387.54, 3682.00, 5161.76},
+    {1496.10, 2346.95, 6073.06, 9208.30, 12961.96},
+    {2628.70, 4075.07, 10944.42, 16515.11, 23277.27},
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace edgetrain;
+  using namespace edgetrain::bench;
+
+  const auto policy = parse_policy(argc, argv);
+  const auto mode = parse_mode(argc, argv);
+  const auto models = all_models(policy, mode);
+
+  std::printf("Table II: training memory (MB) at batch 1 vs image size\n");
+  std::printf("('*' = exceeds 2 GB; (%%) = deviation from the paper's value)\n\n");
+  print_header("image_size");
+  for (std::size_t row = 0; row < kImages.size(); ++row) {
+    std::printf("%-12d", kImages[row]);
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const double ours = models[m].estimate(kImages[row], 1).total_mib();
+      print_cell(ours, kPaper[row][m]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Table III: memory (GB) at batch 8 over image sizes
+// {224,350,500,650}. The paper notes batch 8 makes anything deeper than
+// 50 layers infeasible even at the smallest image size -- the '*' markers
+// show the same boundary here.
+#include <array>
+#include <cstdio>
+
+#include "table_common.hpp"
+
+namespace {
+constexpr std::array<int, 4> kImages{224, 350, 500, 650};
+constexpr double kPaperGb[4][5] = {
+    {0.60, 0.98, 2.22, 3.41, 4.78},
+    {1.22, 1.93, 4.90, 7.45, 10.47},
+    {2.31, 3.60, 9.63, 14.69, 20.76},
+    {3.79, 5.86, 15.99, 24.13, 34.06},
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace edgetrain;
+  using namespace edgetrain::bench;
+
+  const auto policy = parse_policy(argc, argv);
+  const auto mode = parse_mode(argc, argv);
+  const auto models = all_models(policy, mode);
+
+  std::printf("Table III: training memory (GB) at batch 8 vs image size\n");
+  std::printf("('*' = exceeds 2 GB; (%%) = deviation from the paper's value)\n\n");
+  print_header("image_size");
+  for (std::size_t row = 0; row < kImages.size(); ++row) {
+    std::printf("%-12d", kImages[row]);
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const double ours_gb =
+          models[m].estimate(kImages[row], 8).total_bytes() /
+          (1024.0 * 1024.0 * 1024.0);
+      const char marker = ours_gb > 2.0 ? '*' : ' ';
+      std::printf(" %9.2f%c(%+5.1f%%)", ours_gb, marker,
+                  100.0 * (ours_gb / kPaperGb[row][m] - 1.0));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

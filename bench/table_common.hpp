@@ -1,0 +1,66 @@
+// Shared helpers for the Table I-III reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "models/memory_model.hpp"
+
+namespace edgetrain::bench {
+
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kLimitMb = 2048.0;
+
+inline models::ActivationPolicy parse_policy(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--policy=outputs") {
+      return models::ActivationPolicy::OutputsOnly;
+    }
+    if (arg == "--policy=outputs+grads") {
+      return models::ActivationPolicy::OutputsPlusGradients;
+    }
+  }
+  return models::ActivationPolicy::OutputsPlusGradients;
+}
+
+inline models::SpatialMode parse_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--spatial=exact") return models::SpatialMode::Exact;
+    if (arg == "--spatial=area") return models::SpatialMode::AreaScaled;
+  }
+  return models::SpatialMode::Exact;
+}
+
+inline std::vector<models::ResNetMemoryModel> all_models(
+    models::ActivationPolicy policy, models::SpatialMode mode) {
+  std::vector<models::ResNetMemoryModel> result;
+  for (const models::ResNetVariant v : models::all_resnet_variants()) {
+    result.emplace_back(models::ResNetSpec::make(v), policy, mode);
+  }
+  return result;
+}
+
+/// Prints one table cell: value, 2 GB feasibility marker, and deviation
+/// from the paper's value when available (paper < 0 means unknown).
+inline void print_cell(double ours_mb, double paper_mb) {
+  const char marker = ours_mb > kLimitMb ? '*' : ' ';
+  if (paper_mb > 0.0) {
+    std::printf(" %9.2f%c(%+5.1f%%)", ours_mb, marker,
+                100.0 * (ours_mb / paper_mb - 1.0));
+  } else {
+    std::printf(" %9.2f%c        ", ours_mb, marker);
+  }
+}
+
+inline void print_header(const char* row_label) {
+  std::printf("%-12s", row_label);
+  for (const models::ResNetVariant v : models::all_resnet_variants()) {
+    std::printf(" %-19s", models::name_of(v).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace edgetrain::bench

@@ -1,0 +1,110 @@
+// edge_memory_planner: the Section VI workflow as a CLI.
+//
+//   edge_memory_planner [model] [image] [batch] [memory_mb]
+//
+// e.g. `edge_memory_planner resnet152 500 8 2048` answers: does this
+// training configuration fit the device? If not, what is the cheapest
+// recompute factor that makes it fit, and what does the memory/rho curve
+// look like?
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/planner.hpp"
+#include "core/strategy.hpp"
+#include "edge/device.hpp"
+#include "models/linear_resnet.hpp"
+#include "models/memory_model.hpp"
+
+namespace {
+
+using namespace edgetrain;
+
+models::ResNetVariant parse_model(const std::string& name) {
+  for (const models::ResNetVariant v : models::all_resnet_variants()) {
+    std::string candidate = models::name_of(v);
+    for (char& c : candidate) c = static_cast<char>(std::tolower(c));
+    if (candidate == name) return v;
+  }
+  std::fprintf(stderr, "unknown model '%s' (use resnet18/34/50/101/152)\n",
+               name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model_name = argc > 1 ? argv[1] : "resnet152";
+  const int image = argc > 2 ? std::atoi(argv[2]) : 224;
+  const std::int64_t batch = argc > 3 ? std::atoll(argv[3]) : 8;
+  const double memory_mb = argc > 4 ? std::atof(argv[4]) : 2048.0;
+
+  const models::ResNetVariant variant = parse_model(model_name);
+  const models::ResNetMemoryModel memory_model(
+      models::ResNetSpec::make(variant));
+  const models::LinearResNet linear =
+      models::LinearResNet::from_resnet(memory_model, image, batch);
+  const core::MemoryPlanner planner(linear.to_chain_spec());
+
+  const double capacity = memory_mb * 1024.0 * 1024.0;
+  const edge::EdgeDevice waggle = edge::EdgeDevice::waggle_odroid_xu4();
+  std::printf("device: %.0f MB budget (Waggle node: %s, %llu MB RAM)\n",
+              memory_mb, waggle.name.c_str(),
+              static_cast<unsigned long long>(waggle.memory_bytes >> 20));
+  std::printf("model:  %s at image %d, batch %lld -> %s with l=%d, "
+              "M_A*k=%.2f MB/step, fixed=%.2f MB\n\n",
+              memory_model.spec().name().c_str(), image,
+              static_cast<long long>(batch), linear.name.c_str(),
+              linear.depth, linear.act_bytes_per_step / 1048576.0,
+              linear.fixed_bytes / 1048576.0);
+
+  const core::PlanReport report = planner.report_for_device(capacity);
+  std::printf("no checkpointing (rho=1):  %.1f MB  -> %s\n",
+              report.no_checkpoint_bytes / 1048576.0,
+              report.fits_without_checkpointing ? "FITS" : "does NOT fit");
+  std::printf("most frugal schedule:      %.1f MB  -> %s\n",
+              report.min_possible_bytes / 1048576.0,
+              report.fits_with_checkpointing ? "fits" : "does NOT fit");
+
+  if (report.fits_with_checkpointing && !report.fits_without_checkpointing) {
+    std::printf("\nrecommended: %d checkpoint slots -> %.1f MB at "
+                "rho=%.3f (%.0f%% extra compute)\n",
+                report.recommended.total_slots,
+                report.recommended.peak_bytes / 1048576.0,
+                report.recommended.achieved_rho,
+                100.0 * (report.recommended.achieved_rho - 1.0));
+  } else if (!report.fits_with_checkpointing) {
+    std::printf("\ninfeasible: even one activation per step exceeds the "
+                "budget; reduce batch or image size.\n");
+    const int n_max = core::MemoryPlanner::max_depth_without_checkpointing(
+        capacity, linear.fixed_bytes, linear.act_bytes_per_step);
+    std::printf("(n_max at this batch: %d layers without checkpointing)\n",
+                n_max);
+    return 0;
+  }
+
+  std::printf("\nmemory vs recompute factor:\n%-8s %-12s %-8s %-6s\n", "rho",
+              "peak MB", "slots", "fits");
+  for (const core::PlanPoint& point : planner.sweep_rho(1.0, 3.0, 21)) {
+    std::printf("%-8.2f %-12.1f %-8d %-6s\n", point.rho_budget,
+                point.peak_bytes / 1048576.0, point.total_slots,
+                point.fits(capacity) ? "yes" : "NO");
+  }
+
+  // One-call recommendation combining planner, backends and batch choice.
+  core::StrategyRequest strategy_request;
+  strategy_request.chain = linear.to_chain_spec();
+  strategy_request.device_memory_bytes = capacity;
+  strategy_request.rho_budget = 2.0;
+  strategy_request.has_local_storage = waggle.storage_bytes > 0;
+  const core::StrategyRecommendation strategy =
+      core::recommend_strategy(strategy_request);
+  std::printf("\nrecommendation: %s\n  %s\n  suggested batch: %lld "
+              "(rho %.2f at that batch)\n",
+              core::to_string(strategy.feasibility).c_str(),
+              strategy.rationale.c_str(),
+              static_cast<long long>(strategy.recommended_batch),
+              strategy.batch_rho);
+  return 0;
+}

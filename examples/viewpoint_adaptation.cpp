@@ -1,0 +1,53 @@
+// viewpoint_adaptation: the full Section III scenario, end to end.
+//
+// A simulated street camera suffers the viewpoint problem: objects near the
+// left edge of the frame appear sheared/darkened relative to the canonical
+// pose the cloud-trained teacher knows. The node tracks objects across the
+// frame, lets the teacher label each track at its most confident sighting,
+// back-propagates the label to every sighting, and trains a student on the
+// harvested dataset -- in situ, through a Revolve checkpointing schedule.
+#include <cstdio>
+
+#include "insitu/student.hpp"
+
+int main(int argc, char** argv) {
+  using namespace edgetrain::insitu;
+
+  ViewpointExperimentConfig config;
+  config.scene.frame_width = 128;
+  config.scene.frame_height = 44;
+  config.scene.object_size = 16;
+  config.scene.num_classes = 4;
+  config.scene.max_skew = 0.85F;
+  config.scene.seed = 97;
+  config.harvest.patch = 20;
+  config.stream_frames = argc > 1 ? std::atoll(argv[1]) : 800;
+  config.teacher_train.epochs = 8;
+  config.student_train.epochs = 8;
+  config.student_train.checkpoint_free_slots = 2;
+
+  std::printf("Simulating %lld camera frames...\n",
+              static_cast<long long>(config.stream_frames));
+  const ViewpointExperimentResult result = run_viewpoint_experiment(config);
+
+  std::printf("\nharvest: %lld tracks finished, %lld confidently labelled, "
+              "%zu images in the on-node dataset (purity %.1f%%)\n",
+              static_cast<long long>(result.harvest.tracks_finished),
+              static_cast<long long>(result.harvest.tracks_labelled),
+              result.dataset_size, 100.0 * result.harvest.label_purity);
+
+  std::printf("\naccuracy across the frame (left = most skewed):\n");
+  std::printf("%-10s %-8s %-10s %-10s %s\n", "x", "skew", "teacher",
+              "student", "");
+  for (const BinAccuracy& bin : result.bins) {
+    std::printf("%-10.1f %-8.2f %-10.3f %-10.3f %s\n", bin.x_center, bin.skew,
+                bin.teacher_accuracy, bin.student_accuracy,
+                bin.student_accuracy > bin.teacher_accuracy ? "<- student"
+                                                            : "");
+  }
+  std::printf("\noverall: teacher %.3f vs student %.3f\n",
+              result.teacher_overall, result.student_overall);
+  std::printf("The student, trained only on auto-labelled local data, has "
+              "specialised to this camera's viewpoint.\n");
+  return 0;
+}

@@ -1,0 +1,226 @@
+#include "core/disk_revolve.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace edgetrain::core::disk {
+
+DiskRevolveSolver::DiskRevolveSolver(int num_steps,
+                                     const DiskRevolveOptions& options)
+    : num_steps_(num_steps), options_(options) {
+  if (num_steps < 1) throw std::invalid_argument("DiskRevolve: l < 1");
+  if (options_.ram_slots < 0) {
+    throw std::invalid_argument("DiskRevolve: ram_slots < 0");
+  }
+  if (options_.write_cost < 0.0 || options_.read_cost < 0.0) {
+    throw std::invalid_argument("DiskRevolve: negative IO cost");
+  }
+  options_.ram_slots = std::min(options_.ram_slots, std::max(num_steps - 1, 0));
+
+  const std::size_t size = static_cast<std::size_t>(num_steps + 1) *
+                           static_cast<std::size_t>(options_.ram_slots + 1) * 2;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  fwd_.assign(size, kInf);
+  rev_.assign(size, kInf);
+  fwd_choice_.assign(size, Choice{});
+  rev_choice_.assign(size, Choice{});
+
+  const double read[2] = {0.0, options_.read_cost};
+  const double write[2] = {0.0, options_.write_cost};
+
+  // Convention (matches the schedule emitter exactly): every recursion
+  // enters with the current state positioned at the segment input; restores
+  // are charged where the emitter issues them (re-positioning after the
+  // right sub-segment, and per backward in the slot-less base case). The
+  // sweep cost F is counted analytically: the paper's Backward unit absorbs
+  // its own re-materialisation, so F(1) = 1 (the sweep through the step).
+  for (int c = 0; c <= options_.ram_slots; ++c) {
+    for (const Level level : {Level::Ram, Level::Disk}) {
+      fwd_[idx(1, c, level)] = 1.0;
+      rev_[idx(1, c, level)] = 0.0;
+    }
+  }
+
+  for (int len = 2; len <= num_steps; ++len) {
+    for (int c = 0; c <= options_.ram_slots; ++c) {
+      for (const Level level : {Level::Ram, Level::Disk}) {
+        const auto li = static_cast<std::size_t>(level);
+        double best_f = kInf;
+        double best_r = kInf;
+        Choice cf;
+        Choice cr;
+        for (int j = 1; j < len; ++j) {
+          for (const Level m : {Level::Ram, Level::Disk}) {
+            if (m == Level::Ram && c == 0) continue;
+            if (m == Level::Disk && !options_.allow_disk) continue;
+            const auto mi = static_cast<std::size_t>(m);
+            const int c_inner = m == Level::Ram ? c - 1 : c;
+            // advance j + write checkpoint, recurse right, re-position to
+            // the segment input (one read at this level), recurse left.
+            const double rev_left = read[li] + rev_[idx(j, c, level)];
+            const double common = static_cast<double>(j) + write[mi];
+            const double f = common + fwd_[idx(len - j, c_inner, m)] + rev_left;
+            if (f < best_f) {
+              best_f = f;
+              cf = Choice{static_cast<std::int32_t>(j), m};
+            }
+            const double r = common + rev_[idx(len - j, c_inner, m)] + rev_left;
+            if (r < best_r) {
+              best_r = r;
+              cr = Choice{static_cast<std::int32_t>(j), m};
+            }
+          }
+        }
+        // Slot-less fallback: re-advance from the segment input every time.
+        {
+          const double readvance =
+              static_cast<double>(len) * (len - 1) / 2.0;
+          const double repositions = (len - 1) * read[li];
+          const double r0 = readvance + repositions;
+          // A sweep additionally pays one more reposition: after reaching
+          // the chain end, the first backward's re-advance starts with a
+          // restore of the segment input (the reversal base enters with the
+          // input already current, the sweep leaves the end current).
+          const double f0 = static_cast<double>(len) + r0 + read[li];
+          if (f0 < best_f) {
+            best_f = f0;
+            cf = Choice{0, level};
+          }
+          if (r0 < best_r) {
+            best_r = r0;
+            cr = Choice{0, level};
+          }
+        }
+        fwd_[idx(len, c, level)] = best_f;
+        rev_[idx(len, c, level)] = best_r;
+        fwd_choice_[idx(len, c, level)] = cf;
+        rev_choice_[idx(len, c, level)] = cr;
+      }
+    }
+  }
+}
+
+double DiskRevolveSolver::forward_cost() const {
+  return fwd_[idx(num_steps_, options_.ram_slots, Level::Ram)];
+}
+
+double DiskRevolveSolver::recompute_factor() const {
+  return (forward_cost() + static_cast<double>(num_steps_)) /
+         (2.0 * static_cast<double>(num_steps_));
+}
+
+Schedule DiskRevolveSolver::make_schedule() const {
+  // Slot ids: 0..ram_slots are RAM (0 = input); disk ids grow from
+  // ram_slots+1 with LIFO reuse.
+  const int disk_slot_budget = num_steps_;  // safe upper bound
+  Schedule sched(num_steps_,
+                 options_.ram_slots + 1 + disk_slot_budget);
+  std::vector<std::int32_t> free_ram;
+  for (int slot = options_.ram_slots; slot >= 1; --slot) {
+    free_ram.push_back(static_cast<std::int32_t>(slot));
+  }
+  std::vector<std::int32_t> free_disk;
+  for (int slot = options_.ram_slots + disk_slot_budget;
+       slot > options_.ram_slots; --slot) {
+    free_disk.push_back(static_cast<std::int32_t>(slot));
+  }
+
+  auto reverse_one = [&](std::int32_t step) {
+    sched.forward_save(step);
+    sched.backward(step);
+  };
+
+  // Pre for both emitters: current state == a; state a stored in input_slot.
+  auto reverse_impl = [&](auto&& self, int a, int b, int c, Level level,
+                          std::int32_t input_slot) -> void {
+    if (b - a == 1) {
+      reverse_one(static_cast<std::int32_t>(a));
+      return;
+    }
+    const Choice choice =
+        rev_choice_[idx(b - a, c, level)];
+    if (choice.split == 0) {
+      for (int i = b - 1; i >= a; --i) {
+        if (i != b - 1) sched.restore(static_cast<std::int32_t>(a), input_slot);
+        for (int k = a; k < i; ++k) sched.forward(static_cast<std::int32_t>(k));
+        reverse_one(static_cast<std::int32_t>(i));
+      }
+      return;
+    }
+    const int j = a + choice.split;
+    for (int i = a; i < j; ++i) sched.forward(static_cast<std::int32_t>(i));
+    auto& pool = choice.store_level == Level::Ram ? free_ram : free_disk;
+    const std::int32_t slot = pool.back();
+    pool.pop_back();
+    sched.store(static_cast<std::int32_t>(j), slot);
+    const int c_inner = choice.store_level == Level::Ram ? c - 1 : c;
+    self(self, j, b, c_inner, choice.store_level, slot);
+    sched.free(slot);
+    pool.push_back(slot);
+    sched.restore(static_cast<std::int32_t>(a), input_slot);
+    self(self, a, j, c, level, input_slot);
+  };
+
+  auto sweep_impl = [&](auto&& self, int a, int b, int c, Level level,
+                        std::int32_t input_slot) -> void {
+    if (b - a == 1) {
+      reverse_one(static_cast<std::int32_t>(a));
+      return;
+    }
+    const Choice choice = fwd_choice_[idx(b - a, c, level)];
+    if (choice.split == 0) {
+      for (int i = a; i < b - 1; ++i) sched.forward(static_cast<std::int32_t>(i));
+      reverse_one(static_cast<std::int32_t>(b - 1));
+      for (int i = b - 2; i >= a; --i) {
+        sched.restore(static_cast<std::int32_t>(a), input_slot);
+        for (int k = a; k < i; ++k) sched.forward(static_cast<std::int32_t>(k));
+        reverse_one(static_cast<std::int32_t>(i));
+      }
+      return;
+    }
+    const int j = a + choice.split;
+    for (int i = a; i < j; ++i) sched.forward(static_cast<std::int32_t>(i));
+    auto& pool = choice.store_level == Level::Ram ? free_ram : free_disk;
+    const std::int32_t slot = pool.back();
+    pool.pop_back();
+    sched.store(static_cast<std::int32_t>(j), slot);
+    const int c_inner = choice.store_level == Level::Ram ? c - 1 : c;
+    self(self, j, b, c_inner, choice.store_level, slot);
+    sched.free(slot);
+    pool.push_back(slot);
+    sched.restore(static_cast<std::int32_t>(a), input_slot);
+    reverse_impl(reverse_impl, a, j, c, level, input_slot);
+  };
+
+  sched.store(0, 0);
+  sweep_impl(sweep_impl, 0, num_steps_, options_.ram_slots, Level::Ram, 0);
+  sched.free(0);
+  return sched;
+}
+
+int DiskRevolveSolver::peak_disk_slots() const {
+  if (peak_disk_ >= 0) return peak_disk_;
+  const Schedule sched = make_schedule();
+  int live = 0;
+  int peak = 0;
+  std::vector<bool> occupied(
+      static_cast<std::size_t>(sched.num_slots()), false);
+  for (const Action& a : sched.actions()) {
+    if (a.type == ActionType::Store && is_disk_slot(a.slot)) {
+      if (!occupied[static_cast<std::size_t>(a.slot)]) {
+        occupied[static_cast<std::size_t>(a.slot)] = true;
+        peak = std::max(peak, ++live);
+      }
+    } else if (a.type == ActionType::Free && is_disk_slot(a.slot)) {
+      if (occupied[static_cast<std::size_t>(a.slot)]) {
+        occupied[static_cast<std::size_t>(a.slot)] = false;
+        --live;
+      }
+    }
+  }
+  peak_disk_ = peak;
+  return peak_disk_;
+}
+
+}  // namespace edgetrain::core::disk

@@ -1,0 +1,352 @@
+#include "core/dynprog.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace edgetrain::core::hetero {
+
+HeteroSolver::HeteroSolver(std::vector<double> forward_costs,
+                           int max_free_slots)
+    : costs_(std::move(forward_costs)) {
+  const int l = static_cast<int>(costs_.size());
+  if (l < 1) throw std::invalid_argument("HeteroSolver: empty chain");
+  for (const double c : costs_) {
+    if (!(c > 0.0)) {
+      throw std::invalid_argument("HeteroSolver: step costs must be > 0");
+    }
+  }
+  max_slots_ = std::clamp(max_free_slots, 0, std::max(l - 1, 0));
+
+  prefix_.assign(static_cast<std::size_t>(l) + 1, 0.0);
+  for (int i = 0; i < l; ++i) {
+    prefix_[static_cast<std::size_t>(i) + 1] =
+        prefix_[static_cast<std::size_t>(i)] + costs_[static_cast<std::size_t>(i)];
+  }
+  total_ = prefix_.back();
+
+  const std::size_t size = static_cast<std::size_t>(l + 1) *
+                           static_cast<std::size_t>(l + 1) *
+                           static_cast<std::size_t>(max_slots_ + 1);
+  constexpr std::size_t kMaxStates = 64ULL << 20;  // ~64M doubles guard
+  if (size > kMaxStates) {
+    throw std::invalid_argument(
+        "HeteroSolver: chain too long for the cubic DP; use block-level "
+        "steps or the homogeneous RevolveTable");
+  }
+  rev_.assign(size, 0.0);
+  fwd_.assign(size, 0.0);
+  rev_split_.assign(size, 0);
+  fwd_split_.assign(size, 0);
+
+  // Bases: length-1 segments and slot-less segments.
+  for (int a = 0; a < l; ++a) {
+    for (int s = 0; s <= max_slots_; ++s) {
+      rev_[idx(a, a + 1, s)] = 0.0;
+      fwd_[idx(a, a + 1, s)] = costs_[static_cast<std::size_t>(a)];
+    }
+  }
+  for (int a = 0; a < l; ++a) {
+    for (int b = a + 2; b <= l; ++b) {
+      double r0 = 0.0;
+      for (int k = a + 1; k < b; ++k) r0 += span(a, k);
+      rev_[idx(a, b, 0)] = r0;
+      fwd_[idx(a, b, 0)] = span(a, b) + r0;
+    }
+  }
+
+  // Fill by increasing slot count, then segment length.
+  for (int s = 1; s <= max_slots_; ++s) {
+    for (int len = 2; len <= l; ++len) {
+      for (int a = 0; a + len <= l; ++a) {
+        const int b = a + len;
+        double best_r = std::numeric_limits<double>::infinity();
+        double best_f = best_r;
+        int split_r = a + 1;
+        int split_f = a + 1;
+        for (int j = a + 1; j < b; ++j) {
+          const double advance = span(a, j);
+          const double r = advance + rev_[idx(j, b, s - 1)] +
+                           rev_[idx(a, j, s)];
+          if (r < best_r) {
+            best_r = r;
+            split_r = j;
+          }
+          const double f = advance + fwd_[idx(j, b, s - 1)] +
+                           rev_[idx(a, j, s)];
+          if (f < best_f) {
+            best_f = f;
+            split_f = j;
+          }
+        }
+        rev_[idx(a, b, s)] = best_r;
+        fwd_[idx(a, b, s)] = best_f;
+        rev_split_[idx(a, b, s)] = split_r;
+        fwd_split_[idx(a, b, s)] = split_f;
+      }
+    }
+  }
+}
+
+double HeteroSolver::forward_cost(int free_slots) const {
+  const int l = num_steps();
+  const int s = std::clamp(free_slots, 0, std::min(max_slots_, l - 1));
+  return fwd_[idx(0, l, s)];
+}
+
+double HeteroSolver::recompute_factor(int free_slots, double bwd_ratio) const {
+  const double bwd = bwd_ratio * total_;
+  return (forward_cost(free_slots) + bwd) / (total_ + bwd);
+}
+
+int HeteroSolver::min_free_slots_for_rho(double rho_budget,
+                                         double bwd_ratio) const {
+  const int s_max = std::min(max_slots_, num_steps() - 1);
+  for (int s = 0; s <= s_max; ++s) {
+    if (recompute_factor(s, bwd_ratio) <= rho_budget + 1e-12) return s;
+  }
+  return s_max;
+}
+
+Schedule HeteroSolver::make_schedule(int free_slots) const {
+  const int l = num_steps();
+  const int s_top = std::clamp(free_slots, 0, std::min(max_slots_, l - 1));
+  Schedule sched(l, s_top + 1);
+  std::vector<std::int32_t> free_list;
+  for (int slot = s_top; slot >= 1; --slot) {
+    free_list.push_back(static_cast<std::int32_t>(slot));
+  }
+
+  auto reverse_one = [&](std::int32_t step) {
+    sched.forward_save(step);
+    sched.backward(step);
+  };
+
+  // Recursive emitters mirroring the DP; `sweep` handles the F problem and
+  // `reverse` the R problem. Pre: current state == a, state a in input_slot.
+  auto reverse_impl = [&](auto&& self, int a, int b, int s,
+                          std::int32_t input_slot) -> void {
+    if (b - a == 1) {
+      reverse_one(static_cast<std::int32_t>(a));
+      return;
+    }
+    if (s == 0) {
+      for (int i = b - 1; i >= a; --i) {
+        if (i != b - 1) sched.restore(static_cast<std::int32_t>(a), input_slot);
+        for (int k = a; k < i; ++k) sched.forward(static_cast<std::int32_t>(k));
+        reverse_one(static_cast<std::int32_t>(i));
+      }
+      return;
+    }
+    const int j = rev_split_[idx(a, b, s)];
+    for (int i = a; i < j; ++i) sched.forward(static_cast<std::int32_t>(i));
+    const std::int32_t slot = free_list.back();
+    free_list.pop_back();
+    sched.store(static_cast<std::int32_t>(j), slot);
+    self(self, j, b, s - 1, slot);
+    sched.free(slot);
+    free_list.push_back(slot);
+    sched.restore(static_cast<std::int32_t>(a), input_slot);
+    self(self, a, j, s, input_slot);
+  };
+
+  auto sweep_impl = [&](auto&& self, int a, int b, int s,
+                        std::int32_t input_slot) -> void {
+    if (b - a == 1) {
+      reverse_one(static_cast<std::int32_t>(a));
+      return;
+    }
+    if (s == 0) {
+      for (int i = a; i < b - 1; ++i) sched.forward(static_cast<std::int32_t>(i));
+      reverse_one(static_cast<std::int32_t>(b - 1));
+      for (int i = b - 2; i >= a; --i) {
+        sched.restore(static_cast<std::int32_t>(a), input_slot);
+        for (int k = a; k < i; ++k) sched.forward(static_cast<std::int32_t>(k));
+        reverse_one(static_cast<std::int32_t>(i));
+      }
+      return;
+    }
+    const int j = fwd_split_[idx(a, b, s)];
+    for (int i = a; i < j; ++i) sched.forward(static_cast<std::int32_t>(i));
+    const std::int32_t slot = free_list.back();
+    free_list.pop_back();
+    sched.store(static_cast<std::int32_t>(j), slot);
+    self(self, j, b, s - 1, slot);
+    sched.free(slot);
+    free_list.push_back(slot);
+    sched.restore(static_cast<std::int32_t>(a), input_slot);
+    reverse_impl(reverse_impl, a, j, s, input_slot);
+  };
+
+  sched.store(0, 0);
+  sweep_impl(sweep_impl, 0, l, s_top, 0);
+  sched.free(0);
+  return sched;
+}
+
+// ---------------------------------------------------------------------------
+// ByteBudgetSolver
+// ---------------------------------------------------------------------------
+
+ByteBudgetSolver::ByteBudgetSolver(std::vector<double> forward_costs,
+                                   std::vector<int> state_units,
+                                   int budget_units)
+    : costs_(std::move(forward_costs)),
+      units_(std::move(state_units)),
+      budget_(budget_units) {
+  const int l = static_cast<int>(costs_.size());
+  if (l < 1) throw std::invalid_argument("ByteBudgetSolver: empty chain");
+  if (static_cast<int>(units_.size()) != std::max(l - 1, 0)) {
+    throw std::invalid_argument(
+        "ByteBudgetSolver: state_units must cover states 1..l-1");
+  }
+  for (const double c : costs_) {
+    if (!(c > 0.0)) {
+      throw std::invalid_argument("ByteBudgetSolver: step costs must be > 0");
+    }
+  }
+  for (const int u : units_) {
+    if (u < 1) {
+      throw std::invalid_argument("ByteBudgetSolver: state units must be >= 1");
+    }
+  }
+  if (budget_ < 0) throw std::invalid_argument("ByteBudgetSolver: budget < 0");
+
+  prefix_.assign(static_cast<std::size_t>(l) + 1, 0.0);
+  for (int i = 0; i < l; ++i) {
+    prefix_[static_cast<std::size_t>(i) + 1] =
+        prefix_[static_cast<std::size_t>(i)] + costs_[static_cast<std::size_t>(i)];
+  }
+  total_ = prefix_.back();
+
+  const std::size_t size = static_cast<std::size_t>(l + 1) *
+                           static_cast<std::size_t>(l + 1) *
+                           static_cast<std::size_t>(budget_ + 1);
+  constexpr std::size_t kMaxStates = 96ULL << 20;
+  if (size > kMaxStates) {
+    throw std::invalid_argument(
+        "ByteBudgetSolver: state space too large; coarsen the budget units");
+  }
+  rev_.assign(size, 0.0);
+  fwd_.assign(size, 0.0);
+  rev_split_.assign(size, 0);
+  fwd_split_.assign(size, 0);
+
+  for (int len = 1; len <= l; ++len) {
+    for (int a = 0; a + len <= l; ++a) {
+      for (int m = 0; m <= budget_; ++m) solve_cell(a, a + len, m);
+    }
+  }
+}
+
+void ByteBudgetSolver::solve_cell(int a, int b, int m) {
+  if (b - a == 1) {
+    rev_[idx(a, b, m)] = 0.0;
+    fwd_[idx(a, b, m)] = costs_[static_cast<std::size_t>(a)];
+    return;
+  }
+  // Fallback: never store, re-advance from the segment input each time.
+  double best_r = 0.0;
+  for (int k = a + 1; k < b; ++k) best_r += span(a, k);
+  double best_f = span(a, b) + best_r;
+  std::int32_t split_r = 0;
+  std::int32_t split_f = 0;
+
+  for (int j = a + 1; j < b; ++j) {
+    const int u = units_[static_cast<std::size_t>(j) - 1];
+    if (u > m) continue;
+    const double advance = span(a, j);
+    const double r =
+        advance + rev_[idx(j, b, m - u)] + rev_[idx(a, j, m)];
+    if (r < best_r) {
+      best_r = r;
+      split_r = static_cast<std::int32_t>(j);
+    }
+    const double f =
+        advance + fwd_[idx(j, b, m - u)] + rev_[idx(a, j, m)];
+    if (f < best_f) {
+      best_f = f;
+      split_f = static_cast<std::int32_t>(j);
+    }
+  }
+  rev_[idx(a, b, m)] = best_r;
+  fwd_[idx(a, b, m)] = best_f;
+  rev_split_[idx(a, b, m)] = split_r;
+  fwd_split_[idx(a, b, m)] = split_f;
+}
+
+double ByteBudgetSolver::forward_cost() const {
+  return fwd_[idx(0, num_steps(), budget_)];
+}
+
+double ByteBudgetSolver::recompute_factor(double bwd_ratio) const {
+  const double bwd = bwd_ratio * total_;
+  return (forward_cost() + bwd) / (total_ + bwd);
+}
+
+Schedule ByteBudgetSolver::make_schedule() const {
+  const int l = num_steps();
+  Schedule sched(l, l + 1);  // slot id == state id; bytes governed by budget
+
+  auto reverse_one = [&](std::int32_t step) {
+    sched.forward_save(step);
+    sched.backward(step);
+  };
+
+  auto reverse_impl = [&](auto&& self, int a, int b, int m,
+                          std::int32_t input_slot) -> void {
+    if (b - a == 1) {
+      reverse_one(static_cast<std::int32_t>(a));
+      return;
+    }
+    const std::int32_t j = rev_split_[idx(a, b, m)];
+    if (j == 0) {  // fallback
+      for (int i = b - 1; i >= a; --i) {
+        if (i != b - 1) sched.restore(static_cast<std::int32_t>(a), input_slot);
+        for (int k = a; k < i; ++k) sched.forward(static_cast<std::int32_t>(k));
+        reverse_one(static_cast<std::int32_t>(i));
+      }
+      return;
+    }
+    const int u = units_[static_cast<std::size_t>(j) - 1];
+    for (int i = a; i < j; ++i) sched.forward(static_cast<std::int32_t>(i));
+    sched.store(j, j);
+    self(self, j, b, m - u, j);
+    sched.free(j);
+    sched.restore(static_cast<std::int32_t>(a), input_slot);
+    self(self, a, j, m, input_slot);
+  };
+
+  auto sweep_impl = [&](auto&& self, int a, int b, int m,
+                        std::int32_t input_slot) -> void {
+    if (b - a == 1) {
+      reverse_one(static_cast<std::int32_t>(a));
+      return;
+    }
+    const std::int32_t j = fwd_split_[idx(a, b, m)];
+    if (j == 0) {  // fallback
+      for (int i = a; i < b - 1; ++i) sched.forward(static_cast<std::int32_t>(i));
+      reverse_one(static_cast<std::int32_t>(b - 1));
+      for (int i = b - 2; i >= a; --i) {
+        sched.restore(static_cast<std::int32_t>(a), input_slot);
+        for (int k = a; k < i; ++k) sched.forward(static_cast<std::int32_t>(k));
+        reverse_one(static_cast<std::int32_t>(i));
+      }
+      return;
+    }
+    const int u = units_[static_cast<std::size_t>(j) - 1];
+    for (int i = a; i < j; ++i) sched.forward(static_cast<std::int32_t>(i));
+    sched.store(j, j);
+    self(self, j, b, m - u, j);
+    sched.free(j);
+    sched.restore(static_cast<std::int32_t>(a), input_slot);
+    reverse_impl(reverse_impl, a, j, m, input_slot);
+  };
+
+  sched.store(0, 0);
+  sweep_impl(sweep_impl, 0, l, budget_, 0);
+  sched.free(0);
+  return sched;
+}
+
+}  // namespace edgetrain::core::hetero

@@ -1,0 +1,146 @@
+// edgetrain: optimal checkpointing for heterogeneous chains.
+//
+// Real ResNets are not homogeneous: the stem, the four stages and the head
+// have different forward costs. Treating each residual block as one chain
+// step gives a short (tens of steps) heterogeneous chain; this solver
+// generalises the Revolve DP to per-step forward costs (checkpoint slots
+// remain uniform: one boundary activation each, the block-level M_A).
+//
+//   R(a, b, s) = min_{a<j<b} [ sum(f_a..f_{j-1}) + R(j, b, s-1) + R(a, j, s) ]
+//   F(a, b, s) = min_{a<j<b} [ sum(f_a..f_{j-1}) + F(j, b, s-1) + R(a, j, s) ]
+//
+// with R(a,a+1,s) = 0, F(a,a+1,s) = f_a, and the slot-less bases given by
+// repeated re-advancing from the segment input. With all f_i = 1 the costs
+// coincide with core/revolve.hpp (property-tested).
+//
+// Complexity: O(l^2 * s) states, O(l) transitions each -> O(l^3 * s).
+// Intended for block-level chains (l <= ~200).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace edgetrain::core::hetero {
+
+/// DP solver for one chain; build once, query/emit schedules per slot count.
+class HeteroSolver {
+ public:
+  /// @p forward_costs: per-step forward cost (arbitrary positive units).
+  /// @p max_free_slots: largest s the tables cover (clamped to l-1).
+  HeteroSolver(std::vector<double> forward_costs, int max_free_slots);
+
+  [[nodiscard]] int num_steps() const noexcept {
+    return static_cast<int>(costs_.size());
+  }
+  [[nodiscard]] int max_free_slots() const noexcept { return max_slots_; }
+
+  /// Total forward cost of one un-checkpointed sweep (sum of step costs).
+  [[nodiscard]] double sweep_cost() const noexcept { return total_; }
+
+  /// F(0, l, s): forward cost of a full training pass with s free slots.
+  [[nodiscard]] double forward_cost(int free_slots) const;
+
+  /// Recompute factor with backward cost = bwd_ratio * forward cost of the
+  /// same step: rho = (F(s) + bwd) / (sweep + bwd).
+  [[nodiscard]] double recompute_factor(int free_slots,
+                                        double bwd_ratio = 1.0) const;
+
+  /// Smallest s with recompute_factor(s) <= rho_budget (clamped to l-1).
+  [[nodiscard]] int min_free_slots_for_rho(double rho_budget,
+                                           double bwd_ratio = 1.0) const;
+
+  /// Executor-dialect schedule realising F(0, l, s).
+  [[nodiscard]] Schedule make_schedule(int free_slots) const;
+
+ private:
+  [[nodiscard]] std::size_t idx(int a, int b, int s) const {
+    const std::size_t l = costs_.size();
+    return (static_cast<std::size_t>(a) * (l + 1) +
+            static_cast<std::size_t>(b)) *
+               static_cast<std::size_t>(max_slots_ + 1) +
+           static_cast<std::size_t>(s);
+  }
+  [[nodiscard]] double span(int a, int b) const {
+    return prefix_[static_cast<std::size_t>(b)] -
+           prefix_[static_cast<std::size_t>(a)];
+  }
+
+  std::vector<double> costs_;
+  std::vector<double> prefix_;  // prefix_[i] = sum of costs_[0..i)
+  double total_ = 0.0;
+  int max_slots_ = 0;
+  std::vector<double> rev_;        // R(a, b, s)
+  std::vector<double> fwd_;        // F(a, b, s)
+  std::vector<std::int32_t> rev_split_;
+  std::vector<std::int32_t> fwd_split_;
+};
+
+/// Byte-budget heterogeneous checkpointing.
+///
+/// HeteroSolver treats all checkpoints as equally sized ("slots"), but the
+/// boundary states of a real ResNet differ by ~8x across stages (spatial
+/// halving vs channel doubling). This solver plans against an actual byte
+/// budget: storing state j consumes state_units[j] of the budget, so the
+/// optimum prefers the cheap-to-store boundaries (stage transitions). The
+/// budget is expressed in caller-chosen units (e.g. one unit = the
+/// smallest boundary's bytes).
+///
+///   R(a, b, M) = min( re-advance fallback,
+///                     min_{a<j<b, u_j<=M} span(a,j) + R(j,b,M-u_j)
+///                                         + R(a,j,M) )
+/// with the chain input always available for free. With all u_j == 1 this
+/// reduces exactly to HeteroSolver with M slots (property-tested).
+class ByteBudgetSolver {
+ public:
+  /// @p forward_costs: per-step cost, size l.
+  /// @p state_units: storage cost of each boundary state 1..l-1 in budget
+  ///    units (size l-1; the chain input and output are never stored).
+  /// @p budget_units: total checkpoint budget.
+  ByteBudgetSolver(std::vector<double> forward_costs,
+                   std::vector<int> state_units, int budget_units);
+
+  [[nodiscard]] int num_steps() const noexcept {
+    return static_cast<int>(costs_.size());
+  }
+  [[nodiscard]] int budget_units() const noexcept { return budget_; }
+  [[nodiscard]] double sweep_cost() const noexcept { return total_; }
+
+  /// F(0, l, budget): forward cost of a full training pass.
+  [[nodiscard]] double forward_cost() const;
+
+  /// rho with backward = bwd_ratio * forward per step.
+  [[nodiscard]] double recompute_factor(double bwd_ratio = 1.0) const;
+
+  /// Executor-dialect schedule realising the optimum. Stored states use
+  /// slot ids equal to their state index (slot 0 = input); peak *bytes*
+  /// are governed by the unit budget, not the slot count.
+  [[nodiscard]] Schedule make_schedule() const;
+
+ private:
+  [[nodiscard]] std::size_t idx(int a, int b, int m) const {
+    const std::size_t l = costs_.size();
+    return (static_cast<std::size_t>(a) * (l + 1) +
+            static_cast<std::size_t>(b)) *
+               static_cast<std::size_t>(budget_ + 1) +
+           static_cast<std::size_t>(m);
+  }
+  [[nodiscard]] double span(int a, int b) const {
+    return prefix_[static_cast<std::size_t>(b)] -
+           prefix_[static_cast<std::size_t>(a)];
+  }
+  void solve_cell(int a, int b, int m);
+
+  std::vector<double> costs_;
+  std::vector<int> units_;    // index by state 1..l-1 (units_[state-1])
+  std::vector<double> prefix_;
+  double total_ = 0.0;
+  int budget_ = 0;
+  std::vector<double> rev_;
+  std::vector<double> fwd_;
+  std::vector<std::int32_t> rev_split_;  // 0 = fallback
+  std::vector<std::int32_t> fwd_split_;
+};
+
+}  // namespace edgetrain::core::hetero

@@ -1,0 +1,126 @@
+#include "core/online.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace edgetrain::core::online {
+
+OnlineCheckpointer::OnlineCheckpointer(int free_slots)
+    : free_slots_(free_slots) {
+  if (free_slots < 0) {
+    throw std::invalid_argument("OnlineCheckpointer: free_slots < 0");
+  }
+  stored_.reserve(static_cast<std::size_t>(free_slots));
+}
+
+bool OnlineCheckpointer::advance(std::int32_t state) {
+  if (state != last_state_ + 1) {
+    throw std::logic_error("OnlineCheckpointer: states must arrive in order");
+  }
+  last_state_ = state;
+  if (free_slots_ == 0) return false;
+  if (state % stride_ != 0) return false;
+  if (static_cast<int>(stored_.size()) == free_slots_) {
+    // All slots busy: double the stride, evicting the states that no
+    // longer lie on the coarser grid.
+    const std::int32_t doubled = stride_ * 2;
+    const std::size_t before = stored_.size();
+    std::erase_if(stored_,
+                  [doubled](std::int32_t s) { return s % doubled != 0; });
+    evictions_ += static_cast<std::int64_t>(before - stored_.size());
+    stride_ = doubled;
+    if (state % stride_ != 0) return false;
+  }
+  stored_.push_back(state);
+  return true;
+}
+
+std::vector<std::int32_t> OnlineCheckpointer::stored_states() const {
+  std::vector<std::int32_t> result;
+  result.reserve(stored_.size() + 1);
+  result.push_back(0);
+  result.insert(result.end(), stored_.begin(), stored_.end());
+  return result;
+}
+
+std::int64_t OnlineCheckpointer::reversal_cost() const {
+  const std::vector<std::int32_t> bases = stored_states();
+  std::int64_t cost = 0;
+  for (std::size_t seg = 0; seg < bases.size(); ++seg) {
+    const std::int64_t begin = bases[seg];
+    const std::int64_t end =
+        seg + 1 < bases.size() ? bases[seg + 1] : last_state_;
+    const std::int64_t m = end - begin;  // steps whose input is in [begin,end)
+    cost += m * (m - 1) / 2;
+  }
+  return cost;
+}
+
+Schedule OnlineCheckpointer::make_schedule() const {
+  const std::int32_t l = last_state_;
+  if (l < 1) throw std::logic_error("OnlineCheckpointer: empty chain");
+  Schedule sched(l, free_slots_ + 1);
+  sched.store(0, 0);
+
+  // Re-simulate the policy, assigning slots as they free up.
+  std::vector<std::int32_t> pool;
+  for (std::int32_t slot = free_slots_; slot >= 1; --slot) {
+    pool.push_back(slot);
+  }
+  std::unordered_map<std::int32_t, std::int32_t> slot_of;
+  slot_of[0] = 0;
+  std::vector<std::int32_t> live;  // stored states excluding 0, ascending
+  std::int32_t stride = 1;
+
+  for (std::int32_t state = 1; state <= l; ++state) {
+    sched.forward(state - 1);
+    if (free_slots_ == 0 || state % stride != 0) continue;
+    if (static_cast<int>(live.size()) == free_slots_) {
+      const std::int32_t doubled = stride * 2;
+      for (auto it = live.begin(); it != live.end();) {
+        if (*it % doubled != 0) {
+          sched.free(slot_of.at(*it));
+          pool.push_back(slot_of.at(*it));
+          slot_of.erase(*it);
+          it = live.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      stride = doubled;
+      if (state % stride != 0) continue;
+    }
+    const std::int32_t slot = pool.back();
+    pool.pop_back();
+    slot_of[state] = slot;
+    live.push_back(state);
+    sched.store(state, slot);
+  }
+
+  // Reversal: re-advance each step from its nearest surviving checkpoint.
+  const std::vector<std::int32_t> bases = stored_states();
+  for (std::int32_t i = l - 1; i >= 0; --i) {
+    auto it = std::upper_bound(bases.begin(), bases.end(), i);
+    const std::int32_t base = *std::prev(it);
+    sched.restore(base, slot_of.at(base));
+    for (std::int32_t k = base; k < i; ++k) sched.forward(k);
+    sched.forward_save(i);
+    sched.backward(i);
+    if (i == base && base != 0) {
+      sched.free(slot_of.at(base));
+    }
+  }
+  sched.free(0);
+  return sched;
+}
+
+OnlineCheckpointer simulate_stream(int num_steps, int free_slots) {
+  OnlineCheckpointer policy(free_slots);
+  for (std::int32_t state = 1; state <= num_steps; ++state) {
+    (void)policy.advance(state);
+  }
+  return policy;
+}
+
+}  // namespace edgetrain::core::online

@@ -1,0 +1,71 @@
+// edgetrain: online checkpointing for chains of unknown length.
+//
+// Revolve assumes the chain length l is known before the sweep starts. On
+// an edge node that is not always true: an idle-time training window can
+// close at any moment (see edge/scheduler.hpp), and streaming adjoint
+// workloads advance until an external stop. The classical answer (Stumm &
+// Walther's online checkpointing) keeps the s stored states approximately
+// evenly spread at all times; this implementation uses the standard
+// doubling strategy:
+//
+//   * store every `stride`-th state (stride starts at 1);
+//   * when all s slots are full and a new candidate arrives, evict every
+//     other checkpoint and double the stride.
+//
+// At any stop point the stored positions are an even grid of spacing
+// `stride`, so the reversal cost is within a small constant of the offline
+// periodic optimum for that memory (property-tested against offline
+// Revolve in tests/core/online_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace edgetrain::core::online {
+
+/// Incremental checkpoint-placement policy. Feed states as the sweep
+/// advances; interrogate or finalise at any time.
+class OnlineCheckpointer {
+ public:
+  /// @p free_slots: checkpoint slots in addition to the input (state 0),
+  /// which is always retained.
+  explicit OnlineCheckpointer(int free_slots);
+
+  /// Notifies the policy that the sweep produced `state` (call with
+  /// 1, 2, 3, ... in order). Returns true when the state was stored.
+  bool advance(std::int32_t state);
+
+  /// States currently checkpointed, ascending; always begins with 0.
+  [[nodiscard]] std::vector<std::int32_t> stored_states() const;
+
+  /// Number of evictions performed so far (stride doublings * slots/2).
+  [[nodiscard]] std::int64_t evictions() const noexcept { return evictions_; }
+
+  [[nodiscard]] std::int32_t current_stride() const noexcept {
+    return stride_;
+  }
+
+  /// Forward re-advance cost of reversing the chain now (last observed
+  /// state = l), re-running each gap from its checkpoint (periodic-style).
+  [[nodiscard]] std::int64_t reversal_cost() const;
+
+  /// Full executor-dialect schedule for the chain as observed so far:
+  /// the sweep with exactly the stores/evictions this policy performed,
+  /// then the reversal. Validates and replays within free_slots + 1 units.
+  [[nodiscard]] Schedule make_schedule() const;
+
+ private:
+  int free_slots_;
+  std::int32_t stride_ = 1;
+  std::int32_t last_state_ = 0;
+  std::int64_t evictions_ = 0;
+  std::vector<std::int32_t> stored_;  // ascending, excludes state 0
+};
+
+/// Convenience: run the policy over a whole chain of length l.
+[[nodiscard]] OnlineCheckpointer simulate_stream(int num_steps,
+                                                 int free_slots);
+
+}  // namespace edgetrain::core::online

@@ -1,0 +1,89 @@
+#include "core/periodic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace edgetrain::core::periodic {
+
+namespace {
+
+/// Segment boundaries 0 = b_0 < b_1 < ... < b_{s+1} = l, as even as
+/// possible (first segments one longer when l % (s+1) != 0).
+std::vector<std::int32_t> boundaries(int num_steps, int free_slots) {
+  const int segments = std::min(free_slots, num_steps - 1) + 1;
+  std::vector<std::int32_t> b(static_cast<std::size_t>(segments) + 1, 0);
+  const int base = num_steps / segments;
+  const int extra = num_steps % segments;
+  for (int i = 0; i < segments; ++i) {
+    b[static_cast<std::size_t>(i) + 1] =
+        b[static_cast<std::size_t>(i)] + base + (i < extra ? 1 : 0);
+  }
+  return b;
+}
+
+}  // namespace
+
+std::int64_t forward_cost(int num_steps, int free_slots) {
+  if (num_steps < 1) throw std::invalid_argument("periodic: num_steps < 1");
+  if (free_slots < 0) throw std::invalid_argument("periodic: free_slots < 0");
+  const auto b = boundaries(num_steps, free_slots);
+  std::int64_t cost = num_steps;  // the sweep
+  for (std::size_t seg = 0; seg + 1 < b.size(); ++seg) {
+    const std::int64_t m = b[seg + 1] - b[seg];
+    cost += m * (m - 1) / 2;  // re-advances within the segment
+  }
+  // Accounting matches core/revolve.hpp's analytic model (backward(i)
+  // needs state_i current; its re-materialisation is inside the backward
+  // unit). The emitted executor schedule folds the last backward into the
+  // sweep, so its advance count is slightly below this analytic figure
+  // (asserted in tests/core/periodic_test.cpp).
+  return cost;
+}
+
+double recompute_factor(int num_steps, int free_slots) {
+  return static_cast<double>(forward_cost(num_steps, free_slots) + num_steps) /
+         (2.0 * static_cast<double>(num_steps));
+}
+
+Schedule make_schedule(int num_steps, int free_slots) {
+  if (num_steps < 1) throw std::invalid_argument("periodic: num_steps < 1");
+  free_slots = std::clamp(free_slots, 0, std::max(num_steps - 1, 0));
+  const auto b = boundaries(num_steps, free_slots);
+  const int segments = static_cast<int>(b.size()) - 1;
+  Schedule sched(num_steps, segments);
+
+  // Sweep: advance everything, storing each segment input; the last step
+  // runs in saving mode so the first backward comes off the sweep.
+  sched.store(0, 0);
+  for (std::int32_t i = 0; i < num_steps - 1; ++i) {
+    // Store segment boundaries as they are reached.
+    sched.forward(i);
+    for (int seg = 1; seg < segments; ++seg) {
+      if (b[static_cast<std::size_t>(seg)] == i + 1) {
+        sched.store(i + 1, static_cast<std::int32_t>(seg));
+      }
+    }
+  }
+  sched.forward_save(num_steps - 1);
+  sched.backward(num_steps - 1);
+
+  // Reversal: for each remaining step, re-advance from its segment input.
+  for (std::int32_t i = num_steps - 2; i >= 0; --i) {
+    // Find the segment input at or below i.
+    int seg = segments - 1;
+    while (b[static_cast<std::size_t>(seg)] > i) --seg;
+    const std::int32_t base = b[static_cast<std::size_t>(seg)];
+    sched.restore(base, static_cast<std::int32_t>(seg));
+    for (std::int32_t k = base; k < i; ++k) sched.forward(k);
+    sched.forward_save(i);
+    sched.backward(i);
+    if (i == base && seg > 0) {
+      sched.free(static_cast<std::int32_t>(seg));  // segment fully reversed
+    }
+  }
+  sched.free(0);
+  return sched;
+}
+
+}  // namespace edgetrain::core::periodic

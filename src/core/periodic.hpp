@@ -1,0 +1,31 @@
+// edgetrain: periodic ("uniform-stride") checkpointing baseline.
+//
+// The third classical strategy alongside Revolve and PyTorch's
+// checkpoint_sequential: store every p-th boundary state during the sweep
+// and re-advance *within* each segment for every backward. Compared to
+// checkpoint_sequential it never keeps a whole segment's internals live,
+// so its memory is only (s+1) activation units -- at the price of a
+// quadratic-in-segment-length recompute cost:
+//   F(l, s) = l + sum over segments of m_i (m_i - 1) / 2.
+// Revolve dominates it at every slot count (property-tested); the three-way
+// comparison is printed by bench_seq_vs_binomial.
+#pragma once
+
+#include <cstdint>
+
+#include "core/schedule.hpp"
+
+namespace edgetrain::core::periodic {
+
+/// Total forward executions of periodic checkpointing with s free slots
+/// (input always stored): segments are as even as possible.
+[[nodiscard]] std::int64_t forward_cost(int num_steps, int free_slots);
+
+/// Recompute factor (F + l) / (2 l).
+[[nodiscard]] double recompute_factor(int num_steps, int free_slots);
+
+/// Executor-dialect schedule; slot 0 holds the input, slots 1..s the
+/// periodic checkpoints. Replays to peak_memory_units == min(s, l-1) + 1.
+[[nodiscard]] Schedule make_schedule(int num_steps, int free_slots);
+
+}  // namespace edgetrain::core::periodic

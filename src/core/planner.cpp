@@ -1,0 +1,97 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace edgetrain::core {
+
+MemoryPlanner::MemoryPlanner(ChainSpec spec) : spec_(std::move(spec)) {
+  if (spec_.depth < 1) throw std::invalid_argument("MemoryPlanner: depth < 1");
+  if (spec_.activation_bytes_per_step <= 0.0) {
+    throw std::invalid_argument("MemoryPlanner: activation size must be > 0");
+  }
+  table_ = std::make_unique<revolve::RevolveTable>(
+      spec_.depth, std::max(spec_.depth - 1, 0));
+}
+
+double MemoryPlanner::no_checkpoint_bytes() const noexcept {
+  return spec_.fixed_bytes +
+         static_cast<double>(spec_.depth) * spec_.activation_bytes_per_step;
+}
+
+double MemoryPlanner::min_possible_bytes() const noexcept {
+  return spec_.fixed_bytes + spec_.activation_bytes_per_step;
+}
+
+PlanPoint MemoryPlanner::point_for_slots(int free_slots) const {
+  PlanPoint point;
+  point.free_slots = free_slots;
+  point.total_slots = free_slots + 1;
+  point.forward_cost = table_->forward_cost(spec_.depth, free_slots);
+  point.achieved_rho =
+      static_cast<double>(point.forward_cost + spec_.depth) /
+      (2.0 * static_cast<double>(spec_.depth));
+  point.peak_bytes = spec_.fixed_bytes +
+                     static_cast<double>(point.total_slots) *
+                         spec_.activation_bytes_per_step;
+  return point;
+}
+
+PlanPoint MemoryPlanner::plan_for_rho(double rho_budget) const {
+  const int s =
+      revolve::min_free_slots_for_rho(*table_, spec_.depth, rho_budget);
+  PlanPoint point = point_for_slots(s);
+  point.rho_budget = rho_budget;
+  return point;
+}
+
+std::vector<PlanPoint> MemoryPlanner::sweep_rho(double rho_min, double rho_max,
+                                                int points) const {
+  if (points < 2) throw std::invalid_argument("sweep_rho: points < 2");
+  std::vector<PlanPoint> curve;
+  curve.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double rho = rho_min + (rho_max - rho_min) * i / (points - 1);
+    curve.push_back(plan_for_rho(rho));
+  }
+  return curve;
+}
+
+PlanReport MemoryPlanner::report_for_device(double capacity_bytes) const {
+  PlanReport report;
+  report.chain = spec_;
+  report.capacity_bytes = capacity_bytes;
+  report.no_checkpoint_bytes = no_checkpoint_bytes();
+  report.min_possible_bytes = min_possible_bytes();
+  report.fits_without_checkpointing =
+      report.no_checkpoint_bytes <= capacity_bytes;
+  report.fits_with_checkpointing = report.min_possible_bytes <= capacity_bytes;
+
+  if (!report.fits_with_checkpointing) {
+    report.min_rho_to_fit = std::numeric_limits<double>::infinity();
+    return report;
+  }
+  // Largest slot count that fits determines the smallest achievable rho.
+  const double budget_slots =
+      (capacity_bytes - spec_.fixed_bytes) / spec_.activation_bytes_per_step;
+  const int total_slots = std::clamp(
+      static_cast<int>(budget_slots), 1, spec_.depth);
+  report.recommended = point_for_slots(total_slots - 1);
+  report.recommended.rho_budget = report.recommended.achieved_rho;
+  report.min_rho_to_fit = report.recommended.achieved_rho;
+  return report;
+}
+
+int MemoryPlanner::max_depth_without_checkpointing(
+    double capacity_bytes, double fixed_bytes,
+    double activation_bytes_per_step) {
+  if (activation_bytes_per_step <= 0.0) {
+    throw std::invalid_argument("max_depth: activation size must be > 0");
+  }
+  const double room = capacity_bytes - fixed_bytes;
+  if (room <= 0.0) return 0;
+  return static_cast<int>(room / activation_bytes_per_step);
+}
+
+}  // namespace edgetrain::core

@@ -1,0 +1,98 @@
+// edgetrain: the Section VI memory planner.
+//
+// Combines the Revolve cost tables with the paper's linearised memory model
+//   peak(s) = fixed_bytes + (s + 1) * activation_bytes_per_step
+// (s free checkpoint slots plus the live frontier activation; the chain
+// input is excluded, as in the paper's tables) and the recompute factor
+//   rho(s) = (F(l, s) + l) / (2 l).
+// The planner answers the two questions Figure 1 plots: "given a recompute
+// budget rho, how much memory do I need?" and "given a device, what is the
+// smallest rho that fits?". It also computes the paper's n_max = the
+// deepest chain trainable without checkpointing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/revolve.hpp"
+
+namespace edgetrain::core {
+
+/// A homogenised chain (the paper's LinearResNet_x at a given batch size
+/// and image size).
+struct ChainSpec {
+  std::string name;                      ///< e.g. "LinearResNet152"
+  int depth = 1;                         ///< l
+  double fixed_bytes = 0.0;              ///< weights + grads + optimizer state
+  double activation_bytes_per_step = 0;  ///< k * M_A (batch folded in)
+};
+
+/// One point of the memory/recompute trade-off curve.
+struct PlanPoint {
+  double rho_budget = 1.0;       ///< requested bound
+  double achieved_rho = 1.0;     ///< rho of the chosen schedule (<= budget)
+  int free_slots = 0;            ///< s
+  int total_slots = 1;           ///< s + 1 (the analytic memory unit count)
+  std::int64_t forward_cost = 0; ///< F(l, s)
+  double peak_bytes = 0.0;       ///< fixed + total_slots * act_bytes
+
+  [[nodiscard]] bool fits(double capacity_bytes) const {
+    return peak_bytes <= capacity_bytes;
+  }
+};
+
+/// Device-feasibility summary for one chain.
+struct PlanReport {
+  ChainSpec chain;
+  double capacity_bytes = 0.0;
+  double no_checkpoint_bytes = 0.0;   ///< rho = 1 footprint
+  double min_possible_bytes = 0.0;    ///< s = 0 footprint
+  bool fits_without_checkpointing = false;
+  bool fits_with_checkpointing = false;
+  /// Smallest recompute factor whose footprint fits the device; +inf when
+  /// even s = 0 does not fit. This is the x-coordinate where the chain's
+  /// Figure 1 curve crosses the device's capacity line.
+  double min_rho_to_fit = 0.0;
+  PlanPoint recommended;  ///< the plan at min_rho_to_fit (when feasible)
+};
+
+/// Planner for one chain; builds the Revolve table once (O(l^2 * l)).
+class MemoryPlanner {
+ public:
+  explicit MemoryPlanner(ChainSpec spec);
+
+  [[nodiscard]] const ChainSpec& chain() const noexcept { return spec_; }
+
+  /// Footprint with all activations stored (rho = 1).
+  [[nodiscard]] double no_checkpoint_bytes() const noexcept;
+
+  /// Footprint of the most frugal schedule (s = 0: input + frontier only).
+  [[nodiscard]] double min_possible_bytes() const noexcept;
+
+  /// Minimal-memory plan whose recompute factor is <= rho_budget.
+  [[nodiscard]] PlanPoint plan_for_rho(double rho_budget) const;
+
+  /// Curve for Figure 1: plan_for_rho over a uniform rho grid.
+  [[nodiscard]] std::vector<PlanPoint> sweep_rho(double rho_min,
+                                                 double rho_max,
+                                                 int points) const;
+
+  /// Feasibility report against a device memory capacity.
+  [[nodiscard]] PlanReport report_for_device(double capacity_bytes) const;
+
+  /// The paper's n_max = (M_C - M_W) / (k * M_A): the deepest chain whose
+  /// full activation set fits in capacity without checkpointing.
+  [[nodiscard]] static int max_depth_without_checkpointing(
+      double capacity_bytes, double fixed_bytes,
+      double activation_bytes_per_step);
+
+ private:
+  [[nodiscard]] PlanPoint point_for_slots(int free_slots) const;
+
+  ChainSpec spec_;
+  std::unique_ptr<revolve::RevolveTable> table_;
+};
+
+}  // namespace edgetrain::core

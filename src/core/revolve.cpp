@@ -1,0 +1,262 @@
+#include "core/revolve.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace edgetrain::core::revolve {
+
+namespace {
+constexpr std::int64_t kSaturate =
+    std::numeric_limits<std::int64_t>::max() / 4;
+}  // namespace
+
+std::int64_t binomial_beta(int s, int t) {
+  if (t < 0) return 0;
+  if (s < 0) return 0;
+  // C(s+t, s) computed with the multiplicative formula, saturating.
+  std::int64_t result = 1;
+  for (int i = 1; i <= s; ++i) {
+    // result *= (t + i); result /= i;  -- keep exact by multiplying first.
+    if (result > kSaturate / (t + i)) return kSaturate;
+    result = result * (t + i) / i;
+  }
+  return result;
+}
+
+RevolveTable::RevolveTable(int max_steps, int max_free_slots)
+    : max_steps_(max_steps), max_free_slots_(max_free_slots) {
+  if (max_steps < 1) throw std::invalid_argument("RevolveTable: max_steps < 1");
+  if (max_free_slots < 0) {
+    throw std::invalid_argument("RevolveTable: max_free_slots < 0");
+  }
+  const std::size_t size = static_cast<std::size_t>(max_steps + 1) *
+                           static_cast<std::size_t>(max_free_slots + 1);
+  fwd_.assign(size, 0);
+  rev_.assign(size, 0);
+  fwd_split_.assign(size, 0);
+  rev_split_.assign(size, 0);
+
+  for (int s = 0; s <= max_free_slots; ++s) {
+    fwd_[idx(1, s)] = 1;
+    rev_[idx(1, s)] = 0;
+  }
+  for (int l = 2; l <= max_steps; ++l) {
+    const std::int64_t ll = l;
+    fwd_[idx(l, 0)] = ll * (ll + 1) / 2;
+    rev_[idx(l, 0)] = ll * (ll - 1) / 2;
+  }
+  for (int s = 1; s <= max_free_slots; ++s) {
+    for (int l = 2; l <= max_steps; ++l) {
+      std::int64_t best_f = std::numeric_limits<std::int64_t>::max();
+      std::int64_t best_r = best_f;
+      int split_f = 1;
+      int split_r = 1;
+      for (int j = 1; j < l; ++j) {
+        const std::int64_t f =
+            j + fwd_[idx(l - j, s - 1)] + rev_[idx(j, s)];
+        if (f < best_f) {
+          best_f = f;
+          split_f = j;
+        }
+        const std::int64_t r =
+            j + rev_[idx(l - j, s - 1)] + rev_[idx(j, s)];
+        if (r < best_r) {
+          best_r = r;
+          split_r = j;
+        }
+      }
+      fwd_[idx(l, s)] = best_f;
+      rev_[idx(l, s)] = best_r;
+      fwd_split_[idx(l, s)] = split_f;
+      rev_split_[idx(l, s)] = split_r;
+    }
+  }
+}
+
+std::int64_t RevolveTable::forward_cost(int l, int s) const {
+  assert(l >= 1 && l <= max_steps_);
+  s = std::clamp(s, 0, std::min(max_free_slots_, l - 1));
+  return fwd_[idx(l, s)];
+}
+
+std::int64_t RevolveTable::reversal_cost(int l, int s) const {
+  assert(l >= 1 && l <= max_steps_);
+  s = std::clamp(s, 0, std::min(max_free_slots_, l - 1));
+  return rev_[idx(l, s)];
+}
+
+int RevolveTable::best_split_sweep(int l, int s) const {
+  if (l <= 1 || s <= 0) return 0;
+  s = std::min(s, std::min(max_free_slots_, l - 1));
+  return fwd_split_[idx(l, s)];
+}
+
+int RevolveTable::best_split_reverse(int l, int s) const {
+  if (l <= 1 || s <= 0) return 0;
+  s = std::min(s, std::min(max_free_slots_, l - 1));
+  return rev_split_[idx(l, s)];
+}
+
+std::int64_t forward_cost(int num_steps, int free_slots) {
+  const RevolveTable table(num_steps,
+                           std::min(free_slots, std::max(num_steps - 1, 0)));
+  return table.forward_cost(num_steps, free_slots);
+}
+
+std::int64_t reversal_cost(int num_steps, int free_slots) {
+  const RevolveTable table(num_steps,
+                           std::min(free_slots, std::max(num_steps - 1, 0)));
+  return table.reversal_cost(num_steps, free_slots);
+}
+
+std::int64_t closed_form_forward_cost(int num_steps, int free_slots) {
+  if (num_steps < 1) throw std::invalid_argument("closed_form: l < 1");
+  const int s = std::min(free_slots, num_steps - 1);
+  if (s == 0) {
+    return static_cast<std::int64_t>(num_steps) * (num_steps + 1) / 2;
+  }
+  int t = 0;
+  while (binomial_beta(s, t) < num_steps) ++t;
+  return static_cast<std::int64_t>(t) * num_steps -
+         binomial_beta(s + 1, t - 1) + 1;
+}
+
+double recompute_factor(int num_steps, int free_slots) {
+  const std::int64_t f = forward_cost(num_steps, free_slots);
+  return static_cast<double>(f + num_steps) /
+         (2.0 * static_cast<double>(num_steps));
+}
+
+int min_free_slots_for_rho(const RevolveTable& table, int num_steps,
+                           double rho_budget) {
+  const int s_max = std::max(num_steps - 1, 0);
+  if (rho_budget <= 1.0) return s_max;
+  // Work budget in forward units: F <= (2 rho - 1) l.
+  const auto budget = static_cast<std::int64_t>(
+      (2.0 * rho_budget - 1.0) * static_cast<double>(num_steps) + 1e-9);
+  for (int s = 0; s <= s_max; ++s) {
+    if (table.forward_cost(num_steps, s) <= budget) return s;
+  }
+  return s_max;
+}
+
+int min_free_slots_for_rho(int num_steps, double rho_budget) {
+  const RevolveTable table(num_steps, std::max(num_steps - 1, 0));
+  return min_free_slots_for_rho(table, num_steps, rho_budget);
+}
+
+int min_free_slots_for_cost(int num_steps, std::int64_t max_forwards) {
+  if (max_forwards < num_steps) return -1;
+  const RevolveTable table(num_steps, std::max(num_steps - 1, 0));
+  for (int s = 0; s <= num_steps - 1; ++s) {
+    if (table.forward_cost(num_steps, s) <= max_forwards) return s;
+  }
+  return num_steps - 1;
+}
+
+namespace {
+
+/// Recursive emission of the executor-dialect schedule.
+class ScheduleBuilder {
+ public:
+  ScheduleBuilder(const RevolveTable& table, int num_steps, int free_slots)
+      : table_(table), schedule_(num_steps, free_slots + 1) {
+    for (int slot = free_slots; slot >= 1; --slot) free_slots_.push_back(slot);
+  }
+
+  Schedule build() {
+    schedule_.store(0, 0);
+    sweep(0, schedule_.num_steps(), available(), 0);
+    schedule_.free(0);
+    return std::move(schedule_);
+  }
+
+ private:
+  [[nodiscard]] int available() const {
+    return static_cast<int>(free_slots_.size());
+  }
+
+  /// ForwardSave + Backward of a single step; current state must be `step`.
+  void reverse_one(std::int32_t step) {
+    schedule_.forward_save(step);
+    schedule_.backward(step);
+  }
+
+  /// Full training pass over [a, b): loss-computing sweep then reversal.
+  /// Pre: current state == a, state a stored in input_slot, `s` free slots.
+  void sweep(std::int32_t a, std::int32_t b, int s, std::int32_t input_slot) {
+    const std::int32_t len = b - a;
+    if (len == 1) {
+      reverse_one(a);
+      return;
+    }
+    if (s == 0) {
+      // Advance to the last step, reverse it off the sweep, then re-advance
+      // from the input for every remaining step.
+      for (std::int32_t i = a; i < b - 1; ++i) schedule_.forward(i);
+      reverse_one(b - 1);
+      for (std::int32_t i = b - 2; i >= a; --i) {
+        schedule_.restore(a, input_slot);
+        for (std::int32_t k = a; k < i; ++k) schedule_.forward(k);
+        reverse_one(i);
+      }
+      return;
+    }
+    const int j = table_.best_split_sweep(len, s);
+    for (std::int32_t i = a; i < a + j; ++i) schedule_.forward(i);
+    const std::int32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    schedule_.store(a + j, slot);
+    sweep(a + j, b, s - 1, slot);
+    schedule_.free(slot);
+    free_slots_.push_back(slot);
+    schedule_.restore(a, input_slot);
+    reverse(a, a + j, s, input_slot);
+  }
+
+  /// Reversal of [a, b) when the gradient at b is already available.
+  /// Pre: current state == a, state a stored in input_slot, `s` free slots.
+  void reverse(std::int32_t a, std::int32_t b, int s, std::int32_t input_slot) {
+    const std::int32_t len = b - a;
+    if (len == 1) {
+      reverse_one(a);
+      return;
+    }
+    if (s == 0) {
+      for (std::int32_t i = b - 1; i >= a; --i) {
+        if (i != b - 1) schedule_.restore(a, input_slot);
+        for (std::int32_t k = a; k < i; ++k) schedule_.forward(k);
+        reverse_one(i);
+      }
+      return;
+    }
+    const int j = table_.best_split_reverse(len, s);
+    for (std::int32_t i = a; i < a + j; ++i) schedule_.forward(i);
+    const std::int32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    schedule_.store(a + j, slot);
+    reverse(a + j, b, s - 1, slot);
+    schedule_.free(slot);
+    free_slots_.push_back(slot);
+    schedule_.restore(a, input_slot);
+    reverse(a, a + j, s, input_slot);
+  }
+
+  const RevolveTable& table_;
+  Schedule schedule_;
+  std::vector<std::int32_t> free_slots_;
+};
+
+}  // namespace
+
+Schedule make_schedule(int num_steps, int free_slots) {
+  if (num_steps < 1) throw std::invalid_argument("make_schedule: l < 1");
+  free_slots = std::clamp(free_slots, 0, std::max(num_steps - 1, 0));
+  const RevolveTable table(num_steps, free_slots);
+  ScheduleBuilder builder(table, num_steps, free_slots);
+  return builder.build();
+}
+
+}  // namespace edgetrain::core::revolve

@@ -1,0 +1,117 @@
+#include "core/sequential.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace edgetrain::core::seq {
+
+namespace {
+void check_args(int num_steps, int segments) {
+  if (num_steps < 1) throw std::invalid_argument("seq: num_steps < 1");
+  if (segments < 1 || segments > num_steps) {
+    throw std::invalid_argument("seq: segments must be in [1, num_steps]");
+  }
+}
+
+/// Segment boundaries b_0=0 < b_1 < ... < b_s = l with PyTorch's split:
+/// the first s-1 segments have floor(l/s) steps, the last the remainder.
+std::vector<std::int32_t> boundaries(int num_steps, int segments) {
+  std::vector<std::int32_t> b(static_cast<std::size_t>(segments) + 1, 0);
+  const std::int32_t chunk = num_steps / segments;
+  for (int i = 1; i < segments; ++i) {
+    b[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i) * chunk;
+  }
+  b[static_cast<std::size_t>(segments)] = num_steps;
+  return b;
+}
+}  // namespace
+
+std::int64_t memory_units(int num_steps, int segments) {
+  check_args(num_steps, segments);
+  const std::int64_t l = num_steps;
+  const std::int64_t s = segments;
+  return (s - 1) + (l - (l / s) * (s - 1));
+}
+
+std::int64_t forward_cost(int num_steps, int segments) {
+  check_args(num_steps, segments);
+  const std::int64_t l = num_steps;
+  const std::int64_t s = segments;
+  return l + (s - 1) * (l / s);
+}
+
+double recompute_factor(int num_steps, int segments) {
+  const std::int64_t f = forward_cost(num_steps, segments);
+  return static_cast<double>(f + num_steps) /
+         (2.0 * static_cast<double>(num_steps));
+}
+
+SegmentedPlan best_plan(int num_steps) {
+  SegmentedPlan best;
+  best.memory_units = std::numeric_limits<std::int64_t>::max();
+  for (int s = 1; s <= num_steps; ++s) {
+    const std::int64_t mem = memory_units(num_steps, s);
+    if (mem < best.memory_units) {
+      best.segments = s;
+      best.memory_units = mem;
+      best.forward_cost = forward_cost(num_steps, s);
+      best.rho = recompute_factor(num_steps, s);
+    }
+  }
+  return best;
+}
+
+double memory_lower_bound(int num_steps) {
+  return 2.0 * std::sqrt(static_cast<double>(num_steps));
+}
+
+Schedule make_schedule(int num_steps, int segments) {
+  check_args(num_steps, segments);
+  const auto b = boundaries(num_steps, segments);
+  Schedule sched(num_steps, segments);
+
+  // Forward sweep: store each segment input; the last segment runs in
+  // saving mode (its intermediates stay live for immediate backward).
+  sched.store(0, 0);
+  for (int seg = 0; seg < segments; ++seg) {
+    const bool last = seg == segments - 1;
+    for (std::int32_t i = b[static_cast<std::size_t>(seg)];
+         i < b[static_cast<std::size_t>(seg) + 1]; ++i) {
+      if (last) {
+        sched.forward_save(i);
+      } else {
+        sched.forward(i);
+      }
+    }
+    if (!last) {
+      sched.store(b[static_cast<std::size_t>(seg) + 1],
+                  static_cast<std::int32_t>(seg) + 1);
+    }
+  }
+
+  // Backward: the last segment reverses off its live intermediates; each
+  // earlier segment is re-forwarded in saving mode from its checkpoint.
+  for (std::int32_t i = num_steps - 1; i >= b[static_cast<std::size_t>(segments) - 1];
+       --i) {
+    sched.backward(i);
+  }
+  for (int seg = segments - 2; seg >= 0; --seg) {
+    sched.restore(b[static_cast<std::size_t>(seg)],
+                  static_cast<std::int32_t>(seg));
+    if (seg + 1 < segments) sched.free(static_cast<std::int32_t>(seg) + 1);
+    for (std::int32_t i = b[static_cast<std::size_t>(seg)];
+         i < b[static_cast<std::size_t>(seg) + 1]; ++i) {
+      sched.forward_save(i);
+    }
+    for (std::int32_t i = b[static_cast<std::size_t>(seg) + 1] - 1;
+         i >= b[static_cast<std::size_t>(seg)]; --i) {
+      sched.backward(i);
+    }
+  }
+  sched.free(0);
+  return sched;
+}
+
+}  // namespace edgetrain::core::seq

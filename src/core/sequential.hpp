@@ -1,0 +1,47 @@
+// edgetrain: the PyTorch `checkpoint_sequential` baseline (paper Section V).
+//
+// PyTorch divides the l-step chain into `segments` equal parts (the last
+// absorbs the remainder), stores the inputs of the first segments-1 parts
+// during the forward sweep and keeps the last part fully stored; backward
+// then re-forwards each earlier segment once. The paper gives its memory
+// footprint, in activation units, as
+//     Memory(l, s) = (s - 1) + (l - floor(l/s) * (s - 1))
+// and notes the 2*sqrt(l) lower bound over s, which Revolve's binomial
+// schedules beat decisively for the same work budget (bench_seq_vs_binomial
+// reproduces that comparison).
+#pragma once
+
+#include <cstdint>
+
+#include "core/schedule.hpp"
+
+namespace edgetrain::core::seq {
+
+/// The paper's Section V memory formula, in activation units (M_A).
+[[nodiscard]] std::int64_t memory_units(int num_steps, int segments);
+
+/// Total forward executions: sweep l plus one re-forward of every segment
+/// but the last: l + (s-1) * floor(l/s).
+[[nodiscard]] std::int64_t forward_cost(int num_steps, int segments);
+
+/// Recompute factor (forwards + backwards) / (2 l); bounded by 1.5.
+[[nodiscard]] double recompute_factor(int num_steps, int segments);
+
+/// The s minimising memory_units and its footprint / work.
+struct SegmentedPlan {
+  int segments = 1;
+  std::int64_t memory_units = 0;
+  std::int64_t forward_cost = 0;
+  double rho = 1.0;
+};
+[[nodiscard]] SegmentedPlan best_plan(int num_steps);
+
+/// Asymptotic lower bound on memory_units over all s: 2*sqrt(l) (paper).
+[[nodiscard]] double memory_lower_bound(int num_steps);
+
+/// Executor-dialect schedule for checkpoint_sequential(l, segments).
+/// Slot i holds the input of segment i (slot 0 = chain input). Validates
+/// and replays to peak_memory_units == memory_units(l, segments).
+[[nodiscard]] Schedule make_schedule(int num_steps, int segments);
+
+}  // namespace edgetrain::core::seq

@@ -1,0 +1,130 @@
+// edgetrain: checkpoint slot storage backends.
+//
+// The executor keeps checkpointed activations in a SlotStore. Three
+// backends make the paper's memory story physical:
+//   * RamSlotStore      -- shares tensor handles (zero copy; the default);
+//   * DiskSlotStore     -- spills designated slots to files (the SD card of
+//                          a Waggle node; pairs with core/disk_revolve.hpp);
+//   * QuantizedSlotStore-- stores slots at reduced precision (fp16 or
+//                          affine int8), halving/quartering checkpoint
+//                          memory at a small, measurable gradient error
+//                          (bench_slot_stores quantifies it).
+// Backends report resident (RAM) and external (disk) bytes so experiments
+// can account for both tiers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace edgetrain::core {
+
+class SlotStore {
+ public:
+  virtual ~SlotStore() = default;
+
+  /// Stores @p value into @p slot (overwrites).
+  virtual void put(std::int32_t slot, const Tensor& value) = 0;
+
+  /// Retrieves the tensor stored in @p slot.
+  /// Throws std::logic_error when the slot is empty.
+  [[nodiscard]] virtual Tensor get(std::int32_t slot) = 0;
+
+  /// Frees @p slot (no-op when already empty).
+  virtual void drop(std::int32_t slot) = 0;
+
+  /// Bytes currently held in RAM by this store.
+  [[nodiscard]] virtual std::size_t resident_bytes() const = 0;
+
+  /// Bytes currently held outside RAM (disk); 0 for RAM-only stores.
+  [[nodiscard]] virtual std::size_t external_bytes() const = 0;
+};
+
+/// Shares tensor handles; put/get are O(1) and copy-free.
+class RamSlotStore final : public SlotStore {
+ public:
+  explicit RamSlotStore(int num_slots);
+  void put(std::int32_t slot, const Tensor& value) override;
+  [[nodiscard]] Tensor get(std::int32_t slot) override;
+  void drop(std::int32_t slot) override;
+  [[nodiscard]] std::size_t resident_bytes() const override;
+  [[nodiscard]] std::size_t external_bytes() const override { return 0; }
+
+ private:
+  std::vector<Tensor> slots_;
+};
+
+/// Slots below `first_disk_slot` stay in RAM; the rest round-trip through
+/// files in `directory` (created by the caller). File IO errors throw.
+class DiskSlotStore final : public SlotStore {
+ public:
+  DiskSlotStore(int num_slots, int first_disk_slot, std::string directory);
+  ~DiskSlotStore() override;
+  void put(std::int32_t slot, const Tensor& value) override;
+  [[nodiscard]] Tensor get(std::int32_t slot) override;
+  void drop(std::int32_t slot) override;
+  [[nodiscard]] std::size_t resident_bytes() const override;
+  [[nodiscard]] std::size_t external_bytes() const override;
+
+  [[nodiscard]] std::int64_t disk_writes() const noexcept { return writes_; }
+  [[nodiscard]] std::int64_t disk_reads() const noexcept { return reads_; }
+
+ private:
+  [[nodiscard]] std::string path_for(std::int32_t slot) const;
+  [[nodiscard]] bool is_disk_slot(std::int32_t slot) const {
+    return slot >= first_disk_slot_;
+  }
+
+  int first_disk_slot_;
+  std::string directory_;
+  std::vector<Tensor> ram_;             // RAM tier
+  std::vector<Shape> disk_shapes_;      // shape per spilled slot
+  std::vector<bool> on_disk_;
+  std::size_t disk_bytes_ = 0;
+  std::int64_t writes_ = 0;
+  std::int64_t reads_ = 0;
+};
+
+/// Stores checkpoints at reduced precision. The decoded tensor differs
+/// from the original by quantisation error; recomputed forwards then run
+/// from the approximate state (lossy checkpointing).
+class QuantizedSlotStore final : public SlotStore {
+ public:
+  enum class Precision : std::uint8_t {
+    Half,  ///< IEEE binary16 round-to-nearest (2 bytes/element)
+    Int8,  ///< per-tensor affine quantisation   (1 byte/element)
+  };
+
+  QuantizedSlotStore(int num_slots, Precision precision);
+  ~QuantizedSlotStore() override;
+  void put(std::int32_t slot, const Tensor& value) override;
+  [[nodiscard]] Tensor get(std::int32_t slot) override;
+  void drop(std::int32_t slot) override;
+  [[nodiscard]] std::size_t resident_bytes() const override;
+  [[nodiscard]] std::size_t external_bytes() const override { return 0; }
+
+ private:
+  struct Encoded {
+    Shape shape;
+    std::vector<std::uint16_t> half;  // Precision::Half payload
+    std::vector<std::uint8_t> bytes;  // Precision::Int8 payload
+    float scale = 1.0F;               // Int8 affine parameters
+    float zero = 0.0F;
+    bool occupied = false;
+    std::size_t tracked = 0;          // bytes registered with the tracker
+  };
+
+  void release(Encoded& slot);
+
+  Precision precision_;
+  std::vector<Encoded> slots_;
+};
+
+/// IEEE 754 binary16 conversions (round-to-nearest-even), exposed for tests.
+[[nodiscard]] std::uint16_t float_to_half(float value);
+[[nodiscard]] float half_to_float(std::uint16_t value);
+
+}  // namespace edgetrain::core

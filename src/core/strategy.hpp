@@ -1,0 +1,60 @@
+// edgetrain: one-call training-strategy recommendation.
+//
+// "Can I train this model on this device, and how?" -- the question the
+// paper answers for the Waggle node, generalised. The recommender composes
+// the machinery of this library:
+//   * the memory planner (Section VI): smallest rho whose Revolve footprint
+//     fits the device;
+//   * the slot backends: when full-precision checkpoints do not fit, fp16
+//     halves them; when a storage path exists, disk spill removes almost
+//     all checkpoint RAM at an IO cost;
+//   * the batch trade-off: the throughput-optimal batch size within the
+//     surviving budget.
+// The result is a typed decision plus a human-readable rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/planner.hpp"
+
+namespace edgetrain::core {
+
+struct StrategyRequest {
+  ChainSpec chain;              ///< homogenised model at batch 1 (M_A for k=1)
+  double device_memory_bytes = 0.0;
+  /// Acceptable recompute factor (work budget); the paper's Figure 1 reads
+  /// 1.5-2.0 as "dramatically changes the situation".
+  double rho_budget = 2.0;
+  bool has_local_storage = false;   ///< SD card available for spilling
+  std::int64_t max_batch = 32;
+  /// Vectorisation efficiency parameters (see BatchTradeoffConfig).
+  double efficiency_exponent = 1.0;
+  double efficiency_half_batch = 4.0;
+};
+
+enum class Feasibility : std::uint8_t {
+  FitsWithoutCheckpointing,  ///< full storage fits: rho = 1
+  FitsWithCheckpointing,     ///< Revolve within the rho budget
+  FitsWithCompressedSlots,   ///< needs fp16 checkpoint compression
+  FitsWithDiskSpill,         ///< needs the SD card
+  Infeasible,                ///< fixed state (weights+optimizer) too large
+};
+
+struct StrategyRecommendation {
+  Feasibility feasibility = Feasibility::Infeasible;
+  int free_slots = 0;            ///< Revolve checkpoint budget (batch 1)
+  double rho = 1.0;              ///< achieved recompute factor
+  double peak_bytes = 0.0;       ///< modelled footprint at batch 1
+  std::int64_t recommended_batch = 1;
+  double batch_rho = 1.0;        ///< rho at the recommended batch
+  std::string rationale;         ///< human-readable summary
+};
+
+/// Produces the cheapest workable configuration for the request.
+[[nodiscard]] StrategyRecommendation recommend_strategy(
+    const StrategyRequest& request);
+
+[[nodiscard]] std::string to_string(Feasibility feasibility);
+
+}  // namespace edgetrain::core

@@ -1,0 +1,40 @@
+#include "edge/power.hpp"
+
+namespace edgetrain::edge {
+
+double EnergyModel::transmit_seconds(double dataset_bytes) const {
+  return device_.uplink_seconds(dataset_bytes);
+}
+
+double EnergyModel::transmit_joules(double dataset_bytes) const {
+  // Radio power scales with the link rate; energy = coeff * Mbps * seconds
+  // = coeff * megabits transferred.
+  const double megabits = dataset_bytes * 8.0 / 1e6;
+  return device_.radio_watts_per_mbps * megabits;
+}
+
+double EnergyModel::compute_seconds(double training_flops) const {
+  return training_flops / (device_.peak_gflops * 1e9);
+}
+
+double EnergyModel::compute_joules(double training_flops) const {
+  return compute_seconds(training_flops) * device_.compute_watts;
+}
+
+EnergyReport EnergyModel::compare(double dataset_bytes,
+                                  double training_flops) const {
+  EnergyReport report;
+  report.transmit_joules = transmit_joules(dataset_bytes);
+  report.transmit_seconds = transmit_seconds(dataset_bytes);
+  report.compute_joules = compute_joules(training_flops);
+  report.compute_seconds = compute_seconds(training_flops);
+  return report;
+}
+
+double EnergyModel::break_even_bytes(double training_flops) const {
+  const double joules = compute_joules(training_flops);
+  // joules = coeff * (bytes * 8 / 1e6)  =>  bytes = joules * 1e6 / (8*coeff)
+  return joules * 1e6 / (8.0 * device_.radio_watts_per_mbps);
+}
+
+}  // namespace edgetrain::edge

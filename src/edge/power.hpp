@@ -1,0 +1,49 @@
+// edgetrain: energy accounting for the edge-vs-cloud decision (Section I).
+//
+// The paper motivates edge training with reduced communication: shipping
+// raw data to the cloud costs radio energy and backhaul bandwidth, while
+// training in situ costs compute energy. EnergyModel quantifies both sides
+// and finds the break-even dataset size.
+#pragma once
+
+#include <cstdint>
+
+#include "edge/device.hpp"
+
+namespace edgetrain::edge {
+
+struct EnergyReport {
+  double transmit_joules = 0.0;   ///< ship raw data to the cloud
+  double compute_joules = 0.0;    ///< train locally instead
+  double transmit_seconds = 0.0;
+  double compute_seconds = 0.0;
+  [[nodiscard]] bool edge_cheaper() const {
+    return compute_joules < transmit_joules;
+  }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EdgeDevice device) : device_(std::move(device)) {}
+
+  /// Energy/time to transmit @p dataset_bytes upstream.
+  [[nodiscard]] double transmit_joules(double dataset_bytes) const;
+  [[nodiscard]] double transmit_seconds(double dataset_bytes) const;
+
+  /// Energy/time to run @p training_flops locally.
+  [[nodiscard]] double compute_joules(double training_flops) const;
+  [[nodiscard]] double compute_seconds(double training_flops) const;
+
+  /// Full comparison: ship the dataset vs train on it locally.
+  [[nodiscard]] EnergyReport compare(double dataset_bytes,
+                                     double training_flops) const;
+
+  /// Dataset size (bytes) at which shipping costs as much energy as
+  /// @p training_flops of local compute.
+  [[nodiscard]] double break_even_bytes(double training_flops) const;
+
+ private:
+  EdgeDevice device_;
+};
+
+}  // namespace edgetrain::edge

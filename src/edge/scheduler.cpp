@@ -1,0 +1,123 @@
+#include "edge/scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace edgetrain::edge {
+
+IdleScheduler::IdleScheduler(double step_seconds)
+    : step_seconds_(step_seconds) {
+  if (step_seconds <= 0.0) {
+    throw std::invalid_argument("IdleScheduler: step_seconds must be > 0");
+  }
+}
+
+void IdleScheduler::add_task(ForegroundTask task) {
+  tasks_.push_back(std::move(task));
+}
+
+ScheduleReport IdleScheduler::run(double horizon_seconds) const {
+  std::vector<ForegroundTask> tasks = tasks_;
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const ForegroundTask& a, const ForegroundTask& b) {
+                     return a.arrival_seconds < b.arrival_seconds;
+                   });
+
+  // Ready queue: highest priority first, FIFO within a priority.
+  struct Ready {
+    int priority;
+    std::size_t seq;
+    std::size_t task_index;
+  };
+  auto cmp = [](const Ready& a, const Ready& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq > b.seq;
+  };
+  std::priority_queue<Ready, std::vector<Ready>, decltype(cmp)> ready(cmp);
+
+  ScheduleReport report;
+  report.horizon_seconds = horizon_seconds;
+
+  std::size_t next_arrival = 0;
+  std::size_t seq = 0;
+  double now = 0.0;
+
+  auto admit_arrivals = [&](double up_to) {
+    while (next_arrival < tasks.size() &&
+           tasks[next_arrival].arrival_seconds <= up_to) {
+      ready.push({tasks[next_arrival].priority, seq++, next_arrival});
+      ++next_arrival;
+    }
+  };
+
+  auto push_slice = [&](double begin, double end, const std::string& name) {
+    if (end <= begin) return;
+    if (!report.timeline.empty() && report.timeline.back().task == name &&
+        report.timeline.back().end_seconds == begin) {
+      report.timeline.back().end_seconds = end;
+    } else {
+      report.timeline.push_back({begin, end, name});
+    }
+  };
+
+  while (now < horizon_seconds) {
+    admit_arrivals(now);
+    if (!ready.empty()) {
+      const Ready r = ready.top();
+      ready.pop();
+      const ForegroundTask& task = tasks[r.task_index];
+      const double end = std::min(now + task.duration_seconds, horizon_seconds);
+      push_slice(now, end, task.name);
+      report.foreground_seconds += end - now;
+      now = end;
+      continue;
+    }
+    // CPU idle: run training until the next arrival (or the horizon).
+    const double next_time = next_arrival < tasks.size()
+                                 ? std::min(tasks[next_arrival].arrival_seconds,
+                                            horizon_seconds)
+                                 : horizon_seconds;
+    if (next_time <= now) {
+      now = next_time;
+      continue;
+    }
+    const double gap = next_time - now;
+    const auto whole_steps = static_cast<std::int64_t>(gap / step_seconds_);
+    const double trained = static_cast<double>(whole_steps) * step_seconds_;
+    report.training_steps += whole_steps;
+    if (trained > 0.0) push_slice(now, now + trained, "training");
+    report.training_seconds += trained;
+    double cursor = now + trained;
+    if (cursor < next_time && next_time < horizon_seconds) {
+      // A step in flight when the foreground task arrives is abandoned.
+      push_slice(cursor, next_time, "training");
+      report.training_seconds += next_time - cursor;
+      ++report.preemptions;
+      cursor = next_time;
+    }
+    now = std::max(cursor, next_time == horizon_seconds ? cursor : next_time);
+    if (next_time == horizon_seconds && cursor < horizon_seconds) {
+      // Tail shorter than a step at the end of the horizon: leave idle.
+      now = horizon_seconds;
+    }
+  }
+
+  report.idle_fraction =
+      horizon_seconds > 0.0 ? report.training_seconds / horizon_seconds : 0.0;
+  return report;
+}
+
+std::vector<ForegroundTask> periodic_tasks(const std::string& name,
+                                           double period_seconds,
+                                           double duration_seconds,
+                                           int priority,
+                                           double horizon_seconds) {
+  std::vector<ForegroundTask> tasks;
+  for (double t = 0.0; t < horizon_seconds; t += period_seconds) {
+    tasks.push_back({name, t, duration_seconds, priority});
+  }
+  return tasks;
+}
+
+}  // namespace edgetrain::edge

@@ -1,0 +1,66 @@
+// edgetrain: idle-priority task scheduling on the edge node.
+//
+// "Since the training of the student model is not time critical, it can be
+//  scheduled to run only when the node's CPU does not have a higher
+//  priority task." (paper Section III). IdleScheduler is a discrete-event
+// simulator of one payload CPU: foreground sensing/inference tasks arrive
+// with priorities and durations and always preempt the single background
+// training task, which soaks up every idle interval. The report quantifies
+// how much training throughput a node's duty cycle leaves available.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgetrain::edge {
+
+/// A foreground job (sensing, inference, node management).
+struct ForegroundTask {
+  std::string name;
+  double arrival_seconds = 0.0;
+  double duration_seconds = 0.0;
+  int priority = 0;  ///< larger = more urgent; ties run FIFO
+};
+
+/// One executed interval on the CPU timeline.
+struct TimelineSlice {
+  double begin_seconds = 0.0;
+  double end_seconds = 0.0;
+  std::string task;  ///< foreground task name or "training"
+};
+
+struct ScheduleReport {
+  double horizon_seconds = 0.0;
+  double foreground_seconds = 0.0;
+  double training_seconds = 0.0;
+  double idle_fraction = 0.0;        ///< training_seconds / horizon
+  std::int64_t training_steps = 0;   ///< completed training steps
+  std::int64_t preemptions = 0;      ///< times training was interrupted
+  std::vector<TimelineSlice> timeline;
+};
+
+/// Single-CPU preemptive priority scheduler with a background trainer.
+class IdleScheduler {
+ public:
+  /// @p step_seconds: duration of one training step (preemption granularity:
+  /// a step in flight when a foreground task arrives is abandoned and
+  /// re-run, modelling checkpoint-free preemption).
+  explicit IdleScheduler(double step_seconds);
+
+  void add_task(ForegroundTask task);
+
+  /// Simulates [0, horizon_seconds).
+  [[nodiscard]] ScheduleReport run(double horizon_seconds) const;
+
+ private:
+  double step_seconds_;
+  std::vector<ForegroundTask> tasks_;
+};
+
+/// Convenience: periodic task generator (period, jitterless).
+[[nodiscard]] std::vector<ForegroundTask> periodic_tasks(
+    const std::string& name, double period_seconds, double duration_seconds,
+    int priority, double horizon_seconds);
+
+}  // namespace edgetrain::edge

@@ -1,0 +1,35 @@
+#include "edge/storage.hpp"
+
+#include <vector>
+
+namespace edgetrain::edge {
+
+ImageStore::ImageStore(std::uint64_t capacity_bytes, bool evict_oldest)
+    : capacity_bytes_(capacity_bytes), evict_oldest_(evict_oldest) {}
+
+std::optional<std::uint64_t> ImageStore::add(std::int32_t label,
+                                             std::uint32_t bytes) {
+  if (bytes > capacity_bytes_) return std::nullopt;
+  while (used_ + bytes > capacity_bytes_) {
+    if (!evict_oldest_ || images_.empty()) return std::nullopt;
+    used_ -= images_.front().bytes;
+    images_.pop_front();
+    ++evicted_;
+  }
+  const std::uint64_t id = next_id_++;
+  images_.push_back({id, label, bytes});
+  used_ += bytes;
+  return id;
+}
+
+std::vector<std::size_t> ImageStore::label_histogram(int num_labels) const {
+  std::vector<std::size_t> histogram(static_cast<std::size_t>(num_labels), 0);
+  for (const StoredImage& image : images_) {
+    if (image.label >= 0 && image.label < num_labels) {
+      ++histogram[static_cast<std::size_t>(image.label)];
+    }
+  }
+  return histogram;
+}
+
+}  // namespace edgetrain::edge

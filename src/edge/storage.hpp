@@ -1,0 +1,63 @@
+// edgetrain: on-node dataset storage model (paper Section III).
+//
+// "At the standard resolution of 224x224, the size can be expected to be
+//  less than 10kb per image. Storing even about 100,000 of these images
+//  would require about 1GB of local storage, which is easily provided on
+//  an SD card." ImageStore models that budget: a bounded FIFO of labelled
+//  images with byte accounting and optional eviction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace edgetrain::edge {
+
+struct StoredImage {
+  std::uint64_t id = 0;
+  std::int32_t label = -1;
+  std::uint32_t bytes = 0;
+};
+
+/// Byte-budgeted FIFO image store.
+class ImageStore {
+ public:
+  /// @p capacity_bytes: total budget; @p evict_oldest: when full, drop the
+  /// oldest images to make room (otherwise add() fails).
+  ImageStore(std::uint64_t capacity_bytes, bool evict_oldest);
+
+  /// Adds an image of @p bytes with @p label; returns its id, or
+  /// std::nullopt when the store is full and eviction is disabled.
+  std::optional<std::uint64_t> add(std::int32_t label, std::uint32_t bytes);
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
+    return capacity_bytes_;
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept { return used_; }
+  [[nodiscard]] std::size_t size() const noexcept { return images_.size(); }
+  [[nodiscard]] std::uint64_t evicted_count() const noexcept {
+    return evicted_;
+  }
+
+  [[nodiscard]] bool fits(std::uint32_t bytes) const noexcept {
+    return used_ + bytes <= capacity_bytes_;
+  }
+
+  /// Count of stored images per label (labels < @p num_labels).
+  [[nodiscard]] std::vector<std::size_t> label_histogram(int num_labels) const;
+
+  [[nodiscard]] const std::deque<StoredImage>& images() const noexcept {
+    return images_;
+  }
+
+ private:
+  std::uint64_t capacity_bytes_;
+  bool evict_oldest_;
+  std::uint64_t used_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::deque<StoredImage> images_;
+};
+
+}  // namespace edgetrain::edge

@@ -1,0 +1,301 @@
+#include "insitu/codec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace edgetrain::insitu {
+
+namespace {
+
+constexpr int kBlock = 8;
+constexpr std::uint8_t kMagic0 = 'E';
+constexpr std::uint8_t kMagic1 = 'P';
+
+/// JPEG Annex K luminance quantisation matrix (quality 50 reference).
+constexpr std::array<int, 64> kBaseQuant = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+/// Zigzag scan order of an 8x8 block.
+constexpr std::array<int, 64> kZigzag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+std::array<int, 64> scaled_quant(int quality) {
+  quality = std::clamp(quality, 1, 100);
+  // libjpeg scaling: 50 -> 1x, 100 -> ~0x, 1 -> 50x.
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  std::array<int, 64> result{};
+  for (int i = 0; i < 64; ++i) {
+    result[static_cast<std::size_t>(i)] = std::clamp(
+        (kBaseQuant[static_cast<std::size_t>(i)] * scale + 50) / 100, 1, 255);
+  }
+  return result;
+}
+
+/// DCT-II basis factor c(k) * cos((2n+1) k pi / 16), precomputed.
+const std::array<std::array<float, kBlock>, kBlock>& dct_basis() {
+  static const auto basis = [] {
+    std::array<std::array<float, kBlock>, kBlock> table{};
+    for (int k = 0; k < kBlock; ++k) {
+      const float ck = k == 0 ? std::sqrt(1.0F / kBlock)
+                              : std::sqrt(2.0F / kBlock);
+      for (int n = 0; n < kBlock; ++n) {
+        table[static_cast<std::size_t>(k)][static_cast<std::size_t>(n)] =
+            ck * std::cos(static_cast<float>(std::numbers::pi) *
+                          (2.0F * static_cast<float>(n) + 1.0F) *
+                          static_cast<float>(k) / (2.0F * kBlock));
+      }
+    }
+    return table;
+  }();
+  return basis;
+}
+
+void fdct8x8(const float* in, float* out) {
+  const auto& basis = dct_basis();
+  float tmp[kBlock][kBlock];
+  for (int u = 0; u < kBlock; ++u) {  // rows
+    for (int y = 0; y < kBlock; ++y) {
+      float acc = 0.0F;
+      for (int x = 0; x < kBlock; ++x) {
+        acc += in[y * kBlock + x] *
+               basis[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)];
+      }
+      tmp[y][u] = acc;
+    }
+  }
+  for (int v = 0; v < kBlock; ++v) {  // columns
+    for (int u = 0; u < kBlock; ++u) {
+      float acc = 0.0F;
+      for (int y = 0; y < kBlock; ++y) {
+        acc += tmp[y][u] *
+               basis[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
+      }
+      out[v * kBlock + u] = acc;
+    }
+  }
+}
+
+void idct8x8(const float* in, float* out) {
+  const auto& basis = dct_basis();
+  float tmp[kBlock][kBlock];
+  for (int y = 0; y < kBlock; ++y) {
+    for (int u = 0; u < kBlock; ++u) {
+      float acc = 0.0F;
+      for (int v = 0; v < kBlock; ++v) {
+        acc += in[v * kBlock + u] *
+               basis[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
+      }
+      tmp[y][u] = acc;
+    }
+  }
+  for (int y = 0; y < kBlock; ++y) {
+    for (int x = 0; x < kBlock; ++x) {
+      float acc = 0.0F;
+      for (int u = 0; u < kBlock; ++u) {
+        acc += tmp[y][u] *
+               basis[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)];
+      }
+      out[y * kBlock + x] = acc;
+    }
+  }
+}
+
+/// Zigzag-encoded signed integer -> unsigned (0,-1,1,-2,... -> 0,1,2,3,...).
+std::uint32_t to_unsigned(std::int32_t value) {
+  return (static_cast<std::uint32_t>(value) << 1) ^
+         static_cast<std::uint32_t>(value >> 31);
+}
+
+std::int32_t to_signed(std::uint32_t value) {
+  return static_cast<std::int32_t>(value >> 1) ^
+         -static_cast<std::int32_t>(value & 1);
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    if (pos_ >= bytes_.size()) throw std::runtime_error("codec: truncated");
+    return bytes_[pos_++];
+  }
+
+  std::uint32_t varint() {
+    std::uint32_t value = 0;
+    int shift = 0;
+    for (;;) {
+      const std::uint8_t byte = u8();
+      value |= static_cast<std::uint32_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+      if (shift > 28) throw std::runtime_error("codec: varint overflow");
+    }
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_image(const GrayImage& image,
+                                       int quality) {
+  if (image.height < 1 || image.width < 1) {
+    throw std::invalid_argument("codec: empty image");
+  }
+  if (image.height > 0xFFFF || image.width > 0xFFFF) {
+    throw std::invalid_argument("codec: image too large");
+  }
+  const std::array<int, 64> quant = scaled_quant(quality);
+
+  std::vector<std::uint8_t> out;
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(static_cast<std::uint8_t>(image.height >> 8));
+  out.push_back(static_cast<std::uint8_t>(image.height & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(image.width >> 8));
+  out.push_back(static_cast<std::uint8_t>(image.width & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(std::clamp(quality, 1, 100)));
+
+  const int blocks_y = (image.height + kBlock - 1) / kBlock;
+  const int blocks_x = (image.width + kBlock - 1) / kBlock;
+  std::int32_t prev_dc = 0;
+
+  float pixels[kBlock * kBlock];
+  float coeffs[kBlock * kBlock];
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      // Gather with edge replication; centre to [-128, 127]-like range.
+      for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+          const int sy = std::min(by * kBlock + y, image.height - 1);
+          const int sx = std::min(bx * kBlock + x, image.width - 1);
+          pixels[y * kBlock + x] = image.at(sy, sx) * 255.0F - 128.0F;
+        }
+      }
+      fdct8x8(pixels, coeffs);
+
+      std::int32_t quantised[64];
+      for (int i = 0; i < 64; ++i) {
+        quantised[i] = static_cast<std::int32_t>(std::lround(
+            coeffs[kZigzag[static_cast<std::size_t>(i)]] /
+            static_cast<float>(quant[static_cast<std::size_t>(i)])));
+      }
+
+      // DC delta, then AC as (zero-run, value) pairs + end marker (run=63
+      // never valid mid-stream... we use value 0 run 0 as EOB).
+      put_varint(out, to_unsigned(quantised[0] - prev_dc));
+      prev_dc = quantised[0];
+      int i = 1;
+      while (i < 64) {
+        int run = 0;
+        while (i + run < 64 && quantised[i + run] == 0) ++run;
+        if (i + run >= 64) break;  // only zeros remain: EOB
+        put_varint(out, static_cast<std::uint32_t>(run));
+        put_varint(out, to_unsigned(quantised[i + run]));
+        i += run + 1;
+      }
+      put_varint(out, 63);  // EOB: an impossible run length
+    }
+  }
+  return out;
+}
+
+GrayImage decode_image(const std::vector<std::uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  if (reader.u8() != kMagic0 || reader.u8() != kMagic1) {
+    throw std::runtime_error("codec: bad magic");
+  }
+  const int height = (reader.u8() << 8) | reader.u8();
+  const int width = (reader.u8() << 8) | reader.u8();
+  const int quality = reader.u8();
+  if (height < 1 || width < 1) throw std::runtime_error("codec: bad dims");
+  const std::array<int, 64> quant = scaled_quant(quality);
+
+  GrayImage image(height, width);
+  const int blocks_y = (height + kBlock - 1) / kBlock;
+  const int blocks_x = (width + kBlock - 1) / kBlock;
+  std::int32_t prev_dc = 0;
+
+  float coeffs[kBlock * kBlock];
+  float pixels[kBlock * kBlock];
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      std::int32_t quantised[64] = {0};
+      prev_dc += to_signed(reader.varint());
+      quantised[0] = prev_dc;
+      int i = 1;
+      for (;;) {
+        const std::uint32_t run = reader.varint();
+        if (run == 63) break;  // EOB
+        i += static_cast<int>(run);
+        if (i >= 64) throw std::runtime_error("codec: run overflow");
+        quantised[i] = to_signed(reader.varint());
+        ++i;
+        if (i > 64) throw std::runtime_error("codec: block overflow");
+      }
+
+      for (int k = 0; k < 64; ++k) {
+        coeffs[kZigzag[static_cast<std::size_t>(k)]] =
+            static_cast<float>(quantised[k]) *
+            static_cast<float>(quant[static_cast<std::size_t>(k)]);
+      }
+      idct8x8(coeffs, pixels);
+      for (int y = 0; y < kBlock; ++y) {
+        const int sy = by * kBlock + y;
+        if (sy >= height) break;
+        for (int x = 0; x < kBlock; ++x) {
+          const int sx = bx * kBlock + x;
+          if (sx >= width) break;
+          image.at(sy, sx) =
+              std::clamp((pixels[y * kBlock + x] + 128.0F) / 255.0F, 0.0F,
+                         1.0F);
+        }
+      }
+    }
+  }
+  if (!reader.exhausted()) throw std::runtime_error("codec: trailing bytes");
+  return image;
+}
+
+double psnr(const GrayImage& a, const GrayImage& b) {
+  if (a.height != b.height || a.width != b.width) {
+    throw std::invalid_argument("psnr: size mismatch");
+  }
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+    const double d = static_cast<double>(a.pixels[i]) - b.pixels[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.pixels.size());
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(1.0 / mse);
+}
+
+}  // namespace edgetrain::insitu

@@ -1,0 +1,34 @@
+// edgetrain: lossy grayscale image codec for on-node dataset storage.
+//
+// The paper's storage argument rests on "less than 10kb per image" at
+// 224x224. This codec makes that claim testable: JPEG-style 8x8 DCT,
+// quality-scaled quantisation, zigzag + zero-run-length coding with
+// variable-length integers. No external dependencies; tuned for the
+// grayscale training patches the in-situ pipeline stores (the harvester
+// can round-trip every stored patch through it, so the student trains on
+// exactly what the SD card holds -- compression artefacts included).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "insitu/vision.hpp"
+
+namespace edgetrain::insitu {
+
+/// Encodes a [0,1] grayscale image. @p quality in [1, 100]; higher keeps
+/// more coefficients (50 is the JPEG-reference quantisation).
+[[nodiscard]] std::vector<std::uint8_t> encode_image(
+    const GrayImage& image, int quality = 50);
+
+/// Decodes a payload produced by encode_image.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] GrayImage decode_image(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Peak signal-to-noise ratio (dB) between two equal-sized images, with
+/// signal range 1.0. Returns +inf for identical images.
+[[nodiscard]] double psnr(const GrayImage& a,
+                          const GrayImage& b);
+
+}  // namespace edgetrain::insitu

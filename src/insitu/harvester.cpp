@@ -1,0 +1,154 @@
+#include "insitu/harvester.hpp"
+
+#include <algorithm>
+
+#include "insitu/codec.hpp"
+
+namespace edgetrain::insitu {
+
+Harvester::Harvester(PatchClassifier& teacher, const HarvestConfig& config)
+    : teacher_(teacher),
+      config_(config),
+      tracker_(config.min_track_iou, config.max_track_gap),
+      store_(config.storage_capacity_bytes, /*evict_oldest=*/false),
+      dataset_(config.patch) {}
+
+void Harvester::consume(const Frame& frame) {
+  ++stats_.frames;
+  frame_width_ = frame.image.width;
+  const std::vector<BBox> detections =
+      detect_blobs(frame.image, config_.detect_threshold, config_.min_blob_area);
+  stats_.detections += static_cast<std::int64_t>(detections.size());
+
+  const std::vector<std::int64_t> track_ids =
+      tracker_.update(frame.index, detections);
+
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    BufferedSighting sighting;
+    const BBox padded = expand(detections[d], kPatchMargin,
+                               frame.image.width, frame.image.height);
+    sighting.pixels = crop_resize(frame.image, padded, config_.patch);
+    sighting.box = detections[d];
+    // Ground truth by best IoU against the simulator's annotations
+    // (statistics only; the pipeline never uses it for labelling).
+    float best = 0.0F;
+    for (const GroundTruth& truth : frame.truths) {
+      const float score = iou(detections[d], truth.box);
+      if (score > best) {
+        best = score;
+        sighting.truth_label = truth.label;
+      }
+    }
+    buffers_[track_ids[d]].push_back(std::move(sighting));
+  }
+  label_finished_tracks();
+}
+
+void Harvester::finish() {
+  tracker_.flush();
+  label_finished_tracks();
+}
+
+void Harvester::label_finished_tracks() {
+  for (Track& track : tracker_.take_finished()) {
+    ++stats_.tracks_finished;
+    auto it = buffers_.find(track.id);
+    if (it == buffers_.end()) continue;
+    std::vector<BufferedSighting> sightings = std::move(it->second);
+    buffers_.erase(it);
+
+    if (sightings.size() < config_.min_track_length) {
+      ++stats_.tracks_rejected_short;
+      continue;
+    }
+
+    // Query the teacher on the track's canonical-region sightings only
+    // (that is where the cloud model is trustworthy); a confidence-weighted
+    // vote across those sightings decides the track label.
+    std::vector<double> votes(
+        static_cast<std::size_t>(teacher_.num_classes()), 0.0);
+    float best_confidence = 0.0F;
+    for (const BufferedSighting& sighting : sightings) {
+      if (!queryable(sighting)) continue;
+      const auto [label, confidence] = teacher_.predict(sighting.pixels);
+      ++stats_.teacher_queries;
+      votes[static_cast<std::size_t>(label)] += confidence;
+      best_confidence = std::max(best_confidence, confidence);
+    }
+    std::int32_t best_label = -1;
+    double best_vote = 0.0;
+    for (std::size_t k = 0; k < votes.size(); ++k) {
+      if (votes[k] > best_vote) {
+        best_vote = votes[k];
+        best_label = static_cast<std::int32_t>(k);
+      }
+    }
+    if (best_label < 0 || best_confidence < config_.teacher_confidence) {
+      ++stats_.tracks_rejected_confidence;
+      continue;
+    }
+
+    ++stats_.tracks_labelled;
+    for (BufferedSighting& sighting : sightings) {
+      std::uint32_t image_bytes = config_.bytes_per_image;
+      std::vector<float> stored_pixels;
+      double patch_psnr = 0.0;
+      if (config_.lossy_storage) {
+        // Round-trip through the SD codec: charge the true encoded size
+        // and keep the decoded pixels (what the student will really see).
+        GrayImage patch(config_.patch, config_.patch);
+        patch.pixels = sighting.pixels;
+        const std::vector<std::uint8_t> encoded =
+            encode_image(patch, config_.codec_quality);
+        const GrayImage decoded = decode_image(encoded);
+        patch_psnr = std::min(psnr(patch, decoded), 99.0);  // cap lossless
+        image_bytes = static_cast<std::uint32_t>(encoded.size());
+        stored_pixels = decoded.pixels;
+      } else {
+        stored_pixels = std::move(sighting.pixels);
+      }
+      if (!store_.add(best_label, image_bytes).has_value()) {
+        ++stats_.images_dropped_storage;
+        continue;
+      }
+      stored_bytes_total_ += image_bytes;
+      psnr_total_ += patch_psnr;
+      if (sighting.truth_label >= 0) {
+        ++judged_labels_;
+        if (sighting.truth_label == best_label) ++pure_labels_;
+      }
+      dataset_.add(std::move(stored_pixels), best_label);
+      ++stats_.images_harvested;
+    }
+  }
+}
+
+bool Harvester::queryable(const BufferedSighting& sighting) const {
+  if (frame_width_ <= 0) return true;
+  const float min_x =
+      config_.query_min_x_fraction * static_cast<float>(frame_width_);
+  if (sighting.box.center_x() < min_x) return false;
+  const float aspect = static_cast<float>(sighting.box.w) /
+                       static_cast<float>(std::max(sighting.box.h, 1));
+  return aspect >= config_.query_min_aspect &&
+         aspect <= config_.query_max_aspect;
+}
+
+HarvestStats Harvester::stats() const {
+  HarvestStats out = stats_;
+  out.label_purity = judged_labels_ > 0
+                         ? static_cast<double>(pure_labels_) /
+                               static_cast<double>(judged_labels_)
+                         : 0.0;
+  if (stats_.images_harvested > 0) {
+    out.mean_image_bytes = static_cast<double>(stored_bytes_total_) /
+                           static_cast<double>(stats_.images_harvested);
+    if (config_.lossy_storage) {
+      out.mean_psnr_db =
+          psnr_total_ / static_cast<double>(stats_.images_harvested);
+    }
+  }
+  return out;
+}
+
+}  // namespace edgetrain::insitu

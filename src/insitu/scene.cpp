@@ -1,0 +1,177 @@
+#include "insitu/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgetrain::insitu {
+
+namespace {
+
+/// Canonical glyph intensity at normalised coords (u, v) in [0,1)^2.
+float glyph_value(std::int32_t label, float u, float v) {
+  const float cu = u - 0.5F;
+  const float cv = v - 0.5F;
+  switch (label) {
+    case 0: {  // filled disk
+      return (cu * cu + cv * cv) <= 0.16F ? 1.0F : 0.0F;
+    }
+    case 1: {  // plus sign
+      const bool horizontal = std::fabs(cv) <= 0.12F && std::fabs(cu) <= 0.42F;
+      const bool vertical = std::fabs(cu) <= 0.12F && std::fabs(cv) <= 0.42F;
+      return (horizontal || vertical) ? 1.0F : 0.0F;
+    }
+    case 2: {  // hollow square
+      const float m = std::max(std::fabs(cu), std::fabs(cv));
+      return (m <= 0.42F && m >= 0.24F) ? 1.0F : 0.0F;
+    }
+    case 3: {  // filled upward triangle
+      if (v < 0.1F || v > 0.9F) return 0.0F;
+      const float half_width = 0.45F * (v - 0.1F) / 0.8F;
+      return std::fabs(cu) <= half_width ? 1.0F : 0.0F;
+    }
+    case 4: {  // diagonal stripes in a disk
+      if ((cu * cu + cv * cv) > 0.18F) return 0.0F;
+      const float phase = (u + v) * 6.0F;
+      return (static_cast<int>(std::floor(phase)) % 2 == 0) ? 1.0F : 0.3F;
+    }
+    default:
+      throw std::invalid_argument("glyph_value: label out of range");
+  }
+}
+
+}  // namespace
+
+SceneSimulator::SceneSimulator(const SceneConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.num_classes < 1 || config_.num_classes > 5) {
+    throw std::invalid_argument("SceneSimulator: num_classes must be 1..5");
+  }
+}
+
+float SceneSimulator::skew_at(float x) const {
+  const float span = static_cast<float>(config_.frame_width -
+                                        config_.object_size);
+  const float t =
+      1.0F - std::clamp(x / std::max(span, 1.0F), 0.0F, 1.0F);
+  return config_.max_skew * t;
+}
+
+void SceneSimulator::draw_glyph(GrayImage& canvas, std::int32_t label,
+                                float skew, int left, int top, int size,
+                                float jitter_angle) {
+  // Inverse warp: canvas pixel -> canonical glyph coordinate.
+  const float shear = 0.8F * skew;
+  const float squash = 1.0F / (1.0F - 0.45F * skew);
+  const float brightness = 1.0F - 0.45F * skew;
+  const float cos_a = std::cos(jitter_angle);
+  const float sin_a = std::sin(jitter_angle);
+
+  for (int py = 0; py < size; ++py) {
+    for (int px = 0; px < size; ++px) {
+      const int cy = top + py;
+      const int cx = left + px;
+      if (!canvas.in_bounds(cy, cx)) continue;
+      float u = (static_cast<float>(px) + 0.5F) / static_cast<float>(size);
+      float v = (static_cast<float>(py) + 0.5F) / static_cast<float>(size);
+      // shear (viewpoint) then squash then rotation jitter.
+      u = u + shear * (v - 0.5F);
+      v = 0.5F + (v - 0.5F) * squash;
+      const float ru = 0.5F + cos_a * (u - 0.5F) - sin_a * (v - 0.5F);
+      const float rv = 0.5F + sin_a * (u - 0.5F) + cos_a * (v - 0.5F);
+      if (ru < 0.0F || ru >= 1.0F || rv < 0.0F || rv >= 1.0F) continue;
+      const float value = glyph_value(label, ru, rv) * brightness;
+      if (value > 0.0F) {
+        canvas.at(cy, cx) = std::min(1.0F, canvas.at(cy, cx) + value);
+      }
+    }
+  }
+}
+
+Frame SceneSimulator::next_frame(float spawn_prob, int max_objects) {
+  std::uniform_real_distribution<float> unit(0.0F, 1.0F);
+  std::uniform_int_distribution<std::int32_t> label_dist(
+      0, config_.num_classes - 1);
+  std::uniform_real_distribution<float> y_dist(
+      0.0F, static_cast<float>(
+                std::max(1, config_.frame_height - config_.object_size)));
+
+  // Advance and cull.
+  for (ActiveObject& object : objects_) object.x += config_.speed;
+  std::erase_if(objects_, [&](const ActiveObject& object) {
+    return object.x >= static_cast<float>(config_.frame_width);
+  });
+
+  // Spawn.
+  if (static_cast<int>(objects_.size()) < max_objects &&
+      unit(rng_) < spawn_prob) {
+    ActiveObject object;
+    object.id = next_object_id_++;
+    object.label = label_dist(rng_);
+    object.x = 0.0F;
+    object.y = y_dist(rng_);
+    objects_.push_back(object);
+  }
+
+  // Render.
+  Frame frame;
+  frame.index = frame_index_++;
+  frame.image = GrayImage(config_.frame_height, config_.frame_width);
+  std::normal_distribution<float> noise(0.0F, config_.noise);
+  for (float& p : frame.image.pixels) {
+    p = std::clamp(noise(rng_), 0.0F, 1.0F);
+  }
+
+  std::uniform_real_distribution<float> angle_dist(-0.12F, 0.12F);
+  for (const ActiveObject& object : objects_) {
+    const float skew = skew_at(object.x);
+    const int left = static_cast<int>(object.x);
+    const int top = static_cast<int>(object.y);
+    draw_glyph(frame.image, object.label, skew, left, top,
+               config_.object_size, angle_dist(rng_));
+    BBox box{left, top, config_.object_size, config_.object_size};
+    // Clip to the frame for ground truth.
+    const int x1 = std::clamp(box.x, 0, config_.frame_width - 1);
+    const int y1 = std::clamp(box.y, 0, config_.frame_height - 1);
+    const int x2 = std::clamp(box.x2(), x1 + 1, config_.frame_width);
+    const int y2 = std::clamp(box.y2(), y1 + 1, config_.frame_height);
+    frame.truths.push_back(
+        {{x1, y1, x2 - x1, y2 - y1}, object.label, object.id});
+  }
+  return frame;
+}
+
+std::vector<float> SceneSimulator::canonical_patch(std::int32_t label,
+                                                   int patch) {
+  return skewed_patch(label,
+                      static_cast<float>(config_.frame_width), patch);
+}
+
+std::vector<float> SceneSimulator::skewed_patch(std::int32_t label, float x,
+                                                int patch) {
+  // Render the glyph and tight-crop it exactly the way the harvesting
+  // pipeline crops detections (detected bounding box + fixed margin), so
+  // classifier training, harvesting and evaluation share one patch layout.
+  const float skew = skew_at(x);
+  const int cell = 2 * patch;
+  GrayImage canvas(cell + cell / 2, cell + cell / 2);
+  std::uniform_real_distribution<float> angle_dist(-0.12F, 0.12F);
+  draw_glyph(canvas, label, skew, cell / 4, cell / 4, cell, angle_dist(rng_));
+
+  const std::vector<BBox> blobs = detect_blobs(canvas, 0.12F, 4);
+  BBox box{cell / 4, cell / 4, cell, cell};
+  int best_area = 0;
+  for (const BBox& blob : blobs) {
+    if (blob.area() > best_area) {
+      best_area = blob.area();
+      box = blob;
+    }
+  }
+  box = expand(box, kPatchMargin, canvas.width, canvas.height);
+  std::vector<float> pixels = crop_resize(canvas, box, patch);
+  std::normal_distribution<float> noise(0.0F, config_.noise);
+  for (float& p : pixels) p = std::clamp(p + noise(rng_), 0.0F, 1.0F);
+  return pixels;
+}
+
+}  // namespace edgetrain::insitu

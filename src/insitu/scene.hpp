@@ -1,0 +1,92 @@
+// edgetrain: synthetic street-scene generator with a viewpoint problem.
+//
+// Stand-in for the Array-of-Things camera feed (see DESIGN.md,
+// substitutions). Objects of K procedural classes enter at the left edge
+// and traverse to the right. Appearance is warped by a *viewpoint skew*
+// that depends on horizontal position: at the right edge objects appear in
+// the canonical pose the (cloud-trained) teacher saw; towards the left they
+// are progressively sheared, squashed and darkened. This reproduces the
+// paper's premise: the teacher recognises objects only near the canonical
+// viewpoint, the tracker back-labels the skewed sightings, and the student
+// learns the node's own viewpoint distribution.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "insitu/vision.hpp"
+
+namespace edgetrain::insitu {
+
+struct SceneConfig {
+  int frame_width = 128;
+  int frame_height = 48;
+  int object_size = 20;     ///< nominal glyph size in pixels
+  int num_classes = 4;      ///< procedural glyph classes (max 5)
+  float speed = 4.0F;       ///< pixels per frame, left to right
+  float noise = 0.03F;      ///< background noise stddev
+  float max_skew = 0.9F;    ///< skew intensity at the left edge (0 = none)
+  std::uint32_t seed = 42;
+};
+
+/// Margin, as a fraction of the tight box, added around every classifier
+/// crop (shared by the scene's patch renderers and the harvester).
+inline constexpr float kPatchMargin = 0.15F;
+
+struct GroundTruth {
+  BBox box;
+  std::int32_t label = -1;
+  std::int64_t object_id = -1;
+};
+
+struct Frame {
+  std::int64_t index = 0;
+  GrayImage image;
+  std::vector<GroundTruth> truths;
+};
+
+class SceneSimulator {
+ public:
+  explicit SceneSimulator(const SceneConfig& config);
+
+  [[nodiscard]] const SceneConfig& config() const noexcept { return config_; }
+
+  /// Advances the world one frame and renders it. Objects spawn with
+  /// probability @p spawn_prob when fewer than @p max_objects are active.
+  [[nodiscard]] Frame next_frame(float spawn_prob = 0.25F,
+                                 int max_objects = 2);
+
+  /// Skew intensity at horizontal position @p x (1 at the left edge,
+  /// 0 at the right edge, scaled by max_skew).
+  [[nodiscard]] float skew_at(float x) const;
+
+  /// Renders a canonical-pose (skew ~ 0) patch of @p label with small
+  /// pose jitter: the teacher's cloud-side training distribution.
+  [[nodiscard]] std::vector<float> canonical_patch(std::int32_t label,
+                                                   int patch);
+
+  /// Renders a patch of @p label at the skew of position @p x: the node's
+  /// local distribution (for evaluation sweeps).
+  [[nodiscard]] std::vector<float> skewed_patch(std::int32_t label, float x,
+                                                int patch);
+
+ private:
+  struct ActiveObject {
+    std::int64_t id;
+    std::int32_t label;
+    float x;  ///< left edge of the glyph
+    float y;
+  };
+
+  void draw_glyph(GrayImage& canvas, std::int32_t label, float skew,
+                  int left, int top, int size, float jitter_angle);
+
+  SceneConfig config_;
+  std::mt19937 rng_;
+  std::int64_t next_object_id_ = 0;
+  std::int64_t frame_index_ = 0;
+  std::vector<ActiveObject> objects_;
+};
+
+}  // namespace edgetrain::insitu

@@ -1,0 +1,72 @@
+#include "insitu/student.hpp"
+
+namespace edgetrain::insitu {
+
+ViewpointExperimentResult run_viewpoint_experiment(
+    const ViewpointExperimentConfig& config) {
+  ViewpointExperimentResult result;
+
+  // 1. Cloud-side teacher: canonical-viewpoint training set.
+  SceneSimulator sim(config.scene);
+  PatchDataset teacher_data(config.harvest.patch);
+  for (std::int32_t label = 0; label < config.scene.num_classes; ++label) {
+    for (int i = 0; i < config.teacher_examples_per_class; ++i) {
+      teacher_data.add(sim.canonical_patch(label, config.harvest.patch),
+                       label);
+    }
+  }
+  PatchClassifier teacher(config.harvest.patch, config.scene.num_classes,
+                          config.classifier_channels, config.seed);
+  result.teacher_train = teacher.train(teacher_data, config.teacher_train);
+
+  // 2. In-situ harvesting from the simulated camera stream.
+  Harvester harvester(teacher, config.harvest);
+  for (std::int64_t f = 0; f < config.stream_frames; ++f) {
+    harvester.consume(sim.next_frame());
+  }
+  harvester.finish();
+  result.harvest = harvester.stats();
+  result.dataset_size = harvester.dataset().size();
+
+  // 3. On-node student training (checkpointed; Section VI machinery).
+  const std::int64_t student_channels = config.student_channels > 0
+                                            ? config.student_channels
+                                            : config.classifier_channels;
+  PatchClassifier student(config.harvest.patch, config.scene.num_classes,
+                          student_channels, config.seed + 1);
+  if (!harvester.dataset().empty()) {
+    result.student_train =
+        student.train(harvester.dataset(), config.student_train,
+                      config.distill_student ? &teacher : nullptr);
+  }
+
+  // 4. Accuracy across viewpoint bins.
+  const float width = static_cast<float>(config.scene.frame_width);
+  double teacher_sum = 0.0;
+  double student_sum = 0.0;
+  for (int bin = 0; bin < config.eval_bins; ++bin) {
+    const float x =
+        width * (static_cast<float>(bin) + 0.5F) /
+        static_cast<float>(config.eval_bins);
+    PatchDataset eval_data(config.harvest.patch);
+    for (std::int32_t label = 0; label < config.scene.num_classes; ++label) {
+      for (int i = 0; i < config.eval_per_class_per_bin; ++i) {
+        eval_data.add(sim.skewed_patch(label, x, config.harvest.patch), label);
+      }
+    }
+    BinAccuracy accuracy;
+    accuracy.x_center = x;
+    accuracy.skew = sim.skew_at(x);
+    accuracy.teacher_accuracy = teacher.evaluate(eval_data);
+    accuracy.student_accuracy =
+        harvester.dataset().empty() ? 0.0 : student.evaluate(eval_data);
+    teacher_sum += accuracy.teacher_accuracy;
+    student_sum += accuracy.student_accuracy;
+    result.bins.push_back(accuracy);
+  }
+  result.teacher_overall = teacher_sum / config.eval_bins;
+  result.student_overall = student_sum / config.eval_bins;
+  return result;
+}
+
+}  // namespace edgetrain::insitu

@@ -1,0 +1,83 @@
+#include "insitu/tracker.hpp"
+
+#include <algorithm>
+
+namespace edgetrain::insitu {
+
+IoUTracker::IoUTracker(float min_iou, std::int64_t max_gap)
+    : min_iou_(min_iou), max_gap_(max_gap) {}
+
+std::vector<std::int64_t> IoUTracker::update(
+    std::int64_t frame_index, const std::vector<BBox>& detections) {
+  std::vector<std::int64_t> assigned(detections.size(), -1);
+  std::vector<bool> track_taken(active_.size(), false);
+  std::vector<bool> det_taken(detections.size(), false);
+
+  // Greedy global matching: repeatedly take the best remaining pair.
+  for (;;) {
+    float best = min_iou_;
+    std::size_t best_track = active_.size();
+    std::size_t best_det = detections.size();
+    for (std::size_t t = 0; t < active_.size(); ++t) {
+      if (track_taken[t]) continue;
+      const BBox& last = active_[t].sightings.back().box;
+      for (std::size_t d = 0; d < detections.size(); ++d) {
+        if (det_taken[d]) continue;
+        const float score = iou(last, detections[d]);
+        if (score > best) {
+          best = score;
+          best_track = t;
+          best_det = d;
+        }
+      }
+    }
+    if (best_track == active_.size()) break;
+    track_taken[best_track] = true;
+    det_taken[best_det] = true;
+    active_[best_track].sightings.push_back(
+        {frame_index, detections[best_det]});
+    active_[best_track].last_frame = frame_index;
+    assigned[best_det] = active_[best_track].id;
+  }
+
+  // New tracks for unmatched detections.
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    if (det_taken[d]) continue;
+    Track track;
+    track.id = next_id_++;
+    track.sightings.push_back({frame_index, detections[d]});
+    track.last_frame = frame_index;
+    assigned[d] = track.id;
+    active_.push_back(std::move(track));
+  }
+
+  // Finish stale tracks.
+  std::vector<Track> still_active;
+  still_active.reserve(active_.size());
+  for (Track& track : active_) {
+    if (frame_index - track.last_frame > max_gap_) {
+      track.finished = true;
+      finished_.push_back(std::move(track));
+    } else {
+      still_active.push_back(std::move(track));
+    }
+  }
+  active_ = std::move(still_active);
+  return assigned;
+}
+
+std::vector<Track> IoUTracker::take_finished() {
+  std::vector<Track> out = std::move(finished_);
+  finished_.clear();
+  return out;
+}
+
+void IoUTracker::flush() {
+  for (Track& track : active_) {
+    track.finished = true;
+    finished_.push_back(std::move(track));
+  }
+  active_.clear();
+}
+
+}  // namespace edgetrain::insitu

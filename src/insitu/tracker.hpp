@@ -1,0 +1,63 @@
+// edgetrain: IoU multi-object tracker with label back-propagation.
+//
+// The Section III mechanism: "an object-tracking model can be used to
+// identify and segment all the previous frames which contain the same
+// subject", so one confident teacher identification labels tens of earlier
+// sightings. IoUTracker is a greedy IoU matcher (the standard lightweight
+// edge tracker); Track accumulates the per-frame boxes and their crops and
+// can be back-labelled as a unit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "insitu/vision.hpp"
+
+namespace edgetrain::insitu {
+
+struct Sighting {
+  std::int64_t frame_index = 0;
+  BBox box;
+};
+
+struct Track {
+  std::int64_t id = 0;
+  std::vector<Sighting> sightings;
+  std::int64_t last_frame = -1;
+  bool finished = false;
+
+  [[nodiscard]] std::size_t length() const { return sightings.size(); }
+};
+
+class IoUTracker {
+ public:
+  /// @p min_iou: match threshold; @p max_gap: frames a track may go unseen
+  /// before it is finished.
+  explicit IoUTracker(float min_iou = 0.3F, std::int64_t max_gap = 2);
+
+  /// Matches detections of one frame to active tracks (greedy best-IoU),
+  /// spawning new tracks for unmatched boxes and finishing stale tracks.
+  /// Returns the track id assigned to each detection (aligned with input).
+  std::vector<std::int64_t> update(std::int64_t frame_index,
+                                   const std::vector<BBox>& detections);
+
+  /// Tracks finished before or at the latest update, then forgotten by the
+  /// tracker (ownership moves to the caller).
+  [[nodiscard]] std::vector<Track> take_finished();
+
+  /// Finishes all active tracks (end of stream).
+  void flush();
+
+  [[nodiscard]] const std::vector<Track>& active() const noexcept {
+    return active_;
+  }
+
+ private:
+  float min_iou_;
+  std::int64_t max_gap_;
+  std::int64_t next_id_ = 0;
+  std::vector<Track> active_;
+  std::vector<Track> finished_;
+};
+
+}  // namespace edgetrain::insitu

@@ -1,0 +1,152 @@
+#include "insitu/vision.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgetrain::insitu {
+
+float iou(const BBox& a, const BBox& b) {
+  const int ix1 = std::max(a.x, b.x);
+  const int iy1 = std::max(a.y, b.y);
+  const int ix2 = std::min(a.x2(), b.x2());
+  const int iy2 = std::min(a.y2(), b.y2());
+  const int iw = std::max(0, ix2 - ix1);
+  const int ih = std::max(0, iy2 - iy1);
+  const int inter = iw * ih;
+  if (inter == 0) return 0.0F;
+  const int uni = a.area() + b.area() - inter;
+  return static_cast<float>(inter) / static_cast<float>(uni);
+}
+
+GrayImage abs_diff(const GrayImage& a, const GrayImage& b) {
+  if (a.height != b.height || a.width != b.width) {
+    throw std::invalid_argument("abs_diff: frame size mismatch");
+  }
+  GrayImage out(a.height, a.width);
+  for (std::size_t i = 0; i < out.pixels.size(); ++i) {
+    out.pixels[i] = std::fabs(a.pixels[i] - b.pixels[i]);
+  }
+  return out;
+}
+
+std::vector<BBox> detect_blobs(const GrayImage& image, float threshold,
+                               int min_area) {
+  const int h = image.height;
+  const int w = image.width;
+  std::vector<std::int32_t> label(
+      static_cast<std::size_t>(h) * static_cast<std::size_t>(w), 0);
+  std::vector<BBox> boxes;
+  std::vector<std::pair<int, int>> stack;
+
+  auto idx = [w](int y, int x) {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+           static_cast<std::size_t>(x);
+  };
+
+  std::int32_t next_label = 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (image.at(y, x) <= threshold || label[idx(y, x)] != 0) continue;
+      ++next_label;
+      int min_x = x;
+      int max_x = x;
+      int min_y = y;
+      int max_y = y;
+      int area = 0;
+      stack.clear();
+      stack.emplace_back(y, x);
+      label[idx(y, x)] = next_label;
+      while (!stack.empty()) {
+        const auto [cy, cx] = stack.back();
+        stack.pop_back();
+        ++area;
+        min_x = std::min(min_x, cx);
+        max_x = std::max(max_x, cx);
+        min_y = std::min(min_y, cy);
+        max_y = std::max(max_y, cy);
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int ny = cy + dy;
+            const int nx = cx + dx;
+            if (!image.in_bounds(ny, nx) || label[idx(ny, nx)] != 0 ||
+                image.at(ny, nx) <= threshold) {
+              continue;
+            }
+            label[idx(ny, nx)] = next_label;
+            stack.emplace_back(ny, nx);
+          }
+        }
+      }
+      if (area >= min_area) {
+        boxes.push_back({min_x, min_y, max_x - min_x + 1, max_y - min_y + 1});
+      }
+    }
+  }
+  return boxes;
+}
+
+BBox expand(const BBox& box, float fraction, int frame_width,
+            int frame_height) {
+  const int dx = static_cast<int>(fraction * static_cast<float>(box.w)) + 1;
+  const int dy = static_cast<int>(fraction * static_cast<float>(box.h)) + 1;
+  const int x1 = std::max(0, box.x - dx);
+  const int y1 = std::max(0, box.y - dy);
+  const int x2 = std::min(frame_width, box.x2() + dx);
+  const int y2 = std::min(frame_height, box.y2() + dy);
+  return {x1, y1, std::max(1, x2 - x1), std::max(1, y2 - y1)};
+}
+
+std::vector<float> crop_resize(const GrayImage& image, const BBox& box,
+                               int patch) {
+  const int x1 = std::clamp(box.x, 0, image.width - 1);
+  const int y1 = std::clamp(box.y, 0, image.height - 1);
+  const int x2 = std::clamp(box.x2(), x1 + 1, image.width);
+  const int y2 = std::clamp(box.y2(), y1 + 1, image.height);
+  const float sx = static_cast<float>(x2 - x1) / static_cast<float>(patch);
+  const float sy = static_cast<float>(y2 - y1) / static_cast<float>(patch);
+
+  std::vector<float> out(static_cast<std::size_t>(patch) *
+                         static_cast<std::size_t>(patch));
+  for (int py = 0; py < patch; ++py) {
+    for (int px = 0; px < patch; ++px) {
+      const float fy = static_cast<float>(y1) +
+                       (static_cast<float>(py) + 0.5F) * sy - 0.5F;
+      const float fx = static_cast<float>(x1) +
+                       (static_cast<float>(px) + 0.5F) * sx - 0.5F;
+      const int y0 = static_cast<int>(std::floor(fy));
+      const int x0 = static_cast<int>(std::floor(fx));
+      const float wy = fy - static_cast<float>(y0);
+      const float wx = fx - static_cast<float>(x0);
+      auto sample = [&](int yy, int xx) -> float {
+        yy = std::clamp(yy, 0, image.height - 1);
+        xx = std::clamp(xx, 0, image.width - 1);
+        return image.at(yy, xx);
+      };
+      const float v =
+          (1.0F - wy) * ((1.0F - wx) * sample(y0, x0) + wx * sample(y0, x0 + 1)) +
+          wy * ((1.0F - wx) * sample(y0 + 1, x0) + wx * sample(y0 + 1, x0 + 1));
+      out[static_cast<std::size_t>(py) * static_cast<std::size_t>(patch) +
+          static_cast<std::size_t>(px)] = v;
+    }
+  }
+  return out;
+}
+
+Tensor patches_to_tensor(const std::vector<std::vector<float>>& patches,
+                         int patch) {
+  const auto n = static_cast<std::int64_t>(patches.size());
+  Tensor out = Tensor::empty(Shape{n, 1, patch, patch});
+  float* dst = out.data();
+  const std::size_t per = static_cast<std::size_t>(patch) *
+                          static_cast<std::size_t>(patch);
+  for (std::size_t i = 0; i < patches.size(); ++i) {
+    if (patches[i].size() != per) {
+      throw std::invalid_argument("patches_to_tensor: patch size mismatch");
+    }
+    std::copy(patches[i].begin(), patches[i].end(), dst + i * per);
+  }
+  return out;
+}
+
+}  // namespace edgetrain::insitu

@@ -1,0 +1,79 @@
+// edgetrain: minimal computer-vision substrate for the in-situ pipeline.
+//
+// The Section III pipeline needs only what a Waggle node's lightweight
+// pre-processing does: frame differencing, thresholded connected-component
+// blob detection, IoU box matching, and crop-and-resize to classifier
+// patches. Everything operates on small grayscale frames.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace edgetrain::insitu {
+
+/// Grayscale image, row-major floats in [0, 1].
+struct GrayImage {
+  int height = 0;
+  int width = 0;
+  std::vector<float> pixels;
+
+  GrayImage() = default;
+  GrayImage(int h, int w) : height(h), width(w) {
+    pixels.assign(static_cast<std::size_t>(h) * static_cast<std::size_t>(w),
+                  0.0F);
+  }
+  [[nodiscard]] float at(int y, int x) const {
+    return pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                  static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] float& at(int y, int x) {
+    return pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                  static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] bool in_bounds(int y, int x) const {
+    return y >= 0 && y < height && x >= 0 && x < width;
+  }
+};
+
+/// Axis-aligned box (pixel coordinates, half-open).
+struct BBox {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  [[nodiscard]] int area() const { return w * h; }
+  [[nodiscard]] int x2() const { return x + w; }
+  [[nodiscard]] int y2() const { return y + h; }
+  [[nodiscard]] float center_x() const { return static_cast<float>(x) + static_cast<float>(w) / 2.0F; }
+};
+
+/// Intersection-over-union of two boxes; 0 when disjoint.
+[[nodiscard]] float iou(const BBox& a, const BBox& b);
+
+/// |a - b| per pixel (frames must have identical dims).
+[[nodiscard]] GrayImage abs_diff(const GrayImage& a, const GrayImage& b);
+
+/// Connected components (8-neighbourhood) of pixels > threshold; returns
+/// bounding boxes of components with at least @p min_area pixels.
+[[nodiscard]] std::vector<BBox> detect_blobs(const GrayImage& image,
+                                             float threshold, int min_area);
+
+/// Grows @p box by @p fraction of its size on every side, clamped to the
+/// frame. Used to add a consistent margin around tight detection boxes so
+/// classifier crops match the training patch layout.
+[[nodiscard]] BBox expand(const BBox& box, float fraction, int frame_width,
+                          int frame_height);
+
+/// Crops @p box (clamped to the frame) and bilinearly resizes to
+/// @p patch x @p patch, returned as a [1, patch, patch] slice of pixels.
+[[nodiscard]] std::vector<float> crop_resize(const GrayImage& image,
+                                             const BBox& box, int patch);
+
+/// Packs patches (each patch*patch floats) into an NCHW tensor [N,1,p,p].
+[[nodiscard]] Tensor patches_to_tensor(const std::vector<std::vector<float>>& patches,
+                                       int patch);
+
+}  // namespace edgetrain::insitu

@@ -1,0 +1,54 @@
+#include "models/memory_model.hpp"
+
+namespace edgetrain::models {
+
+namespace {
+constexpr double kBytesPerScalar = 4.0;  // float32
+constexpr double kFixedMultiple = 4.0;   // weights + grads + 2 Adam moments
+
+double policy_multiple(ActivationPolicy policy) {
+  switch (policy) {
+    case ActivationPolicy::OutputsOnly: return 1.0;
+    case ActivationPolicy::OutputsPlusGradients: return 2.0;
+  }
+  return 2.0;
+}
+}  // namespace
+
+ResNetMemoryModel::ResNetMemoryModel(ResNetSpec spec, ActivationPolicy policy,
+                                     SpatialMode mode)
+    : spec_(std::move(spec)), policy_(policy), mode_(mode) {
+  act224_per_sample_bytes_ =
+      static_cast<double>(spec_.activation_elems(224, 1)) * kBytesPerScalar *
+      policy_multiple(policy_);
+}
+
+double ResNetMemoryModel::weight_bytes() const {
+  return static_cast<double>(spec_.param_count()) * kBytesPerScalar;
+}
+
+double ResNetMemoryModel::fixed_bytes() const {
+  return kFixedMultiple * weight_bytes();
+}
+
+double ResNetMemoryModel::activation_bytes(int image_size,
+                                           std::int64_t batch) const {
+  if (mode_ == SpatialMode::AreaScaled) {
+    const double scale = static_cast<double>(image_size) / 224.0;
+    return act224_per_sample_bytes_ * scale * scale *
+           static_cast<double>(batch);
+  }
+  return static_cast<double>(spec_.activation_elems(image_size, batch)) *
+         kBytesPerScalar * policy_multiple(policy_);
+}
+
+MemoryBreakdown ResNetMemoryModel::estimate(int image_size,
+                                            std::int64_t batch) const {
+  MemoryBreakdown breakdown;
+  breakdown.weight_bytes = weight_bytes();
+  breakdown.fixed_bytes = fixed_bytes();
+  breakdown.activation_bytes = activation_bytes(image_size, batch);
+  return breakdown;
+}
+
+}  // namespace edgetrain::models

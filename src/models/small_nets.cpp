@@ -1,0 +1,75 @@
+#include "models/small_nets.hpp"
+
+#include "nn/layers.hpp"
+
+namespace edgetrain::models {
+
+nn::LayerChain build_mini_resnet(int blocks_per_stage,
+                                 std::int64_t base_channels, int num_classes,
+                                 std::int64_t in_channels, std::mt19937& rng) {
+  nn::LayerChain chain;
+  chain.push(std::make_unique<nn::Conv2d>(in_channels, base_channels, 3, 1, 1,
+                                          false, rng));
+  chain.push(std::make_unique<nn::BatchNorm2d>(base_channels));
+  chain.push(std::make_unique<nn::ReLU>());
+  std::int64_t current = base_channels;
+  for (int stage = 0; stage < 2; ++stage) {
+    const std::int64_t width = base_channels << stage;
+    for (int b = 0; b < blocks_per_stage; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      chain.push(std::make_unique<nn::BasicBlock>(current, width, stride, rng));
+      current = width;
+    }
+  }
+  chain.push(std::make_unique<nn::GlobalAvgPool>());
+  chain.push(std::make_unique<nn::Linear>(current, num_classes, true, rng));
+  return chain;
+}
+
+nn::LayerChain build_conv_chain(int depth, std::int64_t channels,
+                                std::mt19937& rng) {
+  nn::LayerChain chain;
+  for (int i = 0; i < depth; ++i) {
+    chain.push(
+        std::make_unique<nn::Conv2d>(channels, channels, 3, 1, 1, false, rng));
+  }
+  return chain;
+}
+
+nn::LayerChain build_patch_cnn(std::int64_t patch, std::int64_t in_channels,
+                               std::int64_t base_channels, int num_classes,
+                               std::mt19937& rng) {
+  nn::LayerChain chain;
+  chain.push(std::make_unique<nn::Conv2d>(in_channels, base_channels, 3, 1, 1,
+                                          false, rng));
+  chain.push(std::make_unique<nn::BatchNorm2d>(base_channels));
+  chain.push(std::make_unique<nn::ReLU>());
+  chain.push(std::make_unique<nn::MaxPool2d>(2, 2, 0));
+  chain.push(std::make_unique<nn::Conv2d>(base_channels, base_channels * 2, 3,
+                                          1, 1, false, rng));
+  chain.push(std::make_unique<nn::BatchNorm2d>(base_channels * 2));
+  chain.push(std::make_unique<nn::ReLU>());
+  chain.push(std::make_unique<nn::MaxPool2d>(2, 2, 0));
+  chain.push(std::make_unique<nn::GlobalAvgPool>());
+  chain.push(std::make_unique<nn::Linear>(base_channels * 2, num_classes, true,
+                                          rng));
+  (void)patch;
+  return chain;
+}
+
+nn::LayerChain build_mlp(std::int64_t in_features, std::int64_t hidden,
+                         int hidden_layers, int num_classes,
+                         std::mt19937& rng) {
+  nn::LayerChain chain;
+  chain.push(std::make_unique<nn::Flatten>());
+  std::int64_t current = in_features;
+  for (int i = 0; i < hidden_layers; ++i) {
+    chain.push(std::make_unique<nn::Linear>(current, hidden, true, rng));
+    chain.push(std::make_unique<nn::ReLU>());
+    current = hidden;
+  }
+  chain.push(std::make_unique<nn::Linear>(current, num_classes, true, rng));
+  return chain;
+}
+
+}  // namespace edgetrain::models

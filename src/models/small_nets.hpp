@@ -1,0 +1,42 @@
+// edgetrain: small executable networks for tests, examples and the in-situ
+// pipeline (laptop/edge-scale stand-ins for the ImageNet ResNets).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "nn/chain.hpp"
+
+namespace edgetrain::models {
+
+/// Scaled-down ResNet: @p blocks_per_stage basic blocks in each of two
+/// stages starting at @p base_channels, for small images (e.g. 32x32).
+/// Chain steps: conv-bn-relu stem, the blocks, global pool + classifier.
+[[nodiscard]] nn::LayerChain build_mini_resnet(int blocks_per_stage,
+                                               std::int64_t base_channels,
+                                               int num_classes,
+                                               std::int64_t in_channels,
+                                               std::mt19937& rng);
+
+/// Homogeneous convolutional chain: `depth` identical conv3x3(c->c)+relu
+/// steps at constant spatial size. This is a *physical* LinearResNet: every
+/// step has the same activation size and cost, so executor measurements can
+/// be compared against the paper's homogeneous model point-by-point.
+[[nodiscard]] nn::LayerChain build_conv_chain(int depth,
+                                              std::int64_t channels,
+                                              std::mt19937& rng);
+
+/// Small classifier CNN used as the in-situ teacher/student: two conv-bn-
+/// relu-pool stages plus a linear head, for @p patch pixels grayscale input.
+[[nodiscard]] nn::LayerChain build_patch_cnn(std::int64_t patch,
+                                             std::int64_t in_channels,
+                                             std::int64_t base_channels,
+                                             int num_classes,
+                                             std::mt19937& rng);
+
+/// Plain MLP (flatten + linear/relu stack) for quick optimizer tests.
+[[nodiscard]] nn::LayerChain build_mlp(std::int64_t in_features,
+                                       std::int64_t hidden, int hidden_layers,
+                                       int num_classes, std::mt19937& rng);
+
+}  // namespace edgetrain::models

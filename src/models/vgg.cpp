@@ -1,0 +1,99 @@
+#include "models/vgg.hpp"
+
+#include <stdexcept>
+
+namespace edgetrain::models {
+
+const std::array<VggVariant, 4>& all_vgg_variants() {
+  static const std::array<VggVariant, 4> variants = {
+      VggVariant::Vgg11, VggVariant::Vgg13, VggVariant::Vgg16,
+      VggVariant::Vgg19};
+  return variants;
+}
+
+int depth_of(VggVariant variant) {
+  switch (variant) {
+    case VggVariant::Vgg11: return 11;
+    case VggVariant::Vgg13: return 13;
+    case VggVariant::Vgg16: return 16;
+    case VggVariant::Vgg19: return 19;
+  }
+  throw std::invalid_argument("unknown VGG variant");
+}
+
+std::string name_of(VggVariant variant) {
+  return "VGG" + std::to_string(depth_of(variant));
+}
+
+namespace {
+/// Convs per stage for each variant (stages end with a 2x2 maxpool).
+std::array<int, 5> stage_convs(VggVariant variant) {
+  switch (variant) {
+    case VggVariant::Vgg11: return {1, 1, 2, 2, 2};
+    case VggVariant::Vgg13: return {2, 2, 2, 2, 2};
+    case VggVariant::Vgg16: return {2, 2, 3, 3, 3};
+    case VggVariant::Vgg19: return {2, 2, 4, 4, 4};
+  }
+  throw std::invalid_argument("unknown VGG variant");
+}
+constexpr std::int64_t kStageWidths[5] = {64, 128, 256, 512, 512};
+}  // namespace
+
+VggSpec VggSpec::make(VggVariant variant, int num_classes,
+                      std::int64_t in_channels) {
+  VggSpec spec;
+  spec.variant_ = variant;
+  spec.num_classes_ = num_classes;
+  spec.in_channels_ = in_channels;
+  spec.fc_ = {4096, 4096, num_classes};
+
+  const std::array<int, 5> convs = stage_convs(variant);
+  std::int64_t current = in_channels;
+  for (int stage = 0; stage < 5; ++stage) {
+    std::vector<ConvLayer> layers;
+    for (int c = 0; c < convs[static_cast<std::size_t>(stage)]; ++c) {
+      layers.push_back({current, kStageWidths[stage]});
+      current = kStageWidths[stage];
+    }
+    spec.stages_.push_back(std::move(layers));
+  }
+  return spec;
+}
+
+std::int64_t VggSpec::param_count() const {
+  std::int64_t total = 0;
+  for (const auto& stage : stages_) {
+    for (const ConvLayer& conv : stage) {
+      total += 9 * conv.in * conv.out + conv.out;  // 3x3 conv + bias
+    }
+  }
+  // Classifier: flatten(512*7*7) -> 4096 -> 4096 -> classes, all biased.
+  std::int64_t features = 512 * 7 * 7;
+  for (const std::int64_t width : fc_) {
+    total += features * width + width;
+    features = width;
+  }
+  return total;
+}
+
+std::int64_t VggSpec::activation_elems(int image_size,
+                                       std::int64_t batch) const {
+  std::int64_t total = 0;
+  std::int64_t side = image_size;
+  for (const auto& stage : stages_) {
+    for (const ConvLayer& conv : stage) {
+      total += 2 * conv.out * side * side;  // conv output + relu output
+    }
+    side /= 2;  // 2x2 maxpool
+    total += stage.back().out * side * side;
+  }
+  // Classifier activations (adaptive pool to 7x7 assumed for 224-family).
+  std::int64_t features = 512 * side * side;
+  (void)features;
+  for (const std::int64_t width : fc_) {
+    total += 2 * width;  // fc output + relu (last has none; negligible)
+  }
+  return total * batch;
+}
+
+}  // namespace edgetrain::models

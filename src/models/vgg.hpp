@@ -1,0 +1,55 @@
+// edgetrain: the VGG family, analytic specs.
+//
+// A second architecture family for the memory analysis: VGG nets carry
+// ~2-11x the parameters of ResNets (the fully-connected head), so their
+// *fixed* training state (weights + grads + optimizer moments) consumes
+// >= 99% of a 2 GB edge node before a single activation is stored --
+// checkpointing cannot help with fixed state. This is why the paper's
+// in-situ training story is told with ResNets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgetrain::models {
+
+enum class VggVariant { Vgg11, Vgg13, Vgg16, Vgg19 };
+
+[[nodiscard]] const std::array<VggVariant, 4>& all_vgg_variants();
+[[nodiscard]] int depth_of(VggVariant variant);   // 11 / 13 / 16 / 19
+[[nodiscard]] std::string name_of(VggVariant variant);
+
+/// Analytic description (torchvision topology, batch-norm-free "plain"
+/// configuration, 1000-class classifier with 4096-wide FC layers).
+class VggSpec {
+ public:
+  static VggSpec make(VggVariant variant, int num_classes = 1000,
+                      std::int64_t in_channels = 3);
+
+  [[nodiscard]] VggVariant variant() const noexcept { return variant_; }
+  [[nodiscard]] std::string name() const { return name_of(variant_); }
+  [[nodiscard]] int depth() const { return depth_of(variant_); }
+
+  /// Exact trainable parameter count (matches torchvision).
+  [[nodiscard]] std::int64_t param_count() const;
+
+  /// Total op-output elements for a square image (conv/relu/pool/fc
+  /// outputs, same counting convention as ResNetSpec).
+  [[nodiscard]] std::int64_t activation_elems(int image_size,
+                                              std::int64_t batch) const;
+
+ private:
+  struct ConvLayer {
+    std::int64_t in = 0;
+    std::int64_t out = 0;
+  };
+  VggVariant variant_{VggVariant::Vgg11};
+  int num_classes_ = 1000;
+  std::int64_t in_channels_ = 3;
+  std::vector<std::vector<ConvLayer>> stages_;  // 5 stages, pool after each
+  std::array<std::int64_t, 3> fc_{4096, 4096, 1000};
+};
+
+}  // namespace edgetrain::models

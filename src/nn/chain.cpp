@@ -1,0 +1,54 @@
+#include "nn/chain.hpp"
+
+namespace edgetrain::nn {
+
+LayerChain& LayerChain::push(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor LayerChain::forward(const Tensor& x, const RunContext& ctx) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h, ctx);
+  return h;
+}
+
+Tensor LayerChain::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamRef> LayerChain::params() {
+  std::vector<ParamRef> out;
+  for (auto& layer : layers_) layer->collect_params(out);
+  return out;
+}
+
+std::int64_t LayerChain::param_count() {
+  std::int64_t total = 0;
+  for (auto& layer : layers_) total += layer->param_count();
+  return total;
+}
+
+void LayerChain::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+void LayerChain::clear_saved() {
+  for (auto& layer : layers_) layer->clear_saved();
+}
+
+std::vector<Shape> LayerChain::shapes(const Shape& in) const {
+  std::vector<Shape> result;
+  result.reserve(layers_.size() + 1);
+  result.push_back(in);
+  for (const auto& layer : layers_) {
+    result.push_back(layer->output_shape(result.back()));
+  }
+  return result;
+}
+
+}  // namespace edgetrain::nn

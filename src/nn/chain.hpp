@@ -1,0 +1,57 @@
+// edgetrain: a sequential network as a checkpointable chain.
+//
+// A LayerChain is an ordered list of layers; each layer is one chain step
+// for the schedule executor. Residual blocks are single steps (their skip
+// connections stay inside the step), so every network here is a genuine
+// linear chain, the structure the paper's LinearResNet analysis assumes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace edgetrain::nn {
+
+class LayerChain {
+ public:
+  LayerChain() = default;
+  LayerChain(LayerChain&&) = default;
+  LayerChain& operator=(LayerChain&&) = default;
+
+  /// Appends a layer; returns *this for fluent building.
+  LayerChain& push(std::unique_ptr<Layer> layer);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(layers_.size());
+  }
+  [[nodiscard]] Layer& layer(int i) { return *layers_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const Layer& layer(int i) const {
+    return *layers_[static_cast<std::size_t>(i)];
+  }
+
+  /// Forward through the whole chain (no checkpointing).
+  [[nodiscard]] Tensor forward(const Tensor& x, const RunContext& ctx);
+
+  /// Backward through the whole chain; requires a prior saving forward.
+  [[nodiscard]] Tensor backward(const Tensor& grad_out);
+
+  /// All parameters of all layers.
+  [[nodiscard]] std::vector<ParamRef> params();
+
+  [[nodiscard]] std::int64_t param_count();
+
+  void zero_grad();
+  void clear_saved();
+
+  /// Shape after each step for input shape @p in; result[i] is the output
+  /// shape of step i-1 (result[0] == in).
+  [[nodiscard]] std::vector<Shape> shapes(const Shape& in) const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace edgetrain::nn

@@ -1,0 +1,26 @@
+#include "nn/chain_runner.hpp"
+
+#include <algorithm>
+
+namespace edgetrain::nn {
+
+void LayerChainRunner::begin_pass() {
+  std::fill(visits_.begin(), visits_.end(), 0);
+  ++pass_token_;
+}
+
+Tensor LayerChainRunner::forward(int step, const Tensor& input, bool save) {
+  RunContext ctx;
+  ctx.phase = phase_;
+  ctx.save_for_backward = save;
+  ctx.first_visit = visits_[static_cast<std::size_t>(step)] == 0;
+  ctx.pass_token = pass_token_;
+  ++visits_[static_cast<std::size_t>(step)];
+  return chain_.layer(step).forward(input, ctx);
+}
+
+Tensor LayerChainRunner::backward(int step, const Tensor& grad_output) {
+  return chain_.layer(step).backward(grad_output);
+}
+
+}  // namespace edgetrain::nn

@@ -1,0 +1,41 @@
+// edgetrain: adapter exposing a LayerChain to the schedule executor.
+//
+// Guards once-per-pass side effects: the first time a step runs in a pass
+// its RunContext has first_visit == true (batch-norm updates running
+// statistics); recomputation visits get first_visit == false, so a
+// checkpointed pass produces bit-identical gradients and statistics to a
+// full-storage pass (asserted in tests/core/executor_test.cpp).
+#pragma once
+
+#include <vector>
+
+#include "core/executor.hpp"
+#include "nn/chain.hpp"
+
+namespace edgetrain::nn {
+
+class LayerChainRunner final : public core::ChainRunner {
+ public:
+  explicit LayerChainRunner(LayerChain& chain, Phase phase = Phase::Train)
+      : chain_(chain),
+        phase_(phase),
+        visits_(static_cast<std::size_t>(chain.size()), 0) {}
+
+  /// Resets the per-pass visit counters; call before every executor run.
+  void begin_pass();
+
+  [[nodiscard]] int num_steps() const override { return chain_.size(); }
+
+  [[nodiscard]] Tensor forward(int step, const Tensor& input,
+                               bool save) override;
+
+  [[nodiscard]] Tensor backward(int step, const Tensor& grad_output) override;
+
+ private:
+  LayerChain& chain_;
+  Phase phase_;
+  std::vector<int> visits_;
+  std::uint64_t pass_token_ = 0;
+};
+
+}  // namespace edgetrain::nn

@@ -1,0 +1,139 @@
+#include "nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace edgetrain::nn {
+
+namespace {
+
+/// Up to @p max_samples distinct flat indices of a tensor.
+std::vector<std::int64_t> sample_indices(std::int64_t numel,
+                                         std::size_t max_samples,
+                                         std::mt19937& rng) {
+  std::vector<std::int64_t> indices;
+  if (static_cast<std::size_t>(numel) <= max_samples) {
+    indices.resize(static_cast<std::size_t>(numel));
+    for (std::int64_t i = 0; i < numel; ++i) {
+      indices[static_cast<std::size_t>(i)] = i;
+    }
+    return indices;
+  }
+  std::uniform_int_distribution<std::int64_t> dist(0, numel - 1);
+  indices.reserve(max_samples);
+  for (std::size_t i = 0; i < max_samples; ++i) indices.push_back(dist(rng));
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  return indices;
+}
+
+void accumulate(GradCheckResult& result, float analytic, float numeric,
+                float tolerance) {
+  const float abs_err = std::fabs(analytic - numeric);
+  const float rel_err = abs_err / std::max(1.0F, std::fabs(numeric));
+  result.max_abs_error = std::max(result.max_abs_error, abs_err);
+  result.max_rel_error = std::max(result.max_rel_error, rel_err);
+  ++result.checks;
+  if (rel_err > tolerance) ++result.violations;
+}
+
+}  // namespace
+
+GradCheckResult check_layer(Layer& layer, const Tensor& x, std::mt19937& rng,
+                            float epsilon, float tolerance,
+                            std::size_t max_violations) {
+  constexpr std::size_t kMaxSamples = 48;
+
+  RunContext ctx;
+  ctx.phase = Phase::Train;
+  ctx.save_for_backward = true;
+  ctx.first_visit = false;  // keep running statistics untouched
+
+  // Fixed random cotangent defines the scalar loss sum(w * y).
+  Tensor x0 = x.clone();
+  Tensor y0 = layer.forward(x0, ctx);
+  Tensor cot = Tensor::randn(y0.shape(), rng, 1.0F);
+
+  auto loss_at = [&](const Tensor& input) -> double {
+    RunContext eval_ctx = ctx;
+    eval_ctx.save_for_backward = false;
+    Tensor y = layer.forward(input, eval_ctx);
+    const float* yp = y.data();
+    const float* wp = cot.data();
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      acc += static_cast<double>(yp[i]) * wp[i];
+    }
+    return acc;
+  };
+
+  layer.zero_grad();
+  // Re-run a saving forward so backward has fresh state, then backward.
+  Tensor y1 = layer.forward(x0, ctx);
+  (void)y1;
+  Tensor analytic_gx = layer.backward(cot);
+
+  GradCheckResult result;
+  result.passed = true;
+
+  // Input gradient.
+  {
+    Tensor probe = x0.clone();
+    for (const std::int64_t idx :
+         sample_indices(probe.numel(), kMaxSamples, rng)) {
+      const float saved = probe.data()[idx];
+      probe.data()[idx] = saved + epsilon;
+      const double up = loss_at(probe);
+      probe.data()[idx] = saved - epsilon;
+      const double down = loss_at(probe);
+      probe.data()[idx] = saved;
+      const float numeric =
+          static_cast<float>((up - down) / (2.0 * epsilon));
+      accumulate(result, analytic_gx.data()[idx], numeric, tolerance);
+    }
+  }
+
+  // Parameter gradients.
+  std::vector<ParamRef> params;
+  layer.collect_params(params);
+  for (ParamRef& p : params) {
+    for (const std::int64_t idx :
+         sample_indices(p.value->numel(), kMaxSamples / 2, rng)) {
+      const float saved = p.value->data()[idx];
+      p.value->data()[idx] = saved + epsilon;
+      const double up = loss_at(x0);
+      p.value->data()[idx] = saved - epsilon;
+      const double down = loss_at(x0);
+      p.value->data()[idx] = saved;
+      const float numeric =
+          static_cast<float>((up - down) / (2.0 * epsilon));
+      accumulate(result, p.grad->data()[idx], numeric, tolerance);
+    }
+  }
+  result.passed = result.violations <= max_violations;
+  return result;
+}
+
+GradCheckResult check_function(const std::function<float(const Tensor&)>& f,
+                               const Tensor& x, const Tensor& analytic_grad,
+                               float epsilon, float tolerance) {
+  GradCheckResult result;
+  result.passed = true;
+  Tensor probe = x.clone();
+  std::mt19937 rng(1234);
+  for (const std::int64_t idx : sample_indices(probe.numel(), 64, rng)) {
+    const float saved = probe.data()[idx];
+    probe.data()[idx] = saved + epsilon;
+    const float up = f(probe);
+    probe.data()[idx] = saved - epsilon;
+    const float down = f(probe);
+    probe.data()[idx] = saved;
+    const float numeric = (up - down) / (2.0F * epsilon);
+    accumulate(result, analytic_grad.data()[idx], numeric, tolerance);
+  }
+  result.passed = result.violations == 0;
+  return result;
+}
+
+}  // namespace edgetrain::nn

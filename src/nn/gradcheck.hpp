@@ -1,0 +1,41 @@
+// edgetrain: numerical gradient checking.
+//
+// Central-difference verification of layer and chain backward passes; the
+// foundation of the substrate's correctness test suite.
+#pragma once
+
+#include <functional>
+
+#include "nn/layer.hpp"
+
+namespace edgetrain::nn {
+
+struct GradCheckResult {
+  float max_abs_error = 0.0F;
+  float max_rel_error = 0.0F;
+  std::size_t checks = 0;       ///< coordinates compared
+  std::size_t violations = 0;   ///< coordinates beyond tolerance
+  bool passed = false;
+};
+
+/// Checks d sum(w * layer(x)) / d x against central differences, where w is
+/// a fixed random cotangent. Also checks all parameter gradients.
+/// @p epsilon is the finite-difference step, @p tolerance the max allowed
+/// |analytic - numeric| / max(1, |numeric|). Up to @p max_violations
+/// coordinates may exceed the tolerance: layers containing ReLUs after
+/// batch norm have pre-activations centred at zero, so a few probed
+/// coordinates legitimately flip a kink within +-epsilon.
+[[nodiscard]] GradCheckResult check_layer(Layer& layer, const Tensor& x,
+                                          std::mt19937& rng,
+                                          float epsilon = 1e-3F,
+                                          float tolerance = 5e-2F,
+                                          std::size_t max_violations = 0);
+
+/// Generic scalar-function input-gradient check:
+/// @p f maps x to a scalar; @p analytic_grad is d f / d x at x.
+[[nodiscard]] GradCheckResult check_function(
+    const std::function<float(const Tensor&)>& f, const Tensor& x,
+    const Tensor& analytic_grad, float epsilon = 1e-3F,
+    float tolerance = 5e-2F);
+
+}  // namespace edgetrain::nn

@@ -1,0 +1,28 @@
+#include "nn/layer.hpp"
+
+#include <stdexcept>
+
+namespace edgetrain::nn {
+
+void Layer::collect_params(std::vector<ParamRef>& out) { (void)out; }
+
+std::int64_t Layer::param_count() {
+  std::vector<ParamRef> params;
+  collect_params(params);
+  std::int64_t total = 0;
+  for (const ParamRef& p : params) total += p.value->numel();
+  return total;
+}
+
+void Layer::zero_grad() {
+  std::vector<ParamRef> params;
+  collect_params(params);
+  for (ParamRef& p : params) p.grad->fill(0.0F);
+}
+
+void Layer::no_saved_state() const {
+  throw std::logic_error("layer '" + name() +
+                         "': backward without saved forward state");
+}
+
+}  // namespace edgetrain::nn

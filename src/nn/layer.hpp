@@ -1,0 +1,84 @@
+// edgetrain: neural-network layer abstraction.
+//
+// Layers are stateful modules with explicit save-for-backward semantics:
+// forward(x, ctx) with ctx.save_for_backward == true retains exactly what
+// one backward() call needs; with false it retains nothing (that is what
+// checkpointed execution relies on). Recomputation passes set
+// ctx.first_visit == false so that once-per-pass side effects (batch-norm
+// running statistics) are not repeated — the gradient-equivalence tests in
+// tests/core/executor_test.cpp depend on this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace edgetrain::nn {
+
+enum class Phase : std::uint8_t { Train, Eval };
+
+struct RunContext {
+  Phase phase = Phase::Train;
+  /// Retain internals for one backward() call.
+  bool save_for_backward = true;
+  /// False on recomputation passes: suppress once-per-pass side effects.
+  bool first_visit = true;
+  /// Identifies the training pass. Stochastic layers (Dropout) derive their
+  /// randomness from (layer seed, pass_token) so a checkpointed
+  /// recomputation of the same pass reproduces the identical mask.
+  std::uint64_t pass_token = 0;
+};
+
+/// A named (parameter, gradient) pair owned by some layer.
+struct ParamRef {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+/// Base class for all layers. Gradients accumulate across backward calls
+/// until zero_grad(); parameter and gradient tensors are allocated at
+/// construction (so the tracker sees the paper's persistent 2x-weights
+/// footprint even before the first step; optimizers add their own state).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Runs the layer. See RunContext for the saving/side-effect contract.
+  [[nodiscard]] virtual Tensor forward(const Tensor& x,
+                                       const RunContext& ctx) = 0;
+
+  /// Adjoint; consumes the internals retained by the most recent saving
+  /// forward and returns d loss / d x. Throws std::logic_error when no
+  /// saved internals are live.
+  [[nodiscard]] virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Appends this layer's parameters to @p out (default: none).
+  virtual void collect_params(std::vector<ParamRef>& out);
+
+  /// Output shape for a given input shape (shape inference only).
+  [[nodiscard]] virtual Shape output_shape(const Shape& in) const = 0;
+
+  /// Total trainable scalar parameters.
+  [[nodiscard]] std::int64_t param_count();
+
+  /// Drops any retained internals (e.g. after an aborted pass).
+  virtual void clear_saved() {}
+
+  /// Zeroes all gradient tensors.
+  void zero_grad();
+
+ protected:
+  Layer() = default;
+
+  [[noreturn]] void no_saved_state() const;
+};
+
+}  // namespace edgetrain::nn

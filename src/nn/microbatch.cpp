@@ -1,0 +1,68 @@
+#include "nn/microbatch.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/alloc.hpp"
+#include "tensor/ops.hpp"
+
+namespace edgetrain::nn {
+
+MicrobatchResult run_microbatched(LayerChain& chain, const Tensor& x,
+                                  const std::vector<std::int32_t>& labels,
+                                  int num_microbatches) {
+  const std::int64_t total = x.shape()[0];
+  if (total < 1) throw std::invalid_argument("microbatch: empty batch");
+  if (num_microbatches < 1 || num_microbatches > total) {
+    throw std::invalid_argument(
+        "microbatch: chunk count must be in [1, batch]");
+  }
+  const std::int64_t sample_elems = x.numel() / total;
+  const std::int64_t chunk = total / num_microbatches;
+
+  ScopedPeakProbe probe;
+  MicrobatchResult result;
+  result.baseline_bytes = probe.baseline_bytes();
+
+  double loss_acc = 0.0;
+  std::int64_t begin = 0;
+  for (int c = 0; c < num_microbatches; ++c) {
+    const std::int64_t count =
+        c == num_microbatches - 1 ? total - begin : chunk;
+    // Slice the chunk out of the batch.
+    std::vector<std::int64_t> dims = x.shape().dims();
+    dims[0] = count;
+    Tensor cx = Tensor::empty(Shape(dims));
+    std::memcpy(cx.data(), x.data() + begin * sample_elems,
+                static_cast<std::size_t>(count * sample_elems) *
+                    sizeof(float));
+    const std::vector<std::int32_t> chunk_labels(
+        labels.begin() + static_cast<std::ptrdiff_t>(begin),
+        labels.begin() + static_cast<std::ptrdiff_t>(begin + count));
+
+    RunContext ctx;
+    ctx.phase = Phase::Train;
+    ctx.save_for_backward = true;
+    ctx.first_visit = true;
+    Tensor logits = chain.forward(cx, ctx);
+    const ops::SoftmaxXentResult head =
+        ops::softmax_xent_forward(logits, chunk_labels);
+    // Chunk losses/gradients are means over `count`; reweight so the
+    // accumulated gradient equals the full-batch mean.
+    const float weight =
+        static_cast<float>(count) / static_cast<float>(total);
+    loss_acc += static_cast<double>(head.loss) * weight;
+    Tensor grad = ops::softmax_xent_backward(head.probs, chunk_labels);
+    grad.scale_(weight);
+    (void)chain.backward(grad);
+
+    begin += count;
+    ++result.chunks_run;
+  }
+
+  result.loss = static_cast<float>(loss_acc);
+  result.peak_tracked_bytes = probe.peak_bytes();
+  return result;
+}
+
+}  // namespace edgetrain::nn

@@ -1,0 +1,43 @@
+// edgetrain: gradient accumulation (micro-batching).
+//
+// The folk remedy the paper contrasts checkpointing against: "the batch
+// size is often adjusted so that a single batch can fit in memory --
+// however the batch size also affects the convergence properties" (Sec.
+// IV). Micro-batching keeps the *effective* batch (and its convergence
+// behaviour) while cutting activation memory linearly: the batch is split
+// into m chunks, each runs forward+backward with full storage, and the
+// gradients accumulate with chunk-proportional weights.
+//
+// Caveat, verified by tests: with batch-normalisation the chunk statistics
+// differ from the full-batch statistics, so gradients are only
+// approximately equal (BN-free chains match bit-exactly). Checkpointing
+// has no such semantic drift -- one of its under-appreciated advantages,
+// quantified in bench_microbatch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/chain.hpp"
+
+namespace edgetrain::nn {
+
+struct MicrobatchResult {
+  float loss = 0.0F;                   ///< batch-mean loss
+  std::size_t peak_tracked_bytes = 0;  ///< high-water mark over all chunks
+  std::size_t baseline_bytes = 0;
+  int chunks_run = 0;
+};
+
+/// Runs one training pass of `chain` over batch `x` / `labels` (softmax
+/// cross-entropy head) in `num_microbatches` chunks, accumulating
+/// parameter gradients exactly as a single full-batch pass would (up to
+/// batch-norm statistics). Gradients are NOT zeroed first.
+/// The final chunk absorbs the remainder when the batch does not divide
+/// evenly. Throws std::invalid_argument for an empty batch or more chunks
+/// than samples.
+[[nodiscard]] MicrobatchResult run_microbatched(
+    LayerChain& chain, const Tensor& x,
+    const std::vector<std::int32_t>& labels, int num_microbatches);
+
+}  // namespace edgetrain::nn

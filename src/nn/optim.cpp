@@ -1,0 +1,100 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace edgetrain::nn {
+
+void Optimizer::zero_grad() {
+  for (ParamRef& p : params_) p.grad->fill(0.0F);
+}
+
+SGD::SGD(std::vector<ParamRef> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ != 0.0F) {
+    velocity_.reserve(params_.size());
+    for (const ParamRef& p : params_) {
+      velocity_.push_back(Tensor::zeros(p.value->shape()));
+    }
+  }
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ParamRef& p = params_[i];
+    float* w = p.value->data();
+    const float* g = p.grad->data();
+    const std::int64_t n = p.value->numel();
+    if (momentum_ != 0.0F) {
+      float* v = velocity_[i].data();
+      for (std::int64_t k = 0; k < n; ++k) {
+        const float grad = g[k] + weight_decay_ * w[k];
+        v[k] = momentum_ * v[k] + grad;
+        w[k] -= lr_ * v[k];
+      }
+    } else {
+      for (std::int64_t k = 0; k < n; ++k) {
+        const float grad = g[k] + weight_decay_ * w[k];
+        w[k] -= lr_ * grad;
+      }
+    }
+  }
+}
+
+std::size_t SGD::state_bytes() const {
+  std::size_t total = 0;
+  for (const Tensor& v : velocity_) total += v.bytes();
+  return total;
+}
+
+Adam::Adam(std::vector<ParamRef> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    m_.push_back(Tensor::zeros(p.value->shape()));
+    v_.push_back(Tensor::zeros(p.value->shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 =
+      1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 =
+      1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ParamRef& p = params_[i];
+    float* w = p.value->data();
+    const float* g = p.grad->data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const std::int64_t n = p.value->numel();
+    for (std::int64_t k = 0; k < n; ++k) {
+      const float grad = g[k] + weight_decay_ * w[k];
+      m[k] = beta1_ * m[k] + (1.0F - beta1_) * grad;
+      v[k] = beta2_ * v[k] + (1.0F - beta2_) * grad * grad;
+      const float mhat = m[k] / bias1;
+      const float vhat = v[k] / bias2;
+      w[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+std::size_t Adam::state_bytes() const {
+  std::size_t total = 0;
+  for (const Tensor& m : m_) total += m.bytes();
+  for (const Tensor& v : v_) total += v.bytes();
+  return total;
+}
+
+}  // namespace edgetrain::nn

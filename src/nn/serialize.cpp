@@ -1,0 +1,153 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace edgetrain::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x45444754;  // "EDGT"
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(value) >> (8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
+               << (8 * i);
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  std::int64_t i64() {
+    require(8);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
+               << (8 * i);
+    }
+    pos_ += 8;
+    return static_cast<std::int64_t>(value);
+  }
+
+  std::string str(std::size_t length) {
+    require(length);
+    std::string value(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                      length);
+    pos_ += length;
+    return value;
+  }
+
+  void floats(float* dst, std::size_t count) {
+    require(count * sizeof(float));
+    std::memcpy(dst, bytes_.data() + pos_, count * sizeof(float));
+    pos_ += count * sizeof(float);
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void require(std::size_t count) const {
+    if (pos_ + count > bytes_.size()) {
+      throw std::runtime_error("weights: truncated payload");
+    }
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_weights(LayerChain& chain) {
+  const std::vector<ParamRef> params = chain.params();
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (const ParamRef& p : params) {
+    put_u32(out, static_cast<std::uint32_t>(p.name.size()));
+    out.insert(out.end(), p.name.begin(), p.name.end());
+    put_u32(out, static_cast<std::uint32_t>(p.value->shape().rank()));
+    for (const std::int64_t dim : p.value->shape().dims()) put_i64(out, dim);
+    const auto* data = reinterpret_cast<const std::uint8_t*>(p.value->data());
+    out.insert(out.end(), data, data + p.value->bytes());
+  }
+  return out;
+}
+
+void deserialize_weights(LayerChain& chain,
+                         const std::vector<std::uint8_t>& bytes) {
+  Reader reader(bytes);
+  if (reader.u32() != kMagic) throw std::runtime_error("weights: bad magic");
+  if (reader.u32() != kVersion) {
+    throw std::runtime_error("weights: unsupported version");
+  }
+  const std::vector<ParamRef> params = chain.params();
+  const std::uint32_t count = reader.u32();
+  if (count != params.size()) {
+    throw std::runtime_error("weights: parameter count mismatch (file " +
+                             std::to_string(count) + ", chain " +
+                             std::to_string(params.size()) + ")");
+  }
+  for (const ParamRef& p : params) {
+    const std::uint32_t name_length = reader.u32();
+    const std::string name = reader.str(name_length);
+    if (name != p.name) {
+      throw std::runtime_error("weights: parameter name mismatch: file '" +
+                               name + "' vs chain '" + p.name + "'");
+    }
+    const std::uint32_t rank = reader.u32();
+    std::vector<std::int64_t> dims(rank);
+    for (std::uint32_t d = 0; d < rank; ++d) dims[d] = reader.i64();
+    if (Shape(dims) != p.value->shape()) {
+      throw std::runtime_error("weights: shape mismatch for '" + p.name + "'");
+    }
+    reader.floats(p.value->data(), static_cast<std::size_t>(p.value->numel()));
+  }
+  if (!reader.exhausted()) {
+    throw std::runtime_error("weights: trailing bytes");
+  }
+}
+
+void save_weights(LayerChain& chain, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = serialize_weights(chain);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("weights: cannot open " + path);
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!file) throw std::runtime_error("weights: write failed for " + path);
+}
+
+void load_weights(LayerChain& chain, const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) throw std::runtime_error("weights: cannot open " + path);
+  const std::streamsize size = file.tellg();
+  file.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  file.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!file) throw std::runtime_error("weights: read failed for " + path);
+  deserialize_weights(chain, bytes);
+}
+
+}  // namespace edgetrain::nn

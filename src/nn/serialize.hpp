@@ -1,0 +1,32 @@
+// edgetrain: weight (de)serialization.
+//
+// A deployed node needs to receive teacher weights from the cloud and
+// persist its specialised student across power cycles (SD card). The
+// format is a simple versioned binary: per parameter its name, shape and
+// float32 payload. Loading is strict: names, order and shapes must match
+// the target chain exactly (architecture mismatches are configuration
+// errors a node must not silently absorb).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/chain.hpp"
+
+namespace edgetrain::nn {
+
+/// Serialises all parameters of @p chain (weights only, no gradients or
+/// optimizer state).
+[[nodiscard]] std::vector<std::uint8_t> serialize_weights(LayerChain& chain);
+
+/// Restores parameters serialized by serialize_weights into @p chain.
+/// Throws std::runtime_error on format or architecture mismatch.
+void deserialize_weights(LayerChain& chain,
+                         const std::vector<std::uint8_t>& bytes);
+
+/// File convenience wrappers.
+void save_weights(LayerChain& chain, const std::string& path);
+void load_weights(LayerChain& chain, const std::string& path);
+
+}  // namespace edgetrain::nn

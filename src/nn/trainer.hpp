@@ -1,0 +1,83 @@
+// edgetrain: high-level training loop.
+//
+// Bundles the pieces every caller was wiring by hand -- optimizer, chain
+// runner, checkpointing schedule, slot store, loss head -- behind one
+// configuration struct. The strategy enum covers every scheduler in the
+// library, so switching from full storage to Revolve (or spilling
+// checkpoints to disk) is a one-line change.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "nn/chain.hpp"
+#include "nn/chain_runner.hpp"
+#include "nn/optim.hpp"
+
+namespace edgetrain::nn {
+
+enum class CheckpointStrategy : std::uint8_t {
+  FullStorage,  ///< rho = 1, maximal memory
+  Revolve,      ///< optimal binomial checkpointing
+  Sequential,   ///< PyTorch checkpoint_sequential (free_slots+1 segments)
+  Periodic,     ///< uniform-stride checkpoints
+};
+
+enum class SlotBackend : std::uint8_t {
+  Ram,       ///< full-precision in-memory checkpoints
+  DiskSpill, ///< all non-input slots round-trip through files
+  Fp16,      ///< half-precision checkpoints (2x memory saving, lossy)
+  Int8,      ///< 8-bit affine checkpoints (4x memory saving, lossy)
+};
+
+struct TrainerOptions {
+  CheckpointStrategy strategy = CheckpointStrategy::FullStorage;
+  int free_slots = 2;          ///< checkpoint budget (ignored for FullStorage)
+  SlotBackend backend = SlotBackend::Ram;
+  std::string spill_directory = "/tmp";  ///< for SlotBackend::DiskSpill
+  float lr = 0.05F;
+  float momentum = 0.9F;
+  float weight_decay = 0.0F;
+};
+
+struct StepStats {
+  float loss = 0.0F;
+  std::size_t peak_bytes = 0;       ///< tracked peak over the step
+  std::int64_t advances = 0;        ///< recomputation forwards
+};
+
+/// Owns the optimizer, runner, schedule and slot store for one network.
+/// Not copyable; the chain must outlive the trainer.
+class Trainer {
+ public:
+  Trainer(LayerChain& chain, const TrainerOptions& options);
+
+  /// One optimisation step on a batch with integer labels (softmax
+  /// cross-entropy head).
+  StepStats step(const Tensor& x, const std::vector<std::int32_t>& labels);
+
+  /// One optimisation step with a caller-supplied loss gradient.
+  StepStats step_with_loss(const Tensor& x, const core::LossGradFn& loss_grad);
+
+  /// The schedule in force (for inspection/reporting).
+  [[nodiscard]] const core::Schedule& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] SGD& optimizer() noexcept { return optimizer_; }
+
+ private:
+  LayerChain& chain_;
+  TrainerOptions options_;
+  core::Schedule schedule_;
+  std::unique_ptr<core::SlotStore> store_;
+  SGD optimizer_;
+  LayerChainRunner runner_;
+  core::ScheduleExecutor executor_;
+  float last_loss_ = 0.0F;
+};
+
+}  // namespace edgetrain::nn

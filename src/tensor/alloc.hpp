@@ -1,0 +1,81 @@
+// edgetrain: byte-accurate memory tracking for training-footprint experiments.
+//
+// Every Tensor allocation in the library is routed through MemoryTracker so
+// that the quantity the paper tabulates (peak bytes held during a training
+// step) can be *measured*, not only modelled. The tracker is a process-wide
+// singleton with atomic counters; ScopedPeakProbe measures the peak over a
+// region (e.g. one checkpointed backpropagation) without disturbing global
+// statistics of other threads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace edgetrain {
+
+/// Process-wide allocation statistics for tensor storage.
+///
+/// Thread-safe: counters are atomics; the peak is maintained with a CAS loop.
+class MemoryTracker {
+ public:
+  /// The global tracker used by all Tensor storage.
+  static MemoryTracker& instance() noexcept;
+
+  /// Record an allocation of @p bytes.
+  void on_alloc(std::size_t bytes) noexcept;
+
+  /// Record a deallocation of @p bytes.
+  void on_free(std::size_t bytes) noexcept;
+
+  /// Bytes currently live.
+  [[nodiscard]] std::size_t current_bytes() const noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark since construction or the last reset_peak().
+  [[nodiscard]] std::size_t peak_bytes() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of allocations since construction.
+  [[nodiscard]] std::uint64_t allocation_count() const noexcept {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+
+  /// Reset the high-water mark to the current live size.
+  void reset_peak() noexcept;
+
+ private:
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::uint64_t> allocations_{0};
+};
+
+/// Measures the peak number of live bytes over a lexical region.
+///
+/// On construction records the current live size as the baseline and resets
+/// the global peak; peak_bytes() then reports the high-water mark reached
+/// since construction. Intended for single-threaded measurement regions
+/// (benchmarks, tests).
+class ScopedPeakProbe {
+ public:
+  ScopedPeakProbe() noexcept;
+
+  ScopedPeakProbe(const ScopedPeakProbe&) = delete;
+  ScopedPeakProbe& operator=(const ScopedPeakProbe&) = delete;
+
+  /// Bytes live when the probe was created.
+  [[nodiscard]] std::size_t baseline_bytes() const noexcept { return baseline_; }
+
+  /// High-water mark of live bytes since the probe was created.
+  [[nodiscard]] std::size_t peak_bytes() const noexcept;
+
+  /// Peak minus baseline: the additional memory the region needed.
+  [[nodiscard]] std::size_t peak_over_baseline() const noexcept;
+
+ private:
+  std::size_t baseline_{0};
+};
+
+}  // namespace edgetrain

@@ -1,0 +1,804 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/parallel.hpp"
+
+namespace edgetrain::ops {
+
+namespace {
+constexpr std::int64_t kGemmGrain = 8;
+
+void check(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+}  // namespace
+
+std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel,
+                           std::int64_t stride, std::int64_t pad) noexcept {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, const float* b,
+          float beta, float* c) {
+  // Row-major: A is m x k (lda=k) or, transposed, stored k x m (lda=m).
+  const std::int64_t lda = trans_a ? m : k;
+  const std::int64_t ldb = trans_b ? k : n;
+  parallel_for(0, m, kGemmGrain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      float* crow = c + i * n;
+      if (beta == 0.0F) {
+        std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+      } else if (beta != 1.0F) {
+        for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float aval =
+            alpha * (trans_a ? a[p * lda + i] : a[i * lda + p]);
+        if (aval == 0.0F) continue;
+        const float* brow = trans_b ? nullptr : b + p * ldb;
+        if (!trans_b) {
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+        } else {
+          // op(B)[p, j] = B[j, p]
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * b[j * ldb + p];
+        }
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Convolution
+// ---------------------------------------------------------------------------
+
+void im2col(const float* x, std::int64_t channels, std::int64_t h,
+            std::int64_t w, std::int64_t kh, std::int64_t kw,
+            const ConvParams& p, float* col) {
+  const std::int64_t ho = conv_out_size(h, kh, p.stride, p.pad);
+  const std::int64_t wo = conv_out_size(w, kw, p.stride, p.pad);
+  const std::int64_t out_area = ho * wo;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t ki = 0; ki < kh; ++ki) {
+      for (std::int64_t kj = 0; kj < kw; ++kj) {
+        const std::int64_t row = (c * kh + ki) * kw + kj;
+        float* dst = col + row * out_area;
+        for (std::int64_t oy = 0; oy < ho; ++oy) {
+          const std::int64_t iy = oy * p.stride - p.pad + ki;
+          if (iy < 0 || iy >= h) {
+            std::memset(dst + oy * wo, 0,
+                        static_cast<std::size_t>(wo) * sizeof(float));
+            continue;
+          }
+          const float* src_row = x + (c * h + iy) * w;
+          for (std::int64_t ox = 0; ox < wo; ++ox) {
+            const std::int64_t ix = ox * p.stride - p.pad + kj;
+            dst[oy * wo + ox] =
+                (ix >= 0 && ix < w) ? src_row[ix] : 0.0F;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, std::int64_t channels, std::int64_t h,
+            std::int64_t w, std::int64_t kh, std::int64_t kw,
+            const ConvParams& p, float* x) {
+  const std::int64_t ho = conv_out_size(h, kh, p.stride, p.pad);
+  const std::int64_t wo = conv_out_size(w, kw, p.stride, p.pad);
+  const std::int64_t out_area = ho * wo;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t ki = 0; ki < kh; ++ki) {
+      for (std::int64_t kj = 0; kj < kw; ++kj) {
+        const std::int64_t row = (c * kh + ki) * kw + kj;
+        const float* src = col + row * out_area;
+        for (std::int64_t oy = 0; oy < ho; ++oy) {
+          const std::int64_t iy = oy * p.stride - p.pad + ki;
+          if (iy < 0 || iy >= h) continue;
+          float* dst_row = x + (c * h + iy) * w;
+          for (std::int64_t ox = 0; ox < wo; ++ox) {
+            const std::int64_t ix = ox * p.stride - p.pad + kj;
+            if (ix >= 0 && ix < w) dst_row[ix] += src[oy * wo + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      const ConvParams& p) {
+  check(x.shape().rank() == 4, "conv2d: x must be NCHW");
+  check(w.shape().rank() == 4, "conv2d: w must be [Cout,Cin,kh,kw]");
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t cin = x.shape()[1];
+  const std::int64_t h = x.shape()[2];
+  const std::int64_t wd = x.shape()[3];
+  const std::int64_t cout = w.shape()[0];
+  check(w.shape()[1] == cin, "conv2d: channel mismatch");
+  const std::int64_t kh = w.shape()[2];
+  const std::int64_t kw = w.shape()[3];
+  const std::int64_t ho = conv_out_size(h, kh, p.stride, p.pad);
+  const std::int64_t wo = conv_out_size(wd, kw, p.stride, p.pad);
+  check(ho > 0 && wo > 0, "conv2d: empty output");
+
+  Tensor y = Tensor::empty(Shape{n, cout, ho, wo});
+  const std::int64_t col_rows = cin * kh * kw;
+  const std::int64_t out_area = ho * wo;
+  Tensor col = Tensor::empty(Shape{col_rows, out_area});
+
+  for (std::int64_t img = 0; img < n; ++img) {
+    im2col(x.data() + img * cin * h * wd, cin, h, wd, kh, kw, p, col.data());
+    // y[img] = W[cout, col_rows] * col
+    gemm(false, false, cout, out_area, col_rows, 1.0F, w.data(), col.data(),
+         0.0F, y.data() + img * cout * out_area);
+    if (bias.defined()) {
+      float* yp = y.data() + img * cout * out_area;
+      for (std::int64_t c = 0; c < cout; ++c) {
+        const float b = bias.data()[c];
+        for (std::int64_t i = 0; i < out_area; ++i) yp[c * out_area + i] += b;
+      }
+    }
+  }
+  return y;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& grad_y, const Tensor& x,
+                            const Tensor& w, const ConvParams& p,
+                            bool with_bias) {
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t cin = x.shape()[1];
+  const std::int64_t h = x.shape()[2];
+  const std::int64_t wd = x.shape()[3];
+  const std::int64_t cout = w.shape()[0];
+  const std::int64_t kh = w.shape()[2];
+  const std::int64_t kw = w.shape()[3];
+  const std::int64_t ho = grad_y.shape()[2];
+  const std::int64_t wo = grad_y.shape()[3];
+  const std::int64_t out_area = ho * wo;
+  const std::int64_t col_rows = cin * kh * kw;
+
+  Conv2dGrads grads;
+  grads.grad_x = Tensor::zeros(x.shape());
+  grads.grad_w = Tensor::zeros(w.shape());
+  if (with_bias) grads.grad_b = Tensor::zeros(Shape{cout});
+
+  Tensor col = Tensor::empty(Shape{col_rows, out_area});
+  Tensor col_grad = Tensor::empty(Shape{col_rows, out_area});
+
+  for (std::int64_t img = 0; img < n; ++img) {
+    const float* gy = grad_y.data() + img * cout * out_area;
+    // grad_w += gy[cout, area] * col^T -> [cout, col_rows]
+    im2col(x.data() + img * cin * h * wd, cin, h, wd, kh, kw, p, col.data());
+    gemm(false, true, cout, col_rows, out_area, 1.0F, gy, col.data(), 1.0F,
+         grads.grad_w.data());
+    // col_grad = W^T[col_rows, cout] * gy
+    gemm(true, false, col_rows, out_area, cout, 1.0F, w.data(), gy, 0.0F,
+         col_grad.data());
+    col2im(col_grad.data(), cin, h, wd, kh, kw, p,
+           grads.grad_x.data() + img * cin * h * wd);
+    if (with_bias) {
+      float* gb = grads.grad_b.data();
+      for (std::int64_t c = 0; c < cout; ++c) {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < out_area; ++i) acc += gy[c * out_area + i];
+        gb[c] += static_cast<float>(acc);
+      }
+    }
+  }
+  return grads;
+}
+
+// ---------------------------------------------------------------------------
+// Activation / pooling
+// ---------------------------------------------------------------------------
+
+Tensor relu_forward(const Tensor& x) {
+  Tensor y = Tensor::empty(x.shape());
+  const float* xp = x.data();
+  float* yp = y.data();
+  const std::int64_t n = x.numel();
+  parallel_for(0, n, 1 << 16, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) yp[i] = xp[i] > 0.0F ? xp[i] : 0.0F;
+  });
+  return y;
+}
+
+Tensor relu_backward(const Tensor& grad_y, const Tensor& y) {
+  check(grad_y.shape() == y.shape(), "relu_backward: shape mismatch");
+  Tensor gx = Tensor::empty(y.shape());
+  const float* gy = grad_y.data();
+  const float* yp = y.data();
+  float* gp = gx.data();
+  const std::int64_t n = y.numel();
+  parallel_for(0, n, 1 << 16, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) gp[i] = yp[i] > 0.0F ? gy[i] : 0.0F;
+  });
+  return gx;
+}
+
+MaxPoolResult maxpool2d_forward(const Tensor& x, std::int64_t k,
+                                const ConvParams& p) {
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t c = x.shape()[1];
+  const std::int64_t h = x.shape()[2];
+  const std::int64_t w = x.shape()[3];
+  const std::int64_t ho = conv_out_size(h, k, p.stride, p.pad);
+  const std::int64_t wo = conv_out_size(w, k, p.stride, p.pad);
+
+  MaxPoolResult result;
+  result.y = Tensor::empty(Shape{n, c, ho, wo});
+  result.argmax.assign(static_cast<std::size_t>(n * c * ho * wo), 0);
+
+  const float* xp = x.data();
+  float* yp = result.y.data();
+  std::int32_t* am = result.argmax.data();
+
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = xp + (img * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < ho; ++oy) {
+        for (std::int64_t ox = 0; ox < wo; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ki = 0; ki < k; ++ki) {
+            const std::int64_t iy = oy * p.stride - p.pad + ki;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kj = 0; kj < k; ++kj) {
+              const std::int64_t ix = ox * p.stride - p.pad + kj;
+              if (ix < 0 || ix >= w) continue;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = iy * w + ix;
+              }
+            }
+          }
+          const std::int64_t out_idx = ((img * c + ch) * ho + oy) * wo + ox;
+          yp[out_idx] = best;
+          am[out_idx] = static_cast<std::int32_t>(best_idx);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Tensor maxpool2d_backward(const Tensor& grad_y,
+                          const std::vector<std::int32_t>& argmax,
+                          const Shape& x_shape) {
+  Tensor gx = Tensor::zeros(x_shape);
+  const std::int64_t n = grad_y.shape()[0];
+  const std::int64_t c = grad_y.shape()[1];
+  const std::int64_t area_out = grad_y.shape()[2] * grad_y.shape()[3];
+  const std::int64_t area_in = x_shape[2] * x_shape[3];
+  const float* gy = grad_y.data();
+  float* gp = gx.data();
+  for (std::int64_t plane = 0; plane < n * c; ++plane) {
+    const float* gy_plane = gy + plane * area_out;
+    float* gx_plane = gp + plane * area_in;
+    const std::int32_t* am = argmax.data() + plane * area_out;
+    for (std::int64_t i = 0; i < area_out; ++i) {
+      gx_plane[am[i]] += gy_plane[i];
+    }
+  }
+  return gx;
+}
+
+Tensor global_avgpool_forward(const Tensor& x) {
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t c = x.shape()[1];
+  const std::int64_t area = x.shape()[2] * x.shape()[3];
+  Tensor y = Tensor::empty(Shape{n, c});
+  const float* xp = x.data();
+  float* yp = y.data();
+  for (std::int64_t plane = 0; plane < n * c; ++plane) {
+    double acc = 0.0;
+    const float* src = xp + plane * area;
+    for (std::int64_t i = 0; i < area; ++i) acc += src[i];
+    yp[plane] = static_cast<float>(acc / static_cast<double>(area));
+  }
+  return y;
+}
+
+Tensor global_avgpool_backward(const Tensor& grad_y, const Shape& x_shape) {
+  const std::int64_t n = x_shape[0];
+  const std::int64_t c = x_shape[1];
+  const std::int64_t area = x_shape[2] * x_shape[3];
+  Tensor gx = Tensor::empty(x_shape);
+  const float* gy = grad_y.data();
+  float* gp = gx.data();
+  const float inv_area = 1.0F / static_cast<float>(area);
+  for (std::int64_t plane = 0; plane < n * c; ++plane) {
+    const float g = gy[plane] * inv_area;
+    float* dst = gp + plane * area;
+    for (std::int64_t i = 0; i < area; ++i) dst[i] = g;
+  }
+  return gx;
+}
+
+Tensor avgpool2d_forward(const Tensor& x, std::int64_t k,
+                         const ConvParams& p) {
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t c = x.shape()[1];
+  const std::int64_t h = x.shape()[2];
+  const std::int64_t w = x.shape()[3];
+  const std::int64_t ho = conv_out_size(h, k, p.stride, p.pad);
+  const std::int64_t wo = conv_out_size(w, k, p.stride, p.pad);
+  Tensor y = Tensor::empty(Shape{n, c, ho, wo});
+  const float* xp = x.data();
+  float* yp = y.data();
+  const float inv = 1.0F / static_cast<float>(k * k);
+  for (std::int64_t plane = 0; plane < n * c; ++plane) {
+    const float* src = xp + plane * h * w;
+    float* dst = yp + plane * ho * wo;
+    for (std::int64_t oy = 0; oy < ho; ++oy) {
+      for (std::int64_t ox = 0; ox < wo; ++ox) {
+        double acc = 0.0;
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          const std::int64_t iy = oy * p.stride - p.pad + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t ix = ox * p.stride - p.pad + kx;
+            if (ix < 0 || ix >= w) continue;
+            acc += src[iy * w + ix];
+          }
+        }
+        dst[oy * wo + ox] = static_cast<float>(acc) * inv;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor avgpool2d_backward(const Tensor& grad_y, std::int64_t k,
+                          const ConvParams& p, const Shape& x_shape) {
+  const std::int64_t n = x_shape[0];
+  const std::int64_t c = x_shape[1];
+  const std::int64_t h = x_shape[2];
+  const std::int64_t w = x_shape[3];
+  const std::int64_t ho = grad_y.shape()[2];
+  const std::int64_t wo = grad_y.shape()[3];
+  Tensor gx = Tensor::zeros(x_shape);
+  const float* gy = grad_y.data();
+  float* gp = gx.data();
+  const float inv = 1.0F / static_cast<float>(k * k);
+  for (std::int64_t plane = 0; plane < n * c; ++plane) {
+    const float* src = gy + plane * ho * wo;
+    float* dst = gp + plane * h * w;
+    for (std::int64_t oy = 0; oy < ho; ++oy) {
+      for (std::int64_t ox = 0; ox < wo; ++ox) {
+        const float g = src[oy * wo + ox] * inv;
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          const std::int64_t iy = oy * p.stride - p.pad + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t ix = ox * p.stride - p.pad + kx;
+            if (ix < 0 || ix >= w) continue;
+            dst[iy * w + ix] += g;
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+Tensor sigmoid_forward(const Tensor& x) {
+  Tensor y = Tensor::empty(x.shape());
+  const float* xp = x.data();
+  float* yp = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    yp[i] = 1.0F / (1.0F + std::exp(-xp[i]));
+  }
+  return y;
+}
+
+Tensor sigmoid_backward(const Tensor& grad_y, const Tensor& y) {
+  Tensor gx = Tensor::empty(y.shape());
+  const float* gy = grad_y.data();
+  const float* yp = y.data();
+  float* gp = gx.data();
+  const std::int64_t n = y.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    gp[i] = gy[i] * yp[i] * (1.0F - yp[i]);
+  }
+  return gx;
+}
+
+Tensor tanh_forward(const Tensor& x) {
+  Tensor y = Tensor::empty(x.shape());
+  const float* xp = x.data();
+  float* yp = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) yp[i] = std::tanh(xp[i]);
+  return y;
+}
+
+Tensor tanh_backward(const Tensor& grad_y, const Tensor& y) {
+  Tensor gx = Tensor::empty(y.shape());
+  const float* gy = grad_y.data();
+  const float* yp = y.data();
+  float* gp = gx.data();
+  const std::int64_t n = y.numel();
+  for (std::int64_t i = 0; i < n; ++i) gp[i] = gy[i] * (1.0F - yp[i] * yp[i]);
+  return gx;
+}
+
+namespace {
+/// SplitMix64: high-quality counter-based hash; uniform in [0, 1).
+inline float unit_hash(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<float>(z >> 40) * (1.0F / 16777216.0F);
+}
+}  // namespace
+
+Tensor dropout_forward(const Tensor& x, float rate, std::uint64_t seed) {
+  check(rate >= 0.0F && rate < 1.0F, "dropout: rate must be in [0,1)");
+  Tensor y = Tensor::empty(x.shape());
+  const float* xp = x.data();
+  float* yp = y.data();
+  const float scale = 1.0F / (1.0F - rate);
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    yp[i] = unit_hash(seed, static_cast<std::uint64_t>(i)) >= rate
+                ? xp[i] * scale
+                : 0.0F;
+  }
+  return y;
+}
+
+Tensor dropout_backward(const Tensor& grad_y, float rate, std::uint64_t seed) {
+  Tensor gx = Tensor::empty(grad_y.shape());
+  const float* gy = grad_y.data();
+  float* gp = gx.data();
+  const float scale = 1.0F / (1.0F - rate);
+  const std::int64_t n = grad_y.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    gp[i] = unit_hash(seed, static_cast<std::uint64_t>(i)) >= rate
+                ? gy[i] * scale
+                : 0.0F;
+  }
+  return gx;
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b) {
+  check(x.shape().rank() == 2, "linear: x must be [N,in]");
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t in = x.shape()[1];
+  const std::int64_t out = w.shape()[0];
+  check(w.shape()[1] == in, "linear: dim mismatch");
+  Tensor y = Tensor::empty(Shape{n, out});
+  // y = x[n,in] * w^T[in,out]
+  gemm(false, true, n, out, in, 1.0F, x.data(), w.data(), 0.0F, y.data());
+  if (b.defined()) {
+    float* yp = y.data();
+    const float* bp = b.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < out; ++j) yp[i * out + j] += bp[j];
+    }
+  }
+  return y;
+}
+
+LinearGrads linear_backward(const Tensor& grad_y, const Tensor& x,
+                            const Tensor& w, bool with_bias) {
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t in = x.shape()[1];
+  const std::int64_t out = w.shape()[0];
+  LinearGrads grads;
+  grads.grad_x = Tensor::empty(Shape{n, in});
+  grads.grad_w = Tensor::zeros(w.shape());
+  // grad_x = gy[n,out] * w[out,in]
+  gemm(false, false, n, in, out, 1.0F, grad_y.data(), w.data(), 0.0F,
+       grads.grad_x.data());
+  // grad_w = gy^T[out,n] * x[n,in]
+  gemm(true, false, out, in, n, 1.0F, grad_y.data(), x.data(), 0.0F,
+       grads.grad_w.data());
+  if (with_bias) {
+    grads.grad_b = Tensor::zeros(Shape{out});
+    float* gb = grads.grad_b.data();
+    const float* gy = grad_y.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < out; ++j) gb[j] += gy[i * out + j];
+    }
+  }
+  return grads;
+}
+
+// ---------------------------------------------------------------------------
+// Batch normalisation
+// ---------------------------------------------------------------------------
+
+BatchNormState batchnorm2d_forward(const Tensor& x, const Tensor& gamma,
+                                   const Tensor& beta, Tensor& running_mean,
+                                   Tensor& running_var, float momentum,
+                                   float eps, bool update_running) {
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t c = x.shape()[1];
+  const std::int64_t area = x.shape()[2] * x.shape()[3];
+  const std::int64_t count = n * area;
+
+  BatchNormState state;
+  state.y = Tensor::empty(x.shape());
+  state.mean = Tensor::empty(Shape{c});
+  state.inv_std = Tensor::empty(Shape{c});
+
+  const float* xp = x.data();
+  float* yp = state.y.data();
+  float* mean = state.mean.data();
+  float* inv_std = state.inv_std.data();
+  const float* g = gamma.data();
+  const float* bt = beta.data();
+
+  parallel_for(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
+      double sum = 0.0;
+      double sumsq = 0.0;
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* plane = xp + (img * c + ch) * area;
+        for (std::int64_t i = 0; i < area; ++i) {
+          sum += plane[i];
+          sumsq += static_cast<double>(plane[i]) * plane[i];
+        }
+      }
+      const double mu = sum / static_cast<double>(count);
+      const double var = sumsq / static_cast<double>(count) - mu * mu;
+      const double istd = 1.0 / std::sqrt(std::max(var, 0.0) + eps);
+      mean[ch] = static_cast<float>(mu);
+      inv_std[ch] = static_cast<float>(istd);
+      const float scale = static_cast<float>(istd) * g[ch];
+      const float shift = bt[ch] - static_cast<float>(mu) * scale;
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* src = xp + (img * c + ch) * area;
+        float* dst = yp + (img * c + ch) * area;
+        for (std::int64_t i = 0; i < area; ++i) dst[i] = src[i] * scale + shift;
+      }
+      if (update_running) {
+        running_mean.data()[ch] = (1.0F - momentum) * running_mean.data()[ch] +
+                                  momentum * static_cast<float>(mu);
+        running_var.data()[ch] = (1.0F - momentum) * running_var.data()[ch] +
+                                 momentum * static_cast<float>(var);
+      }
+    }
+  });
+  return state;
+}
+
+Tensor batchnorm2d_infer(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, const Tensor& running_mean,
+                         const Tensor& running_var, float eps) {
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t c = x.shape()[1];
+  const std::int64_t area = x.shape()[2] * x.shape()[3];
+  Tensor y = Tensor::empty(x.shape());
+  const float* xp = x.data();
+  float* yp = y.data();
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float istd =
+        1.0F / std::sqrt(running_var.data()[ch] + eps);
+    const float scale = istd * gamma.data()[ch];
+    const float shift = beta.data()[ch] - running_mean.data()[ch] * scale;
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* src = xp + (img * c + ch) * area;
+      float* dst = yp + (img * c + ch) * area;
+      for (std::int64_t i = 0; i < area; ++i) dst[i] = src[i] * scale + shift;
+    }
+  }
+  return y;
+}
+
+BatchNormGrads batchnorm2d_backward(const Tensor& grad_y, const Tensor& x,
+                                    const Tensor& gamma,
+                                    const BatchNormState& state) {
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t c = x.shape()[1];
+  const std::int64_t area = x.shape()[2] * x.shape()[3];
+  const std::int64_t count = n * area;
+
+  BatchNormGrads grads;
+  grads.grad_x = Tensor::empty(x.shape());
+  grads.grad_gamma = Tensor::zeros(Shape{c});
+  grads.grad_beta = Tensor::zeros(Shape{c});
+
+  const float* xp = x.data();
+  const float* gy = grad_y.data();
+  float* gx = grads.grad_x.data();
+  float* gg = grads.grad_gamma.data();
+  float* gb = grads.grad_beta.data();
+
+  parallel_for(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
+      const float mu = state.mean.data()[ch];
+      const float istd = state.inv_std.data()[ch];
+      const float g = gamma.data()[ch];
+      double sum_gy = 0.0;
+      double sum_gy_xhat = 0.0;
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* src = xp + (img * c + ch) * area;
+        const float* gsrc = gy + (img * c + ch) * area;
+        for (std::int64_t i = 0; i < area; ++i) {
+          const float xhat = (src[i] - mu) * istd;
+          sum_gy += gsrc[i];
+          sum_gy_xhat += static_cast<double>(gsrc[i]) * xhat;
+        }
+      }
+      gg[ch] = static_cast<float>(sum_gy_xhat);
+      gb[ch] = static_cast<float>(sum_gy);
+      const float mean_gy = static_cast<float>(sum_gy / count);
+      const float mean_gy_xhat = static_cast<float>(sum_gy_xhat / count);
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* src = xp + (img * c + ch) * area;
+        const float* gsrc = gy + (img * c + ch) * area;
+        float* dst = gx + (img * c + ch) * area;
+        for (std::int64_t i = 0; i < area; ++i) {
+          const float xhat = (src[i] - mu) * istd;
+          dst[i] = g * istd * (gsrc[i] - mean_gy - xhat * mean_gy_xhat);
+        }
+      }
+    }
+  });
+  return grads;
+}
+
+// ---------------------------------------------------------------------------
+// Loss
+// ---------------------------------------------------------------------------
+
+SoftmaxXentResult softmax_xent_forward(const Tensor& logits,
+                                       const std::vector<std::int32_t>& labels) {
+  const std::int64_t n = logits.shape()[0];
+  const std::int64_t k = logits.shape()[1];
+  check(static_cast<std::int64_t>(labels.size()) == n,
+        "softmax_xent: label count mismatch");
+  SoftmaxXentResult result;
+  result.probs = Tensor::empty(logits.shape());
+  const float* lp = logits.data();
+  float* pp = result.probs.data();
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = lp + i * k;
+    float* prow = pp + i * k;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      prow[j] = std::exp(row[j] - mx);
+      denom += prow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t j = 0; j < k; ++j) prow[j] *= inv;
+    const std::int32_t label = labels[static_cast<std::size_t>(i)];
+    check(label >= 0 && label < k, "softmax_xent: label out of range");
+    loss -= std::log(std::max(static_cast<double>(prow[label]), 1e-12));
+  }
+  result.loss = static_cast<float>(loss / static_cast<double>(n));
+  return result;
+}
+
+Tensor softmax_xent_backward(const Tensor& probs,
+                             const std::vector<std::int32_t>& labels) {
+  const std::int64_t n = probs.shape()[0];
+  const std::int64_t k = probs.shape()[1];
+  Tensor grad = probs.clone();
+  float* gp = grad.data();
+  const float inv_n = 1.0F / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    gp[i * k + labels[static_cast<std::size_t>(i)]] -= 1.0F;
+    for (std::int64_t j = 0; j < k; ++j) gp[i * k + j] *= inv_n;
+  }
+  return grad;
+}
+
+std::vector<std::int32_t> argmax_rows(const Tensor& logits) {
+  const std::int64_t n = logits.shape()[0];
+  const std::int64_t k = logits.shape()[1];
+  std::vector<std::int32_t> out(static_cast<std::size_t>(n));
+  const float* lp = logits.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = lp + i * k;
+    std::int32_t best = 0;
+    for (std::int64_t j = 1; j < k; ++j) {
+      if (row[j] > row[best]) best = static_cast<std::int32_t>(j);
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits, float temperature) {
+  check(temperature > 0.0F, "softmax_rows: temperature must be > 0");
+  const std::int64_t n = logits.shape()[0];
+  const std::int64_t k = logits.shape()[1];
+  Tensor probs = Tensor::empty(logits.shape());
+  const float* lp = logits.data();
+  float* pp = probs.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = lp + i * k;
+    float* prow = pp + i * k;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      prow[j] = std::exp((row[j] - mx) / temperature);
+      denom += prow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t j = 0; j < k; ++j) prow[j] *= inv;
+  }
+  return probs;
+}
+
+DistillResult distill_loss(const Tensor& student_logits,
+                           const Tensor& teacher_logits,
+                           const std::vector<std::int32_t>& labels,
+                           float alpha, float temperature) {
+  check(student_logits.shape() == teacher_logits.shape(),
+        "distill: logits shape mismatch");
+  check(alpha >= 0.0F && alpha <= 1.0F, "distill: alpha must be in [0,1]");
+  const std::int64_t n = student_logits.shape()[0];
+  const std::int64_t k = student_logits.shape()[1];
+
+  DistillResult result;
+  result.grad_student_logits = Tensor::zeros(student_logits.shape());
+  float* grad = result.grad_student_logits.data();
+  double loss = 0.0;
+  const float inv_n = 1.0F / static_cast<float>(n);
+
+  // Hard-label term.
+  if (alpha > 0.0F) {
+    const SoftmaxXentResult hard =
+        softmax_xent_forward(student_logits, labels);
+    loss += static_cast<double>(alpha) * hard.loss;
+    const float* p = hard.probs.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < k; ++j) {
+        const float onehot =
+            j == labels[static_cast<std::size_t>(i)] ? 1.0F : 0.0F;
+        grad[i * k + j] += alpha * (p[i * k + j] - onehot) * inv_n;
+      }
+    }
+  }
+
+  // Soft-label term: T^2 * KL(p_teacher^T || p_student^T); gradient
+  // T^2 * (1/T) * (ps - pt) = T * (ps - pt).
+  if (alpha < 1.0F) {
+    const Tensor ps = softmax_rows(student_logits, temperature);
+    const Tensor pt = softmax_rows(teacher_logits, temperature);
+    const float t2 = temperature * temperature;
+    const float soft_weight = 1.0F - alpha;
+    double kl = 0.0;
+    for (std::int64_t i = 0; i < n * k; ++i) {
+      const double teacher_p = std::max<double>(pt.data()[i], 1e-12);
+      const double student_p = std::max<double>(ps.data()[i], 1e-12);
+      kl += teacher_p * std::log(teacher_p / student_p);
+      grad[i] += soft_weight * temperature *
+                 (ps.data()[i] - pt.data()[i]) * inv_n;
+    }
+    loss += static_cast<double>(soft_weight) * t2 * kl /
+            static_cast<double>(n);
+  }
+
+  result.loss = static_cast<float>(loss);
+  return result;
+}
+
+}  // namespace edgetrain::ops

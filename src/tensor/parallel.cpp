@@ -1,0 +1,149 @@
+#include "tensor/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace edgetrain {
+
+struct ThreadPool::Impl {
+  struct Job {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    unsigned num_chunks = 0;
+  };
+
+  explicit Impl(unsigned num_threads) {
+    if (num_threads == 0) {
+      num_threads = std::thread::hardware_concurrency();
+      if (num_threads == 0) num_threads = 4;
+    }
+    workers.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i) {
+      workers.emplace_back([this, i] { worker_loop(i + 1); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      shutting_down = true;
+    }
+    cv_start.notify_all();
+    for (auto& worker : workers) worker.join();
+  }
+
+  void worker_loop(unsigned worker_index) {
+    mark_inside_pool_job();  // nested parallel_for from workers runs inline
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv_start.wait(lock,
+                      [&] { return shutting_down || epoch != seen_epoch; });
+        if (shutting_down) return;
+        seen_epoch = epoch;
+      }
+      run_chunk(worker_index);
+      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv_done.notify_all();
+      }
+    }
+  }
+
+  void run_chunk(unsigned chunk_index) {
+    const Job local = job;  // copied; fields set before epoch bump
+    if (chunk_index >= local.num_chunks) return;
+    const std::int64_t total = local.end - local.begin;
+    const std::int64_t per =
+        (total + static_cast<std::int64_t>(local.num_chunks) - 1) /
+        static_cast<std::int64_t>(local.num_chunks);
+    const std::int64_t b = local.begin + per * chunk_index;
+    const std::int64_t e = std::min(local.end, b + per);
+    if (b < e) (*local.fn)(b, e);
+  }
+
+  void run(std::int64_t begin, std::int64_t end,
+           const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    const unsigned num_chunks = static_cast<unsigned>(workers.size()) + 1;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      job = Job{begin, end, &fn, num_chunks};
+      pending.store(static_cast<int>(workers.size()),
+                    std::memory_order_release);
+      ++epoch;
+    }
+    cv_start.notify_all();
+    run_chunk(0);  // caller participates as chunk 0
+    std::unique_lock<std::mutex> lock(mutex);
+    cv_done.wait(lock,
+                 [&] { return pending.load(std::memory_order_acquire) == 0; });
+  }
+
+  static void mark_inside_pool_job();
+
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable cv_start;
+  std::condition_variable cv_done;
+  std::uint64_t epoch = 0;
+  std::atomic<int> pending{0};
+  Job job;
+  bool shutting_down = false;
+};
+
+namespace {
+thread_local bool inside_pool_job = false;
+}  // namespace
+
+void ThreadPool::Impl::mark_inside_pool_job() { inside_pool_job = true; }
+
+namespace {
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>();
+  return pool;
+}
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads) : impl_(new Impl(num_threads)) {}
+
+ThreadPool::~ThreadPool() { delete impl_; }
+
+unsigned ThreadPool::size() const noexcept {
+  return static_cast<unsigned>(impl_->workers.size()) + 1;
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (begin >= end) return;
+  if (inside_pool_job) {  // no nested parallelism: run serially
+    fn(begin, end);
+    return;
+  }
+  inside_pool_job = true;
+  impl_->run(begin, end, fn);
+  inside_pool_job = false;
+}
+
+ThreadPool& ThreadPool::global() { return *global_pool_slot(); }
+
+void ThreadPool::set_global_threads(unsigned num_threads) {
+  global_pool_slot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (begin >= end) return;
+  if (end - begin <= grain) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool::global().parallel_for(begin, end, fn);
+}
+
+}  // namespace edgetrain

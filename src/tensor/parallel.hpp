@@ -1,0 +1,53 @@
+// edgetrain: shared-memory parallelism substrate.
+//
+// A small persistent thread pool with a static-partition parallel_for, in
+// the spirit of an OpenMP "parallel for schedule(static)". The Waggle edge
+// node the paper targets has 4 big + 4 little cores; all compute kernels in
+// the tensor substrate parallelise over this pool. Having our own pool (and
+// not OpenMP) keeps the library dependency-free and lets tests pin the
+// worker count deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace edgetrain {
+
+/// Persistent worker pool executing half-open index ranges.
+class ThreadPool {
+ public:
+  /// Creates @p num_threads workers. 0 means hardware_concurrency().
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  [[nodiscard]] unsigned size() const noexcept;
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end) split statically
+  /// across workers. Blocks until all chunks complete. Reentrant calls from
+  /// inside a worker run serially (no nested parallelism).
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// The process-wide pool used by tensor kernels.
+  static ThreadPool& global();
+
+  /// Replaces the global pool's worker count (for tests / device emulation).
+  /// Not thread-safe with concurrent kernel execution.
+  static void set_global_threads(unsigned num_threads);
+
+ private:
+  struct Impl;
+  Impl* impl_;  // owned; raw to keep the header light (defined in .cpp)
+};
+
+/// Convenience wrapper over the global pool with a minimum grain size:
+/// ranges smaller than @p grain run inline on the caller.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace edgetrain

@@ -1,0 +1,134 @@
+// edgetrain: dense float32 tensor with tracked storage.
+//
+// The substrate deliberately supports exactly what CNN training needs:
+// contiguous row-major float tensors of rank <= 4, value semantics with
+// shared storage (cheap copies, explicit clone()), and allocation routed
+// through MemoryTracker so that experiments can measure live bytes.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "tensor/alloc.hpp"
+
+namespace edgetrain {
+
+/// Tensor shape: up to 4 dimensions, row-major.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {}
+
+  [[nodiscard]] int rank() const noexcept { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] std::int64_t operator[](int i) const { return dims_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] std::int64_t numel() const noexcept {
+    std::int64_t n = 1;
+    for (const std::int64_t d : dims_) n *= d;
+    return n;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const noexcept { return dims_; }
+  [[nodiscard]] bool operator==(const Shape& other) const noexcept = default;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+namespace detail {
+/// Reference-counted, tracker-accounted float buffer.
+class Storage {
+ public:
+  explicit Storage(std::size_t numel);
+  ~Storage();
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  [[nodiscard]] float* data() noexcept { return data_.get(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.get(); }
+  [[nodiscard]] std::size_t numel() const noexcept { return numel_; }
+
+ private:
+  std::unique_ptr<float[]> data_;
+  std::size_t numel_;
+};
+}  // namespace detail
+
+/// Dense float32 tensor. Copying shares storage; use clone() for a deep copy.
+/// A default-constructed Tensor is "empty" (no storage); empty tensors are
+/// used as "no value" markers by the executor and layers.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Uninitialised tensor of the given shape.
+  static Tensor empty(const Shape& shape);
+  /// Zero-filled tensor.
+  static Tensor zeros(const Shape& shape);
+  /// Constant-filled tensor.
+  static Tensor full(const Shape& shape, float value);
+  /// I.i.d. N(0, stddev^2) entries from @p rng.
+  static Tensor randn(const Shape& shape, std::mt19937& rng, float stddev = 1.0F);
+  /// Uniform[lo, hi) entries from @p rng.
+  static Tensor uniform(const Shape& shape, std::mt19937& rng, float lo, float hi);
+  /// 1-D tensor from explicit values.
+  static Tensor from_values(std::initializer_list<float> values);
+
+  [[nodiscard]] bool defined() const noexcept { return storage_ != nullptr; }
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::int64_t numel() const noexcept { return shape_.numel(); }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return static_cast<std::size_t>(numel()) * sizeof(float);
+  }
+
+  [[nodiscard]] float* data() {
+    assert(defined());
+    return storage_->data();
+  }
+  [[nodiscard]] const float* data() const {
+    assert(defined());
+    return storage_->data();
+  }
+
+  [[nodiscard]] float& at(std::int64_t i) { return data()[i]; }
+  [[nodiscard]] float at(std::int64_t i) const { return data()[i]; }
+
+  /// Deep copy with fresh storage.
+  [[nodiscard]] Tensor clone() const;
+
+  /// Same storage, different shape (numel must match).
+  [[nodiscard]] Tensor reshaped(const Shape& new_shape) const;
+
+  /// Releases this handle's reference to the storage.
+  void reset() noexcept {
+    storage_.reset();
+    shape_ = Shape{};
+  }
+
+  void fill(float value);
+  /// this += other (shapes must match).
+  void add_(const Tensor& other);
+  /// this += alpha * other.
+  void axpy_(float alpha, const Tensor& other);
+  /// this *= alpha.
+  void scale_(float alpha);
+
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float max_abs() const;
+  /// Max |a - b| over all entries; shapes must match.
+  [[nodiscard]] static float max_abs_diff(const Tensor& a, const Tensor& b);
+
+ private:
+  Tensor(std::shared_ptr<detail::Storage> storage, Shape shape)
+      : storage_(std::move(storage)), shape_(std::move(shape)) {}
+
+  std::shared_ptr<detail::Storage> storage_;
+  Shape shape_;
+};
+
+}  // namespace edgetrain

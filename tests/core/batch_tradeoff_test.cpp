@@ -1,0 +1,97 @@
+#include "core/batch_tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace edgetrain::core {
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+BatchTradeoffConfig demo_config() {
+  BatchTradeoffConfig config;
+  config.depth = 50;
+  config.capacity_bytes = 2048.0 * kMiB;
+  config.fixed_bytes = 400.0 * kMiB;
+  config.act_bytes_per_sample = 6.0 * kMiB;  // per chain step, batch 1
+  config.efficiency_exponent = 1.0;
+  config.efficiency_half_batch = 4.0;
+  return config;
+}
+
+TEST(BatchTradeoff, SmallBatchFitsWithoutRecompute) {
+  const BatchTradeoffPlanner planner(demo_config());
+  // batch 1: 50 slots of 6 MB = 300 MB fits in 1648 MB of room.
+  const BatchPoint point = planner.evaluate(1);
+  EXPECT_TRUE(point.feasible);
+  EXPECT_EQ(point.total_slots, 50);
+  EXPECT_DOUBLE_EQ(point.rho, 1.0);
+}
+
+TEST(BatchTradeoff, RhoGrowsWithBatch) {
+  const BatchTradeoffPlanner planner(demo_config());
+  double prev = 0.0;
+  for (const std::int64_t k : {1, 2, 4, 8, 16, 32}) {
+    const BatchPoint point = planner.evaluate(k);
+    ASSERT_TRUE(point.feasible) << "batch " << k;
+    EXPECT_GE(point.rho, prev);
+    EXPECT_LE(point.peak_bytes, demo_config().capacity_bytes);
+    prev = point.rho;
+  }
+}
+
+TEST(BatchTradeoff, InfeasibleWhenOneSlotExceedsRoom) {
+  const BatchTradeoffPlanner planner(demo_config());
+  // room = 1648 MB; one slot costs k*6 MB -> k > 274 is infeasible.
+  EXPECT_TRUE(planner.evaluate(274).feasible);
+  EXPECT_FALSE(planner.evaluate(275).feasible);
+  EXPECT_TRUE(std::isinf(planner.evaluate(1000).time_per_sample));
+}
+
+TEST(BatchTradeoff, EfficiencySaturates) {
+  const BatchTradeoffPlanner planner(demo_config());
+  const BatchPoint small = planner.evaluate(1);
+  const BatchPoint large = planner.evaluate(64);
+  EXPECT_LT(small.efficiency, 0.3);
+  EXPECT_GT(large.efficiency, 0.9);
+}
+
+// The paper's closing claim: despite rho growing with batch size, the
+// optimal batch under a 2 GB cap is well above 1 once vectorisation
+// efficiency is accounted for.
+TEST(BatchTradeoff, OptimalBatchAboveOneWithEfficiency) {
+  const BatchTradeoffPlanner planner(demo_config());
+  const BatchPoint best = planner.best(128);
+  EXPECT_TRUE(best.feasible);
+  EXPECT_GT(best.batch, 1);
+  EXPECT_LT(best.time_per_sample, planner.evaluate(1).time_per_sample);
+}
+
+TEST(BatchTradeoff, NoEfficiencyMeansBatchOne) {
+  BatchTradeoffConfig config = demo_config();
+  config.efficiency_exponent = 0.0;  // flat efficiency: recompute only
+  const BatchTradeoffPlanner planner(config);
+  const BatchPoint best = planner.best(64);
+  EXPECT_EQ(best.batch, 1);  // rho is monotone in batch, so batch 1 wins
+}
+
+TEST(BatchTradeoff, SweepMatchesEvaluate) {
+  const BatchTradeoffPlanner planner(demo_config());
+  const auto points = planner.sweep({1, 3, 9});
+  ASSERT_EQ(points.size(), 3U);
+  EXPECT_EQ(points[1].batch, 3);
+  EXPECT_DOUBLE_EQ(points[2].rho, planner.evaluate(9).rho);
+}
+
+TEST(BatchTradeoff, RejectsBadConfig) {
+  BatchTradeoffConfig bad = demo_config();
+  bad.depth = 0;
+  EXPECT_THROW(BatchTradeoffPlanner{bad}, std::invalid_argument);
+  bad = demo_config();
+  bad.act_bytes_per_sample = 0.0;
+  EXPECT_THROW(BatchTradeoffPlanner{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgetrain::core

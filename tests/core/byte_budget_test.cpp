@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dynprog.hpp"
+#include "core/revolve.hpp"
+
+namespace edgetrain::core::hetero {
+namespace {
+
+std::vector<double> ones(int l) {
+  return std::vector<double>(static_cast<std::size_t>(l), 1.0);
+}
+
+std::vector<int> unit_sizes(int l) {
+  return std::vector<int>(static_cast<std::size_t>(std::max(l - 1, 0)), 1);
+}
+
+// With all states costing one unit, the byte-budget DP must equal the
+// slot-based solvers exactly.
+class UnitReductionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnitReductionTest, ReducesToSlotSolvers) {
+  const int l = GetParam();
+  for (int budget = 0; budget <= std::min(l - 1, 6); ++budget) {
+    const ByteBudgetSolver byte_solver(ones(l), unit_sizes(l), budget);
+    EXPECT_DOUBLE_EQ(byte_solver.forward_cost(),
+                     static_cast<double>(revolve::forward_cost(l, budget)))
+        << "l=" << l << " budget=" << budget;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, UnitReductionTest,
+                         ::testing::Values(1, 2, 4, 7, 12, 20, 33));
+
+TEST(ByteBudgetSolver, PrefersCheapBoundaries) {
+  // Chain of 8 uniform-cost steps; state 4 costs 1 unit, all others 4.
+  // With budget 1 the only storable state is 4 -- the solver must use it
+  // and beat the store-nothing fallback.
+  std::vector<int> units(7, 4);
+  units[3] = 1;  // state 4
+  const ByteBudgetSolver solver(ones(8), units, 1);
+  const ByteBudgetSolver nothing(ones(8), units, 0);
+  EXPECT_LT(solver.forward_cost(), nothing.forward_cost());
+  // Storing state 4 splits 8 into 4+4:
+  // F = 4 (advance) + F(4,0) + R(4,0) = 4 + (4+6) + 6 = 20.
+  EXPECT_DOUBLE_EQ(solver.forward_cost(), 20.0);
+}
+
+TEST(ByteBudgetSolver, MonotoneInBudget) {
+  std::vector<int> units{3, 1, 2, 1, 3, 1, 2, 1, 3, 1, 2};
+  const std::vector<double> costs = ones(12);
+  double prev = 1e300;
+  for (int budget = 0; budget <= 10; ++budget) {
+    const ByteBudgetSolver solver(costs, units, budget);
+    EXPECT_LE(solver.forward_cost(), prev) << "budget=" << budget;
+    prev = solver.forward_cost();
+  }
+}
+
+TEST(ByteBudgetSolver, BeatsUniformSlotsAtEqualBytes) {
+  // ResNet-like size profile: boundary states shrink by stages
+  // (8,8,8,4,4,4,2,2,2,1,1). Budget of 8 units: uniform-slot planning must
+  // assume the worst-case state size (8 units -> 1 slot), while the
+  // byte-aware DP can afford several small checkpoints.
+  const int l = 12;
+  std::vector<int> units{8, 8, 8, 4, 4, 4, 2, 2, 2, 1, 1};
+  const ByteBudgetSolver byte_solver(ones(l), units, 8);
+  // Worst-case-sized uniform slots: 8 units buy exactly 1 slot.
+  const HeteroSolver slot_solver(ones(l), 1);
+  EXPECT_LT(byte_solver.forward_cost(), slot_solver.forward_cost(1));
+}
+
+TEST(ByteBudgetSolver, ZeroBudgetIsQuadraticFallback) {
+  const int l = 9;
+  const ByteBudgetSolver solver(ones(l), unit_sizes(l), 0);
+  EXPECT_DOUBLE_EQ(solver.forward_cost(),
+                   static_cast<double>(l) * (l + 1) / 2.0);
+}
+
+TEST(ByteBudgetSolver, RejectsBadArguments) {
+  EXPECT_THROW(ByteBudgetSolver({}, {}, 1), std::invalid_argument);
+  EXPECT_THROW(ByteBudgetSolver(ones(3), {1}, 1), std::invalid_argument);
+  EXPECT_THROW(ByteBudgetSolver(ones(3), {1, 0}, 1), std::invalid_argument);
+  EXPECT_THROW(ByteBudgetSolver(ones(3), {1, 1}, -1), std::invalid_argument);
+}
+
+struct ByteCase {
+  int l;
+  int budget;
+};
+
+class ByteScheduleTest : public ::testing::TestWithParam<ByteCase> {};
+
+TEST_P(ByteScheduleTest, SchedulesValidate) {
+  const auto [l, budget] = GetParam();
+  std::vector<int> units;
+  for (int i = 1; i < l; ++i) units.push_back(1 + (i % 3));
+  const ByteBudgetSolver solver(ones(l), units, budget);
+  const Schedule schedule = solver.make_schedule();
+  EXPECT_EQ(schedule.validate(), std::nullopt)
+      << "l=" << l << " budget=" << budget;
+  EXPECT_EQ(schedule.stats().backwards, l);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ByteScheduleTest,
+                         ::testing::Values(ByteCase{1, 0}, ByteCase{4, 2},
+                                           ByteCase{8, 3}, ByteCase{12, 6},
+                                           ByteCase{20, 10}, ByteCase{30, 5}));
+
+TEST(ByteBudgetSolver, ScheduleAdvancesMatchAnalyticCost) {
+  // For unit costs the advances executed by the emitted schedule stay at
+  // or below the analytic count (the emitter folds the last backward into
+  // the sweep).
+  const int l = 16;
+  std::vector<int> units;
+  for (int i = 1; i < l; ++i) units.push_back(1 + (i % 2));
+  const ByteBudgetSolver solver(ones(l), units, 6);
+  const ScheduleStats stats = solver.make_schedule().stats();
+  EXPECT_LE(static_cast<double>(stats.advances), solver.forward_cost());
+}
+
+}  // namespace
+}  // namespace edgetrain::core::hetero

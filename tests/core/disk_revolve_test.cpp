@@ -1,0 +1,118 @@
+#include "core/disk_revolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/revolve.hpp"
+
+namespace edgetrain::core::disk {
+namespace {
+
+DiskRevolveOptions ram_only(int slots) {
+  DiskRevolveOptions options;
+  options.ram_slots = slots;
+  options.allow_disk = false;
+  return options;
+}
+
+// With disk disabled the two-level DP must reduce to single-level Revolve.
+class RamOnlyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RamOnlyTest, ReducesToRevolve) {
+  const int l = GetParam();
+  for (int s = 0; s <= std::min(l - 1, 6); ++s) {
+    const DiskRevolveSolver solver(l, ram_only(s));
+    EXPECT_DOUBLE_EQ(solver.forward_cost(),
+                     static_cast<double>(revolve::forward_cost(l, s)))
+        << "l=" << l << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, RamOnlyTest,
+                         ::testing::Values(1, 2, 4, 9, 17, 40, 101));
+
+TEST(DiskRevolve, FreeDiskCollapsesToFullStorageWork) {
+  // Zero-cost disk with any RAM: every boundary can be checkpointed, so the
+  // sweep is all the forward work needed.
+  DiskRevolveOptions options;
+  options.ram_slots = 1;
+  options.write_cost = 0.0;
+  options.read_cost = 0.0;
+  const DiskRevolveSolver solver(40, options);
+  EXPECT_DOUBLE_EQ(solver.forward_cost(), 40.0);
+  EXPECT_DOUBLE_EQ(solver.recompute_factor(), 1.0);
+}
+
+TEST(DiskRevolve, DiskNeverHurts) {
+  for (const int l : {8, 20, 64, 152}) {
+    for (const int s : {1, 2, 4}) {
+      DiskRevolveOptions with_disk;
+      with_disk.ram_slots = s;
+      with_disk.write_cost = 3.0;
+      with_disk.read_cost = 3.0;
+      const DiskRevolveSolver two_level(l, with_disk);
+      const DiskRevolveSolver one_level(l, ram_only(s));
+      EXPECT_LE(two_level.forward_cost(), one_level.forward_cost() + 1e-9)
+          << "l=" << l << " s=" << s;
+    }
+  }
+}
+
+TEST(DiskRevolve, DiskHelpsWhenRamIsScarce) {
+  // Deep chain, 1 RAM slot, moderately priced disk: the quadratic
+  // re-advance blowup should be avoided.
+  DiskRevolveOptions options;
+  options.ram_slots = 1;
+  options.write_cost = 5.0;
+  options.read_cost = 5.0;
+  const DiskRevolveSolver two_level(128, options);
+  const DiskRevolveSolver one_level(128, ram_only(1));
+  EXPECT_LT(two_level.forward_cost(), 0.6 * one_level.forward_cost());
+}
+
+TEST(DiskRevolve, ExpensiveDiskIsIgnored) {
+  DiskRevolveOptions options;
+  options.ram_slots = 3;
+  options.write_cost = 1e9;
+  options.read_cost = 1e9;
+  const DiskRevolveSolver solver(32, options);
+  EXPECT_DOUBLE_EQ(solver.forward_cost(),
+                   static_cast<double>(revolve::forward_cost(32, 3)));
+  EXPECT_EQ(solver.peak_disk_slots(), 0);
+}
+
+TEST(DiskRevolve, SchedulesValidate) {
+  for (const int l : {1, 2, 5, 16, 48}) {
+    for (const double cost : {0.5, 2.0, 8.0}) {
+      DiskRevolveOptions options;
+      options.ram_slots = 2;
+      options.write_cost = cost;
+      options.read_cost = cost;
+      const DiskRevolveSolver solver(l, options);
+      const Schedule schedule = solver.make_schedule();
+      EXPECT_EQ(schedule.validate(), std::nullopt)
+          << "l=" << l << " cost=" << cost;
+      EXPECT_EQ(schedule.stats().backwards, l);
+    }
+  }
+}
+
+TEST(DiskRevolve, PeakDiskSlotsCountsLiveDiskCheckpoints) {
+  DiskRevolveOptions options;
+  options.ram_slots = 1;
+  options.write_cost = 1.0;
+  options.read_cost = 1.0;
+  const DiskRevolveSolver solver(64, options);
+  EXPECT_GT(solver.peak_disk_slots(), 0);
+  EXPECT_LE(solver.peak_disk_slots(), 64);
+}
+
+TEST(DiskRevolve, RejectsBadArguments) {
+  EXPECT_THROW(DiskRevolveSolver(0, DiskRevolveOptions{}),
+               std::invalid_argument);
+  DiskRevolveOptions negative;
+  negative.write_cost = -1.0;
+  EXPECT_THROW(DiskRevolveSolver(4, negative), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgetrain::core::disk

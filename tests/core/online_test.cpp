@@ -1,0 +1,113 @@
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/periodic.hpp"
+#include "core/revolve.hpp"
+
+namespace edgetrain::core::online {
+namespace {
+
+TEST(OnlineCheckpointer, StoresEveryStateWhileSlotsLast) {
+  OnlineCheckpointer policy(4);
+  for (std::int32_t s = 1; s <= 4; ++s) EXPECT_TRUE(policy.advance(s));
+  EXPECT_EQ(policy.current_stride(), 1);
+  EXPECT_EQ(policy.stored_states(), (std::vector<std::int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(OnlineCheckpointer, DoublesStrideWhenFull) {
+  OnlineCheckpointer policy(4);
+  for (std::int32_t s = 1; s <= 4; ++s) (void)policy.advance(s);
+  // State 5 is not on the doubled grid; the doubling still happens lazily
+  // at the next on-grid candidate.
+  EXPECT_FALSE(policy.advance(5));
+  EXPECT_TRUE(policy.advance(6));
+  EXPECT_EQ(policy.current_stride(), 2);
+  EXPECT_EQ(policy.stored_states(), (std::vector<std::int32_t>{0, 2, 4, 6}));
+  EXPECT_GT(policy.evictions(), 0);
+}
+
+TEST(OnlineCheckpointer, SlotBudgetNeverExceeded) {
+  for (const int slots : {1, 2, 3, 5, 8}) {
+    OnlineCheckpointer policy(slots);
+    for (std::int32_t s = 1; s <= 500; ++s) {
+      (void)policy.advance(s);
+      EXPECT_LE(static_cast<int>(policy.stored_states().size()), slots + 1)
+          << "slots=" << slots << " state=" << s;
+    }
+  }
+}
+
+TEST(OnlineCheckpointer, PositionsStayEvenlySpread) {
+  const OnlineCheckpointer policy = simulate_stream(333, 6);
+  const auto states = policy.stored_states();
+  // All stored states lie on the current stride grid.
+  for (const std::int32_t s : states) {
+    EXPECT_EQ(s % policy.current_stride(), 0);
+  }
+  // Largest gap (including the tail) is at most 2 * stride.
+  std::int32_t prev = 0;
+  std::int32_t max_gap = 0;
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    max_gap = std::max(max_gap, states[i] - prev);
+    prev = states[i];
+  }
+  max_gap = std::max(max_gap, 333 - prev);
+  EXPECT_LE(max_gap, 2 * policy.current_stride());
+}
+
+TEST(OnlineCheckpointer, OutOfOrderStatesThrow) {
+  OnlineCheckpointer policy(2);
+  EXPECT_TRUE(policy.advance(1));
+  EXPECT_THROW((void)policy.advance(3), std::logic_error);
+}
+
+TEST(OnlineCheckpointer, ZeroSlotsStoresNothing) {
+  const OnlineCheckpointer policy = simulate_stream(40, 0);
+  EXPECT_EQ(policy.stored_states(), (std::vector<std::int32_t>{0}));
+  EXPECT_EQ(policy.reversal_cost(), 40LL * 39 / 2);
+}
+
+TEST(OnlineCheckpointer, ReversalCostWithinConstantOfOffline) {
+  // Not knowing l in advance costs at most a small constant over offline
+  // periodic placement with the same memory, and a bounded factor over the
+  // offline-optimal Revolve.
+  for (const int l : {37, 100, 152, 400}) {
+    for (const int s : {2, 4, 8}) {
+      const OnlineCheckpointer policy = simulate_stream(l, s);
+      const std::int64_t online_total = l + policy.reversal_cost();
+      const std::int64_t periodic_total = periodic::forward_cost(l, s);
+      EXPECT_LE(online_total, 4 * periodic_total) << "l=" << l << " s=" << s;
+      const std::int64_t optimal = revolve::forward_cost(l, s);
+      EXPECT_GE(online_total, optimal);
+    }
+  }
+}
+
+struct OnlineCase {
+  int l;
+  int s;
+};
+
+class OnlineScheduleTest : public ::testing::TestWithParam<OnlineCase> {};
+
+TEST_P(OnlineScheduleTest, SchedulesValidateAndFitMemory) {
+  const auto [l, s] = GetParam();
+  const OnlineCheckpointer policy = simulate_stream(l, s);
+  const Schedule schedule = policy.make_schedule();
+  EXPECT_EQ(schedule.validate(), std::nullopt) << "l=" << l << " s=" << s;
+  const ScheduleStats stats = schedule.stats();
+  EXPECT_EQ(stats.backwards, l);
+  EXPECT_LE(stats.peak_memory_units, s + 2);
+  // Executed advances = sweep + reversal re-advances.
+  EXPECT_EQ(stats.advances, l + policy.reversal_cost());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OnlineScheduleTest,
+    ::testing::Values(OnlineCase{1, 0}, OnlineCase{5, 2}, OnlineCase{16, 3},
+                      OnlineCase{17, 3}, OnlineCase{64, 4}, OnlineCase{100, 6},
+                      OnlineCase{152, 5}, OnlineCase{33, 1}));
+
+}  // namespace
+}  // namespace edgetrain::core::online

@@ -1,0 +1,102 @@
+#include "core/periodic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/revolve.hpp"
+#include "core/sequential.hpp"
+
+namespace edgetrain::core::periodic {
+namespace {
+
+TEST(PeriodicCost, BaseCases) {
+  // s = 0: one segment of length l -> l + l(l-1)/2 (same as Revolve's base).
+  EXPECT_EQ(forward_cost(1, 0), 1);
+  EXPECT_EQ(forward_cost(4, 0), 4 + 6);
+  EXPECT_EQ(forward_cost(10, 0), 10 + 45);
+  // s >= l-1: segments of length 1, no re-advances.
+  EXPECT_EQ(forward_cost(7, 6), 7);
+  EXPECT_EQ(forward_cost(7, 100), 7);
+}
+
+TEST(PeriodicCost, EvenSplitExample) {
+  // l = 12, s = 2 -> 3 segments of 4: 12 + 3 * (4*3/2) = 12 + 18.
+  EXPECT_EQ(forward_cost(12, 2), 30);
+  // l = 10, s = 2 -> segments 4,3,3: 10 + 6 + 3 + 3 = 22.
+  EXPECT_EQ(forward_cost(10, 2), 22);
+}
+
+TEST(PeriodicCost, MonotoneInSlots) {
+  for (const int l : {5, 18, 64, 152}) {
+    std::int64_t prev = forward_cost(l, 0);
+    for (int s = 1; s < l; ++s) {
+      const std::int64_t cost = forward_cost(l, s);
+      EXPECT_LE(cost, prev) << "l=" << l << " s=" << s;
+      prev = cost;
+    }
+  }
+}
+
+TEST(PeriodicCost, RevolveDominatesEverywhere) {
+  for (const int l : {5, 18, 34, 50, 101, 152}) {
+    const revolve::RevolveTable table(l, l - 1);
+    for (int s = 0; s < l; ++s) {
+      EXPECT_LE(table.forward_cost(l, s), forward_cost(l, s))
+          << "l=" << l << " s=" << s;
+    }
+  }
+}
+
+TEST(PeriodicCost, RejectsBadArguments) {
+  EXPECT_THROW((void)forward_cost(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)forward_cost(5, -1), std::invalid_argument);
+}
+
+TEST(PeriodicRho, OneOnlyAtFullStorage) {
+  EXPECT_DOUBLE_EQ(recompute_factor(20, 19), 1.0);
+  EXPECT_GT(recompute_factor(20, 5), 1.0);
+}
+
+struct PeriodicCase {
+  int l;
+  int s;
+};
+
+class PeriodicScheduleTest : public ::testing::TestWithParam<PeriodicCase> {};
+
+TEST_P(PeriodicScheduleTest, ValidatesAndFitsMemory) {
+  const auto [l, s] = GetParam();
+  const Schedule schedule = make_schedule(l, s);
+  EXPECT_EQ(schedule.validate(), std::nullopt) << "l=" << l << " s=" << s;
+  const ScheduleStats stats = schedule.stats();
+  EXPECT_EQ(stats.backwards, l);
+  EXPECT_EQ(stats.forward_saves, l);
+  const int s_eff = std::min(s, l - 1);
+  EXPECT_EQ(stats.peak_memory_units, s_eff + 1);
+  // The emitter folds the last backward into the sweep, so executed
+  // advances stay at or below the analytic figure.
+  EXPECT_LE(stats.advances, forward_cost(l, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PeriodicScheduleTest,
+    ::testing::Values(PeriodicCase{1, 0}, PeriodicCase{2, 0},
+                      PeriodicCase{5, 1}, PeriodicCase{10, 2},
+                      PeriodicCase{12, 3}, PeriodicCase{13, 3},
+                      PeriodicCase{33, 7}, PeriodicCase{152, 11},
+                      PeriodicCase{20, 19}));
+
+TEST(PeriodicVsSequential, TradeoffDirections) {
+  // At the same slot count, periodic uses less memory (s+1 units vs
+  // s + last-segment) but more work.
+  const int l = 60;
+  for (const int s : {2, 4, 6}) {
+    const std::int64_t periodic_mem =
+        make_schedule(l, s).stats().peak_memory_units;
+    const std::int64_t seq_mem = seq::memory_units(l, s + 1);
+    EXPECT_LT(periodic_mem, seq_mem) << "s=" << s;
+    EXPECT_GT(forward_cost(l, s), seq::forward_cost(l, s + 1)) << "s=" << s;
+  }
+}
+
+}  // namespace
+}  // namespace edgetrain::core::periodic

@@ -1,0 +1,117 @@
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace edgetrain::core {
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+ChainSpec demo_chain(int depth = 50, double fixed_mib = 400.0,
+                     double act_mib = 5.0) {
+  ChainSpec spec;
+  spec.name = "demo";
+  spec.depth = depth;
+  spec.fixed_bytes = fixed_mib * kMiB;
+  spec.activation_bytes_per_step = act_mib * kMiB;
+  return spec;
+}
+
+TEST(MemoryPlanner, FullStorageBytesAtRhoOne) {
+  const MemoryPlanner planner(demo_chain());
+  const PlanPoint point = planner.plan_for_rho(1.0);
+  EXPECT_EQ(point.free_slots, 49);
+  EXPECT_EQ(point.total_slots, 50);
+  EXPECT_DOUBLE_EQ(point.achieved_rho, 1.0);
+  EXPECT_DOUBLE_EQ(point.peak_bytes, planner.no_checkpoint_bytes());
+}
+
+TEST(MemoryPlanner, MinPossibleIsOneSlot) {
+  const MemoryPlanner planner(demo_chain());
+  EXPECT_DOUBLE_EQ(planner.min_possible_bytes(),
+                   (400.0 + 5.0) * kMiB);
+}
+
+TEST(MemoryPlanner, MemoryMonotoneNonIncreasingInRho) {
+  const MemoryPlanner planner(demo_chain(101));
+  double prev = std::numeric_limits<double>::infinity();
+  for (const PlanPoint& point : planner.sweep_rho(1.0, 3.0, 41)) {
+    EXPECT_LE(point.peak_bytes, prev + 1e-6);
+    EXPECT_LE(point.achieved_rho, point.rho_budget + 1e-9);
+    prev = point.peak_bytes;
+  }
+}
+
+TEST(MemoryPlanner, SweepEndpointsAreExtremes) {
+  const MemoryPlanner planner(demo_chain(64));
+  const auto curve = planner.sweep_rho(1.0, 8.0, 30);
+  EXPECT_DOUBLE_EQ(curve.front().peak_bytes, planner.no_checkpoint_bytes());
+  // At a generous budget the *activation* footprint collapses (the fixed
+  // weight/optimizer bytes are incompressible).
+  const double fixed = planner.chain().fixed_bytes;
+  EXPECT_LT(curve.back().peak_bytes - fixed,
+            0.15 * (planner.no_checkpoint_bytes() - fixed));
+}
+
+TEST(MemoryPlanner, ReportFitsWithoutCheckpointing) {
+  const MemoryPlanner planner(demo_chain(20, 100.0, 2.0));
+  // Full storage = 100 + 40 = 140 MiB.
+  const PlanReport report = planner.report_for_device(200.0 * kMiB);
+  EXPECT_TRUE(report.fits_without_checkpointing);
+  EXPECT_TRUE(report.fits_with_checkpointing);
+  EXPECT_DOUBLE_EQ(report.min_rho_to_fit, 1.0);
+}
+
+TEST(MemoryPlanner, ReportNeedsCheckpointing) {
+  const MemoryPlanner planner(demo_chain(50, 400.0, 5.0));
+  // Full storage 650 MiB; device 500 MiB -> 20 total slots max.
+  const PlanReport report = planner.report_for_device(500.0 * kMiB);
+  EXPECT_FALSE(report.fits_without_checkpointing);
+  EXPECT_TRUE(report.fits_with_checkpointing);
+  EXPECT_GT(report.min_rho_to_fit, 1.0);
+  EXPECT_LE(report.recommended.peak_bytes, 500.0 * kMiB);
+  EXPECT_LE(report.recommended.total_slots, 20);
+}
+
+TEST(MemoryPlanner, ReportInfeasibleDevice) {
+  const MemoryPlanner planner(demo_chain(50, 400.0, 5.0));
+  const PlanReport report = planner.report_for_device(300.0 * kMiB);
+  EXPECT_FALSE(report.fits_with_checkpointing);
+  EXPECT_TRUE(std::isinf(report.min_rho_to_fit));
+}
+
+TEST(MemoryPlanner, NMaxMatchesPaperFormula) {
+  // n_max = (M_C - M_W) / (k * M_A)
+  EXPECT_EQ(MemoryPlanner::max_depth_without_checkpointing(
+                2048.0 * kMiB, 178.0 * kMiB, 55.0 * kMiB),
+            34);  // (2048-178)/55 = 34.0
+  EXPECT_EQ(MemoryPlanner::max_depth_without_checkpointing(
+                100.0 * kMiB, 200.0 * kMiB, 1.0 * kMiB),
+            0);
+}
+
+TEST(MemoryPlanner, PlanForRhoUsesMinimalSlots) {
+  const MemoryPlanner planner(demo_chain(101));
+  const PlanPoint point = planner.plan_for_rho(1.5);
+  // The chosen slot count is minimal: one fewer exceeds the budget.
+  EXPECT_LE(point.achieved_rho, 1.5);
+  if (point.free_slots > 0) {
+    const PlanPoint tighter = planner.plan_for_rho(point.achieved_rho - 1e-6);
+    EXPECT_GE(tighter.free_slots, point.free_slots);
+  }
+}
+
+TEST(MemoryPlanner, RejectsBadChain) {
+  ChainSpec bad = demo_chain();
+  bad.depth = 0;
+  EXPECT_THROW(MemoryPlanner{bad}, std::invalid_argument);
+  ChainSpec zero_act = demo_chain();
+  zero_act.activation_bytes_per_step = 0.0;
+  EXPECT_THROW(MemoryPlanner{zero_act}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgetrain::core

@@ -1,0 +1,179 @@
+// Fuzz coverage: randomly-structured (but valid-by-construction) schedules
+// must validate, respect their slot bound, and produce gradients
+// bit-identical to full storage on a real network. This guards the
+// executor and layer save/backward contracts against schedule shapes none
+// of the deterministic schedulers happen to emit.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/executor.hpp"
+#include "models/small_nets.hpp"
+#include "nn/chain_runner.hpp"
+#include "tensor/ops.hpp"
+
+namespace edgetrain::core {
+namespace {
+
+/// Emits a random reversal of [a, b) with random split points, using the
+/// free slots in `pool`. Mirrors the revolve emitter's structure but picks
+/// splits (and occasional slot-less fallbacks) at random.
+class RandomScheduleBuilder {
+ public:
+  RandomScheduleBuilder(int num_steps, int free_slots, std::mt19937& rng)
+      : schedule_(num_steps, free_slots + 1), rng_(rng) {
+    for (std::int32_t slot = free_slots; slot >= 1; --slot) {
+      pool_.push_back(slot);
+    }
+  }
+
+  Schedule build() {
+    schedule_.store(0, 0);
+    sweep(0, schedule_.num_steps(), 0);
+    schedule_.free(0);
+    return std::move(schedule_);
+  }
+
+ private:
+  void reverse_one(std::int32_t step) {
+    schedule_.forward_save(step);
+    schedule_.backward(step);
+  }
+
+  void quadratic_base(std::int32_t a, std::int32_t b, std::int32_t input_slot,
+                      bool from_sweep) {
+    if (from_sweep) {
+      for (std::int32_t i = a; i < b - 1; ++i) schedule_.forward(i);
+      reverse_one(b - 1);
+      for (std::int32_t i = b - 2; i >= a; --i) {
+        schedule_.restore(a, input_slot);
+        for (std::int32_t k = a; k < i; ++k) schedule_.forward(k);
+        reverse_one(i);
+      }
+    } else {
+      for (std::int32_t i = b - 1; i >= a; --i) {
+        if (i != b - 1) schedule_.restore(a, input_slot);
+        for (std::int32_t k = a; k < i; ++k) schedule_.forward(k);
+        reverse_one(i);
+      }
+    }
+  }
+
+  void sweep(std::int32_t a, std::int32_t b, std::int32_t input_slot) {
+    if (b - a == 1) {
+      reverse_one(a);
+      return;
+    }
+    if (pool_.empty() || coin(0.25F)) {  // random slot-less fallback
+      quadratic_base(a, b, input_slot, /*from_sweep=*/true);
+      return;
+    }
+    const std::int32_t j = pick_split(a, b);
+    for (std::int32_t i = a; i < j; ++i) schedule_.forward(i);
+    const std::int32_t slot = take_slot();
+    schedule_.store(j, slot);
+    sweep(j, b, slot);
+    give_slot(slot);
+    schedule_.restore(a, input_slot);
+    reverse(a, j, input_slot);
+  }
+
+  void reverse(std::int32_t a, std::int32_t b, std::int32_t input_slot) {
+    if (b - a == 1) {
+      reverse_one(a);
+      return;
+    }
+    if (pool_.empty() || coin(0.25F)) {
+      quadratic_base(a, b, input_slot, /*from_sweep=*/false);
+      return;
+    }
+    const std::int32_t j = pick_split(a, b);
+    for (std::int32_t i = a; i < j; ++i) schedule_.forward(i);
+    const std::int32_t slot = take_slot();
+    schedule_.store(j, slot);
+    reverse(j, b, slot);
+    give_slot(slot);
+    schedule_.restore(a, input_slot);
+    reverse(a, j, input_slot);
+  }
+
+  bool coin(float p) {
+    return std::uniform_real_distribution<float>(0.0F, 1.0F)(rng_) < p;
+  }
+  std::int32_t pick_split(std::int32_t a, std::int32_t b) {
+    return std::uniform_int_distribution<std::int32_t>(a + 1, b - 1)(rng_);
+  }
+  std::int32_t take_slot() {
+    const std::int32_t slot = pool_.back();
+    pool_.pop_back();
+    return slot;
+  }
+  void give_slot(std::int32_t slot) { pool_.push_back(slot); }
+
+  Schedule schedule_;
+  std::mt19937& rng_;
+  std::vector<std::int32_t> pool_;
+};
+
+class ScheduleFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleFuzzTest, RandomSchedulesValidateAndMatchFullStorage) {
+  std::mt19937 rng(static_cast<std::uint32_t>(GetParam()));
+  std::uniform_int_distribution<int> l_dist(1, 12);
+  std::uniform_int_distribution<int> s_dist(0, 5);
+
+  // A fixed small network reused across the fuzz iterations of this seed.
+  std::mt19937 net_rng(4040);
+  nn::LayerChain chain = models::build_mini_resnet(1, 4, 3, 1, net_rng);
+  Tensor input = Tensor::randn(Shape{2, 1, 12, 12}, net_rng);
+  const std::vector<std::int32_t> labels{0, 2};
+
+  auto run = [&](const Schedule& schedule) {
+    chain.zero_grad();
+    chain.clear_saved();
+    nn::LayerChainRunner runner(chain, nn::Phase::Train);
+    runner.begin_pass();
+    ScheduleExecutor executor;
+    const LossGradFn loss_grad = [&](const Tensor& logits) {
+      const ops::SoftmaxXentResult r =
+          ops::softmax_xent_forward(logits, labels);
+      return ops::softmax_xent_backward(r.probs, labels);
+    };
+    const ExecutionResult result =
+        executor.run(runner, schedule, input, loss_grad);
+    std::vector<Tensor> grads{result.input_grad.clone()};
+    for (const nn::ParamRef& p : chain.params()) {
+      grads.push_back(p.grad->clone());
+    }
+    return grads;
+  };
+
+  const int l = chain.size();
+  const std::vector<Tensor> reference = run(full_storage_schedule(l));
+
+  for (int iter = 0; iter < 6; ++iter) {
+    const int s = s_dist(rng);
+    (void)l_dist;
+    RandomScheduleBuilder builder(l, s, rng);
+    const Schedule schedule = builder.build();
+    ASSERT_EQ(schedule.validate(), std::nullopt)
+        << "seed=" << GetParam() << " iter=" << iter << "\n"
+        << schedule.to_string();
+    const ScheduleStats stats = schedule.stats();
+    EXPECT_LE(stats.peak_slots_in_use, s + 1);
+    EXPECT_EQ(stats.backwards, l);
+
+    const std::vector<Tensor> grads = run(schedule);
+    ASSERT_EQ(grads.size(), reference.size());
+    for (std::size_t g = 0; g < grads.size(); ++g) {
+      EXPECT_EQ(Tensor::max_abs_diff(grads[g], reference[g]), 0.0F)
+          << "seed=" << GetParam() << " iter=" << iter << " grad=" << g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzzTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace edgetrain::core

@@ -1,0 +1,147 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/executor.hpp"
+
+namespace edgetrain::core {
+namespace {
+
+Schedule tiny_valid_schedule() {
+  // l = 2, 2 slots: store input, save-forward both steps, reverse.
+  Schedule s(2, 2);
+  s.store(0, 0);
+  s.forward_save(0);
+  s.forward_save(1);
+  s.backward(1);
+  s.backward(0);
+  s.free(0);
+  return s;
+}
+
+TEST(Schedule, ValidScheduleValidates) {
+  EXPECT_EQ(tiny_valid_schedule().validate(), std::nullopt);
+}
+
+TEST(Schedule, StatsCountsActions) {
+  const ScheduleStats stats = tiny_valid_schedule().stats();
+  EXPECT_EQ(stats.advances, 0);
+  EXPECT_EQ(stats.forward_saves, 2);
+  EXPECT_EQ(stats.backwards, 2);
+  EXPECT_EQ(stats.stores, 1);
+  EXPECT_EQ(stats.restores, 0);
+  EXPECT_EQ(stats.peak_slots_in_use, 1);
+  // input slot discounted: peak units = 1 slot + 2 live saves - 1 = 2.
+  EXPECT_EQ(stats.peak_memory_units, 2);
+}
+
+TEST(Schedule, FullStorageHelperValidatesAndReplaysToL) {
+  for (const int l : {1, 2, 3, 5, 9, 17}) {
+    const Schedule s = full_storage_schedule(l);
+    EXPECT_EQ(s.validate(), std::nullopt) << "l=" << l;
+    const ScheduleStats stats = s.stats();
+    EXPECT_EQ(stats.advances, 0);
+    EXPECT_EQ(stats.forward_saves, l);
+    EXPECT_EQ(stats.backwards, l);
+    EXPECT_EQ(stats.peak_memory_units, l);
+    EXPECT_DOUBLE_EQ(stats.recompute_factor_strict(l), 1.0);
+  }
+}
+
+TEST(Schedule, RejectsForwardFromWrongState) {
+  Schedule s(2, 1);
+  s.store(0, 0);
+  s.forward_save(1);  // current state is 0
+  const auto error = s.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("current state"), std::string::npos);
+}
+
+TEST(Schedule, RejectsBackwardWithoutSavedIntermediates) {
+  Schedule s(1, 1);
+  s.store(0, 0);
+  s.forward(0);  // plain advance, nothing saved
+  s.backward(0);
+  ASSERT_TRUE(s.validate().has_value());
+}
+
+TEST(Schedule, RejectsOutOfOrderBackward) {
+  Schedule s(2, 1);
+  s.store(0, 0);
+  s.forward_save(0);
+  s.backward(0);  // must reverse step 1 first
+  ASSERT_TRUE(s.validate().has_value());
+}
+
+TEST(Schedule, RejectsRestoreFromEmptySlot) {
+  Schedule s(1, 2);
+  s.restore(0, 1);
+  ASSERT_TRUE(s.validate().has_value());
+}
+
+TEST(Schedule, RejectsRestoreOfWrongState) {
+  Schedule s(2, 1);
+  s.store(0, 0);
+  s.forward(0);
+  s.restore(1, 0);  // slot holds state 0, not 1
+  ASSERT_TRUE(s.validate().has_value());
+}
+
+TEST(Schedule, RejectsSlotOutOfRange) {
+  Schedule s(1, 1);
+  s.store(0, 3);
+  ASSERT_TRUE(s.validate().has_value());
+}
+
+TEST(Schedule, RejectsIncompleteReversal) {
+  Schedule s(2, 1);
+  s.store(0, 0);
+  s.forward(0);
+  s.forward_save(1);
+  s.backward(1);
+  const auto error = s.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("incomplete"), std::string::npos);
+}
+
+TEST(Schedule, RejectsDoubleForwardSaveOfLiveStep) {
+  Schedule s(2, 2);
+  s.store(0, 0);
+  s.forward_save(0);
+  s.restore(0, 0);
+  s.forward_save(0);  // intermediates of step 0 already live
+  ASSERT_TRUE(s.validate().has_value());
+}
+
+TEST(Schedule, ToStringMentionsEveryAction) {
+  const Schedule s = tiny_valid_schedule();
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("Store"), std::string::npos);
+  EXPECT_NE(text.find("ForwardSave"), std::string::npos);
+  EXPECT_NE(text.find("Backward"), std::string::npos);
+  EXPECT_NE(text.find("Free"), std::string::npos);
+}
+
+TEST(Schedule, ActionTypeNames) {
+  EXPECT_EQ(to_string(ActionType::Forward), "Forward");
+  EXPECT_EQ(to_string(ActionType::Restore), "Restore");
+}
+
+TEST(ScheduleStats, StrictRecomputeFactorCountsEverything) {
+  Schedule s(2, 2);
+  s.store(0, 0);
+  s.forward(0);
+  s.store(1, 1);
+  s.forward_save(1);
+  s.backward(1);
+  s.restore(0, 0);
+  s.forward_save(0);
+  s.backward(0);
+  EXPECT_EQ(s.validate(), std::nullopt);
+  const ScheduleStats stats = s.stats();
+  // (1 advance + 2 saves + 2 backwards) / 4
+  EXPECT_DOUBLE_EQ(stats.recompute_factor_strict(2), 1.25);
+}
+
+}  // namespace
+}  // namespace edgetrain::core

@@ -1,0 +1,122 @@
+#include "core/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/revolve.hpp"
+
+namespace edgetrain::core::seq {
+namespace {
+
+TEST(MemoryUnits, MatchesPaperFormula) {
+  // Memory(l, s) = (s-1) + (l - floor(l/s) * (s-1)).
+  EXPECT_EQ(memory_units(10, 1), 10);   // one segment = full storage
+  EXPECT_EQ(memory_units(10, 2), 6);    // 1 + (10 - 5)
+  EXPECT_EQ(memory_units(10, 5), 6);    // 4 + (10 - 2*4)
+  EXPECT_EQ(memory_units(12, 3), 6);    // 2 + (12 - 4*2)
+  EXPECT_EQ(memory_units(100, 10), 19); // 9 + (100 - 90)
+}
+
+TEST(MemoryUnits, RejectsBadArguments) {
+  EXPECT_THROW((void)memory_units(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)memory_units(5, 0), std::invalid_argument);
+  EXPECT_THROW((void)memory_units(5, 6), std::invalid_argument);
+}
+
+TEST(ForwardCost, SweepPlusOneReforwardPerEarlySegment) {
+  EXPECT_EQ(forward_cost(10, 1), 10);        // no recompute
+  EXPECT_EQ(forward_cost(10, 2), 15);        // + floor(10/2)
+  EXPECT_EQ(forward_cost(12, 3), 20);        // + 2*4
+}
+
+TEST(RecomputeFactor, BoundedByOnePointFive) {
+  for (const int l : {4, 10, 31, 100, 152}) {
+    for (int s = 1; s <= l; ++s) {
+      const double rho = recompute_factor(l, s);
+      EXPECT_GE(rho, 1.0);
+      EXPECT_LE(rho, 1.5);
+    }
+  }
+}
+
+TEST(BestPlan, NearTwoSqrtL) {
+  for (const int l : {16, 64, 100, 152, 400}) {
+    const SegmentedPlan plan = best_plan(l);
+    const double bound = memory_lower_bound(l);
+    EXPECT_GE(static_cast<double>(plan.memory_units), bound - 2.0)
+        << "l=" << l;
+    // The optimum is close to the bound (within ~2x for these sizes).
+    EXPECT_LE(static_cast<double>(plan.memory_units), 2.0 * bound + 2.0)
+        << "l=" << l;
+  }
+}
+
+TEST(BestPlan, OptimalOverAllSegmentCounts) {
+  const int l = 97;
+  const SegmentedPlan plan = best_plan(l);
+  for (int s = 1; s <= l; ++s) {
+    EXPECT_LE(plan.memory_units, memory_units(l, s));
+  }
+}
+
+// The paper's Section V/VI punchline: at any memory budget the binomial
+// scheduler needs no more work than uniform segmentation, and at the
+// segmented scheduler's own memory it is never worse.
+TEST(SequentialVsBinomial, BinomialDominatesAtEqualMemory) {
+  for (const int l : {18, 34, 50, 101, 152}) {
+    for (int s = 2; s <= l / 2; ++s) {
+      const std::int64_t mem = memory_units(l, s);
+      // Give Revolve the same number of activation units: free slots =
+      // mem - 1 (one unit is the live frontier).
+      const auto free_slots = static_cast<int>(mem - 1);
+      const std::int64_t binomial_cost =
+          revolve::forward_cost(l, free_slots);
+      EXPECT_LE(binomial_cost, forward_cost(l, s))
+          << "l=" << l << " segments=" << s;
+    }
+  }
+}
+
+TEST(SequentialVsBinomial, BinomialReachesFarBelowTwoSqrtL) {
+  // Sequential memory is bounded below by ~2*sqrt(l); Revolve at the same
+  // work budget (rho <= 1.5) gets well under it for deep chains.
+  const int l = 152;
+  const int s = revolve::min_free_slots_for_rho(l, 1.5);
+  const double revolve_units = s + 1;
+  EXPECT_LT(revolve_units, memory_lower_bound(l));
+}
+
+// ---------------------------------------------------------------------------
+// Schedule generation
+// ---------------------------------------------------------------------------
+
+struct SeqCase {
+  int l;
+  int s;
+};
+
+class SeqScheduleTest : public ::testing::TestWithParam<SeqCase> {};
+
+TEST_P(SeqScheduleTest, ValidatesAndReplaysToFormula) {
+  const auto [l, s] = GetParam();
+  const Schedule schedule = make_schedule(l, s);
+  EXPECT_EQ(schedule.validate(), std::nullopt) << "l=" << l << " s=" << s;
+  const ScheduleStats stats = schedule.stats();
+  EXPECT_EQ(stats.backwards, l);
+  EXPECT_EQ(stats.peak_memory_units, memory_units(l, s));
+  // Strict forward executions equal the analytic cost exactly: the sweep
+  // runs the last segment in saving mode, every earlier segment re-forwards
+  // once in saving mode.
+  EXPECT_EQ(stats.advances + stats.forward_saves, forward_cost(l, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SeqScheduleTest,
+    ::testing::Values(SeqCase{1, 1}, SeqCase{4, 2}, SeqCase{10, 1},
+                      SeqCase{10, 2}, SeqCase{10, 3}, SeqCase{10, 5},
+                      SeqCase{12, 4}, SeqCase{33, 6}, SeqCase{100, 10},
+                      SeqCase{152, 12}, SeqCase{152, 152}));
+
+}  // namespace
+}  // namespace edgetrain::core::seq

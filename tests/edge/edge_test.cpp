@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "edge/device.hpp"
+#include "edge/power.hpp"
+#include "edge/scheduler.hpp"
+#include "edge/storage.hpp"
+
+namespace edgetrain::edge {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Device
+// ---------------------------------------------------------------------------
+
+TEST(Device, WaggleMatchesPaperSectionII) {
+  const EdgeDevice waggle = EdgeDevice::waggle_odroid_xu4();
+  EXPECT_EQ(waggle.memory_bytes, 2ULL << 30);  // 2 GB LPDDR3
+  EXPECT_EQ(waggle.big_cores, 4);              // A15
+  EXPECT_EQ(waggle.little_cores, 4);           // A7
+  EXPECT_EQ(waggle.total_cores(), 8);
+  EXPECT_GT(waggle.storage_bytes, 0ULL);       // SD card
+}
+
+TEST(Device, UplinkSeconds) {
+  EdgeDevice d = EdgeDevice::waggle_odroid_xu4();
+  d.uplink_mbps = 8.0;
+  EXPECT_NEAR(d.uplink_seconds(1e6), 1.0, 1e-9);  // 1 MB at 8 Mbps = 1 s
+}
+
+TEST(Device, DiskCostUnitsScaleWithCheckpointSize) {
+  const EdgeDevice d = EdgeDevice::waggle_odroid_xu4();
+  const double small = d.disk_write_cost_units(1e6, 1e9);
+  const double large = d.disk_write_cost_units(4e6, 1e9);
+  EXPECT_NEAR(large / small, 4.0, 1e-9);
+  // Reads are faster than writes on SD cards.
+  EXPECT_LT(d.disk_read_cost_units(1e6, 1e9), small);
+}
+
+// ---------------------------------------------------------------------------
+// Storage
+// ---------------------------------------------------------------------------
+
+TEST(ImageStore, PaperStorageBudgetHolds) {
+  // "Storing even about 100,000 of these images would require about 1GB":
+  // at 10 kB per image, 100k images use ~0.95 GiB of a 1 GiB card.
+  ImageStore store(1ULL << 30, /*evict_oldest=*/false);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(store.add(i % 4, 10 * 1024).has_value()) << i;
+  }
+  EXPECT_EQ(store.size(), 100000U);
+  EXPECT_LE(store.used_bytes(), 1ULL << 30);
+}
+
+TEST(ImageStore, RejectsWhenFullWithoutEviction) {
+  ImageStore store(30, false);
+  EXPECT_TRUE(store.add(0, 10).has_value());
+  EXPECT_TRUE(store.add(0, 10).has_value());
+  EXPECT_TRUE(store.add(0, 10).has_value());
+  EXPECT_FALSE(store.add(0, 10).has_value());
+  EXPECT_EQ(store.size(), 3U);
+}
+
+TEST(ImageStore, EvictsOldestWhenAllowed) {
+  ImageStore store(30, true);
+  const auto first = store.add(1, 10);
+  (void)store.add(2, 10);
+  (void)store.add(3, 10);
+  const auto fourth = store.add(4, 10);
+  ASSERT_TRUE(fourth.has_value());
+  EXPECT_EQ(store.size(), 3U);
+  EXPECT_EQ(store.evicted_count(), 1U);
+  EXPECT_NE(store.images().front().id, first.value());
+}
+
+TEST(ImageStore, OversizedImageRejected) {
+  ImageStore store(100, true);
+  EXPECT_FALSE(store.add(0, 200).has_value());
+}
+
+TEST(ImageStore, LabelHistogram) {
+  ImageStore store(1000, false);
+  (void)store.add(0, 10);
+  (void)store.add(1, 10);
+  (void)store.add(1, 10);
+  const auto histogram = store.label_histogram(3);
+  EXPECT_EQ(histogram[0], 1U);
+  EXPECT_EQ(histogram[1], 2U);
+  EXPECT_EQ(histogram[2], 0U);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+TEST(IdleScheduler, EmptyForegroundTrainsWholeHorizon) {
+  const IdleScheduler scheduler(1.0);
+  const ScheduleReport report = scheduler.run(100.0);
+  EXPECT_EQ(report.training_steps, 100);
+  EXPECT_DOUBLE_EQ(report.foreground_seconds, 0.0);
+  EXPECT_NEAR(report.idle_fraction, 1.0, 1e-9);
+}
+
+TEST(IdleScheduler, ForegroundPreemptsTraining) {
+  IdleScheduler scheduler(1.0);
+  scheduler.add_task({"inference", 10.0, 5.0, 1});
+  const ScheduleReport report = scheduler.run(20.0);
+  EXPECT_DOUBLE_EQ(report.foreground_seconds, 5.0);
+  // 15 seconds remain for training.
+  EXPECT_NEAR(report.training_seconds, 15.0, 1e-9);
+  EXPECT_EQ(report.training_steps, 15);
+}
+
+TEST(IdleScheduler, PartialStepsAreAbandoned) {
+  IdleScheduler scheduler(3.0);  // a step takes 3 s
+  scheduler.add_task({"sense", 4.0, 1.0, 1});
+  const ScheduleReport report = scheduler.run(10.0);
+  // [0,3) one step; [3,4) abandoned partial (preempted); [4,5) foreground;
+  // [5,8) one step; [8,10) tail too short to finish a step.
+  EXPECT_EQ(report.training_steps, 2);
+  EXPECT_EQ(report.preemptions, 1);
+}
+
+TEST(IdleScheduler, BusyNodeStarvesTraining) {
+  IdleScheduler scheduler(1.0);
+  for (const ForegroundTask& task :
+       periodic_tasks("inference", 2.0, 2.0, 5, 60.0)) {
+    scheduler.add_task(task);
+  }
+  const ScheduleReport report = scheduler.run(60.0);
+  EXPECT_EQ(report.training_steps, 0);
+  EXPECT_NEAR(report.foreground_seconds, 60.0, 1e-9);
+}
+
+TEST(IdleScheduler, DutyCycleSplitsProportionally) {
+  IdleScheduler scheduler(0.5);
+  // 1 s of work every 4 s -> 75% idle.
+  for (const ForegroundTask& task :
+       periodic_tasks("sample", 4.0, 1.0, 2, 400.0)) {
+    scheduler.add_task(task);
+  }
+  const ScheduleReport report = scheduler.run(400.0);
+  EXPECT_NEAR(report.idle_fraction, 0.75, 0.02);
+  EXPECT_NEAR(static_cast<double>(report.training_steps), 600.0, 10.0);
+}
+
+TEST(IdleScheduler, TimelineCoversHorizonInOrder) {
+  IdleScheduler scheduler(1.0);
+  scheduler.add_task({"a", 2.0, 3.0, 1});
+  scheduler.add_task({"b", 12.0, 1.0, 1});
+  const ScheduleReport report = scheduler.run(20.0);
+  double cursor = 0.0;
+  for (const TimelineSlice& slice : report.timeline) {
+    EXPECT_GE(slice.begin_seconds, cursor - 1e-9);
+    EXPECT_GT(slice.end_seconds, slice.begin_seconds);
+    cursor = slice.end_seconds;
+  }
+  EXPECT_LE(cursor, 20.0 + 1e-9);
+}
+
+TEST(IdleScheduler, RejectsNonPositiveStep) {
+  EXPECT_THROW(IdleScheduler{0.0}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Power
+// ---------------------------------------------------------------------------
+
+TEST(EnergyModel, CompareIsConsistent) {
+  const EnergyModel model(EdgeDevice::waggle_odroid_xu4());
+  const EnergyReport report = model.compare(1e9, 1e12);
+  EXPECT_DOUBLE_EQ(report.transmit_joules, model.transmit_joules(1e9));
+  EXPECT_DOUBLE_EQ(report.compute_joules, model.compute_joules(1e12));
+}
+
+TEST(EnergyModel, BreakEvenIsFixedPoint) {
+  const EnergyModel model(EdgeDevice::waggle_odroid_xu4());
+  const double flops = 5e12;
+  const double bytes = model.break_even_bytes(flops);
+  EXPECT_NEAR(model.transmit_joules(bytes), model.compute_joules(flops),
+              1e-6 * model.compute_joules(flops));
+}
+
+TEST(EnergyModel, BigDatasetsFavourEdgeTraining) {
+  // The paper's Section I motivation: shipping a large on-node dataset
+  // upstream costs more energy than training on it locally.
+  const EnergyModel model(EdgeDevice::waggle_odroid_xu4());
+  const double dataset = 1e9;            // 1 GB of harvested images
+  const double epoch_flops = 1e12;       // a few epochs of a small CNN
+  EXPECT_TRUE(model.compare(dataset, epoch_flops).edge_cheaper());
+}
+
+}  // namespace
+}  // namespace edgetrain::edge

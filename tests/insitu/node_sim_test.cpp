@@ -1,0 +1,87 @@
+#include "insitu/node_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edgetrain::insitu {
+namespace {
+
+NodeSimConfig fast_config() {
+  NodeSimConfig config;
+  config.scene.frame_width = 96;
+  config.scene.frame_height = 36;
+  config.scene.object_size = 14;
+  config.scene.num_classes = 3;
+  config.scene.max_skew = 0.8F;
+  config.scene.seed = 33;
+  config.harvest.patch = 16;
+  config.harvest.teacher_confidence = 0.7F;
+  config.hours = 3;
+  config.frames_per_hour = 150;
+  config.max_real_steps_per_hour = 15;
+  config.teacher_examples_per_class = 60;
+  config.teacher_train.epochs = 6;
+  config.eval_bins = 3;
+  config.eval_per_class_per_bin = 10;
+  return config;
+}
+
+TEST(NodeSim, ReportsEveryHourWithGrowingDataset) {
+  const NodeSimResult result = run_node_simulation(fast_config());
+  ASSERT_EQ(result.hours.size(), 3U);
+  std::int64_t prev_images = -1;
+  for (const HourReport& hour : result.hours) {
+    EXPECT_EQ(hour.frames, 150);
+    EXPECT_GE(hour.dataset_images, prev_images);
+    prev_images = hour.dataset_images;
+    EXPECT_GT(hour.step_budget, 0);
+    EXPECT_LE(hour.steps_run, 15);
+  }
+  EXPECT_GT(result.hours.back().dataset_images, 0);
+}
+
+TEST(NodeSim, IdleBudgetReflectsDutyCycle) {
+  NodeSimConfig config = fast_config();
+  const NodeSimResult relaxed = run_node_simulation(config);
+  // Saturate the CPU with inference: the budget must collapse.
+  config.inference_period_seconds = 1.0;
+  config.inference_duration_seconds = 1.0;
+  const NodeSimResult busy = run_node_simulation(config);
+  EXPECT_LT(busy.hours[0].step_budget, relaxed.hours[0].step_budget);
+  EXPECT_EQ(busy.hours[0].step_budget, 0);
+  EXPECT_EQ(busy.hours[0].steps_run, 0);
+}
+
+TEST(NodeSim, StudentImprovesOverTheDay) {
+  NodeSimConfig config = fast_config();
+  config.hours = 4;
+  config.max_real_steps_per_hour = 60;
+  const NodeSimResult result = run_node_simulation(config);
+  // Training accumulates: the last hour's student beats the first hour's.
+  EXPECT_GT(result.hours.back().student_accuracy,
+            result.hours.front().student_accuracy - 1e-9);
+  // With enough hours it approaches (or beats) the teacher off-angle.
+  EXPECT_GT(result.final_student_accuracy, 0.5);
+}
+
+TEST(NodeSim, StorageStaysWithinBudget) {
+  NodeSimConfig config = fast_config();
+  config.harvest.storage_capacity_bytes = 50 * config.harvest.bytes_per_image;
+  const NodeSimResult result = run_node_simulation(config);
+  for (const HourReport& hour : result.hours) {
+    EXPECT_LE(hour.storage_used_bytes, config.harvest.storage_capacity_bytes);
+  }
+  EXPECT_GE(result.harvest.images_dropped_storage, 0);
+}
+
+TEST(NodeSim, DeterministicForSeed) {
+  const NodeSimResult a = run_node_simulation(fast_config());
+  const NodeSimResult b = run_node_simulation(fast_config());
+  ASSERT_EQ(a.hours.size(), b.hours.size());
+  for (std::size_t i = 0; i < a.hours.size(); ++i) {
+    EXPECT_EQ(a.hours[i].dataset_images, b.hours[i].dataset_images);
+    EXPECT_DOUBLE_EQ(a.hours[i].student_accuracy, b.hours[i].student_accuracy);
+  }
+}
+
+}  // namespace
+}  // namespace edgetrain::insitu

@@ -1,0 +1,147 @@
+#include "insitu/scene.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace edgetrain::insitu {
+namespace {
+
+SceneConfig test_config() {
+  SceneConfig config;
+  config.frame_width = 96;
+  config.frame_height = 40;
+  config.object_size = 16;
+  config.num_classes = 3;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Scene, DeterministicForSeed) {
+  SceneSimulator a(test_config());
+  SceneSimulator b(test_config());
+  for (int i = 0; i < 20; ++i) {
+    const Frame fa = a.next_frame();
+    const Frame fb = b.next_frame();
+    ASSERT_EQ(fa.truths.size(), fb.truths.size()) << "frame " << i;
+    for (std::size_t t = 0; t < fa.truths.size(); ++t) {
+      EXPECT_EQ(fa.truths[t].label, fb.truths[t].label);
+      EXPECT_EQ(fa.truths[t].box.x, fb.truths[t].box.x);
+    }
+    for (std::size_t p = 0; p < fa.image.pixels.size(); ++p) {
+      ASSERT_EQ(fa.image.pixels[p], fb.image.pixels[p]);
+    }
+  }
+}
+
+TEST(Scene, SkewDecreasesLeftToRight) {
+  SceneSimulator sim(test_config());
+  const float left = sim.skew_at(0.0F);
+  const float mid = sim.skew_at(40.0F);
+  const float right = sim.skew_at(80.0F);
+  EXPECT_GT(left, mid);
+  EXPECT_GT(mid, right);
+  EXPECT_NEAR(right, 0.0F, 1e-5F);
+  EXPECT_NEAR(left, test_config().max_skew, 1e-5F);
+}
+
+TEST(Scene, ObjectsMoveRightAndEventuallyLeave) {
+  SceneSimulator sim(test_config());
+  std::int64_t tracked_id = -1;
+  float last_x = -1.0F;
+  int sightings = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Frame frame = sim.next_frame(1.0F, 1);
+    for (const GroundTruth& truth : frame.truths) {
+      if (tracked_id < 0) tracked_id = truth.object_id;
+      if (truth.object_id == tracked_id) {
+        if (sightings > 0) {
+          EXPECT_GT(truth.box.x + truth.box.w, static_cast<int>(last_x));
+        }
+        last_x = static_cast<float>(truth.box.x);
+        ++sightings;
+      }
+    }
+  }
+  EXPECT_GT(sightings, 5);
+  // The object crossed and left: the sim must have spawned successors.
+  EXPECT_LT(sightings, 200);
+}
+
+TEST(Scene, FramesContainRenderableObjects) {
+  SceneSimulator sim(test_config());
+  int frames_with_objects = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Frame frame = sim.next_frame(0.8F, 2);
+    if (frame.truths.empty()) continue;
+    ++frames_with_objects;
+    // The object region must be measurably brighter than background noise.
+    const GroundTruth& truth = frame.truths.front();
+    double inside = 0.0;
+    int count = 0;
+    for (int y = truth.box.y; y < truth.box.y2(); ++y) {
+      for (int x = truth.box.x; x < truth.box.x2(); ++x) {
+        inside += frame.image.at(y, x);
+        ++count;
+      }
+    }
+    EXPECT_GT(inside / count, 0.05) << "frame " << i;
+  }
+  EXPECT_GT(frames_with_objects, 50);
+}
+
+TEST(Scene, CanonicalPatchesDifferAcrossClasses) {
+  SceneSimulator sim(test_config());
+  const int patch = 24;
+  auto mean_abs_diff = [&](const std::vector<float>& a,
+                           const std::vector<float>& b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      acc += std::fabs(a[i] - b[i]);
+    }
+    return acc / static_cast<double>(a.size());
+  };
+  const auto c0 = sim.canonical_patch(0, patch);
+  const auto c1 = sim.canonical_patch(1, patch);
+  const auto c2 = sim.canonical_patch(2, patch);
+  EXPECT_GT(mean_abs_diff(c0, c1), 0.05);
+  EXPECT_GT(mean_abs_diff(c1, c2), 0.05);
+}
+
+TEST(Scene, SkewedPatchesDarkerThanCanonical) {
+  SceneConfig config = test_config();
+  config.noise = 0.0F;
+  SceneSimulator sim(config);
+  const int patch = 24;
+  double canonical_mass = 0.0;
+  double skewed_mass = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    for (const float v : sim.canonical_patch(0, patch)) canonical_mass += v;
+    for (const float v : sim.skewed_patch(0, 0.0F, patch)) skewed_mass += v;
+  }
+  EXPECT_LT(skewed_mass, canonical_mass);
+}
+
+TEST(Scene, RejectsBadClassCount) {
+  SceneConfig config = test_config();
+  config.num_classes = 9;
+  EXPECT_THROW(SceneSimulator{config}, std::invalid_argument);
+}
+
+TEST(Scene, GroundTruthBoxesInBounds) {
+  SceneSimulator sim(test_config());
+  for (int i = 0; i < 150; ++i) {
+    const Frame frame = sim.next_frame(0.5F, 2);
+    for (const GroundTruth& truth : frame.truths) {
+      EXPECT_GE(truth.box.x, 0);
+      EXPECT_GE(truth.box.y, 0);
+      EXPECT_LE(truth.box.x2(), test_config().frame_width);
+      EXPECT_LE(truth.box.y2(), test_config().frame_height);
+      EXPECT_GE(truth.label, 0);
+      EXPECT_LT(truth.label, 3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edgetrain::insitu

@@ -1,0 +1,102 @@
+#include "insitu/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edgetrain::insitu {
+namespace {
+
+BBox box_at(int x, int y = 10) { return {x, y, 10, 10}; }
+
+TEST(IoUTracker, SingleObjectKeepsItsTrack) {
+  IoUTracker tracker(0.3F, 2);
+  std::int64_t id = -1;
+  for (int f = 0; f < 10; ++f) {
+    const auto assigned = tracker.update(f, {box_at(f * 3)});
+    ASSERT_EQ(assigned.size(), 1U);
+    if (id < 0) id = assigned[0];
+    EXPECT_EQ(assigned[0], id) << "frame " << f;
+  }
+  tracker.flush();
+  const auto finished = tracker.take_finished();
+  ASSERT_EQ(finished.size(), 1U);
+  EXPECT_EQ(finished[0].length(), 10U);
+}
+
+TEST(IoUTracker, DistantDetectionSpawnsNewTrack) {
+  IoUTracker tracker(0.3F, 2);
+  const auto first = tracker.update(0, {box_at(0)});
+  const auto second = tracker.update(1, {box_at(60)});
+  EXPECT_NE(first[0], second[0]);
+}
+
+TEST(IoUTracker, TwoParallelObjectsStaySeparate) {
+  IoUTracker tracker(0.3F, 2);
+  std::int64_t top_id = -1;
+  std::int64_t bottom_id = -1;
+  for (int f = 0; f < 8; ++f) {
+    const auto assigned =
+        tracker.update(f, {box_at(f * 2, 0), box_at(f * 2, 30)});
+    ASSERT_EQ(assigned.size(), 2U);
+    if (f == 0) {
+      top_id = assigned[0];
+      bottom_id = assigned[1];
+      EXPECT_NE(top_id, bottom_id);
+    } else {
+      EXPECT_EQ(assigned[0], top_id);
+      EXPECT_EQ(assigned[1], bottom_id);
+    }
+  }
+}
+
+TEST(IoUTracker, GapBeyondMaxFinishesTrack) {
+  IoUTracker tracker(0.3F, 1);
+  (void)tracker.update(0, {box_at(0)});
+  (void)tracker.update(1, {});  // unseen, gap 1: still active
+  EXPECT_EQ(tracker.active().size(), 1U);
+  (void)tracker.update(2, {});  // gap 2 > max_gap 1: finished
+  EXPECT_TRUE(tracker.active().empty());
+  const auto finished = tracker.take_finished();
+  ASSERT_EQ(finished.size(), 1U);
+  EXPECT_TRUE(finished[0].finished);
+}
+
+TEST(IoUTracker, ReappearingObjectGetsNewTrackAfterGap) {
+  IoUTracker tracker(0.3F, 0);  // no tolerance
+  const auto a = tracker.update(0, {box_at(5)});
+  (void)tracker.update(1, {});
+  const auto b = tracker.update(2, {box_at(5)});
+  EXPECT_NE(a[0], b[0]);
+}
+
+TEST(IoUTracker, GreedyMatchingPicksBestOverlap) {
+  IoUTracker tracker(0.1F, 2);
+  (void)tracker.update(0, {box_at(0)});
+  // Two candidates: one shifted by 2 (high IoU), one by 8 (low IoU).
+  const auto assigned = tracker.update(1, {box_at(8), box_at(2)});
+  // The closer box continues the track; the other starts a new one.
+  EXPECT_NE(assigned[0], assigned[1]);
+  const Track& continued = tracker.active()[0];
+  EXPECT_EQ(continued.sightings.back().box.x, 2);
+}
+
+TEST(IoUTracker, TakeFinishedDrainsBuffer) {
+  IoUTracker tracker(0.3F, 0);
+  (void)tracker.update(0, {box_at(0)});
+  tracker.flush();
+  EXPECT_EQ(tracker.take_finished().size(), 1U);
+  EXPECT_TRUE(tracker.take_finished().empty());
+}
+
+TEST(IoUTracker, SightingsRecordFrameIndices) {
+  IoUTracker tracker(0.3F, 2);
+  (void)tracker.update(7, {box_at(0)});
+  (void)tracker.update(8, {box_at(2)});
+  tracker.flush();
+  const auto finished = tracker.take_finished();
+  ASSERT_EQ(finished.size(), 1U);
+  EXPECT_EQ(finished[0].sightings[0].frame_index, 7);
+  EXPECT_EQ(finished[0].sightings[1].frame_index, 8);
+}
+
+}  // namespace
+}  // namespace edgetrain::insitu

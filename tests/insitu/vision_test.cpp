@@ -1,0 +1,128 @@
+#include "insitu/vision.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edgetrain::insitu {
+namespace {
+
+TEST(IoU, IdenticalBoxesIsOne) {
+  const BBox a{2, 3, 10, 10};
+  EXPECT_FLOAT_EQ(iou(a, a), 1.0F);
+}
+
+TEST(IoU, DisjointBoxesIsZero) {
+  EXPECT_FLOAT_EQ(iou({0, 0, 5, 5}, {10, 10, 5, 5}), 0.0F);
+}
+
+TEST(IoU, HalfOverlap) {
+  // a: [0,10)x[0,10), b: [5,15)x[0,10) -> inter 50, union 150.
+  EXPECT_NEAR(iou({0, 0, 10, 10}, {5, 0, 10, 10}), 50.0F / 150.0F, 1e-6F);
+}
+
+TEST(IoU, Symmetric) {
+  const BBox a{1, 2, 7, 4};
+  const BBox b{3, 3, 9, 9};
+  EXPECT_FLOAT_EQ(iou(a, b), iou(b, a));
+}
+
+TEST(AbsDiff, ComputesPerPixel) {
+  GrayImage a(2, 2);
+  GrayImage b(2, 2);
+  a.at(0, 0) = 0.8F;
+  b.at(0, 0) = 0.3F;
+  const GrayImage d = abs_diff(a, b);
+  EXPECT_FLOAT_EQ(d.at(0, 0), 0.5F);
+  EXPECT_FLOAT_EQ(d.at(1, 1), 0.0F);
+}
+
+TEST(AbsDiff, SizeMismatchThrows) {
+  GrayImage a(2, 2);
+  GrayImage b(3, 2);
+  EXPECT_THROW((void)abs_diff(a, b), std::invalid_argument);
+}
+
+TEST(DetectBlobs, FindsSingleBlob) {
+  GrayImage image(20, 30);
+  for (int y = 5; y < 10; ++y) {
+    for (int x = 8; x < 15; ++x) image.at(y, x) = 1.0F;
+  }
+  const auto blobs = detect_blobs(image, 0.5F, 4);
+  ASSERT_EQ(blobs.size(), 1U);
+  EXPECT_EQ(blobs[0].x, 8);
+  EXPECT_EQ(blobs[0].y, 5);
+  EXPECT_EQ(blobs[0].w, 7);
+  EXPECT_EQ(blobs[0].h, 5);
+}
+
+TEST(DetectBlobs, SeparatesDistantBlobs) {
+  GrayImage image(20, 40);
+  image.at(3, 3) = 1.0F;
+  image.at(3, 4) = 1.0F;
+  image.at(4, 3) = 1.0F;
+  image.at(4, 4) = 1.0F;
+  image.at(15, 30) = 1.0F;
+  image.at(15, 31) = 1.0F;
+  image.at(16, 30) = 1.0F;
+  image.at(16, 31) = 1.0F;
+  const auto blobs = detect_blobs(image, 0.5F, 3);
+  EXPECT_EQ(blobs.size(), 2U);
+}
+
+TEST(DetectBlobs, MinAreaFiltersSpeckles) {
+  GrayImage image(10, 10);
+  image.at(2, 2) = 1.0F;  // single hot pixel
+  EXPECT_TRUE(detect_blobs(image, 0.5F, 2).empty());
+  EXPECT_EQ(detect_blobs(image, 0.5F, 1).size(), 1U);
+}
+
+TEST(DetectBlobs, DiagonalPixelsConnect) {
+  // 8-connectivity: a diagonal line is one component.
+  GrayImage image(10, 10);
+  for (int i = 0; i < 5; ++i) image.at(i, i) = 1.0F;
+  EXPECT_EQ(detect_blobs(image, 0.5F, 3).size(), 1U);
+}
+
+TEST(CropResize, IdentityWhenSizesMatch) {
+  GrayImage image(8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      image.at(y, x) = static_cast<float>(y * 8 + x) / 64.0F;
+    }
+  }
+  const auto patch = crop_resize(image, {0, 0, 8, 8}, 8);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(patch[static_cast<std::size_t>(i)], image.pixels[static_cast<std::size_t>(i)],
+                1e-5F);
+  }
+}
+
+TEST(CropResize, PreservesMeanApproximately) {
+  GrayImage image(16, 16);
+  for (auto& p : image.pixels) p = 0.5F;
+  const auto patch = crop_resize(image, {2, 2, 12, 12}, 24);
+  for (const float v : patch) EXPECT_NEAR(v, 0.5F, 1e-5F);
+}
+
+TEST(CropResize, ClampsOutOfBoundsBoxes) {
+  GrayImage image(10, 10);
+  image.at(0, 0) = 1.0F;
+  // Box partially outside the frame must not crash.
+  const auto patch = crop_resize(image, {-5, -5, 12, 12}, 6);
+  EXPECT_EQ(patch.size(), 36U);
+}
+
+TEST(PatchesToTensor, PacksNCHW) {
+  std::vector<std::vector<float>> patches{{1, 2, 3, 4}, {5, 6, 7, 8}};
+  const Tensor t = patches_to_tensor(patches, 2);
+  EXPECT_EQ(t.shape(), (Shape{2, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(t.at(0), 1.0F);
+  EXPECT_FLOAT_EQ(t.at(5), 6.0F);
+}
+
+TEST(PatchesToTensor, SizeMismatchThrows) {
+  std::vector<std::vector<float>> patches{{1, 2, 3}};
+  EXPECT_THROW((void)patches_to_tensor(patches, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgetrain::insitu

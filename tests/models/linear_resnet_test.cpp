@@ -1,0 +1,93 @@
+#include "models/linear_resnet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+
+namespace edgetrain::models {
+namespace {
+
+ResNetMemoryModel model_of(ResNetVariant v) {
+  return ResNetMemoryModel(ResNetSpec::make(v));
+}
+
+TEST(LinearResNet, DepthEqualsX) {
+  EXPECT_EQ(LinearResNet::from_resnet(model_of(ResNetVariant::ResNet18), 224, 1)
+                .depth,
+            18);
+  EXPECT_EQ(
+      LinearResNet::from_resnet(model_of(ResNetVariant::ResNet152), 224, 1)
+          .depth,
+      152);
+}
+
+TEST(LinearResNet, PreservesTotalMemory) {
+  // The homogenisation must keep fixed and total activation memory equal to
+  // the source ResNet (the paper's defining property).
+  for (const ResNetVariant v : all_resnet_variants()) {
+    const ResNetMemoryModel model = model_of(v);
+    const LinearResNet linear = LinearResNet::from_resnet(model, 500, 8);
+    EXPECT_DOUBLE_EQ(linear.fixed_bytes, model.fixed_bytes());
+    EXPECT_NEAR(linear.act_bytes_per_step * linear.depth,
+                model.activation_bytes(500, 8),
+                1.0);  // divide/multiply rounding only
+  }
+}
+
+TEST(LinearResNet, BatchScalesPerStepActivation) {
+  const ResNetMemoryModel model = model_of(ResNetVariant::ResNet34);
+  const LinearResNet one = LinearResNet::from_resnet(model, 224, 1);
+  const LinearResNet eight = LinearResNet::from_resnet(model, 224, 8);
+  EXPECT_NEAR(eight.act_bytes_per_step / one.act_bytes_per_step, 8.0, 1e-9);
+}
+
+TEST(LinearResNet, ChainSpecRoundTrip) {
+  const LinearResNet linear =
+      LinearResNet::from_resnet(model_of(ResNetVariant::ResNet50), 224, 1);
+  const core::ChainSpec spec = linear.to_chain_spec();
+  EXPECT_EQ(spec.depth, 50);
+  EXPECT_EQ(spec.name, "LinearResNet50");
+  EXPECT_DOUBLE_EQ(spec.fixed_bytes, linear.fixed_bytes);
+  EXPECT_DOUBLE_EQ(spec.activation_bytes_per_step, linear.act_bytes_per_step);
+}
+
+TEST(LinearResNet, PlannerFullStorageMatchesFullStorageBytes) {
+  const LinearResNet linear =
+      LinearResNet::from_resnet(model_of(ResNetVariant::ResNet18), 224, 1);
+  const core::MemoryPlanner planner(linear.to_chain_spec());
+  EXPECT_DOUBLE_EQ(planner.no_checkpoint_bytes(), linear.full_storage_bytes());
+}
+
+// The paper's Figure 1d headline: at batch 8 / image 500 nothing fits 2 GB
+// without checkpointing ("even ResNet18 does not fit"), yet everything fits
+// with a moderate recompute factor.
+TEST(LinearResNet, Figure1dHeadline) {
+  for (const ResNetVariant v : all_resnet_variants()) {
+    const LinearResNet linear =
+        LinearResNet::from_resnet(model_of(v), 500, 8);
+    const core::MemoryPlanner planner(linear.to_chain_spec());
+    EXPECT_GT(planner.no_checkpoint_bytes(), kWaggleMemoryBytes)
+        << linear.name << " should NOT fit at rho=1";
+    // The paper reads rho > 1.6 off Figure 1d; our activation constant is
+    // ~20% above the paper's (see EXPERIMENTS.md), which shifts the largest
+    // model's crossing to rho ~ 2.1. Assert a 2.5 budget fits everything
+    // and that the crossing stays in the same moderate-rho regime.
+    const core::PlanPoint at25 = planner.plan_for_rho(2.5);
+    EXPECT_LT(at25.peak_bytes, kWaggleMemoryBytes)
+        << linear.name << " should fit at rho=2.5";
+    const core::PlanReport report =
+        planner.report_for_device(kWaggleMemoryBytes);
+    EXPECT_LT(report.min_rho_to_fit, 2.3) << linear.name;
+  }
+}
+
+// Figure 1a: at batch 1 / image 224 everything fits even at rho = 1.
+TEST(LinearResNet, Figure1aHeadline) {
+  for (const ResNetVariant v : all_resnet_variants()) {
+    const LinearResNet linear = LinearResNet::from_resnet(model_of(v), 224, 1);
+    EXPECT_LT(linear.full_storage_bytes(), kWaggleMemoryBytes) << linear.name;
+  }
+}
+
+}  // namespace
+}  // namespace edgetrain::models

@@ -1,0 +1,181 @@
+// Validation of the memory model against the paper's Tables I-III.
+//
+// The paper's exact per-op inventory is not recoverable, but reverse
+// engineering its tables fixes the *structure* exactly:
+//   total = fixed + batch * act(img),  act(img) = act(224) * (img/224)^2,
+//   fixed ~= 4x weight bytes.
+// Our two activation policies bracket the paper's constant for every model
+// (OutputsOnly < paper < OutputsPlusGradients), and the default policy's
+// totals stay within ~10% at batch 1. Per-cell deviations are recorded in
+// EXPERIMENTS.md by bench_table{1,2,3}.
+#include "models/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace edgetrain::models {
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+// Paper Table I (MB), batch sizes {1,3,5,10,30,50} x ResNet{18,34,50,101,152}.
+constexpr std::array<std::int64_t, 6> kTable1Batches{1, 3, 5, 10, 30, 50};
+constexpr double kTable1[6][5] = {
+    {230.05, 413.00, 620.27, 1027.21, 1410.62},
+    {340.05, 580.42, 1091.11, 1732.33, 2405.14},
+    {450.06, 747.85, 1561.94, 2437.45, 3399.67},
+    {725.07, 1166.42, 2739.04, 4200.25, 5885.98},
+    {1825.13, 2840.70, 7447.42, 11251.43, 15831.23},
+    {2925.18, 4514.97, 12155.79, 18302.62, 25776.48},
+};
+
+// Paper Table II (MB), batch 1, image sizes {224,350,500,650,1100,1500}.
+constexpr std::array<int, 6> kTable2Images{224, 350, 500, 650, 1100, 1500};
+constexpr double kTable2[6][5] = {
+    {230.05, 413.00, 620.27, 1027.21, 1410.62},
+    {309.83, 534.96, 964.66, 1543.72, 2139.75},
+    {449.21, 749.73, 1570.93, 2472.72, 3458.50},
+    {639.07, 1039.08, 2387.54, 3682.00, 5161.76},
+    {1496.10, 2346.95, 6073.06, 9208.30, 12961.96},
+    {2628.70, 4075.07, 10944.42, 16515.11, 23277.27},
+};
+
+ResNetMemoryModel model_for(int index, ActivationPolicy policy,
+                            SpatialMode mode) {
+  return ResNetMemoryModel(ResNetSpec::make(all_resnet_variants()[
+                               static_cast<std::size_t>(index)]),
+                           policy, mode);
+}
+
+TEST(MemoryModel, FixedIsFourTimesWeights) {
+  for (const ResNetVariant v : all_resnet_variants()) {
+    const ResNetMemoryModel m(ResNetSpec::make(v));
+    EXPECT_DOUBLE_EQ(m.fixed_bytes(), 4.0 * m.weight_bytes());
+  }
+}
+
+TEST(MemoryModel, PaperFixedWithinTwoPercent) {
+  // Reverse-engineered paper intercepts (MB): total at k -> 0.
+  constexpr double kPaperFixed[5] = {175.04, 329.29, 384.85, 674.65, 913.36};
+  for (int i = 0; i < 5; ++i) {
+    const ResNetMemoryModel m = model_for(i, ActivationPolicy::OutputsOnly,
+                                          SpatialMode::Exact);
+    const double ours = m.fixed_bytes() / kMiB;
+    EXPECT_NEAR(ours / kPaperFixed[i], 1.0, 0.025) << "model " << i;
+  }
+}
+
+TEST(MemoryModel, PoliciesBracketPaperActivations) {
+  // Reverse-engineered per-batch activation slopes from Table I (MB).
+  constexpr double kPaperAct[5] = {55.00, 83.71, 235.42, 352.56, 497.26};
+  for (int i = 0; i < 5; ++i) {
+    const double lower = model_for(i, ActivationPolicy::OutputsOnly,
+                                   SpatialMode::Exact)
+                             .activation_bytes(224, 1) /
+                         kMiB;
+    const double upper = model_for(i, ActivationPolicy::OutputsPlusGradients,
+                                   SpatialMode::Exact)
+                             .activation_bytes(224, 1) /
+                         kMiB;
+    EXPECT_LT(lower, kPaperAct[i]) << "model " << i;
+    EXPECT_GT(upper, kPaperAct[i]) << "model " << i;
+  }
+}
+
+TEST(MemoryModel, Table1Batch1WithinTenPercent) {
+  for (int m = 0; m < 5; ++m) {
+    const ResNetMemoryModel model =
+        model_for(m, ActivationPolicy::OutputsPlusGradients,
+                  SpatialMode::Exact);
+    const double ours = model.estimate(224, 1).total_mib();
+    EXPECT_NEAR(ours / kTable1[0][m], 1.0, 0.10) << "model " << m;
+  }
+}
+
+TEST(MemoryModel, Table1AllCellsWithinTwentyFivePercent) {
+  for (int b = 0; b < 6; ++b) {
+    for (int m = 0; m < 5; ++m) {
+      const ResNetMemoryModel model =
+          model_for(m, ActivationPolicy::OutputsPlusGradients,
+                    SpatialMode::Exact);
+      const double ours =
+          model.estimate(224, kTable1Batches[static_cast<std::size_t>(b)])
+              .total_mib();
+      EXPECT_NEAR(ours / kTable1[b][m], 1.0, 0.25)
+          << "batch " << kTable1Batches[static_cast<std::size_t>(b)]
+          << " model " << m;
+    }
+  }
+}
+
+TEST(MemoryModel, Table2AreaScaledMatchesPaperStructure) {
+  // The paper scales activations exactly with image area; in AreaScaled
+  // mode every Table II cell must deviate from the paper only by the
+  // activation-constant offset already present at 224 (same relative
+  // deviation across image sizes, within numerical noise).
+  for (int m = 0; m < 5; ++m) {
+    const ResNetMemoryModel model = model_for(
+        m, ActivationPolicy::OutputsPlusGradients, SpatialMode::AreaScaled);
+    for (int row = 0; row < 6; ++row) {
+      const double ours =
+          model.estimate(kTable2Images[static_cast<std::size_t>(row)], 1)
+              .total_mib();
+      EXPECT_NEAR(ours / kTable2[row][m], 1.0, 0.25)
+          << "image " << kTable2Images[static_cast<std::size_t>(row)]
+          << " model " << m;
+    }
+  }
+}
+
+TEST(MemoryModel, FeasibilityBoundaryMatchesPaperAwayFromEdge) {
+  // The 2 GB shading must agree with the paper for every cell whose value
+  // is more than 15% away from the boundary.
+  constexpr double kLimitMb = 2048.0;
+  int checked = 0;
+  for (int b = 0; b < 6; ++b) {
+    for (int m = 0; m < 5; ++m) {
+      if (std::abs(kTable1[b][m] - kLimitMb) / kLimitMb < 0.15) continue;
+      const ResNetMemoryModel model =
+          model_for(m, ActivationPolicy::OutputsPlusGradients,
+                    SpatialMode::Exact);
+      const double ours =
+          model.estimate(224, kTable1Batches[static_cast<std::size_t>(b)])
+              .total_mib();
+      EXPECT_EQ(ours > kLimitMb, kTable1[b][m] > kLimitMb)
+          << "batch " << kTable1Batches[static_cast<std::size_t>(b)]
+          << " model " << m;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 25);  // nearly every cell is away from the boundary
+}
+
+TEST(MemoryModel, ExactModeVsAreaScaledAgreeAt224) {
+  for (int m = 0; m < 5; ++m) {
+    const ResNetMemoryModel exact =
+        model_for(m, ActivationPolicy::OutputsPlusGradients,
+                  SpatialMode::Exact);
+    const ResNetMemoryModel scaled =
+        model_for(m, ActivationPolicy::OutputsPlusGradients,
+                  SpatialMode::AreaScaled);
+    EXPECT_DOUBLE_EQ(exact.activation_bytes(224, 4),
+                     scaled.activation_bytes(224, 4));
+  }
+}
+
+TEST(MemoryModel, TotalsDecomposeExactly) {
+  const ResNetMemoryModel m = model_for(2, ActivationPolicy::OutputsPlusGradients,
+                                        SpatialMode::Exact);
+  const MemoryBreakdown breakdown = m.estimate(350, 8);
+  EXPECT_DOUBLE_EQ(breakdown.total_bytes(),
+                   breakdown.fixed_bytes + breakdown.activation_bytes);
+  EXPECT_DOUBLE_EQ(breakdown.fixed_bytes, 4.0 * breakdown.weight_bytes);
+}
+
+TEST(MemoryModel, WaggleConstantIsTwoGiB) {
+  EXPECT_DOUBLE_EQ(kWaggleMemoryBytes, 2147483648.0);
+}
+
+}  // namespace
+}  // namespace edgetrain::models

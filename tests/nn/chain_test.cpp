@@ -1,0 +1,116 @@
+#include "nn/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "models/small_nets.hpp"
+#include "nn/chain_runner.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/layers.hpp"
+
+namespace edgetrain::nn {
+namespace {
+
+TEST(LayerChain, ForwardBackwardShapes) {
+  std::mt19937 rng(201);
+  LayerChain chain = models::build_mini_resnet(1, 4, 5, 1, rng);
+  Tensor x = Tensor::randn(Shape{2, 1, 16, 16}, rng);
+  RunContext ctx;
+  Tensor y = chain.forward(x, ctx);
+  EXPECT_EQ(y.shape(), (Shape{2, 5}));
+  Tensor gx = chain.backward(Tensor::full(Shape{2, 5}, 1.0F));
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(LayerChain, ShapesInferenceMatchesExecution) {
+  std::mt19937 rng(203);
+  LayerChain chain = models::build_mini_resnet(2, 4, 3, 1, rng);
+  const Shape in{2, 1, 16, 16};
+  const std::vector<Shape> shapes = chain.shapes(in);
+  ASSERT_EQ(static_cast<int>(shapes.size()), chain.size() + 1);
+
+  RunContext ctx;
+  ctx.save_for_backward = false;
+  Tensor h = Tensor::randn(in, rng);
+  for (int i = 0; i < chain.size(); ++i) {
+    EXPECT_EQ(h.shape(), shapes[static_cast<std::size_t>(i)]) << "step " << i;
+    h = chain.layer(i).forward(h, ctx);
+  }
+  EXPECT_EQ(h.shape(), shapes.back());
+}
+
+TEST(LayerChain, WholeChainGradCheck) {
+  std::mt19937 rng(207);
+  LayerChain chain;
+  chain.push(std::make_unique<Conv2d>(2, 3, 3, 1, 1, false, rng));
+  chain.push(std::make_unique<ReLU>());
+  chain.push(std::make_unique<GlobalAvgPool>());
+  chain.push(std::make_unique<Linear>(3, 2, true, rng));
+
+  Tensor x = Tensor::randn(Shape{2, 2, 5, 5}, rng);
+  Tensor cot = Tensor::randn(Shape{2, 2}, rng);
+
+  RunContext ctx;
+  (void)chain.forward(x, ctx);
+  Tensor analytic = chain.backward(cot);
+
+  auto f = [&](const Tensor& xx) {
+    RunContext eval;
+    eval.save_for_backward = false;
+    Tensor y = chain.forward(xx, eval);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      acc += static_cast<double>(y.at(i)) * cot.at(i);
+    }
+    return static_cast<float>(acc);
+  };
+  const GradCheckResult result = check_function(f, x, analytic);
+  EXPECT_TRUE(result.passed) << "max rel err " << result.max_rel_error;
+}
+
+TEST(LayerChain, ParamCountSumsLayers) {
+  std::mt19937 rng(211);
+  LayerChain chain;
+  chain.push(std::make_unique<Conv2d>(1, 4, 3, 1, 1, false, rng));  // 36
+  chain.push(std::make_unique<BatchNorm2d>(4));                     // 8
+  chain.push(std::make_unique<GlobalAvgPool>());                    // 0
+  chain.push(std::make_unique<Linear>(4, 3, true, rng));            // 15
+  EXPECT_EQ(chain.param_count(), 36 + 8 + 15);
+  EXPECT_EQ(chain.params().size(), 5U);  // conv.w, bn.gamma, bn.beta, lin.w, lin.b
+}
+
+TEST(LayerChainRunner, FirstVisitOnlyOncePerPass) {
+  std::mt19937 rng(213);
+  LayerChain chain;
+  chain.push(std::make_unique<BatchNorm2d>(2));
+  LayerChainRunner runner(chain, Phase::Train);
+  runner.begin_pass();
+  Tensor x = Tensor::randn(Shape{2, 2, 3, 3}, rng, 2.0F);
+
+  auto* bn = dynamic_cast<BatchNorm2d*>(&chain.layer(0));
+  ASSERT_NE(bn, nullptr);
+  (void)runner.forward(0, x, false);
+  Tensor mean_after_first = bn->running_mean().clone();
+  // Recompute visit: stats must not move again.
+  (void)runner.forward(0, x, true);
+  EXPECT_EQ(Tensor::max_abs_diff(bn->running_mean(), mean_after_first), 0.0F);
+  // New pass: stats move again.
+  runner.begin_pass();
+  (void)runner.forward(0, x, false);
+  EXPECT_GT(Tensor::max_abs_diff(bn->running_mean(), mean_after_first), 0.0F);
+}
+
+TEST(LayerChain, ClearSavedDropsState) {
+  std::mt19937 rng(217);
+  LayerChain chain;
+  chain.push(std::make_unique<Conv2d>(1, 2, 3, 1, 1, false, rng));
+  RunContext ctx;
+  (void)chain.forward(Tensor::randn(Shape{1, 1, 4, 4}, rng), ctx);
+  chain.clear_saved();
+  EXPECT_THROW((void)chain.backward(Tensor::zeros(Shape{1, 2, 4, 4})),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace edgetrain::nn

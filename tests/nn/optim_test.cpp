@@ -1,0 +1,139 @@
+#include "nn/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "tensor/alloc.hpp"
+
+namespace edgetrain::nn {
+namespace {
+
+/// One-parameter quadratic f(w) = 0.5 * ||w - target||^2.
+struct Quadratic {
+  Tensor w = Tensor::zeros(Shape{4});
+  Tensor grad = Tensor::zeros(Shape{4});
+  Tensor target = Tensor::from_values({1.0F, -2.0F, 3.0F, 0.5F});
+
+  [[nodiscard]] std::vector<ParamRef> params() {
+    return {{"w", &w, &grad}};
+  }
+  void compute_grad() {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      grad.at(i) = w.at(i) - target.at(i);
+    }
+  }
+  [[nodiscard]] float loss() const {
+    float acc = 0.0F;
+    for (std::int64_t i = 0; i < 4; ++i) {
+      const float d = w.at(i) - target.at(i);
+      acc += 0.5F * d * d;
+    }
+    return acc;
+  }
+};
+
+TEST(SGD, ConvergesOnQuadratic) {
+  Quadratic problem;
+  SGD opt(problem.params(), 0.2F);
+  for (int i = 0; i < 200; ++i) {
+    problem.compute_grad();
+    opt.step();
+  }
+  EXPECT_LT(problem.loss(), 1e-8F);
+}
+
+TEST(SGD, MomentumConvergesFaster) {
+  Quadratic plain;
+  Quadratic heavy;
+  SGD opt_plain(plain.params(), 0.02F);
+  SGD opt_heavy(heavy.params(), 0.02F, 0.9F);
+  for (int i = 0; i < 60; ++i) {
+    plain.compute_grad();
+    opt_plain.step();
+    heavy.compute_grad();
+    opt_heavy.step();
+  }
+  EXPECT_LT(heavy.loss(), plain.loss());
+}
+
+TEST(SGD, SingleStepMatchesHandComputation) {
+  Quadratic problem;
+  problem.w.fill(2.0F);
+  SGD opt(problem.params(), 0.1F);
+  problem.compute_grad();
+  opt.step();
+  // w <- w - lr * (w - target)
+  EXPECT_FLOAT_EQ(problem.w.at(0), 2.0F - 0.1F * (2.0F - 1.0F));
+  EXPECT_FLOAT_EQ(problem.w.at(1), 2.0F - 0.1F * (2.0F + 2.0F));
+}
+
+TEST(SGD, WeightDecayShrinksWeights) {
+  Quadratic problem;
+  problem.w.fill(1.0F);
+  problem.target.fill(1.0F);  // gradient zero; only decay acts
+  SGD opt(problem.params(), 0.1F, 0.0F, 0.5F);
+  problem.compute_grad();
+  opt.step();
+  EXPECT_FLOAT_EQ(problem.w.at(0), 1.0F - 0.1F * 0.5F);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Quadratic problem;
+  Adam opt(problem.params(), 0.05F);
+  for (int i = 0; i < 500; ++i) {
+    problem.compute_grad();
+    opt.step();
+  }
+  EXPECT_LT(problem.loss(), 1e-6F);
+}
+
+TEST(Adam, FirstStepIsLrSizedRegardlessOfGradScale) {
+  // Bias correction makes the first update ~lr * sign(grad).
+  for (const float scale : {1e-3F, 1.0F, 1e3F}) {
+    Quadratic problem;
+    problem.w.fill(0.0F);
+    problem.target.fill(-scale);  // grad = scale
+    Adam opt(problem.params(), 0.01F);
+    problem.compute_grad();
+    opt.step();
+    EXPECT_NEAR(problem.w.at(0), -0.01F, 1e-4F) << "scale " << scale;
+  }
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  Quadratic problem;
+  SGD opt(problem.params(), 0.1F);
+  problem.compute_grad();
+  EXPECT_GT(problem.grad.max_abs(), 0.0F);
+  opt.zero_grad();
+  EXPECT_EQ(problem.grad.max_abs(), 0.0F);
+}
+
+TEST(Optimizer, StateBytesMatchTheory) {
+  // The paper's fixed-memory model: SGD+momentum adds 1x weights, Adam 2x.
+  Quadratic p1;
+  Quadratic p2;
+  Quadratic p3;
+  SGD plain(p1.params(), 0.1F);
+  SGD momentum(p2.params(), 0.1F, 0.9F);
+  Adam adam(p3.params(), 0.1F);
+  const std::size_t wbytes = p1.w.bytes();
+  EXPECT_EQ(plain.state_bytes(), 0U);
+  EXPECT_EQ(momentum.state_bytes(), wbytes);
+  EXPECT_EQ(adam.state_bytes(), 2 * wbytes);
+}
+
+TEST(Optimizer, AdamStateIsTracked) {
+  // Optimizer state must go through the tracked allocator (it is part of
+  // the paper's fixed footprint).
+  Quadratic problem;
+  const std::size_t before = MemoryTracker::instance().current_bytes();
+  Adam opt(problem.params(), 0.1F);
+  EXPECT_GE(MemoryTracker::instance().current_bytes() - before,
+            2 * problem.w.bytes());
+}
+
+}  // namespace
+}  // namespace edgetrain::nn

@@ -1,0 +1,70 @@
+#include "tensor/alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace edgetrain {
+namespace {
+
+TEST(MemoryTracker, TracksTensorLifetimes) {
+  auto& tracker = MemoryTracker::instance();
+  const std::size_t before = tracker.current_bytes();
+  {
+    Tensor t = Tensor::zeros(Shape{1024});
+    EXPECT_EQ(tracker.current_bytes(), before + 4096);
+  }
+  EXPECT_EQ(tracker.current_bytes(), before);
+}
+
+TEST(MemoryTracker, SharedStorageCountedOnce) {
+  auto& tracker = MemoryTracker::instance();
+  const std::size_t before = tracker.current_bytes();
+  Tensor a = Tensor::zeros(Shape{256});
+  Tensor b = a;
+  Tensor c = a.reshaped(Shape{16, 16});
+  EXPECT_EQ(tracker.current_bytes(), before + 1024);
+  a.reset();
+  b.reset();
+  EXPECT_EQ(tracker.current_bytes(), before + 1024);  // c keeps it alive
+  c.reset();
+  EXPECT_EQ(tracker.current_bytes(), before);
+}
+
+TEST(ScopedPeakProbe, MeasuresPeakOverRegion) {
+  ScopedPeakProbe probe;
+  {
+    Tensor big = Tensor::zeros(Shape{1 << 16});  // 256 KiB
+    Tensor small = Tensor::zeros(Shape{16});
+    (void)small;
+  }
+  Tensor after = Tensor::zeros(Shape{16});
+  EXPECT_GE(probe.peak_over_baseline(), (1U << 16) * 4U);
+  EXPECT_LT(probe.peak_over_baseline(), (1U << 17) * 4U);
+}
+
+TEST(ScopedPeakProbe, BaselineExcluded) {
+  Tensor held = Tensor::zeros(Shape{1 << 14});
+  ScopedPeakProbe probe;
+  Tensor extra = Tensor::zeros(Shape{64});
+  EXPECT_LT(probe.peak_over_baseline(), 4096U);
+}
+
+TEST(MemoryTracker, AllocationCountIncreases) {
+  auto& tracker = MemoryTracker::instance();
+  const std::uint64_t before = tracker.allocation_count();
+  Tensor t = Tensor::zeros(Shape{8});
+  EXPECT_GT(tracker.allocation_count(), before);
+}
+
+TEST(MemoryTracker, ResetPeakDropsToCurrent) {
+  auto& tracker = MemoryTracker::instance();
+  {
+    Tensor t = Tensor::zeros(Shape{1 << 12});
+  }
+  tracker.reset_peak();
+  EXPECT_EQ(tracker.peak_bytes(), tracker.current_bytes());
+}
+
+}  // namespace
+}  // namespace edgetrain

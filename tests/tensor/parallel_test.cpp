@@ -1,0 +1,78 @@
+#include "tensor/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace edgetrain {
+namespace {
+
+TEST(ThreadPool, CoversWholeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SizeIsAtLeastOne) {
+  ThreadPool pool(1);
+  EXPECT_GE(pool.size(), 1U);
+}
+
+TEST(ThreadPool, RepeatedDispatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(0, 100, [&](std::int64_t b, std::int64_t e) {
+      std::int64_t local = 0;
+      for (std::int64_t i = b; i < e; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, NestedCallsRunSerially) {
+  ThreadPool::set_global_threads(4);
+  std::atomic<std::int64_t> total{0};
+  parallel_for(0, 8, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      // Nested parallel_for must not deadlock.
+      parallel_for(0, 10, 1, [&](std::int64_t b2, std::int64_t e2) {
+        total.fetch_add(e2 - b2);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ParallelForHelper, SmallRangesRunInline) {
+  std::vector<int> hits(10, 0);  // not atomic: inline means single thread
+  parallel_for(0, 10, 100, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(ThreadPool, GlobalPoolResize) {
+  ThreadPool::set_global_threads(2);
+  EXPECT_EQ(ThreadPool::global().size(), 3U);  // 2 workers + caller
+  ThreadPool::set_global_threads(0);           // hardware default
+  EXPECT_GE(ThreadPool::global().size(), 1U);
+}
+
+}  // namespace
+}  // namespace edgetrain

@@ -1,0 +1,115 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace edgetrain {
+namespace {
+
+TEST(Shape, NumelAndEquality) {
+  const Shape a{2, 3, 4};
+  EXPECT_EQ(a.rank(), 3);
+  EXPECT_EQ(a.numel(), 24);
+  EXPECT_EQ(a, (Shape{2, 3, 4}));
+  EXPECT_NE(a, (Shape{2, 3, 5}));
+  EXPECT_EQ(Shape{}.numel(), 1);  // scalar convention
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ((Shape{2, 3}).to_string(), "[2, 3]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+TEST(Tensor, DefaultIsUndefined) {
+  const Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(Tensor, ZerosIsZero) {
+  Tensor t = Tensor::zeros(Shape{3, 5});
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.numel(), 15);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0F);
+}
+
+TEST(Tensor, FullFills) {
+  Tensor t = Tensor::full(Shape{4}, 2.5F);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), 2.5F);
+}
+
+TEST(Tensor, FromValues) {
+  Tensor t = Tensor::from_values({1.0F, 2.0F, 3.0F});
+  EXPECT_EQ(t.shape(), Shape{3});
+  EXPECT_EQ(t.at(1), 2.0F);
+}
+
+TEST(Tensor, CopySharesStorage) {
+  Tensor a = Tensor::zeros(Shape{4});
+  Tensor b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  b.at(0) = 7.0F;
+  EXPECT_EQ(a.at(0), 7.0F);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor a = Tensor::full(Shape{4}, 1.0F);
+  Tensor b = a.clone();
+  b.at(0) = 9.0F;
+  EXPECT_EQ(a.at(0), 1.0F);
+  EXPECT_EQ(b.at(0), 9.0F);
+}
+
+TEST(Tensor, ReshapedSharesStorageAndChecksNumel) {
+  Tensor a = Tensor::zeros(Shape{2, 6});
+  Tensor b = a.reshaped(Shape{3, 4});
+  b.at(0) = 5.0F;
+  EXPECT_EQ(a.at(0), 5.0F);
+  EXPECT_THROW((void)a.reshaped(Shape{5}), std::invalid_argument);
+}
+
+TEST(Tensor, AxpyAndScale) {
+  Tensor a = Tensor::full(Shape{3}, 1.0F);
+  Tensor b = Tensor::full(Shape{3}, 2.0F);
+  a.axpy_(3.0F, b);  // 1 + 6
+  EXPECT_FLOAT_EQ(a.at(0), 7.0F);
+  a.scale_(0.5F);
+  EXPECT_FLOAT_EQ(a.at(2), 3.5F);
+}
+
+TEST(Tensor, AxpyShapeMismatchThrows) {
+  Tensor a = Tensor::zeros(Shape{3});
+  Tensor b = Tensor::zeros(Shape{4});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+}
+
+TEST(Tensor, SumAndMaxAbs) {
+  Tensor t = Tensor::from_values({-3.0F, 1.0F, 2.0F});
+  EXPECT_FLOAT_EQ(t.sum(), 0.0F);
+  EXPECT_FLOAT_EQ(t.max_abs(), 3.0F);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a = Tensor::from_values({1.0F, 2.0F});
+  Tensor b = Tensor::from_values({1.5F, 1.0F});
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(a, b), 1.0F);
+}
+
+TEST(Tensor, RandnIsDeterministicForSeed) {
+  std::mt19937 rng1(5);
+  std::mt19937 rng2(5);
+  Tensor a = Tensor::randn(Shape{16}, rng1);
+  Tensor b = Tensor::randn(Shape{16}, rng2);
+  EXPECT_EQ(Tensor::max_abs_diff(a, b), 0.0F);
+}
+
+TEST(Tensor, UniformRange) {
+  std::mt19937 rng(9);
+  Tensor t = Tensor::uniform(Shape{256}, rng, -1.0F, 2.0F);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.at(i), -1.0F);
+    EXPECT_LT(t.at(i), 2.0F);
+  }
+}
+
+}  // namespace
+}  // namespace edgetrain
