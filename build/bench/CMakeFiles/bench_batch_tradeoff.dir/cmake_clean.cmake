@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_tradeoff.dir/bench_batch_tradeoff.cpp.o"
+  "CMakeFiles/bench_batch_tradeoff.dir/bench_batch_tradeoff.cpp.o.d"
+  "bench_batch_tradeoff"
+  "bench_batch_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

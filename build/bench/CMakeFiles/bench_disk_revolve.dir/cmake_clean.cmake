@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disk_revolve.dir/bench_disk_revolve.cpp.o"
+  "CMakeFiles/bench_disk_revolve.dir/bench_disk_revolve.cpp.o.d"
+  "bench_disk_revolve"
+  "bench_disk_revolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disk_revolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

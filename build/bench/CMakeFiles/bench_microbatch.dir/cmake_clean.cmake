@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microbatch.dir/bench_microbatch.cpp.o"
+  "CMakeFiles/bench_microbatch.dir/bench_microbatch.cpp.o.d"
+  "bench_microbatch"
+  "bench_microbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slot_stores.dir/bench_slot_stores.cpp.o"
+  "CMakeFiles/bench_slot_stores.dir/bench_slot_stores.cpp.o.d"
+  "bench_slot_stores"
+  "bench_slot_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slot_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vgg_memory.dir/bench_vgg_memory.cpp.o"
+  "CMakeFiles/bench_vgg_memory.dir/bench_vgg_memory.cpp.o.d"
+  "bench_vgg_memory"
+  "bench_vgg_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vgg_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

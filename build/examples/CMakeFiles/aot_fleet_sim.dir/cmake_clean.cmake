@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aot_fleet_sim.dir/aot_fleet_sim.cpp.o"
+  "CMakeFiles/aot_fleet_sim.dir/aot_fleet_sim.cpp.o.d"
+  "aot_fleet_sim"
+  "aot_fleet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aot_fleet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_memory_planner.dir/edge_memory_planner.cpp.o"
+  "CMakeFiles/edge_memory_planner.dir/edge_memory_planner.cpp.o.d"
+  "edge_memory_planner"
+  "edge_memory_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_memory_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

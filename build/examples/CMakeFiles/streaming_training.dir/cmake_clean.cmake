@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_training.dir/streaming_training.cpp.o"
+  "CMakeFiles/streaming_training.dir/streaming_training.cpp.o.d"
+  "streaming_training"
+  "streaming_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewpoint_adaptation.dir/viewpoint_adaptation.cpp.o"
+  "CMakeFiles/viewpoint_adaptation.dir/viewpoint_adaptation.cpp.o.d"
+  "viewpoint_adaptation"
+  "viewpoint_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewpoint_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waggle_node_sim.dir/waggle_node_sim.cpp.o"
+  "CMakeFiles/waggle_node_sim.dir/waggle_node_sim.cpp.o.d"
+  "waggle_node_sim"
+  "waggle_node_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waggle_node_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

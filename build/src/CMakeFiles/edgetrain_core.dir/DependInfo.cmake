@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_tradeoff.cpp" "src/CMakeFiles/edgetrain_core.dir/core/batch_tradeoff.cpp.o" "gcc" "src/CMakeFiles/edgetrain_core.dir/core/batch_tradeoff.cpp.o.d"
+  "/root/repo/src/core/disk_revolve.cpp" "src/CMakeFiles/edgetrain_core.dir/core/disk_revolve.cpp.o" "gcc" "src/CMakeFiles/edgetrain_core.dir/core/disk_revolve.cpp.o.d"
+  "/root/repo/src/core/dynprog.cpp" "src/CMakeFiles/edgetrain_core.dir/core/dynprog.cpp.o" "gcc" "src/CMakeFiles/edgetrain_core.dir/core/dynprog.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/CMakeFiles/edgetrain_core.dir/core/executor.cpp.o" "gcc" "src/CMakeFiles/edgetrain_core.dir/core/executor.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/CMakeFiles/edgetrain_core.dir/core/online.cpp.o" "gcc" "src/CMakeFiles/edgetrain_core.dir/core/online.cpp.o.d"
+  "/root/repo/src/core/periodic.cpp" "src/CMakeFiles/edgetrain_core.dir/core/periodic.cpp.o" "gcc" "src/CMakeFiles/edgetrain_core.dir/core/periodic.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/CMakeFiles/edgetrain_core.dir/core/planner.cpp.o" "gcc" "src/CMakeFiles/edgetrain_core.dir/core/planner.cpp.o.d"
+  "/root/repo/src/core/revolve.cpp" "src/CMakeFiles/edgetrain_core.dir/core/revolve.cpp.o" "gcc" "src/CMakeFiles/edgetrain_core.dir/core/revolve.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/edgetrain_core.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/edgetrain_core.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/sequential.cpp" "src/CMakeFiles/edgetrain_core.dir/core/sequential.cpp.o" "gcc" "src/CMakeFiles/edgetrain_core.dir/core/sequential.cpp.o.d"
+  "/root/repo/src/core/slot_store.cpp" "src/CMakeFiles/edgetrain_core.dir/core/slot_store.cpp.o" "gcc" "src/CMakeFiles/edgetrain_core.dir/core/slot_store.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/CMakeFiles/edgetrain_core.dir/core/strategy.cpp.o" "gcc" "src/CMakeFiles/edgetrain_core.dir/core/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgetrain_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

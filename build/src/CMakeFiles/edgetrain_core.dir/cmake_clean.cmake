@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgetrain_core.dir/core/batch_tradeoff.cpp.o"
+  "CMakeFiles/edgetrain_core.dir/core/batch_tradeoff.cpp.o.d"
+  "CMakeFiles/edgetrain_core.dir/core/disk_revolve.cpp.o"
+  "CMakeFiles/edgetrain_core.dir/core/disk_revolve.cpp.o.d"
+  "CMakeFiles/edgetrain_core.dir/core/dynprog.cpp.o"
+  "CMakeFiles/edgetrain_core.dir/core/dynprog.cpp.o.d"
+  "CMakeFiles/edgetrain_core.dir/core/executor.cpp.o"
+  "CMakeFiles/edgetrain_core.dir/core/executor.cpp.o.d"
+  "CMakeFiles/edgetrain_core.dir/core/online.cpp.o"
+  "CMakeFiles/edgetrain_core.dir/core/online.cpp.o.d"
+  "CMakeFiles/edgetrain_core.dir/core/periodic.cpp.o"
+  "CMakeFiles/edgetrain_core.dir/core/periodic.cpp.o.d"
+  "CMakeFiles/edgetrain_core.dir/core/planner.cpp.o"
+  "CMakeFiles/edgetrain_core.dir/core/planner.cpp.o.d"
+  "CMakeFiles/edgetrain_core.dir/core/revolve.cpp.o"
+  "CMakeFiles/edgetrain_core.dir/core/revolve.cpp.o.d"
+  "CMakeFiles/edgetrain_core.dir/core/schedule.cpp.o"
+  "CMakeFiles/edgetrain_core.dir/core/schedule.cpp.o.d"
+  "CMakeFiles/edgetrain_core.dir/core/sequential.cpp.o"
+  "CMakeFiles/edgetrain_core.dir/core/sequential.cpp.o.d"
+  "CMakeFiles/edgetrain_core.dir/core/slot_store.cpp.o"
+  "CMakeFiles/edgetrain_core.dir/core/slot_store.cpp.o.d"
+  "CMakeFiles/edgetrain_core.dir/core/strategy.cpp.o"
+  "CMakeFiles/edgetrain_core.dir/core/strategy.cpp.o.d"
+  "libedgetrain_core.a"
+  "libedgetrain_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgetrain_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

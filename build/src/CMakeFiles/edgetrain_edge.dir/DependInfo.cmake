@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/device.cpp" "src/CMakeFiles/edgetrain_edge.dir/edge/device.cpp.o" "gcc" "src/CMakeFiles/edgetrain_edge.dir/edge/device.cpp.o.d"
+  "/root/repo/src/edge/power.cpp" "src/CMakeFiles/edgetrain_edge.dir/edge/power.cpp.o" "gcc" "src/CMakeFiles/edgetrain_edge.dir/edge/power.cpp.o.d"
+  "/root/repo/src/edge/scheduler.cpp" "src/CMakeFiles/edgetrain_edge.dir/edge/scheduler.cpp.o" "gcc" "src/CMakeFiles/edgetrain_edge.dir/edge/scheduler.cpp.o.d"
+  "/root/repo/src/edge/storage.cpp" "src/CMakeFiles/edgetrain_edge.dir/edge/storage.cpp.o" "gcc" "src/CMakeFiles/edgetrain_edge.dir/edge/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgetrain_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgetrain_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

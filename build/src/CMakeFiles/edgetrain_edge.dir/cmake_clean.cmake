@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgetrain_edge.dir/edge/device.cpp.o"
+  "CMakeFiles/edgetrain_edge.dir/edge/device.cpp.o.d"
+  "CMakeFiles/edgetrain_edge.dir/edge/power.cpp.o"
+  "CMakeFiles/edgetrain_edge.dir/edge/power.cpp.o.d"
+  "CMakeFiles/edgetrain_edge.dir/edge/scheduler.cpp.o"
+  "CMakeFiles/edgetrain_edge.dir/edge/scheduler.cpp.o.d"
+  "CMakeFiles/edgetrain_edge.dir/edge/storage.cpp.o"
+  "CMakeFiles/edgetrain_edge.dir/edge/storage.cpp.o.d"
+  "libedgetrain_edge.a"
+  "libedgetrain_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgetrain_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

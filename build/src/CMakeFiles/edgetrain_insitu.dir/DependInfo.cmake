@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/insitu/codec.cpp" "src/CMakeFiles/edgetrain_insitu.dir/insitu/codec.cpp.o" "gcc" "src/CMakeFiles/edgetrain_insitu.dir/insitu/codec.cpp.o.d"
+  "/root/repo/src/insitu/harvester.cpp" "src/CMakeFiles/edgetrain_insitu.dir/insitu/harvester.cpp.o" "gcc" "src/CMakeFiles/edgetrain_insitu.dir/insitu/harvester.cpp.o.d"
+  "/root/repo/src/insitu/node_sim.cpp" "src/CMakeFiles/edgetrain_insitu.dir/insitu/node_sim.cpp.o" "gcc" "src/CMakeFiles/edgetrain_insitu.dir/insitu/node_sim.cpp.o.d"
+  "/root/repo/src/insitu/scene.cpp" "src/CMakeFiles/edgetrain_insitu.dir/insitu/scene.cpp.o" "gcc" "src/CMakeFiles/edgetrain_insitu.dir/insitu/scene.cpp.o.d"
+  "/root/repo/src/insitu/student.cpp" "src/CMakeFiles/edgetrain_insitu.dir/insitu/student.cpp.o" "gcc" "src/CMakeFiles/edgetrain_insitu.dir/insitu/student.cpp.o.d"
+  "/root/repo/src/insitu/teacher.cpp" "src/CMakeFiles/edgetrain_insitu.dir/insitu/teacher.cpp.o" "gcc" "src/CMakeFiles/edgetrain_insitu.dir/insitu/teacher.cpp.o.d"
+  "/root/repo/src/insitu/tracker.cpp" "src/CMakeFiles/edgetrain_insitu.dir/insitu/tracker.cpp.o" "gcc" "src/CMakeFiles/edgetrain_insitu.dir/insitu/tracker.cpp.o.d"
+  "/root/repo/src/insitu/vision.cpp" "src/CMakeFiles/edgetrain_insitu.dir/insitu/vision.cpp.o" "gcc" "src/CMakeFiles/edgetrain_insitu.dir/insitu/vision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgetrain_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgetrain_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgetrain_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgetrain_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgetrain_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgetrain_insitu.dir/insitu/codec.cpp.o"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/codec.cpp.o.d"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/harvester.cpp.o"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/harvester.cpp.o.d"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/node_sim.cpp.o"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/node_sim.cpp.o.d"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/scene.cpp.o"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/scene.cpp.o.d"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/student.cpp.o"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/student.cpp.o.d"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/teacher.cpp.o"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/teacher.cpp.o.d"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/tracker.cpp.o"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/tracker.cpp.o.d"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/vision.cpp.o"
+  "CMakeFiles/edgetrain_insitu.dir/insitu/vision.cpp.o.d"
+  "libedgetrain_insitu.a"
+  "libedgetrain_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgetrain_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

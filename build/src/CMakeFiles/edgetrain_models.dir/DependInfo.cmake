@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/linear_resnet.cpp" "src/CMakeFiles/edgetrain_models.dir/models/linear_resnet.cpp.o" "gcc" "src/CMakeFiles/edgetrain_models.dir/models/linear_resnet.cpp.o.d"
+  "/root/repo/src/models/memory_model.cpp" "src/CMakeFiles/edgetrain_models.dir/models/memory_model.cpp.o" "gcc" "src/CMakeFiles/edgetrain_models.dir/models/memory_model.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/CMakeFiles/edgetrain_models.dir/models/resnet.cpp.o" "gcc" "src/CMakeFiles/edgetrain_models.dir/models/resnet.cpp.o.d"
+  "/root/repo/src/models/small_nets.cpp" "src/CMakeFiles/edgetrain_models.dir/models/small_nets.cpp.o" "gcc" "src/CMakeFiles/edgetrain_models.dir/models/small_nets.cpp.o.d"
+  "/root/repo/src/models/vgg.cpp" "src/CMakeFiles/edgetrain_models.dir/models/vgg.cpp.o" "gcc" "src/CMakeFiles/edgetrain_models.dir/models/vgg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgetrain_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgetrain_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgetrain_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgetrain_models.dir/models/linear_resnet.cpp.o"
+  "CMakeFiles/edgetrain_models.dir/models/linear_resnet.cpp.o.d"
+  "CMakeFiles/edgetrain_models.dir/models/memory_model.cpp.o"
+  "CMakeFiles/edgetrain_models.dir/models/memory_model.cpp.o.d"
+  "CMakeFiles/edgetrain_models.dir/models/resnet.cpp.o"
+  "CMakeFiles/edgetrain_models.dir/models/resnet.cpp.o.d"
+  "CMakeFiles/edgetrain_models.dir/models/small_nets.cpp.o"
+  "CMakeFiles/edgetrain_models.dir/models/small_nets.cpp.o.d"
+  "CMakeFiles/edgetrain_models.dir/models/vgg.cpp.o"
+  "CMakeFiles/edgetrain_models.dir/models/vgg.cpp.o.d"
+  "libedgetrain_models.a"
+  "libedgetrain_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgetrain_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/chain.cpp" "src/CMakeFiles/edgetrain_nn.dir/nn/chain.cpp.o" "gcc" "src/CMakeFiles/edgetrain_nn.dir/nn/chain.cpp.o.d"
+  "/root/repo/src/nn/chain_runner.cpp" "src/CMakeFiles/edgetrain_nn.dir/nn/chain_runner.cpp.o" "gcc" "src/CMakeFiles/edgetrain_nn.dir/nn/chain_runner.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/CMakeFiles/edgetrain_nn.dir/nn/gradcheck.cpp.o" "gcc" "src/CMakeFiles/edgetrain_nn.dir/nn/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/edgetrain_nn.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/edgetrain_nn.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/edgetrain_nn.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/edgetrain_nn.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/microbatch.cpp" "src/CMakeFiles/edgetrain_nn.dir/nn/microbatch.cpp.o" "gcc" "src/CMakeFiles/edgetrain_nn.dir/nn/microbatch.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/CMakeFiles/edgetrain_nn.dir/nn/optim.cpp.o" "gcc" "src/CMakeFiles/edgetrain_nn.dir/nn/optim.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/edgetrain_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/edgetrain_nn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/edgetrain_nn.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/edgetrain_nn.dir/nn/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgetrain_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgetrain_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

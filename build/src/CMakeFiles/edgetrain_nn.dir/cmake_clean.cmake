@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgetrain_nn.dir/nn/chain.cpp.o"
+  "CMakeFiles/edgetrain_nn.dir/nn/chain.cpp.o.d"
+  "CMakeFiles/edgetrain_nn.dir/nn/chain_runner.cpp.o"
+  "CMakeFiles/edgetrain_nn.dir/nn/chain_runner.cpp.o.d"
+  "CMakeFiles/edgetrain_nn.dir/nn/gradcheck.cpp.o"
+  "CMakeFiles/edgetrain_nn.dir/nn/gradcheck.cpp.o.d"
+  "CMakeFiles/edgetrain_nn.dir/nn/layer.cpp.o"
+  "CMakeFiles/edgetrain_nn.dir/nn/layer.cpp.o.d"
+  "CMakeFiles/edgetrain_nn.dir/nn/layers.cpp.o"
+  "CMakeFiles/edgetrain_nn.dir/nn/layers.cpp.o.d"
+  "CMakeFiles/edgetrain_nn.dir/nn/microbatch.cpp.o"
+  "CMakeFiles/edgetrain_nn.dir/nn/microbatch.cpp.o.d"
+  "CMakeFiles/edgetrain_nn.dir/nn/optim.cpp.o"
+  "CMakeFiles/edgetrain_nn.dir/nn/optim.cpp.o.d"
+  "CMakeFiles/edgetrain_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/edgetrain_nn.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/edgetrain_nn.dir/nn/trainer.cpp.o"
+  "CMakeFiles/edgetrain_nn.dir/nn/trainer.cpp.o.d"
+  "libedgetrain_nn.a"
+  "libedgetrain_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgetrain_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/alloc.cpp" "src/CMakeFiles/edgetrain_tensor.dir/tensor/alloc.cpp.o" "gcc" "src/CMakeFiles/edgetrain_tensor.dir/tensor/alloc.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/edgetrain_tensor.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/edgetrain_tensor.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/parallel.cpp" "src/CMakeFiles/edgetrain_tensor.dir/tensor/parallel.cpp.o" "gcc" "src/CMakeFiles/edgetrain_tensor.dir/tensor/parallel.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/edgetrain_tensor.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/edgetrain_tensor.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

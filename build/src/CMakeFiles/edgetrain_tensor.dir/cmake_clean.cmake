@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgetrain_tensor.dir/tensor/alloc.cpp.o"
+  "CMakeFiles/edgetrain_tensor.dir/tensor/alloc.cpp.o.d"
+  "CMakeFiles/edgetrain_tensor.dir/tensor/ops.cpp.o"
+  "CMakeFiles/edgetrain_tensor.dir/tensor/ops.cpp.o.d"
+  "CMakeFiles/edgetrain_tensor.dir/tensor/parallel.cpp.o"
+  "CMakeFiles/edgetrain_tensor.dir/tensor/parallel.cpp.o.d"
+  "CMakeFiles/edgetrain_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/edgetrain_tensor.dir/tensor/tensor.cpp.o.d"
+  "libedgetrain_tensor.a"
+  "libedgetrain_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgetrain_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgetrain_tensor.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_tradeoff_test.dir/core/batch_tradeoff_test.cpp.o"
+  "CMakeFiles/batch_tradeoff_test.dir/core/batch_tradeoff_test.cpp.o.d"
+  "batch_tradeoff_test"
+  "batch_tradeoff_test.pdb"
+  "batch_tradeoff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_tradeoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byte_budget_test.dir/core/byte_budget_test.cpp.o"
+  "CMakeFiles/byte_budget_test.dir/core/byte_budget_test.cpp.o.d"
+  "byte_budget_test"
+  "byte_budget_test.pdb"
+  "byte_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byte_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

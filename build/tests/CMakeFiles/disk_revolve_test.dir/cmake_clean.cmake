@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_revolve_test.dir/core/disk_revolve_test.cpp.o"
+  "CMakeFiles/disk_revolve_test.dir/core/disk_revolve_test.cpp.o.d"
+  "disk_revolve_test"
+  "disk_revolve_test.pdb"
+  "disk_revolve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_revolve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

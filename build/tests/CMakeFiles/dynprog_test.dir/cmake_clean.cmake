@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynprog_test.dir/core/dynprog_test.cpp.o"
+  "CMakeFiles/dynprog_test.dir/core/dynprog_test.cpp.o.d"
+  "dynprog_test"
+  "dynprog_test.pdb"
+  "dynprog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynprog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_resnet_test.dir/models/linear_resnet_test.cpp.o"
+  "CMakeFiles/linear_resnet_test.dir/models/linear_resnet_test.cpp.o.d"
+  "linear_resnet_test"
+  "linear_resnet_test.pdb"
+  "linear_resnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_resnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbatch_test.dir/nn/microbatch_test.cpp.o"
+  "CMakeFiles/microbatch_test.dir/nn/microbatch_test.cpp.o.d"
+  "microbatch_test"
+  "microbatch_test.pdb"
+  "microbatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/models/resnet_spec_test.cpp" "tests/CMakeFiles/resnet_spec_test.dir/models/resnet_spec_test.cpp.o" "gcc" "tests/CMakeFiles/resnet_spec_test.dir/models/resnet_spec_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgetrain_insitu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgetrain_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgetrain_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgetrain_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgetrain_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgetrain_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_spec_test.dir/models/resnet_spec_test.cpp.o"
+  "CMakeFiles/resnet_spec_test.dir/models/resnet_spec_test.cpp.o.d"
+  "resnet_spec_test"
+  "resnet_spec_test.pdb"
+  "resnet_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revolve_test.dir/core/revolve_test.cpp.o"
+  "CMakeFiles/revolve_test.dir/core/revolve_test.cpp.o.d"
+  "revolve_test"
+  "revolve_test.pdb"
+  "revolve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revolve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

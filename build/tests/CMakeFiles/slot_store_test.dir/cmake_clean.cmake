@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slot_store_test.dir/core/slot_store_test.cpp.o"
+  "CMakeFiles/slot_store_test.dir/core/slot_store_test.cpp.o.d"
+  "slot_store_test"
+  "slot_store_test.pdb"
+  "slot_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slot_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgg_test.dir/models/vgg_test.cpp.o"
+  "CMakeFiles/vgg_test.dir/models/vgg_test.cpp.o.d"
+  "vgg_test"
+  "vgg_test.pdb"
+  "vgg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
