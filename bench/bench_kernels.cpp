@@ -1,8 +1,16 @@
-// Substrate throughput benchmarks (google-benchmark): GEMM, conv2d
-// forward/backward, batch norm, and the thread-pool scaling that stands in
-// for the Waggle node's 4+4 cores.
+// Substrate throughput benchmarks (google-benchmark): GEMM (all transpose
+// combinations), conv2d forward/backward, batch norm, and the thread-pool
+// scaling that stands in for the Waggle node's 4+4 cores.
+//
+// Each compute benchmark exports a GFLOPS counter (rate over wall time, the
+// honest metric when the pool keeps multiple threads busy). Besides the
+// console table, a machine-readable copy of every run is written to
+// BENCH_kernels.json in the working directory so perf regressions can be
+// diffed across commits.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
 #include <random>
 
 #include "tensor/ops.hpp"
@@ -11,6 +19,14 @@
 namespace {
 
 using namespace edgetrain;
+
+void set_flops(benchmark::State& state, double flops_per_iter) {
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * flops_per_iter));
+  state.counters["GFLOPS"] =
+      benchmark::Counter(flops_per_iter * static_cast<double>(state.iterations()) * 1e-9,
+                         benchmark::Counter::kIsRate);
+}
 
 void BM_Gemm(benchmark::State& state) {
   const auto n = state.range(0);
@@ -23,9 +39,28 @@ void BM_Gemm(benchmark::State& state) {
               c.data());
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  set_flops(state, 2.0 * static_cast<double>(n) * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->UseRealTime();
+
+// The packed kernels specialise per transpose combination; benchmark each
+// so a regression in one packing path shows up. Arg encodes (trans_a,
+// trans_b) as 2*ta + tb.
+void BM_GemmTrans(benchmark::State& state) {
+  const bool ta = (state.range(0) & 2) != 0;
+  const bool tb = (state.range(0) & 1) != 0;
+  const std::int64_t n = 192;
+  std::mt19937 rng(6);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c = Tensor::zeros(Shape{n, n});
+  for (auto _ : state) {
+    ops::gemm(ta, tb, n, n, n, 1.0F, a.data(), b.data(), 0.0F, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_flops(state, 2.0 * static_cast<double>(n) * n * n);
+}
+BENCHMARK(BM_GemmTrans)->DenseRange(0, 3)->UseRealTime();
 
 void BM_Conv2dForward(benchmark::State& state) {
   const auto channels = state.range(0);
@@ -37,10 +72,10 @@ void BM_Conv2dForward(benchmark::State& state) {
     Tensor y = ops::conv2d_forward(x, w, Tensor{}, p);
     benchmark::DoNotOptimize(y.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * channels * channels * 9 *
-                          32 * 32);
+  set_flops(state,
+            2.0 * static_cast<double>(channels) * channels * 9 * 32 * 32);
 }
-BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32)->UseRealTime();
 
 void BM_Conv2dBackward(benchmark::State& state) {
   const auto channels = state.range(0);
@@ -53,8 +88,11 @@ void BM_Conv2dBackward(benchmark::State& state) {
     ops::Conv2dGrads grads = ops::conv2d_backward(gy, x, w, p, false);
     benchmark::DoNotOptimize(grads.grad_x.data());
   }
+  // Backward = two GEMMs of the forward's shape (dX and dW).
+  set_flops(state,
+            4.0 * static_cast<double>(channels) * channels * 9 * 32 * 32);
 }
-BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16)->Arg(32)->UseRealTime();
 
 void BM_BatchNormForward(benchmark::State& state) {
   std::mt19937 rng(4);
@@ -86,8 +124,30 @@ void BM_GemmThreads(benchmark::State& state) {
               c.data());
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  set_flops(state, 2.0 * static_cast<double>(n) * n * n);
 }
-BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
+
+// Custom main: report to the console as usual AND mirror every run into
+// BENCH_kernels.json (machine-readable, git-ignored). Implemented by
+// injecting the out-file flags ahead of the user's arguments, so an
+// explicit --benchmark_out=... on the command line still wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  args.push_back(out_flag.data());
+  args.push_back(fmt_flag.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

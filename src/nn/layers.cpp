@@ -51,12 +51,12 @@ Tensor Conv2d::forward(const Tensor& x, const RunContext& ctx) {
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
   if (!saved_x_.defined()) no_saved_state();
-  ops::Conv2dGrads grads =
-      ops::conv2d_backward(grad_out, saved_x_, w_, params_, with_bias_);
-  gw_.add_(grads.grad_w);
-  if (with_bias_) gb_.add_(grads.grad_b);
+  // Accumulate straight into the layer's grad buffers: no temporary grad_w
+  // tensor and no extra add pass in the training hot loop.
+  Tensor grad_x = ops::conv2d_backward_acc(grad_out, saved_x_, w_, params_,
+                                           gw_, with_bias_ ? &gb_ : nullptr);
   saved_x_.reset();
-  return std::move(grads.grad_x);
+  return grad_x;
 }
 
 void Conv2d::collect_params(std::vector<ParamRef>& out) {
@@ -355,12 +355,10 @@ Tensor Linear::forward(const Tensor& x, const RunContext& ctx) {
 
 Tensor Linear::backward(const Tensor& grad_out) {
   if (!saved_x_.defined()) no_saved_state();
-  ops::LinearGrads grads =
-      ops::linear_backward(grad_out, saved_x_, w_, with_bias_);
-  gw_.add_(grads.grad_w);
-  if (with_bias_) gb_.add_(grads.grad_b);
+  Tensor grad_x = ops::linear_backward_acc(grad_out, saved_x_, w_, gw_,
+                                           with_bias_ ? &gb_ : nullptr);
   saved_x_.reset();
-  return std::move(grads.grad_x);
+  return grad_x;
 }
 
 void Linear::collect_params(std::vector<ParamRef>& out) {

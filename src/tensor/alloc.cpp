@@ -2,30 +2,60 @@
 
 namespace edgetrain {
 
+namespace {
+/// CAS-raise @p peak to at least @p candidate.
+void raise_peak(std::atomic<std::size_t>& peak, std::size_t candidate) noexcept {
+  std::size_t prev = peak.load(std::memory_order_relaxed);
+  while (candidate > prev &&
+         !peak.compare_exchange_weak(prev, candidate,
+                                     std::memory_order_relaxed)) {
+    // prev reloaded by compare_exchange_weak on failure.
+  }
+}
+}  // namespace
+
 MemoryTracker& MemoryTracker::instance() noexcept {
   static MemoryTracker tracker;
   return tracker;
+}
+
+void MemoryTracker::bump_total_peak() noexcept {
+  raise_peak(total_peak_, current_.load(std::memory_order_relaxed) +
+                              scratch_current_.load(std::memory_order_relaxed));
 }
 
 void MemoryTracker::on_alloc(std::size_t bytes) noexcept {
   allocations_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t now =
       current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-  std::size_t prev_peak = peak_.load(std::memory_order_relaxed);
-  while (now > prev_peak &&
-         !peak_.compare_exchange_weak(prev_peak, now,
-                                      std::memory_order_relaxed)) {
-    // prev_peak reloaded by compare_exchange_weak on failure.
-  }
+  raise_peak(peak_, now);
+  bump_total_peak();
 }
 
 void MemoryTracker::on_free(std::size_t bytes) noexcept {
   current_.fetch_sub(bytes, std::memory_order_relaxed);
 }
 
+void MemoryTracker::on_scratch_alloc(std::size_t bytes) noexcept {
+  scratch_allocations_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t now =
+      scratch_current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  raise_peak(scratch_peak_, now);
+  bump_total_peak();
+}
+
+void MemoryTracker::on_scratch_free(std::size_t bytes) noexcept {
+  scratch_current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
 void MemoryTracker::reset_peak() noexcept {
   peak_.store(current_.load(std::memory_order_relaxed),
               std::memory_order_relaxed);
+  scratch_peak_.store(scratch_current_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  total_peak_.store(current_.load(std::memory_order_relaxed) +
+                        scratch_current_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
 }
 
 ScopedPeakProbe::ScopedPeakProbe() noexcept {

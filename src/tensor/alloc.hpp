@@ -16,40 +16,91 @@ namespace edgetrain {
 
 /// Process-wide allocation statistics for tensor storage.
 ///
-/// Thread-safe: counters are atomics; the peak is maintained with a CAS loop.
+/// Bytes are split into two categories so that paper-facing tables can
+/// include or exclude kernel scratch explicitly:
+///  - *persistent*: Tensor storage -- weights, activations, checkpoints.
+///    This is the quantity Tables I-III of the paper tabulate.
+///  - *scratch*: per-thread Workspace arenas -- GEMM packing panels and
+///    im2col/col2im buffers. Bounded, reused across steps, and zero new
+///    allocations in steady-state training.
+///
+/// The legacy accessors (current_bytes, peak_bytes, allocation_count) keep
+/// their original persistent-only semantics; scratch has parallel accessors
+/// and total_* reports the inclusive view.
+///
+/// Thread-safe: counters are atomics; peaks are maintained with CAS loops.
 class MemoryTracker {
  public:
   /// The global tracker used by all Tensor storage.
   static MemoryTracker& instance() noexcept;
 
-  /// Record an allocation of @p bytes.
+  /// Record a persistent (Tensor storage) allocation of @p bytes.
   void on_alloc(std::size_t bytes) noexcept;
 
-  /// Record a deallocation of @p bytes.
+  /// Record a persistent deallocation of @p bytes.
   void on_free(std::size_t bytes) noexcept;
 
-  /// Bytes currently live.
+  /// Record a scratch (Workspace arena) allocation of @p bytes.
+  void on_scratch_alloc(std::size_t bytes) noexcept;
+
+  /// Record a scratch deallocation of @p bytes.
+  void on_scratch_free(std::size_t bytes) noexcept;
+
+  /// Persistent bytes currently live.
   [[nodiscard]] std::size_t current_bytes() const noexcept {
     return current_.load(std::memory_order_relaxed);
   }
 
-  /// High-water mark since construction or the last reset_peak().
+  /// Scratch bytes currently live.
+  [[nodiscard]] std::size_t scratch_bytes() const noexcept {
+    return scratch_current_.load(std::memory_order_relaxed);
+  }
+
+  /// Persistent + scratch bytes currently live.
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return current_bytes() + scratch_bytes();
+  }
+
+  /// Persistent high-water mark since construction or the last reset_peak().
   [[nodiscard]] std::size_t peak_bytes() const noexcept {
     return peak_.load(std::memory_order_relaxed);
   }
 
-  /// Number of allocations since construction.
+  /// Scratch high-water mark since construction or the last reset_peak().
+  [[nodiscard]] std::size_t scratch_peak_bytes() const noexcept {
+    return scratch_peak_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of persistent + scratch live bytes (tracked jointly,
+  /// not the sum of the two individual peaks).
+  [[nodiscard]] std::size_t total_peak_bytes() const noexcept {
+    return total_peak_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of persistent allocations since construction.
   [[nodiscard]] std::uint64_t allocation_count() const noexcept {
     return allocations_.load(std::memory_order_relaxed);
   }
 
-  /// Reset the high-water mark to the current live size.
+  /// Number of scratch allocations since construction. Flat across steady-
+  /// state training steps: workspaces grow only while warming up.
+  [[nodiscard]] std::uint64_t scratch_allocation_count() const noexcept {
+    return scratch_allocations_.load(std::memory_order_relaxed);
+  }
+
+  /// Reset all high-water marks to the current live sizes.
   void reset_peak() noexcept;
 
  private:
+  void bump_total_peak() noexcept;
+
   std::atomic<std::size_t> current_{0};
   std::atomic<std::size_t> peak_{0};
   std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::size_t> scratch_current_{0};
+  std::atomic<std::size_t> scratch_peak_{0};
+  std::atomic<std::uint64_t> scratch_allocations_{0};
+  std::atomic<std::size_t> total_peak_{0};
 };
 
 /// Measures the peak number of live bytes over a lexical region.

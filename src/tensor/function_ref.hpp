@@ -1,0 +1,46 @@
+// edgetrain: non-owning, non-allocating callable reference.
+//
+// std::function in the parallel_for hot path costs a potential heap
+// allocation and an indirect call through type-erased storage on every
+// kernel dispatch. FunctionRef erases the callable down to {object pointer,
+// trampoline pointer} -- two words, trivially copyable, never allocating.
+// The referenced callable must outlive the FunctionRef; parallel_for blocks
+// until completion, so stack lambdas at the call site are always safe.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace edgetrain {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = delete;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, mirrors
+  // the conversion callers previously had to std::function.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace edgetrain

@@ -7,14 +7,17 @@
 #include <stdexcept>
 
 #include "tensor/parallel.hpp"
+#include "tensor/workspace.hpp"
 
 namespace edgetrain::ops {
 
 namespace {
-constexpr std::int64_t kGemmGrain = 8;
-
 void check(bool cond, const char* msg) {
   if (!cond) throw std::invalid_argument(msg);
+}
+
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
 }
 }  // namespace
 
@@ -24,33 +27,235 @@ std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel,
 }
 
 // ---------------------------------------------------------------------------
-// GEMM
+// GEMM: cache-blocked, packed, register-tiled (BLIS-style).
+//
+// op(A)/op(B) are packed into contiguous panels drawn from the per-thread
+// Workspace arena -- A as column-major micro-panels of kMR rows, B as
+// row-major micro-panels of kNR columns -- so the inner kernel streams two
+// contiguous buffers regardless of the trans_a/trans_b combination. The
+// kMR x kNR accumulator tile lives in registers (target_clones emits
+// AVX-512/AVX2/SSE variants and dispatches at load time; no intrinsics).
+// Work is parallelised 2-D over (M-block x N-block) tasks; each C tile is
+// written by exactly one task with a fixed reduction order, so results are
+// bit-for-bit reproducible for any worker count.
 // ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::int64_t kMR = 6;    // micro-tile rows (register blocking)
+constexpr std::int64_t kNR = 16;   // micro-tile cols (one AVX-512 vector)
+constexpr std::int64_t kMC = 120;  // A-block rows per task (multiple of kMR)
+constexpr std::int64_t kKC = 256;  // packed panel depth (L1/L2 resident)
+constexpr std::int64_t kNC = 256;  // B-block cols per task (multiple of kNR)
+
+// Micro-architecture levels (not bare ISA bits: v3/v4 imply FMA, which the
+// accumulator update contracts into) cloned per function and dispatched by
+// the loader's ifunc resolver, so the standard build needs no -march flags.
+#if defined(__GNUC__) && defined(__x86_64__) && !defined(__clang__)
+#define EDGETRAIN_KERNEL_CLONES \
+  __attribute__(                \
+      (target_clones("arch=x86-64-v4", "arch=x86-64-v3", "default")))
+#else
+#define EDGETRAIN_KERNEL_CLONES
+#endif
+
+// GNU vector extensions give the micro-kernel named vector accumulators the
+// compiler keeps in registers for the whole k loop; a plain scalar tile
+// written through a pointer gets spilled to the stack every iteration
+// (load-op-store per row), which is ~40x slower. Portable across GCC/Clang
+// on every target; scalar fallback for anything else.
+#if defined(__GNUC__) || defined(__clang__)
+#define EDGETRAIN_VECTOR_EXT 1
+using Vec8f = float __attribute__((vector_size(32)));
+#endif
+
+/// Packs op(A)[i0:i0+mc, p0:p0+kc] as ceil(mc/kMR) micro-panels; panel ir
+/// holds kc columns of kMR rows each (zero-padded past the matrix edge).
+void pack_a(const float* a, bool trans, std::int64_t lda, std::int64_t i0,
+            std::int64_t mc, std::int64_t p0, std::int64_t kc, float* dst) {
+  for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+    const std::int64_t rows = std::min(kMR, mc - ir);
+    if (trans) {
+      // op(A)[i, p] = a[p * lda + i]: rows are contiguous in memory.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = a + (p0 + p) * lda + i0 + ir;
+        float* out = dst + p * kMR;
+        for (std::int64_t r = 0; r < rows; ++r) out[r] = src[r];
+        for (std::int64_t r = rows; r < kMR; ++r) out[r] = 0.0F;
+      }
+    } else {
+      // a[i * lda + p]: depth is contiguous, scatter into panel slots.
+      for (std::int64_t r = 0; r < kMR; ++r) {
+        if (r < rows) {
+          const float* src = a + (i0 + ir + r) * lda + p0;
+          for (std::int64_t p = 0; p < kc; ++p) dst[p * kMR + r] = src[p];
+        } else {
+          for (std::int64_t p = 0; p < kc; ++p) dst[p * kMR + r] = 0.0F;
+        }
+      }
+    }
+    dst += kMR * kc;
+  }
+}
+
+/// Packs op(B)[p0:p0+kc, j0:j0+nc] as ceil(nc/kNR) micro-panels; panel jr
+/// holds kc rows of kNR columns each (zero-padded past the matrix edge).
+void pack_b(const float* b, bool trans, std::int64_t ldb, std::int64_t p0,
+            std::int64_t kc, std::int64_t j0, std::int64_t nc, float* dst) {
+  for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+    const std::int64_t cols = std::min(kNR, nc - jr);
+    if (trans) {
+      // op(B)[p, j] = b[j * ldb + p]: depth is contiguous per column.
+      for (std::int64_t j = 0; j < kNR; ++j) {
+        if (j < cols) {
+          const float* src = b + (j0 + jr + j) * ldb + p0;
+          for (std::int64_t p = 0; p < kc; ++p) dst[p * kNR + j] = src[p];
+        } else {
+          for (std::int64_t p = 0; p < kc; ++p) dst[p * kNR + j] = 0.0F;
+        }
+      }
+    } else {
+      // b[p * ldb + j]: columns are contiguous per depth step.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = b + (p0 + p) * ldb + j0 + jr;
+        float* out = dst + p * kNR;
+        for (std::int64_t j = 0; j < cols; ++j) out[j] = src[j];
+        for (std::int64_t j = cols; j < kNR; ++j) out[j] = 0.0F;
+      }
+    }
+    dst += kNR * kc;
+  }
+}
+
+/// acc[kMR, kNR] = sum_p ap[p, :] (outer) bp[p, :]. The hot loop: both
+/// panels stream contiguously while the 6x16 accumulator tile lives in
+/// twelve 8-wide vector registers for the entire depth loop.
+EDGETRAIN_KERNEL_CLONES
+void micro_kernel(std::int64_t kc, const float* __restrict ap,
+                  const float* __restrict bp, float* __restrict acc) {
+#if defined(EDGETRAIN_VECTOR_EXT)
+  Vec8f c[kMR][2] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    Vec8f b0;
+    Vec8f b1;
+    std::memcpy(&b0, bp, sizeof b0);
+    std::memcpy(&b1, bp + 8, sizeof b1);
+#pragma GCC unroll 6
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const float av = ap[i];
+      const Vec8f avv = {av, av, av, av, av, av, av, av};
+      c[i][0] += avv * b0;
+      c[i][1] += avv * b1;
+    }
+    ap += kMR;
+    bp += kNR;
+  }
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    std::memcpy(acc + i * kNR, &c[i][0], sizeof(Vec8f));
+    std::memcpy(acc + i * kNR + 8, &c[i][1], sizeof(Vec8f));
+  }
+#else
+  float c[kMR * kNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const float av = ap[i];
+      for (std::int64_t j = 0; j < kNR; ++j) c[i * kNR + j] += av * bp[j];
+    }
+    ap += kMR;
+    bp += kNR;
+  }
+  std::memcpy(acc, c, sizeof c);
+#endif
+}
+
+/// c[rows, cols] = alpha * acc + beta * c (beta folds the previous value;
+/// rows/cols clip the zero-padded accumulator at the matrix edge).
+void apply_tile(const float* acc, float* c, std::int64_t ldc,
+                std::int64_t rows, std::int64_t cols, float alpha,
+                float beta) {
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* src = acc + i * kNR;
+    float* dst = c + i * ldc;
+    if (beta == 0.0F) {
+      for (std::int64_t j = 0; j < cols; ++j) dst[j] = alpha * src[j];
+    } else if (beta == 1.0F) {
+      for (std::int64_t j = 0; j < cols; ++j) dst[j] += alpha * src[j];
+    } else {
+      for (std::int64_t j = 0; j < cols; ++j) {
+        dst[j] = alpha * src[j] + beta * dst[j];
+      }
+    }
+  }
+}
+
+/// C *= beta for the degenerate k == 0 / alpha == 0 cases.
+void scale_c(float* c, std::int64_t m, std::int64_t n, float beta) {
+  if (beta == 1.0F) return;
+  parallel_for(0, m, 64, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      float* row = c + i * n;
+      if (beta == 0.0F) {
+        std::memset(row, 0, static_cast<std::size_t>(n) * sizeof(float));
+      } else {
+        for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
+      }
+    }
+  });
+}
+
+}  // namespace
 
 void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, const float* b,
           float beta, float* c) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0 || alpha == 0.0F) {
+    scale_c(c, m, n, beta);
+    return;
+  }
   // Row-major: A is m x k (lda=k) or, transposed, stored k x m (lda=m).
   const std::int64_t lda = trans_a ? m : k;
   const std::int64_t ldb = trans_b ? k : n;
-  parallel_for(0, m, kGemmGrain, [&](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t i = r0; i < r1; ++i) {
-      float* crow = c + i * n;
-      if (beta == 0.0F) {
-        std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
-      } else if (beta != 1.0F) {
-        for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-      }
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float aval =
-            alpha * (trans_a ? a[p * lda + i] : a[i * lda + p]);
-        if (aval == 0.0F) continue;
-        const float* brow = trans_b ? nullptr : b + p * ldb;
-        if (!trans_b) {
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-        } else {
-          // op(B)[p, j] = B[j, p]
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * b[j * ldb + p];
+
+  // 2-D task grid over (M-block x N-block). When the natural kMC blocking
+  // yields fewer tasks than workers, M-blocks shrink (to a kMR multiple) so
+  // every worker gets a disjoint slab of C. The grid depends only on the
+  // shapes and the pool size, and each C tile has a single writer with a
+  // fixed k-accumulation order: results are deterministic.
+  const std::int64_t n_blocks = ceil_div(n, kNC);
+  const auto threads = static_cast<std::int64_t>(ThreadPool::global().size());
+  std::int64_t m_blocks = ceil_div(m, kMC);
+  const std::int64_t max_m_blocks = ceil_div(m, kMR);
+  if (m_blocks * n_blocks < threads) {
+    m_blocks = std::min(max_m_blocks, ceil_div(threads, n_blocks));
+  }
+  const std::int64_t mc_max = ceil_div(ceil_div(m, m_blocks), kMR) * kMR;
+  m_blocks = ceil_div(m, mc_max);
+
+  parallel_for(0, m_blocks * n_blocks, 1, [&](std::int64_t t0,
+                                              std::int64_t t1) {
+    Workspace& ws = Workspace::tls();
+    const WorkspaceScope scope(ws);
+    float* packed_a = ws.alloc(mc_max * kKC);
+    float* packed_b = ws.alloc(kKC * kNC);
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t i0 = (t % m_blocks) * mc_max;
+      const std::int64_t j0 = (t / m_blocks) * kNC;
+      const std::int64_t mc = std::min(mc_max, m - i0);
+      const std::int64_t nc = std::min(kNC, n - j0);
+      for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
+        const std::int64_t kc = std::min(kKC, k - p0);
+        pack_a(a, trans_a, lda, i0, mc, p0, kc, packed_a);
+        pack_b(b, trans_b, ldb, p0, kc, j0, nc, packed_b);
+        const float beta_eff = p0 == 0 ? beta : 1.0F;
+        for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+          for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+            alignas(64) float acc[kMR * kNR];
+            micro_kernel(kc, packed_a + ir * kc, packed_b + jr * kc, acc);
+            apply_tile(acc, c + (i0 + ir) * n + j0 + jr, n,
+                       std::min(kMR, mc - ir), std::min(kNR, nc - jr), alpha,
+                       beta_eff);
+          }
         }
       }
     }
@@ -72,6 +277,34 @@ void im2col(const float* x, std::int64_t channels, std::int64_t h,
       for (std::int64_t kj = 0; kj < kw; ++kj) {
         const std::int64_t row = (c * kh + ki) * kw + kj;
         float* dst = col + row * out_area;
+        if (p.stride == 1) {
+          // Fast path: ix = ox - pad + kj walks in lockstep with ox, so the
+          // valid span [ox_lo, ox_hi) is one contiguous memcpy per output
+          // row, with memset fringes for the padding (bounds hoisted out of
+          // the inner loop).
+          const std::int64_t ox_lo = std::max<std::int64_t>(0, p.pad - kj);
+          const std::int64_t ox_hi = std::min(wo, w + p.pad - kj);
+          const std::int64_t run = ox_hi - ox_lo;
+          for (std::int64_t oy = 0; oy < ho; ++oy) {
+            const std::int64_t iy = oy - p.pad + ki;
+            float* drow = dst + oy * wo;
+            if (iy < 0 || iy >= h || run <= 0) {
+              std::memset(drow, 0, static_cast<std::size_t>(wo) * sizeof(float));
+              continue;
+            }
+            const float* src_row = x + (c * h + iy) * w + kj - p.pad;
+            if (ox_lo > 0) {
+              std::memset(drow, 0, static_cast<std::size_t>(ox_lo) * sizeof(float));
+            }
+            std::memcpy(drow + ox_lo, src_row + ox_lo,
+                        static_cast<std::size_t>(run) * sizeof(float));
+            if (ox_hi < wo) {
+              std::memset(drow + ox_hi, 0,
+                          static_cast<std::size_t>(wo - ox_hi) * sizeof(float));
+            }
+          }
+          continue;
+        }
         for (std::int64_t oy = 0; oy < ho; ++oy) {
           const std::int64_t iy = oy * p.stride - p.pad + ki;
           if (iy < 0 || iy >= h) {
@@ -102,6 +335,23 @@ void col2im(const float* col, std::int64_t channels, std::int64_t h,
       for (std::int64_t kj = 0; kj < kw; ++kj) {
         const std::int64_t row = (c * kh + ki) * kw + kj;
         const float* src = col + row * out_area;
+        if (p.stride == 1) {
+          // Fast path mirror of im2col: one contiguous accumulate run per
+          // output row, no per-pixel bounds checks.
+          const std::int64_t ox_lo = std::max<std::int64_t>(0, p.pad - kj);
+          const std::int64_t ox_hi = std::min(wo, w + p.pad - kj);
+          if (ox_hi <= ox_lo) continue;
+          for (std::int64_t oy = 0; oy < ho; ++oy) {
+            const std::int64_t iy = oy - p.pad + ki;
+            if (iy < 0 || iy >= h) continue;
+            float* dst_row = x + (c * h + iy) * w + kj - p.pad;
+            const float* srow = src + oy * wo;
+            for (std::int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+              dst_row[ox] += srow[ox];
+            }
+          }
+          continue;
+        }
         for (std::int64_t oy = 0; oy < ho; ++oy) {
           const std::int64_t iy = oy * p.stride - p.pad + ki;
           if (iy < 0 || iy >= h) continue;
@@ -135,12 +385,14 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
   Tensor y = Tensor::empty(Shape{n, cout, ho, wo});
   const std::int64_t col_rows = cin * kh * kw;
   const std::int64_t out_area = ho * wo;
-  Tensor col = Tensor::empty(Shape{col_rows, out_area});
+  Workspace& ws = Workspace::tls();
+  const WorkspaceScope scope(ws);
+  float* col = ws.alloc(col_rows * out_area);
 
   for (std::int64_t img = 0; img < n; ++img) {
-    im2col(x.data() + img * cin * h * wd, cin, h, wd, kh, kw, p, col.data());
+    im2col(x.data() + img * cin * h * wd, cin, h, wd, kh, kw, p, col);
     // y[img] = W[cout, col_rows] * col
-    gemm(false, false, cout, out_area, col_rows, 1.0F, w.data(), col.data(),
+    gemm(false, false, cout, out_area, col_rows, 1.0F, w.data(), col,
          0.0F, y.data() + img * cout * out_area);
     if (bias.defined()) {
       float* yp = y.data() + img * cout * out_area;
@@ -153,9 +405,9 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
   return y;
 }
 
-Conv2dGrads conv2d_backward(const Tensor& grad_y, const Tensor& x,
-                            const Tensor& w, const ConvParams& p,
-                            bool with_bias) {
+Tensor conv2d_backward_acc(const Tensor& grad_y, const Tensor& x,
+                           const Tensor& w, const ConvParams& p,
+                           Tensor& grad_w_acc, Tensor* grad_b_acc) {
   const std::int64_t n = x.shape()[0];
   const std::int64_t cin = x.shape()[1];
   const std::int64_t h = x.shape()[2];
@@ -167,28 +419,28 @@ Conv2dGrads conv2d_backward(const Tensor& grad_y, const Tensor& x,
   const std::int64_t wo = grad_y.shape()[3];
   const std::int64_t out_area = ho * wo;
   const std::int64_t col_rows = cin * kh * kw;
+  check(grad_w_acc.shape() == w.shape(), "conv2d_backward: grad_w shape");
 
-  Conv2dGrads grads;
-  grads.grad_x = Tensor::zeros(x.shape());
-  grads.grad_w = Tensor::zeros(w.shape());
-  if (with_bias) grads.grad_b = Tensor::zeros(Shape{cout});
+  Tensor grad_x = Tensor::zeros(x.shape());
 
-  Tensor col = Tensor::empty(Shape{col_rows, out_area});
-  Tensor col_grad = Tensor::empty(Shape{col_rows, out_area});
+  Workspace& ws = Workspace::tls();
+  const WorkspaceScope scope(ws);
+  float* col = ws.alloc(col_rows * out_area);
+  float* col_grad = ws.alloc(col_rows * out_area);
 
   for (std::int64_t img = 0; img < n; ++img) {
     const float* gy = grad_y.data() + img * cout * out_area;
     // grad_w += gy[cout, area] * col^T -> [cout, col_rows]
-    im2col(x.data() + img * cin * h * wd, cin, h, wd, kh, kw, p, col.data());
-    gemm(false, true, cout, col_rows, out_area, 1.0F, gy, col.data(), 1.0F,
-         grads.grad_w.data());
+    im2col(x.data() + img * cin * h * wd, cin, h, wd, kh, kw, p, col);
+    gemm(false, true, cout, col_rows, out_area, 1.0F, gy, col, 1.0F,
+         grad_w_acc.data());
     // col_grad = W^T[col_rows, cout] * gy
     gemm(true, false, col_rows, out_area, cout, 1.0F, w.data(), gy, 0.0F,
-         col_grad.data());
-    col2im(col_grad.data(), cin, h, wd, kh, kw, p,
-           grads.grad_x.data() + img * cin * h * wd);
-    if (with_bias) {
-      float* gb = grads.grad_b.data();
+         col_grad);
+    col2im(col_grad, cin, h, wd, kh, kw, p,
+           grad_x.data() + img * cin * h * wd);
+    if (grad_b_acc != nullptr) {
+      float* gb = grad_b_acc->data();
       for (std::int64_t c = 0; c < cout; ++c) {
         double acc = 0.0;
         for (std::int64_t i = 0; i < out_area; ++i) acc += gy[c * out_area + i];
@@ -196,6 +448,18 @@ Conv2dGrads conv2d_backward(const Tensor& grad_y, const Tensor& x,
       }
     }
   }
+  return grad_x;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& grad_y, const Tensor& x,
+                            const Tensor& w, const ConvParams& p,
+                            bool with_bias) {
+  Conv2dGrads grads;
+  grads.grad_w = Tensor::zeros(w.shape());
+  if (with_bias) grads.grad_b = Tensor::zeros(Shape{w.shape()[0]});
+  grads.grad_x =
+      conv2d_backward_acc(grad_y, x, w, p, grads.grad_w,
+                          with_bias ? &grads.grad_b : nullptr);
   return grads;
 }
 
@@ -499,28 +763,37 @@ Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b) {
   return y;
 }
 
-LinearGrads linear_backward(const Tensor& grad_y, const Tensor& x,
-                            const Tensor& w, bool with_bias) {
+Tensor linear_backward_acc(const Tensor& grad_y, const Tensor& x,
+                           const Tensor& w, Tensor& grad_w_acc,
+                           Tensor* grad_b_acc) {
   const std::int64_t n = x.shape()[0];
   const std::int64_t in = x.shape()[1];
   const std::int64_t out = w.shape()[0];
-  LinearGrads grads;
-  grads.grad_x = Tensor::empty(Shape{n, in});
-  grads.grad_w = Tensor::zeros(w.shape());
+  check(grad_w_acc.shape() == w.shape(), "linear_backward: grad_w shape");
+  Tensor grad_x = Tensor::empty(Shape{n, in});
   // grad_x = gy[n,out] * w[out,in]
   gemm(false, false, n, in, out, 1.0F, grad_y.data(), w.data(), 0.0F,
-       grads.grad_x.data());
-  // grad_w = gy^T[out,n] * x[n,in]
-  gemm(true, false, out, in, n, 1.0F, grad_y.data(), x.data(), 0.0F,
-       grads.grad_w.data());
-  if (with_bias) {
-    grads.grad_b = Tensor::zeros(Shape{out});
-    float* gb = grads.grad_b.data();
+       grad_x.data());
+  // grad_w += gy^T[out,n] * x[n,in]
+  gemm(true, false, out, in, n, 1.0F, grad_y.data(), x.data(), 1.0F,
+       grad_w_acc.data());
+  if (grad_b_acc != nullptr) {
+    float* gb = grad_b_acc->data();
     const float* gy = grad_y.data();
     for (std::int64_t i = 0; i < n; ++i) {
       for (std::int64_t j = 0; j < out; ++j) gb[j] += gy[i * out + j];
     }
   }
+  return grad_x;
+}
+
+LinearGrads linear_backward(const Tensor& grad_y, const Tensor& x,
+                            const Tensor& w, bool with_bias) {
+  LinearGrads grads;
+  grads.grad_w = Tensor::zeros(w.shape());
+  if (with_bias) grads.grad_b = Tensor::zeros(Shape{w.shape()[0]});
+  grads.grad_x = linear_backward_acc(grad_y, x, w, grads.grad_w,
+                                     with_bias ? &grads.grad_b : nullptr);
   return grads;
 }
 

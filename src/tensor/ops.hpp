@@ -26,7 +26,13 @@ namespace edgetrain::ops {
 
 /// C[M,N] = alpha * op(A) * op(B) + beta * C, row-major.
 /// op(A) is A[M,K] if !trans_a, else A[K,M] read transposed (same for B).
-/// Parallelised over rows of C.
+///
+/// Cache-blocked and packed: op(A)/op(B) panels are copied into contiguous
+/// tiles in the per-thread Workspace arena and consumed by a register-tiled
+/// micro-kernel; work is parallelised 2-D over (M-block x N-block) tasks on
+/// the global ThreadPool. Every C tile has exactly one writer with a fixed
+/// k-accumulation order, so output is bit-for-bit reproducible across runs
+/// and worker counts. Steady state allocates nothing (arena reuse).
 void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, const float* b,
           float beta, float* c);
@@ -55,6 +61,16 @@ struct Conv2dGrads {
 [[nodiscard]] Conv2dGrads conv2d_backward(const Tensor& grad_y,
                                           const Tensor& x, const Tensor& w,
                                           const ConvParams& p, bool with_bias);
+
+/// Adjoint of conv2d_forward that *accumulates* parameter gradients in
+/// place: grad_w_acc += dL/dw and, when non-null, grad_b_acc += dL/db.
+/// Returns dL/dx. Skips the temporary grad_w tensor (and the extra add
+/// pass) that the struct-returning overload pays per step; all scratch is
+/// drawn from the per-thread Workspace.
+[[nodiscard]] Tensor conv2d_backward_acc(const Tensor& grad_y, const Tensor& x,
+                                         const Tensor& w, const ConvParams& p,
+                                         Tensor& grad_w_acc,
+                                         Tensor* grad_b_acc);
 
 /// Lowers one image x[C,H,W] into col[C*kh*kw, Ho*Wo]; exposed for tests.
 void im2col(const float* x, std::int64_t channels, std::int64_t h,
@@ -135,6 +151,12 @@ struct LinearGrads {
 [[nodiscard]] LinearGrads linear_backward(const Tensor& grad_y,
                                           const Tensor& x, const Tensor& w,
                                           bool with_bias);
+
+/// Like linear_backward but accumulates grad_w_acc += dL/dw (and optionally
+/// grad_b_acc += dL/db) in place; returns dL/dx.
+[[nodiscard]] Tensor linear_backward_acc(const Tensor& grad_y, const Tensor& x,
+                                         const Tensor& w, Tensor& grad_w_acc,
+                                         Tensor* grad_b_acc);
 
 // ---------------------------------------------------------------------------
 // Batch normalisation (2d, per-channel)

@@ -12,7 +12,7 @@ struct ThreadPool::Impl {
   struct Job {
     std::int64_t begin = 0;
     std::int64_t end = 0;
-    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    const ParallelFn* fn = nullptr;
     unsigned num_chunks = 0;
   };
 
@@ -67,8 +67,7 @@ struct ThreadPool::Impl {
     if (b < e) (*local.fn)(b, e);
   }
 
-  void run(std::int64_t begin, std::int64_t end,
-           const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  void run(std::int64_t begin, std::int64_t end, const ParallelFn& fn) {
     const unsigned num_chunks = static_cast<unsigned>(workers.size()) + 1;
     {
       std::lock_guard<std::mutex> lock(mutex);
@@ -117,9 +116,8 @@ unsigned ThreadPool::size() const noexcept {
   return static_cast<unsigned>(impl_->workers.size()) + 1;
 }
 
-void ThreadPool::parallel_for(
-    std::int64_t begin, std::int64_t end,
-    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              ParallelFn fn) {
   if (begin >= end) return;
   if (inside_pool_job) {  // no nested parallelism: run serially
     fn(begin, end);
@@ -137,7 +135,7 @@ void ThreadPool::set_global_threads(unsigned num_threads) {
 }
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+                  ParallelFn fn) {
   if (begin >= end) return;
   if (end - begin <= grain) {
     fn(begin, end);

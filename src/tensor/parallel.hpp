@@ -9,10 +9,14 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "tensor/function_ref.hpp"
+
 namespace edgetrain {
+
+/// Non-allocating chunk callback: fn(chunk_begin, chunk_end).
+using ParallelFn = FunctionRef<void(std::int64_t, std::int64_t)>;
 
 /// Persistent worker pool executing half-open index ranges.
 class ThreadPool {
@@ -29,9 +33,10 @@ class ThreadPool {
 
   /// Runs fn(chunk_begin, chunk_end) over [begin, end) split statically
   /// across workers. Blocks until all chunks complete. Reentrant calls from
-  /// inside a worker run serially (no nested parallelism).
-  void parallel_for(std::int64_t begin, std::int64_t end,
-                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+  /// inside a worker run serially (no nested parallelism). The callable is
+  /// taken by non-owning FunctionRef: no allocation per dispatch; it must
+  /// stay alive for the (blocking) duration of the call.
+  void parallel_for(std::int64_t begin, std::int64_t end, ParallelFn fn);
 
   /// The process-wide pool used by tensor kernels.
   static ThreadPool& global();
@@ -48,6 +53,6 @@ class ThreadPool {
 /// Convenience wrapper over the global pool with a minimum grain size:
 /// ranges smaller than @p grain run inline on the caller.
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+                  ParallelFn fn);
 
 }  // namespace edgetrain

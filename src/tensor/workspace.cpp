@@ -1,0 +1,114 @@
+#include "tensor/workspace.hpp"
+
+#include <algorithm>
+#include <new>
+
+#include "tensor/alloc.hpp"
+
+namespace edgetrain {
+
+namespace {
+constexpr std::size_t kAlignFloats = 16;  // 64-byte span alignment
+constexpr std::size_t kMinBlockFloats = 1U << 14;  // 64 KiB floor per block
+
+std::size_t round_up(std::size_t numel) noexcept {
+  return (numel + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+}  // namespace
+
+void Workspace::AlignedFree::operator()(float* p) const noexcept {
+  ::operator delete[](p, std::align_val_t{kAlignFloats * sizeof(float)});
+}
+
+Workspace& Workspace::tls() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+Workspace::~Workspace() { release(); }
+
+Workspace::Block Workspace::make_block(std::size_t numel) const {
+  Block block;
+  block.capacity = numel;
+  block.data.reset(static_cast<float*>(::operator new[](
+      numel * sizeof(float), std::align_val_t{kAlignFloats * sizeof(float)})));
+  MemoryTracker::instance().on_scratch_alloc(numel * sizeof(float));
+  return block;
+}
+
+void Workspace::free_block(Block& block) const {
+  if (!block.data) return;
+  block.data.reset();
+  MemoryTracker::instance().on_scratch_free(block.capacity * sizeof(float));
+  block.capacity = 0;
+  block.used = 0;
+}
+
+float* Workspace::alloc(std::int64_t numel) {
+  const std::size_t need = round_up(static_cast<std::size_t>(numel));
+  if (blocks_.empty()) {
+    blocks_.push_back(make_block(std::max(need, kMinBlockFloats)));
+    active_ = 0;
+  }
+  if (blocks_[active_].capacity - blocks_[active_].used >= need) {
+    float* ptr = blocks_[active_].data.get() + blocks_[active_].used;
+    blocks_[active_].used += need;
+    return ptr;
+  }
+  // Overflow: move to a later block. Blocks past the bump point hold no
+  // live spans, so they can be restarted from zero.
+  while (active_ + 1 < blocks_.size()) {
+    ++active_;
+    blocks_[active_].used = 0;
+    if (blocks_[active_].capacity >= need) {
+      blocks_[active_].used = need;
+      return blocks_[active_].data.get();
+    }
+  }
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.capacity;
+  blocks_.push_back(make_block(std::max({need, total, kMinBlockFloats})));
+  active_ = blocks_.size() - 1;
+  blocks_[active_].used = need;
+  return blocks_[active_].data.get();
+}
+
+Workspace::Marker Workspace::mark() const noexcept {
+  if (blocks_.empty()) return Marker{};
+  return Marker{active_, blocks_[active_].used};
+}
+
+void Workspace::rewind(const Marker& marker) {
+  if (blocks_.empty()) return;
+  for (std::size_t i = marker.block + 1; i <= active_; ++i) {
+    blocks_[i].used = 0;
+  }
+  active_ = marker.block;
+  blocks_[active_].used = marker.used;
+  if (marker.block == 0 && marker.used == 0 && blocks_.size() > 1) {
+    // Fully unwound after growing through a chain: consolidate so the next
+    // pass of the same shapes fits one block and allocates nothing.
+    std::size_t total = 0;
+    for (Block& block : blocks_) {
+      total += block.capacity;
+      free_block(block);
+    }
+    blocks_.clear();
+    blocks_.push_back(make_block(total));
+    active_ = 0;
+  }
+}
+
+std::size_t Workspace::capacity_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.capacity;
+  return total * sizeof(float);
+}
+
+void Workspace::release() {
+  for (Block& block : blocks_) free_block(block);
+  blocks_.clear();
+  active_ = 0;
+}
+
+}  // namespace edgetrain

@@ -1,0 +1,102 @@
+// edgetrain: per-thread scratch arenas for kernel workspaces.
+//
+// Training repeats the same conv/GEMM shapes every step (and Revolve-style
+// recomputation repeats them *within* a step, multiplied by the recompute
+// factor rho). Allocating im2col buffers and GEMM packing panels from the
+// heap on every call both throttles the hot path and pollutes the
+// MemoryTracker numbers the paper tabulates. A Workspace is a bump arena,
+// one per thread (workers of the global ThreadPool each own one through
+// tls()): kernels take a WorkspaceScope, alloc() what they need, and the
+// scope rewinds on exit. Capacity is retained between calls, so after the
+// first training step the arena has seen the step's high-water mark and
+// steady-state training performs zero scratch heap allocations
+// (MemoryTracker::scratch_allocation_count stays flat).
+//
+// Growth uses chained blocks so that spans handed out earlier in a scope
+// stay valid while the arena grows; when a scope rewinds to empty, the
+// chain is consolidated into one contiguous block sized for everything the
+// scope used, which is what makes the steady state allocation-free.
+//
+// Arena bytes are accounted to MemoryTracker's *scratch* category, keeping
+// the persistent numbers (weights, activations, checkpoints -- the paper's
+// Tables I-III quantity) clean; see alloc.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace edgetrain {
+
+class Workspace {
+ public:
+  /// Position in the arena; obtained from mark(), restored by rewind().
+  struct Marker {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+
+  Workspace() = default;
+  ~Workspace();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// The calling thread's arena. Distinct per thread; pool workers keep
+  /// theirs alive for the lifetime of the pool, so capacity is reused
+  /// across kernel invocations.
+  [[nodiscard]] static Workspace& tls();
+
+  /// @p numel floats of uninitialised scratch, 64-byte aligned. The span
+  /// stays valid until the enclosing scope rewinds past it, even if the
+  /// arena grows in between.
+  [[nodiscard]] float* alloc(std::int64_t numel);
+
+  [[nodiscard]] Marker mark() const noexcept;
+
+  /// Releases everything allocated after @p marker (capacity is retained).
+  /// Rewinding to an empty arena consolidates chained blocks into one.
+  void rewind(const Marker& marker);
+
+  /// Total backing capacity in bytes (scratch-accounted).
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept;
+
+  /// Frees all backing blocks (e.g. before a long idle period). The arena
+  /// stays usable and will regrow on demand.
+  void release();
+
+ private:
+  struct AlignedFree {
+    void operator()(float* p) const noexcept;
+  };
+
+  struct Block {
+    std::unique_ptr<float[], AlignedFree> data;
+    std::size_t capacity = 0;  // floats
+    std::size_t used = 0;      // floats
+  };
+
+  Block make_block(std::size_t numel) const;
+  void free_block(Block& block) const;
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  // blocks_[active_] is the current bump target
+};
+
+/// RAII scope: marks the arena on construction, rewinds on destruction.
+class WorkspaceScope {
+ public:
+  explicit WorkspaceScope(Workspace& ws) noexcept
+      : ws_(ws), marker_(ws.mark()) {}
+  ~WorkspaceScope() { ws_.rewind(marker_); }
+
+  WorkspaceScope(const WorkspaceScope&) = delete;
+  WorkspaceScope& operator=(const WorkspaceScope&) = delete;
+
+ private:
+  Workspace& ws_;
+  Workspace::Marker marker_;
+};
+
+}  // namespace edgetrain

@@ -1,0 +1,144 @@
+// Exhaustive correctness tests for the blocked, packed GEMM.
+//
+// The kernel blocks at kMR=6 / kNR=16 (register tile), kMC=120 / kKC=256 /
+// kNC=256 (cache tiles), so shapes are chosen to land on, just under and
+// just over every blocking edge, plus odd/prime shapes that exercise the
+// zero-padded fringe panels. Every trans_a/trans_b combination is crossed
+// with alpha, beta in {0, 1, 0.5}.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace edgetrain::ops {
+namespace {
+
+struct GemmShape {
+  std::int64_t m;
+  std::int64_t n;
+  std::int64_t k;
+};
+
+// Edges of the register tile (6, 16), the cache tiles (120, 256) and primes
+// that divide none of them.
+const std::vector<GemmShape>& shapes() {
+  static const std::vector<GemmShape> kShapes = {
+      {1, 1, 1},      {1, 16, 1},    {6, 16, 1},     {3, 5, 7},
+      {5, 6, 7},      {7, 17, 16},   {15, 16, 17},   {17, 19, 23},
+      {31, 17, 29},   {6, 32, 64},   {12, 48, 16},   {67, 129, 65},
+      {119, 120, 121}, {120, 16, 256}, {121, 257, 129},
+  };
+  return kShapes;
+}
+
+/// Naive triple-loop reference with full alpha/beta semantics, accumulated
+/// in double so it is strictly more accurate than the kernel under test.
+void naive_gemm(bool ta, bool tb, std::int64_t m, std::int64_t n,
+                std::int64_t k, float alpha, const float* a, const float* b,
+                float beta, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * m + i] : a[i * k + p];
+        const float bv = tb ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      const double prev = beta == 0.0F ? 0.0 : static_cast<double>(c[i * n + j]) * beta;
+      c[i * n + j] = static_cast<float>(static_cast<double>(alpha) * acc + prev);
+    }
+  }
+}
+
+float tolerance(std::int64_t k) {
+  // Error grows with the reduction depth; 1e-4 covers k up to a few hundred.
+  return 1e-4F * std::max<std::int64_t>(1, k / 64);
+}
+
+class BlockedGemmTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(BlockedGemmTest, MatchesReferenceAcrossShapesAndScalars) {
+  const auto [ta, tb] = GetParam();
+  const float kScalars[] = {0.0F, 1.0F, 0.5F};
+  std::mt19937 rng(97);
+  for (const GemmShape& s : shapes()) {
+    Tensor a = Tensor::randn(ta ? Shape{s.k, s.m} : Shape{s.m, s.k}, rng);
+    Tensor b = Tensor::randn(tb ? Shape{s.n, s.k} : Shape{s.k, s.n}, rng);
+    Tensor c0 = Tensor::randn(Shape{s.m, s.n}, rng);
+    for (const float alpha : kScalars) {
+      for (const float beta : kScalars) {
+        Tensor c = c0.clone();
+        Tensor ref = c0.clone();
+        gemm(ta, tb, s.m, s.n, s.k, alpha, a.data(), b.data(), beta,
+             c.data());
+        naive_gemm(ta, tb, s.m, s.n, s.k, alpha, a.data(), b.data(), beta,
+                   ref.data());
+        EXPECT_LT(Tensor::max_abs_diff(c, ref), tolerance(s.k))
+            << "m=" << s.m << " n=" << s.n << " k=" << s.k
+            << " ta=" << ta << " tb=" << tb << " alpha=" << alpha
+            << " beta=" << beta;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, BlockedGemmTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(BlockedGemm, DeepReductionCrossesMultipleKcBlocks) {
+  // k = 600 spans three kKC=256 panels; checks the beta=1 continuation
+  // between panels and the alpha scaling applied exactly once.
+  std::mt19937 rng(5);
+  const std::int64_t m = 13;
+  const std::int64_t n = 33;
+  const std::int64_t k = 600;
+  Tensor a = Tensor::randn(Shape{m, k}, rng);
+  Tensor b = Tensor::randn(Shape{k, n}, rng);
+  Tensor c = Tensor::full(Shape{m, n}, 2.0F);
+  Tensor ref = Tensor::full(Shape{m, n}, 2.0F);
+  gemm(false, false, m, n, k, 0.5F, a.data(), b.data(), 0.5F, c.data());
+  naive_gemm(false, false, m, n, k, 0.5F, a.data(), b.data(), 0.5F,
+             ref.data());
+  EXPECT_LT(Tensor::max_abs_diff(c, ref), tolerance(k));
+}
+
+TEST(BlockedGemm, BitForBitDeterministic) {
+  // Every C tile has one writer with a fixed k order, so repeated runs must
+  // agree bitwise, not just within tolerance.
+  std::mt19937 rng(31);
+  const std::int64_t m = 131;
+  const std::int64_t n = 261;
+  const std::int64_t k = 300;
+  Tensor a = Tensor::randn(Shape{m, k}, rng);
+  Tensor b = Tensor::randn(Shape{k, n}, rng);
+  Tensor first = Tensor::zeros(Shape{m, n});
+  gemm(false, false, m, n, k, 1.0F, a.data(), b.data(), 0.0F, first.data());
+  for (int run = 0; run < 3; ++run) {
+    Tensor again = Tensor::zeros(Shape{m, n});
+    gemm(false, false, m, n, k, 1.0F, a.data(), b.data(), 0.0F,
+         again.data());
+    EXPECT_EQ(0, std::memcmp(first.data(), again.data(),
+                             static_cast<std::size_t>(first.numel()) *
+                                 sizeof(float)))
+        << "run " << run;
+  }
+}
+
+TEST(BlockedGemm, DegenerateKScalesCOnly) {
+  Tensor c = Tensor::full(Shape{3, 4}, 3.0F);
+  gemm(false, false, 3, 4, 0, 1.0F, nullptr, nullptr, 0.5F, c.data());
+  for (std::int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_FLOAT_EQ(c.data()[i], 1.5F);
+  }
+}
+
+}  // namespace
+}  // namespace edgetrain::ops
