@@ -5,6 +5,10 @@
 // training scheduler, the SD-card image store, and the energy comparison
 // between shipping the harvested dataset to the cloud vs training in situ.
 #include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
 
 #include "core/planner.hpp"
 #include "edge/device.hpp"
@@ -14,6 +18,49 @@
 #include "insitu/node_sim.hpp"
 #include "models/linear_resnet.hpp"
 #include "models/memory_model.hpp"
+#include "nn/layers.hpp"
+#include "persist/resumable.hpp"
+
+namespace {
+
+/// Demo net for the power-cycle section: conv stem, two batch-norm blocks,
+/// classifier head. Rebuilt identically on every simulated boot (same init
+/// seed); restored snapshot weights overwrite the init.
+edgetrain::nn::LayerChain build_demo_net() {
+  using namespace edgetrain;
+  std::mt19937 rng(701);
+  nn::LayerChain chain;
+  chain.push(std::make_unique<nn::Conv2d>(1, 8, 3, 1, 1, false, rng));
+  chain.push(std::make_unique<nn::BasicBlock>(8, 8, 1, rng));
+  chain.push(std::make_unique<nn::BasicBlock>(8, 8, 1, rng));
+  chain.push(std::make_unique<nn::GlobalAvgPool>());
+  chain.push(std::make_unique<nn::Linear>(8, 4, true, rng));
+  return chain;
+}
+
+/// Quadrant classification batch: a pure function of (rng, cursor), as the
+/// resume-determinism contract requires.
+edgetrain::persist::LabeledBatch quadrant_batch(std::mt19937& rng,
+                                                std::uint64_t /*cursor*/) {
+  using namespace edgetrain;
+  persist::LabeledBatch batch;
+  const std::int64_t n = 4;
+  batch.x = Tensor::randn(Shape{n, 1, 12, 12}, rng, 0.2F);
+  std::uniform_int_distribution<std::int32_t> dist(0, 3);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t label = dist(rng);
+    batch.labels.push_back(label);
+    float* img = batch.x.data() + i * 144;
+    const int oy = (label / 2) * 6;
+    const int ox = (label % 2) * 6;
+    for (int y = 0; y < 6; ++y) {
+      for (int x = 0; x < 6; ++x) img[(oy + y) * 12 + ox + x] += 1.2F;
+    }
+  }
+  return batch;
+}
+
+}  // namespace
 
 int main() {
   using namespace edgetrain;
@@ -124,5 +171,104 @@ int main() {
   std::printf("teacher stays at %.3f across viewpoints; the student reaches "
               "%.3f using only idle cycles and auto-labelled local data.\n",
               sim_result.teacher_accuracy, sim_result.final_student_accuracy);
+
+  // --- suspend/resume: surviving a power cycle mid-training ---------------
+  // Outdoor nodes brown out. Train the demo net inside the scheduler's idle
+  // windows, snapshot at each window close, kill the power mid-run, reboot,
+  // and continue from the newest valid snapshot -- the resumed trajectory
+  // is bit-for-bit the one an uninterrupted run would have taken.
+  std::printf("\n=== suspend/resume: a power cycle mid-training ===\n");
+  const std::string snap_dir = "/tmp/edgetrain_waggle_snap";
+  std::filesystem::remove_all(snap_dir);
+
+  persist::ResumableOptions persist_options;
+  persist_options.trainer.strategy = nn::CheckpointStrategy::Revolve;
+  persist_options.trainer.free_slots = 2;
+  persist_options.trainer.lr = 0.05F;
+  persist_options.snapshot_dir = snap_dir;
+  persist_options.snapshot_every = 5;
+  persist_options.keep_snapshots = 2;
+
+  const std::uint64_t total_demo_steps = 60;
+  const double demo_step_seconds = 0.05;
+  double early_loss = 0.0;
+  std::uint64_t died_at_step = 0;
+
+  // Boot 1: fresh start. Carve the snapshot budget out of the SD card up
+  // front, then train in idle windows until the injected power loss.
+  {
+    nn::LayerChain net = build_demo_net();
+    persist::FaultInjector fault;
+    persist::ResumableTrainer trainer(net, persist_options, &fault);
+    (void)trainer.resume();  // nothing on disk: fresh start
+
+    const std::uint64_t snap_bytes =
+        persist::encode_snapshot(trainer.capture()).size();
+    const std::uint64_t evicted_before = store.evicted_count();
+    store.reserve(snap_bytes *
+                  static_cast<std::uint64_t>(persist_options.keep_snapshots));
+    std::printf("snapshot budget: %llu KiB reserved on the SD card "
+                "(%d generations of %llu KiB; evicted %llu images to fit)\n",
+                static_cast<unsigned long long>(store.reserved_bytes() >> 10),
+                persist_options.keep_snapshots,
+                static_cast<unsigned long long>(snap_bytes >> 10),
+                static_cast<unsigned long long>(store.evicted_count() -
+                                                evicted_before));
+
+    fault.arm_abort_at_step(23);  // the storm hits mid-window
+    try {
+      for (const edge::IdleWindow& window : scheduler.idle_windows(horizon)) {
+        for (long long s = 0; s < window.steps(demo_step_seconds); ++s) {
+          const nn::StepStats stats = trainer.step(quadrant_batch);
+          if (trainer.step_count() <= 5) early_loss += stats.loss / 5.0;
+          if (trainer.step_count() >= total_demo_steps) break;
+        }
+        trainer.suspend();  // idle window closing: snapshot now
+        if (trainer.step_count() >= total_demo_steps) break;
+      }
+    } catch (const persist::PowerLoss& death) {
+      died_at_step = trainer.step_count();
+      std::printf("boot 1: %s -- died at step %llu with %llu snapshots "
+                  "committed\n",
+                  death.what(),
+                  static_cast<unsigned long long>(died_at_step),
+                  static_cast<unsigned long long>(
+                      trainer.snapshots_written()));
+    }
+  }
+
+  // Boot 2: power is back. Rebuild everything from scratch and resume.
+  {
+    nn::LayerChain net = build_demo_net();
+    persist::ResumableTrainer trainer(net, persist_options);
+    const bool resumed = trainer.resume();
+    std::printf("boot 2: %s at step %llu\n",
+                resumed ? "resumed from snapshot" : "fresh start",
+                static_cast<unsigned long long>(trainer.step_count()));
+
+    double late_loss = 0.0;
+    for (const edge::IdleWindow& window : scheduler.idle_windows(horizon)) {
+      for (long long s = 0; s < window.steps(demo_step_seconds); ++s) {
+        const nn::StepStats stats = trainer.step(quadrant_batch);
+        if (trainer.step_count() > total_demo_steps - 5) {
+          late_loss += stats.loss / 5.0;
+        }
+        if (trainer.step_count() >= total_demo_steps) break;
+      }
+      trainer.suspend();
+      if (trainer.step_count() >= total_demo_steps) break;
+    }
+    std::printf("trained to step %llu across the power cycle: loss %.3f "
+                "(first 5 steps) -> %.3f (last 5); %llu KiB of snapshots "
+                "on the card\n",
+                static_cast<unsigned long long>(trainer.step_count()),
+                early_loss, late_loss,
+                static_cast<unsigned long long>(
+                    trainer.snapshots().total_bytes() >> 10));
+    std::printf("=> the node lost power at step %llu, replayed the few "
+                "steps since the last snapshot, and finished the run on a "
+                "trajectory bit-for-bit identical to an uninterrupted "
+                "one.\n", static_cast<unsigned long long>(died_at_step));
+  }
   return 0;
 }

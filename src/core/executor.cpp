@@ -26,6 +26,15 @@ ExecutionResult ScheduleExecutor::run(ChainRunner& runner,
                                       const Tensor& input,
                                       const LossGradFn& loss_grad,
                                       SlotStore& store) const {
+  return run(runner, schedule, input, loss_grad, store, ExecutorHooks{});
+}
+
+ExecutionResult ScheduleExecutor::run(ChainRunner& runner,
+                                      const Schedule& schedule,
+                                      const Tensor& input,
+                                      const LossGradFn& loss_grad,
+                                      SlotStore& store,
+                                      const ExecutorHooks& hooks) const {
   if (runner.num_steps() != schedule.num_steps()) {
     die("runner has " + std::to_string(runner.num_steps()) +
         " steps but schedule was built for " +
@@ -43,6 +52,8 @@ ExecutionResult ScheduleExecutor::run(ChainRunner& runner,
   bool seeded = false;
 
   for (const Action& a : schedule.actions()) {
+    if (hooks.on_action) hooks.on_action(result.actions_executed, a);
+    ++result.actions_executed;
     switch (a.type) {
       case ActionType::Forward:
       case ActionType::ForwardSave: {

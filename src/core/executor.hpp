@@ -45,12 +45,24 @@ class ChainRunner {
 /// once per execution, with the chain output (state_l).
 using LossGradFn = std::function<Tensor(const Tensor& output)>;
 
+/// Observation/abort hook threaded through a run. When set, on_action is
+/// invoked with the in-flight schedule position immediately before each
+/// action executes. It may throw to abandon the pass: the executor holds no
+/// state between runs, so an abandoned pass updates nothing and the step
+/// can simply be replayed from its boundary (the paper's abandon-and-rerun
+/// preemption model; persist/fault.hpp uses this to kill training mid-step).
+struct ExecutorHooks {
+  std::function<void(std::int64_t action_index, const Action& action)>
+      on_action;
+};
+
 struct ExecutionResult {
   Tensor input_grad;               ///< d loss / d chain-input
   Tensor output;                   ///< chain output (state_l), from the sweep
   ScheduleStats stats;             ///< replayed action counts
   std::size_t peak_tracked_bytes = 0;  ///< high-water mark during the run
   std::size_t baseline_bytes = 0;      ///< live bytes when the run started
+  std::int64_t actions_executed = 0;   ///< schedule actions replayed
 };
 
 /// Replays schedules; stateless between runs.
@@ -72,6 +84,15 @@ class ScheduleExecutor {
                                     const Tensor& input,
                                     const LossGradFn& loss_grad,
                                     SlotStore& store) const;
+
+  /// Same, additionally reporting the in-flight schedule position through
+  /// @p hooks before every action.
+  [[nodiscard]] ExecutionResult run(ChainRunner& runner,
+                                    const Schedule& schedule,
+                                    const Tensor& input,
+                                    const LossGradFn& loss_grad,
+                                    SlotStore& store,
+                                    const ExecutorHooks& hooks) const;
 
   /// Convenience: full-storage execution (ForwardSave every step, then
   /// backward), the rho = 1 baseline.

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "persist/crc32.hpp"
 #include "tensor/alloc.hpp"
 
 namespace edgetrain::core {
@@ -58,6 +59,7 @@ DiskSlotStore::DiskSlotStore(int num_slots, int first_disk_slot,
       directory_(std::move(directory)),
       ram_(static_cast<std::size_t>(num_slots)),
       disk_shapes_(static_cast<std::size_t>(num_slots)),
+      disk_crcs_(static_cast<std::size_t>(num_slots), 0),
       on_disk_(static_cast<std::size_t>(num_slots), false) {}
 
 DiskSlotStore::~DiskSlotStore() {
@@ -93,6 +95,8 @@ void DiskSlotStore::put(std::int32_t slot, const Tensor& value) {
         disk_shapes_[static_cast<std::size_t>(slot)].numel() * 4);
   }
   disk_shapes_[static_cast<std::size_t>(slot)] = value.shape();
+  disk_crcs_[static_cast<std::size_t>(slot)] =
+      persist::crc32(value.data(), value.bytes());
   on_disk_[static_cast<std::size_t>(slot)] = true;
   disk_bytes_ += value.bytes();
   ++writes_;
@@ -106,15 +110,31 @@ Tensor DiskSlotStore::get(std::int32_t slot) {
   }
   if (!on_disk_.at(static_cast<std::size_t>(slot))) empty_slot(slot);
   Tensor out = Tensor::empty(disk_shapes_[static_cast<std::size_t>(slot)]);
-  std::ifstream file(path_for(slot), std::ios::binary);
+  std::ifstream file(path_for(slot), std::ios::binary | std::ios::ate);
   if (!file) {
     throw std::runtime_error("DiskSlotStore: cannot open " + path_for(slot));
   }
+  const auto actual_bytes = static_cast<std::size_t>(file.tellg());
+  if (actual_bytes != out.bytes()) {
+    throw std::runtime_error(
+        "DiskSlotStore: spill file " + path_for(slot) +
+        " is truncated or corrupt (expected " + std::to_string(out.bytes()) +
+        " bytes, found " + std::to_string(actual_bytes) + ")");
+  }
+  file.seekg(0);
   file.read(reinterpret_cast<char*>(out.data()),
             static_cast<std::streamsize>(out.bytes()));
-  if (!file) {
+  if (!file ||
+      file.gcount() != static_cast<std::streamsize>(out.bytes())) {
     throw std::runtime_error("DiskSlotStore: read failed for " +
                              path_for(slot));
+  }
+  if (persist::crc32(out.data(), out.bytes()) !=
+      disk_crcs_[static_cast<std::size_t>(slot)]) {
+    throw std::runtime_error(
+        "DiskSlotStore: spill file " + path_for(slot) +
+        " failed its checksum (bit rot or concurrent modification); "
+        "refusing to return a corrupt checkpoint");
   }
   ++reads_;
   return out;

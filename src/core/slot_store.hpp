@@ -59,6 +59,9 @@ class RamSlotStore final : public SlotStore {
 
 /// Slots below `first_disk_slot` stay in RAM; the rest round-trip through
 /// files in `directory` (created by the caller). File IO errors throw.
+/// Every spill is checksummed on put and verified on get, so a truncated
+/// or bit-rotted spill file raises a descriptive std::runtime_error
+/// instead of feeding garbage activations back into training.
 class DiskSlotStore final : public SlotStore {
  public:
   DiskSlotStore(int num_slots, int first_disk_slot, std::string directory);
@@ -82,6 +85,7 @@ class DiskSlotStore final : public SlotStore {
   std::string directory_;
   std::vector<Tensor> ram_;             // RAM tier
   std::vector<Shape> disk_shapes_;      // shape per spilled slot
+  std::vector<std::uint32_t> disk_crcs_;  // payload CRC32 per spilled slot
   std::vector<bool> on_disk_;
   std::size_t disk_bytes_ = 0;
   std::int64_t writes_ = 0;

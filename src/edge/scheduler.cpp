@@ -108,6 +108,22 @@ ScheduleReport IdleScheduler::run(double horizon_seconds) const {
   return report;
 }
 
+std::vector<IdleWindow> IdleScheduler::idle_windows(
+    double horizon_seconds) const {
+  const ScheduleReport report = run(horizon_seconds);
+  std::vector<IdleWindow> windows;
+  for (const TimelineSlice& slice : report.timeline) {
+    if (slice.task != "training") continue;
+    if (!windows.empty() &&
+        windows.back().end_seconds == slice.begin_seconds) {
+      windows.back().end_seconds = slice.end_seconds;
+    } else {
+      windows.push_back({slice.begin_seconds, slice.end_seconds});
+    }
+  }
+  return windows;
+}
+
 std::vector<ForegroundTask> periodic_tasks(const std::string& name,
                                            double period_seconds,
                                            double duration_seconds,

@@ -40,6 +40,22 @@ struct ScheduleReport {
   std::vector<TimelineSlice> timeline;
 };
 
+/// One contiguous stretch of CPU time with no foreground work: the trainer
+/// runs whole steps inside it and must snapshot (cooperative suspend) by
+/// end_seconds, when the foreground reclaims the CPU.
+struct IdleWindow {
+  double begin_seconds = 0.0;
+  double end_seconds = 0.0;
+
+  [[nodiscard]] double duration() const noexcept {
+    return end_seconds - begin_seconds;
+  }
+  /// Whole training steps of @p step_seconds that fit in the window.
+  [[nodiscard]] std::int64_t steps(double step_seconds) const noexcept {
+    return static_cast<std::int64_t>(duration() / step_seconds);
+  }
+};
+
 /// Single-CPU preemptive priority scheduler with a background trainer.
 class IdleScheduler {
  public:
@@ -52,6 +68,13 @@ class IdleScheduler {
 
   /// Simulates [0, horizon_seconds).
   [[nodiscard]] ScheduleReport run(double horizon_seconds) const;
+
+  /// The idle windows of the same simulation: every maximal interval the
+  /// background trainer owns the CPU. Drives suspend/resume training
+  /// (persist::ResumableTrainer suspends at each window end); the windows
+  /// tile exactly the report's training timeline slices.
+  [[nodiscard]] std::vector<IdleWindow> idle_windows(
+      double horizon_seconds) const;
 
  private:
   double step_seconds_;

@@ -1,5 +1,6 @@
 #include "edge/storage.hpp"
 
+#include <stdexcept>
 #include <vector>
 
 namespace edgetrain::edge {
@@ -9,8 +10,8 @@ ImageStore::ImageStore(std::uint64_t capacity_bytes, bool evict_oldest)
 
 std::optional<std::uint64_t> ImageStore::add(std::int32_t label,
                                              std::uint32_t bytes) {
-  if (bytes > capacity_bytes_) return std::nullopt;
-  while (used_ + bytes > capacity_bytes_) {
+  if (bytes > dataset_capacity_bytes()) return std::nullopt;
+  while (used_ + bytes > dataset_capacity_bytes()) {
     if (!evict_oldest_ || images_.empty()) return std::nullopt;
     used_ -= images_.front().bytes;
     images_.pop_front();
@@ -20,6 +21,19 @@ std::optional<std::uint64_t> ImageStore::add(std::int32_t label,
   images_.push_back({id, label, bytes});
   used_ += bytes;
   return id;
+}
+
+void ImageStore::reserve(std::uint64_t bytes) {
+  if (bytes > capacity_bytes_) {
+    throw std::invalid_argument(
+        "ImageStore: reservation exceeds card capacity");
+  }
+  reserved_ = bytes;
+  while (used_ > dataset_capacity_bytes() && !images_.empty()) {
+    used_ -= images_.front().bytes;
+    images_.pop_front();
+    ++evicted_;
+  }
 }
 
 std::vector<std::size_t> ImageStore::label_histogram(int num_labels) const {

@@ -31,8 +31,21 @@ class ImageStore {
   /// std::nullopt when the store is full and eviction is disabled.
   std::optional<std::uint64_t> add(std::int32_t label, std::uint32_t bytes);
 
+  /// Carves @p bytes out of the budget for non-dataset durables (trainer
+  /// snapshots, spill files) sharing the same SD card. Eviction frees
+  /// dataset images until the dataset fits the shrunken budget. Throws
+  /// std::invalid_argument when the reservation exceeds capacity.
+  void reserve(std::uint64_t bytes);
+
   [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
     return capacity_bytes_;
+  }
+  [[nodiscard]] std::uint64_t reserved_bytes() const noexcept {
+    return reserved_;
+  }
+  /// Budget left for dataset images after the reservation.
+  [[nodiscard]] std::uint64_t dataset_capacity_bytes() const noexcept {
+    return capacity_bytes_ - reserved_;
   }
   [[nodiscard]] std::uint64_t used_bytes() const noexcept { return used_; }
   [[nodiscard]] std::size_t size() const noexcept { return images_.size(); }
@@ -41,7 +54,7 @@ class ImageStore {
   }
 
   [[nodiscard]] bool fits(std::uint32_t bytes) const noexcept {
-    return used_ + bytes <= capacity_bytes_;
+    return used_ + bytes <= dataset_capacity_bytes();
   }
 
   /// Count of stored images per label (labels < @p num_labels).
@@ -54,6 +67,7 @@ class ImageStore {
  private:
   std::uint64_t capacity_bytes_;
   bool evict_oldest_;
+  std::uint64_t reserved_ = 0;
   std::uint64_t used_ = 0;
   std::uint64_t next_id_ = 0;
   std::uint64_t evicted_ = 0;

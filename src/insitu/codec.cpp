@@ -15,6 +15,11 @@ constexpr int kBlock = 8;
 constexpr std::uint8_t kMagic0 = 'E';
 constexpr std::uint8_t kMagic1 = 'P';
 
+/// Upper bound on decoded pixels (16M, comfortably past 4096x4096). A
+/// malformed header can claim up to 65535x65535 (17 GB of floats); the
+/// decoder must reject that before allocating, not crash trying.
+constexpr std::int64_t kMaxPixels = std::int64_t{1} << 24;
+
 /// JPEG Annex K luminance quantisation matrix (quality 50 reference).
 constexpr std::array<int, 64> kBaseQuant = {
     16, 11, 10, 16, 24,  40,  51,  61,   //
@@ -169,7 +174,8 @@ std::vector<std::uint8_t> encode_image(const GrayImage& image,
   if (image.height < 1 || image.width < 1) {
     throw std::invalid_argument("codec: empty image");
   }
-  if (image.height > 0xFFFF || image.width > 0xFFFF) {
+  if (image.height > 0xFFFF || image.width > 0xFFFF ||
+      static_cast<std::int64_t>(image.height) * image.width > kMaxPixels) {
     throw std::invalid_argument("codec: image too large");
   }
   const std::array<int, 64> quant = scaled_quant(quality);
@@ -236,6 +242,18 @@ GrayImage decode_image(const std::vector<std::uint8_t>& bytes) {
   const int width = (reader.u8() << 8) | reader.u8();
   const int quality = reader.u8();
   if (height < 1 || width < 1) throw std::runtime_error("codec: bad dims");
+  if (static_cast<std::int64_t>(height) * width > kMaxPixels) {
+    throw std::runtime_error("codec: declared image too large");
+  }
+  // A valid stream carries at least 2 bytes per block (DC varint + EOB);
+  // reject headers whose block count cannot possibly fit the payload
+  // before allocating the output image.
+  const std::int64_t declared_blocks =
+      (static_cast<std::int64_t>(height) + kBlock - 1) / kBlock *
+      ((static_cast<std::int64_t>(width) + kBlock - 1) / kBlock);
+  if (static_cast<std::int64_t>(bytes.size()) < 7 + 2 * declared_blocks) {
+    throw std::runtime_error("codec: payload too short for declared size");
+  }
   const std::array<int, 64> quant = scaled_quant(quality);
 
   GrayImage image(height, width);
@@ -254,6 +272,9 @@ GrayImage decode_image(const std::vector<std::uint8_t>& bytes) {
       for (;;) {
         const std::uint32_t run = reader.varint();
         if (run == 63) break;  // EOB
+        // Reject before the cast: a huge varint cast to int can go negative
+        // and index quantised[] out of bounds.
+        if (run > 63) throw std::runtime_error("codec: bad run length");
         i += static_cast<int>(run);
         if (i >= 64) throw std::runtime_error("codec: run overflow");
         quantised[i] = to_signed(reader.varint());

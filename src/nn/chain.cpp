@@ -27,6 +27,12 @@ std::vector<ParamRef> LayerChain::params() {
   return out;
 }
 
+std::vector<BufferRef> LayerChain::buffers() {
+  std::vector<BufferRef> out;
+  for (auto& layer : layers_) layer->collect_buffers(out);
+  return out;
+}
+
 std::int64_t LayerChain::param_count() {
   std::int64_t total = 0;
   for (auto& layer : layers_) total += layer->param_count();

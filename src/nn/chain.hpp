@@ -41,6 +41,11 @@ class LayerChain {
   /// All parameters of all layers.
   [[nodiscard]] std::vector<ParamRef> params();
 
+  /// All persistent non-trainable buffers of all layers (batch-norm
+  /// running statistics). Part of durable model state: suspend/resume
+  /// must carry them or eval behaviour diverges after a power cycle.
+  [[nodiscard]] std::vector<BufferRef> buffers();
+
   [[nodiscard]] std::int64_t param_count();
 
   void zero_grad();

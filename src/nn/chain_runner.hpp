@@ -7,6 +7,7 @@
 // full-storage pass (asserted in tests/core/executor_test.cpp).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/executor.hpp"
@@ -23,6 +24,14 @@ class LayerChainRunner final : public core::ChainRunner {
 
   /// Resets the per-pass visit counters; call before every executor run.
   void begin_pass();
+
+  /// The pass counter feeding per-pass randomness (dropout masks). Exposed
+  /// so suspend/resume (persist/) can restore it and keep the dropout
+  /// stream identical across process death.
+  [[nodiscard]] std::uint64_t pass_token() const noexcept {
+    return pass_token_;
+  }
+  void set_pass_token(std::uint64_t token) noexcept { pass_token_ = token; }
 
   [[nodiscard]] int num_steps() const override { return chain_.size(); }
 

@@ -6,6 +6,8 @@ namespace edgetrain::nn {
 
 void Layer::collect_params(std::vector<ParamRef>& out) { (void)out; }
 
+void Layer::collect_buffers(std::vector<BufferRef>& out) { (void)out; }
+
 std::int64_t Layer::param_count() {
   std::vector<ParamRef> params;
   collect_params(params);

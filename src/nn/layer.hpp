@@ -39,6 +39,15 @@ struct ParamRef {
   Tensor* grad = nullptr;
 };
 
+/// A named non-trainable persistent tensor (batch-norm running statistics).
+/// Buffers evolve during training without gradients, yet are part of the
+/// model's durable state: suspend/resume (persist/) and deployment exports
+/// must carry them or eval behaviour silently diverges.
+struct BufferRef {
+  std::string name;
+  Tensor* value = nullptr;
+};
+
 /// Base class for all layers. Gradients accumulate across backward calls
 /// until zero_grad(); parameter and gradient tensors are allocated at
 /// construction (so the tracker sees the paper's persistent 2x-weights
@@ -62,6 +71,9 @@ class Layer {
 
   /// Appends this layer's parameters to @p out (default: none).
   virtual void collect_params(std::vector<ParamRef>& out);
+
+  /// Appends this layer's persistent buffers to @p out (default: none).
+  virtual void collect_buffers(std::vector<BufferRef>& out);
 
   /// Output shape for a given input shape (shape inference only).
   [[nodiscard]] virtual Shape output_shape(const Shape& in) const = 0;

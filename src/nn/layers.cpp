@@ -124,6 +124,11 @@ void BatchNorm2d::collect_params(std::vector<ParamRef>& out) {
   out.push_back({name() + ".beta", &beta_, &gbeta_});
 }
 
+void BatchNorm2d::collect_buffers(std::vector<BufferRef>& out) {
+  out.push_back({name() + ".running_mean", &running_mean_});
+  out.push_back({name() + ".running_var", &running_var_});
+}
+
 Shape BatchNorm2d::output_shape(const Shape& in) const { return in; }
 
 void BatchNorm2d::clear_saved() {
@@ -436,6 +441,12 @@ void BasicBlock::collect_params(std::vector<ParamRef>& out) {
   }
 }
 
+void BasicBlock::collect_buffers(std::vector<BufferRef>& out) {
+  bn1_->collect_buffers(out);
+  bn2_->collect_buffers(out);
+  if (proj_bn_) proj_bn_->collect_buffers(out);
+}
+
 Shape BasicBlock::output_shape(const Shape& in) const {
   return conv1_->output_shape(in);
 }
@@ -529,6 +540,13 @@ void Bottleneck::collect_params(std::vector<ParamRef>& out) {
     proj_conv_->collect_params(out);
     proj_bn_->collect_params(out);
   }
+}
+
+void Bottleneck::collect_buffers(std::vector<BufferRef>& out) {
+  bn1_->collect_buffers(out);
+  bn2_->collect_buffers(out);
+  bn3_->collect_buffers(out);
+  if (proj_bn_) proj_bn_->collect_buffers(out);
 }
 
 Shape Bottleneck::output_shape(const Shape& in) const {

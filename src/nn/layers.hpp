@@ -54,6 +54,7 @@ class BatchNorm2d final : public Layer {
   [[nodiscard]] Tensor forward(const Tensor& x, const RunContext& ctx) override;
   [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<ParamRef>& out) override;
+  void collect_buffers(std::vector<BufferRef>& out) override;
   [[nodiscard]] Shape output_shape(const Shape& in) const override;
   void clear_saved() override;
 
@@ -230,6 +231,7 @@ class BasicBlock final : public Layer {
   [[nodiscard]] Tensor forward(const Tensor& x, const RunContext& ctx) override;
   [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<ParamRef>& out) override;
+  void collect_buffers(std::vector<BufferRef>& out) override;
   [[nodiscard]] Shape output_shape(const Shape& in) const override;
   void clear_saved() override;
 
@@ -255,6 +257,7 @@ class Bottleneck final : public Layer {
   [[nodiscard]] Tensor forward(const Tensor& x, const RunContext& ctx) override;
   [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<ParamRef>& out) override;
+  void collect_buffers(std::vector<BufferRef>& out) override;
   [[nodiscard]] Shape output_shape(const Shape& in) const override;
   void clear_saved() override;
 

@@ -50,6 +50,13 @@ std::size_t SGD::state_bytes() const {
   return total;
 }
 
+OptimizerState SGD::mutable_state() {
+  OptimizerState state;
+  state.tensors.reserve(velocity_.size());
+  for (Tensor& v : velocity_) state.tensors.push_back(&v);
+  return state;
+}
+
 Adam::Adam(std::vector<ParamRef> params, float lr, float beta1, float beta2,
            float eps, float weight_decay)
     : Optimizer(std::move(params)),
@@ -95,6 +102,15 @@ std::size_t Adam::state_bytes() const {
   for (const Tensor& m : m_) total += m.bytes();
   for (const Tensor& v : v_) total += v.bytes();
   return total;
+}
+
+OptimizerState Adam::mutable_state() {
+  OptimizerState state;
+  state.tensors.reserve(m_.size() + v_.size());
+  for (Tensor& m : m_) state.tensors.push_back(&m);
+  for (Tensor& v : v_) state.tensors.push_back(&v);
+  state.step_counter = &t_;
+  return state;
 }
 
 }  // namespace edgetrain::nn

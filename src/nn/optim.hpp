@@ -13,6 +13,15 @@
 
 namespace edgetrain::nn {
 
+/// Mutable view of an optimizer's durable state, in a stable order, for
+/// snapshot/restore (persist/). `step_counter` points at the update count
+/// for optimizers whose trajectory depends on it (Adam bias correction);
+/// nullptr otherwise.
+struct OptimizerState {
+  std::vector<Tensor*> tensors;
+  std::int64_t* step_counter = nullptr;
+};
+
 class Optimizer {
  public:
   explicit Optimizer(std::vector<ParamRef> params)
@@ -30,6 +39,10 @@ class Optimizer {
   /// Bytes of optimizer state (momentum/moment tensors).
   [[nodiscard]] virtual std::size_t state_bytes() const = 0;
 
+  /// Durable state for suspend/resume; restoring every tensor (and the
+  /// step counter, when present) reproduces the update trajectory exactly.
+  [[nodiscard]] virtual OptimizerState mutable_state() = 0;
+
  protected:
   std::vector<ParamRef> params_;
 };
@@ -41,6 +54,7 @@ class SGD final : public Optimizer {
       float weight_decay = 0.0F);
   void step() override;
   [[nodiscard]] std::size_t state_bytes() const override;
+  [[nodiscard]] OptimizerState mutable_state() override;
 
   void set_lr(float lr) noexcept { lr_ = lr; }
   [[nodiscard]] float lr() const noexcept { return lr_; }
@@ -59,6 +73,7 @@ class Adam final : public Optimizer {
        float beta2 = 0.999F, float eps = 1e-8F, float weight_decay = 0.0F);
   void step() override;
   [[nodiscard]] std::size_t state_bytes() const override;
+  [[nodiscard]] OptimizerState mutable_state() override;
 
   void set_lr(float lr) noexcept { lr_ = lr; }
   [[nodiscard]] float lr() const noexcept { return lr_; }

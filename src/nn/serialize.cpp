@@ -1,104 +1,38 @@
 #include "nn/serialize.hpp"
 
-#include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "persist/wire.hpp"
 
 namespace edgetrain::nn {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x45444754;  // "EDGT"
+constexpr std::uint32_t kMagic = 0x45444754;        // "EDGT"
+constexpr std::uint32_t kBufferMagic = 0x45444742;  // "EDGB"
 constexpr std::uint32_t kVersion = 1;
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
-  }
-}
-
-void put_i64(std::vector<std::uint8_t>& out, std::int64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(
-        static_cast<std::uint64_t>(value) >> (8 * i)));
-  }
-}
-
-class Reader {
- public:
-  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
-
-  std::uint32_t u32() {
-    require(4);
-    std::uint32_t value = 0;
-    for (int i = 0; i < 4; ++i) {
-      value |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
-               << (8 * i);
-    }
-    pos_ += 4;
-    return value;
-  }
-
-  std::int64_t i64() {
-    require(8);
-    std::uint64_t value = 0;
-    for (int i = 0; i < 8; ++i) {
-      value |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
-               << (8 * i);
-    }
-    pos_ += 8;
-    return static_cast<std::int64_t>(value);
-  }
-
-  std::string str(std::size_t length) {
-    require(length);
-    std::string value(reinterpret_cast<const char*>(bytes_.data() + pos_),
-                      length);
-    pos_ += length;
-    return value;
-  }
-
-  void floats(float* dst, std::size_t count) {
-    require(count * sizeof(float));
-    std::memcpy(dst, bytes_.data() + pos_, count * sizeof(float));
-    pos_ += count * sizeof(float);
-  }
-
-  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
-
- private:
-  void require(std::size_t count) const {
-    if (pos_ + count > bytes_.size()) {
-      throw std::runtime_error("weights: truncated payload");
-    }
-  }
-
-  const std::vector<std::uint8_t>& bytes_;
-  std::size_t pos_ = 0;
-};
 
 }  // namespace
 
 std::vector<std::uint8_t> serialize_weights(LayerChain& chain) {
   const std::vector<ParamRef> params = chain.params();
-  std::vector<std::uint8_t> out;
-  put_u32(out, kMagic);
-  put_u32(out, kVersion);
-  put_u32(out, static_cast<std::uint32_t>(params.size()));
+  persist::ByteWriter out;
+  out.u32(kMagic);
+  out.u32(kVersion);
+  out.u32(static_cast<std::uint32_t>(params.size()));
   for (const ParamRef& p : params) {
-    put_u32(out, static_cast<std::uint32_t>(p.name.size()));
-    out.insert(out.end(), p.name.begin(), p.name.end());
-    put_u32(out, static_cast<std::uint32_t>(p.value->shape().rank()));
-    for (const std::int64_t dim : p.value->shape().dims()) put_i64(out, dim);
-    const auto* data = reinterpret_cast<const std::uint8_t*>(p.value->data());
-    out.insert(out.end(), data, data + p.value->bytes());
+    out.str(p.name);
+    out.u32(static_cast<std::uint32_t>(p.value->shape().rank()));
+    for (const std::int64_t dim : p.value->shape().dims()) out.i64(dim);
+    out.raw(p.value->data(), p.value->bytes());
   }
-  return out;
+  return out.take();
 }
 
 void deserialize_weights(LayerChain& chain,
                          const std::vector<std::uint8_t>& bytes) {
-  Reader reader(bytes);
+  persist::ByteReader reader(bytes);
   if (reader.u32() != kMagic) throw std::runtime_error("weights: bad magic");
   if (reader.u32() != kVersion) {
     throw std::runtime_error("weights: unsupported version");
@@ -111,8 +45,7 @@ void deserialize_weights(LayerChain& chain,
                              std::to_string(params.size()) + ")");
   }
   for (const ParamRef& p : params) {
-    const std::uint32_t name_length = reader.u32();
-    const std::string name = reader.str(name_length);
+    const std::string name = reader.str();
     if (name != p.name) {
       throw std::runtime_error("weights: parameter name mismatch: file '" +
                                name + "' vs chain '" + p.name + "'");
@@ -123,10 +56,60 @@ void deserialize_weights(LayerChain& chain,
     if (Shape(dims) != p.value->shape()) {
       throw std::runtime_error("weights: shape mismatch for '" + p.name + "'");
     }
-    reader.floats(p.value->data(), static_cast<std::size_t>(p.value->numel()));
+    reader.raw(p.value->data(), p.value->bytes());
   }
   if (!reader.exhausted()) {
     throw std::runtime_error("weights: trailing bytes");
+  }
+}
+
+std::vector<std::uint8_t> serialize_buffers(LayerChain& chain) {
+  const std::vector<BufferRef> buffers = chain.buffers();
+  persist::ByteWriter out;
+  out.u32(kBufferMagic);
+  out.u32(kVersion);
+  out.u32(static_cast<std::uint32_t>(buffers.size()));
+  for (const BufferRef& b : buffers) {
+    out.str(b.name);
+    out.u32(static_cast<std::uint32_t>(b.value->shape().rank()));
+    for (const std::int64_t dim : b.value->shape().dims()) out.i64(dim);
+    out.raw(b.value->data(), b.value->bytes());
+  }
+  return out.take();
+}
+
+void deserialize_buffers(LayerChain& chain,
+                         const std::vector<std::uint8_t>& bytes) {
+  persist::ByteReader reader(bytes);
+  if (reader.u32() != kBufferMagic) {
+    throw std::runtime_error("buffers: bad magic");
+  }
+  if (reader.u32() != kVersion) {
+    throw std::runtime_error("buffers: unsupported version");
+  }
+  const std::vector<BufferRef> buffers = chain.buffers();
+  const std::uint32_t count = reader.u32();
+  if (count != buffers.size()) {
+    throw std::runtime_error("buffers: buffer count mismatch (file " +
+                             std::to_string(count) + ", chain " +
+                             std::to_string(buffers.size()) + ")");
+  }
+  for (const BufferRef& b : buffers) {
+    const std::string name = reader.str();
+    if (name != b.name) {
+      throw std::runtime_error("buffers: buffer name mismatch: file '" + name +
+                               "' vs chain '" + b.name + "'");
+    }
+    const std::uint32_t rank = reader.u32();
+    std::vector<std::int64_t> dims(rank);
+    for (std::uint32_t d = 0; d < rank; ++d) dims[d] = reader.i64();
+    if (Shape(dims) != b.value->shape()) {
+      throw std::runtime_error("buffers: shape mismatch for '" + b.name + "'");
+    }
+    reader.raw(b.value->data(), b.value->bytes());
+  }
+  if (!reader.exhausted()) {
+    throw std::runtime_error("buffers: trailing bytes");
   }
 }
 

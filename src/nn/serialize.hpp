@@ -25,6 +25,15 @@ namespace edgetrain::nn {
 void deserialize_weights(LayerChain& chain,
                          const std::vector<std::uint8_t>& bytes);
 
+/// Serialises all persistent buffers of @p chain (batch-norm running
+/// statistics). Separate from weights so older weight files stay valid.
+[[nodiscard]] std::vector<std::uint8_t> serialize_buffers(LayerChain& chain);
+
+/// Restores buffers serialized by serialize_buffers into @p chain.
+/// Throws std::runtime_error on format or architecture mismatch.
+void deserialize_buffers(LayerChain& chain,
+                         const std::vector<std::uint8_t>& bytes);
+
 /// File convenience wrappers.
 void save_weights(LayerChain& chain, const std::string& path);
 void load_weights(LayerChain& chain, const std::string& path);

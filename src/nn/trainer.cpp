@@ -48,6 +48,20 @@ std::unique_ptr<core::SlotStore> build_store(const core::Schedule& schedule,
   throw std::invalid_argument("Trainer: unknown backend");
 }
 
+std::unique_ptr<Optimizer> build_optimizer(LayerChain& chain,
+                                           const TrainerOptions& options) {
+  switch (options.optimizer) {
+    case OptimizerKind::Sgd:
+      return std::make_unique<SGD>(chain.params(), options.lr,
+                                   options.momentum, options.weight_decay);
+    case OptimizerKind::Adam:
+      return std::make_unique<Adam>(chain.params(), options.lr,
+                                    options.adam_beta1, options.adam_beta2,
+                                    options.adam_eps, options.weight_decay);
+  }
+  throw std::invalid_argument("Trainer: unknown optimizer");
+}
+
 }  // namespace
 
 Trainer::Trainer(LayerChain& chain, const TrainerOptions& options)
@@ -55,8 +69,7 @@ Trainer::Trainer(LayerChain& chain, const TrainerOptions& options)
       options_(options),
       schedule_(build_schedule(chain.size(), options)),
       store_(build_store(schedule_, options)),
-      optimizer_(chain.params(), options.lr, options.momentum,
-                 options.weight_decay),
+      optimizer_(build_optimizer(chain, options)),
       runner_(chain, Phase::Train) {}
 
 StepStats Trainer::step(const Tensor& x,
@@ -71,12 +84,12 @@ StepStats Trainer::step(const Tensor& x,
 
 StepStats Trainer::step_with_loss(const Tensor& x,
                                   const core::LossGradFn& loss_grad) {
-  optimizer_.zero_grad();
+  optimizer_->zero_grad();
   runner_.begin_pass();
   last_loss_ = 0.0F;
   const core::ExecutionResult result =
-      executor_.run(runner_, schedule_, x, loss_grad, *store_);
-  optimizer_.step();
+      executor_.run(runner_, schedule_, x, loss_grad, *store_, hooks_);
+  optimizer_->step();
 
   StepStats stats;
   stats.loss = last_loss_;

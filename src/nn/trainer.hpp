@@ -34,14 +34,23 @@ enum class SlotBackend : std::uint8_t {
   Int8,      ///< 8-bit affine checkpoints (4x memory saving, lossy)
 };
 
+enum class OptimizerKind : std::uint8_t {
+  Sgd,   ///< SGD with optional momentum (momentum/weight_decay options)
+  Adam,  ///< Adam with bias correction (adam_* options)
+};
+
 struct TrainerOptions {
   CheckpointStrategy strategy = CheckpointStrategy::FullStorage;
   int free_slots = 2;          ///< checkpoint budget (ignored for FullStorage)
   SlotBackend backend = SlotBackend::Ram;
   std::string spill_directory = "/tmp";  ///< for SlotBackend::DiskSpill
+  OptimizerKind optimizer = OptimizerKind::Sgd;
   float lr = 0.05F;
   float momentum = 0.9F;
   float weight_decay = 0.0F;
+  float adam_beta1 = 0.9F;
+  float adam_beta2 = 0.999F;
+  float adam_eps = 1e-8F;
 };
 
 struct StepStats {
@@ -67,16 +76,31 @@ class Trainer {
   [[nodiscard]] const core::Schedule& schedule() const noexcept {
     return schedule_;
   }
-  [[nodiscard]] SGD& optimizer() noexcept { return optimizer_; }
+  [[nodiscard]] Optimizer& optimizer() noexcept { return *optimizer_; }
+  [[nodiscard]] LayerChain& chain() noexcept { return chain_; }
+
+  /// Executor hooks threaded through every subsequent step (in-flight
+  /// schedule position reporting / mid-step abort injection).
+  void set_hooks(core::ExecutorHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Pass counter of the underlying runner; persist/ saves and restores it
+  /// so per-pass randomness (dropout) continues its stream after resume.
+  [[nodiscard]] std::uint64_t pass_token() const noexcept {
+    return runner_.pass_token();
+  }
+  void set_pass_token(std::uint64_t token) noexcept {
+    runner_.set_pass_token(token);
+  }
 
  private:
   LayerChain& chain_;
   TrainerOptions options_;
   core::Schedule schedule_;
   std::unique_ptr<core::SlotStore> store_;
-  SGD optimizer_;
+  std::unique_ptr<Optimizer> optimizer_;
   LayerChainRunner runner_;
   core::ScheduleExecutor executor_;
+  core::ExecutorHooks hooks_;
   float last_loss_ = 0.0F;
 };
 

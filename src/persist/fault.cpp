@@ -1,0 +1,47 @@
+#include "persist/fault.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace edgetrain::persist {
+
+void flip_bit(const std::string& path, std::uint64_t byte_offset, int bit) {
+  const std::uint64_t size = file_size(path);
+  if (size == 0) throw std::runtime_error("flip_bit: empty file " + path);
+  if (byte_offset >= size) byte_offset = size - 1;
+
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!file) throw std::runtime_error("flip_bit: cannot open " + path);
+  file.seekg(static_cast<std::streamoff>(byte_offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ (1 << (bit & 7)));
+  file.seekp(static_cast<std::streamoff>(byte_offset));
+  file.write(&byte, 1);
+  if (!file) throw std::runtime_error("flip_bit: write failed for " + path);
+}
+
+void truncate_file(const std::string& path, std::uint64_t new_size) {
+  const std::uint64_t size = file_size(path);
+  if (new_size > size) {
+    throw std::runtime_error("truncate_file: new size exceeds file size");
+  }
+  std::error_code ec;
+  std::filesystem::resize_file(path, new_size, ec);
+  if (ec) {
+    throw std::runtime_error("truncate_file: " + path + ": " + ec.message());
+  }
+}
+
+std::uint64_t file_size(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw std::runtime_error("file_size: " + path + ": " + ec.message());
+  }
+  return static_cast<std::uint64_t>(size);
+}
+
+}  // namespace edgetrain::persist

@@ -1,0 +1,105 @@
+// edgetrain: fault-injection harness for the durability layer.
+//
+// An outdoor node loses power mid-write; an idle-scheduled trainer is
+// killed mid-step. Tests must prove recovery from *every* such point, so
+// this harness makes the failures reproducible: a FaultInjector threaded
+// through the snapshot writer kills a file write after an exact number of
+// bytes (leaving a genuine torn file on disk), aborts training at a chosen
+// step or mid-step schedule action, and static helpers bit-flip or
+// truncate files in place to model SD-card corruption.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace edgetrain::persist {
+
+/// Thrown at an injected failure point. Models power loss / OOM-kill: the
+/// process under test treats it as death (no cleanup runs on the write
+/// path), and tests catch it where a supervisor would restart the node.
+class PowerLoss : public std::runtime_error {
+ public:
+  explicit PowerLoss(const std::string& where)
+      : std::runtime_error("injected power loss: " + where) {}
+};
+
+/// Deterministic failure switchboard. All triggers are one-shot: they
+/// disarm after firing so the post-restart code path runs clean.
+class FaultInjector {
+ public:
+  /// Kill the next snapshot write after exactly @p byte_offset payload
+  /// bytes have reached the file (the torn prefix stays on disk).
+  void arm_write_failure(std::uint64_t byte_offset) {
+    write_armed_ = true;
+    write_fail_offset_ = byte_offset;
+  }
+
+  /// Abort training immediately before step @p step executes.
+  void arm_abort_at_step(std::uint64_t step) {
+    step_armed_ = true;
+    abort_step_ = step;
+  }
+
+  /// Abort mid-step, immediately before schedule action @p action_index of
+  /// the next training step (models preemption inside a pass).
+  void arm_abort_at_action(std::int64_t action_index) {
+    action_armed_ = true;
+    abort_action_ = action_index;
+  }
+
+  [[nodiscard]] bool write_failure_armed() const noexcept {
+    return write_armed_;
+  }
+
+  /// Called by the snapshot file sink with the running byte count; throws
+  /// PowerLoss once the armed offset is crossed.
+  void on_write_bytes(std::uint64_t total_bytes_written) {
+    if (write_armed_ && total_bytes_written >= write_fail_offset_) {
+      write_armed_ = false;
+      throw PowerLoss("snapshot write at byte " +
+                      std::to_string(write_fail_offset_));
+    }
+  }
+
+  /// Called by ResumableTrainer before each training step.
+  void on_step(std::uint64_t step) {
+    if (step_armed_ && step >= abort_step_) {
+      step_armed_ = false;
+      throw PowerLoss("training step " + std::to_string(step));
+    }
+  }
+
+  /// Called from the executor hook with the in-flight schedule position.
+  void on_action(std::int64_t action_index) {
+    if (action_armed_ && action_index >= abort_action_) {
+      action_armed_ = false;
+      throw PowerLoss("schedule action " + std::to_string(action_index));
+    }
+  }
+
+  [[nodiscard]] bool mid_step_abort_armed() const noexcept {
+    return action_armed_;
+  }
+
+ private:
+  bool write_armed_ = false;
+  std::uint64_t write_fail_offset_ = 0;
+  bool step_armed_ = false;
+  std::uint64_t abort_step_ = 0;
+  bool action_armed_ = false;
+  std::int64_t abort_action_ = 0;
+};
+
+/// XORs one bit of @p path at @p byte_offset (clamped to the last byte).
+/// Throws std::runtime_error when the file cannot be opened.
+void flip_bit(const std::string& path, std::uint64_t byte_offset,
+              int bit = 0);
+
+/// Truncates @p path to @p new_size bytes (must not exceed current size).
+void truncate_file(const std::string& path, std::uint64_t new_size);
+
+/// Size of @p path in bytes; throws when it does not exist.
+[[nodiscard]] std::uint64_t file_size(const std::string& path);
+
+}  // namespace edgetrain::persist

@@ -1,0 +1,285 @@
+#include "persist/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "persist/crc32.hpp"
+#include "persist/wire.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define EDGETRAIN_HAVE_FSYNC 1
+#endif
+
+namespace edgetrain::persist {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E535445;  // "ETSN"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 24;
+constexpr const char* kSnapPrefix = "snap_";
+constexpr const char* kSnapSuffix = ".etsnap";
+
+/// RAII FILE* that writes through the fault injector and fsyncs before the
+/// atomic rename. On PowerLoss the destructor just closes the handle: the
+/// torn prefix stays in the .tmp exactly as a real power cut would leave it.
+class FileSink {
+ public:
+  FileSink(const std::string& path, FaultInjector* fault)
+      : path_(path), fault_(fault), file_(std::fopen(path.c_str(), "wb")) {
+    if (file_ == nullptr) {
+      throw SnapshotError("cannot open " + path + " for writing");
+    }
+  }
+
+  ~FileSink() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  void write(const std::uint8_t* data, std::size_t count) {
+    std::size_t offset = 0;
+    while (offset < count) {
+      // Stop exactly at an armed failure offset so tests can tear the file
+      // at any chosen byte.
+      std::size_t chunk = count - offset;
+      if (fault_ != nullptr && fault_->write_failure_armed()) chunk = 1;
+      if (std::fwrite(data + offset, 1, chunk, file_) != chunk) {
+        throw SnapshotError("write failed for " + path_);
+      }
+      offset += chunk;
+      written_ += chunk;
+      if (fault_ != nullptr) {
+        if (fault_->write_failure_armed()) std::fflush(file_);
+        fault_->on_write_bytes(written_);
+      }
+    }
+  }
+
+  /// Flush + fsync + close; the data is durable (but not yet named).
+  void sync_and_close() {
+    if (std::fflush(file_) != 0) {
+      throw SnapshotError("flush failed for " + path_);
+    }
+#ifdef EDGETRAIN_HAVE_FSYNC
+    if (::fsync(::fileno(file_)) != 0) {
+      throw SnapshotError("fsync failed for " + path_);
+    }
+#endif
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) throw SnapshotError("close failed for " + path_);
+  }
+
+ private:
+  std::string path_;
+  FaultInjector* fault_;
+  std::FILE* file_;
+  std::uint64_t written_ = 0;
+};
+
+void fsync_directory(const std::string& directory) {
+#ifdef EDGETRAIN_HAVE_FSYNC
+  const int fd = ::open(directory.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)directory;
+#endif
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(const TrainerState& state) {
+  ByteWriter payload;
+  payload.u64(state.step);
+  payload.u64(state.data_cursor);
+  payload.u64(state.pass_token);
+  payload.i64(state.in_flight_action);
+  payload.str(state.rng_state);
+  payload.blob(state.model);
+  payload.blob(state.optimizer);
+  payload.blob(state.buffers);
+  const std::vector<std::uint8_t>& body = payload.bytes();
+
+  ByteWriter out;
+  out.u32(kMagic);
+  out.u32(kVersion);
+  out.u64(body.size());
+  out.u32(crc32(body.data(), body.size()));
+  out.u32(crc32(out.bytes().data(), out.size()));  // header CRC over the 20
+  out.raw(body.data(), body.size());
+  return out.take();
+}
+
+TrainerState decode_snapshot(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    throw SnapshotError("truncated header (" + std::to_string(bytes.size()) +
+                        " bytes)");
+  }
+  ByteReader header(bytes.data(), kHeaderBytes);
+  const std::uint32_t magic = header.u32();
+  const std::uint32_t version = header.u32();
+  const std::uint64_t payload_size = header.u64();
+  const std::uint32_t payload_crc = header.u32();
+  const std::uint32_t header_crc = header.u32();
+  if (crc32(bytes.data(), kHeaderBytes - 4) != header_crc) {
+    throw SnapshotError("header CRC mismatch");
+  }
+  if (magic != kMagic) throw SnapshotError("bad magic");
+  if (version != kVersion) {
+    throw SnapshotError("unsupported version " + std::to_string(version));
+  }
+  if (bytes.size() - kHeaderBytes != payload_size) {
+    throw SnapshotError("payload size mismatch (header says " +
+                        std::to_string(payload_size) + ", file holds " +
+                        std::to_string(bytes.size() - kHeaderBytes) + ")");
+  }
+  if (crc32(bytes.data() + kHeaderBytes, payload_size) != payload_crc) {
+    throw SnapshotError("payload CRC mismatch");
+  }
+
+  try {
+    ByteReader payload(bytes.data() + kHeaderBytes, payload_size);
+    TrainerState state;
+    state.step = payload.u64();
+    state.data_cursor = payload.u64();
+    state.pass_token = payload.u64();
+    state.in_flight_action = payload.i64();
+    state.rng_state = payload.str();
+    state.model = payload.blob();
+    state.optimizer = payload.blob();
+    state.buffers = payload.blob();
+    if (!payload.exhausted()) throw SnapshotError("trailing payload bytes");
+    return state;
+  } catch (const SnapshotError&) {
+    throw;
+  } catch (const std::runtime_error& error) {
+    throw SnapshotError(std::string("malformed payload: ") + error.what());
+  }
+}
+
+void write_snapshot_file(const std::string& path, const TrainerState& state,
+                         FaultInjector* fault) {
+  const std::vector<std::uint8_t> bytes = encode_snapshot(state);
+  const std::string tmp = path + ".tmp";
+  {
+    FileSink sink(tmp, fault);
+    sink.write(bytes.data(), bytes.size());
+    sink.sync_and_close();
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw SnapshotError("rename " + tmp + " -> " + path + ": " + ec.message());
+  }
+  fsync_directory(std::filesystem::path(path).parent_path().string());
+}
+
+TrainerState read_snapshot_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) throw SnapshotError("cannot open " + path);
+  const std::streamsize size = file.tellg();
+  file.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  file.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!file) throw SnapshotError("read failed for " + path);
+  return decode_snapshot(bytes);
+}
+
+bool snapshot_valid(const std::string& path) {
+  try {
+    (void)read_snapshot_file(path);
+    return true;
+  } catch (const SnapshotError&) {
+    return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotManager
+// ---------------------------------------------------------------------------
+
+SnapshotManager::SnapshotManager(std::string directory, int keep)
+    : directory_(std::move(directory)), keep_(std::max(keep, 1)) {
+  std::filesystem::create_directories(directory_);
+  // Sweep torn temp files from a previous crash; committed generations are
+  // never touched here.
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".tmp")) {
+      std::error_code ec;
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+std::string SnapshotManager::path_for(std::uint64_t step) const {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%012llu",
+                static_cast<unsigned long long>(step));
+  return directory_ + "/" + kSnapPrefix + buffer + kSnapSuffix;
+}
+
+std::string SnapshotManager::write(const TrainerState& state,
+                                   FaultInjector* fault) {
+  const std::string path = path_for(state.step);
+  write_snapshot_file(path, state, fault);
+  prune();
+  return path;
+}
+
+std::vector<std::string> SnapshotManager::list() const {
+  std::vector<std::string> paths;
+  if (!std::filesystem::exists(directory_)) return paths;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with(kSnapPrefix) && name.ends_with(kSnapSuffix)) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  // Zero-padded step numbers make lexicographic order chronological.
+  std::sort(paths.begin(), paths.end(), std::greater<>());
+  return paths;
+}
+
+std::optional<TrainerState> SnapshotManager::load_latest() {
+  skipped_.clear();
+  for (const std::string& path : list()) {
+    try {
+      return read_snapshot_file(path);
+    } catch (const SnapshotError&) {
+      skipped_.push_back(path);
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t SnapshotManager::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const std::string& path : list()) {
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(path, ec);
+    if (!ec) total += static_cast<std::uint64_t>(size);
+  }
+  return total;
+}
+
+void SnapshotManager::prune() {
+  const std::vector<std::string> paths = list();
+  for (std::size_t i = static_cast<std::size_t>(keep_); i < paths.size();
+       ++i) {
+    std::error_code ec;
+    std::filesystem::remove(paths[i], ec);
+  }
+}
+
+}  // namespace edgetrain::persist

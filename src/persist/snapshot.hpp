@@ -1,0 +1,121 @@
+// edgetrain: crash-consistent trainer snapshots.
+//
+// A run scheduled into idle CPU windows on a 2 GB outdoor node is
+// routinely preempted and sometimes loses power mid-write, so durability
+// cannot assume a clean shutdown. The snapshot format captures the
+// *complete* trainer state -- weights, optimizer moments, RNG stream,
+// data cursor, pass token and step counter -- and the file protocol
+// guarantees a snapshot on disk is always either old-complete or
+// new-complete, never torn:
+//
+//   header  magic | version | payload_size | payload_crc | header_crc
+//   payload step, cursor, pass token, in-flight action, RNG stream,
+//           model blob, optimizer blob, buffers blob (see encode_snapshot)
+//
+//   write   serialize -> <final>.tmp -> fwrite -> fsync(file)
+//           -> rename(tmp, final) -> fsync(directory)
+//
+// Torn writes die inside the .tmp (the final name never exists half
+// written); rename is atomic on POSIX; the directory fsync makes the
+// rename itself durable. Corruption that happens *after* commit (SD-card
+// bit rot) is caught by the CRCs at read time, and SnapshotManager then
+// falls back to the newest older snapshot that still verifies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "persist/fault.hpp"
+
+namespace edgetrain::persist {
+
+/// Decode/read failure (bad magic, CRC mismatch, truncation).
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error("snapshot: " + what) {}
+};
+
+/// Everything needed to continue a training run bit-for-bit.
+struct TrainerState {
+  std::uint64_t step = 0;          ///< completed optimisation steps
+  std::uint64_t data_cursor = 0;   ///< batches drawn from the data stream
+  std::uint64_t pass_token = 0;    ///< runner pass counter (dropout streams)
+  std::int64_t in_flight_action = -1;  ///< schedule position at death, else -1
+  std::string rng_state;           ///< std::mt19937 stream serialization
+  std::vector<std::uint8_t> model;      ///< nn::serialize_weights blob
+  std::vector<std::uint8_t> optimizer;  ///< optimizer state blob
+  std::vector<std::uint8_t> buffers;    ///< nn::serialize_buffers blob
+
+  [[nodiscard]] bool operator==(const TrainerState&) const = default;
+};
+
+/// Serialises @p state into the versioned, CRC-protected container.
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(
+    const TrainerState& state);
+
+/// Inverse of encode_snapshot. Throws SnapshotError on any mismatch
+/// (magic, version, size, either CRC) -- a corrupt snapshot is never
+/// partially applied.
+[[nodiscard]] TrainerState decode_snapshot(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Writes @p state to @p path with the atomic temp+fsync+rename protocol.
+/// @p fault, when set, may kill the write at an armed byte offset
+/// (PowerLoss propagates; the torn .tmp stays on disk, the final path is
+/// untouched).
+void write_snapshot_file(const std::string& path, const TrainerState& state,
+                         FaultInjector* fault = nullptr);
+
+/// Reads and validates one snapshot file. Throws SnapshotError when the
+/// file is missing, truncated or fails CRC.
+[[nodiscard]] TrainerState read_snapshot_file(const std::string& path);
+
+/// True when @p path exists and decodes cleanly.
+[[nodiscard]] bool snapshot_valid(const std::string& path);
+
+/// Rotating snapshot directory: writes snap_<step>.etsnap files, keeps the
+/// newest @p keep valid generations, and recovers by scanning newest-first
+/// past any corrupt or torn files. Stale .tmp files from a previous crash
+/// are swept on construction.
+class SnapshotManager {
+ public:
+  explicit SnapshotManager(std::string directory, int keep = 2);
+
+  /// Atomically writes a new generation and prunes old ones. Returns the
+  /// final path. On PowerLoss the directory still holds every previously
+  /// committed generation.
+  std::string write(const TrainerState& state, FaultInjector* fault = nullptr);
+
+  /// Newest snapshot that passes validation, or nullopt when none exists.
+  /// Corrupt newer generations are skipped (and reported via
+  /// last_skipped()), not deleted: forensics on a failed node matter.
+  [[nodiscard]] std::optional<TrainerState> load_latest();
+
+  /// Paths skipped as corrupt/torn during the last load_latest().
+  [[nodiscard]] const std::vector<std::string>& last_skipped() const noexcept {
+    return skipped_;
+  }
+
+  /// All committed snapshot paths, newest first.
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  /// Total bytes of committed snapshots (for storage-budget accounting).
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  [[nodiscard]] const std::string& directory() const noexcept {
+    return directory_;
+  }
+
+ private:
+  [[nodiscard]] std::string path_for(std::uint64_t step) const;
+  void prune();
+
+  std::string directory_;
+  int keep_;
+  std::vector<std::string> skipped_;
+};
+
+}  // namespace edgetrain::persist

@@ -1,0 +1,160 @@
+// edgetrain: bounds-checked little-endian byte (de)serialization.
+//
+// Shared wire primitives for every on-disk format in the repo (weight
+// files, trainer snapshots). Header-only so lower layers (nn/serialize)
+// can use them without linking the persist library. Writers append to a
+// growable buffer; readers validate every access and throw
+// std::runtime_error on truncation, so a corrupt file can never cause an
+// over-read.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace edgetrain::persist {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value) { out_.push_back(value); }
+
+  void u32(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  void u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
+
+  void f32(float value) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    u32(bits);
+  }
+
+  /// Length-prefixed string.
+  void str(const std::string& value) {
+    u32(static_cast<std::uint32_t>(value.size()));
+    out_.insert(out_.end(), value.begin(), value.end());
+  }
+
+  /// Length-prefixed opaque blob.
+  void blob(const std::vector<std::uint8_t>& value) {
+    u64(value.size());
+    out_.insert(out_.end(), value.begin(), value.end());
+  }
+
+  /// Raw bytes, no length prefix (caller encodes the count separately).
+  void raw(const void* data, std::size_t count) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), bytes, bytes + count);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return out_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class ByteReader {
+ public:
+  /// Reads from [data, data + size); the buffer must outlive the reader.
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+               << (8 * i);
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  std::uint64_t u64() {
+    require(8);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+               << (8 * i);
+    }
+    pos_ += 8;
+    return value;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  float f32() {
+    const std::uint32_t bits = u32();
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  std::string str() {
+    const std::uint32_t length = u32();
+    require(length);
+    std::string value(reinterpret_cast<const char*>(data_ + pos_), length);
+    pos_ += length;
+    return value;
+  }
+
+  std::vector<std::uint8_t> blob() {
+    const std::uint64_t length = u64();
+    require(length);
+    std::vector<std::uint8_t> value(data_ + pos_, data_ + pos_ + length);
+    pos_ += length;
+    return value;
+  }
+
+  void raw(void* dst, std::size_t count) {
+    require(count);
+    std::memcpy(dst, data_ + pos_, count);
+    pos_ += count;
+  }
+
+  void skip(std::size_t count) {
+    require(count);
+    pos_ += count;
+  }
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == size_; }
+
+ private:
+  void require(std::uint64_t count) const {
+    if (count > size_ - pos_) {
+      throw std::runtime_error("wire: truncated payload (need " +
+                               std::to_string(count) + " bytes, have " +
+                               std::to_string(size_ - pos_) + ")");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace edgetrain::persist

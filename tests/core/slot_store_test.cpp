@@ -8,6 +8,7 @@
 #include "core/executor.hpp"
 #include "core/revolve.hpp"
 #include "models/small_nets.hpp"
+#include "persist/fault.hpp"
 #include "nn/chain_runner.hpp"
 #include "nn/layers.hpp"
 #include "tensor/alloc.hpp"
@@ -102,6 +103,48 @@ TEST(DiskSlotStore, OverwriteReplacesBytes) {
   store.put(0, Tensor::zeros(Shape{16}));
   store.put(0, Tensor::zeros(Shape{4}));
   EXPECT_EQ(store.external_bytes(), 16U);
+}
+
+TEST(DiskSlotStore, BitFlippedSpillFileFailsChecksum) {
+  std::mt19937 rng(29);
+  DiskSlotStore store(2, /*first_disk_slot=*/0, ::testing::TempDir());
+  Tensor t = Tensor::randn(Shape{16, 16}, rng);
+  store.put(0, t);
+
+  // An SD card flips one bit in the spill file behind the store's back.
+  const std::string path =
+      std::string(::testing::TempDir()) + "/slot_0.ckpt";
+  persist::flip_bit(path, t.bytes() / 2, 2);
+  try {
+    (void)store.get(0);
+    FAIL() << "corrupt spill file returned without error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("checksum"), std::string::npos)
+        << error.what();
+  }
+
+  // A clean rewrite of the slot recovers it.
+  store.put(0, t);
+  EXPECT_EQ(Tensor::max_abs_diff(store.get(0), t), 0.0F);
+}
+
+TEST(DiskSlotStore, TruncatedSpillFileReportsDescriptiveError) {
+  std::mt19937 rng(31);
+  DiskSlotStore store(2, /*first_disk_slot=*/0, ::testing::TempDir());
+  Tensor t = Tensor::randn(Shape{8, 8}, rng);
+  store.put(1, t);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/slot_1.ckpt";
+  persist::truncate_file(path, t.bytes() - 12);
+  try {
+    (void)store.get(1);
+    FAIL() << "truncated spill file returned without error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("truncated or corrupt"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(t.bytes())), std::string::npos) << what;
+  }
 }
 
 TEST(QuantizedSlotStore, HalfRoundTripAccuracy) {

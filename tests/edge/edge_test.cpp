@@ -90,9 +90,68 @@ TEST(ImageStore, LabelHistogram) {
   EXPECT_EQ(histogram[2], 0U);
 }
 
+TEST(ImageStore, ReserveCarvesSnapshotBudgetOutOfDataset) {
+  ImageStore store(100, /*evict_oldest=*/true);
+  for (int i = 0; i < 10; ++i) (void)store.add(0, 10);
+  EXPECT_EQ(store.used_bytes(), 100U);
+
+  // Reserving 35 bytes for trainer snapshots shrinks the dataset budget;
+  // oldest images are evicted until the dataset fits.
+  store.reserve(35);
+  EXPECT_EQ(store.reserved_bytes(), 35U);
+  EXPECT_EQ(store.dataset_capacity_bytes(), 65U);
+  EXPECT_EQ(store.used_bytes(), 60U);
+  EXPECT_EQ(store.evicted_count(), 4U);
+
+  // add() and fits() respect the shrunken budget.
+  EXPECT_FALSE(store.fits(10));
+  EXPECT_TRUE(store.fits(5));
+  EXPECT_TRUE(store.add(1, 5).has_value());
+  EXPECT_EQ(store.used_bytes(), 65U);
+}
+
+TEST(ImageStore, ReserveBeyondCapacityThrows) {
+  ImageStore store(100, false);
+  EXPECT_THROW(store.reserve(101), std::invalid_argument);
+  EXPECT_NO_THROW(store.reserve(100));
+  EXPECT_EQ(store.dataset_capacity_bytes(), 0U);
+}
+
 // ---------------------------------------------------------------------------
 // Scheduler
 // ---------------------------------------------------------------------------
+
+TEST(IdleScheduler, IdleWindowsTileTheTrainingTimeline) {
+  IdleScheduler scheduler(1.0);
+  scheduler.add_task({"inference", 3.0, 2.0, 1});
+  scheduler.add_task({"sense", 9.0, 1.0, 1});
+  const std::vector<IdleWindow> windows = scheduler.idle_windows(12.0);
+  // Foreground owns [3,5) and [9,10); training owns the rest.
+  ASSERT_EQ(windows.size(), 3U);
+  EXPECT_DOUBLE_EQ(windows[0].begin_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(windows[0].end_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(windows[1].begin_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(windows[1].end_seconds, 9.0);
+  EXPECT_DOUBLE_EQ(windows[2].begin_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(windows[2].end_seconds, 12.0);
+  EXPECT_EQ(windows[1].steps(1.0), 4);
+  EXPECT_EQ(windows[2].steps(1.5), 1);
+
+  // The windows' total duration equals the report's training seconds.
+  const ScheduleReport report = scheduler.run(12.0);
+  double total = 0.0;
+  for (const IdleWindow& w : windows) total += w.duration();
+  EXPECT_NEAR(total, report.training_seconds, 1e-9);
+}
+
+TEST(IdleScheduler, BusyNodeHasNoIdleWindows) {
+  IdleScheduler scheduler(1.0);
+  for (const ForegroundTask& task :
+       periodic_tasks("inference", 2.0, 2.0, 5, 20.0)) {
+    scheduler.add_task(task);
+  }
+  EXPECT_TRUE(scheduler.idle_windows(20.0).empty());
+}
 
 TEST(IdleScheduler, EmptyForegroundTrainsWholeHorizon) {
   const IdleScheduler scheduler(1.0);

@@ -1,0 +1,320 @@
+#include "persist/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "persist/crc32.hpp"
+#include "persist/fault.hpp"
+#include "persist/wire.hpp"
+
+namespace edgetrain::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty directory under the system temp dir, removed on teardown.
+class SnapshotDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("etsnap_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TrainerState sample_state() {
+  TrainerState state;
+  state.step = 1234;
+  state.data_cursor = 5678;
+  state.pass_token = 42;
+  state.in_flight_action = 7;
+  std::mt19937 rng(99);
+  std::ostringstream stream;
+  stream << rng;
+  state.rng_state = stream.str();
+  state.model = {1, 2, 3, 4, 5, 0, 255};
+  state.optimizer = {9, 8, 7};
+  state.buffers = {6, 5};
+  return state;
+}
+
+// ---------------------------------------------------------------------------
+// Wire primitives
+// ---------------------------------------------------------------------------
+
+TEST(Wire, RoundTripsEveryPrimitive) {
+  ByteWriter writer;
+  writer.u8(0xAB);
+  writer.u32(0xDEADBEEF);
+  writer.u64(0x0123456789ABCDEFULL);
+  writer.i64(-42);
+  writer.f32(3.5F);
+  writer.str("hello");
+  writer.blob({1, 2, 3});
+  const std::vector<std::uint8_t> bytes = writer.take();
+
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFU);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.i64(), -42);
+  EXPECT_EQ(reader.f32(), 3.5F);
+  EXPECT_EQ(reader.str(), "hello");
+  EXPECT_EQ(reader.blob(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Wire, LittleEndianOnTheWire) {
+  ByteWriter writer;
+  writer.u32(0x01020304);
+  const std::vector<std::uint8_t> bytes = writer.take();
+  ASSERT_EQ(bytes.size(), 4U);
+  EXPECT_EQ(bytes[0], 0x04);
+  EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(Wire, TruncatedReadThrowsAtEveryPrefix) {
+  ByteWriter writer;
+  writer.u64(7);
+  writer.str("abc");
+  const std::vector<std::uint8_t> bytes = writer.take();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    ByteReader reader(bytes.data(), len);
+    EXPECT_THROW(
+        {
+          (void)reader.u64();
+          (void)reader.str();
+        },
+        std::runtime_error)
+        << "prefix length " << len;
+  }
+}
+
+TEST(Wire, BlobLengthBeyondBufferThrows) {
+  ByteWriter writer;
+  writer.u64(~0ULL);  // declared length far beyond the buffer
+  ByteReader reader(writer.bytes());
+  EXPECT_THROW((void)reader.blob(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32, MatchesIeeeCheckValue) {
+  // The standard check value for CRC-32/ISO-HDLC over "123456789".
+  const std::string data = "123456789";
+  EXPECT_EQ(crc32(data.data(), data.size()), 0xCBF43926U);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  std::uint32_t crc = crc32_init();
+  for (char c : data) crc = crc32_update(crc, &c, 1);
+  EXPECT_EQ(crc32_final(crc), crc32(data.data(), data.size()));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(256);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  const std::uint32_t clean = crc32(data.data(), data.size());
+  data[100] ^= 1;
+  EXPECT_NE(crc32(data.data(), data.size()), clean);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codec
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotCodec, RoundTripsCompleteState) {
+  const TrainerState state = sample_state();
+  const std::vector<std::uint8_t> bytes = encode_snapshot(state);
+  EXPECT_EQ(decode_snapshot(bytes), state);
+}
+
+TEST(SnapshotCodec, EveryBitFlipIsDetected) {
+  TrainerState state = sample_state();
+  state.model.resize(40, 7);  // keep the file small enough to scan fully
+  const std::vector<std::uint8_t> clean = encode_snapshot(state);
+  for (std::size_t byte = 0; byte < clean.size(); ++byte) {
+    std::vector<std::uint8_t> corrupt = clean;
+    corrupt[byte] ^= 0x10;
+    EXPECT_THROW((void)decode_snapshot(corrupt), SnapshotError)
+        << "undetected flip at byte " << byte;
+  }
+}
+
+TEST(SnapshotCodec, EveryTruncationIsDetected) {
+  const std::vector<std::uint8_t> clean = encode_snapshot(sample_state());
+  for (std::size_t len = 0; len < clean.size(); ++len) {
+    const std::vector<std::uint8_t> cut(clean.begin(),
+                                        clean.begin() + static_cast<long>(len));
+    EXPECT_THROW((void)decode_snapshot(cut), SnapshotError)
+        << "undetected truncation to " << len << " bytes";
+  }
+}
+
+TEST(SnapshotCodec, TrailingGarbageIsDetected) {
+  std::vector<std::uint8_t> bytes = encode_snapshot(sample_state());
+  bytes.push_back(0);
+  EXPECT_THROW((void)decode_snapshot(bytes), SnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file protocol
+// ---------------------------------------------------------------------------
+
+TEST_F(SnapshotDirTest, WriteReadRoundTrip) {
+  const std::string path = dir_ + "/state.etsnap";
+  const TrainerState state = sample_state();
+  write_snapshot_file(path, state);
+  EXPECT_EQ(read_snapshot_file(path), state);
+  EXPECT_TRUE(snapshot_valid(path));
+}
+
+TEST_F(SnapshotDirTest, TornWriteNeverDamagesTheCommittedFile) {
+  const std::string path = dir_ + "/state.etsnap";
+  TrainerState old_state = sample_state();
+  write_snapshot_file(path, old_state);
+
+  TrainerState new_state = sample_state();
+  new_state.step = 9999;
+  const std::uint64_t size = encode_snapshot(new_state).size();
+  // Tear the replacement write at representative offsets: first byte,
+  // inside the header, header/payload boundary, mid-payload, last byte.
+  for (const std::uint64_t offset :
+       {std::uint64_t{1}, std::uint64_t{10}, std::uint64_t{24},
+        size / 2, size - 1}) {
+    FaultInjector fault;
+    fault.arm_write_failure(offset);
+    EXPECT_THROW(write_snapshot_file(path, new_state, &fault), PowerLoss)
+        << "offset " << offset;
+    // The committed file is byte-for-byte the old state; the tear landed
+    // in the .tmp, which holds exactly `offset` bytes.
+    EXPECT_EQ(read_snapshot_file(path), old_state) << "offset " << offset;
+    EXPECT_EQ(file_size(path + ".tmp"), offset) << "offset " << offset;
+  }
+}
+
+TEST_F(SnapshotDirTest, FlipAnyBitAndTheReadFails) {
+  const std::string path = dir_ + "/state.etsnap";
+  write_snapshot_file(path, sample_state());
+  const std::uint64_t size = file_size(path);
+  for (const std::uint64_t offset :
+       {std::uint64_t{0}, std::uint64_t{4}, std::uint64_t{20},
+        std::uint64_t{24}, size / 2, size - 1}) {
+    write_snapshot_file(path, sample_state());
+    flip_bit(path, offset, 3);
+    EXPECT_THROW((void)read_snapshot_file(path), SnapshotError)
+        << "offset " << offset;
+    EXPECT_FALSE(snapshot_valid(path));
+  }
+}
+
+TEST_F(SnapshotDirTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_snapshot_file(dir_ + "/absent.etsnap"),
+               SnapshotError);
+  EXPECT_FALSE(snapshot_valid(dir_ + "/absent.etsnap"));
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotManager
+// ---------------------------------------------------------------------------
+
+TEST_F(SnapshotDirTest, ManagerKeepsNewestGenerations) {
+  SnapshotManager manager(dir_, 2);
+  TrainerState state = sample_state();
+  for (std::uint64_t step : {10ULL, 20ULL, 30ULL, 40ULL}) {
+    state.step = step;
+    manager.write(state);
+  }
+  const std::vector<std::string> paths = manager.list();
+  ASSERT_EQ(paths.size(), 2U);
+  EXPECT_EQ(read_snapshot_file(paths[0]).step, 40U);
+  EXPECT_EQ(read_snapshot_file(paths[1]).step, 30U);
+  EXPECT_GT(manager.total_bytes(), 0U);
+}
+
+TEST_F(SnapshotDirTest, ManagerFallsBackPastCorruptLatest) {
+  SnapshotManager manager(dir_, 3);
+  TrainerState state = sample_state();
+  state.step = 100;
+  manager.write(state);
+  state.step = 200;
+  const std::string latest = manager.write(state);
+
+  flip_bit(latest, file_size(latest) / 2);
+  const std::optional<TrainerState> loaded = manager.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->step, 100U);
+  ASSERT_EQ(manager.last_skipped().size(), 1U);
+  EXPECT_EQ(manager.last_skipped()[0], latest);
+}
+
+TEST_F(SnapshotDirTest, ManagerFallsBackPastTruncatedLatest) {
+  SnapshotManager manager(dir_, 3);
+  TrainerState state = sample_state();
+  state.step = 1;
+  manager.write(state);
+  state.step = 2;
+  const std::string latest = manager.write(state);
+
+  truncate_file(latest, file_size(latest) / 3);
+  const std::optional<TrainerState> loaded = manager.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->step, 1U);
+}
+
+TEST_F(SnapshotDirTest, ManagerEmptyDirectoryLoadsNothing) {
+  SnapshotManager manager(dir_, 2);
+  EXPECT_FALSE(manager.load_latest().has_value());
+  EXPECT_EQ(manager.total_bytes(), 0U);
+}
+
+TEST_F(SnapshotDirTest, ManagerSweepsStaleTempFilesOnBoot) {
+  {
+    std::ofstream torn(dir_ + "/snap_000000000009.etsnap.tmp",
+                       std::ios::binary);
+    torn << "torn prefix from a previous crash";
+  }
+  SnapshotManager manager(dir_, 2);
+  EXPECT_FALSE(fs::exists(dir_ + "/snap_000000000009.etsnap.tmp"));
+}
+
+TEST_F(SnapshotDirTest, TornWriteKeepsEveryCommittedGeneration) {
+  SnapshotManager manager(dir_, 2);
+  TrainerState state = sample_state();
+  state.step = 5;
+  manager.write(state);
+  state.step = 10;
+  manager.write(state);
+
+  state.step = 15;
+  FaultInjector fault;
+  fault.arm_write_failure(30);
+  EXPECT_THROW(manager.write(state, &fault), PowerLoss);
+
+  // Both committed generations survive; recovery gets step 10.
+  SnapshotManager rebooted(dir_, 2);
+  const std::optional<TrainerState> loaded = rebooted.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->step, 10U);
+  EXPECT_EQ(rebooted.list().size(), 2U);
+}
+
+}  // namespace
+}  // namespace edgetrain::persist
