@@ -1,0 +1,367 @@
+#include "analysis/interp.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace edgetrain::analysis {
+
+namespace {
+constexpr std::int32_t kNoState = -1;
+}  // namespace
+
+std::string to_string(Check check) {
+  switch (check) {
+    case Check::StepRange: return "step-range";
+    case Check::ForwardState: return "forward-state";
+    case Check::SaveAlreadyLive: return "save-already-live";
+    case Check::BackwardOrder: return "backward-order";
+    case Check::BackwardLiveness: return "backward-liveness";
+    case Check::SlotRange: return "slot-range";
+    case Check::StoreState: return "store-state";
+    case Check::RestoreEmpty: return "restore-empty";
+    case Check::RestoreState: return "restore-state";
+    case Check::FreeOrphan: return "free-orphan";
+    case Check::Completion: return "completion";
+    case Check::MemoryBound: return "memory-bound";
+    case Check::SlotBound: return "slot-bound";
+    case Check::WorkBound: return "work-bound";
+    case Check::RedundantFree: return "redundant-free";
+    case Check::DeadStore: return "dead-store";
+  }
+  return "?";
+}
+
+std::string Report::summary() const {
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << (f.severity == Severity::Error ? "error" : "warning") << " ["
+       << analysis::to_string(f.check) << "] at action " << f.position << ": "
+       << f.detail << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Per-Free liveness verdicts and per-Store deadness, from one backward
+/// pass: slot k is "needed" at position p when some action after p Restores
+/// k before any Store overwrites it.
+struct LivenessFacts {
+  std::vector<bool> free_orphans;  ///< indexed by action position
+  std::vector<bool> dead_stores;   ///< indexed by action position
+};
+
+LivenessFacts liveness_pass(const core::Schedule& schedule) {
+  const std::vector<core::Action>& actions = schedule.actions();
+  LivenessFacts facts;
+  facts.free_orphans.assign(actions.size(), false);
+  facts.dead_stores.assign(actions.size(), false);
+  const std::size_t num_slots =
+      static_cast<std::size_t>(std::max(schedule.num_slots(), 0));
+  std::vector<bool> needed(num_slots, false);
+  for (std::size_t pos = actions.size(); pos-- > 0;) {
+    const core::Action& a = actions[pos];
+    if (a.slot < 0 || a.slot >= schedule.num_slots()) continue;
+    const auto slot = static_cast<std::size_t>(a.slot);
+    switch (a.type) {
+      case core::ActionType::Restore:
+        needed[slot] = true;
+        break;
+      case core::ActionType::Store:
+        facts.dead_stores[pos] = !needed[slot];
+        needed[slot] = false;
+        break;
+      case core::ActionType::Free:
+        facts.free_orphans[pos] = needed[slot];
+        break;
+      default:
+        break;
+    }
+  }
+  return facts;
+}
+
+class Interpreter {
+ public:
+  Interpreter(const core::Schedule& schedule, const CostModel& cost,
+              const Bounds& bounds)
+      : schedule_(schedule),
+        cost_(cost),
+        bounds_(bounds),
+        num_steps_(schedule.num_steps()),
+        num_slots_(schedule.num_slots()),
+        adjoint_frontier_(schedule.num_steps()),
+        saved_(static_cast<std::size_t>(std::max(num_steps_, 0)), false),
+        reversed_(static_cast<std::size_t>(std::max(num_steps_, 0)), false),
+        slots_(static_cast<std::size_t>(std::max(num_slots_, 0)), kNoState) {}
+
+  Report run() {
+    const LivenessFacts liveness = liveness_pass(schedule_);
+    const std::vector<core::Action>& actions = schedule_.actions();
+    for (std::size_t pos = 0; pos < actions.size(); ++pos) {
+      step(pos, actions[pos], liveness);
+      update_peaks();
+    }
+    finish();
+    return std::move(report_);
+  }
+
+ private:
+  void error(std::size_t pos, Check check, std::string detail) {
+    report_.findings.push_back(Finding{Severity::Error, check,
+                                       static_cast<std::int64_t>(pos),
+                                       std::move(detail)});
+  }
+  void warn(std::size_t pos, Check check, std::string detail) {
+    report_.findings.push_back(Finding{Severity::Warning, check,
+                                       static_cast<std::int64_t>(pos),
+                                       std::move(detail)});
+  }
+  void error_at_end(Check check, std::string detail) {
+    report_.findings.push_back(
+        Finding{Severity::Error, check, -1, std::move(detail)});
+  }
+
+  [[nodiscard]] bool step_in_range(std::int32_t step) const {
+    return step >= 0 && step < num_steps_;
+  }
+  [[nodiscard]] bool slot_in_range(std::int32_t slot) const {
+    return slot >= 0 && slot < num_slots_;
+  }
+
+  void step(std::size_t pos, const core::Action& a,
+            const LivenessFacts& liveness) {
+    switch (a.type) {
+      case core::ActionType::Forward:
+      case core::ActionType::ForwardSave: {
+        if (!step_in_range(a.index)) {
+          error(pos, Check::StepRange,
+                "forward of step " + std::to_string(a.index) +
+                    " outside [0, " + std::to_string(num_steps_) + ")");
+          return;
+        }
+        if (current_state_ != a.index) {
+          error(pos, Check::ForwardState,
+                "forward of step " + std::to_string(a.index) +
+                    " while holding state " + std::to_string(current_state_));
+        }
+        if (a.type == core::ActionType::ForwardSave) {
+          ++report_.facts.forward_saves;
+          if (saved_[static_cast<std::size_t>(a.index)]) {
+            error(pos, Check::SaveAlreadyLive,
+                  "ForwardSave of step " + std::to_string(a.index) +
+                      " whose intermediates are already live");
+          } else {
+            saved_[static_cast<std::size_t>(a.index)] = true;
+            ++live_saves_;
+          }
+          // A save executed with the gradient already waiting at its output
+          // is the re-materialisation the paper folds into the Backward
+          // unit; every scheduler DP prices it at zero (R(1, s) = 0).
+          if (adjoint_frontier_ == a.index + 1) {
+            ++report_.facts.absorbed_saves;
+          } else {
+            report_.facts.forward_cost += cost_.step_cost(a.index);
+          }
+        } else {
+          ++report_.facts.advances;
+          report_.facts.forward_cost += cost_.step_cost(a.index);
+        }
+        current_state_ = a.index + 1;
+        break;
+      }
+      case core::ActionType::Backward: {
+        ++report_.facts.backwards;
+        if (!step_in_range(a.index)) {
+          error(pos, Check::StepRange,
+                "backward of step " + std::to_string(a.index) +
+                    " outside [0, " + std::to_string(num_steps_) + ")");
+          return;
+        }
+        report_.facts.backward_cost += cost_.step_cost(a.index);
+        if (a.index != adjoint_frontier_ - 1) {
+          error(pos, Check::BackwardOrder,
+                "backward of step " + std::to_string(a.index) +
+                    " out of order (expected " +
+                    std::to_string(adjoint_frontier_ - 1) + ")");
+        }
+        if (!saved_[static_cast<std::size_t>(a.index)]) {
+          error(pos, Check::BackwardLiveness,
+                "backward of step " + std::to_string(a.index) +
+                    " without live intermediates");
+        } else {
+          saved_[static_cast<std::size_t>(a.index)] = false;
+          --live_saves_;
+        }
+        reversed_[static_cast<std::size_t>(a.index)] = true;
+        adjoint_frontier_ = a.index;
+        break;
+      }
+      case core::ActionType::Store: {
+        ++report_.facts.stores;
+        if (!slot_in_range(a.slot)) {
+          error(pos, Check::SlotRange,
+                "store to slot " + std::to_string(a.slot) + " outside [0, " +
+                    std::to_string(num_slots_) + ")");
+          return;
+        }
+        if (current_state_ != a.index) {
+          error(pos, Check::StoreState,
+                "store of state " + std::to_string(a.index) +
+                    " while holding state " + std::to_string(current_state_));
+        }
+        if (liveness.dead_stores[pos]) {
+          warn(pos, Check::DeadStore,
+               "state " + std::to_string(a.index) + " stored to slot " +
+                   std::to_string(a.slot) + " is never restored");
+        }
+        if (slots_[static_cast<std::size_t>(a.slot)] == kNoState) {
+          occupy(a.slot, +1);
+        }
+        slots_[static_cast<std::size_t>(a.slot)] = a.index;
+        if (cost_.is_disk_slot(a.slot)) {
+          report_.facts.io_cost += cost_.disk_write_cost;
+        }
+        break;
+      }
+      case core::ActionType::Restore: {
+        ++report_.facts.restores;
+        if (!slot_in_range(a.slot)) {
+          error(pos, Check::SlotRange,
+                "restore from slot " + std::to_string(a.slot) +
+                    " outside [0, " + std::to_string(num_slots_) + ")");
+          return;
+        }
+        const std::int32_t held = slots_[static_cast<std::size_t>(a.slot)];
+        if (held == kNoState) {
+          error(pos, Check::RestoreEmpty,
+                "restore from empty slot " + std::to_string(a.slot));
+        } else if (held != a.index) {
+          error(pos, Check::RestoreState,
+                "restore expected state " + std::to_string(a.index) +
+                    " but slot " + std::to_string(a.slot) + " holds " +
+                    std::to_string(held));
+        }
+        if (cost_.is_disk_slot(a.slot)) {
+          report_.facts.io_cost += cost_.disk_read_cost;
+        }
+        // Adopt the claimed state: downstream checks then diagnose against
+        // the schedule's own intent rather than cascading this defect.
+        current_state_ = a.index;
+        break;
+      }
+      case core::ActionType::Free: {
+        ++report_.facts.frees;
+        if (!slot_in_range(a.slot)) {
+          error(pos, Check::SlotRange,
+                "free of slot " + std::to_string(a.slot) + " outside [0, " +
+                    std::to_string(num_slots_) + ")");
+          return;
+        }
+        if (liveness.free_orphans[pos]) {
+          error(pos, Check::FreeOrphan,
+                "free of slot " + std::to_string(a.slot) +
+                    " orphans state " +
+                    std::to_string(slots_[static_cast<std::size_t>(a.slot)]) +
+                    " still needed by a later restore");
+        }
+        if (slots_[static_cast<std::size_t>(a.slot)] == kNoState) {
+          warn(pos, Check::RedundantFree,
+               "free of already-empty slot " + std::to_string(a.slot));
+        } else {
+          occupy(a.slot, -1);
+          slots_[static_cast<std::size_t>(a.slot)] = kNoState;
+        }
+        break;
+      }
+    }
+  }
+
+  void occupy(std::int32_t slot, int delta) {
+    slots_in_use_ += delta;
+    if (cost_.is_disk_slot(slot)) {
+      disk_slots_in_use_ += delta;
+    } else {
+      ram_slots_in_use_ += delta;
+    }
+  }
+
+  void update_peaks() {
+    Facts& f = report_.facts;
+    f.peak_slots_in_use = std::max(f.peak_slots_in_use, slots_in_use_);
+    f.peak_ram_slots_in_use =
+        std::max(f.peak_ram_slots_in_use, ram_slots_in_use_);
+    f.peak_disk_slots_in_use =
+        std::max(f.peak_disk_slots_in_use, disk_slots_in_use_);
+    f.peak_live_saves = std::max(f.peak_live_saves, live_saves_);
+    // RAM units only: a disk checkpoint is the point of the two-level
+    // schedule -- it does not occupy device RAM. Minus one for the chain
+    // input, matching ScheduleStats::peak_memory_units.
+    f.peak_memory_units =
+        std::max(f.peak_memory_units, ram_slots_in_use_ + live_saves_ - 1);
+  }
+
+  void finish() {
+    if (adjoint_frontier_ != 0) {
+      error_at_end(Check::Completion,
+                   "incomplete reversal: adjoint frontier stopped at " +
+                       std::to_string(adjoint_frontier_));
+    }
+    for (std::int32_t i = 0; i < num_steps_; ++i) {
+      if (!reversed_[static_cast<std::size_t>(i)]) {
+        error_at_end(Check::Completion,
+                     "step " + std::to_string(i) + " never reversed");
+      }
+    }
+    const Facts& f = report_.facts;
+    if (bounds_.max_memory_units &&
+        f.peak_memory_units > *bounds_.max_memory_units) {
+      error_at_end(Check::MemoryBound,
+                   "peak memory units " + std::to_string(f.peak_memory_units) +
+                       " exceed the analytic bound " +
+                       std::to_string(*bounds_.max_memory_units));
+    }
+    if (bounds_.max_ram_slots &&
+        f.peak_ram_slots_in_use > *bounds_.max_ram_slots) {
+      error_at_end(Check::SlotBound,
+                   "peak RAM slots " + std::to_string(f.peak_ram_slots_in_use) +
+                       " exceed the bound " +
+                       std::to_string(*bounds_.max_ram_slots));
+    }
+    if (bounds_.max_total_cost &&
+        f.total_cost() > *bounds_.max_total_cost + 1e-9) {
+      error_at_end(Check::WorkBound,
+                   "total cost " + std::to_string(f.total_cost()) +
+                       " exceeds the budget " +
+                       std::to_string(*bounds_.max_total_cost));
+    }
+  }
+
+  const core::Schedule& schedule_;
+  const CostModel& cost_;
+  const Bounds& bounds_;
+  const std::int32_t num_steps_;
+  const std::int32_t num_slots_;
+
+  std::int32_t current_state_ = 0;
+  std::int32_t adjoint_frontier_ = 0;  // set to num_steps in the constructor
+  std::vector<bool> saved_;
+  std::vector<bool> reversed_;
+  std::vector<std::int32_t> slots_;
+  int live_saves_ = 0;
+  int slots_in_use_ = 0;
+  int ram_slots_in_use_ = 0;
+  int disk_slots_in_use_ = 0;
+
+  Report report_;
+};
+
+}  // namespace
+
+Report interpret(const core::Schedule& schedule, const CostModel& cost,
+                 const Bounds& bounds) {
+  Interpreter interp(schedule, cost, bounds);
+  return interp.run();
+}
+
+}  // namespace edgetrain::analysis

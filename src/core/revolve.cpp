@@ -259,4 +259,17 @@ Schedule make_schedule(int num_steps, int free_slots) {
   return builder.build();
 }
 
+Schedule make_schedule(const RevolveTable& table, int num_steps,
+                       int free_slots) {
+  if (num_steps < 1) throw std::invalid_argument("make_schedule: l < 1");
+  if (num_steps > table.max_steps()) {
+    throw std::invalid_argument("make_schedule: l exceeds table");
+  }
+  free_slots = std::clamp(
+      free_slots, 0,
+      std::min(table.max_free_slots(), std::max(num_steps - 1, 0)));
+  ScheduleBuilder builder(table, num_steps, free_slots);
+  return builder.build();
+}
+
 }  // namespace edgetrain::core::revolve

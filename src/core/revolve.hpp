@@ -115,4 +115,10 @@ class RevolveTable {
 /// replays to peak_memory_units == s + 1.
 [[nodiscard]] Schedule make_schedule(int num_steps, int free_slots);
 
+/// Same, emitting from a prebuilt table (num_steps <= table.max_steps(),
+/// free_slots <= table.max_free_slots()). Sweeps that emit many schedules
+/// per chain length amortise the O(l^2 s) table build this way.
+[[nodiscard]] Schedule make_schedule(const RevolveTable& table, int num_steps,
+                                     int free_slots);
+
 }  // namespace edgetrain::core::revolve

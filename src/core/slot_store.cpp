@@ -10,6 +10,7 @@
 
 #include "persist/crc32.hpp"
 #include "tensor/alloc.hpp"
+#include "tensor/guards.hpp"
 
 namespace edgetrain::core {
 
@@ -18,6 +19,7 @@ namespace {
   throw std::logic_error("SlotStore: slot " + std::to_string(slot) +
                          " is empty");
 }
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -28,7 +30,9 @@ RamSlotStore::RamSlotStore(int num_slots)
     : slots_(static_cast<std::size_t>(num_slots)) {}
 
 void RamSlotStore::put(std::int32_t slot, const Tensor& value) {
-  slots_.at(static_cast<std::size_t>(slot)) = value;
+  Tensor& held = slots_.at(static_cast<std::size_t>(slot));
+  guard_release(held);
+  held = value;
 }
 
 Tensor RamSlotStore::get(std::int32_t slot) {
@@ -38,7 +42,25 @@ Tensor RamSlotStore::get(std::int32_t slot) {
 }
 
 void RamSlotStore::drop(std::int32_t slot) {
-  slots_.at(static_cast<std::size_t>(slot)).reset();
+  Tensor& held = slots_.at(static_cast<std::size_t>(slot));
+  guard_release(held);
+  held.reset();
+}
+
+/// Guards-only: poison a checkpoint buffer being released so a stale raw
+/// pointer into the dropped slot reads NaNs for as long as the allocator
+/// has not recycled the pages. Only safe when this store is the storage's
+/// sole owner -- the handles RamSlotStore hands out are zero-copy, and
+/// poisoning a buffer the executor still reads through a live handle would
+/// corrupt real activations. The buffer is NOT retained: holding dropped
+/// checkpoints alive would distort the resident-memory accounting the
+/// paper's tables (and their tests) are built on.
+void RamSlotStore::guard_release([[maybe_unused]] Tensor& held) {
+#if defined(EDGETRAIN_GUARDS)
+  if (held.defined() && held.storage_use_count() == 1) {
+    guards::paint(held.data(), held.numel(), guards::kPoisonBits);
+  }
+#endif
 }
 
 std::size_t RamSlotStore::resident_bytes() const {

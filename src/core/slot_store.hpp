@@ -54,6 +54,8 @@ class RamSlotStore final : public SlotStore {
   [[nodiscard]] std::size_t external_bytes() const override { return 0; }
 
  private:
+  void guard_release(Tensor& held);
+
   std::vector<Tensor> slots_;
 };
 

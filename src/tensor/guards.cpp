@@ -1,0 +1,100 @@
+#include "tensor/guards.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace edgetrain::guards {
+
+namespace {
+
+float from_bits(std::uint32_t bits) {
+  float value;
+  static_assert(sizeof(value) == sizeof(bits));
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::uint32_t to_bits(float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+void default_handler(const char* message) {
+  std::fprintf(stderr, "edgetrain guard violation: %s\n", message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+FailureHandler g_handler = &default_handler;
+
+std::atomic<std::int64_t> g_poison_fills{0};
+
+}  // namespace
+
+void paint(float* ptr, std::int64_t count, std::uint32_t bits) {
+  const float value = from_bits(bits);
+  for (std::int64_t i = 0; i < count; ++i) ptr[i] = value;
+  if (bits == kPoisonBits) {
+    g_poison_fills.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t poison_fill_count() noexcept {
+  return g_poison_fills.load(std::memory_order_relaxed);
+}
+
+bool all_match(const float* ptr, std::int64_t count, std::uint32_t bits) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (to_bits(ptr[i]) != bits) return false;
+  }
+  return true;
+}
+
+bool is_poison(float value) { return to_bits(value) == kPoisonBits; }
+
+FailureHandler set_failure_handler(FailureHandler handler) noexcept {
+  FailureHandler old = g_handler;
+  g_handler = handler != nullptr ? handler : &default_handler;
+  return old;
+}
+
+void fail(const char* message) {
+  g_handler(message);
+  // A handler may throw (tests do); one that returns cannot make the
+  // violation continuable.
+  default_handler(message);
+  std::abort();  // unreachable; keeps [[noreturn]] honest
+}
+
+void assert_disjoint(const char* what, std::initializer_list<Span> spans) {
+  const Span* list = spans.begin();
+  const std::int64_t n = static_cast<std::int64_t>(spans.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (list[i].ptr == nullptr || list[i].numel <= 0) continue;
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      if (list[j].ptr == nullptr || list[j].numel <= 0) continue;
+      // Compare as integers: relational operators on pointers into
+      // different objects are unspecified.
+      const auto a_lo = reinterpret_cast<std::uintptr_t>(list[i].ptr);
+      const auto a_hi = a_lo + static_cast<std::uintptr_t>(list[i].numel) *
+                                   sizeof(float);
+      const auto b_lo = reinterpret_cast<std::uintptr_t>(list[j].ptr);
+      const auto b_hi = b_lo + static_cast<std::uintptr_t>(list[j].numel) *
+                                   sizeof(float);
+      if (a_lo < b_hi && b_lo < a_hi) {
+        char message[160];
+        std::snprintf(message, sizeof(message),
+                      "%s: kernel buffers %lld and %lld overlap (racy "
+                      "concurrent writes)",
+                      what, static_cast<long long>(i),
+                      static_cast<long long>(j));
+        fail(message);
+      }
+    }
+  }
+}
+
+}  // namespace edgetrain::guards

@@ -1,0 +1,87 @@
+// edgetrain: shadow-memory guards for scratch arenas and checkpoint slots.
+//
+// Debug-build instrumentation (CMake -DEDGETRAIN_GUARDS=ON) that makes the
+// two classes of memory bug this codebase is structurally exposed to fail
+// loudly instead of corrupting training:
+//
+//   * buffer overflow past a Workspace scratch span -- kernels size their
+//     im2col/packing buffers by hand; an off-by-one write lands in the
+//     *next* kernel's scratch and shows up as a wrong gradient three layers
+//     away. With guards on, every span is followed by a canary zone that
+//     Workspace::rewind verifies.
+//   * use-after-release -- a stale pointer into a rewound arena region or a
+//     dropped checkpoint slot reads whatever the next kernel left there.
+//     With guards on, released regions are poisoned with a recognisable
+//     quiet-NaN pattern, so stale reads produce NaNs (and tests can assert
+//     poisoning directly with is_poison).
+//
+// The module also provides the aliasing checker used at parallel_for kernel
+// entries: buffers handed to concurrently executing chunks must be pairwise
+// disjoint, or two workers race on the overlap. EDGETRAIN_GUARD_DISJOINT
+// compiles to nothing in release builds; all guard state lives behind the
+// same macro, so release builds pay zero bytes and zero cycles.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace edgetrain::guards {
+
+#if defined(EDGETRAIN_GUARDS)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// Canary / poison bit patterns: quiet NaNs with distinctive payloads, so
+/// they are inert in comparisons, propagate through arithmetic, and are
+/// recognisable in a debugger's hex view.
+inline constexpr std::uint32_t kCanaryBits = 0x7FC0'CAFEU;
+inline constexpr std::uint32_t kPoisonBits = 0x7FC0'DEADU;
+
+/// Number of guard floats after every Workspace span (one 64-byte line).
+inline constexpr std::int64_t kCanaryFloats = 16;
+
+/// Fills @p count floats with the given bit pattern.
+void paint(float* ptr, std::int64_t count, std::uint32_t bits);
+
+/// True when all @p count floats carry exactly the given bit pattern.
+[[nodiscard]] bool all_match(const float* ptr, std::int64_t count,
+                             std::uint32_t bits);
+
+/// True when @p value is the poison pattern (bitwise, not isnan).
+[[nodiscard]] bool is_poison(float value);
+
+/// Number of poison fills performed so far (process-wide). Lets tests
+/// assert that a release path poisoned its buffer without dereferencing
+/// memory that is about to be freed.
+[[nodiscard]] std::int64_t poison_fill_count() noexcept;
+
+/// Guard-failure hook. The default handler prints the message to stderr
+/// and aborts; tests install a throwing handler to assert detection.
+using FailureHandler = void (*)(const char* message);
+FailureHandler set_failure_handler(FailureHandler handler) noexcept;
+
+/// Reports a guard violation through the installed handler. If the handler
+/// returns, aborts: guard violations are never continuable.
+[[noreturn]] void fail(const char* message);
+
+/// One kernel buffer for the aliasing checker.
+struct Span {
+  const float* ptr = nullptr;
+  std::int64_t numel = 0;
+};
+
+/// Verifies the spans are pairwise non-overlapping (null/empty spans are
+/// ignored); calls fail() naming @p what otherwise. Used at the entry of
+/// kernels whose parallel_for chunks write the spans concurrently.
+void assert_disjoint(const char* what, std::initializer_list<Span> spans);
+
+}  // namespace edgetrain::guards
+
+#if defined(EDGETRAIN_GUARDS)
+#define EDGETRAIN_GUARD_DISJOINT(what, ...) \
+  ::edgetrain::guards::assert_disjoint((what), {__VA_ARGS__})
+#else
+#define EDGETRAIN_GUARD_DISJOINT(what, ...) ((void)0)
+#endif

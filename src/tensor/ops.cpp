@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/guards.hpp"
 #include "tensor/parallel.hpp"
 #include "tensor/workspace.hpp"
 
@@ -51,7 +52,14 @@ constexpr std::int64_t kNC = 256;  // B-block cols per task (multiple of kNR)
 // Micro-architecture levels (not bare ISA bits: v3/v4 imply FMA, which the
 // accumulator update contracts into) cloned per function and dispatched by
 // the loader's ifunc resolver, so the standard build needs no -march flags.
-#if defined(__GNUC__) && defined(__x86_64__) && !defined(__clang__)
+//
+// Sanitizer builds must NOT multi-version: the ifunc resolver runs during
+// relocation, before __tsan_init/__asan_init, and gcc instruments it like
+// any other function -- the first __tsan_func_entry then dereferences
+// uninitialised sanitizer TLS and the binary segfaults before main.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define EDGETRAIN_KERNEL_CLONES
+#elif defined(__GNUC__) && defined(__x86_64__) && !defined(__clang__)
 #define EDGETRAIN_KERNEL_CLONES \
   __attribute__(                \
       (target_clones("arch=x86-64-v4", "arch=x86-64-v3", "default")))
@@ -216,6 +224,10 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
   // Row-major: A is m x k (lda=k) or, transposed, stored k x m (lda=m).
   const std::int64_t lda = trans_a ? m : k;
   const std::int64_t ldb = trans_b ? k : n;
+
+  // C tiles are written by concurrent workers that read A and B unsynchronised;
+  // an in-place gemm would race.
+  EDGETRAIN_GUARD_DISJOINT("gemm", {a, m * k}, {b, k * n}, {c, m * n});
 
   // 2-D task grid over (M-block x N-block). When the natural kMC blocking
   // yields fewer tasks than workers, M-blocks shrink (to a kMR multiple) so
@@ -472,6 +484,7 @@ Tensor relu_forward(const Tensor& x) {
   const float* xp = x.data();
   float* yp = y.data();
   const std::int64_t n = x.numel();
+  EDGETRAIN_GUARD_DISJOINT("relu_forward", {xp, n}, {yp, n});
   parallel_for(0, n, 1 << 16, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t i = b; i < e; ++i) yp[i] = xp[i] > 0.0F ? xp[i] : 0.0F;
   });
@@ -485,6 +498,7 @@ Tensor relu_backward(const Tensor& grad_y, const Tensor& y) {
   const float* yp = y.data();
   float* gp = gx.data();
   const std::int64_t n = y.numel();
+  EDGETRAIN_GUARD_DISJOINT("relu_backward", {gy, n}, {yp, n}, {gp, n});
   parallel_for(0, n, 1 << 16, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t i = b; i < e; ++i) gp[i] = yp[i] > 0.0F ? gy[i] : 0.0F;
   });
@@ -822,6 +836,8 @@ BatchNormState batchnorm2d_forward(const Tensor& x, const Tensor& gamma,
   const float* g = gamma.data();
   const float* bt = beta.data();
 
+  EDGETRAIN_GUARD_DISJOINT("batchnorm2d_forward", {xp, n * c * area},
+                           {yp, n * c * area}, {mean, c}, {inv_std, c});
   parallel_for(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
     for (std::int64_t ch = c0; ch < c1; ++ch) {
       double sum = 0.0;
@@ -898,6 +914,9 @@ BatchNormGrads batchnorm2d_backward(const Tensor& grad_y, const Tensor& x,
   float* gg = grads.grad_gamma.data();
   float* gb = grads.grad_beta.data();
 
+  EDGETRAIN_GUARD_DISJOINT("batchnorm2d_backward", {xp, n * c * area},
+                           {gy, n * c * area}, {gx, n * c * area}, {gg, c},
+                           {gb, c});
   parallel_for(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
     for (std::int64_t ch = c0; ch < c1; ++ch) {
       const float mu = state.mean.data()[ch];
@@ -916,8 +935,10 @@ BatchNormGrads batchnorm2d_backward(const Tensor& grad_y, const Tensor& x,
       }
       gg[ch] = static_cast<float>(sum_gy_xhat);
       gb[ch] = static_cast<float>(sum_gy);
-      const float mean_gy = static_cast<float>(sum_gy / count);
-      const float mean_gy_xhat = static_cast<float>(sum_gy_xhat / count);
+      const float mean_gy =
+          static_cast<float>(sum_gy / static_cast<double>(count));
+      const float mean_gy_xhat =
+          static_cast<float>(sum_gy_xhat / static_cast<double>(count));
       for (std::int64_t img = 0; img < n; ++img) {
         const float* src = xp + (img * c + ch) * area;
         const float* gsrc = gy + (img * c + ch) * area;

@@ -77,7 +77,18 @@ struct ThreadPool::Impl {
       ++epoch;
     }
     cv_start.notify_all();
-    run_chunk(0);  // caller participates as chunk 0
+    try {
+      run_chunk(0);  // caller participates as chunk 0
+    } catch (...) {
+      // The workers still hold a pointer to `fn`, which lives in the
+      // caller's frame: wait for them before letting the frame unwind.
+      wait_done();
+      throw;
+    }
+    wait_done();
+  }
+
+  void wait_done() {
     std::unique_lock<std::mutex> lock(mutex);
     cv_done.wait(lock,
                  [&] { return pending.load(std::memory_order_acquire) == 0; });
@@ -123,9 +134,13 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
     fn(begin, end);
     return;
   }
-  inside_pool_job = true;
+  // RAII: a throwing chunk must not leave the flag stuck, which would
+  // silently serialise every later parallel_for on this thread.
+  struct Flag {
+    Flag() noexcept { inside_pool_job = true; }
+    ~Flag() { inside_pool_job = false; }
+  } flag;
   impl_->run(begin, end, fn);
-  inside_pool_job = false;
 }
 
 ThreadPool& ThreadPool::global() { return *global_pool_slot(); }

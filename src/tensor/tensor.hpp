@@ -110,6 +110,13 @@ class Tensor {
     shape_ = Shape{};
   }
 
+  /// Number of Tensor handles sharing this storage (0 when empty). Used by
+  /// the shadow-memory guards to poison buffers only when the last handle
+  /// releases them.
+  [[nodiscard]] long storage_use_count() const noexcept {
+    return storage_.use_count();
+  }
+
   void fill(float value);
   /// this += other (shapes must match).
   void add_(const Tensor& other);

@@ -4,12 +4,19 @@
 #include <new>
 
 #include "tensor/alloc.hpp"
+#include "tensor/guards.hpp"
 
 namespace edgetrain {
 
 namespace {
 constexpr std::size_t kAlignFloats = 16;  // 64-byte span alignment
 constexpr std::size_t kMinBlockFloats = 1U << 14;  // 64 KiB floor per block
+
+// With guards on, every span carries a trailing canary line; the alignment
+// is preserved because the canary is exactly one alignment unit.
+constexpr std::size_t kGuardFloats =
+    guards::kEnabled ? static_cast<std::size_t>(guards::kCanaryFloats) : 0;
+static_assert(kGuardFloats % kAlignFloats == 0 || kGuardFloats == 0);
 
 std::size_t round_up(std::size_t numel) noexcept {
   return (numel + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
@@ -45,14 +52,17 @@ void Workspace::free_block(Block& block) const {
 }
 
 float* Workspace::alloc(std::int64_t numel) {
-  const std::size_t need = round_up(static_cast<std::size_t>(numel));
+  const std::size_t payload = round_up(static_cast<std::size_t>(numel));
+  const std::size_t need = payload + kGuardFloats;
   if (blocks_.empty()) {
     blocks_.push_back(make_block(std::max(need, kMinBlockFloats)));
     active_ = 0;
   }
   if (blocks_[active_].capacity - blocks_[active_].used >= need) {
-    float* ptr = blocks_[active_].data.get() + blocks_[active_].used;
+    const std::size_t offset = blocks_[active_].used;
+    float* ptr = blocks_[active_].data.get() + offset;
     blocks_[active_].used += need;
+    guard_on_alloc(active_, offset, payload);
     return ptr;
   }
   // Overflow: move to a later block. Blocks past the bump point hold no
@@ -62,6 +72,7 @@ float* Workspace::alloc(std::int64_t numel) {
     blocks_[active_].used = 0;
     if (blocks_[active_].capacity >= need) {
       blocks_[active_].used = need;
+      guard_on_alloc(active_, 0, payload);
       return blocks_[active_].data.get();
     }
   }
@@ -70,6 +81,7 @@ float* Workspace::alloc(std::int64_t numel) {
   blocks_.push_back(make_block(std::max({need, total, kMinBlockFloats})));
   active_ = blocks_.size() - 1;
   blocks_[active_].used = need;
+  guard_on_alloc(active_, 0, payload);
   return blocks_[active_].data.get();
 }
 
@@ -80,6 +92,7 @@ Workspace::Marker Workspace::mark() const noexcept {
 
 void Workspace::rewind(const Marker& marker) {
   if (blocks_.empty()) return;
+  guard_on_rewind(marker);
   for (std::size_t i = marker.block + 1; i <= active_; ++i) {
     blocks_[i].used = 0;
   }
@@ -106,9 +119,51 @@ std::size_t Workspace::capacity_bytes() const noexcept {
 }
 
 void Workspace::release() {
+  guard_on_rewind(Marker{});
   for (Block& block : blocks_) free_block(block);
   blocks_.clear();
   active_ = 0;
 }
+
+#if defined(EDGETRAIN_GUARDS)
+
+void Workspace::guard_on_alloc(std::size_t block, std::size_t offset,
+                               std::size_t payload) {
+  float* span = blocks_[block].data.get() + offset;
+  // Fresh scratch is documented uninitialised: poison it so a kernel that
+  // reads before writing produces NaNs instead of stale prior results.
+  guards::paint(span, static_cast<std::int64_t>(payload), guards::kPoisonBits);
+  guards::paint(span + payload, guards::kCanaryFloats, guards::kCanaryBits);
+  guard_records_.push_back(GuardRecord{block, offset, payload});
+}
+
+void Workspace::guard_on_rewind(const Marker& marker) {
+  while (!guard_records_.empty()) {
+    const GuardRecord rec = guard_records_.back();
+    const bool released =
+        rec.block > marker.block ||
+        (rec.block == marker.block && rec.offset >= marker.used);
+    if (!released) break;
+    // Pop and poison before reporting: a throwing failure handler (tests)
+    // must not leave the smashed record behind for the destructor to re-fire
+    // on -- that would throw out of ~Workspace.
+    guard_records_.pop_back();
+    float* span = blocks_[rec.block].data.get() + rec.offset;
+    const bool smashed = !guards::all_match(
+        span + rec.payload, guards::kCanaryFloats, guards::kCanaryBits);
+    // Poison the released region so stale pointers read NaNs.
+    guards::paint(span,
+                  static_cast<std::int64_t>(rec.payload) +
+                      guards::kCanaryFloats,
+                  guards::kPoisonBits);
+    if (smashed) {
+      guards::fail(
+          "Workspace canary smashed: a kernel wrote past the end of its "
+          "scratch span");
+    }
+  }
+}
+
+#endif  // EDGETRAIN_GUARDS
 
 }  // namespace edgetrain

@@ -82,6 +82,24 @@ class Workspace {
 
   std::vector<Block> blocks_;
   std::size_t active_ = 0;  // blocks_[active_] is the current bump target
+
+#if defined(EDGETRAIN_GUARDS)
+  /// One live guarded span: a canary line sits at data + offset + payload.
+  /// Records form a stack (allocation order); rewind pops and verifies.
+  struct GuardRecord {
+    std::size_t block = 0;
+    std::size_t offset = 0;   // floats from block start to the span
+    std::size_t payload = 0;  // span floats (rounded); canary follows
+  };
+  void guard_on_alloc(std::size_t block, std::size_t offset,
+                      std::size_t payload);
+  void guard_on_rewind(const Marker& marker);
+  std::vector<GuardRecord> guard_records_;
+#else
+  // Inline no-ops: release builds pay zero bytes and zero cycles.
+  void guard_on_alloc(std::size_t, std::size_t, std::size_t) noexcept {}
+  void guard_on_rewind(const Marker&) noexcept {}
+#endif
 };
 
 /// RAII scope: marks the arena on construction, rewinds on destruction.

@@ -1,0 +1,360 @@
+// Tests for the schedule abstract interpreter: clean verdicts on every
+// scheduler family (with each family's analytic bounds attached), and one
+// targeted malformed schedule per invariant class.
+#include "analysis/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/disk_revolve.hpp"
+#include "core/dynprog.hpp"
+#include "core/revolve.hpp"
+#include "core/schedule.hpp"
+#include "core/sequential.hpp"
+
+namespace edgetrain::analysis {
+namespace {
+
+using core::Action;
+using core::ActionType;
+using core::Schedule;
+
+bool has_error(const Report& report, Check check) {
+  for (const Finding& f : report.findings) {
+    if (f.severity == Severity::Error && f.check == check) return true;
+  }
+  return false;
+}
+
+bool has_warning(const Report& report, Check check) {
+  for (const Finding& f : report.findings) {
+    if (f.severity == Severity::Warning && f.check == check) return true;
+  }
+  return false;
+}
+
+TEST(InterpRevolve, CleanUnderTightBounds) {
+  for (int l = 1; l <= 12; ++l) {
+    for (int s = 0; s <= l - 1 || s == 0; ++s) {
+      const Schedule schedule = core::revolve::make_schedule(l, s);
+      Bounds bounds;
+      bounds.max_memory_units = s + 1;
+      bounds.max_ram_slots = s + 1;
+      bounds.max_total_cost = static_cast<double>(
+          core::revolve::forward_cost(l, s) + l);
+      const Report report = interpret(schedule, CostModel{}, bounds);
+      ASSERT_TRUE(report.ok()) << "l=" << l << " s=" << s << "\n"
+                               << report.summary();
+      EXPECT_EQ(report.facts.backwards, l);
+      // Revolve reverses strictly in order: every ForwardSave runs with the
+      // gradient already waiting at its output, so all l saves are absorbed
+      // into their Backward units (the paper's R(1, s) = 0 convention).
+      EXPECT_EQ(report.facts.forward_saves, l);
+      EXPECT_EQ(report.facts.absorbed_saves, l);
+      if (l == 1) break;
+    }
+  }
+}
+
+TEST(InterpRevolve, PeakMemoryMatchesPlannerBound) {
+  // The s + 1 bound is tight for the binomial schedules.
+  const struct {
+    int l, s;
+  } cases[] = {{2, 1}, {8, 2}, {16, 3}, {32, 5}, {64, 7}};
+  for (const auto& c : cases) {
+    const Report report = interpret(core::revolve::make_schedule(c.l, c.s));
+    EXPECT_EQ(report.facts.peak_memory_units, c.s + 1)
+        << "l=" << c.l << " s=" << c.s;
+  }
+}
+
+TEST(InterpSequential, PeakMemoryMatchesPaperFormula) {
+  for (int l = 1; l <= 20; ++l) {
+    for (int seg = 1; seg <= l; ++seg) {
+      const Schedule schedule = core::seq::make_schedule(l, seg);
+      Bounds bounds;
+      bounds.max_memory_units =
+          static_cast<int>(core::seq::memory_units(l, seg));
+      bounds.max_ram_slots = seg;
+      bounds.max_total_cost =
+          static_cast<double>(core::seq::forward_cost(l, seg) + l);
+      const Report report = interpret(schedule, CostModel{}, bounds);
+      ASSERT_TRUE(report.ok()) << "l=" << l << " seg=" << seg << "\n"
+                               << report.summary();
+      EXPECT_EQ(report.facts.peak_memory_units,
+                core::seq::memory_units(l, seg))
+          << "l=" << l << " seg=" << seg;
+    }
+  }
+}
+
+TEST(InterpHetero, CleanUnderSolverBounds) {
+  const std::vector<double> costs = {1.0, 4.0, 2.0, 8.0, 1.0, 2.0, 16.0};
+  const int l = static_cast<int>(costs.size());
+  const core::hetero::HeteroSolver solver(costs, l - 1);
+  for (int s = 0; s <= l - 1; ++s) {
+    CostModel cost;
+    cost.step_costs = costs;
+    Bounds bounds;
+    bounds.max_memory_units = s + 1;
+    bounds.max_ram_slots = s + 1;
+    bounds.max_total_cost = solver.forward_cost(s) + solver.sweep_cost();
+    const Report report = interpret(solver.make_schedule(s), cost, bounds);
+    ASSERT_TRUE(report.ok()) << "s=" << s << "\n" << report.summary();
+  }
+}
+
+TEST(InterpDisk, CleanAndIoCharged) {
+  core::disk::DiskRevolveOptions options;
+  options.ram_slots = 1;
+  options.write_cost = 0.5;
+  options.read_cost = 0.5;
+  const int l = 24;
+  const core::disk::DiskRevolveSolver solver(l, options);
+  CostModel cost;
+  cost.first_disk_slot = options.ram_slots + 1;
+  cost.disk_write_cost = options.write_cost;
+  cost.disk_read_cost = options.read_cost;
+  Bounds bounds;
+  bounds.max_memory_units = options.ram_slots + 1;
+  bounds.max_ram_slots = options.ram_slots + 1;
+  bounds.max_total_cost = solver.forward_cost() + l;
+  const Report report = interpret(solver.make_schedule(), cost, bounds);
+  ASSERT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.facts.peak_disk_slots_in_use, solver.peak_disk_slots());
+  if (solver.peak_disk_slots() > 0) {
+    EXPECT_GT(report.facts.io_cost, 0.0);
+  }
+  // Disk checkpoints must not count against the RAM activation bound.
+  EXPECT_LE(report.facts.peak_ram_slots_in_use, options.ram_slots + 1);
+}
+
+// --- one malformed schedule per invariant class ---------------------------
+
+Schedule minimal_clean(std::int32_t l) {
+  // Full storage: store input, save every step, reverse in order.
+  Schedule sch(l, 1);
+  sch.store(0, 0);
+  for (std::int32_t i = 0; i < l; ++i) sch.forward_save(i);
+  for (std::int32_t i = l - 1; i >= 0; --i) sch.backward(i);
+  sch.free(0);
+  return sch;
+}
+
+TEST(InterpFindings, CleanBaseline) {
+  const Report report = interpret(minimal_clean(3));
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // Full storage never revisits the input checkpoint; the only finding is
+  // the dead-store warning pointing that out.
+  EXPECT_EQ(report.error_count(), 0u) << report.summary();
+  ASSERT_EQ(report.findings.size(), 1u) << report.summary();
+  EXPECT_EQ(report.findings[0].check, Check::DeadStore);
+}
+
+TEST(InterpFindings, StepRange) {
+  Schedule sch(2, 1);
+  sch.store(0, 0);
+  sch.forward_save(0);
+  sch.forward_save(1);
+  sch.backward(2);  // out of range
+  sch.backward(1);
+  sch.backward(0);
+  sch.free(0);
+  const Report report = interpret(sch);
+  EXPECT_TRUE(has_error(report, Check::StepRange));
+}
+
+TEST(InterpFindings, ForwardState) {
+  Schedule sch(2, 1);
+  sch.store(0, 0);
+  sch.forward_save(1);  // holds state 0, forwards step 1
+  sch.forward_save(0);
+  sch.backward(1);
+  sch.backward(0);
+  sch.free(0);
+  const Report report = interpret(sch);
+  EXPECT_TRUE(has_error(report, Check::ForwardState));
+}
+
+TEST(InterpFindings, SaveAlreadyLive) {
+  Schedule sch(1, 1);
+  sch.store(0, 0);
+  sch.forward_save(0);
+  sch.restore(0, 0);
+  sch.forward_save(0);  // intermediates already live
+  sch.backward(0);
+  sch.free(0);
+  const Report report = interpret(sch);
+  EXPECT_TRUE(has_error(report, Check::SaveAlreadyLive));
+}
+
+TEST(InterpFindings, BackwardOrderAndLiveness) {
+  Schedule sch(2, 1);
+  sch.store(0, 0);
+  sch.forward_save(0);
+  sch.forward(1);
+  sch.backward(0);  // out of order (expected 1) ...
+  sch.backward(1);  // ... and step 1 was never saved
+  sch.free(0);
+  const Report report = interpret(sch);
+  EXPECT_TRUE(has_error(report, Check::BackwardOrder));
+  EXPECT_TRUE(has_error(report, Check::BackwardLiveness));
+}
+
+TEST(InterpFindings, SlotRange) {
+  Schedule sch(1, 1);
+  sch.store(0, 5);  // slot out of range
+  sch.forward_save(0);
+  sch.backward(0);
+  const Report report = interpret(sch);
+  EXPECT_TRUE(has_error(report, Check::SlotRange));
+}
+
+TEST(InterpFindings, StoreState) {
+  Schedule sch(2, 2);
+  sch.store(0, 0);
+  sch.forward(0);
+  sch.store(2, 1);  // holds state 1, claims state 2
+  sch.forward_save(1);
+  sch.backward(1);
+  sch.restore(0, 0);
+  sch.forward_save(0);
+  sch.backward(0);
+  sch.free(1);
+  sch.free(0);
+  const Report report = interpret(sch);
+  EXPECT_TRUE(has_error(report, Check::StoreState));
+}
+
+TEST(InterpFindings, RestoreEmptyAndWrongState) {
+  Schedule sch(2, 3);
+  sch.store(0, 0);
+  sch.forward(0);
+  sch.store(1, 1);
+  sch.forward_save(1);
+  sch.backward(1);
+  sch.restore(0, 2);  // slot 2 is empty
+  sch.restore(0, 1);  // slot 1 holds state 1, not 0
+  sch.forward_save(0);
+  sch.backward(0);
+  sch.free(1);
+  sch.free(0);
+  const Report report = interpret(sch);
+  EXPECT_TRUE(has_error(report, Check::RestoreEmpty));
+  EXPECT_TRUE(has_error(report, Check::RestoreState));
+}
+
+TEST(InterpFindings, RestoreAdoptsClaimedStateWithoutCascade) {
+  // A single wrong-state restore must produce exactly one error, not a
+  // trail of ForwardState findings downstream.
+  Schedule sch(2, 2);
+  sch.store(0, 0);
+  sch.forward(0);
+  sch.store(1, 1);
+  sch.forward_save(1);
+  sch.backward(1);
+  sch.restore(0, 1);  // wrong: slot 1 holds state 1
+  sch.forward_save(0);
+  sch.backward(0);
+  sch.free(1);
+  sch.free(0);
+  const Report report = interpret(sch);
+  EXPECT_EQ(report.error_count(), 1u) << report.summary();
+  EXPECT_TRUE(has_error(report, Check::RestoreState));
+}
+
+TEST(InterpFindings, FreeOrphan) {
+  Schedule sch(2, 2);
+  sch.store(0, 0);
+  sch.forward(0);
+  sch.store(1, 1);
+  sch.forward_save(1);
+  sch.backward(1);
+  sch.free(0);        // orphans state 0 ...
+  sch.restore(0, 0);  // ... which this restore still needs
+  sch.forward_save(0);
+  sch.backward(0);
+  sch.free(1);
+  const Report report = interpret(sch);
+  EXPECT_TRUE(has_error(report, Check::FreeOrphan));
+  EXPECT_TRUE(has_error(report, Check::RestoreEmpty));
+}
+
+TEST(InterpFindings, Completion) {
+  Schedule sch(2, 1);
+  sch.store(0, 0);
+  sch.forward_save(0);
+  sch.forward_save(1);
+  sch.backward(1);  // step 0 never reversed
+  sch.free(0);
+  const Report report = interpret(sch);
+  EXPECT_TRUE(has_error(report, Check::Completion));
+}
+
+TEST(InterpFindings, MemoryBound) {
+  Bounds bounds;
+  bounds.max_memory_units = 2;  // full storage of 3 steps peaks at 3
+  const Report report = interpret(minimal_clean(3), CostModel{}, bounds);
+  EXPECT_TRUE(has_error(report, Check::MemoryBound));
+  EXPECT_EQ(report.facts.peak_memory_units, 3);
+}
+
+TEST(InterpFindings, SlotBound) {
+  Schedule sch = core::seq::make_schedule(9, 3);
+  Bounds bounds;
+  bounds.max_ram_slots = 2;  // three segment inputs are simultaneously held
+  const Report report = interpret(sch, CostModel{}, bounds);
+  EXPECT_TRUE(has_error(report, Check::SlotBound));
+}
+
+TEST(InterpFindings, WorkBound) {
+  Bounds bounds;
+  bounds.max_total_cost = 5.0;  // full storage of 3 steps costs 3 + 3 - 1
+  Report report = interpret(minimal_clean(3), CostModel{}, bounds);
+  EXPECT_FALSE(has_error(report, Check::WorkBound)) << report.summary();
+  bounds.max_total_cost = 4.0;
+  report = interpret(minimal_clean(3), CostModel{}, bounds);
+  EXPECT_TRUE(has_error(report, Check::WorkBound));
+}
+
+TEST(InterpFindings, WarningsDoNotFail) {
+  Schedule sch(1, 2);
+  sch.store(0, 0);
+  sch.store(0, 1);  // never restored: dead store
+  sch.forward_save(0);
+  sch.backward(0);
+  sch.free(1);
+  sch.free(0);
+  sch.free(0);  // already empty: redundant free
+  const Report report = interpret(sch);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_TRUE(has_warning(report, Check::DeadStore));
+  EXPECT_TRUE(has_warning(report, Check::RedundantFree));
+}
+
+TEST(InterpCost, DiskIoAccounting) {
+  // One disk write + one disk read, weighted by the cost model.
+  Schedule sch(2, 3);
+  sch.store(0, 0);
+  sch.forward(0);
+  sch.store(1, 2);  // disk slot
+  sch.forward_save(1);
+  sch.backward(1);
+  sch.restore(1, 2);
+  sch.restore(0, 0);
+  sch.forward_save(0);
+  sch.backward(0);
+  sch.free(2);
+  sch.free(0);
+  CostModel cost;
+  cost.first_disk_slot = 2;
+  cost.disk_write_cost = 3.0;
+  cost.disk_read_cost = 5.0;
+  const Report report = interpret(sch, cost);
+  EXPECT_DOUBLE_EQ(report.facts.io_cost, 8.0);
+  // The disk slot is excluded from RAM peaks.
+  EXPECT_EQ(report.facts.peak_ram_slots_in_use, 1);
+  EXPECT_EQ(report.facts.peak_disk_slots_in_use, 1);
+}
+
+}  // namespace
+}  // namespace edgetrain::analysis

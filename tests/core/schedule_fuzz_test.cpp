@@ -1,12 +1,17 @@
 // Fuzz coverage: randomly-structured (but valid-by-construction) schedules
-// must validate, respect their slot bound, and produce gradients
-// bit-identical to full storage on a real network. This guards the
-// executor and layer save/backward contracts against schedule shapes none
-// of the deterministic schedulers happen to emit.
+// must validate, pass the schedule abstract interpreter's invariant checks,
+// respect their slot bound, and produce gradients bit-identical to full
+// storage on a real network. This guards the executor and layer
+// save/backward contracts against schedule shapes none of the
+// deterministic schedulers happen to emit, and cross-checks the
+// interpreter itself against execution ground truth: a schedule the
+// interpreter proves sound must in fact reproduce the reference gradient.
 #include <gtest/gtest.h>
 
 #include <random>
 
+#include "analysis/interp.hpp"
+#include "core/disk_revolve.hpp"
 #include "core/executor.hpp"
 #include "models/small_nets.hpp"
 #include "nn/chain_runner.hpp"
@@ -163,6 +168,18 @@ TEST_P(ScheduleFuzzTest, RandomSchedulesValidateAndMatchFullStorage) {
     EXPECT_LE(stats.peak_slots_in_use, s + 1);
     EXPECT_EQ(stats.backwards, l);
 
+    // The abstract interpreter must prove the schedule sound: every
+    // backward consumes a live intermediate, every restore reads claimed
+    // state, and the activation peak stays within the slot budget.
+    analysis::Bounds bounds;
+    bounds.max_memory_units = s + 1;
+    bounds.max_ram_slots = s + 1;
+    const analysis::Report verdict =
+        analysis::interpret(schedule, analysis::CostModel{}, bounds);
+    EXPECT_EQ(verdict.error_count(), 0)
+        << "seed=" << GetParam() << " iter=" << iter << "\n"
+        << verdict.summary();
+
     const std::vector<Tensor> grads = run(schedule);
     ASSERT_EQ(grads.size(), reference.size());
     for (std::size_t g = 0; g < grads.size(); ++g) {
@@ -174,6 +191,79 @@ TEST_P(ScheduleFuzzTest, RandomSchedulesValidateAndMatchFullStorage) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzzTest,
                          ::testing::Range(1, 13));
+
+// Two-level (RAM + disk) Revolve schedules, fuzzed over the solver's
+// parameter space: every schedule must validate, earn a clean interpreter
+// verdict under the two-tier cost model, and reproduce the full-storage
+// gradient bit-for-bit when executed (disk slots are held by a RAM store
+// here; slot *placement* is what is under test, not the spill IO itself,
+// which slot_store_test covers).
+TEST(ScheduleFuzzDiskTest, DiskRevolveSchedulesInterpretCleanAndMatch) {
+  std::mt19937 net_rng(4040);
+  nn::LayerChain chain = models::build_mini_resnet(1, 4, 3, 1, net_rng);
+  Tensor input = Tensor::randn(Shape{2, 1, 12, 12}, net_rng);
+  const std::vector<std::int32_t> labels{0, 2};
+
+  auto run = [&](const Schedule& schedule) {
+    chain.zero_grad();
+    chain.clear_saved();
+    nn::LayerChainRunner runner(chain, nn::Phase::Train);
+    runner.begin_pass();
+    ScheduleExecutor executor;
+    const LossGradFn loss_grad = [&](const Tensor& logits) {
+      const ops::SoftmaxXentResult r =
+          ops::softmax_xent_forward(logits, labels);
+      return ops::softmax_xent_backward(r.probs, labels);
+    };
+    const ExecutionResult result =
+        executor.run(runner, schedule, input, loss_grad);
+    std::vector<Tensor> grads{result.input_grad.clone()};
+    for (const nn::ParamRef& p : chain.params()) {
+      grads.push_back(p.grad->clone());
+    }
+    return grads;
+  };
+
+  const int l = chain.size();
+  const std::vector<Tensor> reference = run(full_storage_schedule(l));
+
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<int> ram_dist(1, 3);
+  std::uniform_real_distribution<double> io_dist(0.5, 8.0);
+  for (int iter = 0; iter < 8; ++iter) {
+    disk::DiskRevolveOptions options;
+    options.ram_slots = ram_dist(rng);
+    options.write_cost = io_dist(rng);
+    options.read_cost = io_dist(rng);
+    options.allow_disk = iter % 4 != 3;  // mix in the single-level fallback
+    const disk::DiskRevolveSolver solver(l, options);
+    const int ram = solver.options().ram_slots;  // clamped to l - 1
+    const Schedule schedule = solver.make_schedule();
+    ASSERT_EQ(schedule.validate(), std::nullopt)
+        << "iter=" << iter << "\n" << schedule.to_string();
+
+    analysis::CostModel cost;
+    cost.first_disk_slot = ram + 1;
+    cost.disk_write_cost = options.write_cost;
+    cost.disk_read_cost = options.read_cost;
+    analysis::Bounds bounds;
+    bounds.max_memory_units = ram + 1;
+    bounds.max_ram_slots = ram + 1;
+    bounds.max_total_cost =
+        solver.forward_cost() + static_cast<double>(l);
+    const analysis::Report verdict =
+        analysis::interpret(schedule, cost, bounds);
+    EXPECT_EQ(verdict.error_count(), 0)
+        << "iter=" << iter << " ram=" << ram << "\n" << verdict.summary();
+
+    const std::vector<Tensor> grads = run(schedule);
+    ASSERT_EQ(grads.size(), reference.size());
+    for (std::size_t g = 0; g < grads.size(); ++g) {
+      EXPECT_EQ(Tensor::max_abs_diff(grads[g], reference[g]), 0.0F)
+          << "iter=" << iter << " grad=" << g;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace edgetrain::core
