@@ -1,0 +1,202 @@
+// Ablation E15: schedule-aware asynchronous checkpoint IO.
+//
+// Runs the same two-level (RAM + disk) checkpointed training pass through
+// the synchronous DiskSlotStore and the write-behind/prefetching
+// AsyncDiskSlotStore, under an injected per-spill-op disk latency that
+// stands in for a Waggle node's SD card:
+//
+//   EDGETRAIN_DISK_LATENCY_US=<us per spill write/read>   (CI sets this)
+//
+// When the knob is unset the bench calibrates its own latency so the total
+// injected IO per pass roughly equals the per-pass compute -- the regime
+// the paper cares about (storage as slow as the recompute it should hide
+// behind) and where overlap has the most to win. Gradients from both
+// stores must be bit-identical to the RAM-store reference; the printed
+// speedup is sync wall-clock / async wall-clock per pass. Every row also
+// lands in BENCH_async_io.json for cross-commit diffing.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <vector>
+
+#include "core/async_slot_store.hpp"
+#include "core/disk_revolve.hpp"
+#include "core/executor.hpp"
+#include "models/small_nets.hpp"
+#include "nn/chain_runner.hpp"
+#include "persist/io_latency.hpp"
+
+int main() {
+  using namespace edgetrain;
+  using Clock = std::chrono::steady_clock;
+
+  constexpr int kDepth = 12;
+  constexpr std::int64_t kChannels = 32;
+  constexpr int kRamSlots = 4;
+  constexpr int kRepeats = 9;
+
+  std::mt19937 rng(2026);
+  nn::LayerChain chain = models::build_conv_chain(kDepth, kChannels, rng);
+  // Small spatial size on purpose: the spill files are a few KiB, so the
+  // injected latency dominates the real file IO and the comparison measures
+  // the overlap, not this host's page cache.
+  Tensor x = Tensor::randn(Shape{2, kChannels, 8, 8}, rng);
+  const core::LossGradFn seed = [](const Tensor& output) {
+    return Tensor::full(output.shape(), 1.0F);
+  };
+
+  core::disk::DiskRevolveOptions options;
+  options.ram_slots = kRamSlots;
+  options.write_cost = 2.0;
+  options.read_cost = 2.0;
+  options.overlap_io = true;
+  const core::disk::DiskRevolveSolver solver(kDepth, options);
+  const core::Schedule schedule = solver.make_schedule();
+  const int first_disk_slot = kRamSlots + 1;
+
+  const std::string dir = "/tmp/edgetrain_bench_async";
+  std::filesystem::create_directories(dir);
+
+  auto run_with = [&](core::SlotStore& store) {
+    chain.zero_grad();
+    chain.clear_saved();
+    nn::LayerChainRunner runner(chain, nn::Phase::Train);
+    runner.begin_pass();
+    core::ScheduleExecutor executor;
+    (void)executor.run(runner, schedule, x, seed, store);
+    std::vector<Tensor> grads;
+    for (const nn::ParamRef& p : chain.params()) {
+      grads.push_back(p.grad->clone());
+    }
+    return grads;
+  };
+  auto max_err = [](const std::vector<Tensor>& a,
+                    const std::vector<Tensor>& b) {
+    float err = 0.0F;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      err = std::max(err, Tensor::max_abs_diff(a[i], b[i]));
+    }
+    return err;
+  };
+
+  // Capture the environment knob before the zero-latency reference and
+  // probe passes override it.
+  const long env_latency_us = persist::disk_latency_us();
+
+  // Reference pass (RAM store, no injected latency): exact gradients and
+  // the per-pass compute baseline the calibration targets.
+  persist::set_disk_latency_us(0);
+  core::RamSlotStore ram(schedule.num_slots());
+  (void)run_with(ram);  // warm up allocators and the thread pool
+  auto start = Clock::now();
+  const std::vector<Tensor> reference = run_with(ram);
+  const double compute_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Count spill ops per pass with a zero-latency sync pass, then pick the
+  // injected latency: env knob when set, otherwise total IO ~= compute.
+  long spill_ops = 0;
+  {
+    core::DiskSlotStore probe(schedule.num_slots(), first_disk_slot, dir);
+    const std::vector<Tensor> grads = run_with(probe);
+    if (max_err(grads, reference) != 0.0F) {
+      std::printf("FAIL: sync disk gradients differ from RAM reference\n");
+      return 1;
+    }
+    spill_ops = probe.disk_writes() + probe.disk_reads();
+  }
+  long latency_us = env_latency_us;
+  const bool calibrated = latency_us <= 0;
+  if (calibrated) {
+    // Per-op latency = 2x the average per-step compute: comfortably inside
+    // the regime the claim is about (spill latency at least as large as
+    // the compute it must hide behind -- an SD card next to a small conv),
+    // with margin so run-to-run compute jitter cannot pull the ratio under
+    // the floor on a noisy host.
+    latency_us =
+        std::max(1L, static_cast<long>(2.0 * compute_s * 1e6 / kDepth));
+  }
+  persist::set_disk_latency_us(latency_us);
+
+  auto timed = [&](core::SlotStore& store, float* err) {
+    double best_s = 1e30;
+    for (int repeat = 0; repeat < kRepeats; ++repeat) {
+      const auto t0 = Clock::now();
+      const std::vector<Tensor> grads = run_with(store);
+      best_s = std::min(
+          best_s, std::chrono::duration<double>(Clock::now() - t0).count());
+      *err = std::max(*err, max_err(grads, reference));
+    }
+    return best_s;
+  };
+
+  float sync_err = 0.0F;
+  float async_err = 0.0F;
+  core::DiskSlotStore sync_store(schedule.num_slots(), first_disk_slot, dir);
+  const double sync_s = timed(sync_store, &sync_err);
+  // Two staging slots per direction: one buffer absorbs the jitter the
+  // other is paying for, so the sweep never stalls in put() and the
+  // reversal always has the next restore in flight.
+  core::AsyncDiskSlotStoreOptions async_options;
+  async_options.write_staging_slots = 2;
+  async_options.read_staging_slots = 2;
+  core::AsyncDiskSlotStore async_store(schedule.num_slots(), first_disk_slot,
+                                       dir, async_options);
+  const double async_s = timed(async_store, &async_err);
+  const double speedup = sync_s / async_s;
+
+  std::printf("Async checkpoint IO (conv chain of %d steps, %d RAM slots, "
+              "%d disk slots, %ld spill ops/pass)\n",
+              kDepth, kRamSlots, solver.peak_disk_slots(), spill_ops);
+  std::printf("injected latency: %ld us/op (%s); per-pass compute: %.1f ms\n\n",
+              latency_us, calibrated ? "calibrated" : "from environment",
+              compute_s * 1e3);
+  std::printf("%-8s %-14s %-10s\n", "store", "ms/pass", "grad err");
+  std::printf("%-8s %-14.2f %-10.1e\n", "sync", sync_s * 1e3,
+              static_cast<double>(sync_err));
+  std::printf("%-8s %-14.2f %-10.1e\n", "async", async_s * 1e3,
+              static_cast<double>(async_err));
+  std::printf("\nspeedup: %.2fx   (prefetch hits %lld, write-behind hits "
+              "%lld, blocking reads %lld)\n",
+              speedup, static_cast<long long>(async_store.prefetch_hits()),
+              static_cast<long long>(async_store.write_behind_hits()),
+              static_cast<long long>(async_store.blocking_reads()));
+
+  if (sync_err != 0.0F || async_err != 0.0F) {
+    std::printf("FAIL: spilled gradients are not bit-identical\n");
+    return 1;
+  }
+
+#ifndef NDEBUG
+  // Non-Release numbers must never land in a committed BENCH_*.json.
+  std::printf("\nnon-Release build: skipping BENCH_async_io.json\n");
+#else
+  std::FILE* json = std::fopen("BENCH_async_io.json", "w");
+  if (json == nullptr) return 1;
+  std::fprintf(json,
+               "{\n"
+               "  \"depth\": %d,\n  \"ram_slots\": %d,\n"
+               "  \"spill_ops_per_pass\": %ld,\n"
+               "  \"latency_us_per_op\": %ld,\n"
+               "  \"latency_calibrated\": %s,\n"
+               "  \"compute_ms_per_pass\": %.4f,\n"
+               "  \"sync_ms_per_pass\": %.4f,\n"
+               "  \"async_ms_per_pass\": %.4f,\n"
+               "  \"speedup\": %.4f,\n"
+               "  \"prefetch_hits\": %lld,\n"
+               "  \"write_behind_hits\": %lld,\n"
+               "  \"blocking_reads\": %lld\n"
+               "}\n",
+               kDepth, kRamSlots, spill_ops, latency_us,
+               calibrated ? "true" : "false", compute_s * 1e3, sync_s * 1e3,
+               async_s * 1e3, speedup,
+               static_cast<long long>(async_store.prefetch_hits()),
+               static_cast<long long>(async_store.write_behind_hits()),
+               static_cast<long long>(async_store.blocking_reads()));
+  std::fclose(json);
+  std::printf("\nwrote BENCH_async_io.json\n");
+#endif
+  return 0;
+}

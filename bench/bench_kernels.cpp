@@ -9,6 +9,7 @@
 // diffed across commits.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 #include <random>
@@ -134,13 +135,26 @@ BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 // BENCH_kernels.json (machine-readable, git-ignored). Implemented by
 // injecting the out-file flags ahead of the user's arguments, so an
 // explicit --benchmark_out=... on the command line still wins.
+//
+// The JSON mirror is only produced by Release builds: committed BENCH
+// baselines diffed across commits must never be polluted by -O0/sanitizer
+// numbers, and the build type is recorded in the JSON context so a stray
+// file can be audited after the fact.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   args.push_back(argv[0]);
   std::string out_flag = "--benchmark_out=BENCH_kernels.json";
   std::string fmt_flag = "--benchmark_out_format=json";
+#ifdef NDEBUG
   args.push_back(out_flag.data());
   args.push_back(fmt_flag.data());
+  benchmark::AddCustomContext("edgetrain_build_type", "Release");
+#else
+  std::fprintf(stderr,
+               "bench_kernels: non-Release build, refusing to write "
+               "BENCH_kernels.json (console output only)\n");
+  benchmark::AddCustomContext("edgetrain_build_type", "Debug");
+#endif
   for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());

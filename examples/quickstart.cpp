@@ -5,9 +5,18 @@
 //   2. pick a Revolve checkpointing schedule for a recompute budget,
 //   3. run training steps through the ScheduleExecutor,
 //   4. observe that gradients match full storage while peak memory drops.
+//
+// With --async-io the same loop spills checkpoints to disk through the
+// write-behind/prefetching AsyncDiskSlotStore (DESIGN.md section 11):
+// gradients stay bit-identical while the spill IO overlaps recompute.
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
 #include <random>
 
+#include "core/async_slot_store.hpp"
+#include "core/disk_revolve.hpp"
 #include "core/executor.hpp"
 #include "core/revolve.hpp"
 #include "models/small_nets.hpp"
@@ -15,8 +24,10 @@
 #include "nn/optim.hpp"
 #include "tensor/ops.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace edgetrain;
+  const bool async_io =
+      argc > 1 && std::strcmp(argv[1], "--async-io") == 0;
 
   // 1. A small CNN (conv/bn/relu stem, two residual blocks, classifier).
   std::mt19937 rng(7);
@@ -27,12 +38,32 @@ int main() {
   std::printf("network: %d chain steps, %lld parameters\n", net.size(),
               static_cast<long long>(net.param_count()));
 
-  // 2. A checkpointing schedule: at most ~1.3x recompute overhead.
-  const int slots = core::revolve::min_free_slots_for_rho(net.size(), 1.3);
-  const core::Schedule schedule = core::revolve::make_schedule(net.size(), slots);
-  std::printf("schedule: %d free checkpoint slots for rho <= 1.3 "
-              "(full storage would hold %d activations)\n\n",
-              slots, net.size());
+  // 2. A checkpointing schedule: at most ~1.3x recompute overhead. With
+  // --async-io, a two-level plan instead keeps 2 checkpoints in RAM and
+  // spills the rest to disk, where the async store hides the file IO
+  // behind recompute.
+  core::Schedule schedule;
+  std::unique_ptr<core::AsyncDiskSlotStore> disk_store;
+  if (async_io) {
+    core::disk::DiskRevolveOptions options;
+    options.ram_slots = 2;
+    options.overlap_io = true;
+    const core::disk::DiskRevolveSolver solver(net.size(), options);
+    schedule = solver.make_schedule();
+    const std::string dir = "/tmp/edgetrain_quickstart_spill";
+    std::filesystem::create_directories(dir);
+    disk_store = std::make_unique<core::AsyncDiskSlotStore>(
+        schedule.num_slots(), /*first_disk_slot=*/options.ram_slots + 1, dir);
+    std::printf("schedule: two-level disk revolve, 2 RAM slots + %d disk "
+                "slots, write-behind spills + prefetched restores\n\n",
+                solver.peak_disk_slots());
+  } else {
+    const int slots = core::revolve::min_free_slots_for_rho(net.size(), 1.3);
+    schedule = core::revolve::make_schedule(net.size(), slots);
+    std::printf("schedule: %d free checkpoint slots for rho <= 1.3 "
+                "(full storage would hold %d activations)\n\n",
+                slots, net.size());
+  }
 
   // 3. Train on random batches of a synthetic 4-class problem.
   nn::SGD optimizer(net.params(), 0.05F, 0.9F);
@@ -66,7 +97,9 @@ int main() {
       return ops::softmax_xent_backward(result.probs, labels);
     };
     const core::ExecutionResult result =
-        executor.run(runner, schedule, x, loss_grad);
+        disk_store != nullptr
+            ? executor.run(runner, schedule, x, loss_grad, *disk_store)
+            : executor.run(runner, schedule, x, loss_grad);
     optimizer.step();
 
     if (step % 5 == 0) {

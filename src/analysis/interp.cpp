@@ -1,6 +1,7 @@
 #include "analysis/interp.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <sstream>
 
 namespace edgetrain::analysis {
@@ -145,6 +146,7 @@ class Interpreter {
                 "forward of step " + std::to_string(a.index) +
                     " while holding state " + std::to_string(current_state_));
         }
+        double charged = 0.0;
         if (a.type == core::ActionType::ForwardSave) {
           ++report_.facts.forward_saves;
           if (saved_[static_cast<std::size_t>(a.index)]) {
@@ -161,12 +163,14 @@ class Interpreter {
           if (adjoint_frontier_ == a.index + 1) {
             ++report_.facts.absorbed_saves;
           } else {
-            report_.facts.forward_cost += cost_.step_cost(a.index);
+            charged = cost_.step_cost(a.index);
           }
         } else {
           ++report_.facts.advances;
-          report_.facts.forward_cost += cost_.step_cost(a.index);
+          charged = cost_.step_cost(a.index);
         }
+        report_.facts.forward_cost += charged;
+        advance_clock(charged);
         current_state_ = a.index + 1;
         break;
       }
@@ -179,6 +183,7 @@ class Interpreter {
           return;
         }
         report_.facts.backward_cost += cost_.step_cost(a.index);
+        advance_clock(cost_.step_cost(a.index));
         if (a.index != adjoint_frontier_ - 1) {
           error(pos, Check::BackwardOrder,
                 "backward of step " + std::to_string(a.index) +
@@ -220,7 +225,11 @@ class Interpreter {
         }
         slots_[static_cast<std::size_t>(a.slot)] = a.index;
         if (cost_.is_disk_slot(a.slot)) {
-          report_.facts.io_cost += cost_.disk_write_cost;
+          if (cost_.overlapped_io) {
+            model_overlapped_write();
+          } else {
+            report_.facts.io_cost += cost_.disk_write_cost;
+          }
         }
         break;
       }
@@ -243,7 +252,11 @@ class Interpreter {
                     std::to_string(held));
         }
         if (cost_.is_disk_slot(a.slot)) {
-          report_.facts.io_cost += cost_.disk_read_cost;
+          if (cost_.overlapped_io) {
+            model_overlapped_read();
+          } else {
+            report_.facts.io_cost += cost_.disk_read_cost;
+          }
         }
         // Adopt the claimed state: downstream checks then diagnose against
         // the schedule's own intent rather than cascading this defect.
@@ -277,6 +290,78 @@ class Interpreter {
     }
   }
 
+  // --- Overlapped-IO pipeline model (cost_.overlapped_io only) ------------
+  //
+  // One FIFO background worker, one clock. Compute advances the clock;
+  // transfers occupy the worker back to back. A Store stalls the clock only
+  // when the write-staging budget is exhausted (the async store's put()
+  // back-pressure); a Restore stalls only for the part of its read that the
+  // prefetcher could not finish before consumption. Every stall happens
+  // while the worker is busy, so accumulated stalls never exceed
+  // io_busy_cost: the modeled wall-clock (total_cost) is bounded by the
+  // serial model's compute + full IO, and below by the pure compute.
+  // Prefetch issue times are optimistic (the worker picks the read up the
+  // moment it is free); the lookahead window of the real store is not
+  // modeled, so this is the best wall-clock the staging budgets permit.
+
+  void advance_clock(double compute) {
+    if (!cost_.overlapped_io) return;
+    clock_ += compute;
+    retire_writes();
+  }
+
+  void retire_writes() {
+    while (!outstanding_writes_.empty() &&
+           outstanding_writes_.front() <= clock_ + 1e-12) {
+      outstanding_writes_.pop_front();
+    }
+  }
+
+  void model_overlapped_write() {
+    const double w = cost_.disk_write_cost;
+    retire_writes();
+    const auto budget =
+        static_cast<std::size_t>(std::max(cost_.write_staging_slots, 1));
+    if (outstanding_writes_.size() >= budget) {
+      const double wait_until = outstanding_writes_.front();
+      if (wait_until > clock_) {
+        report_.facts.io_cost += wait_until - clock_;
+        clock_ = wait_until;
+      }
+      retire_writes();
+    }
+    const double completion = std::max(clock_, io_free_at_) + w;
+    io_free_at_ = completion;
+    outstanding_writes_.push_back(completion);
+    report_.facts.io_busy_cost += w;
+    note_staged(static_cast<int>(outstanding_writes_.size()));
+  }
+
+  void model_overlapped_read() {
+    const double r = cost_.disk_read_cost;
+    report_.facts.io_busy_cost += r;
+    // Prefetched reads are issued as soon as the worker frees up (which is
+    // never before the slot's own write completed -- FIFO); unprefetched
+    // reads cannot start before the Restore reaches them.
+    const double start = cost_.read_staging_slots > 0
+                             ? io_free_at_
+                             : std::max(clock_, io_free_at_);
+    const double completion = start + r;
+    io_free_at_ = completion;
+    note_staged(static_cast<int>(outstanding_writes_.size()) +
+                (cost_.read_staging_slots > 0 ? 1 : 0));
+    if (completion > clock_) {
+      report_.facts.io_cost += completion - clock_;
+      clock_ = completion;
+    }
+    retire_writes();
+  }
+
+  void note_staged(int staged) {
+    report_.facts.peak_staged_slots =
+        std::max(report_.facts.peak_staged_slots, staged);
+  }
+
   void occupy(std::int32_t slot, int delta) {
     slots_in_use_ += delta;
     if (cost_.is_disk_slot(slot)) {
@@ -296,9 +381,16 @@ class Interpreter {
     f.peak_live_saves = std::max(f.peak_live_saves, live_saves_);
     // RAM units only: a disk checkpoint is the point of the two-level
     // schedule -- it does not occupy device RAM. Minus one for the chain
-    // input, matching ScheduleStats::peak_memory_units.
-    f.peak_memory_units =
-        std::max(f.peak_memory_units, ram_slots_in_use_ + live_saves_ - 1);
+    // input, matching ScheduleStats::peak_memory_units. Under the
+    // overlapped-IO model the async store's write-behind staging buffers
+    // (spills accepted but not yet flushed) are real RAM and count on top;
+    // prefetched-read buffers are transient at the consuming Restore and
+    // tracked by peak_staged_slots instead.
+    const int staged = cost_.overlapped_io
+                           ? static_cast<int>(outstanding_writes_.size())
+                           : 0;
+    f.peak_memory_units = std::max(
+        f.peak_memory_units, ram_slots_in_use_ + live_saves_ - 1 + staged);
   }
 
   void finish() {
@@ -352,6 +444,11 @@ class Interpreter {
   int slots_in_use_ = 0;
   int ram_slots_in_use_ = 0;
   int disk_slots_in_use_ = 0;
+
+  // Overlapped-IO pipeline state (unused under the serial model).
+  double clock_ = 0.0;       ///< compute timeline position
+  double io_free_at_ = 0.0;  ///< when the background worker frees up
+  std::deque<double> outstanding_writes_;  ///< completion times, FIFO
 
   Report report_;
 };

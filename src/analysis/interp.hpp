@@ -86,6 +86,20 @@ struct CostModel {
   /// Forward-unit cost of writing / reading a disk checkpoint.
   double disk_write_cost = 0.0;
   double disk_read_cost = 0.0;
+  /// Model disk IO as overlapped with compute (AsyncDiskSlotStore): a
+  /// single FIFO background worker with bounded staging, simulated as a
+  /// pipeline. io_cost then accumulates only the *stall* time the pipeline
+  /// cannot hide -- writes stall when the write-staging budget is full,
+  /// restores stall when their read has not completed by consumption time
+  /// -- so total_cost() is the modeled wall-clock of the overlapped
+  /// replay. Because a stall only accrues while the worker is busy, the
+  /// overlapped total never exceeds the serial total (compute + full IO)
+  /// and never undercuts the pure-compute cost.
+  bool overlapped_io = false;
+  /// Staging budgets of the async store (must match the executing store's
+  /// AsyncDiskSlotStoreOptions for the wall-clock model to be faithful).
+  int write_staging_slots = 1;
+  int read_staging_slots = 1;
 
   [[nodiscard]] double step_cost(std::int32_t step) const {
     if (step_costs.empty()) return 1.0;
@@ -132,7 +146,18 @@ struct Facts {
   int peak_memory_units = 0;
   double forward_cost = 0.0;   ///< weighted advances + unabsorbed saves
   double backward_cost = 0.0;  ///< weighted backwards
-  double io_cost = 0.0;        ///< disk write/read charges
+  /// Serial model: full disk write/read charges. Overlapped model
+  /// (CostModel::overlapped_io): only the pipeline stall time.
+  double io_cost = 0.0;
+  /// Overlapped model only: total worker busy time (every transfer at its
+  /// full serial price); 0 under the serial model. Always >= io_cost.
+  double io_busy_cost = 0.0;
+  /// Overlapped model only: peak staged units (outstanding write-behind
+  /// spills + unconsumed prefetched restores) the async store holds in RAM
+  /// on top of the planner's activation units.
+  int peak_staged_slots = 0;
+  /// Serial model: compute + full IO. Overlapped model: the modeled
+  /// wall-clock (compute + unhidden stalls).
   [[nodiscard]] double total_cost() const {
     return forward_cost + backward_cost + io_cost;
   }

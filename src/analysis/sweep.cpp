@@ -196,6 +196,43 @@ std::int64_t sweep_disk(const SweepConfig& config, const CaseVisitor& visit) {
           c.schedule = solver.make_schedule();
           visit(c);
           ++count;
+
+          if (!allow_disk) continue;
+          // Overlapped variant: the same grid point solved with async-IO
+          // pricing and interpreted under the pipeline model (the
+          // AsyncDiskSlotStore configuration). The overlap DP is an
+          // optimistic planning heuristic, so the sound wall-clock bound
+          // is the *serial* total of the emitted schedule -- stalls only
+          // accrue while the worker is busy, so the pipeline can never be
+          // slower than compute + full IO. Staging (one write-behind slot)
+          // is extra RAM on top of the planner's activation bound.
+          core::disk::DiskRevolveOptions ov_options = options;
+          ov_options.overlap_io = true;
+          const core::disk::DiskRevolveSolver ov_solver(l, ov_options);
+          const int ov_rs = ov_solver.options().ram_slots;
+          SweepCase oc;
+          oc.family = "disk-overlap";
+          oc.name = case_name(
+              "disk-overlap", {{"l", static_cast<double>(l)},
+                               {"ram", static_cast<double>(ov_rs)},
+                               {"io", ov_options.write_cost}});
+          oc.cost.first_disk_slot = ov_rs + 1;
+          oc.cost.disk_write_cost = ov_options.write_cost;
+          oc.cost.disk_read_cost = ov_options.read_cost;
+          oc.cost.overlapped_io = true;
+          oc.cost.write_staging_slots = 1;
+          oc.cost.read_staging_slots = 1;
+          oc.schedule = ov_solver.make_schedule();
+          CostModel serial = oc.cost;
+          serial.overlapped_io = false;
+          const Report serial_report =
+              interpret(oc.schedule, serial, Bounds{});
+          oc.bounds.max_total_cost = serial_report.facts.total_cost();
+          oc.bounds.max_memory_units =
+              ov_rs + 1 + oc.cost.write_staging_slots;
+          oc.bounds.max_ram_slots = ov_rs + 1;
+          visit(oc);
+          ++count;
         }
       }
     }
@@ -342,13 +379,23 @@ std::optional<Schedule> corrupt_inflate_work(const SweepCase& sweep_case) {
     // Budget-aware churn: advance one step off the checkpoint and restore
     // again until the charged work provably exceeds the promise.
     const Report clean = interpret(schedule, sweep_case.cost, Bounds{});
+    // Under the overlapped model a restore's read may hide entirely under
+    // compute, and the injected compute can even *shrink* the original
+    // schedule's stalls (the worker gets more slack). The only guaranteed
+    // floor on the corrupted wall-clock is the compute alone, and the only
+    // guaranteed increment per injected pair is the forward's step cost.
     const double pair_cost =
         sweep_case.cost.step_cost(restore.index) +
-        (sweep_case.cost.is_disk_slot(restore.slot)
+        (!sweep_case.cost.overlapped_io &&
+                 sweep_case.cost.is_disk_slot(restore.slot)
              ? sweep_case.cost.disk_read_cost
              : 0.0);
+    const double guaranteed_base =
+        sweep_case.cost.overlapped_io
+            ? clean.facts.forward_cost + clean.facts.backward_cost
+            : clean.facts.total_cost();
     const double deficit =
-        *sweep_case.bounds.max_total_cost - clean.facts.total_cost();
+        *sweep_case.bounds.max_total_cost - guaranteed_base;
     const auto pairs = static_cast<std::int64_t>(
         std::ceil(std::max(deficit, 0.0) / std::max(pair_cost, 1e-9))) + 1;
     std::vector<Action> mutated(actions.begin(),

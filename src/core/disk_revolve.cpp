@@ -28,6 +28,12 @@ DiskRevolveSolver::DiskRevolveSolver(int num_steps,
 
   const double read[2] = {0.0, options_.read_cost};
   const double write[2] = {0.0, options_.write_cost};
+  // Overlap pricing (async store): a restore issued behind @p window forward
+  // units of guaranteed compute only bills the part the pipeline cannot
+  // hide. Serial pricing is the window = 0 special case.
+  const auto eff_read = [&](std::size_t li, double window) {
+    return options_.overlap_io ? std::max(read[li] - window, 0.0) : read[li];
+  };
 
   // Convention (matches the schedule emitter exactly): every recursion
   // enters with the current state positioned at the segment input; restores
@@ -58,8 +64,17 @@ DiskRevolveSolver::DiskRevolveSolver(int num_steps,
             const int c_inner = m == Level::Ram ? c - 1 : c;
             // advance j + write checkpoint, recurse right, re-position to
             // the segment input (one read at this level), recurse left.
-            const double rev_left = read[li] + rev_[idx(j, c, level)];
-            const double common = static_cast<double>(j) + write[mi];
+            // Overlapped: the write-behind store hides under the advance
+            // (max instead of sum) and the re-positioning read prefetches
+            // under the right sub-segment's reversal, which performs at
+            // least its len - j backwards before the restore is consumed.
+            const double rev_left =
+                eff_read(li, static_cast<double>(len - j)) +
+                rev_[idx(j, c, level)];
+            const double common =
+                options_.overlap_io
+                    ? std::max(static_cast<double>(j), write[mi])
+                    : static_cast<double>(j) + write[mi];
             const double f = common + fwd_[idx(len - j, c_inner, m)] + rev_left;
             if (f < best_f) {
               best_f = f;
@@ -76,13 +91,20 @@ DiskRevolveSolver::DiskRevolveSolver(int num_steps,
         {
           const double readvance =
               static_cast<double>(len) * (len - 1) / 2.0;
-          const double repositions = (len - 1) * read[li];
+          // Overlapped: the restore before the k-step re-advance prefetches
+          // under the previous iteration's k+1 advances and one backward.
+          double repositions = 0.0;
+          for (int k = 0; k <= len - 2; ++k) {
+            repositions += eff_read(li, static_cast<double>(k + 2));
+          }
           const double r0 = readvance + repositions;
           // A sweep additionally pays one more reposition: after reaching
           // the chain end, the first backward's re-advance starts with a
           // restore of the segment input (the reversal base enters with the
-          // input already current, the sweep leaves the end current).
-          const double f0 = static_cast<double>(len) + r0 + read[li];
+          // input already current, the sweep leaves the end current). Its
+          // prefetch window is the whole len-step sweep.
+          const double f0 = static_cast<double>(len) + r0 +
+                            eff_read(li, static_cast<double>(len));
           if (f0 < best_f) {
             best_f = f0;
             cf = Choice{0, level};

@@ -32,6 +32,16 @@ struct DiskRevolveOptions {
   double write_cost = 2.0;  ///< disk write, in forward-step units
   double read_cost = 2.0;   ///< disk read, in forward-step units
   bool allow_disk = true;   ///< disable to recover single-level Revolve
+  /// Price disk IO as overlapped with recompute instead of serial, matching
+  /// AsyncDiskSlotStore: a write is hidden under the advance it trails
+  /// (max(j, w) instead of j + w) and a restore is discounted by the
+  /// guaranteed compute of the sub-segment reversed while it prefetches
+  /// (max(r - window, 0) instead of r). This shifts the DP's splits toward
+  /// more disk checkpoints once the IO is (partially) free; the analysis::
+  /// interpreter's pipeline model is the ground truth for the resulting
+  /// schedule's wall-clock. With overlap_io the solved cost never exceeds
+  /// the serial cost and never undercuts the pure-compute cost.
+  bool overlap_io = false;
 };
 
 /// Solver for one chain length; build once, query costs and schedules.

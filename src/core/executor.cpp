@@ -46,6 +46,18 @@ ExecutionResult ScheduleExecutor::run(ChainRunner& runner,
   ExecutionResult result;
   result.baseline_bytes = probe.baseline_bytes();
 
+  // Hand the store the full action tape so lookahead-capable backends
+  // (AsyncDiskSlotStore) can prefetch upcoming restores during recompute.
+  // RAII so end_replay fires on every exit path, including the throws the
+  // fault-injection tests drive through the middle of a replay.
+  struct ReplayScope {
+    SlotStore& store;
+    ReplayScope(SlotStore& s, const Schedule& sched) : store(s) {
+      store.begin_replay(sched);
+    }
+    ~ReplayScope() { store.end_replay(); }
+  } replay_scope(store, schedule);
+
   Tensor current = input;
   std::int32_t current_state = 0;
   Tensor grad;
@@ -53,6 +65,7 @@ ExecutionResult ScheduleExecutor::run(ChainRunner& runner,
 
   for (const Action& a : schedule.actions()) {
     if (hooks.on_action) hooks.on_action(result.actions_executed, a);
+    store.on_replay_position(result.actions_executed);
     ++result.actions_executed;
     switch (a.type) {
       case ActionType::Forward:

@@ -5,10 +5,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <stdexcept>
 
-#include "persist/crc32.hpp"
+#include "core/spill_io.hpp"
 #include "tensor/alloc.hpp"
 #include "tensor/guards.hpp"
 
@@ -21,6 +20,16 @@ namespace {
 }
 
 }  // namespace
+
+namespace detail {
+void poison_if_sole_owner([[maybe_unused]] Tensor& held) {
+#if defined(EDGETRAIN_GUARDS)
+  if (held.defined() && held.storage_use_count() == 1) {
+    guards::paint(held.data(), held.numel(), guards::kPoisonBits);
+  }
+#endif
+}
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // RamSlotStore
@@ -55,12 +64,8 @@ void RamSlotStore::drop(std::int32_t slot) {
 /// corrupt real activations. The buffer is NOT retained: holding dropped
 /// checkpoints alive would distort the resident-memory accounting the
 /// paper's tables (and their tests) are built on.
-void RamSlotStore::guard_release([[maybe_unused]] Tensor& held) {
-#if defined(EDGETRAIN_GUARDS)
-  if (held.defined() && held.storage_use_count() == 1) {
-    guards::paint(held.data(), held.numel(), guards::kPoisonBits);
-  }
-#endif
+void RamSlotStore::guard_release(Tensor& held) {
+  detail::poison_if_sole_owner(held);
 }
 
 std::size_t RamSlotStore::resident_bytes() const {
@@ -102,23 +107,14 @@ void DiskSlotStore::put(std::int32_t slot, const Tensor& value) {
     ram_.at(static_cast<std::size_t>(slot)) = value;
     return;
   }
-  std::ofstream file(path_for(slot), std::ios::binary | std::ios::trunc);
-  if (!file) {
-    throw std::runtime_error("DiskSlotStore: cannot open " + path_for(slot));
-  }
-  file.write(reinterpret_cast<const char*>(value.data()),
-             static_cast<std::streamsize>(value.bytes()));
-  if (!file) {
-    throw std::runtime_error("DiskSlotStore: write failed for " +
-                             path_for(slot));
-  }
+  const std::uint32_t crc =
+      spill::write_spill("DiskSlotStore", path_for(slot), value);
   if (on_disk_.at(static_cast<std::size_t>(slot))) {
     disk_bytes_ -= static_cast<std::size_t>(
         disk_shapes_[static_cast<std::size_t>(slot)].numel() * 4);
   }
   disk_shapes_[static_cast<std::size_t>(slot)] = value.shape();
-  disk_crcs_[static_cast<std::size_t>(slot)] =
-      persist::crc32(value.data(), value.bytes());
+  disk_crcs_[static_cast<std::size_t>(slot)] = crc;
   on_disk_[static_cast<std::size_t>(slot)] = true;
   disk_bytes_ += value.bytes();
   ++writes_;
@@ -131,33 +127,10 @@ Tensor DiskSlotStore::get(std::int32_t slot) {
     return held;
   }
   if (!on_disk_.at(static_cast<std::size_t>(slot))) empty_slot(slot);
-  Tensor out = Tensor::empty(disk_shapes_[static_cast<std::size_t>(slot)]);
-  std::ifstream file(path_for(slot), std::ios::binary | std::ios::ate);
-  if (!file) {
-    throw std::runtime_error("DiskSlotStore: cannot open " + path_for(slot));
-  }
-  const auto actual_bytes = static_cast<std::size_t>(file.tellg());
-  if (actual_bytes != out.bytes()) {
-    throw std::runtime_error(
-        "DiskSlotStore: spill file " + path_for(slot) +
-        " is truncated or corrupt (expected " + std::to_string(out.bytes()) +
-        " bytes, found " + std::to_string(actual_bytes) + ")");
-  }
-  file.seekg(0);
-  file.read(reinterpret_cast<char*>(out.data()),
-            static_cast<std::streamsize>(out.bytes()));
-  if (!file ||
-      file.gcount() != static_cast<std::streamsize>(out.bytes())) {
-    throw std::runtime_error("DiskSlotStore: read failed for " +
-                             path_for(slot));
-  }
-  if (persist::crc32(out.data(), out.bytes()) !=
-      disk_crcs_[static_cast<std::size_t>(slot)]) {
-    throw std::runtime_error(
-        "DiskSlotStore: spill file " + path_for(slot) +
-        " failed its checksum (bit rot or concurrent modification); "
-        "refusing to return a corrupt checkpoint");
-  }
+  Tensor out = spill::read_spill(
+      "DiskSlotStore", path_for(slot),
+      disk_shapes_[static_cast<std::size_t>(slot)],
+      disk_crcs_[static_cast<std::size_t>(slot)]);
   ++reads_;
   return out;
 }

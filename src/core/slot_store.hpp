@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/schedule.hpp"
 #include "tensor/tensor.hpp"
 
 namespace edgetrain::core {
@@ -41,6 +42,25 @@ class SlotStore {
 
   /// Bytes currently held outside RAM (disk); 0 for RAM-only stores.
   [[nodiscard]] virtual std::size_t external_bytes() const = 0;
+
+  // --- Schedule lookahead (optional) ---------------------------------------
+  // A Schedule is a fully known tape, so every future Restore is visible
+  // before it executes: the executor announces the tape once per run and
+  // the position of every action as it replays. Stores that can exploit
+  // the future (AsyncDiskSlotStore prefetches the next spilled restores
+  // while the CPU recomputes) override these; the defaults make lookahead
+  // invisible to plain stores. The Schedule reference is only guaranteed
+  // valid during the begin_replay call -- copy what you need.
+
+  /// Called once, before the first action of a replay, with the full tape.
+  virtual void begin_replay(const Schedule& /*schedule*/) {}
+
+  /// Called immediately before the action at @p next_action executes.
+  virtual void on_replay_position(std::int64_t /*next_action*/) {}
+
+  /// Called when the replay ends -- normally or by abandonment (the
+  /// executor guarantees the call on every exit path).
+  virtual void end_replay() {}
 };
 
 /// Shares tensor handles; put/get are O(1) and copy-free.
@@ -63,7 +83,11 @@ class RamSlotStore final : public SlotStore {
 /// files in `directory` (created by the caller). File IO errors throw.
 /// Every spill is checksummed on put and verified on get, so a truncated
 /// or bit-rotted spill file raises a descriptive std::runtime_error
-/// instead of feeding garbage activations back into training.
+/// instead of feeding garbage activations back into training. Put and get
+/// block on the file IO; AsyncDiskSlotStore (core/async_slot_store.hpp)
+/// overlaps the same format with recompute. Serialisation runs through the
+/// calling thread's persistent Workspace arena (core/spill_io.hpp): zero
+/// heap allocation per spill in steady state.
 class DiskSlotStore final : public SlotStore {
  public:
   DiskSlotStore(int num_slots, int first_disk_slot, std::string directory);
@@ -93,6 +117,14 @@ class DiskSlotStore final : public SlotStore {
   std::int64_t writes_ = 0;
   std::int64_t reads_ = 0;
 };
+
+namespace detail {
+/// Guards-only: poisons a buffer this store is releasing, iff @p held is
+/// the sole owner (poisoning a shared buffer would corrupt a live handle).
+/// No-op in release builds. Shared by the RAM store (dropped checkpoints)
+/// and the async store (discarded staging buffers).
+void poison_if_sole_owner(Tensor& held);
+}  // namespace detail
 
 /// Stores checkpoints at reduced precision. The decoded tensor differs
 /// from the original by quantisation error; recomputed forwards then run

@@ -1,0 +1,51 @@
+// edgetrain: the checkpoint spill-file format shared by the disk stores.
+//
+// One self-describing file per spilled slot:
+//
+//   "ETSP" | u32 version | u32 payload CRC-32 | u32 rank | i64 dims[4]
+//   float32 payload, row-major                              (48-byte header)
+//
+// DiskSlotStore and AsyncDiskSlotStore both read and write this format, so
+// the fault-injection tests (bit flips, truncation) exercise one code path
+// and the async store's files stay inspectable with the same tools. Three
+// properties matter on the SD-card path:
+//
+//   * zero steady-state heap allocation -- the file image is assembled in
+//     (and read back through) the calling thread's Workspace arena, which
+//     retains capacity across calls (satisfying the "one persistent
+//     serialization buffer" rule; the background IO thread gets its own
+//     arena via Workspace::tls());
+//   * one write()/read() syscall per spill -- no iostream buffering layers;
+//   * verification against *in-RAM* metadata -- the expected shape and CRC
+//     live with the store, so a swapped or stale spill file fails even when
+//     its own header is internally consistent.
+//
+// Every operation applies the fault harness's injected disk latency
+// (persist/io_latency.hpp), making SD-card timings reproducible on CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace edgetrain::core::spill {
+
+/// Bytes preceding the payload in every spill file.
+inline constexpr std::size_t kHeaderBytes = 48;
+
+/// Serialises @p value to @p path (header + payload, single syscall).
+/// Returns the payload CRC-32 for the caller to retain as ground truth.
+/// Throws std::runtime_error naming @p who on any IO failure.
+std::uint32_t write_spill(const std::string& who, const std::string& path,
+                          const Tensor& value);
+
+/// Reads @p path back, verifying the file size and payload checksum against
+/// the in-RAM @p shape / @p crc recorded at write time. Throws
+/// std::runtime_error with a descriptive message ("truncated or corrupt",
+/// "failed its checksum") naming @p who on any mismatch.
+[[nodiscard]] Tensor read_spill(const std::string& who,
+                                const std::string& path, const Shape& shape,
+                                std::uint32_t crc);
+
+}  // namespace edgetrain::core::spill

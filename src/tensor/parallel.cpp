@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -157,6 +158,73 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
     return;
   }
   ThreadPool::global().parallel_for(begin, end, fn);
+}
+
+// ---------------------------------------------------------------------------
+// BackgroundWorker
+// ---------------------------------------------------------------------------
+
+struct BackgroundWorker::Impl {
+  Impl() : thread([this] { loop(); }) {}
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      shutting_down = true;
+    }
+    cv_work.notify_all();
+    thread.join();
+  }
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      cv_work.wait(lock, [&] { return shutting_down || !queue.empty(); });
+      if (queue.empty()) {
+        if (shutting_down) return;  // drained: safe to exit
+        continue;
+      }
+      std::function<void()> job = std::move(queue.front());
+      queue.pop_front();
+      ++in_flight;
+      lock.unlock();
+      job();
+      lock.lock();
+      --in_flight;
+      if (queue.empty() && in_flight == 0) cv_idle.notify_all();
+    }
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv_work;
+  std::condition_variable cv_idle;
+  std::deque<std::function<void()>> queue;
+  int in_flight = 0;
+  bool shutting_down = false;
+  std::thread thread;  // last member: starts only once the state above exists
+};
+
+BackgroundWorker::BackgroundWorker() : impl_(new Impl) {}
+
+BackgroundWorker::~BackgroundWorker() { delete impl_; }
+
+void BackgroundWorker::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(std::move(job));
+  }
+  impl_->cv_work.notify_one();
+}
+
+void BackgroundWorker::drain() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->cv_idle.wait(
+      lock, [&] { return impl_->queue.empty() && impl_->in_flight == 0; });
+}
+
+std::size_t BackgroundWorker::pending() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->queue.size() + static_cast<std::size_t>(impl_->in_flight);
 }
 
 }  // namespace edgetrain

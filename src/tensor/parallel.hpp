@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "tensor/function_ref.hpp"
@@ -54,5 +55,38 @@ class ThreadPool {
 /// ranges smaller than @p grain run inline on the caller.
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   ParallelFn fn);
+
+/// One dedicated thread draining a FIFO of jobs, for work that must overlap
+/// with compute rather than partition it (the ThreadPool is a fork-join
+/// pool: parallel_for blocks the caller, which is exactly wrong for
+/// write-behind checkpoint IO). Jobs run strictly in submission order, so a
+/// producer can rely on FIFO ordering for per-key consistency (e.g. a spill
+/// write enqueued before a prefetch read of the same slot completes first).
+/// Jobs must not throw: the worker catches nothing; propagate errors through
+/// captured state (core::AsyncDiskSlotStore stores an exception_ptr).
+class BackgroundWorker {
+ public:
+  BackgroundWorker();
+  ~BackgroundWorker();  ///< drains every pending job, then joins the thread
+
+  BackgroundWorker(const BackgroundWorker&) = delete;
+  BackgroundWorker& operator=(const BackgroundWorker&) = delete;
+
+  /// Enqueues @p job; returns immediately. Callable from any thread,
+  /// including from inside a running job (the queue is unbounded here --
+  /// producers needing back-pressure bound themselves, as the slot store's
+  /// staging budget does).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every job submitted before the call has finished.
+  void drain();
+
+  /// Jobs submitted but not yet completed (pending + in flight).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;  // owned; raw to keep the header light (defined in .cpp)
+};
 
 }  // namespace edgetrain

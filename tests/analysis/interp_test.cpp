@@ -356,5 +356,119 @@ TEST(InterpCost, DiskIoAccounting) {
   EXPECT_EQ(report.facts.peak_disk_slots_in_use, 1);
 }
 
+// --- overlapped-IO pipeline model (CostModel::overlapped_io) --------------
+
+TEST(InterpOverlap, TransfersHideInsideRecompute) {
+  // Enough compute follows the Store (and precedes the Restore) that the
+  // background worker finishes both transfers off the critical path: the
+  // stall charge is exactly zero and total_cost() is pure compute, while
+  // io_busy_cost still reports the work the worker did.
+  Schedule sch(3, 2);
+  sch.store(0, 0);
+  sch.forward(0);
+  sch.store(1, 1);  // disk
+  sch.forward(1);
+  sch.forward_save(2);
+  sch.backward(2);
+  sch.restore(1, 1);
+  sch.forward_save(1);
+  sch.backward(1);
+  sch.restore(0, 0);
+  sch.forward_save(0);
+  sch.backward(0);
+  sch.free(1);
+  sch.free(0);
+  CostModel cost;
+  cost.first_disk_slot = 1;
+  cost.disk_write_cost = 0.5;
+  cost.disk_read_cost = 0.5;
+  cost.overlapped_io = true;
+  const Report report = interpret(sch, cost);
+  EXPECT_EQ(report.error_count(), 0u) << report.summary();
+  EXPECT_DOUBLE_EQ(report.facts.io_cost, 0.0);
+  EXPECT_DOUBLE_EQ(report.facts.io_busy_cost, 1.0);
+  EXPECT_DOUBLE_EQ(report.facts.total_cost(),
+                   report.facts.forward_cost + report.facts.backward_cost);
+  EXPECT_EQ(report.facts.peak_staged_slots, 1);
+
+  // Prefetch disabled: the read cannot be issued until its Restore, so the
+  // 0.5-unit read lands on the critical path.
+  cost.read_staging_slots = 0;
+  const Report no_prefetch = interpret(sch, cost);
+  EXPECT_EQ(no_prefetch.error_count(), 0u) << no_prefetch.summary();
+  EXPECT_DOUBLE_EQ(no_prefetch.facts.io_cost, 0.5);
+}
+
+TEST(InterpOverlap, StagingBackpressureAndFifoWaitsAreCharged) {
+  // Two disk writes one compute-unit apart against a single write-staging
+  // slot: the second Store stalls until the first write retires (3 units),
+  // and the Restore then waits for the tail of the FIFO worker's queue
+  // (7 more). Wall-clock arithmetic, fully pinned down.
+  Schedule sch(2, 3);
+  sch.store(0, 1);  // disk write, issued at t=0, completes at t=4
+  sch.forward(0);   // t=1
+  sch.store(1, 2);  // staging full -> stall to t=4; completes at t=8
+  sch.forward_save(1);
+  sch.backward(1);  // t=5
+  sch.restore(0, 1);  // read runs t=8..12 -> stall to t=12
+  sch.forward_save(0);
+  sch.backward(0);  // t=13
+  sch.free(2);
+  sch.free(1);
+  CostModel cost;
+  cost.first_disk_slot = 1;
+  cost.disk_write_cost = 4.0;
+  cost.disk_read_cost = 4.0;
+  cost.overlapped_io = true;
+  const Report report = interpret(sch, cost);
+  EXPECT_EQ(report.error_count(), 0u) << report.summary();
+  EXPECT_DOUBLE_EQ(report.facts.io_cost, 10.0);
+  EXPECT_DOUBLE_EQ(report.facts.io_busy_cost, 12.0);
+  EXPECT_DOUBLE_EQ(report.facts.total_cost(), 13.0);
+  EXPECT_EQ(report.facts.peak_staged_slots, 2);  // 1 write + 1 read buffer
+}
+
+TEST(InterpOverlap, BoundedBySerialModelAndByCompute) {
+  // On real two-level schedules the pipeline model must honour its
+  // soundness envelope: same transfer volume as the serial model, stalls
+  // never exceeding worker busy time, wall-clock between pure compute and
+  // the serial total, and staging within the configured budgets.
+  for (int ram = 1; ram <= 3; ++ram) {
+    for (const double io : {0.25, 1.0, 4.0}) {
+      core::disk::DiskRevolveOptions options;
+      options.ram_slots = ram;
+      options.write_cost = io;
+      options.read_cost = io;
+      options.overlap_io = true;
+      const core::disk::DiskRevolveSolver solver(24, options);
+      const Schedule schedule = solver.make_schedule();
+      CostModel serial;
+      serial.first_disk_slot = ram + 1;
+      serial.disk_write_cost = io;
+      serial.disk_read_cost = io;
+      CostModel overlapped = serial;
+      overlapped.overlapped_io = true;
+      const Report s = interpret(schedule, serial);
+      const Report o = interpret(schedule, overlapped);
+      ASSERT_EQ(o.error_count(), 0u) << o.summary();
+      EXPECT_DOUBLE_EQ(o.facts.io_busy_cost, s.facts.io_cost)
+          << "ram=" << ram << " io=" << io;
+      EXPECT_LE(o.facts.io_cost, o.facts.io_busy_cost + 1e-9)
+          << "ram=" << ram << " io=" << io;
+      EXPECT_LE(o.facts.total_cost(), s.facts.total_cost() + 1e-9)
+          << "ram=" << ram << " io=" << io;
+      EXPECT_GE(o.facts.total_cost(),
+                o.facts.forward_cost + o.facts.backward_cost - 1e-9)
+          << "ram=" << ram << " io=" << io;
+      EXPECT_LE(o.facts.peak_staged_slots,
+                overlapped.write_staging_slots + overlapped.read_staging_slots)
+          << "ram=" << ram << " io=" << io;
+      EXPECT_LE(o.facts.peak_memory_units,
+                s.facts.peak_memory_units + overlapped.write_staging_slots)
+          << "ram=" << ram << " io=" << io;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace edgetrain::analysis

@@ -106,6 +106,72 @@ TEST(DiskRevolve, PeakDiskSlotsCountsLiveDiskCheckpoints) {
   EXPECT_LE(solver.peak_disk_slots(), 64);
 }
 
+// --- overlap pricing (options.overlap_io) ---------------------------------
+
+TEST(DiskRevolveOverlap, BoundedBySerialAndByFreeIo) {
+  // Overlap pricing discounts IO by the recompute it hides behind, so the
+  // solved cost must sit between the serial plan (IO fully on the critical
+  // path) and the free-IO plan (IO fully hidden), for every grid point.
+  for (const int l : {4, 16, 48, 128}) {
+    for (const int s : {1, 2, 4}) {
+      for (const double io : {0.5, 2.0, 8.0}) {
+        DiskRevolveOptions serial;
+        serial.ram_slots = s;
+        serial.write_cost = io;
+        serial.read_cost = io;
+        DiskRevolveOptions overlap = serial;
+        overlap.overlap_io = true;
+        DiskRevolveOptions free_io = serial;
+        free_io.write_cost = 0.0;
+        free_io.read_cost = 0.0;
+        const DiskRevolveSolver serial_solver(l, serial);
+        const DiskRevolveSolver overlap_solver(l, overlap);
+        const DiskRevolveSolver free_solver(l, free_io);
+        EXPECT_LE(overlap_solver.forward_cost(),
+                  serial_solver.forward_cost() + 1e-9)
+            << "l=" << l << " s=" << s << " io=" << io;
+        EXPECT_GE(overlap_solver.forward_cost(),
+                  free_solver.forward_cost() - 1e-9)
+            << "l=" << l << " s=" << s << " io=" << io;
+        const Schedule schedule = overlap_solver.make_schedule();
+        EXPECT_EQ(schedule.validate(), std::nullopt)
+            << "l=" << l << " s=" << s << " io=" << io;
+        EXPECT_EQ(schedule.stats().backwards, l);
+      }
+    }
+  }
+}
+
+TEST(DiskRevolveOverlap, RamOnlyStillReducesToRevolve) {
+  // RAM transfers are free in both pricings, so overlap_io must not perturb
+  // the single-level reduction.
+  for (const int l : {2, 9, 40}) {
+    for (int s = 1; s <= std::min(l - 1, 4); ++s) {
+      DiskRevolveOptions options = ram_only(s);
+      options.overlap_io = true;
+      const DiskRevolveSolver solver(l, options);
+      EXPECT_DOUBLE_EQ(solver.forward_cost(),
+                       static_cast<double>(revolve::forward_cost(l, s)))
+          << "l=" << l << " s=" << s;
+    }
+  }
+}
+
+TEST(DiskRevolveOverlap, SpillsMoreEagerlyWhenIoCanHide) {
+  // Deep chain, scarce RAM, moderately priced disk: pricing the reads as
+  // hidden behind recompute makes disk checkpoints strictly cheaper than
+  // the serial plan believes, so the planned sweep gets strictly faster.
+  DiskRevolveOptions options;
+  options.ram_slots = 1;
+  options.write_cost = 5.0;
+  options.read_cost = 5.0;
+  const DiskRevolveSolver serial_solver(128, options);
+  options.overlap_io = true;
+  const DiskRevolveSolver overlap_solver(128, options);
+  EXPECT_LT(overlap_solver.forward_cost(), serial_solver.forward_cost());
+  EXPECT_GT(overlap_solver.peak_disk_slots(), 0);
+}
+
 TEST(DiskRevolve, RejectsBadArguments) {
   EXPECT_THROW(DiskRevolveSolver(0, DiskRevolveOptions{}),
                std::invalid_argument);

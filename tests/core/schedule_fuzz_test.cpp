@@ -8,9 +8,11 @@
 // interpreter proves sound must in fact reproduce the reference gradient.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <random>
 
 #include "analysis/interp.hpp"
+#include "core/async_slot_store.hpp"
 #include "core/disk_revolve.hpp"
 #include "core/executor.hpp"
 #include "models/small_nets.hpp"
@@ -262,6 +264,132 @@ TEST(ScheduleFuzzDiskTest, DiskRevolveSchedulesInterpretCleanAndMatch) {
       EXPECT_EQ(Tensor::max_abs_diff(grads[g], reference[g]), 0.0F)
           << "iter=" << iter << " grad=" << g;
     }
+  }
+}
+
+// Two-level schedules solved with overlap pricing and *executed through the
+// async store*: gradients must stay bit-identical to full storage while the
+// spills round-trip through real background IO, the sampled peak
+// resident_bytes() must stay within the planner's activation bound plus the
+// staging budget, and the overlapped-IO abstract interpretation must come
+// back clean against sound bounds (the serial wall-clock of the same
+// schedule; planner memory + write staging).
+TEST(ScheduleFuzzDiskTest, AsyncStoreMatchesFullStorageWithinStagingBudget) {
+  std::mt19937 net_rng(4040);
+  nn::LayerChain chain = models::build_mini_resnet(1, 4, 3, 1, net_rng);
+  Tensor input = Tensor::randn(Shape{2, 1, 12, 12}, net_rng);
+  const std::vector<std::int32_t> labels{0, 2};
+  const int l = chain.size();
+
+  const LossGradFn loss_grad = [&](const Tensor& logits) {
+    const ops::SoftmaxXentResult r = ops::softmax_xent_forward(logits, labels);
+    return ops::softmax_xent_backward(r.probs, labels);
+  };
+
+  auto run = [&](const Schedule& schedule, SlotStore* store,
+                 std::size_t* peak_resident) {
+    chain.zero_grad();
+    chain.clear_saved();
+    nn::LayerChainRunner runner(chain, nn::Phase::Train);
+    runner.begin_pass();
+    ScheduleExecutor executor;
+    ExecutorHooks hooks;
+    if (store != nullptr && peak_resident != nullptr) {
+      hooks.on_action = [&](std::int64_t, const Action&) {
+        *peak_resident = std::max(*peak_resident, store->resident_bytes());
+      };
+    }
+    const ExecutionResult result =
+        store != nullptr
+            ? executor.run(runner, schedule, input, loss_grad, *store, hooks)
+            : executor.run(runner, schedule, input, loss_grad);
+    std::vector<Tensor> grads{result.input_grad.clone()};
+    for (const nn::ParamRef& p : chain.params()) {
+      grads.push_back(p.grad->clone());
+    }
+    return grads;
+  };
+
+  const std::vector<Tensor> reference =
+      run(full_storage_schedule(l), nullptr, nullptr);
+
+  // Largest boundary activation: the unit behind the planner's byte bound.
+  std::size_t unit_bytes = input.bytes();
+  {
+    chain.zero_grad();
+    chain.clear_saved();
+    nn::LayerChainRunner runner(chain, nn::Phase::Train);
+    runner.begin_pass();
+    Tensor cur = input;
+    for (int i = 0; i < l; ++i) {
+      cur = runner.forward(static_cast<std::int32_t>(i), cur, false);
+      unit_bytes = std::max(unit_bytes, cur.bytes());
+    }
+  }
+
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/fuzz_async_store";
+  std::filesystem::create_directories(dir);
+
+  std::mt19937 rng(4321);
+  std::uniform_int_distribution<int> ram_dist(1, 3);
+  std::uniform_real_distribution<double> io_dist(0.5, 8.0);
+  for (int iter = 0; iter < 6; ++iter) {
+    disk::DiskRevolveOptions options;
+    options.ram_slots = ram_dist(rng);
+    options.write_cost = io_dist(rng);
+    options.read_cost = io_dist(rng);
+    options.overlap_io = true;
+    const disk::DiskRevolveSolver solver(l, options);
+    const int ram = solver.options().ram_slots;
+    const Schedule schedule = solver.make_schedule();
+    ASSERT_EQ(schedule.validate(), std::nullopt)
+        << "iter=" << iter << "\n" << schedule.to_string();
+
+    // Overlapped-IO abstract interpretation against sound bounds: stalls
+    // only accrue while the IO worker is busy, so the pipeline wall-clock
+    // can never exceed the serial total of the same schedule; staging adds
+    // at most the write budget on top of the planner's activation units.
+    analysis::CostModel cost;
+    cost.first_disk_slot = ram + 1;
+    cost.disk_write_cost = options.write_cost;
+    cost.disk_read_cost = options.read_cost;
+    cost.overlapped_io = true;
+    analysis::CostModel serial = cost;
+    serial.overlapped_io = false;
+    const analysis::Report serial_verdict =
+        analysis::interpret(schedule, serial, analysis::Bounds{});
+    analysis::Bounds bounds;
+    bounds.max_memory_units = ram + 1 + cost.write_staging_slots;
+    bounds.max_ram_slots = ram + 1;
+    bounds.max_total_cost = serial_verdict.facts.total_cost();
+    const analysis::Report verdict =
+        analysis::interpret(schedule, cost, bounds);
+    EXPECT_EQ(verdict.error_count(), 0)
+        << "iter=" << iter << " ram=" << ram << "\n" << verdict.summary();
+    EXPECT_LE(verdict.facts.io_cost, verdict.facts.io_busy_cost + 1e-9)
+        << "iter=" << iter;
+    EXPECT_LE(verdict.facts.peak_staged_slots,
+              cost.write_staging_slots + cost.read_staging_slots)
+        << "iter=" << iter;
+
+    // Execute the same schedule through real background IO.
+    AsyncDiskSlotStore store(schedule.num_slots(), ram + 1, dir);
+    std::size_t peak_resident = 0;
+    const std::vector<Tensor> grads = run(schedule, &store, &peak_resident);
+    store.flush();
+
+    ASSERT_EQ(grads.size(), reference.size());
+    for (std::size_t g = 0; g < grads.size(); ++g) {
+      EXPECT_EQ(Tensor::max_abs_diff(grads[g], reference[g]), 0.0F)
+          << "iter=" << iter << " grad=" << g;
+    }
+    // Planner bound (ram slots + input) + one write-behind + one prefetch
+    // staging buffer, in units of the largest boundary activation.
+    const std::size_t budget_units = static_cast<std::size_t>(ram + 1 + 2);
+    EXPECT_LE(peak_resident, budget_units * unit_bytes)
+        << "iter=" << iter << " ram=" << ram
+        << " peak=" << peak_resident << " unit=" << unit_bytes;
   }
 }
 
