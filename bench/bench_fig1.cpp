@@ -12,16 +12,35 @@
 //                  of each real ResNet (stem/blocks/head with true per-step
 //                  costs) and report its rho at the same memory, validating
 //                  the homogenised LinearResNet model.
+//        --compress  add the slot-codec axis: re-solve the hardest panel's
+//                  peak-vs-rho curves per codec (none/lossless/fp16), report
+//                  the 2 GB crossing per codec, and time a real checkpointed
+//                  pass through the sync and async disk stores with each
+//                  codec under EDGETRAIN_DISK_LATENCY_US injected spill
+//                  latency. Release builds write BENCH_compress.json.
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <limits>
+#include <random>
+#include <string>
 #include <vector>
 
+#include "core/async_slot_store.hpp"
+#include "core/disk_revolve.hpp"
 #include "core/dynprog.hpp"
+#include "core/executor.hpp"
 #include "core/planner.hpp"
+#include "core/slot_store.hpp"
 #include "models/linear_resnet.hpp"
 #include "models/memory_model.hpp"
+#include "models/small_nets.hpp"
+#include "nn/chain_runner.hpp"
+#include "persist/io_latency.hpp"
+#include "tensor/ops.hpp"
 
 namespace {
 
@@ -139,6 +158,260 @@ void run_hetero(const Panel& panel) {
   std::printf("\n");
 }
 
+// --- the slot-codec axis (--compress) --------------------------------------
+
+struct CurvePoint {
+  double rho;
+  double peak_mb;
+};
+
+struct CodecCurve {
+  std::string model;
+  core::SlotCodec codec;
+  double planning_ratio;
+  double min_rho_fit_2gb;  // +inf when it never fits
+  std::vector<CurvePoint> points;
+};
+
+struct CodecTiming {
+  core::SlotCodec codec;
+  double sync_ms;
+  double async_ms;
+  double measured_ratio;
+  float grad_err;  // max |diff| / max |reference|, vs the RAM-store run
+};
+
+constexpr core::SlotCodec kCodecs[] = {
+    core::SlotCodec::None, core::SlotCodec::Lossless, core::SlotCodec::Fp16};
+
+/// Re-solves the hardest panel (batch 8, image 500) per codec: the planner
+/// charges resting checkpoints at planning_bytes_ratio(codec), so the same
+/// 2 GB cap affords more slots and a provably lower recompute factor.
+std::vector<CodecCurve> compress_curves() {
+  std::vector<CodecCurve> curves;
+  for (const models::ResNetVariant v :
+       {models::ResNetVariant::ResNet50, models::ResNetVariant::ResNet101,
+        models::ResNetVariant::ResNet152}) {
+    const models::ResNetMemoryModel mm(models::ResNetSpec::make(v));
+    const models::LinearResNet linear =
+        models::LinearResNet::from_resnet(mm, 500, 8);
+    for (const core::SlotCodec codec : kCodecs) {
+      CodecCurve curve;
+      curve.model = linear.name;
+      curve.codec = codec;
+      curve.planning_ratio = core::planning_bytes_ratio(codec);
+      const core::MemoryPlanner planner(
+          linear.to_chain_spec(curve.planning_ratio));
+      for (double rho = 1.0; rho <= 3.001; rho += 0.25) {
+        const core::PlanPoint point = planner.plan_for_rho(rho);
+        curve.points.push_back({rho, point.peak_bytes / kMiB});
+      }
+      const core::PlanReport report = planner.report_for_device(kLimit);
+      curve.min_rho_fit_2gb = report.fits_with_checkpointing
+                                  ? report.min_rho_to_fit
+                                  : std::numeric_limits<double>::infinity();
+      curves.push_back(std::move(curve));
+    }
+  }
+  return curves;
+}
+
+/// One checkpointed training pass per codec through the synchronous and
+/// asynchronous disk stores, spill latency injected per IO op.
+std::vector<CodecTiming> compress_wallclock(long latency_us) {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kRamSlots = 3;
+  constexpr int kRepeats = 5;
+
+  // A real mini-ResNet (conv/bn/relu): its checkpointed boundary
+  // activations are post-ReLU and zero-heavy, the regime the lossless
+  // byte-plane RLE is built for. A plain conv stack would spill dense
+  // random floats and show ratio ~1 -- true, but not the deployed case.
+  std::mt19937 rng(2026);
+  nn::LayerChain chain = models::build_mini_resnet(
+      /*blocks_per_stage=*/1, /*base_channels=*/16, /*num_classes=*/4,
+      /*in_channels=*/1, rng);
+  const int depth = chain.size();
+  Tensor x = Tensor::randn(Shape{4, 1, 16, 16}, rng);
+  const std::vector<std::int32_t> labels{0, 2, 1, 3};
+  const core::LossGradFn seed = [&](const Tensor& logits) {
+    const ops::SoftmaxXentResult r = ops::softmax_xent_forward(logits, labels);
+    return ops::softmax_xent_backward(r.probs, labels);
+  };
+  const std::string dir = "/tmp/edgetrain_bench_compress";
+  std::filesystem::create_directories(dir);
+
+  auto run_with = [&](const core::Schedule& schedule, core::SlotStore& store) {
+    chain.zero_grad();
+    chain.clear_saved();
+    nn::LayerChainRunner runner(chain, nn::Phase::Train);
+    runner.begin_pass();
+    core::ScheduleExecutor executor;
+    (void)executor.run(runner, schedule, x, seed, store);
+    std::vector<Tensor> grads;
+    for (const nn::ParamRef& p : chain.params()) {
+      grads.push_back(p.grad->clone());
+    }
+    return grads;
+  };
+  auto max_err = [](const std::vector<Tensor>& a,
+                    const std::vector<Tensor>& b) {
+    float err = 0.0F;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      err = std::max(err, Tensor::max_abs_diff(a[i], b[i]));
+    }
+    return err;
+  };
+
+  std::vector<CodecTiming> rows;
+  for (const core::SlotCodec codec : kCodecs) {
+    core::disk::DiskRevolveOptions options;
+    options.ram_slots = kRamSlots;
+    options.overlap_io = true;
+    options.spill_bytes_ratio = core::planning_bytes_ratio(codec);
+    const core::disk::DiskRevolveSolver solver(depth, options);
+    const core::Schedule schedule = solver.make_schedule();
+    const int first_disk_slot = kRamSlots + 1;
+
+    // Zero-latency RAM reference for this schedule (warm allocators too).
+    persist::set_disk_latency_us(0);
+    core::RamSlotStore ram(schedule.num_slots());
+    (void)run_with(schedule, ram);
+    const std::vector<Tensor> reference = run_with(schedule, ram);
+    float ref_scale = 0.0F;
+    for (const Tensor& t : reference) {
+      for (std::int64_t i = 0; i < t.numel(); ++i) {
+        ref_scale = std::max(ref_scale, std::abs(t.data()[i]));
+      }
+    }
+
+    persist::set_disk_latency_us(latency_us);
+    CodecTiming row{codec, 1e30, 1e30, 1.0, 0.0F};
+    {
+      core::DiskSlotStore store(schedule.num_slots(), first_disk_slot, dir,
+                                codec);
+      for (int repeat = 0; repeat < kRepeats; ++repeat) {
+        const auto t0 = Clock::now();
+        const std::vector<Tensor> grads = run_with(schedule, store);
+        row.sync_ms = std::min(
+            row.sync_ms,
+            std::chrono::duration<double>(Clock::now() - t0).count() * 1e3);
+        row.grad_err =
+            std::max(row.grad_err, max_err(grads, reference) / ref_scale);
+      }
+      row.measured_ratio = store.measured_ratio();
+    }
+    {
+      core::AsyncDiskSlotStoreOptions async_options;
+      async_options.codec = codec;
+      core::AsyncDiskSlotStore store(schedule.num_slots(), first_disk_slot,
+                                     dir, async_options);
+      for (int repeat = 0; repeat < kRepeats; ++repeat) {
+        const auto t0 = Clock::now();
+        const std::vector<Tensor> grads = run_with(schedule, store);
+        row.async_ms = std::min(
+            row.async_ms,
+            std::chrono::duration<double>(Clock::now() - t0).count() * 1e3);
+        row.grad_err =
+            std::max(row.grad_err, max_err(grads, reference) / ref_scale);
+      }
+    }
+    persist::set_disk_latency_us(0);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+int run_compress() {
+  const long env_latency_us = persist::disk_latency_us();
+  const long latency_us = env_latency_us > 0 ? env_latency_us : 500;
+
+  std::printf("--- slot-codec axis: peak memory vs rho per codec "
+              "(batch 8, image 500) ---\n");
+  const std::vector<CodecCurve> curves = compress_curves();
+  std::printf("%-16s %-10s %-8s %-14s\n", "model", "codec", "ratio",
+              "fits 2GB at");
+  for (const CodecCurve& curve : curves) {
+    if (std::isinf(curve.min_rho_fit_2gb)) {
+      std::printf("%-16s %-10s %-8.2f %-14s\n", curve.model.c_str(),
+                  core::to_string(curve.codec).c_str(), curve.planning_ratio,
+                  "never");
+    } else {
+      std::printf("%-16s %-10s %-8.2f rho=%-10.3f\n", curve.model.c_str(),
+                  core::to_string(curve.codec).c_str(), curve.planning_ratio,
+                  curve.min_rho_fit_2gb);
+    }
+  }
+
+  std::printf("\n--- spill wall-clock per codec (%ld us/op injected, %s) "
+              "---\n",
+              latency_us,
+              env_latency_us > 0 ? "from environment" : "default");
+  const std::vector<CodecTiming> rows = compress_wallclock(latency_us);
+  std::printf("%-10s %-12s %-12s %-14s %-10s\n", "codec", "sync ms",
+              "async ms", "measured", "grad err");
+  bool lossless_exact = true;
+  for (const CodecTiming& row : rows) {
+    std::printf("%-10s %-12.2f %-12.2f %-14.3f %-10.1e\n",
+                core::to_string(row.codec).c_str(), row.sync_ms, row.async_ms,
+                row.measured_ratio, static_cast<double>(row.grad_err));
+    if (row.codec != core::SlotCodec::Fp16 && row.grad_err != 0.0F) {
+      lossless_exact = false;
+    }
+  }
+  if (!lossless_exact) {
+    std::printf("FAIL: none/lossless codecs must give bit-identical "
+                "gradients\n");
+    return 1;
+  }
+
+#ifndef NDEBUG
+  // Non-Release numbers must never land in a committed BENCH_*.json.
+  std::printf("\nnon-Release build: skipping BENCH_compress.json\n");
+#else
+  std::FILE* json = std::fopen("BENCH_compress.json", "w");
+  if (json == nullptr) return 1;
+  std::fprintf(json,
+               "{\n  \"context\": {\n"
+               "    \"edgetrain_build_type\": \"Release\",\n"
+               "    \"disk_latency_us\": %ld\n  },\n  \"curves\": [\n",
+               latency_us);
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    const CodecCurve& curve = curves[i];
+    std::fprintf(json,
+                 "    {\"model\": \"%s\", \"codec\": \"%s\", "
+                 "\"planning_ratio\": %.2f, \"min_rho_fit_2gb\": %s",
+                 curve.model.c_str(), core::to_string(curve.codec).c_str(),
+                 curve.planning_ratio,
+                 std::isinf(curve.min_rho_fit_2gb)
+                     ? "null"
+                     : std::to_string(curve.min_rho_fit_2gb).c_str());
+    std::fprintf(json, ", \"points\": [");
+    for (std::size_t p = 0; p < curve.points.size(); ++p) {
+      std::fprintf(json, "{\"rho\": %.2f, \"peak_mb\": %.1f}%s",
+                   curve.points[p].rho, curve.points[p].peak_mb,
+                   p + 1 < curve.points.size() ? ", " : "");
+    }
+    std::fprintf(json, "]}%s\n", i + 1 < curves.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"wallclock\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CodecTiming& row = rows[i];
+    std::fprintf(json,
+                 "    {\"codec\": \"%s\", \"sync_ms\": %.4f, "
+                 "\"async_ms\": %.4f, \"measured_ratio\": %.4f, "
+                 "\"grad_err\": %.3e}%s\n",
+                 core::to_string(row.codec).c_str(), row.sync_ms, row.async_ms,
+                 row.measured_ratio, static_cast<double>(row.grad_err),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_compress.json\n");
+#endif
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,6 +434,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hetero") == 0) {
       run_hetero(panels[3]);  // batch 8, image 500 (the hardest panel)
+    } else if (std::strncmp(argv[i], "--compress", 10) == 0) {
+      if (const int rc = run_compress(); rc != 0) return rc;
     }
   }
   return 0;

@@ -104,9 +104,15 @@ int main() {
                 row.capture_ms, row.write_ms, row.restore_ms);
   }
 
+#ifndef NDEBUG
+  // Non-Release numbers must never land in a committed BENCH_*.json.
+  std::printf("\nnon-Release build: skipping BENCH_resume.json\n");
+#else
   std::FILE* json = std::fopen("BENCH_resume.json", "w");
   if (json == nullptr) return 1;
-  std::fprintf(json, "{\n  \"benchmarks\": [\n");
+  std::fprintf(json,
+               "{\n  \"context\": {\"edgetrain_build_type\": \"Release\"},\n"
+               "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     std::fprintf(json,
@@ -121,5 +127,6 @@ int main() {
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("\nwrote BENCH_resume.json\n");
+#endif
   return 0;
 }

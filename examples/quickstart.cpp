@@ -9,6 +9,12 @@
 // With --async-io the same loop spills checkpoints to disk through the
 // write-behind/prefetching AsyncDiskSlotStore (DESIGN.md section 11):
 // gradients stay bit-identical while the spill IO overlaps recompute.
+//
+// With --compress[=lossless|fp16|bf16] checkpoints rest as codec blobs
+// (DESIGN.md section 12): lossless byte-plane RLE keeps gradients
+// bit-identical, the half-precision casts halve checkpoint bytes at
+// gradcheck-tolerance error. Composable with --async-io, where the store
+// stages and spills the *encoded* bytes.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -26,8 +32,27 @@
 
 int main(int argc, char** argv) {
   using namespace edgetrain;
-  const bool async_io =
-      argc > 1 && std::strcmp(argv[1], "--async-io") == 0;
+  bool async_io = false;
+  core::SlotCodec codec = core::SlotCodec::None;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--async-io") == 0) {
+      async_io = true;
+    } else if (std::strncmp(argv[i], "--compress", 10) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      const auto parsed = core::parse_slot_codec(eq ? eq + 1 : "lossless");
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "quickstart: unknown codec in %s (expected "
+                     "--compress[=none|lossless|fp16|bf16])\n",
+                     argv[i]);
+        return 1;
+      }
+      codec = *parsed;
+    } else {
+      std::fprintf(stderr, "quickstart: unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
 
   // 1. A small CNN (conv/bn/relu stem, two residual blocks, classifier).
   std::mt19937 rng(7);
@@ -43,26 +68,35 @@ int main(int argc, char** argv) {
   // spills the rest to disk, where the async store hides the file IO
   // behind recompute.
   core::Schedule schedule;
-  std::unique_ptr<core::AsyncDiskSlotStore> disk_store;
+  std::unique_ptr<core::SlotStore> store;
   if (async_io) {
     core::disk::DiskRevolveOptions options;
     options.ram_slots = 2;
     options.overlap_io = true;
+    options.spill_bytes_ratio = core::planning_bytes_ratio(codec);
     const core::disk::DiskRevolveSolver solver(net.size(), options);
     schedule = solver.make_schedule();
     const std::string dir = "/tmp/edgetrain_quickstart_spill";
     std::filesystem::create_directories(dir);
-    disk_store = std::make_unique<core::AsyncDiskSlotStore>(
-        schedule.num_slots(), /*first_disk_slot=*/options.ram_slots + 1, dir);
+    core::AsyncDiskSlotStoreOptions store_options;
+    store_options.codec = codec;
+    store = std::make_unique<core::AsyncDiskSlotStore>(
+        schedule.num_slots(), /*first_disk_slot=*/options.ram_slots + 1, dir,
+        store_options);
     std::printf("schedule: two-level disk revolve, 2 RAM slots + %d disk "
-                "slots, write-behind spills + prefetched restores\n\n",
-                solver.peak_disk_slots());
+                "slots, write-behind spills + prefetched restores"
+                " (spill codec: %s)\n\n",
+                solver.peak_disk_slots(), core::to_string(codec).c_str());
   } else {
     const int slots = core::revolve::min_free_slots_for_rho(net.size(), 1.3);
     schedule = core::revolve::make_schedule(net.size(), slots);
+    if (codec != core::SlotCodec::None) {
+      store = std::make_unique<core::CompressedSlotStore>(schedule.num_slots(),
+                                                          codec);
+    }
     std::printf("schedule: %d free checkpoint slots for rho <= 1.3 "
-                "(full storage would hold %d activations)\n\n",
-                slots, net.size());
+                "(full storage would hold %d activations; slot codec: %s)\n\n",
+                slots, net.size(), core::to_string(codec).c_str());
   }
 
   // 3. Train on random batches of a synthetic 4-class problem.
@@ -97,8 +131,8 @@ int main(int argc, char** argv) {
       return ops::softmax_xent_backward(result.probs, labels);
     };
     const core::ExecutionResult result =
-        disk_store != nullptr
-            ? executor.run(runner, schedule, x, loss_grad, *disk_store)
+        store != nullptr
+            ? executor.run(runner, schedule, x, loss_grad, *store)
             : executor.run(runner, schedule, x, loss_grad);
     optimizer.step();
 

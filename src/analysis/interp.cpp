@@ -24,6 +24,7 @@ std::string to_string(Check check) {
     case Check::FreeOrphan: return "free-orphan";
     case Check::Completion: return "completion";
     case Check::MemoryBound: return "memory-bound";
+    case Check::WeightedMemoryBound: return "weighted-memory-bound";
     case Check::SlotBound: return "slot-bound";
     case Check::WorkBound: return "work-bound";
     case Check::RedundantFree: return "redundant-free";
@@ -391,6 +392,15 @@ class Interpreter {
                            : 0;
     f.peak_memory_units = std::max(
         f.peak_memory_units, ram_slots_in_use_ + live_saves_ - 1 + staged);
+    // Weighted variant: resting checkpoints (occupied slots minus the
+    // input; staged write-behind blobs) rest encoded at the codec ratio,
+    // live intermediates stay plaintext. Reduces to peak_memory_units at
+    // ratio 1.
+    f.peak_weighted_units =
+        std::max(f.peak_weighted_units,
+                 static_cast<double>(live_saves_) +
+                     cost_.slot_bytes_ratio *
+                         (std::max(ram_slots_in_use_ - 1, 0) + staged));
   }
 
   void finish() {
@@ -412,6 +422,14 @@ class Interpreter {
                    "peak memory units " + std::to_string(f.peak_memory_units) +
                        " exceed the analytic bound " +
                        std::to_string(*bounds_.max_memory_units));
+    }
+    if (bounds_.max_weighted_units &&
+        f.peak_weighted_units > *bounds_.max_weighted_units + 1e-9) {
+      error_at_end(Check::WeightedMemoryBound,
+                   "codec-weighted peak units " +
+                       std::to_string(f.peak_weighted_units) +
+                       " exceed the planner bound " +
+                       std::to_string(*bounds_.max_weighted_units));
     }
     if (bounds_.max_ram_slots &&
         f.peak_ram_slots_in_use > *bounds_.max_ram_slots) {

@@ -55,6 +55,7 @@ enum class Check : std::uint8_t {
   FreeOrphan,         ///< Free of a slot a later Restore still needs
   Completion,         ///< reversal incomplete at end of program
   MemoryBound,        ///< peak activation units exceed the analytic bound
+  WeightedMemoryBound,///< codec-weighted peak units exceed the planner bound
   SlotBound,          ///< peak RAM slot occupancy exceeds the analytic bound
   WorkBound,          ///< total cost exceeds the scheduler's promise
   RedundantFree,      ///< (warning) Free of an already-empty slot
@@ -100,6 +101,12 @@ struct CostModel {
   /// AsyncDiskSlotStoreOptions for the wall-clock model to be faithful).
   int write_staging_slots = 1;
   int read_staging_slots = 1;
+  /// Bytes a resting (slot-stored or staged) checkpoint costs relative to
+  /// plaintext, in (0, 1]: the slot codec's planning ratio. Weighted peak
+  /// accounting charges occupied RAM slots and write-behind staging at this
+  /// ratio while live intermediates stay at 1 -- exactly the planner's
+  /// peak(s) = fixed + (1 + s * ratio) * act model, in activation units.
+  double slot_bytes_ratio = 1.0;
 
   [[nodiscard]] double step_cost(std::int32_t step) const {
     if (step_costs.empty()) return 1.0;
@@ -123,6 +130,14 @@ struct Bounds {
   /// Total cost bound: weighted forwards + weighted backwards + IO. The
   /// paper's work budget for recompute factor rho is 2 * rho * l.
   std::optional<double> max_total_cost;
+  /// Codec-weighted peak activation units (Facts::peak_weighted_units must
+  /// stay <= this). For the one-live-save schedule families (binomial
+  /// Revolve, two-level disk Revolve) with s free slots and a codec of
+  /// ratio r the planner promises 1 + r * s (+ r * staging when the
+  /// overlapped-IO model is on). Families that keep several live saves at
+  /// once (sequential segmentation, full storage) have no such closed form
+  /// -- leave it unset there.
+  std::optional<double> max_weighted_units;
 };
 
 /// Quantities measured by one abstract run.
@@ -144,6 +159,12 @@ struct Facts {
   /// Occupied RAM slots + live saves - 1 (the ScheduleStats convention:
   /// the stored chain input is the data buffer, not a counted activation).
   int peak_memory_units = 0;
+  /// Same quantity with resting checkpoints (occupied RAM slots minus the
+  /// input, plus write-behind staging) charged at CostModel::
+  /// slot_bytes_ratio and live intermediates at 1: peak RAM in plaintext
+  /// activation units when slots hold codec blobs. Equals
+  /// peak_memory_units when the ratio is 1.
+  double peak_weighted_units = 0.0;
   double forward_cost = 0.0;   ///< weighted advances + unabsorbed saves
   double backward_cost = 0.0;  ///< weighted backwards
   /// Serial model: full disk write/read charges. Overlapped model

@@ -54,6 +54,11 @@ std::int64_t sweep_revolve(const SweepConfig& config,
     }
     c.bounds.max_memory_units = s + 1;
     c.bounds.max_ram_slots = s + 1;
+    // Codec-weighted accounting at the fp16 planning ratio: Revolve holds
+    // at most one live save, so the planner's 1 + ratio * s peak is a
+    // sound (and tight) bound for compressed resting checkpoints.
+    c.cost.slot_bytes_ratio = 0.5;
+    c.bounds.max_weighted_units = 1.0 + 0.5 * static_cast<double>(s);
     c.schedule = core::revolve::make_schedule(table, l, s);
     visit(c);
     ++count;
@@ -192,6 +197,10 @@ std::int64_t sweep_disk(const SweepConfig& config, const CaseVisitor& visit) {
           c.cost.disk_read_cost = options.read_cost;
           c.bounds.max_memory_units = rs + 1;
           c.bounds.max_ram_slots = rs + 1;
+          // Two-level Revolve also keeps a single live save; RAM-resting
+          // checkpoints compressed at the fp16 ratio obey 1 + ratio * rs.
+          c.cost.slot_bytes_ratio = 0.5;
+          c.bounds.max_weighted_units = 1.0 + 0.5 * static_cast<double>(rs);
           c.bounds.max_total_cost = solver.forward_cost() + l;
           c.schedule = solver.make_schedule();
           visit(c);
@@ -231,6 +240,12 @@ std::int64_t sweep_disk(const SweepConfig& config, const CaseVisitor& visit) {
           oc.bounds.max_memory_units =
               ov_rs + 1 + oc.cost.write_staging_slots;
           oc.bounds.max_ram_slots = ov_rs + 1;
+          // Staged write-behind blobs are encoded too (the async store
+          // compresses at put), so staging joins the weighted term.
+          oc.cost.slot_bytes_ratio = 0.5;
+          oc.bounds.max_weighted_units =
+              1.0 + 0.5 * static_cast<double>(ov_rs +
+                                              oc.cost.write_staging_slots);
           visit(oc);
           ++count;
         }

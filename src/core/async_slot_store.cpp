@@ -5,7 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/slot_codec.hpp"
 #include "core/spill_io.hpp"
+#include "tensor/convert.hpp"
 
 namespace edgetrain::core {
 
@@ -13,6 +15,14 @@ namespace {
 [[noreturn]] void empty_slot(std::int32_t slot) {
   throw std::logic_error("SlotStore: slot " + std::to_string(slot) +
                          " is empty");
+}
+
+/// Drops a staged encoded blob, poisoning it first when nothing else
+/// (an in-flight write or a decoding get()) still holds a reference.
+void release_staged_blob(std::shared_ptr<std::vector<std::uint8_t>>& blob) {
+  if (!blob) return;
+  if (blob.use_count() == 1) detail::poison_blob(*blob);
+  blob.reset();
 }
 }  // namespace
 
@@ -62,6 +72,15 @@ void AsyncDiskSlotStore::put(std::int32_t slot, const Tensor& value) {
     held = value;
     return;
   }
+  std::shared_ptr<std::vector<std::uint8_t>> blob;
+  if (options_.codec != SlotCodec::None) {
+    // Encode on the calling thread (parallel kernels) before staging: the
+    // write-behind buffer then holds compressed bytes, and -- for the lossy
+    // casts -- every later get() decodes this exact blob, so results are
+    // identical whether served from staging, prefetch, or a blocking read.
+    blob = std::make_shared<std::vector<std::uint8_t>>(
+        codec::encode(options_.codec, value));
+  }
   std::unique_lock<std::mutex> lock(mu_);
   // Back-pressure: the training thread may run at most write_staging_slots
   // spills ahead of the disk. Stale (superseded) jobs still occupy staging
@@ -70,7 +89,11 @@ void AsyncDiskSlotStore::put(std::int32_t slot, const Tensor& value) {
   DiskSlot& state = disk_at(slot);
   invalidate_locked(state);
   state.state = State::WritePending;
-  state.staged = value;  // shares the caller's storage; no copy
+  if (blob) {
+    state.staged_blob = std::move(blob);
+  } else {
+    state.staged = value;  // shares the caller's storage; no copy
+  }
   state.shape = value.shape();
   enqueue_write_locked(slot);
 }
@@ -94,6 +117,21 @@ Tensor AsyncDiskSlotStore::get(std::int32_t slot) {
         std::rethrow_exception(state.error);
       case State::WritePending: {
         // Write-behind cache hit: the payload is still staged in RAM.
+        if (state.staged_blob) {
+          // Decode the staged blob -- not the original tensor -- so lossy
+          // codecs return the same values a post-flush read would. Shared
+          // handle lets the write proceed while we decode unlocked.
+          const std::shared_ptr<std::vector<std::uint8_t>> blob =
+              state.staged_blob;
+          const Shape shape = state.shape;
+          lock.unlock();
+          Tensor out =
+              codec::decode(options_.codec, "AsyncDiskSlotStore", shape,
+                            blob->data(), blob->size());
+          lock.lock();
+          ++write_behind_hits_;
+          return out;
+        }
         ++write_behind_hits_;
         return state.staged;
       }
@@ -135,12 +173,21 @@ Tensor AsyncDiskSlotStore::get(std::int32_t slot) {
     const std::string path = path_for(slot);
     const Shape shape = state.shape;
     const std::uint32_t crc = state.crc;
+    const std::size_t encoded_size = state.disk_bytes;
     lock.unlock();
     Tensor out;
     std::exception_ptr error;
     try {
       if (options_.io_fault) options_.io_fault(slot, /*is_write=*/false);
-      out = spill::read_spill("AsyncDiskSlotStore", path, shape, crc);
+      if (options_.codec == SlotCodec::None) {
+        out = spill::read_spill("AsyncDiskSlotStore", path, shape, crc);
+      } else {
+        std::vector<std::uint8_t> blob(encoded_size);
+        spill::read_spill_blob("AsyncDiskSlotStore", path, encoded_size, crc,
+                               blob.data());
+        out = codec::decode(options_.codec, "AsyncDiskSlotStore", shape,
+                            blob.data(), blob.size());
+      }
     } catch (...) {
       error = std::current_exception();
     }
@@ -188,6 +235,7 @@ std::size_t AsyncDiskSlotStore::resident_bytes() const {
   // both count, so the "async is cheaper" story can never hide memory.
   for (const DiskSlot& d : disk_) {
     if (d.staged.defined()) total += d.staged.bytes();
+    if (d.staged_blob) total += d.staged_blob->size();
     if (d.prefetched.defined()) total += d.prefetched.bytes();
   }
   return total;
@@ -288,6 +336,7 @@ void AsyncDiskSlotStore::invalidate_locked(DiskSlot& slot) {
     detail::poison_if_sole_owner(slot.staged);
     slot.staged.reset();
   }
+  release_staged_blob(slot.staged_blob);
   if (slot.prefetch_queued) {
     slot.prefetch_queued = false;
     --staged_reads_;  // the stale job sees the generation bump and exits
@@ -369,6 +418,7 @@ void AsyncDiskSlotStore::enqueue_prefetch_locked(std::int32_t slot) {
 
 void AsyncDiskSlotStore::run_write(std::int32_t slot, std::uint64_t gen) {
   Tensor payload;
+  std::shared_ptr<std::vector<std::uint8_t>> blob;
   {
     std::lock_guard<std::mutex> lock(mu_);
     DiskSlot& state = disk_at(slot);
@@ -381,14 +431,23 @@ void AsyncDiskSlotStore::run_write(std::int32_t slot, std::uint64_t gen) {
       std::remove(path_for(slot).c_str());
       return;
     }
-    payload = state.staged;  // shared handle; payload bytes are immutable
+    if (state.staged_blob) {
+      blob = state.staged_blob;  // shared handle; blob bytes are immutable
+    } else {
+      payload = state.staged;  // shared handle; payload bytes are immutable
+    }
   }
 
   std::uint32_t crc = 0;
   std::exception_ptr error;
   try {
     if (options_.io_fault) options_.io_fault(slot, /*is_write=*/true);
-    crc = spill::write_spill("AsyncDiskSlotStore", path_for(slot), payload);
+    if (blob) {
+      crc = spill::write_spill_blob("AsyncDiskSlotStore", path_for(slot),
+                                    blob->data(), blob->size());
+    } else {
+      crc = spill::write_spill("AsyncDiskSlotStore", path_for(slot), payload);
+    }
   } catch (...) {
     error = std::current_exception();
   }
@@ -405,13 +464,17 @@ void AsyncDiskSlotStore::run_write(std::int32_t slot, std::uint64_t gen) {
     state.error = error;
     detail::poison_if_sole_owner(state.staged);
     state.staged.reset();
+    blob.reset();
+    release_staged_blob(state.staged_blob);
   } else {
     state.state = State::OnDisk;
     state.crc = crc;
-    state.disk_bytes = state.staged.bytes();
+    state.disk_bytes = blob ? blob->size() : state.staged.bytes();
     disk_bytes_ += state.disk_bytes;
     detail::poison_if_sole_owner(state.staged);
     state.staged.reset();
+    blob.reset();
+    release_staged_blob(state.staged_blob);
     ++writes_;
     maybe_prefetch_locked();  // this slot may be an upcoming Restore
   }
@@ -421,20 +484,35 @@ void AsyncDiskSlotStore::run_write(std::int32_t slot, std::uint64_t gen) {
 void AsyncDiskSlotStore::run_prefetch(std::int32_t slot, std::uint64_t gen) {
   Shape shape;
   std::uint32_t crc = 0;
+  std::size_t encoded_size = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     DiskSlot& state = disk_at(slot);
     if (state.generation != gen) return;  // invalidation paid our unit back
     shape = state.shape;
     crc = state.crc;
+    encoded_size = state.disk_bytes;
   }
 
   Tensor result;
   std::exception_ptr error;
   try {
     if (options_.io_fault) options_.io_fault(slot, /*is_write=*/false);
-    result = spill::read_spill("AsyncDiskSlotStore", path_for(slot), shape,
-                               crc);
+    if (options_.codec == SlotCodec::None) {
+      result = spill::read_spill("AsyncDiskSlotStore", path_for(slot), shape,
+                                 crc);
+    } else {
+      // Read AND decode here, on the IO thread, with Threading::Serial:
+      // decompression overlaps the training thread's recompute instead of
+      // borrowing the compute pool mid-sweep (ThreadPool::parallel_for has
+      // no external-caller serialisation).
+      std::vector<std::uint8_t> blob(encoded_size);
+      spill::read_spill_blob("AsyncDiskSlotStore", path_for(slot),
+                             encoded_size, crc, blob.data());
+      result = codec::decode(options_.codec, "AsyncDiskSlotStore", shape,
+                             blob.data(), blob.size(),
+                             convert::Threading::Serial);
+    }
   } catch (...) {
     error = std::current_exception();
   }

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <condition_variable>
 #include <string>
@@ -55,6 +56,15 @@ struct AsyncDiskSlotStoreOptions {
   /// Upcoming Restore actions scanned per lookahead step when choosing
   /// what to prefetch next.
   int lookahead_window = 8;
+  /// Slot codec applied to spilled payloads (core/slot_codec.hpp). put()
+  /// encodes on the calling thread (parallel kernels) and stages the
+  /// *encoded* blob, so write-behind staging holds compressed bytes, the
+  /// file write moves compressed bytes, and -- for the lossy casts --
+  /// every get() path (write-behind hit, prefetch hit, blocking read)
+  /// returns the identical decode of the same blob. Prefetched restores
+  /// are decoded on the background IO thread (Threading::Serial), so
+  /// decompression overlaps recompute instead of borrowing the pool.
+  SlotCodec codec = SlotCodec::None;
   /// Test hook: called on the IO thread before each spill write
   /// (is_write=true) / prefetch or blocking read (false); may throw to
   /// inject an IO failure for that slot.
@@ -105,6 +115,11 @@ class AsyncDiskSlotStore final : public SlotStore {
     State state = State::Empty;
     std::uint64_t generation = 0;  ///< bumped by put/drop to void old jobs
     Tensor staged;       ///< write-behind payload (shares caller storage)
+    /// Encoded write-behind payload (codec != None); replaces `staged` so
+    /// staging RAM holds compressed bytes and every get() decodes the same
+    /// blob the file write flushes. shared_ptr: the IO thread keeps the
+    /// blob alive through a write that an invalidate races.
+    std::shared_ptr<std::vector<std::uint8_t>> staged_blob;
     Tensor prefetched;   ///< read-ahead staging buffer (owned)
     bool prefetch_queued = false;  ///< a prefetch job is queued/in flight
     Shape shape;

@@ -16,6 +16,10 @@ DiskRevolveSolver::DiskRevolveSolver(int num_steps,
   if (options_.write_cost < 0.0 || options_.read_cost < 0.0) {
     throw std::invalid_argument("DiskRevolve: negative IO cost");
   }
+  if (options_.spill_bytes_ratio <= 0.0 || options_.spill_bytes_ratio > 1.0) {
+    throw std::invalid_argument(
+        "DiskRevolve: spill_bytes_ratio must be in (0, 1]");
+  }
   options_.ram_slots = std::min(options_.ram_slots, std::max(num_steps - 1, 0));
 
   const std::size_t size = static_cast<std::size_t>(num_steps + 1) *
@@ -26,8 +30,11 @@ DiskRevolveSolver::DiskRevolveSolver(int num_steps,
   fwd_choice_.assign(size, Choice{});
   rev_choice_.assign(size, Choice{});
 
-  const double read[2] = {0.0, options_.read_cost};
-  const double write[2] = {0.0, options_.write_cost};
+  // IO time is proportional to bytes moved, so the codec ratio scales the
+  // calibrated per-checkpoint costs directly.
+  const double read[2] = {0.0, options_.read_cost * options_.spill_bytes_ratio};
+  const double write[2] = {0.0,
+                           options_.write_cost * options_.spill_bytes_ratio};
   // Overlap pricing (async store): a restore issued behind @p window forward
   // units of guaranteed compute only bills the part the pipeline cannot
   // hide. Serial pricing is the window = 0 special case.

@@ -31,6 +31,12 @@ struct DiskRevolveOptions {
   int ram_slots = 1;        ///< free RAM checkpoint slots (input not counted)
   double write_cost = 2.0;  ///< disk write, in forward-step units
   double read_cost = 2.0;   ///< disk read, in forward-step units
+  /// Encoded bytes per plaintext byte for spilled checkpoints, in (0, 1]
+  /// (core::planning_bytes_ratio). Disk IO time is bytes moved / bandwidth,
+  /// so the DP prices each write/read at cost * ratio: a 0.5 codec halves
+  /// the IO penalty, shifting the optimal splits toward more disk
+  /// checkpoints at the same write_cost calibration.
+  double spill_bytes_ratio = 1.0;
   bool allow_disk = true;   ///< disable to recover single-level Revolve
   /// Price disk IO as overlapped with recompute instead of serial, matching
   /// AsyncDiskSlotStore: a write is hidden under the advance it trails

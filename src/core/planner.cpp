@@ -11,13 +11,22 @@ MemoryPlanner::MemoryPlanner(ChainSpec spec) : spec_(std::move(spec)) {
   if (spec_.activation_bytes_per_step <= 0.0) {
     throw std::invalid_argument("MemoryPlanner: activation size must be > 0");
   }
+  if (spec_.checkpoint_bytes_ratio <= 0.0 ||
+      spec_.checkpoint_bytes_ratio > 1.0) {
+    throw std::invalid_argument(
+        "MemoryPlanner: checkpoint_bytes_ratio must be in (0, 1]");
+  }
   table_ = std::make_unique<revolve::RevolveTable>(
       spec_.depth, std::max(spec_.depth - 1, 0));
 }
 
 double MemoryPlanner::no_checkpoint_bytes() const noexcept {
+  // All depth activations stored: the frontier in plaintext, the other
+  // depth - 1 resting at the codec ratio (which is 1 when uncompressed).
   return spec_.fixed_bytes +
-         static_cast<double>(spec_.depth) * spec_.activation_bytes_per_step;
+         (1.0 + static_cast<double>(spec_.depth - 1) *
+                    spec_.checkpoint_bytes_ratio) *
+             spec_.activation_bytes_per_step;
 }
 
 double MemoryPlanner::min_possible_bytes() const noexcept {
@@ -33,7 +42,8 @@ PlanPoint MemoryPlanner::point_for_slots(int free_slots) const {
       static_cast<double>(point.forward_cost + spec_.depth) /
       (2.0 * static_cast<double>(spec_.depth));
   point.peak_bytes = spec_.fixed_bytes +
-                     static_cast<double>(point.total_slots) *
+                     (1.0 + static_cast<double>(free_slots) *
+                                spec_.checkpoint_bytes_ratio) *
                          spec_.activation_bytes_per_step;
   return point;
 }
@@ -72,11 +82,15 @@ PlanReport MemoryPlanner::report_for_device(double capacity_bytes) const {
     report.min_rho_to_fit = std::numeric_limits<double>::infinity();
     return report;
   }
-  // Largest slot count that fits determines the smallest achievable rho.
-  const double budget_slots =
-      (capacity_bytes - spec_.fixed_bytes) / spec_.activation_bytes_per_step;
+  // Largest slot count that fits determines the smallest achievable rho:
+  // fixed + (1 + s * ratio) * act <= capacity solved for the free slots s.
+  // At ratio = 1 this reduces to the paper's floor((cap - fixed) / act) - 1
+  // exactly; at ratio < 1 the same budget buys proportionally more slots.
+  const double budget_free_slots =
+      (capacity_bytes - spec_.fixed_bytes - spec_.activation_bytes_per_step) /
+      (spec_.activation_bytes_per_step * spec_.checkpoint_bytes_ratio);
   const int total_slots = std::clamp(
-      static_cast<int>(budget_slots), 1, spec_.depth);
+      static_cast<int>(budget_free_slots) + 1, 1, spec_.depth);
   report.recommended = point_for_slots(total_slots - 1);
   report.recommended.rho_budget = report.recommended.achieved_rho;
   report.min_rho_to_fit = report.recommended.achieved_rho;

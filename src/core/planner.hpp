@@ -1,10 +1,15 @@
 // edgetrain: the Section VI memory planner.
 //
 // Combines the Revolve cost tables with the paper's linearised memory model
-//   peak(s) = fixed_bytes + (s + 1) * activation_bytes_per_step
+//   peak(s) = fixed_bytes + (1 + s * ratio) * activation_bytes_per_step
 // (s free checkpoint slots plus the live frontier activation; the chain
 // input is excluded, as in the paper's tables) and the recompute factor
 //   rho(s) = (F(l, s) + l) / (2 l).
+// `ratio` is the slot-codec compression factor (core/slot_codec.hpp): the
+// frontier activation is always held in plaintext, but the s checkpoints
+// rest encoded, so a 0.5 fp16 codec buys ~2x the slots per byte budget and
+// the planner provably selects a lower rho at the same RAM cap. ratio = 1
+// (the default) reproduces the paper's model bit for bit.
 // The planner answers the two questions Figure 1 plots: "given a recompute
 // budget rho, how much memory do I need?" and "given a device, what is the
 // smallest rho that fits?". It also computes the paper's n_max = the
@@ -27,6 +32,11 @@ struct ChainSpec {
   int depth = 1;                         ///< l
   double fixed_bytes = 0.0;              ///< weights + grads + optimizer state
   double activation_bytes_per_step = 0;  ///< k * M_A (batch folded in)
+  /// Bytes a resting checkpoint slot costs relative to plaintext, in
+  /// (0, 1]: 1.0 = uncompressed, 0.5 = fp16/bf16 cast codec; use
+  /// planning_bytes_ratio(codec) or a measured_ratio() for lossless. The
+  /// live frontier activation is always charged at full size.
+  double checkpoint_bytes_ratio = 1.0;
 };
 
 /// One point of the memory/recompute trade-off curve.
@@ -36,7 +46,7 @@ struct PlanPoint {
   int free_slots = 0;            ///< s
   int total_slots = 1;           ///< s + 1 (the analytic memory unit count)
   std::int64_t forward_cost = 0; ///< F(l, s)
-  double peak_bytes = 0.0;       ///< fixed + total_slots * act_bytes
+  double peak_bytes = 0.0;       ///< fixed + (1 + s * ratio) * act_bytes
 
   [[nodiscard]] bool fits(double capacity_bytes) const {
     return peak_bytes <= capacity_bytes;

@@ -156,6 +156,22 @@ int min_free_slots_for_cost(int num_steps, std::int64_t max_forwards) {
   return num_steps - 1;
 }
 
+int max_free_slots_for_bytes(double capacity_bytes, double fixed_bytes,
+                             double act_bytes, double checkpoint_bytes_ratio) {
+  if (act_bytes <= 0.0) {
+    throw std::invalid_argument(
+        "max_free_slots_for_bytes: act_bytes must be > 0");
+  }
+  if (checkpoint_bytes_ratio <= 0.0 || checkpoint_bytes_ratio > 1.0) {
+    throw std::invalid_argument(
+        "max_free_slots_for_bytes: ratio must be in (0, 1]");
+  }
+  // Room left after the fixed state and the plaintext frontier activation.
+  const double room = capacity_bytes - fixed_bytes - act_bytes;
+  if (room < 0.0) return -1;
+  return static_cast<int>(room / (act_bytes * checkpoint_bytes_ratio));
+}
+
 namespace {
 
 /// Recursive emission of the executor-dialect schedule.

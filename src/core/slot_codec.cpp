@@ -1,0 +1,321 @@
+#include "core/slot_codec.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/parallel.hpp"
+#include "tensor/workspace.hpp"
+
+namespace edgetrain::core {
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Lossless blob layout (shape travels out of band with the store):
+//
+//   byte 0          mode: 0 = raw payload, 1 = byte planes
+//   mode 0          the 4n plaintext payload bytes
+//   mode 1          u32 encoded_size[4] (LE), then the four RLE streams
+//
+// Per-plane RLE is PackBits-style: control c in [0, 127] copies the next
+// c + 1 literal bytes; c in [129, 255] repeats the next byte 257 - c times
+// (runs of 3..128); 128 is never emitted, so the decoder treats it (and
+// any over/underrun) as corruption. Worst case a plane costs
+// n + ceil(n / 128) bytes, and encode() falls back to raw mode whenever
+// the plane form is not strictly smaller -- so a Lossless blob never
+// exceeds plaintext + 1 byte.
+// --------------------------------------------------------------------------
+
+constexpr std::uint8_t kModeRaw = 0;
+constexpr std::uint8_t kModePlanes = 1;
+constexpr std::size_t kPlaneHeaderBytes = 1 + 4 * sizeof(std::uint32_t);
+constexpr std::int64_t kMinRun = 3;
+constexpr std::int64_t kMaxToken = 128;
+
+[[nodiscard]] std::size_t rle_cap(std::int64_t n) {
+  return static_cast<std::size_t>(n + (n + kMaxToken - 1) / kMaxToken + 2);
+}
+
+/// Encodes @p n bytes at @p src into @p dst (capacity >= rle_cap(n));
+/// returns the encoded size.
+std::size_t rle_encode(const std::uint8_t* src, std::int64_t n,
+                       std::uint8_t* dst) {
+  std::size_t out = 0;
+  std::int64_t i = 0;
+  while (i < n) {
+    std::int64_t run = 1;
+    while (i + run < n && src[i + run] == src[i] && run < kMaxToken) ++run;
+    if (run >= kMinRun) {
+      dst[out++] = static_cast<std::uint8_t>(257 - run);
+      dst[out++] = src[i];
+      i += run;
+      continue;
+    }
+    const std::int64_t literal_start = i;
+    std::int64_t literal = 0;
+    while (i < n && literal < kMaxToken) {
+      if (i + kMinRun - 1 < n && src[i] == src[i + 1] &&
+          src[i] == src[i + 2]) {
+        break;  // a run worth a token starts here
+      }
+      ++i;
+      ++literal;
+    }
+    dst[out++] = static_cast<std::uint8_t>(literal - 1);
+    std::memcpy(dst + out, src + literal_start,
+                static_cast<std::size_t>(literal));
+    out += static_cast<std::size_t>(literal);
+  }
+  return out;
+}
+
+[[noreturn]] void corrupt(const std::string& who, const char* what) {
+  throw std::runtime_error(who + ": compressed slot blob is corrupt (" +
+                           what + "); refusing to return a damaged "
+                           "checkpoint");
+}
+
+/// Decodes exactly @p n bytes into @p dst; throws on any malformation.
+void rle_decode(const std::string& who, const std::uint8_t* src,
+                std::size_t size, std::uint8_t* dst, std::int64_t n) {
+  std::size_t in = 0;
+  std::int64_t out = 0;
+  while (in < size) {
+    const std::uint8_t control = src[in++];
+    if (control < kMaxToken) {
+      const std::int64_t len = static_cast<std::int64_t>(control) + 1;
+      if (in + static_cast<std::size_t>(len) > size) {
+        corrupt(who, "literal token overruns the stream");
+      }
+      if (out + len > n) corrupt(who, "literal token overruns the payload");
+      std::memcpy(dst + out, src + in, static_cast<std::size_t>(len));
+      in += static_cast<std::size_t>(len);
+      out += len;
+    } else if (control > kMaxToken) {
+      const std::int64_t len = 257 - static_cast<std::int64_t>(control);
+      if (in >= size) corrupt(who, "run token misses its byte");
+      if (out + len > n) corrupt(who, "run token overruns the payload");
+      std::memset(dst + out, src[in++], static_cast<std::size_t>(len));
+      out += len;
+    } else {
+      corrupt(who, "reserved control byte 128");
+    }
+  }
+  if (out != n) corrupt(who, "stream ends short of the payload");
+}
+
+/// Workspace span handed out as bytes (64-byte aligned).
+[[nodiscard]] std::uint8_t* scratch_bytes(std::size_t bytes) {
+  const auto floats =
+      static_cast<std::int64_t>((bytes + sizeof(float) - 1) / sizeof(float));
+  return reinterpret_cast<std::uint8_t*>(Workspace::tls().alloc(floats));
+}
+
+void store_u32(std::uint8_t* dst, std::uint32_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+[[nodiscard]] std::uint32_t load_u32(const std::uint8_t* src) {
+  std::uint32_t value = 0;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+std::vector<std::uint8_t> encode_lossless(const Tensor& value,
+                                          convert::Threading threading) {
+  const std::int64_t n = value.numel();
+  const auto payload = static_cast<std::size_t>(n) * sizeof(float);
+  const auto* src = reinterpret_cast<const std::uint8_t*>(value.data());
+
+  WorkspaceScope scope(Workspace::tls());
+  std::uint8_t* planes = scratch_bytes(payload);
+  convert::byte_plane_split(src, n, planes, threading);
+
+  const std::size_t cap = rle_cap(n);
+  std::uint8_t* streams = scratch_bytes(4 * cap);
+  std::size_t sizes[4] = {0, 0, 0, 0};
+  // The four plane encodes are independent; grain 1 fans them across the
+  // pool (rle_encode cannot throw, so pool execution is safe).
+  const auto encode_plane = [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t b = begin; b < end; ++b) {
+      sizes[b] = rle_encode(planes + b * n, n,
+                            streams + static_cast<std::size_t>(b) * cap);
+    }
+  };
+  if (threading == convert::Threading::Parallel) {
+    parallel_for(0, 4, 1, encode_plane);
+  } else {
+    encode_plane(0, 4);
+  }
+
+  const std::size_t plane_total =
+      kPlaneHeaderBytes + sizes[0] + sizes[1] + sizes[2] + sizes[3];
+  if (plane_total >= 1 + payload) {
+    // Incompressible: store raw behind the mode byte.
+    std::vector<std::uint8_t> blob(1 + payload);
+    blob[0] = kModeRaw;
+    std::memcpy(blob.data() + 1, src, payload);
+    return blob;
+  }
+  std::vector<std::uint8_t> blob(plane_total);
+  blob[0] = kModePlanes;
+  std::size_t offset = kPlaneHeaderBytes;
+  for (int b = 0; b < 4; ++b) {
+    store_u32(blob.data() + 1 + static_cast<std::size_t>(b) * 4,
+              static_cast<std::uint32_t>(sizes[b]));
+    std::memcpy(blob.data() + offset, streams + static_cast<std::size_t>(b) * cap,
+                sizes[b]);
+    offset += sizes[b];
+  }
+  return blob;
+}
+
+Tensor decode_lossless(const std::string& who, const Shape& shape,
+                       const std::uint8_t* data, std::size_t size,
+                       convert::Threading threading) {
+  const std::int64_t n = shape.numel();
+  const auto payload = static_cast<std::size_t>(n) * sizeof(float);
+  if (size < 1) corrupt(who, "empty blob");
+  Tensor out = Tensor::empty(shape);
+  auto* dst = reinterpret_cast<std::uint8_t*>(out.data());
+
+  if (data[0] == kModeRaw) {
+    if (size != 1 + payload) corrupt(who, "raw mode size mismatch");
+    std::memcpy(dst, data + 1, payload);
+    return out;
+  }
+  if (data[0] != kModePlanes) corrupt(who, "unknown mode byte");
+  if (size < kPlaneHeaderBytes) corrupt(who, "plane header truncated");
+
+  std::size_t sizes[4];
+  std::size_t total = kPlaneHeaderBytes;
+  for (int b = 0; b < 4; ++b) {
+    sizes[b] = load_u32(data + 1 + static_cast<std::size_t>(b) * 4);
+    total += sizes[b];
+  }
+  if (total != size) corrupt(who, "plane sizes disagree with the blob size");
+
+  WorkspaceScope scope(Workspace::tls());
+  std::uint8_t* planes = scratch_bytes(payload);
+  // Decode serially: the streams need validation and pool jobs must not
+  // throw. RLE decode runs at memcpy/memset speed anyway.
+  std::size_t offset = kPlaneHeaderBytes;
+  for (int b = 0; b < 4; ++b) {
+    rle_decode(who, data + offset, sizes[b],
+               planes + static_cast<std::int64_t>(b) * n, n);
+    offset += sizes[b];
+  }
+  convert::byte_plane_merge(planes, n, dst, threading);
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(SlotCodec codec) {
+  switch (codec) {
+    case SlotCodec::None: return "none";
+    case SlotCodec::Lossless: return "lossless";
+    case SlotCodec::Fp16: return "fp16";
+    case SlotCodec::Bf16: return "bf16";
+  }
+  return "?";
+}
+
+std::optional<SlotCodec> parse_slot_codec(std::string_view name) {
+  if (name == "none") return SlotCodec::None;
+  if (name == "lossless") return SlotCodec::Lossless;
+  if (name == "fp16") return SlotCodec::Fp16;
+  if (name == "bf16") return SlotCodec::Bf16;
+  return std::nullopt;
+}
+
+double planning_bytes_ratio(SlotCodec codec) {
+  switch (codec) {
+    case SlotCodec::None:
+    case SlotCodec::Lossless:
+      return 1.0;
+    case SlotCodec::Fp16:
+    case SlotCodec::Bf16:
+      return 0.5;
+  }
+  return 1.0;
+}
+
+namespace codec {
+
+std::size_t max_encoded_bytes(SlotCodec codec, std::int64_t numel) {
+  const auto n = static_cast<std::size_t>(numel);
+  switch (codec) {
+    case SlotCodec::None: return n * sizeof(float);
+    case SlotCodec::Lossless: return 1 + n * sizeof(float);
+    case SlotCodec::Fp16:
+    case SlotCodec::Bf16:
+      return n * sizeof(std::uint16_t);
+  }
+  return n * sizeof(float);
+}
+
+std::vector<std::uint8_t> encode(SlotCodec codec, const Tensor& value,
+                                 convert::Threading threading) {
+  const std::int64_t n = value.numel();
+  switch (codec) {
+    case SlotCodec::None: {
+      std::vector<std::uint8_t> blob(static_cast<std::size_t>(n) *
+                                     sizeof(float));
+      std::memcpy(blob.data(), value.data(), blob.size());
+      return blob;
+    }
+    case SlotCodec::Lossless:
+      return encode_lossless(value, threading);
+    case SlotCodec::Fp16:
+    case SlotCodec::Bf16: {
+      std::vector<std::uint8_t> blob(static_cast<std::size_t>(n) *
+                                     sizeof(std::uint16_t));
+      auto* dst = reinterpret_cast<std::uint16_t*>(blob.data());
+      if (codec == SlotCodec::Fp16) {
+        convert::fp32_to_fp16(value.data(), dst, n, threading);
+      } else {
+        convert::fp32_to_bf16(value.data(), dst, n, threading);
+      }
+      return blob;
+    }
+  }
+  throw std::logic_error("SlotCodec: unknown codec");
+}
+
+Tensor decode(SlotCodec codec, const std::string& who, const Shape& shape,
+              const std::uint8_t* data, std::size_t size,
+              convert::Threading threading) {
+  const std::int64_t n = shape.numel();
+  switch (codec) {
+    case SlotCodec::None: {
+      if (size != static_cast<std::size_t>(n) * sizeof(float)) {
+        corrupt(who, "raw blob size mismatch");
+      }
+      Tensor out = Tensor::empty(shape);
+      std::memcpy(out.data(), data, size);
+      return out;
+    }
+    case SlotCodec::Lossless:
+      return decode_lossless(who, shape, data, size, threading);
+    case SlotCodec::Fp16:
+    case SlotCodec::Bf16: {
+      if (size != static_cast<std::size_t>(n) * sizeof(std::uint16_t)) {
+        corrupt(who, "half blob size mismatch");
+      }
+      Tensor out = Tensor::empty(shape);
+      const auto* src = reinterpret_cast<const std::uint16_t*>(data);
+      if (codec == SlotCodec::Fp16) {
+        convert::fp16_to_fp32(src, out.data(), n, threading);
+      } else {
+        convert::bf16_to_fp32(src, out.data(), n, threading);
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("SlotCodec: unknown codec");
+}
+
+}  // namespace codec
+
+}  // namespace edgetrain::core

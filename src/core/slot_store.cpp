@@ -9,7 +9,9 @@
 
 #include "core/spill_io.hpp"
 #include "tensor/alloc.hpp"
+#include "tensor/convert.hpp"
 #include "tensor/guards.hpp"
+#include "tensor/workspace.hpp"
 
 namespace edgetrain::core {
 
@@ -26,6 +28,14 @@ void poison_if_sole_owner([[maybe_unused]] Tensor& held) {
 #if defined(EDGETRAIN_GUARDS)
   if (held.defined() && held.storage_use_count() == 1) {
     guards::paint(held.data(), held.numel(), guards::kPoisonBits);
+  }
+#endif
+}
+
+void poison_blob([[maybe_unused]] std::vector<std::uint8_t>& blob) {
+#if defined(EDGETRAIN_GUARDS)
+  if (!blob.empty()) {
+    guards::paint_bytes(blob.data(), static_cast<std::int64_t>(blob.size()));
   }
 #endif
 }
@@ -81,12 +91,14 @@ std::size_t RamSlotStore::resident_bytes() const {
 // ---------------------------------------------------------------------------
 
 DiskSlotStore::DiskSlotStore(int num_slots, int first_disk_slot,
-                             std::string directory)
+                             std::string directory, SlotCodec codec)
     : first_disk_slot_(first_disk_slot),
       directory_(std::move(directory)),
+      codec_(codec),
       ram_(static_cast<std::size_t>(num_slots)),
       disk_shapes_(static_cast<std::size_t>(num_slots)),
       disk_crcs_(static_cast<std::size_t>(num_slots), 0),
+      disk_payload_bytes_(static_cast<std::size_t>(num_slots), 0),
       on_disk_(static_cast<std::size_t>(num_slots), false) {}
 
 DiskSlotStore::~DiskSlotStore() {
@@ -107,16 +119,26 @@ void DiskSlotStore::put(std::int32_t slot, const Tensor& value) {
     ram_.at(static_cast<std::size_t>(slot)) = value;
     return;
   }
-  const std::uint32_t crc =
-      spill::write_spill("DiskSlotStore", path_for(slot), value);
-  if (on_disk_.at(static_cast<std::size_t>(slot))) {
-    disk_bytes_ -= static_cast<std::size_t>(
-        disk_shapes_[static_cast<std::size_t>(slot)].numel() * 4);
+  const auto idx = static_cast<std::size_t>(slot);
+  std::uint32_t crc = 0;
+  std::size_t payload = 0;
+  if (codec_ == SlotCodec::None) {
+    crc = spill::write_spill("DiskSlotStore", path_for(slot), value);
+    payload = value.bytes();
+  } else {
+    const std::vector<std::uint8_t> blob = codec::encode(codec_, value);
+    crc = spill::write_spill_blob("DiskSlotStore", path_for(slot),
+                                  blob.data(), blob.size());
+    payload = blob.size();
   }
-  disk_shapes_[static_cast<std::size_t>(slot)] = value.shape();
-  disk_crcs_[static_cast<std::size_t>(slot)] = crc;
-  on_disk_[static_cast<std::size_t>(slot)] = true;
-  disk_bytes_ += value.bytes();
+  if (on_disk_.at(idx)) disk_bytes_ -= disk_payload_bytes_[idx];
+  disk_shapes_[idx] = value.shape();
+  disk_crcs_[idx] = crc;
+  disk_payload_bytes_[idx] = payload;
+  on_disk_[idx] = true;
+  disk_bytes_ += payload;
+  plain_seen_ += value.bytes();
+  encoded_seen_ += payload;
   ++writes_;
 }
 
@@ -126,11 +148,25 @@ Tensor DiskSlotStore::get(std::int32_t slot) {
     if (!held.defined()) empty_slot(slot);
     return held;
   }
-  if (!on_disk_.at(static_cast<std::size_t>(slot))) empty_slot(slot);
-  Tensor out = spill::read_spill(
-      "DiskSlotStore", path_for(slot),
-      disk_shapes_[static_cast<std::size_t>(slot)],
-      disk_crcs_[static_cast<std::size_t>(slot)]);
+  const auto idx = static_cast<std::size_t>(slot);
+  if (!on_disk_.at(idx)) empty_slot(slot);
+  Tensor out;
+  if (codec_ == SlotCodec::None) {
+    out = spill::read_spill("DiskSlotStore", path_for(slot),
+                            disk_shapes_[idx], disk_crcs_[idx]);
+  } else {
+    // The encoded image passes through the arena (no heap per restore),
+    // then decodes with the parallel convert kernels on this thread.
+    const std::size_t size = disk_payload_bytes_[idx];
+    WorkspaceScope scope(Workspace::tls());
+    auto* encoded = reinterpret_cast<std::uint8_t*>(Workspace::tls().alloc(
+        static_cast<std::int64_t>((size + sizeof(float) - 1) /
+                                  sizeof(float))));
+    spill::read_spill_blob("DiskSlotStore", path_for(slot), size,
+                           disk_crcs_[idx], encoded);
+    out = codec::decode(codec_, "DiskSlotStore", disk_shapes_[idx], encoded,
+                        size);
+  }
   ++reads_;
   return out;
 }
@@ -140,10 +176,11 @@ void DiskSlotStore::drop(std::int32_t slot) {
     ram_.at(static_cast<std::size_t>(slot)).reset();
     return;
   }
-  if (on_disk_.at(static_cast<std::size_t>(slot))) {
-    disk_bytes_ -= static_cast<std::size_t>(
-        disk_shapes_[static_cast<std::size_t>(slot)].numel() * 4);
-    on_disk_[static_cast<std::size_t>(slot)] = false;
+  const auto idx = static_cast<std::size_t>(slot);
+  if (on_disk_.at(idx)) {
+    disk_bytes_ -= disk_payload_bytes_[idx];
+    disk_payload_bytes_[idx] = 0;
+    on_disk_[idx] = false;
     std::remove(path_for(slot).c_str());
   }
 }
@@ -157,6 +194,61 @@ std::size_t DiskSlotStore::resident_bytes() const {
 }
 
 std::size_t DiskSlotStore::external_bytes() const { return disk_bytes_; }
+
+// ---------------------------------------------------------------------------
+// CompressedSlotStore
+// ---------------------------------------------------------------------------
+
+CompressedSlotStore::CompressedSlotStore(int num_slots, SlotCodec codec)
+    : codec_(codec), slots_(static_cast<std::size_t>(num_slots)) {}
+
+CompressedSlotStore::~CompressedSlotStore() {
+  for (EncodedSlot& slot : slots_) release(slot);
+}
+
+void CompressedSlotStore::release(EncodedSlot& slot) {
+  if (slot.occupied) {
+    // No stale plaintext-derived bytes may survive the release: the blob
+    // is poisoned before the allocator can hand its pages to anyone else.
+    detail::poison_blob(slot.blob);
+  }
+  if (slot.tracked > 0) {
+    MemoryTracker::instance().on_free(slot.tracked);
+    slot.tracked = 0;
+  }
+  slot.blob.clear();
+  slot.blob.shrink_to_fit();
+  slot.occupied = false;
+}
+
+void CompressedSlotStore::put(std::int32_t slot, const Tensor& value) {
+  EncodedSlot& encoded = slots_.at(static_cast<std::size_t>(slot));
+  release(encoded);
+  encoded.shape = value.shape();
+  encoded.blob = codec::encode(codec_, value);
+  encoded.tracked = encoded.blob.size();
+  MemoryTracker::instance().on_alloc(encoded.tracked);
+  encoded.occupied = true;
+  plain_seen_ += value.bytes();
+  encoded_seen_ += encoded.blob.size();
+}
+
+Tensor CompressedSlotStore::get(std::int32_t slot) {
+  EncodedSlot& encoded = slots_.at(static_cast<std::size_t>(slot));
+  if (!encoded.occupied) empty_slot(slot);
+  return codec::decode(codec_, "CompressedSlotStore", encoded.shape,
+                       encoded.blob.data(), encoded.blob.size());
+}
+
+void CompressedSlotStore::drop(std::int32_t slot) {
+  release(slots_.at(static_cast<std::size_t>(slot)));
+}
+
+std::size_t CompressedSlotStore::resident_bytes() const {
+  std::size_t total = 0;
+  for (const EncodedSlot& slot : slots_) total += slot.tracked;
+  return total;
+}
 
 // ---------------------------------------------------------------------------
 // Half conversions
@@ -255,9 +347,9 @@ void QuantizedSlotStore::put(std::int32_t slot, const Tensor& value) {
 
   if (precision_ == Precision::Half) {
     encoded.half.resize(static_cast<std::size_t>(n));
-    for (std::int64_t i = 0; i < n; ++i) {
-      encoded.half[static_cast<std::size_t>(i)] = float_to_half(data[i]);
-    }
+    // Bulk SIMD kernel; bit-identical to the scalar float_to_half
+    // reference (property-tested in slot_codec_test).
+    convert::fp32_to_fp16(data, encoded.half.data(), n);
     encoded.tracked = static_cast<std::size_t>(n) * 2;
   } else {
     float lo = data[0];
@@ -288,9 +380,7 @@ Tensor QuantizedSlotStore::get(std::int32_t slot) {
   float* data = out.data();
   const std::int64_t n = out.numel();
   if (precision_ == Precision::Half) {
-    for (std::int64_t i = 0; i < n; ++i) {
-      data[i] = half_to_float(encoded.half[static_cast<std::size_t>(i)]);
-    }
+    convert::fp16_to_fp32(encoded.half.data(), data, n);
   } else {
     for (std::int64_t i = 0; i < n; ++i) {
       data[i] = encoded.zero +

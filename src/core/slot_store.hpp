@@ -1,10 +1,17 @@
 // edgetrain: checkpoint slot storage backends.
 //
-// The executor keeps checkpointed activations in a SlotStore. Three
+// The executor keeps checkpointed activations in a SlotStore. Four
 // backends make the paper's memory story physical:
 //   * RamSlotStore      -- shares tensor handles (zero copy; the default);
 //   * DiskSlotStore     -- spills designated slots to files (the SD card of
-//                          a Waggle node; pairs with core/disk_revolve.hpp);
+//                          a Waggle node; pairs with core/disk_revolve.hpp),
+//                          optionally through a slot codec, which shrinks
+//                          the SD-card bytes per spill;
+//   * CompressedSlotStore -- keeps slots in RAM as codec blobs
+//                          (core/slot_codec.hpp): lossless byte-plane RLE
+//                          (bit-exact restores) or fp16/bf16 casts (half
+//                          the bytes, gradcheck-tolerance error), so the
+//                          planner fits more checkpoints per byte budget;
 //   * QuantizedSlotStore-- stores slots at reduced precision (fp16 or
 //                          affine int8), halving/quartering checkpoint
 //                          memory at a small, measurable gradient error
@@ -19,6 +26,7 @@
 #include <vector>
 
 #include "core/schedule.hpp"
+#include "core/slot_codec.hpp"
 #include "tensor/tensor.hpp"
 
 namespace edgetrain::core {
@@ -90,7 +98,12 @@ class RamSlotStore final : public SlotStore {
 /// heap allocation per spill in steady state.
 class DiskSlotStore final : public SlotStore {
  public:
-  DiskSlotStore(int num_slots, int first_disk_slot, std::string directory);
+  /// With a codec other than SlotCodec::None, spilled slots are encoded on
+  /// put (parallel convert kernels on the calling thread) and decoded on
+  /// get; external_bytes() then reports the *encoded* footprint -- the
+  /// quantity the SD card actually stores.
+  DiskSlotStore(int num_slots, int first_disk_slot, std::string directory,
+                SlotCodec codec = SlotCodec::None);
   ~DiskSlotStore() override;
   void put(std::int32_t slot, const Tensor& value) override;
   [[nodiscard]] Tensor get(std::int32_t slot) override;
@@ -100,6 +113,22 @@ class DiskSlotStore final : public SlotStore {
 
   [[nodiscard]] std::int64_t disk_writes() const noexcept { return writes_; }
   [[nodiscard]] std::int64_t disk_reads() const noexcept { return reads_; }
+  [[nodiscard]] SlotCodec codec() const noexcept { return codec_; }
+
+  /// Cumulative plaintext vs encoded bytes over every spilled put; their
+  /// ratio is the measured compression on real activations (1.0 when no
+  /// codec or nothing spilled yet).
+  [[nodiscard]] std::size_t plain_bytes_seen() const noexcept {
+    return plain_seen_;
+  }
+  [[nodiscard]] std::size_t encoded_bytes_seen() const noexcept {
+    return encoded_seen_;
+  }
+  [[nodiscard]] double measured_ratio() const noexcept {
+    return plain_seen_ == 0 ? 1.0
+                            : static_cast<double>(encoded_seen_) /
+                                  static_cast<double>(plain_seen_);
+  }
 
  private:
   [[nodiscard]] std::string path_for(std::int32_t slot) const;
@@ -109,11 +138,15 @@ class DiskSlotStore final : public SlotStore {
 
   int first_disk_slot_;
   std::string directory_;
+  SlotCodec codec_;
   std::vector<Tensor> ram_;             // RAM tier
   std::vector<Shape> disk_shapes_;      // shape per spilled slot
   std::vector<std::uint32_t> disk_crcs_;  // payload CRC32 per spilled slot
+  std::vector<std::size_t> disk_payload_bytes_;  // on-disk payload per slot
   std::vector<bool> on_disk_;
   std::size_t disk_bytes_ = 0;
+  std::size_t plain_seen_ = 0;
+  std::size_t encoded_seen_ = 0;
   std::int64_t writes_ = 0;
   std::int64_t reads_ = 0;
 };
@@ -124,7 +157,60 @@ namespace detail {
 /// No-op in release builds. Shared by the RAM store (dropped checkpoints)
 /// and the async store (discarded staging buffers).
 void poison_if_sole_owner(Tensor& held);
+
+/// Guards-only: poisons an encoded blob being released (byte pattern
+/// guards::kPoisonByte), so no stale plaintext-derived bytes survive a
+/// drop/overwrite. No-op in release builds.
+void poison_blob(std::vector<std::uint8_t>& blob);
 }  // namespace detail
+
+/// Keeps every slot in RAM as an encoded codec blob. put() encodes with
+/// the parallel convert kernels, get() decodes; with SlotCodec::Lossless
+/// restores are bit-exact while resident_bytes() reports the *encoded*
+/// footprint -- the byte savings the planner converts into extra
+/// checkpoint slots (lower rho at the same RAM cap). Blob bytes are
+/// MemoryTracker-accounted and poisoned on release under EDGETRAIN_GUARDS.
+class CompressedSlotStore final : public SlotStore {
+ public:
+  CompressedSlotStore(int num_slots, SlotCodec codec);
+  ~CompressedSlotStore() override;
+  void put(std::int32_t slot, const Tensor& value) override;
+  [[nodiscard]] Tensor get(std::int32_t slot) override;
+  void drop(std::int32_t slot) override;
+  [[nodiscard]] std::size_t resident_bytes() const override;
+  [[nodiscard]] std::size_t external_bytes() const override { return 0; }
+
+  [[nodiscard]] SlotCodec codec() const noexcept { return codec_; }
+
+  /// Cumulative plaintext vs encoded bytes over every put; the measured
+  /// compression ratio on the activations this store actually saw.
+  [[nodiscard]] std::size_t plain_bytes_seen() const noexcept {
+    return plain_seen_;
+  }
+  [[nodiscard]] std::size_t encoded_bytes_seen() const noexcept {
+    return encoded_seen_;
+  }
+  [[nodiscard]] double measured_ratio() const noexcept {
+    return plain_seen_ == 0 ? 1.0
+                            : static_cast<double>(encoded_seen_) /
+                                  static_cast<double>(plain_seen_);
+  }
+
+ private:
+  struct EncodedSlot {
+    Shape shape;
+    std::vector<std::uint8_t> blob;
+    bool occupied = false;
+    std::size_t tracked = 0;  // bytes registered with the MemoryTracker
+  };
+
+  void release(EncodedSlot& slot);
+
+  SlotCodec codec_;
+  std::vector<EncodedSlot> slots_;
+  std::size_t plain_seen_ = 0;
+  std::size_t encoded_seen_ = 0;
+};
 
 /// Stores checkpoints at reduced precision. The decoded tensor differs
 /// from the original by quantisation error; recomputed forwards then run

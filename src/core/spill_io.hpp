@@ -48,4 +48,20 @@ std::uint32_t write_spill(const std::string& who, const std::string& path,
                                 const std::string& path, const Shape& shape,
                                 std::uint32_t crc);
 
+// --- Encoded (compressed) spills ------------------------------------------
+// Same header discipline and IO path, magic "ETSC": the payload is an
+// opaque codec blob (core/slot_codec.hpp) whose byte length replaces the
+// tensor dims (rank 0, dims[0] = size). The store keeps shape, codec, CRC
+// and size in RAM, so verification still runs against in-RAM ground truth.
+
+/// Writes @p size encoded bytes to @p path; returns the payload CRC-32.
+std::uint32_t write_spill_blob(const std::string& who, const std::string& path,
+                               const std::uint8_t* data, std::size_t size);
+
+/// Reads exactly @p size encoded bytes back into @p out, verifying the file
+/// size and CRC against the recorded @p size / @p crc. Throws like
+/// read_spill on any mismatch.
+void read_spill_blob(const std::string& who, const std::string& path,
+                     std::size_t size, std::uint32_t crc, std::uint8_t* out);
+
 }  // namespace edgetrain::core::spill

@@ -13,12 +13,14 @@ LinearResNet LinearResNet::from_resnet(const ResNetMemoryModel& model,
   return linear;
 }
 
-core::ChainSpec LinearResNet::to_chain_spec() const {
+core::ChainSpec LinearResNet::to_chain_spec(
+    double checkpoint_bytes_ratio) const {
   core::ChainSpec spec;
   spec.name = name;
   spec.depth = depth;
   spec.fixed_bytes = fixed_bytes;
   spec.activation_bytes_per_step = act_bytes_per_step;
+  spec.checkpoint_bytes_ratio = checkpoint_bytes_ratio;
   return spec;
 }
 

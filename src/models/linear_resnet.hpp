@@ -25,8 +25,11 @@ struct LinearResNet {
                                                 int image_size,
                                                 std::int64_t batch);
 
-  /// The planner's chain description.
-  [[nodiscard]] core::ChainSpec to_chain_spec() const;
+  /// The planner's chain description. @p checkpoint_bytes_ratio is the
+  /// slot-codec compression factor for resting checkpoints (1.0 =
+  /// uncompressed, core::planning_bytes_ratio(codec) for a codec).
+  [[nodiscard]] core::ChainSpec to_chain_spec(
+      double checkpoint_bytes_ratio = 1.0) const;
 
   /// Footprint with all activations stored (rho = 1).
   [[nodiscard]] double full_storage_bytes() const {

@@ -42,6 +42,19 @@ void paint(float* ptr, std::int64_t count, std::uint32_t bits) {
   }
 }
 
+void paint_bytes(std::uint8_t* ptr, std::int64_t count) {
+  if (count <= 0) return;
+  std::memset(ptr, kPoisonByte, static_cast<std::size_t>(count));
+  g_poison_fills.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool all_poison_bytes(const std::uint8_t* ptr, std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (ptr[i] != kPoisonByte) return false;
+  }
+  return true;
+}
+
 std::int64_t poison_fill_count() noexcept {
   return g_poison_fills.load(std::memory_order_relaxed);
 }

@@ -39,11 +39,25 @@ inline constexpr bool kEnabled = false;
 inline constexpr std::uint32_t kCanaryBits = 0x7FC0'CAFEU;
 inline constexpr std::uint32_t kPoisonBits = 0x7FC0'DEADU;
 
+/// Poison byte for encoded (non-float) buffers -- compressed checkpoint
+/// blobs are opaque byte streams, so the float quiet-NaN pattern does not
+/// apply; a released blob is filled with this byte instead.
+inline constexpr std::uint8_t kPoisonByte = 0xDD;
+
 /// Number of guard floats after every Workspace span (one 64-byte line).
 inline constexpr std::int64_t kCanaryFloats = 16;
 
 /// Fills @p count floats with the given bit pattern.
 void paint(float* ptr, std::int64_t count, std::uint32_t bits);
+
+/// Fills @p count bytes with kPoisonByte (counts as one poison fill, like
+/// paint with kPoisonBits): stale reads of a released encoded checkpoint
+/// blob see a recognisable pattern, never leftover plaintext.
+void paint_bytes(std::uint8_t* ptr, std::int64_t count);
+
+/// True when all @p count bytes carry kPoisonByte.
+[[nodiscard]] bool all_poison_bytes(const std::uint8_t* ptr,
+                                    std::int64_t count);
 
 /// True when all @p count floats carry exactly the given bit pattern.
 [[nodiscard]] bool all_match(const float* ptr, std::int64_t count,

@@ -5,6 +5,10 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/interp.hpp"
+#include "core/revolve.hpp"
+#include "models/linear_resnet.hpp"
+
 namespace edgetrain::core {
 namespace {
 
@@ -111,6 +115,118 @@ TEST(MemoryPlanner, RejectsBadChain) {
   ChainSpec zero_act = demo_chain();
   zero_act.activation_bytes_per_step = 0.0;
   EXPECT_THROW(MemoryPlanner{zero_act}, std::invalid_argument);
+  ChainSpec bad_ratio = demo_chain();
+  bad_ratio.checkpoint_bytes_ratio = 0.0;
+  EXPECT_THROW(MemoryPlanner{bad_ratio}, std::invalid_argument);
+  bad_ratio.checkpoint_bytes_ratio = 1.5;
+  EXPECT_THROW(MemoryPlanner{bad_ratio}, std::invalid_argument);
+}
+
+// --- compressed checkpoint slots -------------------------------------------
+
+TEST(MemoryPlanner, CompressedPeakFollowsWeightedFormula) {
+  // peak(s) = fixed + (1 + s * ratio) * act: the frontier activation is
+  // always plaintext, resting checkpoints cost ratio * act each.
+  ChainSpec spec = demo_chain(50, 400.0, 5.0);
+  spec.checkpoint_bytes_ratio = 0.5;
+  const MemoryPlanner planner(spec);
+  const PlanPoint full = planner.plan_for_rho(1.0);
+  EXPECT_DOUBLE_EQ(full.peak_bytes,
+                   (400.0 + (1.0 + 0.5 * 49.0) * 5.0) * kMiB);
+  EXPECT_DOUBLE_EQ(planner.no_checkpoint_bytes(), full.peak_bytes);
+  // ratio = 1 must reproduce the uncompressed planner exactly.
+  const MemoryPlanner plain(demo_chain(50, 400.0, 5.0));
+  for (const double cap_mib : {401.0, 420.0, 500.0, 650.0, 1000.0}) {
+    const PlanReport a = plain.report_for_device(cap_mib * kMiB);
+    ChainSpec one = demo_chain(50, 400.0, 5.0);
+    one.checkpoint_bytes_ratio = 1.0;
+    const PlanReport b = MemoryPlanner(one).report_for_device(cap_mib * kMiB);
+    EXPECT_DOUBLE_EQ(a.min_rho_to_fit, b.min_rho_to_fit) << cap_mib;
+  }
+}
+
+TEST(MemoryPlanner, CompressionAdmitsMoreSlotsAtSameCap) {
+  // Device 500 MiB, fixed 400, act 5: plain gets 20 total slots,
+  // ratio 0.5 affords 1 + floor((500-400-5)/2.5) = 39.
+  const MemoryPlanner plain(demo_chain(50, 400.0, 5.0));
+  ChainSpec spec = demo_chain(50, 400.0, 5.0);
+  spec.checkpoint_bytes_ratio = 0.5;
+  const MemoryPlanner compressed(spec);
+  const PlanReport plain_report = plain.report_for_device(500.0 * kMiB);
+  const PlanReport comp_report = compressed.report_for_device(500.0 * kMiB);
+  EXPECT_EQ(plain_report.recommended.total_slots, 20);
+  EXPECT_EQ(comp_report.recommended.total_slots, 39);
+  EXPECT_LT(comp_report.min_rho_to_fit, plain_report.min_rho_to_fit);
+  EXPECT_LE(comp_report.recommended.peak_bytes, 500.0 * kMiB);
+}
+
+// The ISSUE's acceptance bar: on the paper's LinearResNet_{50,101,152}
+// at the Waggle node's 2 GiB budget, a 0.5-ratio codec must let the
+// planner select a strictly lower recompute factor than uncompressed
+// wherever checkpointing binds — and the schedule abstract interpreter
+// must confirm the chosen plan's weighted peak-memory bound.
+TEST(MemoryPlanner, CodecPlansStrictlyLowerRhoOnLinearResNets) {
+  using models::LinearResNet;
+  using models::ResNetMemoryModel;
+  using models::ResNetSpec;
+  using models::ResNetVariant;
+  for (const ResNetVariant variant :
+       {ResNetVariant::ResNet50, ResNetVariant::ResNet101,
+        ResNetVariant::ResNet152}) {
+    const ResNetMemoryModel model(ResNetSpec::make(variant));
+    const LinearResNet linear = LinearResNet::from_resnet(model, 500, 8);
+
+    const MemoryPlanner plain(linear.to_chain_spec());
+    const MemoryPlanner compressed(linear.to_chain_spec(0.5));
+    const PlanReport plain_report =
+        plain.report_for_device(models::kWaggleMemoryBytes);
+    const PlanReport comp_report =
+        compressed.report_for_device(models::kWaggleMemoryBytes);
+
+    ASSERT_TRUE(plain_report.fits_with_checkpointing) << linear.name;
+    ASSERT_GT(plain_report.min_rho_to_fit, 1.0) << linear.name;
+    EXPECT_TRUE(comp_report.fits_with_checkpointing) << linear.name;
+    EXPECT_LT(comp_report.min_rho_to_fit, plain_report.min_rho_to_fit)
+        << linear.name;
+    EXPECT_GT(comp_report.recommended.free_slots,
+              plain_report.recommended.free_slots)
+        << linear.name;
+    EXPECT_LE(comp_report.recommended.peak_bytes, models::kWaggleMemoryBytes)
+        << linear.name;
+
+    // Interpreter confirmation: the revolve schedule realising the chosen
+    // plan keeps its weighted activation peak within 1 + ratio * s units,
+    // so the byte bound fixed + units * act really holds at execution time.
+    const int s = comp_report.recommended.free_slots;
+    const Schedule schedule = revolve::make_schedule(linear.depth, s);
+    analysis::CostModel cost;
+    cost.slot_bytes_ratio = 0.5;
+    analysis::Bounds bounds;
+    bounds.max_weighted_units = 1.0 + 0.5 * static_cast<double>(s);
+    bounds.max_ram_slots = s + 1;
+    const analysis::Report verdict =
+        analysis::interpret(schedule, cost, bounds);
+    EXPECT_EQ(verdict.error_count(), 0)
+        << linear.name << "\n" << verdict.summary();
+    EXPECT_LE(linear.fixed_bytes + verdict.facts.peak_weighted_units *
+                                       linear.act_bytes_per_step,
+              comp_report.recommended.peak_bytes + 1.0)
+        << linear.name;
+  }
+}
+
+TEST(RevolveBytes, MaxFreeSlotsForBytesMatchesPlannerGeometry) {
+  // room = cap - fixed - act; slots = floor(room / (act * ratio)).
+  EXPECT_EQ(revolve::max_free_slots_for_bytes(500.0, 400.0, 5.0, 1.0), 19);
+  EXPECT_EQ(revolve::max_free_slots_for_bytes(500.0, 400.0, 5.0, 0.5), 38);
+  EXPECT_EQ(revolve::max_free_slots_for_bytes(404.0, 400.0, 5.0, 0.5), -1);
+  EXPECT_EQ(revolve::max_free_slots_for_bytes(405.0, 400.0, 5.0, 0.5), 0);
+  EXPECT_THROW(revolve::max_free_slots_for_bytes(500.0, 0.0, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(revolve::max_free_slots_for_bytes(500.0, 0.0, 5.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(revolve::max_free_slots_for_bytes(500.0, 0.0, 5.0, 1.5),
+               std::invalid_argument);
 }
 
 }  // namespace

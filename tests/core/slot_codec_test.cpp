@@ -1,0 +1,379 @@
+// Slot-codec unit coverage: the SIMD fp16/bf16 cast kernels against the
+// repo's scalar IEEE reference (exhaustively over all 65536 half patterns),
+// the byte-plane + RLE lossless codec's bit-exactness and raw-mode
+// fallback bound, its measured compression on post-ReLU-like activations,
+// structural-corruption detection on decode, and the CompressedSlotStore's
+// accounting and guard poisoning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "core/slot_codec.hpp"
+#include "core/slot_store.hpp"
+#include "tensor/convert.hpp"
+#include "tensor/guards.hpp"
+
+namespace edgetrain::core {
+namespace {
+
+// --- fp16 kernels vs the scalar IEEE reference ----------------------------
+
+TEST(ConvertTest, Fp16DecodeMatchesReferenceExhaustively) {
+  // Every one of the 65536 binary16 patterns must decode to the same float
+  // as the repo's reference converter (NaNs compared as NaNs).
+  for (std::uint32_t bits = 0; bits <= 0xFFFFU; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    const float expected = half_to_float(h);
+    const float got = convert::fp16_to_fp32_scalar(h);
+    if (std::isnan(expected)) {
+      EXPECT_TRUE(std::isnan(got)) << "half bits 0x" << std::hex << bits;
+    } else {
+      EXPECT_EQ(expected, got) << "half bits 0x" << std::hex << bits;
+      // Signed zero must round-trip with its sign.
+      if (expected == 0.0F) {
+        EXPECT_EQ(std::signbit(expected), std::signbit(got))
+            << "half bits 0x" << std::hex << bits;
+      }
+    }
+  }
+}
+
+TEST(ConvertTest, Fp16EncodeMatchesReferenceOnAdversarialValues) {
+  std::vector<float> values = {
+      0.0F, -0.0F, 1.0F, -1.0F, 0.5F, 2.0F, 1.0F / 3.0F,
+      65504.0F,   // largest finite half
+      65519.0F,   // rounds to 65504 (RNE)
+      65520.0F,   // ties to infinity
+      65536.0F, 1e9F, -1e9F,
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::quiet_NaN(),
+      6.103515625e-05F,   // smallest normal half
+      6.0975552e-05F,     // subnormal half range
+      5.960464477539063e-08F,  // smallest subnormal half
+      2.9802322e-08F,          // ties to zero
+      1e-10F, -1e-10F,
+      std::numeric_limits<float>::denorm_min(),
+  };
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<float> uni(-70000.0F, 70000.0F);
+  std::normal_distribution<float> narrow(0.0F, 1.0F);
+  for (int i = 0; i < 20000; ++i) values.push_back(uni(rng));
+  for (int i = 0; i < 20000; ++i) values.push_back(narrow(rng));
+  for (float v : values) {
+    EXPECT_EQ(float_to_half(v), convert::fp32_to_fp16_scalar(v))
+        << "value " << v;
+  }
+}
+
+TEST(ConvertTest, BulkKernelsMatchScalarBothThreadings) {
+  std::mt19937 rng(7);
+  std::normal_distribution<float> dist(0.0F, 10.0F);
+  constexpr std::int64_t kN = 70001;  // not a multiple of the SIMD grain
+  std::vector<float> src(kN);
+  for (float& v : src) v = dist(rng);
+  src[5] = std::numeric_limits<float>::quiet_NaN();
+  src[6] = std::numeric_limits<float>::infinity();
+
+  std::vector<std::uint16_t> expected(kN);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    expected[static_cast<std::size_t>(i)] =
+        convert::fp32_to_fp16_scalar(src[static_cast<std::size_t>(i)]);
+  }
+  for (const auto threading :
+       {convert::Threading::Parallel, convert::Threading::Serial}) {
+    std::vector<std::uint16_t> got(kN);
+    convert::fp32_to_fp16(src.data(), got.data(), kN, threading);
+    EXPECT_EQ(expected, got);
+
+    std::vector<float> back(kN);
+    convert::fp16_to_fp32(got.data(), back.data(), kN, threading);
+    for (std::int64_t i = 0; i < kN; ++i) {
+      const float ref =
+          convert::fp16_to_fp32_scalar(expected[static_cast<std::size_t>(i)]);
+      const float b = back[static_cast<std::size_t>(i)];
+      if (std::isnan(ref)) {
+        EXPECT_TRUE(std::isnan(b)) << i;
+      } else {
+        EXPECT_EQ(ref, b) << i;
+      }
+    }
+  }
+}
+
+TEST(ConvertTest, Bf16RoundTripIsExactOnBf16Grid) {
+  // Values already representable in bf16 must survive unchanged; NaN must
+  // stay NaN (quieted), round-to-nearest-even on the rest.
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<std::uint32_t> hi(0, 0xFFFFU);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint16_t pattern = static_cast<std::uint16_t>(hi(rng));
+    const float v = convert::bf16_to_fp32_scalar(pattern);
+    if (std::isnan(v)) continue;
+    EXPECT_EQ(convert::fp32_to_bf16_scalar(v), pattern);
+  }
+  EXPECT_TRUE(std::isnan(convert::bf16_to_fp32_scalar(
+      convert::fp32_to_bf16_scalar(std::numeric_limits<float>::quiet_NaN()))));
+  // RNE halfway case: 1 + 2^-8 sits exactly between 0x3F80 (1.0) and
+  // 0x3F81 (1.0078125) and must round to the even mantissa, 0x3F80.
+  const float halfway = 1.00390625F;
+  EXPECT_EQ(convert::fp32_to_bf16_scalar(halfway), 0x3F80);
+  // Just above the tie rounds up.
+  EXPECT_EQ(convert::fp32_to_bf16_scalar(1.00390637F), 0x3F81);
+}
+
+TEST(ConvertTest, BytePlaneSplitMergeRoundTrips) {
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int> byte(0, 255);
+  constexpr std::int64_t kWords = 12345;
+  std::vector<std::uint8_t> src(4 * kWords);
+  for (auto& b : src) b = static_cast<std::uint8_t>(byte(rng));
+  std::vector<std::uint8_t> planes(4 * kWords);
+  std::vector<std::uint8_t> back(4 * kWords);
+  for (const auto threading :
+       {convert::Threading::Parallel, convert::Threading::Serial}) {
+    convert::byte_plane_split(src.data(), kWords, planes.data(), threading);
+    // Plane b holds the b-th byte of every word.
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(planes[static_cast<std::size_t>(b) * kWords + 7],
+                src[4 * 7 + static_cast<std::size_t>(b)]);
+    }
+    convert::byte_plane_merge(planes.data(), kWords, back.data(), threading);
+    EXPECT_EQ(src, back);
+  }
+}
+
+// --- lossless codec -------------------------------------------------------
+
+Tensor tensor_from(const std::vector<float>& values) {
+  Tensor t = Tensor::empty(Shape{static_cast<std::int64_t>(values.size())});
+  std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  return t;
+}
+
+TEST(SlotCodecTest, LosslessRoundTripsBitExactly) {
+  std::mt19937 rng(21);
+  std::normal_distribution<float> dist(0.0F, 2.0F);
+  std::uniform_real_distribution<float> coin(0.0F, 1.0F);
+  for (const int n : {1, 2, 3, 64, 1000, 4097}) {
+    for (const double zero_frac : {0.0, 0.5, 0.97}) {
+      std::vector<float> values(static_cast<std::size_t>(n));
+      for (float& v : values) {
+        v = coin(rng) < zero_frac ? 0.0F : dist(rng);
+      }
+      const Tensor original = tensor_from(values);
+      const std::vector<std::uint8_t> blob =
+          codec::encode(SlotCodec::Lossless, original);
+      EXPECT_LE(blob.size(),
+                codec::max_encoded_bytes(SlotCodec::Lossless, n));
+      const Tensor decoded = codec::decode(SlotCodec::Lossless, "test",
+                                           original.shape(), blob.data(),
+                                           blob.size());
+      ASSERT_EQ(decoded.numel(), original.numel());
+      EXPECT_EQ(std::memcmp(decoded.data(), original.data(),
+                            original.bytes()),
+                0)
+          << "n=" << n << " zero_frac=" << zero_frac;
+    }
+  }
+}
+
+TEST(SlotCodecTest, LosslessRawFallbackBoundsIncompressibleInput) {
+  // White-noise bytes defeat both the plane transform and the RLE; the raw
+  // fallback must bound the blob at payload + 1 mode byte.
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<std::uint32_t> word(0, 0xFFFFFFFFU);
+  constexpr int kN = 4096;
+  std::vector<float> values(kN);
+  for (float& v : values) {
+    const std::uint32_t bits = word(rng);
+    std::memcpy(&v, &bits, sizeof(bits));
+  }
+  const Tensor original = tensor_from(values);
+  const std::vector<std::uint8_t> blob =
+      codec::encode(SlotCodec::Lossless, original);
+  EXPECT_LE(blob.size(), original.bytes() + 1);
+  const Tensor decoded = codec::decode(SlotCodec::Lossless, "test",
+                                       original.shape(), blob.data(),
+                                       blob.size());
+  EXPECT_EQ(std::memcmp(decoded.data(), original.data(), original.bytes()),
+            0);
+}
+
+TEST(SlotCodecTest, LosslessCompressesPostReluActivations) {
+  // Post-ReLU activations are zero-heavy with clustered exponents: the
+  // byte-plane RLE must land strictly below plaintext on them.
+  std::mt19937 rng(31);
+  std::normal_distribution<float> dist(0.0F, 1.0F);
+  constexpr int kN = 1 << 16;
+  std::vector<float> values(kN);
+  for (float& v : values) v = std::max(dist(rng), 0.0F);  // ~50% exact zeros
+  const Tensor original = tensor_from(values);
+  const std::vector<std::uint8_t> blob =
+      codec::encode(SlotCodec::Lossless, original);
+  EXPECT_LT(blob.size(), original.bytes());
+}
+
+TEST(SlotCodecTest, DecodeRejectsStructuralCorruption) {
+  std::mt19937 rng(41);
+  std::normal_distribution<float> dist(0.0F, 1.0F);
+  std::vector<float> values(512);
+  for (float& v : values) v = std::max(dist(rng), 0.0F);
+  const Tensor original = tensor_from(values);
+  const Shape& shape = original.shape();
+  std::vector<std::uint8_t> blob = codec::encode(SlotCodec::Lossless, original);
+
+  // Truncation, mode-byte corruption, and stream-length corruption must all
+  // throw a descriptive error rather than returning garbage activations.
+  EXPECT_THROW(codec::decode(SlotCodec::Lossless, "test", shape, blob.data(),
+                             blob.size() - 1),
+               std::runtime_error);
+  EXPECT_THROW(
+      codec::decode(SlotCodec::Lossless, "test", shape, blob.data(), 0),
+      std::runtime_error);
+  {
+    std::vector<std::uint8_t> bad = blob;
+    bad[0] = 0x7F;  // unknown mode
+    EXPECT_THROW(codec::decode(SlotCodec::Lossless, "test", shape, bad.data(),
+                               bad.size()),
+                 std::runtime_error);
+  }
+  if (blob[0] == 1 && blob.size() > 20) {
+    std::vector<std::uint8_t> bad = blob;
+    bad[1] = 0xFF;  // inflate plane 0's recorded stream length
+    bad[2] = 0xFF;
+    EXPECT_THROW(codec::decode(SlotCodec::Lossless, "test", shape, bad.data(),
+                               bad.size()),
+                 std::runtime_error);
+  }
+  // Fp16 codec: a blob whose size disagrees with the shape is structural
+  // corruption too.
+  const std::vector<std::uint8_t> half_blob =
+      codec::encode(SlotCodec::Fp16, original);
+  EXPECT_THROW(codec::decode(SlotCodec::Fp16, "test", shape,
+                             half_blob.data(), half_blob.size() - 2),
+               std::runtime_error);
+}
+
+// --- lossy blob codecs ----------------------------------------------------
+
+TEST(SlotCodecTest, Fp16BlobHalvesBytesAndMatchesScalarRoundTrip) {
+  std::mt19937 rng(51);
+  std::normal_distribution<float> dist(0.0F, 3.0F);
+  std::vector<float> values(3333);
+  for (float& v : values) v = dist(rng);
+  const Tensor original = tensor_from(values);
+  const std::vector<std::uint8_t> blob =
+      codec::encode(SlotCodec::Fp16, original);
+  EXPECT_EQ(blob.size(), original.bytes() / 2);
+  const Tensor decoded = codec::decode(SlotCodec::Fp16, "test",
+                                       original.shape(), blob.data(),
+                                       blob.size());
+  const float* in = original.data();
+  const float* out = decoded.data();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float expected = half_to_float(float_to_half(in[i]));
+    EXPECT_EQ(expected, out[i]) << i;
+    // Round-to-nearest-even error bound: 2^-11 relative for normal halves.
+    EXPECT_LE(std::abs(out[i] - in[i]),
+              std::max(std::abs(in[i]) * 4.9e-4F, 6.2e-05F))
+        << i;
+  }
+}
+
+TEST(SlotCodecTest, Bf16BlobErrorBound) {
+  std::mt19937 rng(52);
+  std::normal_distribution<float> dist(0.0F, 100.0F);
+  std::vector<float> values(2048);
+  for (float& v : values) v = dist(rng);
+  const Tensor original = tensor_from(values);
+  const std::vector<std::uint8_t> blob =
+      codec::encode(SlotCodec::Bf16, original);
+  EXPECT_EQ(blob.size(), original.bytes() / 2);
+  const Tensor decoded = codec::decode(SlotCodec::Bf16, "test",
+                                       original.shape(), blob.data(),
+                                       blob.size());
+  const float* in = original.data();
+  const float* out = decoded.data();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // bf16 keeps 7 explicit mantissa bits: RNE error is <= 2^-8 relative.
+    EXPECT_LE(std::abs(out[i] - in[i]), std::abs(in[i]) * 3.91e-3F) << i;
+  }
+}
+
+// --- parsing / planning ratios --------------------------------------------
+
+TEST(SlotCodecTest, ParseAndToStringRoundTrip) {
+  for (const SlotCodec codec : {SlotCodec::None, SlotCodec::Lossless,
+                                SlotCodec::Fp16, SlotCodec::Bf16}) {
+    const auto parsed = parse_slot_codec(to_string(codec));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, codec);
+  }
+  EXPECT_FALSE(parse_slot_codec("zstd").has_value());
+  EXPECT_FALSE(parse_slot_codec("").has_value());
+}
+
+TEST(SlotCodecTest, PlanningRatiosAreSound) {
+  EXPECT_EQ(planning_bytes_ratio(SlotCodec::None), 1.0);
+  EXPECT_EQ(planning_bytes_ratio(SlotCodec::Lossless), 1.0);  // conservative
+  EXPECT_EQ(planning_bytes_ratio(SlotCodec::Fp16), 0.5);
+  EXPECT_EQ(planning_bytes_ratio(SlotCodec::Bf16), 0.5);
+}
+
+// --- CompressedSlotStore --------------------------------------------------
+
+TEST(CompressedSlotStoreTest, LosslessPutGetIsBitExactAndAccounted) {
+  std::mt19937 rng(61);
+  CompressedSlotStore store(4, SlotCodec::Lossless);
+  Tensor a = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+  // ReLU-like sparsity so the encoded footprint is measurably smaller.
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a.data()[i] = std::max(a.data()[i], 0.0F);
+  }
+  store.put(1, a);
+  EXPECT_GT(store.resident_bytes(), 0U);
+  EXPECT_LT(store.resident_bytes(), a.bytes());
+  EXPECT_LT(store.measured_ratio(), 1.0);
+
+  const Tensor back = store.get(1);
+  EXPECT_EQ(std::memcmp(back.data(), a.data(), a.bytes()), 0);
+
+  store.drop(1);
+  EXPECT_EQ(store.resident_bytes(), 0U);
+  EXPECT_THROW((void)store.get(1), std::logic_error);
+  EXPECT_THROW((void)store.get(99), std::out_of_range);
+}
+
+TEST(CompressedSlotStoreTest, Fp16StoreHalvesResidentBytes) {
+  std::mt19937 rng(62);
+  CompressedSlotStore store(2, SlotCodec::Fp16);
+  const Tensor a = Tensor::randn(Shape{64, 32}, rng);
+  store.put(0, a);
+  EXPECT_EQ(store.resident_bytes(), a.bytes() / 2);
+  EXPECT_DOUBLE_EQ(store.measured_ratio(), 0.5);
+  const Tensor back = store.get(0);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(back.data()[i], half_to_float(float_to_half(a.data()[i])));
+  }
+}
+
+TEST(CompressedSlotStoreTest, DropPoisonsEncodedBlobUnderGuards) {
+  if (!guards::kEnabled) GTEST_SKIP() << "guards disabled in this build";
+  std::mt19937 rng(63);
+  CompressedSlotStore store(2, SlotCodec::Lossless);
+  const Tensor a = Tensor::randn(Shape{256}, rng);
+  store.put(0, a);
+  const std::int64_t fills_before = guards::poison_fill_count();
+  store.drop(0);
+  // The release path must poison the encoded bytes (kPoisonByte fill) so no
+  // stale plaintext-derived data survives the drop.
+  EXPECT_GT(guards::poison_fill_count(), fills_before);
+}
+
+}  // namespace
+}  // namespace edgetrain::core
