@@ -21,6 +21,7 @@
 #include <random>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/async_slot_store.hpp"
 #include "core/disk_revolve.hpp"
 #include "core/executor.hpp"
@@ -169,34 +170,26 @@ int main() {
     return 1;
   }
 
-#ifndef NDEBUG
-  // Non-Release numbers must never land in a committed BENCH_*.json.
-  std::printf("\nnon-Release build: skipping BENCH_async_io.json\n");
-#else
-  std::FILE* json = std::fopen("BENCH_async_io.json", "w");
-  if (json == nullptr) return 1;
-  std::fprintf(json,
-               "{\n"
-               "  \"depth\": %d,\n  \"ram_slots\": %d,\n"
-               "  \"spill_ops_per_pass\": %ld,\n"
-               "  \"latency_us_per_op\": %ld,\n"
-               "  \"latency_calibrated\": %s,\n"
-               "  \"compute_ms_per_pass\": %.4f,\n"
-               "  \"sync_ms_per_pass\": %.4f,\n"
-               "  \"async_ms_per_pass\": %.4f,\n"
-               "  \"speedup\": %.4f,\n"
-               "  \"prefetch_hits\": %lld,\n"
-               "  \"write_behind_hits\": %lld,\n"
-               "  \"blocking_reads\": %lld\n"
-               "}\n",
-               kDepth, kRamSlots, spill_ops, latency_us,
-               calibrated ? "true" : "false", compute_s * 1e3, sync_s * 1e3,
-               async_s * 1e3, speedup,
-               static_cast<long long>(async_store.prefetch_hits()),
-               static_cast<long long>(async_store.write_behind_hits()),
+  if (auto report = bench::BenchReport::create("bench_async_io",
+                                               "BENCH_async_io.json")) {
+    report->end_context();
+    report->json()
+        .field("depth", kDepth)
+        .field("ram_slots", kRamSlots)
+        .field("spill_ops_per_pass", static_cast<long long>(spill_ops))
+        .field("latency_us_per_op", static_cast<long long>(latency_us))
+        .field("latency_calibrated", calibrated)
+        .field("compute_ms_per_pass", compute_s * 1e3, "%.4f")
+        .field("sync_ms_per_pass", sync_s * 1e3, "%.4f")
+        .field("async_ms_per_pass", async_s * 1e3, "%.4f")
+        .field("speedup", speedup, "%.4f")
+        .field("prefetch_hits",
+               static_cast<long long>(async_store.prefetch_hits()))
+        .field("write_behind_hits",
+               static_cast<long long>(async_store.write_behind_hits()))
+        .field("blocking_reads",
                static_cast<long long>(async_store.blocking_reads()));
-  std::fclose(json);
-  std::printf("\nwrote BENCH_async_io.json\n");
-#endif
+    report->close();
+  }
   return 0;
 }

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/async_slot_store.hpp"
 #include "core/disk_revolve.hpp"
 #include "core/dynprog.hpp"
@@ -365,50 +366,46 @@ int run_compress() {
     return 1;
   }
 
-#ifndef NDEBUG
-  // Non-Release numbers must never land in a committed BENCH_*.json.
-  std::printf("\nnon-Release build: skipping BENCH_compress.json\n");
-#else
-  std::FILE* json = std::fopen("BENCH_compress.json", "w");
-  if (json == nullptr) return 1;
-  std::fprintf(json,
-               "{\n  \"context\": {\n"
-               "    \"edgetrain_build_type\": \"Release\",\n"
-               "    \"disk_latency_us\": %ld\n  },\n  \"curves\": [\n",
-               latency_us);
-  for (std::size_t i = 0; i < curves.size(); ++i) {
-    const CodecCurve& curve = curves[i];
-    std::fprintf(json,
-                 "    {\"model\": \"%s\", \"codec\": \"%s\", "
-                 "\"planning_ratio\": %.2f, \"min_rho_fit_2gb\": %s",
-                 curve.model.c_str(), core::to_string(curve.codec).c_str(),
-                 curve.planning_ratio,
-                 std::isinf(curve.min_rho_fit_2gb)
-                     ? "null"
-                     : std::to_string(curve.min_rho_fit_2gb).c_str());
-    std::fprintf(json, ", \"points\": [");
-    for (std::size_t p = 0; p < curve.points.size(); ++p) {
-      std::fprintf(json, "{\"rho\": %.2f, \"peak_mb\": %.1f}%s",
-                   curve.points[p].rho, curve.points[p].peak_mb,
-                   p + 1 < curve.points.size() ? ", " : "");
+  if (auto report =
+          bench::BenchReport::create("bench_fig1", "BENCH_compress.json")) {
+    bench::JsonWriter& json = report->json();
+    json.field("disk_latency_us", static_cast<long long>(latency_us));
+    report->end_context();
+    json.key("curves").begin_array();
+    for (const CodecCurve& curve : curves) {
+      json.begin_object()
+          .field("model", curve.model)
+          .field("codec", core::to_string(curve.codec))
+          .field("planning_ratio", curve.planning_ratio, "%.2f");
+      json.key("min_rho_fit_2gb");
+      if (std::isinf(curve.min_rho_fit_2gb)) {
+        json.value_null();
+      } else {
+        json.value(curve.min_rho_fit_2gb);
+      }
+      json.key("points").begin_array();
+      for (const CurvePoint& point : curve.points) {
+        json.begin_object()
+            .field("rho", point.rho, "%.2f")
+            .field("peak_mb", point.peak_mb, "%.1f")
+            .end_object();
+      }
+      json.end_array().end_object();
     }
-    std::fprintf(json, "]}%s\n", i + 1 < curves.size() ? "," : "");
+    json.end_array();
+    json.key("wallclock").begin_array();
+    for (const CodecTiming& row : rows) {
+      json.begin_object()
+          .field("codec", core::to_string(row.codec))
+          .field("sync_ms", row.sync_ms, "%.4f")
+          .field("async_ms", row.async_ms, "%.4f")
+          .field("measured_ratio", row.measured_ratio, "%.4f")
+          .field("grad_err", static_cast<double>(row.grad_err), "%.3e")
+          .end_object();
+    }
+    json.end_array();
+    report->close();
   }
-  std::fprintf(json, "  ],\n  \"wallclock\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const CodecTiming& row = rows[i];
-    std::fprintf(json,
-                 "    {\"codec\": \"%s\", \"sync_ms\": %.4f, "
-                 "\"async_ms\": %.4f, \"measured_ratio\": %.4f, "
-                 "\"grad_err\": %.3e}%s\n",
-                 core::to_string(row.codec).c_str(), row.sync_ms, row.async_ms,
-                 row.measured_ratio, static_cast<double>(row.grad_err),
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(json, "  ]\n}\n");
-  std::fclose(json);
-  std::printf("\nwrote BENCH_compress.json\n");
-#endif
   return 0;
 }
 

@@ -1,0 +1,227 @@
+// Shared machine-readable bench output.
+//
+// Every bench that commits a BENCH_*.json baseline used to hand-roll the
+// same three things: the fprintf JSON emission, the trailing-comma
+// bookkeeping, and the Release-only policy ("non-Release numbers must
+// never land in a committed BENCH_*.json"). This header is that logic,
+// once:
+//
+//   * JsonWriter -- a minimal streaming JSON emitter (objects, arrays,
+//     comma/indent bookkeeping, string escaping);
+//   * BenchReport -- opens <path> and starts the root object with the
+//     standard {"context": {"edgetrain_build_type": "Release", ...}}
+//     block, or refuses (returns nullptr, prints why) in any non-Release
+//     build, so a stray -O0/sanitizer run can never pollute a committed
+//     baseline;
+//   * release_json_allowed() -- the same gate for benches whose JSON is
+//     produced by an external reporter (bench_kernels' google-benchmark
+//     out-file).
+//
+// Header-only: bench binaries are leaf targets and share no library.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace edgetrain::bench {
+
+/// Streaming JSON writer: handles commas, two-space indentation and string
+/// escaping; the caller supplies structure (begin/end calls must balance).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* file) : file_(file) {}
+
+  JsonWriter& begin_object() {
+    open_value();
+    std::fputc('{', file_);
+    depth_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() { return close_scope('}'); }
+  JsonWriter& begin_array() {
+    open_value();
+    std::fputc('[', file_);
+    depth_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() { return close_scope(']'); }
+
+  JsonWriter& key(const char* name) {
+    comma_and_indent();
+    write_string(name);
+    std::fputs(": ", file_);
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const char* v) {
+    open_value();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) { return value(v.c_str()); }
+  /// @p fmt must consume exactly one double (the benches care about their
+  /// historical precisions, so the format string stays caller-chosen).
+  JsonWriter& value(double v, const char* fmt = "%.6g") {
+    open_value();
+    std::fprintf(file_, fmt, v);
+    return *this;
+  }
+  JsonWriter& value(long long v) {
+    open_value();
+    std::fprintf(file_, "%lld", v);
+    return *this;
+  }
+  JsonWriter& value(unsigned long long v) {
+    open_value();
+    std::fprintf(file_, "%llu", v);
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    open_value();
+    std::fputs(v ? "true" : "false", file_);
+    return *this;
+  }
+  JsonWriter& value_null() {
+    open_value();
+    std::fputs("null", file_);
+    return *this;
+  }
+
+  JsonWriter& field(const char* k, const char* v) { return key(k).value(v); }
+  JsonWriter& field(const char* k, const std::string& v) {
+    return key(k).value(v);
+  }
+  JsonWriter& field(const char* k, double v, const char* fmt = "%.6g") {
+    return key(k).value(v, fmt);
+  }
+  JsonWriter& field(const char* k, long long v) { return key(k).value(v); }
+  JsonWriter& field(const char* k, unsigned long long v) {
+    return key(k).value(v);
+  }
+  JsonWriter& field(const char* k, int v) {
+    return key(k).value(static_cast<long long>(v));
+  }
+  JsonWriter& field(const char* k, bool v) { return key(k).value(v); }
+
+ private:
+  void write_string(const char* s) {
+    std::fputc('"', file_);
+    for (; *s != '\0'; ++s) {
+      if (*s == '"' || *s == '\\') std::fputc('\\', file_);
+      std::fputc(*s, file_);
+    }
+    std::fputc('"', file_);
+  }
+  /// Comma + newline + indent before a sibling; nothing before the first
+  /// element of a scope or a value that follows its key.
+  void comma_and_indent() {
+    if (depth_.empty()) return;
+    if (!depth_.back()) std::fputc(',', file_);
+    depth_.back() = false;
+    std::fputc('\n', file_);
+    for (std::size_t i = 0; i < depth_.size(); ++i) {
+      std::fputs("  ", file_);
+    }
+  }
+  void open_value() {
+    if (pending_value_) {
+      pending_value_ = false;
+    } else {
+      comma_and_indent();
+    }
+  }
+  JsonWriter& close_scope(char bracket) {
+    const bool empty = depth_.back();
+    depth_.pop_back();
+    if (!empty) {
+      std::fputc('\n', file_);
+      for (std::size_t i = 0; i < depth_.size(); ++i) {
+        std::fputs("  ", file_);
+      }
+    }
+    std::fputc(bracket, file_);
+    if (depth_.empty()) std::fputc('\n', file_);
+    return *this;
+  }
+
+  std::FILE* file_;
+  std::vector<bool> depth_;  // one flag per open scope: "still empty"
+  bool pending_value_ = false;
+};
+
+/// The Release-only gate, for benches whose JSON comes from an external
+/// reporter. Prints the standard refusal (naming the bench and the file it
+/// is not writing) and returns false in non-Release builds.
+inline bool release_json_allowed(const char* bench_name,
+                                 const char* json_name) {
+#ifdef NDEBUG
+  (void)bench_name;
+  (void)json_name;
+  return true;
+#else
+  std::fprintf(stderr,
+               "%s: non-Release build, refusing to write %s "
+               "(console output only)\n",
+               bench_name, json_name);
+  return false;
+#endif
+}
+
+/// One committed BENCH_*.json: root object + standard context, Release
+/// builds only. Usage:
+///
+///   auto report = bench::BenchReport::create("bench_x", "BENCH_x.json");
+///   if (report) {
+///     report->json().field("extra_context", ...);   // optional
+///     report->end_context();
+///     report->json().key("rows").begin_array() ... .end_array();
+///     report->close();                              // prints "wrote ..."
+///   }
+class BenchReport {
+ public:
+  [[nodiscard]] static std::unique_ptr<BenchReport> create(
+      const char* bench_name, const std::string& path) {
+    if (!release_json_allowed(bench_name, path.c_str())) return nullptr;
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "%s: cannot open %s for writing\n", bench_name,
+                   path.c_str());
+      return nullptr;
+    }
+    return std::unique_ptr<BenchReport>(new BenchReport(file, path));
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  ~BenchReport() { close(); }
+
+  [[nodiscard]] JsonWriter& json() { return writer_; }
+
+  /// Ends the context object (call after any extra context fields).
+  void end_context() { writer_.end_object(); }
+
+  /// Ends the root object, flushes, announces the file. Idempotent.
+  void close() {
+    if (file_ == nullptr) return;
+    writer_.end_object();
+    std::fclose(file_);
+    file_ = nullptr;
+    std::printf("\nwrote %s\n", path_.c_str());
+  }
+
+ private:
+  BenchReport(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)), writer_(file) {
+    writer_.begin_object().key("context").begin_object().field(
+        "edgetrain_build_type", "Release");
+  }
+
+  std::FILE* file_;
+  std::string path_;
+  JsonWriter writer_;
+};
+
+}  // namespace edgetrain::bench

@@ -9,11 +9,14 @@
 // diffed across commits.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 #include <random>
 
+#include "bench_json.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
 
@@ -111,6 +114,19 @@ void BM_BatchNormForward(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchNormForward)->Arg(16)->Arg(64);
 
+// Thread-count sweep arguments: powers of two up to this machine's
+// hardware_concurrency, with hardware_concurrency itself always the last
+// point. The same grid calib::calibrate() measures, so the JSON rows are
+// directly comparable with a cached device profile.
+void thread_sweep_args(benchmark::internal::Benchmark* bench) {
+  const unsigned hw = std::max(1U, std::thread::hardware_concurrency());
+  for (unsigned t = 1; t < hw; t *= 2) {
+    bench->Arg(static_cast<std::int64_t>(t));
+  }
+  bench->Arg(static_cast<std::int64_t>(hw));
+  bench->UseRealTime();
+}
+
 // Thread scaling of the pool on an embarrassingly parallel GEMM: emulates
 // little/big core counts of the Waggle node.
 void BM_GemmThreads(benchmark::State& state) {
@@ -125,9 +141,32 @@ void BM_GemmThreads(benchmark::State& state) {
               c.data());
     benchmark::DoNotOptimize(c.data());
   }
+  ThreadPool::set_global_threads(0);  // restore the default pool
   set_flops(state, 2.0 * static_cast<double>(n) * n * n);
 }
-BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+BENCHMARK(BM_GemmThreads)->Apply(thread_sweep_args);
+
+// Same sweep for conv2d forward+backward: the thread point a training step
+// actually runs at (and the probe calibrate() fits conv_gflops from).
+void BM_ConvThreads(benchmark::State& state) {
+  ThreadPool::set_global_threads(static_cast<unsigned>(state.range(0)));
+  std::mt19937 rng(7);
+  const std::int64_t c = 32;
+  Tensor x = Tensor::randn(Shape{1, c, 32, 32}, rng);
+  Tensor w = Tensor::randn(Shape{c, c, 3, 3}, rng);
+  Tensor gy = Tensor::randn(Shape{1, c, 32, 32}, rng);
+  const ops::ConvParams p{1, 1};
+  for (auto _ : state) {
+    Tensor y = ops::conv2d_forward(x, w, Tensor{}, p);
+    ops::Conv2dGrads grads = ops::conv2d_backward(gy, x, w, p, true);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::DoNotOptimize(grads.grad_x.data());
+  }
+  ThreadPool::set_global_threads(0);
+  // Forward one GEMM-equivalent, backward two (dX, dW).
+  set_flops(state, 6.0 * static_cast<double>(c) * c * 9 * 32 * 32);
+}
+BENCHMARK(BM_ConvThreads)->Apply(thread_sweep_args);
 
 }  // namespace
 
@@ -145,16 +184,14 @@ int main(int argc, char** argv) {
   args.push_back(argv[0]);
   std::string out_flag = "--benchmark_out=BENCH_kernels.json";
   std::string fmt_flag = "--benchmark_out_format=json";
-#ifdef NDEBUG
-  args.push_back(out_flag.data());
-  args.push_back(fmt_flag.data());
-  benchmark::AddCustomContext("edgetrain_build_type", "Release");
-#else
-  std::fprintf(stderr,
-               "bench_kernels: non-Release build, refusing to write "
-               "BENCH_kernels.json (console output only)\n");
-  benchmark::AddCustomContext("edgetrain_build_type", "Debug");
-#endif
+  if (edgetrain::bench::release_json_allowed("bench_kernels",
+                                             "BENCH_kernels.json")) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+    benchmark::AddCustomContext("edgetrain_build_type", "Release");
+  } else {
+    benchmark::AddCustomContext("edgetrain_build_type", "Debug");
+  }
   for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "models/small_nets.hpp"
 #include "persist/resumable.hpp"
 
@@ -104,29 +105,24 @@ int main() {
                 row.capture_ms, row.write_ms, row.restore_ms);
   }
 
-#ifndef NDEBUG
-  // Non-Release numbers must never land in a committed BENCH_*.json.
-  std::printf("\nnon-Release build: skipping BENCH_resume.json\n");
-#else
-  std::FILE* json = std::fopen("BENCH_resume.json", "w");
-  if (json == nullptr) return 1;
-  std::fprintf(json,
-               "{\n  \"context\": {\"edgetrain_build_type\": \"Release\"},\n"
-               "  \"benchmarks\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    std::fprintf(json,
-                 "    {\"name\": \"%s\", \"params\": %lld, "
-                 "\"snapshot_bytes\": %llu, \"capture_ms\": %.4f, "
-                 "\"write_ms\": %.4f, \"restore_ms\": %.4f}%s\n",
-                 row.name, static_cast<long long>(row.params),
-                 static_cast<unsigned long long>(row.snapshot_bytes),
-                 row.capture_ms, row.write_ms, row.restore_ms,
-                 i + 1 < rows.size() ? "," : "");
+  if (auto report =
+          bench::BenchReport::create("bench_resume", "BENCH_resume.json")) {
+    report->end_context();
+    bench::JsonWriter& json = report->json();
+    json.key("benchmarks").begin_array();
+    for (const Row& row : rows) {
+      json.begin_object()
+          .field("name", row.name)
+          .field("params", static_cast<long long>(row.params))
+          .field("snapshot_bytes",
+                 static_cast<unsigned long long>(row.snapshot_bytes))
+          .field("capture_ms", row.capture_ms, "%.4f")
+          .field("write_ms", row.write_ms, "%.4f")
+          .field("restore_ms", row.restore_ms, "%.4f")
+          .end_object();
+    }
+    json.end_array();
+    report->close();
   }
-  std::fprintf(json, "  ]\n}\n");
-  std::fclose(json);
-  std::printf("\nwrote BENCH_resume.json\n");
-#endif
   return 0;
 }

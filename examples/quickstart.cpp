@@ -15,14 +15,23 @@
 // bit-identical, the half-precision casts halve checkpoint bytes at
 // gradcheck-tolerance error. Composable with --async-io, where the store
 // stages and spills the *encoded* bytes.
+//
+// With --calibrate the schedule comes from measured costs instead of unit
+// counts (DESIGN.md section 13): the device is probed once (profile cached
+// under /tmp), the chain's real per-step times are measured, and the
+// heterogeneous DP plans against them -- with --async-io the disk spill
+// weights are additionally priced from the measured SD bandwidth.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <random>
 
+#include "calib/calibrate.hpp"
+#include "calib/chain_costs.hpp"
 #include "core/async_slot_store.hpp"
 #include "core/disk_revolve.hpp"
+#include "core/dynprog.hpp"
 #include "core/executor.hpp"
 #include "core/revolve.hpp"
 #include "models/small_nets.hpp"
@@ -33,10 +42,13 @@
 int main(int argc, char** argv) {
   using namespace edgetrain;
   bool async_io = false;
+  bool calibrate = false;
   core::SlotCodec codec = core::SlotCodec::None;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--async-io") == 0) {
       async_io = true;
+    } else if (std::strcmp(argv[i], "--calibrate") == 0) {
+      calibrate = true;
     } else if (std::strncmp(argv[i], "--compress", 10) == 0) {
       const char* eq = std::strchr(argv[i], '=');
       const auto parsed = core::parse_slot_codec(eq ? eq + 1 : "lossless");
@@ -63,6 +75,26 @@ int main(int argc, char** argv) {
   std::printf("network: %d chain steps, %lld parameters\n", net.size(),
               static_cast<long long>(net.param_count()));
 
+  // Optional on-device calibration: probe the machine once (the profile is
+  // cached and re-used across runs) and time the real chain so the DP
+  // plans in measured microseconds instead of unit step counts.
+  calib::DeviceModel device_model;
+  calib::ChainCosts measured;
+  if (calibrate) {
+    bool was_cached = false;
+    device_model = calib::load_or_calibrate(
+        "/tmp/edgetrain_quickstart_profile.etcp", calib::quick_calibration(),
+        &was_cached);
+    Tensor probe = Tensor::randn(Shape{8, 1, 16, 16}, rng);
+    measured = calib::measure_chain(net, probe);
+    std::printf("calibrated: %.1f GFLOPS conv @ %d threads (profile %s), "
+                "chain sweep %.0f us, backward/forward ratio %.2f\n",
+                device_model.conv_gflops_at(device_model.best_threads()),
+                device_model.best_threads(),
+                was_cached ? "cached" : "measured", measured.sweep_us(),
+                measured.backward_ratio());
+  }
+
   // 2. A checkpointing schedule: at most ~1.3x recompute overhead. With
   // --async-io, a two-level plan instead keeps 2 checkpoints in RAM and
   // spills the rest to disk, where the async store hides the file IO
@@ -74,6 +106,11 @@ int main(int argc, char** argv) {
     options.ram_slots = 2;
     options.overlap_io = true;
     options.spill_bytes_ratio = core::planning_bytes_ratio(codec);
+    if (calibrate) {
+      // Price the spill weights from the measured SD bandwidth and mean
+      // boundary size instead of the analytic defaults.
+      options = calib::priced_disk_options(measured, device_model, options);
+    }
     const core::disk::DiskRevolveSolver solver(net.size(), options);
     schedule = solver.make_schedule();
     const std::string dir = "/tmp/edgetrain_quickstart_spill";
@@ -87,6 +124,24 @@ int main(int argc, char** argv) {
                 "slots, write-behind spills + prefetched restores"
                 " (spill codec: %s)\n\n",
                 solver.peak_disk_slots(), core::to_string(codec).c_str());
+  } else if (calibrate) {
+    // Heterogeneous DP over the measured per-step costs: the rho budget is
+    // evaluated in real microseconds with the observed backward ratio, so
+    // the checkpoints land before the expensive (early, full-resolution)
+    // steps instead of being spread uniformly.
+    const core::hetero::HeteroSolver solver(measured.forward_us,
+                                            net.size() - 1);
+    const int slots =
+        solver.min_free_slots_for_rho(1.3, measured.backward_ratio());
+    schedule = solver.make_schedule(slots);
+    if (codec != core::SlotCodec::None) {
+      store = std::make_unique<core::CompressedSlotStore>(schedule.num_slots(),
+                                                          codec);
+    }
+    std::printf("schedule: measured-cost plan, %d free slots for rho <= 1.3 "
+                "(measured rho %.3f; slot codec: %s)\n\n",
+                slots, solver.recompute_factor(slots, measured.backward_ratio()),
+                core::to_string(codec).c_str());
   } else {
     const int slots = core::revolve::min_free_slots_for_rho(net.size(), 1.3);
     schedule = core::revolve::make_schedule(net.size(), slots);

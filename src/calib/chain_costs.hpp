@@ -1,0 +1,126 @@
+// edgetrain: converting chains into measured per-step cost/size vectors.
+//
+// The DP planners (core/dynprog, core/disk_revolve, core/planner) and the
+// schedule interpreter (analysis/interp) all accept arbitrary per-step
+// cost vectors but were historically fed unit or analytic FLOP counts --
+// optimal for an abstraction, not for the hardware. This module closes the
+// loop: a ChainCosts carries per-step forward/backward microseconds and
+// boundary-state bytes for one concrete chain on *this* device, obtained
+// either by
+//
+//   * measure_chain(): timing the real layers of a live nn::LayerChain
+//     (ground truth; what bench_calib proves schedules against), or
+//   * predict_resnet(): converting ResNetSpec's exact analytic MAC counts
+//     into microseconds through the fitted DeviceModel (no network
+//     instantiation -- plan a ResNet-152 on a 2 GB node without building
+//     one),
+//
+// and the feeder helpers translate a ChainCosts into every planner's
+// native inputs: HeteroSolver/ByteBudgetSolver cost-and-unit vectors,
+// DiskRevolveOptions whose IO weights come from the measured SD bandwidth,
+// a measured ChainSpec for MemoryPlanner, and an analysis::CostModel whose
+// lint bounds are stated in calibrated microseconds.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/interp.hpp"
+#include "calib/device_model.hpp"
+#include "core/disk_revolve.hpp"
+#include "core/planner.hpp"
+#include "models/resnet.hpp"
+#include "nn/chain.hpp"
+
+namespace edgetrain::calib {
+
+/// Per-step timings and sizes of one concrete chain on one device.
+struct ChainCosts {
+  std::vector<double> forward_us;   ///< size l, > 0 each
+  std::vector<double> backward_us;  ///< size l
+  /// Bytes of boundary state j (the output of step j-1), j = 1..l-1 --
+  /// the states a checkpoint slot may hold (size l-1). The chain input
+  /// and output are never checkpointed (ByteBudgetSolver's convention).
+  std::vector<double> boundary_bytes;
+  double input_bytes = 0.0;
+  double output_bytes = 0.0;
+
+  [[nodiscard]] int num_steps() const {
+    return static_cast<int>(forward_us.size());
+  }
+  /// One un-checkpointed forward sweep, microseconds.
+  [[nodiscard]] double sweep_us() const;
+  [[nodiscard]] double backward_total_us() const;
+  /// The rho = 1 training step: sweep + full backward.
+  [[nodiscard]] double ideal_step_us() const;
+  [[nodiscard]] double mean_forward_us() const;
+  /// Measured backward/forward cost ratio (the paper's bwd_ratio, but
+  /// observed instead of assumed 1).
+  [[nodiscard]] double backward_ratio() const;
+  [[nodiscard]] double mean_boundary_bytes() const;
+  [[nodiscard]] double max_boundary_bytes() const;
+
+  /// True when sizes are consistent and every cost is positive.
+  [[nodiscard]] bool valid() const;
+};
+
+struct MeasureOptions {
+  /// Per-step samples are grown (iterations doubled) until one lasts at
+  /// least this long, then the minimum over repeats is kept -- the same
+  /// protocol as calib::time_per_iteration_seconds.
+  double min_sample_seconds = 0.005;
+  int repeats = 3;
+};
+
+/// Times every step of @p chain (forward with save, then backward) on a
+/// real @p input batch. Runs in Phase::Train with first_visit = false, so
+/// batch-norm running statistics are not perturbed; accumulated parameter
+/// gradients are zeroed and saved state cleared before returning.
+[[nodiscard]] ChainCosts measure_chain(nn::LayerChain& chain,
+                                       const Tensor& input,
+                                       const MeasureOptions& options = {});
+
+/// Predicts a block-level ResNet chain's per-step costs from its analytic
+/// MAC counts through the fitted model: forward MACs at conv throughput,
+/// backward charged 2x forward (the dX + dW GEMM pair). Boundary bytes use
+/// the spec's per-step activation accounting.
+[[nodiscard]] ChainCosts predict_resnet(const models::ResNetSpec& spec,
+                                        int image_size, std::int64_t batch,
+                                        const DeviceModel& model, int threads);
+
+// --- planner feeders -------------------------------------------------------
+
+/// Boundary sizes as integer budget units for ByteBudgetSolver: one unit =
+/// the smallest boundary's bytes, each state rounded up.
+[[nodiscard]] std::vector<int> state_units(const ChainCosts& costs);
+
+/// The checkpoint budget @p budget_bytes expressed in the same units.
+[[nodiscard]] int budget_units_for_bytes(const ChainCosts& costs,
+                                         double budget_bytes);
+
+/// MemoryPlanner chain description carrying the measured per-step costs:
+/// plan selection and achieved_rho are then computed by the heterogeneous
+/// DP in calibrated microseconds instead of unit Revolve counts.
+[[nodiscard]] core::ChainSpec measured_chain_spec(
+    std::string name, const ChainCosts& costs, double fixed_bytes,
+    double checkpoint_bytes_ratio = 1.0);
+
+/// Disk-revolve options whose write/read weights are the measured spill
+/// time of this chain's mean boundary (scaled by @p base.spill_bytes_ratio)
+/// divided by the measured mean forward step -- the DP's "forward-step
+/// units", finally tied to the device's actual SD bandwidth.
+[[nodiscard]] core::disk::DiskRevolveOptions priced_disk_options(
+    const ChainCosts& costs, const DeviceModel& model,
+    core::disk::DiskRevolveOptions base);
+
+/// Interpreter cost model in calibrated microseconds: per-step forward
+/// weights from the measurement, disk IO weights from the measured spill
+/// path. total_cost() of a clean interpretation is then the predicted
+/// wall-clock (microseconds) of replaying the schedule on this device.
+[[nodiscard]] analysis::CostModel cost_model(
+    const ChainCosts& costs, const DeviceModel& model,
+    std::int32_t first_disk_slot = std::numeric_limits<std::int32_t>::max());
+
+}  // namespace edgetrain::calib

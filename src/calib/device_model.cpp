@@ -1,0 +1,245 @@
+#include "calib/device_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "persist/crc32.hpp"
+#include "persist/wire.hpp"
+
+#ifdef _WIN32
+#error "calib: POSIX-only (fsync/rename durability protocol)"
+#endif
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace edgetrain::calib {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50435445;  // "ETCP" little-endian
+
+void wr_f64(persist::ByteWriter& w, double value) {
+  w.u64(std::bit_cast<std::uint64_t>(value));
+}
+
+double rd_f64(persist::ByteReader& r) {
+  return std::bit_cast<double>(r.u64());
+}
+
+}  // namespace
+
+bool DeviceModel::valid() const {
+  if (points.empty()) return false;
+  int prev = 0;
+  for (const ThreadPoint& p : points) {
+    if (p.threads <= prev) return false;  // ascending, >= 1
+    if (!(p.gemm_gflops > 0.0) || !(p.conv_gflops > 0.0)) return false;
+    prev = p.threads;
+  }
+  if (!(memcpy_bytes_per_sec > 0.0)) return false;
+  if (!(disk_write_bytes_per_sec > 0.0)) return false;
+  if (!(disk_read_bytes_per_sec > 0.0)) return false;
+  if (disk_write_latency_us < 0.0 || disk_read_latency_us < 0.0) return false;
+  return true;
+}
+
+int DeviceModel::calibrated_threads() const {
+  return points.empty() ? 0 : points.back().threads;
+}
+
+int DeviceModel::best_threads() const {
+  int best = 1;
+  double best_gflops = 0.0;
+  for (const ThreadPoint& p : points) {
+    if (p.conv_gflops > best_gflops) {
+      best_gflops = p.conv_gflops;
+      best = p.threads;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+double interpolate(const std::vector<ThreadPoint>& points, int threads,
+                   double ThreadPoint::* field) {
+  if (points.empty()) return 0.0;
+  if (threads <= points.front().threads) return points.front().*field;
+  if (threads >= points.back().threads) return points.back().*field;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (threads <= points[i].threads) {
+      const ThreadPoint& lo = points[i - 1];
+      const ThreadPoint& hi = points[i];
+      const double t = static_cast<double>(threads - lo.threads) /
+                       static_cast<double>(hi.threads - lo.threads);
+      return lo.*field + t * (hi.*field - lo.*field);
+    }
+  }
+  return points.back().*field;
+}
+
+}  // namespace
+
+double DeviceModel::gemm_gflops_at(int threads) const {
+  return interpolate(points, threads, &ThreadPoint::gemm_gflops);
+}
+
+double DeviceModel::conv_gflops_at(int threads) const {
+  return interpolate(points, threads, &ThreadPoint::conv_gflops);
+}
+
+double DeviceModel::gemm_us(double flops, int threads) const {
+  const double gflops = gemm_gflops_at(threads);
+  return gflops > 0.0 ? flops / (gflops * 1e9) * 1e6 : 0.0;
+}
+
+double DeviceModel::conv_us(double flops, int threads) const {
+  const double gflops = conv_gflops_at(threads);
+  return gflops > 0.0 ? flops / (gflops * 1e9) * 1e6 : 0.0;
+}
+
+double DeviceModel::memcpy_us(double bytes) const {
+  return memcpy_bytes_per_sec > 0.0 ? bytes / memcpy_bytes_per_sec * 1e6 : 0.0;
+}
+
+double DeviceModel::disk_write_us(double bytes) const {
+  const double xfer = disk_write_bytes_per_sec > 0.0
+                          ? bytes / disk_write_bytes_per_sec * 1e6
+                          : 0.0;
+  return disk_write_latency_us + xfer;
+}
+
+double DeviceModel::disk_read_us(double bytes) const {
+  const double xfer = disk_read_bytes_per_sec > 0.0
+                          ? bytes / disk_read_bytes_per_sec * 1e6
+                          : 0.0;
+  return disk_read_latency_us + xfer;
+}
+
+std::vector<std::uint8_t> encode_profile(const DeviceModel& model) {
+  persist::ByteWriter payload;
+  payload.u32(static_cast<std::uint32_t>(model.points.size()));
+  for (const ThreadPoint& p : model.points) {
+    payload.u32(static_cast<std::uint32_t>(p.threads));
+    wr_f64(payload, p.gemm_gflops);
+    wr_f64(payload, p.conv_gflops);
+  }
+  wr_f64(payload, model.memcpy_bytes_per_sec);
+  wr_f64(payload, model.disk_write_bytes_per_sec);
+  wr_f64(payload, model.disk_read_bytes_per_sec);
+  wr_f64(payload, model.disk_write_latency_us);
+  wr_f64(payload, model.disk_read_latency_us);
+
+  persist::ByteWriter out;
+  out.u32(kMagic);
+  out.u32(kProfileVersion);
+  out.u64(payload.size());
+  out.u32(persist::crc32(payload.bytes().data(), payload.size()));
+  out.u32(persist::crc32(out.bytes().data(), out.size()));  // header CRC
+  out.raw(payload.bytes().data(), payload.size());
+  return out.take();
+}
+
+DeviceModel decode_profile(const std::vector<std::uint8_t>& bytes) {
+  constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4;
+  if (bytes.size() < kHeaderBytes) throw ProfileError("truncated header");
+  persist::ByteReader header(bytes.data(), kHeaderBytes);
+  if (header.u32() != kMagic) throw ProfileError("bad magic");
+  const std::uint32_t version = header.u32();
+  if (version != kProfileVersion) {
+    throw ProfileError("unsupported version " + std::to_string(version));
+  }
+  const std::uint64_t payload_size = header.u64();
+  const std::uint32_t payload_crc = header.u32();
+  const std::uint32_t header_crc = header.u32();
+  if (persist::crc32(bytes.data(), kHeaderBytes - 4) != header_crc) {
+    throw ProfileError("header CRC mismatch");
+  }
+  if (bytes.size() - kHeaderBytes != payload_size) {
+    throw ProfileError("payload size mismatch");
+  }
+  if (persist::crc32(bytes.data() + kHeaderBytes, payload_size) !=
+      payload_crc) {
+    throw ProfileError("payload CRC mismatch");
+  }
+
+  persist::ByteReader r(bytes.data() + kHeaderBytes, payload_size);
+  DeviceModel model;
+  try {
+    const std::uint32_t num_points = r.u32();
+    if (num_points > 4096) throw ProfileError("implausible point count");
+    model.points.reserve(num_points);
+    for (std::uint32_t i = 0; i < num_points; ++i) {
+      ThreadPoint p;
+      p.threads = static_cast<int>(r.u32());
+      p.gemm_gflops = rd_f64(r);
+      p.conv_gflops = rd_f64(r);
+      model.points.push_back(p);
+    }
+    model.memcpy_bytes_per_sec = rd_f64(r);
+    model.disk_write_bytes_per_sec = rd_f64(r);
+    model.disk_read_bytes_per_sec = rd_f64(r);
+    model.disk_write_latency_us = rd_f64(r);
+    model.disk_read_latency_us = rd_f64(r);
+  } catch (const std::runtime_error& e) {
+    throw ProfileError(e.what());
+  }
+  if (!r.exhausted()) throw ProfileError("trailing bytes after payload");
+  if (!model.valid()) throw ProfileError("decoded model fails validation");
+  return model;
+}
+
+void save_profile(const std::string& path, const DeviceModel& model) {
+  const std::vector<std::uint8_t> bytes = encode_profile(model);
+  const std::string tmp = path + ".tmp";
+  {
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr) {
+      throw ProfileError("cannot open " + tmp + " for writing");
+    }
+    const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+    const int fd = fileno(file);
+    const bool synced = written == bytes.size() && fd >= 0 && fsync(fd) == 0;
+    if (std::fclose(file) != 0 || !synced) {
+      std::remove(tmp.c_str());
+      throw ProfileError("write to " + tmp + " failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw ProfileError("rename " + tmp + " -> " + path + " failed");
+  }
+  // Make the rename itself durable: fsync the containing directory.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dir_fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    (void)fsync(dir_fd);
+    (void)close(dir_fd);
+  }
+}
+
+std::optional<DeviceModel> load_profile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) return std::nullopt;
+  try {
+    return decode_profile(bytes);
+  } catch (const ProfileError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace edgetrain::calib

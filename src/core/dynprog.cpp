@@ -36,14 +36,18 @@ HeteroSolver::HeteroSolver(std::vector<double> forward_costs,
   }
   rev_.assign(size, 0.0);
   fwd_.assign(size, 0.0);
+  exec_.assign(size, 0.0);
   rev_split_.assign(size, 0);
   fwd_split_.assign(size, 0);
+  exec_split_.assign(size, 0);
 
-  // Bases: length-1 segments and slot-less segments.
+  // Bases: length-1 segments and slot-less segments. E's bases are
+  // save-free (the re-materialisation forward is absorbed into Backward).
   for (int a = 0; a < l; ++a) {
     for (int s = 0; s <= max_slots_; ++s) {
       rev_[idx(a, a + 1, s)] = 0.0;
       fwd_[idx(a, a + 1, s)] = costs_[static_cast<std::size_t>(a)];
+      exec_[idx(a, a + 1, s)] = 0.0;
     }
   }
   for (int a = 0; a < l; ++a) {
@@ -52,6 +56,7 @@ HeteroSolver::HeteroSolver(std::vector<double> forward_costs,
       for (int k = a + 1; k < b; ++k) r0 += span(a, k);
       rev_[idx(a, b, 0)] = r0;
       fwd_[idx(a, b, 0)] = span(a, b) + r0;
+      exec_[idx(a, b, 0)] = r0;
     }
   }
 
@@ -62,8 +67,10 @@ HeteroSolver::HeteroSolver(std::vector<double> forward_costs,
         const int b = a + len;
         double best_r = std::numeric_limits<double>::infinity();
         double best_f = best_r;
+        double best_e = best_r;
         int split_r = a + 1;
         int split_f = a + 1;
+        int split_e = a + 1;
         for (int j = a + 1; j < b; ++j) {
           const double advance = span(a, j);
           const double r = advance + rev_[idx(j, b, s - 1)] +
@@ -78,11 +85,19 @@ HeteroSolver::HeteroSolver(std::vector<double> forward_costs,
             best_f = f;
             split_f = j;
           }
+          const double e = advance + exec_[idx(j, b, s - 1)] +
+                           rev_[idx(a, j, s)];
+          if (e < best_e) {
+            best_e = e;
+            split_e = j;
+          }
         }
         rev_[idx(a, b, s)] = best_r;
         fwd_[idx(a, b, s)] = best_f;
+        exec_[idx(a, b, s)] = best_e;
         rev_split_[idx(a, b, s)] = split_r;
         fwd_split_[idx(a, b, s)] = split_f;
+        exec_split_[idx(a, b, s)] = split_e;
       }
     }
   }
@@ -92,6 +107,12 @@ double HeteroSolver::forward_cost(int free_slots) const {
   const int l = num_steps();
   const int s = std::clamp(free_slots, 0, std::min(max_slots_, l - 1));
   return fwd_[idx(0, l, s)];
+}
+
+double HeteroSolver::advance_cost(int free_slots) const {
+  const int l = num_steps();
+  const int s = std::clamp(free_slots, 0, std::min(max_slots_, l - 1));
+  return exec_[idx(0, l, s)];
 }
 
 double HeteroSolver::recompute_factor(int free_slots, double bwd_ratio) const {
@@ -166,7 +187,7 @@ Schedule HeteroSolver::make_schedule(int free_slots) const {
       }
       return;
     }
-    const int j = fwd_split_[idx(a, b, s)];
+    const int j = exec_split_[idx(a, b, s)];
     for (int i = a; i < j; ++i) sched.forward(static_cast<std::int32_t>(i));
     const std::int32_t slot = free_list.back();
     free_list.pop_back();
@@ -229,8 +250,10 @@ ByteBudgetSolver::ByteBudgetSolver(std::vector<double> forward_costs,
   }
   rev_.assign(size, 0.0);
   fwd_.assign(size, 0.0);
+  exec_.assign(size, 0.0);
   rev_split_.assign(size, 0);
   fwd_split_.assign(size, 0);
+  exec_split_.assign(size, 0);
 
   for (int len = 1; len <= l; ++len) {
     for (int a = 0; a + len <= l; ++a) {
@@ -243,14 +266,18 @@ void ByteBudgetSolver::solve_cell(int a, int b, int m) {
   if (b - a == 1) {
     rev_[idx(a, b, m)] = 0.0;
     fwd_[idx(a, b, m)] = costs_[static_cast<std::size_t>(a)];
+    exec_[idx(a, b, m)] = 0.0;
     return;
   }
   // Fallback: never store, re-advance from the segment input each time.
-  double best_r = 0.0;
-  for (int k = a + 1; k < b; ++k) best_r += span(a, k);
-  double best_f = span(a, b) + best_r;
+  double fallback_r = 0.0;
+  for (int k = a + 1; k < b; ++k) fallback_r += span(a, k);
+  double best_r = fallback_r;
+  double best_f = span(a, b) + fallback_r;
+  double best_e = fallback_r;  // E's fallback is save-free: R only
   std::int32_t split_r = 0;
   std::int32_t split_f = 0;
+  std::int32_t split_e = 0;
 
   for (int j = a + 1; j < b; ++j) {
     const int u = units_[static_cast<std::size_t>(j) - 1];
@@ -268,15 +295,27 @@ void ByteBudgetSolver::solve_cell(int a, int b, int m) {
       best_f = f;
       split_f = static_cast<std::int32_t>(j);
     }
+    const double e =
+        advance + exec_[idx(j, b, m - u)] + rev_[idx(a, j, m)];
+    if (e < best_e) {
+      best_e = e;
+      split_e = static_cast<std::int32_t>(j);
+    }
   }
   rev_[idx(a, b, m)] = best_r;
   fwd_[idx(a, b, m)] = best_f;
+  exec_[idx(a, b, m)] = best_e;
   rev_split_[idx(a, b, m)] = split_r;
   fwd_split_[idx(a, b, m)] = split_f;
+  exec_split_[idx(a, b, m)] = split_e;
 }
 
 double ByteBudgetSolver::forward_cost() const {
   return fwd_[idx(0, num_steps(), budget_)];
+}
+
+double ByteBudgetSolver::advance_cost() const {
+  return exec_[idx(0, num_steps(), budget_)];
 }
 
 double ByteBudgetSolver::recompute_factor(double bwd_ratio) const {
@@ -323,7 +362,7 @@ Schedule ByteBudgetSolver::make_schedule() const {
       reverse_one(static_cast<std::int32_t>(a));
       return;
     }
-    const std::int32_t j = fwd_split_[idx(a, b, m)];
+    const std::int32_t j = exec_split_[idx(a, b, m)];
     if (j == 0) {  // fallback
       for (int i = a; i < b - 1; ++i) sched.forward(static_cast<std::int32_t>(i));
       reverse_one(static_cast<std::int32_t>(b - 1));

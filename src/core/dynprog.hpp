@@ -13,6 +13,23 @@
 // repeated re-advancing from the segment input. With all f_i = 1 the costs
 // coincide with core/revolve.hpp (property-tested).
 //
+// F's bookkeeping follows the paper (and core/revolve.hpp): the length-1
+// base charges f_a for the saving forward that feeds the step's backward.
+// The executor's ground-truth cost model (analysis::interp) instead
+// absorbs every such re-materialisation into its Backward unit -- each
+// step pays it exactly once under any schedule, so it is a constant -- and
+// charges only the re-advances. Minimising F is NOT the same as
+// minimising re-advances (F carries the saving forwards of only the
+// innermost base segment, a split-dependent term), so the solvers keep a
+// third table E with save-free bases
+//
+//   E(a, a+1, s) = 0,   E(a, b, 0) = R(a, b, 0)
+//   E(a, b, s) = min_{a<j<b} [ sum(f_a..f_{j-1}) + E(j, b, s-1) + R(a, j, s) ]
+//
+// whose argmins drive make_schedule: the emitted schedule is optimal in
+// real (interpreter / wall-clock) cost, while forward_cost() still
+// reports the paper-convention F.
+//
 // Complexity: O(l^2 * s) states, O(l) transitions each -> O(l^3 * s).
 // Intended for block-level chains (l <= ~200).
 #pragma once
@@ -42,6 +59,11 @@ class HeteroSolver {
   /// F(0, l, s): forward cost of a full training pass with s free slots.
   [[nodiscard]] double forward_cost(int free_slots) const;
 
+  /// E(0, l, s): the pure re-advance cost of the optimal schedule, i.e.
+  /// what analysis::interpret charges as forward cost (re-materialisation
+  /// saves absorbed into Backward). make_schedule minimises this.
+  [[nodiscard]] double advance_cost(int free_slots) const;
+
   /// Recompute factor with backward cost = bwd_ratio * forward cost of the
   /// same step: rho = (F(s) + bwd) / (sweep + bwd).
   [[nodiscard]] double recompute_factor(int free_slots,
@@ -51,7 +73,8 @@ class HeteroSolver {
   [[nodiscard]] int min_free_slots_for_rho(double rho_budget,
                                            double bwd_ratio = 1.0) const;
 
-  /// Executor-dialect schedule realising F(0, l, s).
+  /// Executor-dialect schedule realising advance_cost(free_slots): no
+  /// schedule with the same slot budget interprets to a lower cost.
   [[nodiscard]] Schedule make_schedule(int free_slots) const;
 
  private:
@@ -72,9 +95,11 @@ class HeteroSolver {
   double total_ = 0.0;
   int max_slots_ = 0;
   std::vector<double> rev_;        // R(a, b, s)
-  std::vector<double> fwd_;        // F(a, b, s)
+  std::vector<double> fwd_;        // F(a, b, s): paper convention
+  std::vector<double> exec_;       // E(a, b, s): interpreter convention
   std::vector<std::int32_t> rev_split_;
   std::vector<std::int32_t> fwd_split_;
+  std::vector<std::int32_t> exec_split_;
 };
 
 /// Byte-budget heterogeneous checkpointing.
@@ -110,10 +135,14 @@ class ByteBudgetSolver {
   /// F(0, l, budget): forward cost of a full training pass.
   [[nodiscard]] double forward_cost() const;
 
+  /// E(0, l, budget): pure re-advance cost (interpreter convention; see
+  /// the HeteroSolver table notes). make_schedule minimises this.
+  [[nodiscard]] double advance_cost() const;
+
   /// rho with backward = bwd_ratio * forward per step.
   [[nodiscard]] double recompute_factor(double bwd_ratio = 1.0) const;
 
-  /// Executor-dialect schedule realising the optimum. Stored states use
+  /// Executor-dialect schedule realising advance_cost(). Stored states use
   /// slot ids equal to their state index (slot 0 = input); peak *bytes*
   /// are governed by the unit budget, not the slot count.
   [[nodiscard]] Schedule make_schedule() const;
@@ -139,8 +168,10 @@ class ByteBudgetSolver {
   int budget_ = 0;
   std::vector<double> rev_;
   std::vector<double> fwd_;
+  std::vector<double> exec_;
   std::vector<std::int32_t> rev_split_;  // 0 = fallback
   std::vector<std::int32_t> fwd_split_;
+  std::vector<std::int32_t> exec_split_;
 };
 
 }  // namespace edgetrain::core::hetero

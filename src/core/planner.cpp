@@ -1,6 +1,7 @@
 #include "core/planner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -16,8 +17,26 @@ MemoryPlanner::MemoryPlanner(ChainSpec spec) : spec_(std::move(spec)) {
     throw std::invalid_argument(
         "MemoryPlanner: checkpoint_bytes_ratio must be in (0, 1]");
   }
-  table_ = std::make_unique<revolve::RevolveTable>(
-      spec_.depth, std::max(spec_.depth - 1, 0));
+  if (spec_.step_costs.empty()) {
+    table_ = std::make_unique<revolve::RevolveTable>(
+        spec_.depth, std::max(spec_.depth - 1, 0));
+    return;
+  }
+  if (static_cast<int>(spec_.step_costs.size()) != spec_.depth) {
+    throw std::invalid_argument(
+        "MemoryPlanner: step_costs size must equal depth");
+  }
+  for (const double cost : spec_.step_costs) {
+    if (!(cost > 0.0)) {
+      throw std::invalid_argument(
+          "MemoryPlanner: step_costs must be strictly positive");
+    }
+  }
+  if (!(spec_.backward_ratio > 0.0)) {
+    throw std::invalid_argument("MemoryPlanner: backward_ratio must be > 0");
+  }
+  hetero_ = std::make_unique<hetero::HeteroSolver>(
+      spec_.step_costs, std::max(spec_.depth - 1, 0));
 }
 
 double MemoryPlanner::no_checkpoint_bytes() const noexcept {
@@ -37,10 +56,18 @@ PlanPoint MemoryPlanner::point_for_slots(int free_slots) const {
   PlanPoint point;
   point.free_slots = free_slots;
   point.total_slots = free_slots + 1;
-  point.forward_cost = table_->forward_cost(spec_.depth, free_slots);
-  point.achieved_rho =
-      static_cast<double>(point.forward_cost + spec_.depth) /
-      (2.0 * static_cast<double>(spec_.depth));
+  if (hetero_ != nullptr) {
+    point.forward_cost_us = hetero_->forward_cost(free_slots);
+    point.forward_cost =
+        static_cast<std::int64_t>(std::llround(point.forward_cost_us));
+    point.achieved_rho =
+        hetero_->recompute_factor(free_slots, spec_.backward_ratio);
+  } else {
+    point.forward_cost = table_->forward_cost(spec_.depth, free_slots);
+    point.achieved_rho =
+        static_cast<double>(point.forward_cost + spec_.depth) /
+        (2.0 * static_cast<double>(spec_.depth));
+  }
   point.peak_bytes = spec_.fixed_bytes +
                      (1.0 + static_cast<double>(free_slots) *
                                 spec_.checkpoint_bytes_ratio) *
@@ -50,7 +77,9 @@ PlanPoint MemoryPlanner::point_for_slots(int free_slots) const {
 
 PlanPoint MemoryPlanner::plan_for_rho(double rho_budget) const {
   const int s =
-      revolve::min_free_slots_for_rho(*table_, spec_.depth, rho_budget);
+      hetero_ != nullptr
+          ? hetero_->min_free_slots_for_rho(rho_budget, spec_.backward_ratio)
+          : revolve::min_free_slots_for_rho(*table_, spec_.depth, rho_budget);
   PlanPoint point = point_for_slots(s);
   point.rho_budget = rho_budget;
   return point;

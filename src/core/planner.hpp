@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/dynprog.hpp"
 #include "core/revolve.hpp"
 
 namespace edgetrain::core {
@@ -37,6 +38,16 @@ struct ChainSpec {
   /// planning_bytes_ratio(codec) or a measured_ratio() for lossless. The
   /// live frontier activation is always charged at full size.
   double checkpoint_bytes_ratio = 1.0;
+  /// Measured per-step forward costs (any positive unit; calib:: supplies
+  /// microseconds), size == depth. Empty keeps the paper's unit-cost model
+  /// (binomial Revolve); non-empty switches the planner to the
+  /// heterogeneous DP, so plan selection and achieved_rho are computed in
+  /// these measured units.
+  std::vector<double> step_costs;
+  /// Backward/forward cost ratio entering rho; 1 is the paper's
+  /// convention, calib::ChainCosts::backward_ratio() supplies the
+  /// measured value. Only consulted when step_costs is non-empty.
+  double backward_ratio = 1.0;
 };
 
 /// One point of the memory/recompute trade-off curve.
@@ -45,7 +56,10 @@ struct PlanPoint {
   double achieved_rho = 1.0;     ///< rho of the chosen schedule (<= budget)
   int free_slots = 0;            ///< s
   int total_slots = 1;           ///< s + 1 (the analytic memory unit count)
-  std::int64_t forward_cost = 0; ///< F(l, s)
+  std::int64_t forward_cost = 0; ///< F(l, s) (rounded when measured)
+  /// F(l, s) in the chain's measured cost units (microseconds when the
+  /// spec came from calib::measured_chain_spec); 0 under unit costs.
+  double forward_cost_us = 0.0;
   double peak_bytes = 0.0;       ///< fixed + (1 + s * ratio) * act_bytes
 
   [[nodiscard]] bool fits(double capacity_bytes) const {
@@ -102,7 +116,10 @@ class MemoryPlanner {
   [[nodiscard]] PlanPoint point_for_slots(int free_slots) const;
 
   ChainSpec spec_;
+  /// Exactly one of the two is built: the Revolve table under unit costs,
+  /// the heterogeneous solver when spec_.step_costs is populated.
   std::unique_ptr<revolve::RevolveTable> table_;
+  std::unique_ptr<hetero::HeteroSolver> hetero_;
 };
 
 }  // namespace edgetrain::core

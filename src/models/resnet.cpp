@@ -253,6 +253,22 @@ std::vector<double> ResNetSpec::chain_step_forward_costs(
   return per_step;
 }
 
+std::vector<std::int64_t> ResNetSpec::chain_step_output_elems(
+    int image_size, std::int64_t batch) const {
+  std::vector<std::int64_t> per_step(
+      static_cast<std::size_t>(num_chain_steps_), 0);
+  replay(ops_, image_size,
+         [&](const OpSpec& op, std::int64_t elems, std::int64_t,
+             std::int64_t) {
+           // The step's boundary is the output of its last main-branch op;
+           // shortcut branches merge before the boundary.
+           if (!op.on_shortcut) {
+             per_step[static_cast<std::size_t>(op.chain_step)] = elems * batch;
+           }
+         });
+  return per_step;
+}
+
 // ---------------------------------------------------------------------------
 // Executable builder
 // ---------------------------------------------------------------------------

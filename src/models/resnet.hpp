@@ -90,6 +90,12 @@ class ResNetSpec {
   [[nodiscard]] std::vector<double> chain_step_forward_costs(
       int image_size, std::int64_t batch) const;
 
+  /// Output elements of each chain step (the last main-branch op's output)
+  /// -- the boundary states a checkpoint slot holds between steps, and the
+  /// sizes calib::predict_resnet prices spills with.
+  [[nodiscard]] std::vector<std::int64_t> chain_step_output_elems(
+      int image_size, std::int64_t batch) const;
+
  private:
   ResNetVariant variant_{ResNetVariant::ResNet18};
   int num_classes_ = 1000;

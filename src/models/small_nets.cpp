@@ -36,6 +36,19 @@ nn::LayerChain build_conv_chain(int depth, std::int64_t channels,
   return chain;
 }
 
+nn::LayerChain build_pyramid_chain(int stages, int steps_per_stage,
+                                   std::int64_t channels, std::mt19937& rng) {
+  nn::LayerChain chain;
+  for (int stage = 0; stage < stages; ++stage) {
+    for (int step = 0; step < steps_per_stage; ++step) {
+      const std::int64_t stride = (stage > 0 && step == 0) ? 2 : 1;
+      chain.push(std::make_unique<nn::Conv2d>(channels, channels, 3, stride, 1,
+                                              false, rng));
+    }
+  }
+  return chain;
+}
+
 nn::LayerChain build_patch_cnn(std::int64_t patch, std::int64_t in_channels,
                                std::int64_t base_channels, int num_classes,
                                std::mt19937& rng) {

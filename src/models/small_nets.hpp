@@ -26,6 +26,20 @@ namespace edgetrain::models {
                                               std::int64_t channels,
                                               std::mt19937& rng);
 
+/// Deliberately cost-imbalanced conv chain: @p stages groups of
+/// @p steps_per_stage conv3x3(c->c) steps, each stage after the first
+/// entered through a stride-2 step, so the per-step forward cost falls
+/// ~4x per stage while channel count (and hence boundary-state *shape
+/// diversity*) stays simple. Unit-cost planners place checkpoints
+/// uniformly over such a chain and waste recomputation on the expensive
+/// early stages; measured-cost planners shift the recompute into the
+/// cheap tail. This is the adversarial workload bench_calib and the
+/// calibration tests quantify that gap on.
+[[nodiscard]] nn::LayerChain build_pyramid_chain(int stages,
+                                                 int steps_per_stage,
+                                                 std::int64_t channels,
+                                                 std::mt19937& rng);
+
 /// Small classifier CNN used as the in-situ teacher/student: two conv-bn-
 /// relu-pool stages plus a linear head, for @p patch pixels grayscale input.
 [[nodiscard]] nn::LayerChain build_patch_cnn(std::int64_t patch,

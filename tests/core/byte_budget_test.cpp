@@ -78,6 +78,25 @@ TEST(ByteBudgetSolver, ZeroBudgetIsQuadraticFallback) {
                    static_cast<double>(l) * (l + 1) / 2.0);
 }
 
+// Golden table, worked by hand. Costs {4,2,1}, state units {1,2} (the
+// cheap-to-store boundary is the one after the expensive step):
+//   budget 0: store-nothing fallback = 7 + 4 + 6         = 17
+//   budget 1: only state 1 fits; split j=1: 4 + 5 + 0    = 9
+//   budget 2: j=2 also feasible (3 + 1 + 0 = 13 via units 2) but j=1
+//             is still optimal                            = 9
+//   budget 3: both states storable: 4 + (2 + 1 + 2) + 0  -> j=1 then
+//             j=2 inside, total 7 (pure sweep, rho = 1)
+TEST(ByteBudgetSolver, GoldenTableHandComputed) {
+  const std::vector<double> costs{4.0, 2.0, 1.0};
+  const std::vector<int> units{1, 2};
+  EXPECT_DOUBLE_EQ(ByteBudgetSolver(costs, units, 0).forward_cost(), 17.0);
+  EXPECT_DOUBLE_EQ(ByteBudgetSolver(costs, units, 1).forward_cost(), 9.0);
+  EXPECT_DOUBLE_EQ(ByteBudgetSolver(costs, units, 2).forward_cost(), 9.0);
+  EXPECT_DOUBLE_EQ(ByteBudgetSolver(costs, units, 3).forward_cost(), 7.0);
+  EXPECT_DOUBLE_EQ(ByteBudgetSolver(costs, units, 3).recompute_factor(),
+                   1.0);
+}
+
 TEST(ByteBudgetSolver, RejectsBadArguments) {
   EXPECT_THROW(ByteBudgetSolver({}, {}, 1), std::invalid_argument);
   EXPECT_THROW(ByteBudgetSolver(ones(3), {1}, 1), std::invalid_argument);

@@ -86,6 +86,45 @@ TEST(HeteroSolver, RejectsBadArguments) {
   EXPECT_THROW(HeteroSolver({1.0, -2.0}, 1), std::invalid_argument);
 }
 
+// Golden DP tables on hand-computed non-uniform cost vectors. Worked by
+// hand from the recurrences:
+//   R(a,a+1,s) = 0, F(a,a+1,s) = f_a
+//   R(a,b,0)   = sum_{k=a+1}^{b-1} span(a,k)
+//   F(a,b,0)   = span(a,b) + R(a,b,0)
+//   F(a,b,s)   = min_j span(a,j) + F(j,b,s-1) + R(a,j,s)
+//
+// Costs {4,2,1}, one slot. Candidate splits for F(0,3,1):
+//   j=1: span(0,1) + F(1,3,0) + R(0,1,1) = 4 + (3+2) + 0 = 9
+//   j=2: span(0,2) + F(2,3,0) + R(0,2,1) = 6 + 1 + 0     = 13
+// so the optimum checkpoints right after the expensive step.
+TEST(HeteroSolver, GoldenTableExpensiveFirst) {
+  const HeteroSolver solver({4.0, 2.0, 1.0}, 1);
+  EXPECT_DOUBLE_EQ(solver.sweep_cost(), 7.0);
+  // s=0 base: F = span(0,3) + span(0,1) + span(0,2) = 7 + 4 + 6.
+  EXPECT_DOUBLE_EQ(solver.forward_cost(0), 17.0);
+  EXPECT_DOUBLE_EQ(solver.forward_cost(1), 9.0);
+  // rho = (F + bwd) / (sweep + bwd) with bwd_ratio=1: (9+7)/(7+7).
+  EXPECT_DOUBLE_EQ(solver.recompute_factor(1), 16.0 / 14.0);
+  EXPECT_DOUBLE_EQ(solver.recompute_factor(1, 1.0), 16.0 / 14.0);
+  // Interpreter-convention advance costs (save-free bases):
+  //   E(0,3,0) = R(0,3,0) = 10; E(0,3,1): j=1 -> 4 + R(1,3,0) = 6.
+  EXPECT_DOUBLE_EQ(solver.advance_cost(0), 10.0);
+  EXPECT_DOUBLE_EQ(solver.advance_cost(1), 6.0);
+}
+
+// Mirrored costs {1,2,4}: the optimal checkpoint flips to the other side
+// of the chain (j=2, just before the expensive tail step):
+//   j=1: 1 + (2+4+2) + 0 = 9
+//   j=2: 3 + 4 + 0       = 8
+TEST(HeteroSolver, GoldenTableExpensiveLast) {
+  const HeteroSolver solver({1.0, 2.0, 4.0}, 1);
+  EXPECT_DOUBLE_EQ(solver.forward_cost(0), 11.0);  // 7 + 1 + 3
+  EXPECT_DOUBLE_EQ(solver.forward_cost(1), 8.0);
+  // Unit-cost Revolve on l=3, s=1 would charge 1 extra advance; here the
+  // measured table pays less than one mean step extra over the sweep.
+  EXPECT_DOUBLE_EQ(solver.forward_cost(1) - solver.sweep_cost(), 1.0);
+}
+
 struct HeteroCase {
   int l;
   int s;
