@@ -1,0 +1,317 @@
+// bench_fleet: the fleet-scale orchestration bench.
+//
+// Three measurements in one binary, the committed BENCH_fleet.json
+// baseline:
+//
+//   1. end-to-end fleet: a discrete-event simulation of >= 10k Waggle
+//      nodes (duty cycles, crashes, SD wear, snapshot rollbacks) feeding
+//      its StudentDeltas into a REAL multi-threaded FleetServer in the
+//      same process -- fleet convergence plus server counters;
+//   2. peak ingest: producer threads slamming pre-generated deltas into
+//      the server as fast as they can -- sustained reqs/s with sampled
+//      p50/p99 ingest latency (the ">= 100k ingests/s" acceptance gate);
+//   3. replay: the same fleet config run twice must produce the identical
+//      event-trace CRC and final-state CRC, and the state CRC must be
+//      invariant across driver thread counts.
+//
+// Usage: bench_fleet [--quick] [--nodes N] [--hours H] [--json PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "fleet/fleet_sim.hpp"
+#include "fleet/server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using edgetrain::fleet::FleetConfig;
+using edgetrain::fleet::FleetReport;
+using edgetrain::fleet::FleetServer;
+using edgetrain::fleet::ServerConfig;
+using edgetrain::fleet::ServerStats;
+using edgetrain::fleet::StudentDelta;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// DeltaSink adapter: every simulated upload becomes a real server ingest.
+class ServerSink : public edgetrain::fleet::DeltaSink {
+ public:
+  explicit ServerSink(FleetServer& server) : server_(server) {}
+  void accept(const StudentDelta& delta) override { server_.ingest(delta); }
+
+ private:
+  FleetServer& server_;
+};
+
+struct ThroughputResult {
+  double reqs_per_second = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  std::uint64_t total = 0;
+  std::uint64_t backpressure_waits = 0;
+};
+
+/// Phase 2: peak ingest rate, decoupled from simulation speed.
+ThroughputResult run_throughput(unsigned producers,
+                                std::uint64_t deltas_per_producer,
+                                std::uint32_t fleet_nodes) {
+  ServerConfig config;
+  config.shards = 64;
+  config.merge_threads = 4;
+  config.queue_capacity = 8192;
+  config.latency_sample_every = 32;
+  FleetServer server(config);
+
+  // Pre-generate each producer's stream: distinct node ranges, strictly
+  // monotone per-node sequence numbers (no dedup drops on purpose).
+  std::vector<std::vector<StudentDelta>> streams(producers);
+  const std::uint32_t nodes_per_producer =
+      std::max<std::uint32_t>(fleet_nodes / std::max(producers, 1U), 1);
+  for (unsigned p = 0; p < producers; ++p) {
+    auto& stream = streams[p];
+    stream.resize(deltas_per_producer);
+    for (std::uint64_t i = 0; i < deltas_per_producer; ++i) {
+      StudentDelta& delta = stream[i];
+      delta.node = p * nodes_per_producer +
+                   static_cast<std::uint32_t>(i % nodes_per_producer);
+      delta.seq = i / nodes_per_producer + 1;
+      delta.samples = 10;
+      delta.loss_milli = 300;
+      for (std::size_t k = 0; k < edgetrain::fleet::kDeltaComponents; ++k) {
+        delta.weights[k] = static_cast<std::int32_t>((i + k) % 97) - 48;
+      }
+    }
+  }
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (unsigned p = 0; p < producers; ++p) {
+    threads.emplace_back([&server, &stream = streams[p]] {
+      for (const StudentDelta& delta : stream) server.ingest(delta);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double produce_seconds = seconds_since(start);
+  server.stop();
+
+  const ServerStats stats = server.stats();
+  ThroughputResult result;
+  result.total = stats.ingested;
+  result.reqs_per_second =
+      produce_seconds > 0.0 ? static_cast<double>(stats.ingested) /
+                                  produce_seconds
+                            : 0.0;
+  result.p50_us = stats.p50_ingest_us;
+  result.p99_us = stats.p99_ingest_us;
+  result.max_us = stats.max_ingest_us;
+  result.backpressure_waits = stats.backpressure_waits;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::uint32_t nodes = 20000;
+  double hours = 24.0;
+  std::string json_path = "BENCH_fleet.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = static_cast<std::uint32_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--hours") == 0 && i + 1 < argc) {
+      hours = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fleet [--quick] [--nodes N] [--hours H] "
+                   "[--json PATH]\n");
+      return 2;
+    }
+  }
+  if (quick) {
+    nodes = std::min<std::uint32_t>(nodes, 10000);
+    hours = std::min(hours, 2.0);
+  }
+
+  FleetConfig config;
+  config.num_nodes = nodes;
+  config.horizon_seconds = hours * 3600.0;
+  config.sync_interval_seconds = 300.0;
+  config.seed = 42;
+  const unsigned driver_threads = 4;
+
+  std::printf("bench_fleet: %u nodes, %.1fh horizon, sync every %.0fs, "
+              "%u driver threads\n",
+              config.num_nodes, hours, config.sync_interval_seconds,
+              driver_threads);
+
+  // ---- Phase 1: fleet simulation against a live server --------------------
+  ServerConfig server_config;
+  server_config.shards = 64;
+  server_config.merge_threads = 4;
+  FleetServer server(server_config);
+  ServerSink sink(server);
+
+  const auto sim_start = Clock::now();
+  const FleetReport report = run_fleet(config, &sink, driver_threads);
+  server.stop();
+  const double sim_seconds = seconds_since(sim_start);
+  const ServerStats sim_stats = server.stats();
+  const edgetrain::fleet::FleetAggregate aggregate = server.aggregate();
+
+  const double sim_rate =
+      sim_seconds > 0.0 ? static_cast<double>(report.deltas_emitted) /
+                              sim_seconds
+                        : 0.0;
+  std::printf(
+      "  fleet: %llu events, %llu deltas in %.2fs (%.0f deltas/s wall)\n",
+      static_cast<unsigned long long>(report.events_dispatched),
+      static_cast<unsigned long long>(report.deltas_emitted), sim_seconds,
+      sim_rate);
+  std::printf("  fleet: %llu steps done, %llu wasted (%.2f%%), %llu crashes, "
+              "%u nodes worn out\n",
+              static_cast<unsigned long long>(report.steps_done),
+              static_cast<unsigned long long>(report.steps_wasted),
+              report.steps_done + report.steps_wasted > 0
+                  ? 100.0 * static_cast<double>(report.steps_wasted) /
+                        static_cast<double>(report.steps_done +
+                                            report.steps_wasted)
+                  : 0.0,
+              static_cast<unsigned long long>(report.crashes),
+              report.worn_out_nodes);
+  std::printf("  fleet: mean accuracy %.3f, %.1f%% of nodes converged\n",
+              report.mean_accuracy, 100.0 * report.converged_fraction);
+  std::printf("  server: merged %llu deltas from %llu nodes, mean loss %.3f, "
+              "%llu dup drops\n",
+              static_cast<unsigned long long>(aggregate.deltas),
+              static_cast<unsigned long long>(aggregate.nodes_seen),
+              aggregate.mean_loss(),
+              static_cast<unsigned long long>(sim_stats.duplicate_drops));
+
+  bool ok = true;
+  if (aggregate.deltas != report.deltas_emitted) {
+    std::fprintf(stderr,
+                 "error: server merged %llu deltas but the fleet emitted "
+                 "%llu (lost or double-counted)\n",
+                 static_cast<unsigned long long>(aggregate.deltas),
+                 static_cast<unsigned long long>(report.deltas_emitted));
+    ok = false;
+  }
+
+  // ---- Phase 2: peak ingest throughput ------------------------------------
+  const unsigned producers = 4;
+  const std::uint64_t per_producer = quick ? 250000 : 1000000;
+  const ThroughputResult peak = run_throughput(producers, per_producer, nodes);
+  std::printf("  peak ingest: %.0f reqs/s over %llu deltas "
+              "(p50 %.1fus, p99 %.1fus, max %.0fus, %llu backpressure "
+              "waits)\n",
+              peak.reqs_per_second,
+              static_cast<unsigned long long>(peak.total), peak.p50_us,
+              peak.p99_us, peak.max_us,
+              static_cast<unsigned long long>(peak.backpressure_waits));
+  if (peak.reqs_per_second < 100000.0) {
+    std::fprintf(stderr, "error: peak ingest %.0f reqs/s below the 100k "
+                 "acceptance floor\n",
+                 peak.reqs_per_second);
+    ok = false;
+  }
+
+  // ---- Phase 3: deterministic replay --------------------------------------
+  FleetConfig replay_config = config;
+  replay_config.num_nodes = std::min<std::uint32_t>(nodes, 2000);
+  replay_config.horizon_seconds = std::min(config.horizon_seconds, 7200.0);
+  const FleetReport first = run_fleet(replay_config, nullptr, 2);
+  const FleetReport second = run_fleet(replay_config, nullptr, 2);
+  const FleetReport other_threads = run_fleet(replay_config, nullptr, 7);
+  const bool replay_ok = first.trace_crc == second.trace_crc &&
+                         first.state_crc == second.state_crc;
+  const bool threads_ok = first.state_crc == other_threads.state_crc;
+  std::printf("  replay: trace/state reproducible: %s; state invariant "
+              "across driver threads: %s\n",
+              replay_ok ? "yes" : "NO", threads_ok ? "yes" : "NO");
+  if (!replay_ok || !threads_ok) {
+    std::fprintf(stderr, "error: determinism contract violated\n");
+    ok = false;
+  }
+
+  // ---- Committed baseline --------------------------------------------------
+  auto bench = edgetrain::bench::BenchReport::create("bench_fleet", json_path);
+  if (bench) {
+    auto& json = bench->json();
+    json.field("num_nodes", static_cast<long long>(config.num_nodes));
+    json.field("horizon_hours", hours, "%.2f");
+    json.field("sync_interval_seconds", config.sync_interval_seconds, "%.0f");
+    json.field("driver_threads", static_cast<long long>(driver_threads));
+    json.field("quick", quick);
+    bench->end_context();
+
+    json.key("fleet").begin_object();
+    json.field("events_dispatched",
+               static_cast<unsigned long long>(report.events_dispatched));
+    json.field("deltas_emitted",
+               static_cast<unsigned long long>(report.deltas_emitted));
+    json.field("steps_done", static_cast<unsigned long long>(report.steps_done));
+    json.field("steps_wasted",
+               static_cast<unsigned long long>(report.steps_wasted));
+    json.field("crashes", static_cast<unsigned long long>(report.crashes));
+    json.field("torn_snapshots",
+               static_cast<unsigned long long>(report.torn_snapshots));
+    json.field("sd_writes", static_cast<unsigned long long>(report.sd_writes));
+    json.field("worn_out_nodes", static_cast<long long>(report.worn_out_nodes));
+    json.field("step_seconds", report.step_seconds, "%.4f");
+    json.field("mean_accuracy", report.mean_accuracy, "%.4f");
+    json.field("converged_fraction", report.converged_fraction, "%.4f");
+    json.field("sim_wall_seconds", sim_seconds, "%.3f");
+    json.field("sim_deltas_per_second", sim_rate, "%.0f");
+    json.end_object();
+
+    json.key("server").begin_object();
+    json.field("merged_deltas",
+               static_cast<unsigned long long>(aggregate.deltas));
+    json.field("nodes_seen",
+               static_cast<unsigned long long>(aggregate.nodes_seen));
+    json.field("samples", static_cast<unsigned long long>(aggregate.samples));
+    json.field("mean_loss", aggregate.mean_loss(), "%.4f");
+    json.field("duplicate_drops",
+               static_cast<unsigned long long>(sim_stats.duplicate_drops));
+    json.field("no_lost_deltas", aggregate.deltas == report.deltas_emitted);
+    json.end_object();
+
+    json.key("peak_ingest").begin_object();
+    json.field("producers", static_cast<long long>(producers));
+    json.field("total_deltas", static_cast<unsigned long long>(peak.total));
+    json.field("reqs_per_second", peak.reqs_per_second, "%.0f");
+    json.field("p50_us", peak.p50_us, "%.2f");
+    json.field("p99_us", peak.p99_us, "%.2f");
+    json.field("max_us", peak.max_us, "%.1f");
+    json.field("backpressure_waits",
+               static_cast<unsigned long long>(peak.backpressure_waits));
+    json.field("meets_100k_floor", peak.reqs_per_second >= 100000.0);
+    json.end_object();
+
+    json.key("replay").begin_object();
+    json.field("reproducible", replay_ok);
+    json.field("thread_count_invariant", threads_ok);
+    json.field("trace_crc", static_cast<unsigned long long>(first.trace_crc));
+    json.field("state_crc", static_cast<unsigned long long>(first.state_crc));
+    json.end_object();
+
+    bench->close();
+  }
+
+  return ok ? 0 : 1;
+}

@@ -9,20 +9,100 @@
 //  student training), and reports the fleet-wide accuracy uplift plus the
 //  aggregate storage budget -- the whole paper in one run.
 //
+// The nodes are independent, so the fleet fans out over the global thread
+// pool (one node per task; the node's inner kernels nest and therefore run
+// serially inside the worker). A serial pass with the pool pinned to one
+// worker runs first as the baseline: identical code path, so the parallel
+// pass must reproduce every per-node result bit for bit -- checked, then
+// the wall-clock speedup is reported.
+//
 // Usage: aot_fleet_sim [num_nodes] [frames_per_node]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "insitu/student.hpp"
+#include "tensor/parallel.hpp"
+
+namespace {
+
+edgetrain::insitu::ViewpointExperimentConfig node_config(int node,
+                                                         int num_nodes,
+                                                         std::int64_t frames) {
+  edgetrain::insitu::ViewpointExperimentConfig config;
+  config.scene.frame_width = 112;
+  config.scene.frame_height = 40;
+  config.scene.object_size = 15;
+  config.scene.num_classes = 3;
+  // Each node has its own mounting angle: skew 0.55 .. 0.9.
+  config.scene.max_skew =
+      0.55F + 0.35F * static_cast<float>(node) /
+                  static_cast<float>(std::max(num_nodes - 1, 1));
+  config.scene.seed = 100 + static_cast<std::uint32_t>(node) * 17;
+  config.harvest.patch = 18;
+  config.stream_frames = frames;
+  config.eval_bins = 4;
+  config.eval_per_class_per_bin = 20;
+  config.classifier_channels = 6;
+  config.teacher_train.epochs = 6;
+  config.student_train.epochs = 6;
+  config.student_train.checkpoint_free_slots = 2;
+  config.seed = 7 + static_cast<std::uint32_t>(node);
+  return config;
+}
+
+bool same_result(const edgetrain::insitu::ViewpointExperimentResult& a,
+                 const edgetrain::insitu::ViewpointExperimentResult& b) {
+  return std::memcmp(&a.teacher_overall, &b.teacher_overall,
+                     sizeof(a.teacher_overall)) == 0 &&
+         std::memcmp(&a.student_overall, &b.student_overall,
+                     sizeof(a.student_overall)) == 0 &&
+         a.harvest.images_harvested == b.harvest.images_harvested &&
+         std::memcmp(&a.harvest.label_purity, &b.harvest.label_purity,
+                     sizeof(a.harvest.label_purity)) == 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace edgetrain::insitu;
+  using Clock = std::chrono::steady_clock;
 
   const int num_nodes = argc > 1 ? std::atoi(argv[1]) : 4;
   const std::int64_t frames = argc > 2 ? std::atoll(argv[2]) : 500;
 
   std::printf("Deploying %d Waggle nodes, %lld frames each...\n\n", num_nodes,
               static_cast<long long>(frames));
+
+  // Serial baseline: one pool worker, plain loop.
+  edgetrain::ThreadPool::set_global_threads(1);
+  std::vector<ViewpointExperimentResult> serial(
+      static_cast<std::size_t>(num_nodes));
+  const auto serial_start = Clock::now();
+  for (int node = 0; node < num_nodes; ++node) {
+    serial[static_cast<std::size_t>(node)] =
+        run_viewpoint_experiment(node_config(node, num_nodes, frames));
+  }
+  const double serial_seconds =
+      std::chrono::duration<double>(Clock::now() - serial_start).count();
+
+  // Parallel fleet: every node is an independent task on the global pool.
+  edgetrain::ThreadPool::set_global_threads(0);  // hardware concurrency
+  std::vector<ViewpointExperimentResult> parallel(
+      static_cast<std::size_t>(num_nodes));
+  const auto parallel_start = Clock::now();
+  edgetrain::parallel_for(
+      0, num_nodes, 1, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t node = begin; node < end; ++node) {
+          parallel[static_cast<std::size_t>(node)] = run_viewpoint_experiment(
+              node_config(static_cast<int>(node), num_nodes, frames));
+        }
+      });
+  const double parallel_seconds =
+      std::chrono::duration<double>(Clock::now() - parallel_start).count();
+
   std::printf("%-6s %-8s %-10s %-10s %-10s %-10s %-10s\n", "node", "skew",
               "images", "purity", "teacher", "student", "uplift");
 
@@ -30,36 +110,19 @@ int main(int argc, char** argv) {
   double student_total = 0.0;
   std::int64_t images_total = 0;
   int improved = 0;
+  bool identical = true;
 
   for (int node = 0; node < num_nodes; ++node) {
-    ViewpointExperimentConfig config;
-    config.scene.frame_width = 112;
-    config.scene.frame_height = 40;
-    config.scene.object_size = 15;
-    config.scene.num_classes = 3;
-    // Each node has its own mounting angle: skew 0.55 .. 0.9.
-    config.scene.max_skew =
-        0.55F + 0.35F * static_cast<float>(node) /
-                    static_cast<float>(std::max(num_nodes - 1, 1));
-    config.scene.seed = 100 + static_cast<std::uint32_t>(node) * 17;
-    config.harvest.patch = 18;
-    config.stream_frames = frames;
-    config.eval_bins = 4;
-    config.eval_per_class_per_bin = 20;
-    config.classifier_channels = 6;
-    config.teacher_train.epochs = 6;
-    config.student_train.epochs = 6;
-    config.student_train.checkpoint_free_slots = 2;
-    config.seed = 7 + static_cast<std::uint32_t>(node);
-
-    const ViewpointExperimentResult result = run_viewpoint_experiment(config);
+    const auto index = static_cast<std::size_t>(node);
+    const ViewpointExperimentResult& result = parallel[index];
+    identical = identical && same_result(result, serial[index]);
     teacher_total += result.teacher_overall;
     student_total += result.student_overall;
     images_total += result.harvest.images_harvested;
     if (result.student_overall > result.teacher_overall) ++improved;
 
     std::printf("%-6d %-8.2f %-10lld %-10.2f %-10.3f %-10.3f %+.3f\n", node,
-                config.scene.max_skew,
+                node_config(node, num_nodes, frames).scene.max_skew,
                 static_cast<long long>(result.harvest.images_harvested),
                 result.harvest.label_purity, result.teacher_overall,
                 result.student_overall,
@@ -74,5 +137,15 @@ int main(int argc, char** argv) {
               "paper's 10 kB budget), zero images transmitted upstream.\n",
               static_cast<long long>(images_total),
               static_cast<double>(images_total) * 10.0 / 1024.0);
+  std::printf("fleet wall-clock: serial %.2fs, parallel %.2fs (%.2fx); "
+              "per-node results bit-identical to serial: %s\n",
+              serial_seconds, parallel_seconds,
+              parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0,
+              identical ? "yes" : "NO");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "error: parallel fleet diverged from the serial baseline\n");
+    return 1;
+  }
   return 0;
 }

@@ -2,18 +2,9 @@
 
 #include <algorithm>
 #include <bit>
-#include <cstdio>
-#include <filesystem>
-#include <system_error>
 
-#include "persist/crc32.hpp"
+#include "persist/atomic_file.hpp"
 #include "persist/wire.hpp"
-
-#ifdef _WIN32
-#error "calib: POSIX-only (fsync/rename durability protocol)"
-#endif
-#include <fcntl.h>
-#include <unistd.h>
 
 namespace edgetrain::calib {
 
@@ -133,40 +124,18 @@ std::vector<std::uint8_t> encode_profile(const DeviceModel& model) {
   wr_f64(payload, model.disk_write_latency_us);
   wr_f64(payload, model.disk_read_latency_us);
 
-  persist::ByteWriter out;
-  out.u32(kMagic);
-  out.u32(kProfileVersion);
-  out.u64(payload.size());
-  out.u32(persist::crc32(payload.bytes().data(), payload.size()));
-  out.u32(persist::crc32(out.bytes().data(), out.size()));  // header CRC
-  out.raw(payload.bytes().data(), payload.size());
-  return out.take();
+  return persist::frame_payload(kMagic, kProfileVersion, payload.bytes());
 }
 
 DeviceModel decode_profile(const std::vector<std::uint8_t>& bytes) {
-  constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4;
-  if (bytes.size() < kHeaderBytes) throw ProfileError("truncated header");
-  persist::ByteReader header(bytes.data(), kHeaderBytes);
-  if (header.u32() != kMagic) throw ProfileError("bad magic");
-  const std::uint32_t version = header.u32();
-  if (version != kProfileVersion) {
-    throw ProfileError("unsupported version " + std::to_string(version));
-  }
-  const std::uint64_t payload_size = header.u64();
-  const std::uint32_t payload_crc = header.u32();
-  const std::uint32_t header_crc = header.u32();
-  if (persist::crc32(bytes.data(), kHeaderBytes - 4) != header_crc) {
-    throw ProfileError("header CRC mismatch");
-  }
-  if (bytes.size() - kHeaderBytes != payload_size) {
-    throw ProfileError("payload size mismatch");
-  }
-  if (persist::crc32(bytes.data() + kHeaderBytes, payload_size) !=
-      payload_crc) {
-    throw ProfileError("payload CRC mismatch");
+  std::vector<std::uint8_t> body;
+  try {
+    body = persist::unframe_payload(kMagic, kProfileVersion, bytes);
+  } catch (const persist::AtomicFileError& error) {
+    throw ProfileError(error.what());
   }
 
-  persist::ByteReader r(bytes.data() + kHeaderBytes, payload_size);
+  persist::ByteReader r(body.data(), body.size());
   DeviceModel model;
   try {
     const std::uint32_t num_points = r.u32();
@@ -194,47 +163,20 @@ DeviceModel decode_profile(const std::vector<std::uint8_t>& bytes) {
 
 void save_profile(const std::string& path, const DeviceModel& model) {
   const std::vector<std::uint8_t> bytes = encode_profile(model);
-  const std::string tmp = path + ".tmp";
-  {
-    std::FILE* file = std::fopen(tmp.c_str(), "wb");
-    if (file == nullptr) {
-      throw ProfileError("cannot open " + tmp + " for writing");
-    }
-    const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
-    const int fd = fileno(file);
-    const bool synced = written == bytes.size() && fd >= 0 && fsync(fd) == 0;
-    if (std::fclose(file) != 0 || !synced) {
-      std::remove(tmp.c_str());
-      throw ProfileError("write to " + tmp + " failed");
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw ProfileError("rename " + tmp + " -> " + path + " failed");
-  }
-  // Make the rename itself durable: fsync the containing directory.
-  const std::filesystem::path parent =
-      std::filesystem::path(path).parent_path();
-  const std::string dir = parent.empty() ? "." : parent.string();
-  const int dir_fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    (void)fsync(dir_fd);
-    (void)close(dir_fd);
+  try {
+    persist::write_file_atomic(path, bytes);
+  } catch (const persist::AtomicFileError& error) {
+    throw ProfileError(error.what());
   }
 }
 
 std::optional<DeviceModel> load_profile(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return std::nullopt;
   std::vector<std::uint8_t> bytes;
-  std::uint8_t buf[4096];
-  std::size_t got = 0;
-  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
-    bytes.insert(bytes.end(), buf, buf + got);
+  try {
+    bytes = persist::read_file_bytes(path);
+  } catch (const persist::AtomicFileError&) {
+    return std::nullopt;
   }
-  const bool read_error = std::ferror(file) != 0;
-  std::fclose(file);
-  if (read_error) return std::nullopt;
   try {
     return decode_profile(bytes);
   } catch (const ProfileError&) {

@@ -1,6 +1,7 @@
 #include "edge/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <stdexcept>
 
@@ -122,6 +123,56 @@ std::vector<IdleWindow> IdleScheduler::idle_windows(
     }
   }
   return windows;
+}
+
+PeriodicIdleProfile::PeriodicIdleProfile(const IdleScheduler& scheduler,
+                                         double period_seconds)
+    : period_(period_seconds) {
+  if (period_seconds <= 0.0) {
+    throw std::invalid_argument(
+        "PeriodicIdleProfile: period_seconds must be > 0");
+  }
+  windows_ = scheduler.idle_windows(period_seconds);
+  prefix_.reserve(windows_.size());
+  double running = 0.0;
+  for (const IdleWindow& window : windows_) {
+    prefix_.push_back(running);
+    running += window.duration();
+  }
+  total_ = running;
+}
+
+double PeriodicIdleProfile::training_before(double t) const {
+  if (windows_.empty() || t <= 0.0) return 0.0;
+  if (t >= period_) return total_;
+  // First window beginning at or after t; everything before it is either
+  // fully counted (prefix) or partially overlapped (the window before).
+  const auto it = std::lower_bound(
+      windows_.begin(), windows_.end(), t,
+      [](const IdleWindow& w, double value) { return w.begin_seconds < value; });
+  const std::size_t index =
+      static_cast<std::size_t>(std::distance(windows_.begin(), it));
+  double sum = index < prefix_.size() ? prefix_[index] : total_;
+  if (index > 0) {
+    const IdleWindow& prev = windows_[index - 1];
+    // prefix_ counts prev in full; give back the part past t.
+    if (t < prev.end_seconds) sum -= prev.end_seconds - t;
+  }
+  return sum;
+}
+
+double PeriodicIdleProfile::training_seconds(double begin_seconds,
+                                             double end_seconds,
+                                             double phase_seconds) const {
+  if (end_seconds <= begin_seconds || total_ <= 0.0) return 0.0;
+  // F(t) = training seconds in phase-shifted [0, t).
+  const auto cumulative = [&](double t) {
+    const double shifted = t + phase_seconds;
+    const double periods = std::floor(shifted / period_);
+    const double within = shifted - periods * period_;
+    return periods * total_ + training_before(within);
+  };
+  return cumulative(end_seconds) - cumulative(begin_seconds);
 }
 
 std::vector<ForegroundTask> periodic_tasks(const std::string& name,

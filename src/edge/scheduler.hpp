@@ -86,4 +86,50 @@ class IdleScheduler {
     const std::string& name, double period_seconds, double duration_seconds,
     int priority, double horizon_seconds);
 
+/// One simulated duty cycle, tiled periodically over unbounded time.
+///
+/// A fleet simulation cannot afford a per-node IdleScheduler timeline
+/// (10^5 nodes x 10^4 windows would dominate memory and setup), but
+/// nodes running the same sensing payload share the same duty cycle up to
+/// a phase offset. PeriodicIdleProfile runs the scheduler ONCE over one
+/// period, keeps the idle windows plus a prefix-sum table, and answers
+/// "how many training seconds does a node get in virtual [begin, end)?"
+/// in O(log windows) for any interval, any phase, any number of periods.
+class PeriodicIdleProfile {
+ public:
+  /// Simulates @p scheduler over [0, period_seconds) and freezes the
+  /// resulting idle windows as one period of the cycle.
+  PeriodicIdleProfile(const IdleScheduler& scheduler, double period_seconds);
+
+  [[nodiscard]] double period_seconds() const noexcept { return period_; }
+  /// Training seconds available in one full period.
+  [[nodiscard]] double training_seconds_per_period() const noexcept {
+    return total_;
+  }
+  /// Duty fraction the background trainer owns.
+  [[nodiscard]] double idle_fraction() const noexcept {
+    return period_ > 0.0 ? total_ / period_ : 0.0;
+  }
+  [[nodiscard]] const std::vector<IdleWindow>& windows() const noexcept {
+    return windows_;
+  }
+
+  /// Training seconds available in absolute virtual [begin, end), the
+  /// profile tiling forever. @p phase_seconds shifts the node's position
+  /// inside the cycle (two nodes with different phases see the same duty
+  /// cycle at different wall offsets).
+  [[nodiscard]] double training_seconds(double begin_seconds,
+                                        double end_seconds,
+                                        double phase_seconds = 0.0) const;
+
+ private:
+  /// Training seconds in [0, t) of a single period, t in [0, period_].
+  [[nodiscard]] double training_before(double t) const;
+
+  double period_ = 0.0;
+  double total_ = 0.0;
+  std::vector<IdleWindow> windows_;
+  std::vector<double> prefix_;  ///< training seconds before windows_[i]
+};
+
 }  // namespace edgetrain::edge

@@ -1,0 +1,32 @@
+// edgetrain: the fleet wire unit -- one node's sync-interval contribution.
+//
+// Every sync interval a node uploads (a) the quantized delta of its
+// student weights since the last sync and (b) labelled-sample statistics
+// from its harvester. Weights are fixed-point int32 rather than float ON
+// PURPOSE: the central server accumulates them in int64, and integer
+// addition is exactly associative and commutative, so the merged fleet
+// aggregate is bit-identical no matter how producer threads interleave --
+// which is what makes the deterministic-replay test possible against a
+// genuinely multi-threaded server.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace edgetrain::fleet {
+
+/// Components in the quantized student-weight delta (a low-rank sketch of
+/// the real update, sized for 10^5-10^6 nodes x 10^3 syncs in RAM).
+inline constexpr std::size_t kDeltaComponents = 16;
+
+struct StudentDelta {
+  std::uint32_t node = 0;
+  /// Per-node emission sequence number, strictly monotone from 1, so the
+  /// server can drop duplicate/replayed uploads (at-most-once merge).
+  std::uint64_t seq = 0;
+  std::uint32_t samples = 0;     ///< labelled samples harvested this interval
+  std::int32_t loss_milli = 0;   ///< student loss proxy, millis
+  std::array<std::int32_t, kDeltaComponents> weights{};
+};
+
+}  // namespace edgetrain::fleet

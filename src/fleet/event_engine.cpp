@@ -1,0 +1,47 @@
+#include "fleet/event_engine.hpp"
+
+#include <algorithm>
+
+#include "persist/crc32.hpp"
+
+namespace edgetrain::fleet {
+
+void EventEngine::schedule(std::uint64_t time_us, std::uint32_t node,
+                           EventKind kind) {
+  Event event;
+  event.time_us = std::max(time_us, now_us_);
+  event.seq = next_seq_++;
+  event.node = node;
+  event.kind = kind;
+  heap_.push(event);
+}
+
+std::uint64_t EventEngine::run(std::uint64_t horizon_us,
+                               EventHandler handler) {
+  std::uint64_t count = 0;
+  while (!heap_.empty() && heap_.top().time_us < horizon_us) {
+    const Event event = heap_.top();
+    heap_.pop();
+    now_us_ = event.time_us;
+    // Fold the record into the trace fingerprint before dispatch, so a
+    // handler that throws still leaves a trace that names the culprit.
+    struct Record {
+      std::uint64_t time_us;
+      std::uint64_t seq;
+      std::uint32_t node;
+      std::uint32_t kind;
+    } record{event.time_us, event.seq, event.node,
+             static_cast<std::uint32_t>(event.kind)};
+    trace_state_ = persist::crc32_update(trace_state_, &record, sizeof(record));
+    ++dispatched_;
+    ++count;
+    handler(event);
+  }
+  return count;
+}
+
+std::uint32_t EventEngine::trace_crc() const noexcept {
+  return persist::crc32_final(trace_state_);
+}
+
+}  // namespace edgetrain::fleet

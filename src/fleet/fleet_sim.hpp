@@ -1,0 +1,112 @@
+// edgetrain: the whole-fleet discrete-event simulation.
+//
+// run_fleet() is the top of the fleet stack: it builds N simulated Waggle
+// nodes (shared duty-cycle archetypes, per-node phase + failure clocks),
+// drives them through a deterministic EventEngine to a virtual horizon,
+// and hands every emitted StudentDelta to a DeltaSink -- which in the
+// bench is a real multi-threaded FleetServer, so one process exercises
+// the full edge-to-server loop at 10k-1M nodes.
+//
+// Determinism contract (what the replay tests pin down):
+//   * a node's trajectory depends only on (config, node id): its RNG is
+//     seeded by splitmix64(config.seed, id) and drawn in its own event
+//     order, never shared;
+//   * driver partitions are contiguous id ranges, each with its own
+//     EventEngine, so per-partition traces are reproducible run-to-run
+//     (trace_crc) and the id-ordered final-state fingerprint (state_crc)
+//     is invariant across driver thread counts;
+//   * the merged server aggregate is integer, hence identical no matter
+//     how partitions interleave their ingests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "calib/device_model.hpp"
+#include "edge/scheduler.hpp"
+#include "fleet/delta.hpp"
+#include "fleet/node_model.hpp"
+
+namespace edgetrain::fleet {
+
+/// Where emitted deltas go. accept() must be thread-safe when run_fleet()
+/// drives more than one partition (FleetServer::ingest qualifies; test
+/// sinks use atomics or a mutex).
+class DeltaSink {
+ public:
+  virtual ~DeltaSink() = default;
+  virtual void accept(const StudentDelta& delta) = 0;
+};
+
+struct FleetConfig {
+  std::uint32_t num_nodes = 10000;
+  double horizon_seconds = 24.0 * 3600.0;
+  /// Nodes sync (snapshot + upload a delta) once per interval.
+  double sync_interval_seconds = 300.0;
+  std::uint64_t seed = 1;
+
+  /// Prices one training step: conv_us(step_flops, step_threads) on this
+  /// model. Default from default_device_model() when points is empty.
+  calib::DeviceModel device;
+  double step_flops = 40.0e9;  ///< one student step (MobileNet-ish)
+  int step_threads = 4;
+
+  /// Distinct duty-cycle archetypes (sensing payloads) across the fleet;
+  /// node i follows archetype i % duty_archetypes at its own phase.
+  std::uint32_t duty_archetypes = 4;
+  double duty_period_seconds = 600.0;
+
+  // Failure / persistence knobs (NodeParams, fleet-wide).
+  double mtbf_seconds = 6.0 * 3600.0;
+  double repair_seconds = 120.0;
+  double torn_snapshot_probability = 0.1;
+  std::uint64_t snapshot_every_steps = 25;
+  std::uint64_t sd_endurance_writes = 100000;
+  insitu::StudentConvergenceModel convergence;
+};
+
+struct FleetReport {
+  std::uint32_t num_nodes = 0;
+  double horizon_seconds = 0.0;
+  double step_seconds = 0.0;  ///< as priced by the device model
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t deltas_emitted = 0;
+  std::uint64_t steps_done = 0;
+  std::uint64_t steps_wasted = 0;  ///< recomputed after crash rollbacks
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t torn_snapshots = 0;
+  std::uint64_t sd_writes = 0;
+  std::uint32_t worn_out_nodes = 0;
+  std::uint32_t down_nodes = 0;  ///< still powered off at the horizon
+  double mean_accuracy = 0.0;
+  double converged_fraction = 0.0;
+
+  /// XOR of the per-partition event-trace CRCs: replay fingerprint for a
+  /// fixed (config, driver_threads) pair.
+  std::uint32_t trace_crc = 0;
+  /// CRC over every node's final state in id order: invariant across
+  /// driver thread counts (the thread-equivalence test's handle).
+  std::uint32_t state_crc = 0;
+};
+
+/// A plausible Waggle-node device model (XU4-class throughput) for benches
+/// and tests that must not depend on on-host calibration.
+[[nodiscard]] calib::DeviceModel default_device_model();
+
+/// Builds the shared duty-cycle archetypes: one PeriodicIdleProfile per
+/// sensing payload, foreground load rising with the archetype index (the
+/// fleet spans nearly-idle nodes to heavily duty-cycled ones).
+[[nodiscard]] std::vector<std::unique_ptr<edge::PeriodicIdleProfile>>
+build_duty_profiles(const FleetConfig& config, double step_seconds);
+
+/// Simulates the fleet to config.horizon_seconds. Every emitted delta is
+/// passed to @p sink (may be nullptr: simulate only). @p driver_threads
+/// contiguous node partitions run concurrently on the global pool;
+/// per-node results are bit-identical for any value (see state_crc).
+[[nodiscard]] FleetReport run_fleet(const FleetConfig& config,
+                                    DeltaSink* sink,
+                                    unsigned driver_threads = 1);
+
+}  // namespace edgetrain::fleet

@@ -1,0 +1,363 @@
+#include "fleet/server.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+#include "persist/atomic_file.hpp"
+#include "persist/wire.hpp"
+
+namespace edgetrain::fleet {
+
+namespace {
+
+constexpr std::uint32_t kAggregateMagic = 0x41465445;  // "ETFA"
+constexpr std::uint32_t kAggregateVersion = 1;
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void atomic_store_max(std::atomic<std::uint64_t>& target,
+                      std::uint64_t value) {
+  std::uint64_t current = target.load(std::memory_order_relaxed);
+  while (current < value &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+struct FleetServer::Shard {
+  std::mutex mutex;
+  std::condition_variable not_full;
+  std::vector<StudentDelta> queue;  ///< guarded by mutex
+  /// Queued + being-merged deltas; flush() waits for zero.
+  std::atomic<std::int64_t> pending{0};
+  MergeGroup* group = nullptr;
+
+  // Merger-owned (only the one merge thread that owns this shard).
+  std::vector<StudentDelta> batch;         ///< swap buffer
+  std::vector<std::uint64_t> last_seq;     ///< per node-slot dedup high-water
+
+  mutable std::mutex agg_mutex;
+  FleetAggregate agg;  ///< guarded by agg_mutex
+};
+
+struct FleetServer::MergeGroup {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Shard*> shards;
+  std::thread thread;
+};
+
+FleetServer::FleetServer(ServerConfig config) : config_(std::move(config)) {
+  config_.shards = std::max<std::uint32_t>(config_.shards, 1);
+  config_.queue_capacity = std::max<std::size_t>(config_.queue_capacity, 1);
+  config_.merge_threads =
+      std::clamp<std::uint32_t>(config_.merge_threads, 1, config_.shards);
+  config_.latency_sample_every =
+      std::max<std::uint32_t>(config_.latency_sample_every, 1);
+
+  shards_.reserve(config_.shards);
+  for (std::uint32_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  groups_.reserve(config_.merge_threads);
+  for (std::uint32_t g = 0; g < config_.merge_threads; ++g) {
+    groups_.push_back(std::make_unique<MergeGroup>());
+  }
+  for (std::uint32_t s = 0; s < config_.shards; ++s) {
+    MergeGroup& group = *groups_[s % config_.merge_threads];
+    group.shards.push_back(shards_[s].get());
+    shards_[s]->group = &group;
+  }
+  for (auto& group : groups_) {
+    group->thread = std::thread([this, raw = group.get()] {
+      merge_loop(*raw);
+    });
+  }
+}
+
+FleetServer::~FleetServer() { stop(); }
+
+void FleetServer::record_latency_ns(std::uint64_t ns) {
+  const int bit = 63 - std::countl_zero(ns | 1ULL);
+  latency_histogram_[static_cast<std::size_t>(bit)].fetch_add(
+      1, std::memory_order_relaxed);
+  atomic_store_max(latency_max_ns_, ns);
+}
+
+void FleetServer::note_ingest_clock() {
+  const std::uint64_t now = steady_now_ns();
+  std::uint64_t expected = 0;
+  first_ingest_ns_.compare_exchange_strong(expected, now,
+                                           std::memory_order_relaxed);
+  atomic_store_max(last_ingest_ns_, now);
+}
+
+void FleetServer::ingest(const StudentDelta& delta) {
+  Shard& shard = *shards_[delta.node % config_.shards];
+
+  thread_local std::uint32_t sample_tick = 0;
+  const bool sampled = (sample_tick++ % config_.latency_sample_every) == 0;
+  std::uint64_t t0 = 0;
+  if (sampled) {
+    note_ingest_clock();
+    t0 = steady_now_ns();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    if (shard.queue.size() >= config_.queue_capacity) {
+      backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+      shard.not_full.wait(lock, [&] {
+        return shard.queue.size() < config_.queue_capacity;
+      });
+    }
+    shard.queue.push_back(delta);
+  }
+  shard.pending.fetch_add(1, std::memory_order_release);
+  ingested_.fetch_add(1, std::memory_order_relaxed);
+  shard.group->cv.notify_one();
+
+  if (sampled) record_latency_ns(steady_now_ns() - t0);
+}
+
+bool FleetServer::try_ingest(const StudentDelta& delta) {
+  Shard& shard = *shards_[delta.node % config_.shards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.queue.size() >= config_.queue_capacity) return false;
+    shard.queue.push_back(delta);
+  }
+  shard.pending.fetch_add(1, std::memory_order_release);
+  ingested_.fetch_add(1, std::memory_order_relaxed);
+  shard.group->cv.notify_one();
+  return true;
+}
+
+void FleetServer::merge_batch(Shard& shard,
+                              const std::vector<StudentDelta>& batch) {
+  std::lock_guard<std::mutex> lock(shard.agg_mutex);
+  for (const StudentDelta& delta : batch) {
+    const std::size_t slot = delta.node / config_.shards;
+    if (slot >= shard.last_seq.size()) shard.last_seq.resize(slot + 1, 0);
+    if (delta.seq <= shard.last_seq[slot]) {
+      duplicate_drops_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (shard.last_seq[slot] == 0) ++shard.agg.nodes_seen;
+    shard.last_seq[slot] = delta.seq;
+    ++shard.agg.deltas;
+    shard.agg.samples += delta.samples;
+    shard.agg.loss_milli_sum += delta.loss_milli;
+    for (std::size_t k = 0; k < kDeltaComponents; ++k) {
+      shard.agg.weight_sum[k] += delta.weights[k];
+    }
+  }
+}
+
+void FleetServer::merge_loop(MergeGroup& group) {
+  const auto any_work = [&group] {
+    for (Shard* shard : group.shards) {
+      if (shard->pending.load(std::memory_order_acquire) > 0) return true;
+    }
+    return false;
+  };
+
+  for (;;) {
+    {
+      // Producers notify without the group lock, so a wakeup can race the
+      // predicate check; the timed wait bounds any missed notification.
+      std::unique_lock<std::mutex> lock(group.mutex);
+      group.cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return any_work() || stopping_.load(std::memory_order_acquire);
+      });
+    }
+
+    bool drained_everything = true;
+    for (Shard* shard : group.shards) {
+      {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        if (shard->queue.empty()) continue;
+        shard->queue.swap(shard->batch);
+      }
+      shard->not_full.notify_all();
+      merge_batch(*shard, shard->batch);
+      merged_.fetch_add(shard->batch.size(), std::memory_order_relaxed);
+      shard->pending.fetch_sub(static_cast<std::int64_t>(shard->batch.size()),
+                               std::memory_order_release);
+      shard->batch.clear();
+      drained_everything = false;
+    }
+    maybe_snapshot();
+
+    if (stopping_.load(std::memory_order_acquire) && drained_everything &&
+        !any_work()) {
+      return;
+    }
+  }
+}
+
+void FleetServer::maybe_snapshot() {
+  if (config_.snapshot_path.empty() || config_.snapshot_every_deltas == 0) {
+    return;
+  }
+  const std::uint64_t merged = merged_.load(std::memory_order_relaxed);
+  std::uint64_t last = merged_at_last_snapshot_.load(std::memory_order_relaxed);
+  if (merged - last < config_.snapshot_every_deltas) return;
+  // One merger wins the right to commit this generation.
+  if (!merged_at_last_snapshot_.compare_exchange_strong(
+          last, merged, std::memory_order_relaxed)) {
+    return;
+  }
+  try {
+    write_aggregate_snapshot(config_.snapshot_path);
+    snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const persist::AtomicFileError& error) {
+    // A failed background commit must not take the ingest path down; the
+    // next generation retries.
+    std::fprintf(stderr, "fleet server: aggregate snapshot failed: %s\n",
+                 error.what());
+  }
+}
+
+void FleetServer::flush() {
+  for (;;) {
+    bool all_empty = true;
+    for (const auto& shard : shards_) {
+      if (shard->pending.load(std::memory_order_acquire) != 0) {
+        all_empty = false;
+        break;
+      }
+    }
+    if (all_empty) return;
+    for (auto& group : groups_) group->cv.notify_one();
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void FleetServer::stop() {
+  if (joined_) return;
+  flush();
+  stopping_.store(true, std::memory_order_release);
+  for (auto& group : groups_) group->cv.notify_all();
+  for (auto& group : groups_) {
+    if (group->thread.joinable()) group->thread.join();
+  }
+  joined_ = true;
+}
+
+FleetAggregate FleetServer::aggregate() const {
+  FleetAggregate total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->agg_mutex);
+    total.deltas += shard->agg.deltas;
+    total.samples += shard->agg.samples;
+    total.loss_milli_sum += shard->agg.loss_milli_sum;
+    total.nodes_seen += shard->agg.nodes_seen;
+    for (std::size_t k = 0; k < kDeltaComponents; ++k) {
+      total.weight_sum[k] += shard->agg.weight_sum[k];
+    }
+  }
+  return total;
+}
+
+ServerStats FleetServer::stats() const {
+  ServerStats stats;
+  stats.ingested = ingested_.load(std::memory_order_relaxed);
+  stats.merged = merged_.load(std::memory_order_relaxed);
+  stats.duplicate_drops = duplicate_drops_.load(std::memory_order_relaxed);
+  stats.backpressure_waits =
+      backpressure_waits_.load(std::memory_order_relaxed);
+  stats.snapshots_written = snapshots_written_.load(std::memory_order_relaxed);
+
+  std::uint64_t total_samples = 0;
+  std::array<std::uint64_t, kLatencyBuckets> counts{};
+  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+    counts[i] = latency_histogram_[i].load(std::memory_order_relaxed);
+    total_samples += counts[i];
+  }
+  const auto percentile = [&](double q) {
+    if (total_samples == 0) return 0.0;
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_samples - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+      seen += counts[i];
+      if (seen > rank) {
+        // Bucket i holds [2^i, 2^{i+1}) ns; report its geometric middle.
+        return static_cast<double>(1ULL << i) * 1.5 / 1000.0;  // us
+      }
+    }
+    return static_cast<double>(latency_max_ns_.load(
+               std::memory_order_relaxed)) /
+           1000.0;
+  };
+  stats.p50_ingest_us = percentile(0.50);
+  stats.p99_ingest_us = percentile(0.99);
+  stats.max_ingest_us =
+      static_cast<double>(latency_max_ns_.load(std::memory_order_relaxed)) /
+      1000.0;
+
+  const std::uint64_t first = first_ingest_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t last = last_ingest_ns_.load(std::memory_order_relaxed);
+  if (first != 0 && last > first) {
+    stats.elapsed_seconds = static_cast<double>(last - first) * 1e-9;
+    stats.ingests_per_second =
+        static_cast<double>(stats.ingested) / stats.elapsed_seconds;
+  }
+  return stats;
+}
+
+void FleetServer::write_aggregate_snapshot(const std::string& path) const {
+  const FleetAggregate agg = aggregate();
+  persist::ByteWriter payload;
+  payload.u64(agg.deltas);
+  payload.u64(agg.samples);
+  payload.i64(agg.loss_milli_sum);
+  payload.u64(agg.nodes_seen);
+  payload.u32(static_cast<std::uint32_t>(kDeltaComponents));
+  for (const std::int64_t w : agg.weight_sum) payload.i64(w);
+  const std::vector<std::uint8_t> framed =
+      persist::frame_payload(kAggregateMagic, kAggregateVersion,
+                             payload.bytes());
+  persist::write_file_atomic(path, framed);
+}
+
+FleetAggregate FleetServer::read_aggregate_snapshot(const std::string& path) {
+  const std::vector<std::uint8_t> body = persist::unframe_payload(
+      kAggregateMagic, kAggregateVersion, persist::read_file_bytes(path));
+  persist::ByteReader reader(body.data(), body.size());
+  FleetAggregate agg;
+  try {
+    agg.deltas = reader.u64();
+    agg.samples = reader.u64();
+    agg.loss_milli_sum = reader.i64();
+    agg.nodes_seen = reader.u64();
+    const std::uint32_t components = reader.u32();
+    if (components != kDeltaComponents) {
+      throw persist::AtomicFileError("aggregate component count mismatch");
+    }
+    for (std::size_t k = 0; k < kDeltaComponents; ++k) {
+      agg.weight_sum[k] = reader.i64();
+    }
+    if (!reader.exhausted()) {
+      throw persist::AtomicFileError("trailing aggregate payload bytes");
+    }
+  } catch (const persist::AtomicFileError&) {
+    throw;
+  } catch (const std::runtime_error& error) {
+    throw persist::AtomicFileError(std::string("malformed aggregate: ") +
+                                   error.what());
+  }
+  return agg;
+}
+
+}  // namespace edgetrain::fleet

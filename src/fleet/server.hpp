@@ -1,0 +1,162 @@
+// edgetrain: the central fleet aggregation service.
+//
+// The "millions of users, heavy traffic" tier: every node in the fleet
+// uploads a StudentDelta per sync interval, and one server process must
+// ingest them at six-figure request rates on edge-class hardware. The
+// design is the classic sharded-ingest pipeline:
+//
+//   producers --> [shard 0: bounded queue + striped lock] --> merger A
+//             --> [shard 1: bounded queue + striped lock] --> merger A
+//             --> [shard 2: ...                         ] --> merger B
+//
+//   * a delta's shard is node % shards, so one node's uploads are totally
+//     ordered by a single queue (per-node at-most-once dedup is local to
+//     a shard -- no global lock anywhere);
+//   * queues are bounded: a full shard blocks the producer (back-pressure,
+//     counted) instead of growing without bound on a 2 GB node;
+//   * merge threads drain whole batches by swapping the queue vector out
+//     under the lock -- the lock is held for O(1) swaps, never for the
+//     merge itself;
+//   * aggregation is int64 on the fixed-point deltas, so the merged state
+//     is exactly order-independent: a multi-threaded run is bit-identical
+//     to a serial one (the deterministic-replay tests rely on this);
+//   * ingest latency is sampled into a log2 histogram (p50/p99 without
+//     storing per-request timestamps);
+//   * the merged aggregate is periodically committed to disk through
+//     persist::atomic_file ("ETFA" frame), the same torn-write-proof
+//     protocol trainer snapshots use.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/delta.hpp"
+
+namespace edgetrain::fleet {
+
+struct ServerConfig {
+  std::uint32_t shards = 32;
+  /// Max queued deltas per shard before producers block.
+  std::size_t queue_capacity = 4096;
+  /// Merge threads; shards are striped across them. Clamped to [1, shards].
+  std::uint32_t merge_threads = 2;
+  /// Sample every Nth ingest's latency (1 = every request).
+  std::uint32_t latency_sample_every = 64;
+  /// When non-empty, the mergers commit the fleet aggregate to this path
+  /// every snapshot_every_deltas merged deltas (atomic rename, "ETFA").
+  std::string snapshot_path;
+  std::uint64_t snapshot_every_deltas = 0;
+};
+
+/// The merged fleet state. All sums are integer, hence exactly
+/// order-independent under any producer/merger interleaving.
+struct FleetAggregate {
+  std::uint64_t deltas = 0;
+  std::uint64_t samples = 0;
+  std::int64_t loss_milli_sum = 0;
+  std::uint64_t nodes_seen = 0;
+  std::array<std::int64_t, kDeltaComponents> weight_sum{};
+
+  [[nodiscard]] bool operator==(const FleetAggregate&) const = default;
+
+  /// Mean student loss across merged deltas (the fleet convergence signal).
+  [[nodiscard]] double mean_loss() const {
+    return deltas > 0
+               ? static_cast<double>(loss_milli_sum) /
+                     (1000.0 * static_cast<double>(deltas))
+               : 0.0;
+  }
+};
+
+struct ServerStats {
+  std::uint64_t ingested = 0;
+  std::uint64_t merged = 0;
+  std::uint64_t duplicate_drops = 0;
+  std::uint64_t backpressure_waits = 0;
+  std::uint64_t snapshots_written = 0;
+  double p50_ingest_us = 0.0;
+  double p99_ingest_us = 0.0;
+  double max_ingest_us = 0.0;
+  double elapsed_seconds = 0.0;   ///< first ingest -> last ingest
+  double ingests_per_second = 0.0;
+};
+
+class FleetServer {
+ public:
+  explicit FleetServer(ServerConfig config);
+  ~FleetServer();  ///< stop() if still running
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  /// Thread-safe. Enqueues one delta; blocks while the shard queue is full
+  /// (back-pressure). Must not be called after stop().
+  void ingest(const StudentDelta& delta);
+
+  /// Non-blocking variant: returns false instead of waiting on a full
+  /// shard (callers that would rather drop or retry later).
+  [[nodiscard]] bool try_ingest(const StudentDelta& delta);
+
+  /// Blocks until every delta ingested so far has been merged.
+  void flush();
+
+  /// Drains all queues, then joins the merge threads. Idempotent.
+  void stop();
+
+  /// Snapshot of the merged state (takes the shard merge locks briefly;
+  /// callable concurrently with ingest, exact after flush()).
+  [[nodiscard]] FleetAggregate aggregate() const;
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Commits the current aggregate to @p path (atomic rename, "ETFA"
+  /// dual-CRC frame). Throws persist::AtomicFileError on IO failure.
+  void write_aggregate_snapshot(const std::string& path) const;
+
+  /// Reads a committed aggregate snapshot. Throws persist::AtomicFileError
+  /// on any corruption (CRC, magic, truncation).
+  [[nodiscard]] static FleetAggregate read_aggregate_snapshot(
+      const std::string& path);
+
+ private:
+  struct Shard;
+  struct MergeGroup;
+
+  void merge_loop(MergeGroup& group);
+  void merge_batch(Shard& shard, const std::vector<StudentDelta>& batch);
+  void record_latency_ns(std::uint64_t ns);
+  void note_ingest_clock();
+  void maybe_snapshot();
+
+  ServerConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<MergeGroup>> groups_;
+  std::atomic<bool> stopping_{false};
+  bool joined_ = false;
+
+  std::atomic<std::uint64_t> ingested_{0};
+  std::atomic<std::uint64_t> merged_{0};
+  std::atomic<std::uint64_t> duplicate_drops_{0};
+  std::atomic<std::uint64_t> backpressure_waits_{0};
+  std::atomic<std::uint64_t> snapshots_written_{0};
+  std::atomic<std::uint64_t> merged_at_last_snapshot_{0};
+  std::atomic<std::uint64_t> first_ingest_ns_{0};
+  std::atomic<std::uint64_t> last_ingest_ns_{0};
+
+  /// Log2-bucketed ingest-latency histogram, nanoseconds.
+  static constexpr std::size_t kLatencyBuckets = 64;
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_histogram_{};
+  std::atomic<std::uint64_t> latency_max_ns_{0};
+};
+
+}  // namespace edgetrain::fleet

@@ -1,5 +1,8 @@
 #include "insitu/student.hpp"
 
+#include <cmath>
+#include <limits>
+
 namespace edgetrain::insitu {
 
 ViewpointExperimentResult run_viewpoint_experiment(
@@ -67,6 +70,21 @@ ViewpointExperimentResult run_viewpoint_experiment(
   result.teacher_overall = teacher_sum / config.eval_bins;
   result.student_overall = student_sum / config.eval_bins;
   return result;
+}
+
+double StudentConvergenceModel::accuracy(double steps) const {
+  if (steps <= 0.0 || tau_steps <= 0.0) return baseline;
+  return ceiling - (ceiling - baseline) * std::exp(-steps / tau_steps);
+}
+
+double StudentConvergenceModel::steps_to_reach(double target) const {
+  if (target <= baseline) return 0.0;
+  if (target >= ceiling) return std::numeric_limits<double>::infinity();
+  return -tau_steps * std::log((ceiling - target) / (ceiling - baseline));
+}
+
+bool StudentConvergenceModel::converged(double steps, double fraction) const {
+  return accuracy(steps) >= baseline + fraction * (ceiling - baseline);
 }
 
 }  // namespace edgetrain::insitu

@@ -61,4 +61,38 @@ struct ViewpointExperimentResult {
 [[nodiscard]] ViewpointExperimentResult run_viewpoint_experiment(
     const ViewpointExperimentConfig& config);
 
+/// Compact saturating-accuracy proxy for a node's student, for fleet-scale
+/// simulation (NeuroFlux, PAPERS.md: per-node student convergence is the
+/// fleet-level metric).
+///
+/// Running run_viewpoint_experiment for 10^5 nodes is out of the question;
+/// what a fleet simulator needs is the *shape* of its training curve: the
+/// student starts at the teacher's off-angle accuracy, rises roughly
+/// exponentially as harvested local data accumulates, and saturates at a
+/// ceiling set by label purity and model capacity. That is the standard
+/// three-parameter saturating exponential:
+///
+///   accuracy(s) = ceiling - (ceiling - baseline) * exp(-s / tau_steps)
+///
+/// The defaults are eyeballed from the aot_fleet_sim trajectories (student
+/// 0.55 -> ~0.9 of its ceiling inside a few hundred checkpointed steps);
+/// a fleet config can re-fit them per deployment.
+struct StudentConvergenceModel {
+  double baseline = 0.55;   ///< accuracy before any in-situ training
+  double ceiling = 0.92;    ///< asymptote (label purity + capacity bound)
+  double tau_steps = 400.0; ///< steps to close ~63% of the remaining gap
+
+  /// Predicted accuracy after @p steps optimisation steps (monotone,
+  /// baseline at 0, asymptotically ceiling).
+  [[nodiscard]] double accuracy(double steps) const;
+
+  /// Inverse: steps needed to reach @p target accuracy. Returns infinity
+  /// for targets at or above the ceiling, 0 below the baseline.
+  [[nodiscard]] double steps_to_reach(double target) const;
+
+  /// True once @p steps has closed @p fraction of the baseline->ceiling
+  /// gap (the fleet's "node converged" predicate).
+  [[nodiscard]] bool converged(double steps, double fraction = 0.95) const;
+};
+
 }  // namespace edgetrain::insitu

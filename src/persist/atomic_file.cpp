@@ -1,0 +1,172 @@
+#include "persist/atomic_file.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "persist/crc32.hpp"
+#include "persist/wire.hpp"
+
+#ifdef _WIN32
+#error "persist: POSIX-only (fsync/rename durability protocol)"
+#endif
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace edgetrain::persist {
+
+namespace {
+
+/// RAII FILE* that writes through the fault injector and fsyncs before the
+/// atomic rename. On PowerLoss the destructor just closes the handle: the
+/// torn prefix stays in the .tmp exactly as a real power cut would leave it.
+class FileSink {
+ public:
+  FileSink(const std::string& path, FaultInjector* fault)
+      : path_(path), fault_(fault), file_(std::fopen(path.c_str(), "wb")) {
+    if (file_ == nullptr) {
+      throw AtomicFileError("cannot open " + path + " for writing");
+    }
+  }
+
+  ~FileSink() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  void write(const std::uint8_t* data, std::size_t count) {
+    std::size_t offset = 0;
+    while (offset < count) {
+      // Stop exactly at an armed failure offset so tests can tear the file
+      // at any chosen byte.
+      std::size_t chunk = count - offset;
+      if (fault_ != nullptr && fault_->write_failure_armed()) chunk = 1;
+      if (std::fwrite(data + offset, 1, chunk, file_) != chunk) {
+        throw AtomicFileError("write failed for " + path_);
+      }
+      offset += chunk;
+      written_ += chunk;
+      if (fault_ != nullptr) {
+        if (fault_->write_failure_armed()) std::fflush(file_);
+        fault_->on_write_bytes(written_);
+      }
+    }
+  }
+
+  /// Flush + fsync + close; the data is durable (but not yet named).
+  void sync_and_close() {
+    if (std::fflush(file_) != 0) {
+      throw AtomicFileError("flush failed for " + path_);
+    }
+    if (::fsync(::fileno(file_)) != 0) {
+      throw AtomicFileError("fsync failed for " + path_);
+    }
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) throw AtomicFileError("close failed for " + path_);
+  }
+
+ private:
+  std::string path_;
+  FaultInjector* fault_;
+  std::FILE* file_;
+  std::uint64_t written_ = 0;
+};
+
+void fsync_directory(const std::string& directory) {
+  const std::string dir = directory.empty() ? "." : directory;
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> frame_payload(
+    std::uint32_t magic, std::uint32_t version,
+    const std::vector<std::uint8_t>& payload) {
+  ByteWriter out;
+  out.u32(magic);
+  out.u32(version);
+  out.u64(payload.size());
+  out.u32(crc32(payload.data(), payload.size()));
+  out.u32(crc32(out.bytes().data(), out.size()));  // header CRC over the 20
+  out.raw(payload.data(), payload.size());
+  return out.take();
+}
+
+std::vector<std::uint8_t> unframe_payload(
+    std::uint32_t magic, std::uint32_t version,
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    throw AtomicFileError("truncated header (" + std::to_string(bytes.size()) +
+                          " bytes)");
+  }
+  ByteReader header(bytes.data(), kFrameHeaderBytes);
+  const std::uint32_t file_magic = header.u32();
+  const std::uint32_t file_version = header.u32();
+  const std::uint64_t payload_size = header.u64();
+  const std::uint32_t payload_crc = header.u32();
+  const std::uint32_t header_crc = header.u32();
+  if (crc32(bytes.data(), kFrameHeaderBytes - 4) != header_crc) {
+    throw AtomicFileError("header CRC mismatch");
+  }
+  if (file_magic != magic) throw AtomicFileError("bad magic");
+  if (file_version != version) {
+    throw AtomicFileError("unsupported version " +
+                          std::to_string(file_version));
+  }
+  if (bytes.size() - kFrameHeaderBytes != payload_size) {
+    throw AtomicFileError(
+        "payload size mismatch (header says " + std::to_string(payload_size) +
+        ", file holds " + std::to_string(bytes.size() - kFrameHeaderBytes) +
+        ")");
+  }
+  if (crc32(bytes.data() + kFrameHeaderBytes, payload_size) != payload_crc) {
+    throw AtomicFileError("payload CRC mismatch");
+  }
+  return {bytes.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes),
+          bytes.end()};
+}
+
+void write_file_atomic(const std::string& path, const std::uint8_t* data,
+                       std::size_t size, FaultInjector* fault) {
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      FileSink sink(tmp, fault);
+      sink.write(data, size);
+      sink.sync_and_close();
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      throw AtomicFileError("rename " + tmp + " -> " + path + ": " +
+                            ec.message());
+    }
+  } catch (const PowerLoss&) {
+    throw;  // death: the torn .tmp stays, exactly like a real power cut
+  } catch (const AtomicFileError&) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+  fsync_directory(std::filesystem::path(path).parent_path().string());
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) throw AtomicFileError("cannot open " + path);
+  const std::streamsize size = file.tellg();
+  file.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  file.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!file) throw AtomicFileError("read failed for " + path);
+  return bytes;
+}
+
+}  // namespace edgetrain::persist

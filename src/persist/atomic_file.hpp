@@ -1,0 +1,78 @@
+// edgetrain: the shared durable-file commit protocol.
+//
+// Three subsystems persist small binary artefacts that must survive power
+// loss on an SD card: trainer snapshots ("ETSN", persist/snapshot),
+// calibration profiles ("ETCP", calib/device_model) and the fleet server's
+// aggregate snapshots ("ETFA", fleet/server). All of them used to
+// hand-roll the same two-layer protocol; this header is that protocol,
+// once:
+//
+//   frame    magic | version | payload_size | payload_crc | header_crc
+//            (24 bytes, little-endian, dual CRC-32: the header checks
+//            itself, the payload CRC checks the body)
+//
+//   commit   serialize -> <final>.tmp -> fwrite -> fsync(file)
+//            -> rename(tmp, final) -> fsync(directory)
+//
+// Torn writes die inside the .tmp (the final name never exists half
+// written); rename is atomic on POSIX; the directory fsync makes the
+// rename itself durable. Corruption after commit (SD bit rot) is caught by
+// the CRCs at read time. Callers keep their own exception types by
+// translating AtomicFileError at the boundary.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "persist/fault.hpp"
+
+namespace edgetrain::persist {
+
+/// Frame/commit failure (bad magic, CRC mismatch, truncation, IO error).
+class AtomicFileError : public std::runtime_error {
+ public:
+  explicit AtomicFileError(const std::string& what)
+      : std::runtime_error("atomic_file: " + what) {}
+};
+
+/// Size of the fixed frame header preceding the payload.
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+
+/// Wraps @p payload in the dual-CRC frame: the result is what goes on
+/// disk. @p magic is the caller's little-endian four-byte tag.
+[[nodiscard]] std::vector<std::uint8_t> frame_payload(
+    std::uint32_t magic, std::uint32_t version,
+    const std::vector<std::uint8_t>& payload);
+
+/// Inverse of frame_payload: validates header CRC, magic, version, payload
+/// size and payload CRC (in that order) and returns the payload bytes.
+/// Throws AtomicFileError on any mismatch -- a corrupt frame never yields
+/// partial data.
+[[nodiscard]] std::vector<std::uint8_t> unframe_payload(
+    std::uint32_t magic, std::uint32_t version,
+    const std::vector<std::uint8_t>& bytes);
+
+/// Commits @p size bytes at @p data to @p path with the atomic
+/// temp+fsync+rename+dir-fsync protocol. @p fault, when set, may kill the
+/// write at an armed byte offset: PowerLoss propagates and the torn .tmp
+/// stays on disk exactly as a real power cut would leave it (the final
+/// path is untouched). Non-fault IO failures remove the .tmp best-effort
+/// and throw AtomicFileError.
+void write_file_atomic(const std::string& path, const std::uint8_t* data,
+                       std::size_t size, FaultInjector* fault = nullptr);
+
+inline void write_file_atomic(const std::string& path,
+                              const std::vector<std::uint8_t>& bytes,
+                              FaultInjector* fault = nullptr) {
+  write_file_atomic(path, bytes.data(), bytes.size(), fault);
+}
+
+/// Reads @p path whole. Throws AtomicFileError when the file is missing or
+/// unreadable (callers that treat a missing file as "re-generate" catch
+/// and translate).
+[[nodiscard]] std::vector<std::uint8_t> read_file_bytes(
+    const std::string& path);
+
+}  // namespace edgetrain::persist

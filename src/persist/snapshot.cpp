@@ -3,16 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 
-#include "persist/crc32.hpp"
+#include "persist/atomic_file.hpp"
 #include "persist/wire.hpp"
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <unistd.h>
-#define EDGETRAIN_HAVE_FSYNC 1
-#endif
 
 namespace edgetrain::persist {
 
@@ -20,81 +13,8 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x4E535445;  // "ETSN"
 constexpr std::uint32_t kVersion = 1;
-constexpr std::size_t kHeaderBytes = 24;
 constexpr const char* kSnapPrefix = "snap_";
 constexpr const char* kSnapSuffix = ".etsnap";
-
-/// RAII FILE* that writes through the fault injector and fsyncs before the
-/// atomic rename. On PowerLoss the destructor just closes the handle: the
-/// torn prefix stays in the .tmp exactly as a real power cut would leave it.
-class FileSink {
- public:
-  FileSink(const std::string& path, FaultInjector* fault)
-      : path_(path), fault_(fault), file_(std::fopen(path.c_str(), "wb")) {
-    if (file_ == nullptr) {
-      throw SnapshotError("cannot open " + path + " for writing");
-    }
-  }
-
-  ~FileSink() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
-
-  FileSink(const FileSink&) = delete;
-  FileSink& operator=(const FileSink&) = delete;
-
-  void write(const std::uint8_t* data, std::size_t count) {
-    std::size_t offset = 0;
-    while (offset < count) {
-      // Stop exactly at an armed failure offset so tests can tear the file
-      // at any chosen byte.
-      std::size_t chunk = count - offset;
-      if (fault_ != nullptr && fault_->write_failure_armed()) chunk = 1;
-      if (std::fwrite(data + offset, 1, chunk, file_) != chunk) {
-        throw SnapshotError("write failed for " + path_);
-      }
-      offset += chunk;
-      written_ += chunk;
-      if (fault_ != nullptr) {
-        if (fault_->write_failure_armed()) std::fflush(file_);
-        fault_->on_write_bytes(written_);
-      }
-    }
-  }
-
-  /// Flush + fsync + close; the data is durable (but not yet named).
-  void sync_and_close() {
-    if (std::fflush(file_) != 0) {
-      throw SnapshotError("flush failed for " + path_);
-    }
-#ifdef EDGETRAIN_HAVE_FSYNC
-    if (::fsync(::fileno(file_)) != 0) {
-      throw SnapshotError("fsync failed for " + path_);
-    }
-#endif
-    const int rc = std::fclose(file_);
-    file_ = nullptr;
-    if (rc != 0) throw SnapshotError("close failed for " + path_);
-  }
-
- private:
-  std::string path_;
-  FaultInjector* fault_;
-  std::FILE* file_;
-  std::uint64_t written_ = 0;
-};
-
-void fsync_directory(const std::string& directory) {
-#ifdef EDGETRAIN_HAVE_FSYNC
-  const int fd = ::open(directory.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-#else
-  (void)directory;
-#endif
-}
 
 }  // namespace
 
@@ -108,47 +28,19 @@ std::vector<std::uint8_t> encode_snapshot(const TrainerState& state) {
   payload.blob(state.model);
   payload.blob(state.optimizer);
   payload.blob(state.buffers);
-  const std::vector<std::uint8_t>& body = payload.bytes();
-
-  ByteWriter out;
-  out.u32(kMagic);
-  out.u32(kVersion);
-  out.u64(body.size());
-  out.u32(crc32(body.data(), body.size()));
-  out.u32(crc32(out.bytes().data(), out.size()));  // header CRC over the 20
-  out.raw(body.data(), body.size());
-  return out.take();
+  return frame_payload(kMagic, kVersion, payload.bytes());
 }
 
 TrainerState decode_snapshot(const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() < kHeaderBytes) {
-    throw SnapshotError("truncated header (" + std::to_string(bytes.size()) +
-                        " bytes)");
-  }
-  ByteReader header(bytes.data(), kHeaderBytes);
-  const std::uint32_t magic = header.u32();
-  const std::uint32_t version = header.u32();
-  const std::uint64_t payload_size = header.u64();
-  const std::uint32_t payload_crc = header.u32();
-  const std::uint32_t header_crc = header.u32();
-  if (crc32(bytes.data(), kHeaderBytes - 4) != header_crc) {
-    throw SnapshotError("header CRC mismatch");
-  }
-  if (magic != kMagic) throw SnapshotError("bad magic");
-  if (version != kVersion) {
-    throw SnapshotError("unsupported version " + std::to_string(version));
-  }
-  if (bytes.size() - kHeaderBytes != payload_size) {
-    throw SnapshotError("payload size mismatch (header says " +
-                        std::to_string(payload_size) + ", file holds " +
-                        std::to_string(bytes.size() - kHeaderBytes) + ")");
-  }
-  if (crc32(bytes.data() + kHeaderBytes, payload_size) != payload_crc) {
-    throw SnapshotError("payload CRC mismatch");
+  std::vector<std::uint8_t> body;
+  try {
+    body = unframe_payload(kMagic, kVersion, bytes);
+  } catch (const AtomicFileError& error) {
+    throw SnapshotError(error.what());
   }
 
   try {
-    ByteReader payload(bytes.data() + kHeaderBytes, payload_size);
+    ByteReader payload(body.data(), body.size());
     TrainerState state;
     state.step = payload.u64();
     state.data_cursor = payload.u64();
@@ -170,28 +62,20 @@ TrainerState decode_snapshot(const std::vector<std::uint8_t>& bytes) {
 void write_snapshot_file(const std::string& path, const TrainerState& state,
                          FaultInjector* fault) {
   const std::vector<std::uint8_t> bytes = encode_snapshot(state);
-  const std::string tmp = path + ".tmp";
-  {
-    FileSink sink(tmp, fault);
-    sink.write(bytes.data(), bytes.size());
-    sink.sync_and_close();
+  try {
+    write_file_atomic(path, bytes, fault);
+  } catch (const AtomicFileError& error) {
+    throw SnapshotError(error.what());
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    throw SnapshotError("rename " + tmp + " -> " + path + ": " + ec.message());
-  }
-  fsync_directory(std::filesystem::path(path).parent_path().string());
 }
 
 TrainerState read_snapshot_file(const std::string& path) {
-  std::ifstream file(path, std::ios::binary | std::ios::ate);
-  if (!file) throw SnapshotError("cannot open " + path);
-  const std::streamsize size = file.tellg();
-  file.seekg(0);
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  file.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!file) throw SnapshotError("read failed for " + path);
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = read_file_bytes(path);
+  } catch (const AtomicFileError& error) {
+    throw SnapshotError(error.what());
+  }
   return decode_snapshot(bytes);
 }
 

@@ -223,6 +223,81 @@ TEST(IdleScheduler, RejectsNonPositiveStep) {
 }
 
 // ---------------------------------------------------------------------------
+// PeriodicIdleProfile
+// ---------------------------------------------------------------------------
+
+TEST(PeriodicIdleProfile, MatchesTheSchedulerOverOnePeriod) {
+  IdleScheduler scheduler(0.5);
+  for (const ForegroundTask& task :
+       periodic_tasks("sample", 4.0, 1.0, 2, 400.0)) {
+    scheduler.add_task(task);
+  }
+  const PeriodicIdleProfile profile(scheduler, 400.0);
+  const ScheduleReport report = scheduler.run(400.0);
+  EXPECT_NEAR(profile.training_seconds_per_period(), report.training_seconds,
+              1e-9);
+  EXPECT_NEAR(profile.idle_fraction(), report.idle_fraction, 1e-9);
+  EXPECT_NEAR(profile.training_seconds(0.0, 400.0), report.training_seconds,
+              1e-9);
+}
+
+TEST(PeriodicIdleProfile, TilesPeriodically) {
+  IdleScheduler scheduler(0.5);
+  for (const ForegroundTask& task :
+       periodic_tasks("sample", 4.0, 1.0, 2, 40.0)) {
+    scheduler.add_task(task);
+  }
+  const PeriodicIdleProfile profile(scheduler, 40.0);
+  const double one = profile.training_seconds_per_period();
+  EXPECT_NEAR(profile.training_seconds(0.0, 400.0), 10.0 * one, 1e-9);
+  EXPECT_NEAR(profile.training_seconds(40.0, 80.0), one, 1e-9);
+  // Any window is the difference of cumulative queries: additivity.
+  const double split = profile.training_seconds(13.0, 57.0) -
+                       (profile.training_seconds(13.0, 30.0) +
+                        profile.training_seconds(30.0, 57.0));
+  EXPECT_NEAR(split, 0.0, 1e-9);
+}
+
+TEST(PeriodicIdleProfile, PhaseShiftsTheCycleNotTheTotal) {
+  IdleScheduler scheduler(0.5);
+  for (const ForegroundTask& task :
+       periodic_tasks("sample", 10.0, 4.0, 2, 40.0)) {
+    scheduler.add_task(task);
+  }
+  const PeriodicIdleProfile profile(scheduler, 40.0);
+  // Whole periods are phase-invariant...
+  EXPECT_NEAR(profile.training_seconds(0.0, 40.0, 17.0),
+              profile.training_seconds(0.0, 40.0, 0.0), 1e-9);
+  // ...while partial windows generally are not (the phase moves the busy
+  // stretches around inside the window).
+  EXPECT_NE(profile.training_seconds(0.0, 5.0, 0.0),
+            profile.training_seconds(0.0, 5.0, 5.0));
+  // A phase of exactly one period is a no-op.
+  EXPECT_NEAR(profile.training_seconds(3.0, 17.0, 40.0),
+              profile.training_seconds(3.0, 17.0, 0.0), 1e-9);
+}
+
+TEST(PeriodicIdleProfile, FullyIdleAndFullyBusyExtremes) {
+  IdleScheduler idle(1.0);
+  const PeriodicIdleProfile all_idle(idle, 100.0);
+  EXPECT_NEAR(all_idle.idle_fraction(), 1.0, 1e-9);
+  EXPECT_NEAR(all_idle.training_seconds(12.5, 62.5), 50.0, 1e-9);
+
+  IdleScheduler busy(1.0);
+  busy.add_task({"wall", 0.0, 100.0, 5});
+  const PeriodicIdleProfile all_busy(busy, 100.0);
+  EXPECT_NEAR(all_busy.idle_fraction(), 0.0, 1e-9);
+  EXPECT_NEAR(all_busy.training_seconds(0.0, 1000.0), 0.0, 1e-9);
+}
+
+TEST(PeriodicIdleProfile, EmptyAndBackwardIntervalsAreZero) {
+  IdleScheduler scheduler(1.0);
+  const PeriodicIdleProfile profile(scheduler, 60.0);
+  EXPECT_EQ(profile.training_seconds(10.0, 10.0), 0.0);
+  EXPECT_EQ(profile.training_seconds(20.0, 10.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
 // Power
 // ---------------------------------------------------------------------------
 

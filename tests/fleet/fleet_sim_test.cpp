@@ -1,0 +1,239 @@
+// Tests for the fleet simulation: the deterministic-replay contract
+// (identical trace + final state from the same seed, state invariant
+// across driver thread counts), node crash/resume bookkeeping, and the
+// student convergence model the nodes report through.
+#include "fleet/fleet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "fleet/node_model.hpp"
+
+namespace edgetrain::fleet {
+namespace {
+
+FleetConfig small_config() {
+  FleetConfig config;
+  config.num_nodes = 300;
+  config.horizon_seconds = 4.0 * 3600.0;
+  config.sync_interval_seconds = 300.0;
+  config.seed = 7;
+  config.mtbf_seconds = 2.0 * 3600.0;  // crashes actually happen in 4h
+  return config;
+}
+
+/// Thread-safe counting sink (run_fleet may drive it from the pool).
+class CountingSink : public DeltaSink {
+ public:
+  void accept(const StudentDelta& delta) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++deltas_;
+    samples_ += delta.samples;
+  }
+  [[nodiscard]] std::uint64_t deltas() const { return deltas_; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t deltas_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+TEST(FleetSim, SameSeedReplaysTraceAndState) {
+  const FleetConfig config = small_config();
+  const FleetReport a = run_fleet(config, nullptr, 1);
+  const FleetReport b = run_fleet(config, nullptr, 1);
+  EXPECT_EQ(a.trace_crc, b.trace_crc);
+  EXPECT_EQ(a.state_crc, b.state_crc);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.steps_done, b.steps_done);
+  EXPECT_EQ(a.deltas_emitted, b.deltas_emitted);
+  EXPECT_EQ(a.crashes, b.crashes);
+}
+
+TEST(FleetSim, DifferentSeedsDiverge) {
+  FleetConfig config = small_config();
+  const FleetReport a = run_fleet(config, nullptr, 1);
+  config.seed = 8;
+  const FleetReport b = run_fleet(config, nullptr, 1);
+  EXPECT_NE(a.state_crc, b.state_crc);
+}
+
+TEST(FleetSim, FinalStateIsInvariantAcrossDriverThreads) {
+  const FleetConfig config = small_config();
+  const FleetReport serial = run_fleet(config, nullptr, 1);
+  for (const unsigned threads : {2U, 3U, 8U}) {
+    const FleetReport parallel = run_fleet(config, nullptr, threads);
+    EXPECT_EQ(parallel.state_crc, serial.state_crc) << threads << " threads";
+    EXPECT_EQ(parallel.steps_done, serial.steps_done) << threads;
+    EXPECT_EQ(parallel.deltas_emitted, serial.deltas_emitted) << threads;
+    EXPECT_EQ(parallel.crashes, serial.crashes) << threads;
+    EXPECT_EQ(parallel.events_dispatched, serial.events_dispatched) << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet dynamics
+// ---------------------------------------------------------------------------
+
+TEST(FleetSim, NodesTrainAndSync) {
+  const FleetConfig config = small_config();
+  CountingSink sink;
+  const FleetReport report = run_fleet(config, &sink, 2);
+  EXPECT_GT(report.steps_done, 0U);
+  EXPECT_GT(report.deltas_emitted, 0U);
+  EXPECT_EQ(sink.deltas(), report.deltas_emitted);
+  // 4h at 300s syncs: at most 48 uploads per node, and at least a few.
+  EXPECT_LE(report.deltas_emitted, 48U * config.num_nodes);
+  EXPECT_GT(report.deltas_emitted, 10U * config.num_nodes);
+  EXPECT_GT(report.mean_accuracy, config.convergence.baseline);
+  EXPECT_LE(report.mean_accuracy, config.convergence.ceiling);
+}
+
+TEST(FleetSim, CrashesRollBackAndWasteSteps) {
+  FleetConfig config = small_config();
+  config.mtbf_seconds = 1800.0;  // brutal: ~8 crashes per node over 4h
+  const FleetReport report = run_fleet(config, nullptr, 2);
+  EXPECT_GT(report.crashes, 0U);
+  EXPECT_GT(report.steps_wasted, 0U) << "rollbacks must recompute steps";
+  EXPECT_EQ(report.recoveries + report.down_nodes, report.crashes)
+      << "every crash either recovered or is still dark at the horizon";
+}
+
+TEST(FleetSim, SdWearFreezesWornNodes) {
+  FleetConfig config = small_config();
+  config.sd_endurance_writes = 10;  // cards die almost immediately
+  const FleetReport report = run_fleet(config, nullptr, 2);
+  EXPECT_EQ(report.worn_out_nodes, config.num_nodes);
+  // Worn cards stop counting writes: the endurance can only be overshot by
+  // the final batch (a handful), never by the ~90 writes a healthy card
+  // would take over this horizon.
+  EXPECT_LE(report.sd_writes, 15U * config.num_nodes);
+}
+
+TEST(FleetSim, HigherMtbfMeansMoreProgress) {
+  FleetConfig reliable = small_config();
+  reliable.mtbf_seconds = 1e9;  // effectively never fails
+  FleetConfig flaky = small_config();
+  flaky.mtbf_seconds = 900.0;
+  const FleetReport stable_report = run_fleet(reliable, nullptr, 2);
+  const FleetReport flaky_report = run_fleet(flaky, nullptr, 2);
+  EXPECT_EQ(stable_report.crashes, 0U);
+  EXPECT_GT(stable_report.steps_done, flaky_report.steps_done);
+}
+
+TEST(FleetSim, DutyProfilesSpanLoadLevels) {
+  const FleetConfig config = small_config();
+  const auto profiles = build_duty_profiles(config, 0.5);
+  ASSERT_EQ(profiles.size(), config.duty_archetypes);
+  // Archetype 0 is the lightest payload, the last the heaviest.
+  EXPECT_GT(profiles.front()->idle_fraction(),
+            profiles.back()->idle_fraction());
+  for (const auto& profile : profiles) {
+    EXPECT_GT(profile->idle_fraction(), 0.0);
+    EXPECT_LT(profile->idle_fraction(), 1.0);
+  }
+}
+
+TEST(FleetSim, DefaultDeviceModelIsValid) {
+  const calib::DeviceModel model = default_device_model();
+  EXPECT_TRUE(model.valid());
+  EXPECT_GT(model.conv_us(40.0e9, 4), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Node model corners (driven directly, no engine)
+// ---------------------------------------------------------------------------
+
+TEST(FleetNode, SamplesNeverDoubleCountRecomputedSteps) {
+  edge::IdleScheduler scheduler(1.0);  // zero foreground: always idle
+  const edge::PeriodicIdleProfile profile(scheduler, 600.0);
+  NodeParams params;
+  params.profile = &profile;
+  params.step_seconds = 1.0;
+  params.snapshot_every_steps = 10;
+  params.torn_snapshot_probability = 0.0;
+  FleetNode node(0, params, 123);
+
+  node.advance(0.0, 100.0);
+  EXPECT_EQ(node.steps_done(), 100U);
+  StudentDelta first = node.sync(100.0);
+  EXPECT_EQ(first.seq, 1U);
+  EXPECT_EQ(first.samples, 100U);
+
+  // Crash at t=150: rolls back to the durable step (140, the sync suspend
+  // plus periodic cadence up to 150).
+  node.advance(100.0, 150.0);
+  node.crash(150.0);
+  EXPECT_TRUE(node.down());
+  EXPECT_EQ(node.steps_done(), 150U) << "150 was just snapshotted at 150";
+  node.recover(152.0);
+
+  // Recomputed progress below the 100-step high-water mark uploads zero
+  // NEW samples; progress past it uploads only the excess.
+  node.advance(152.0, 160.0);
+  StudentDelta second = node.sync(160.0);
+  EXPECT_EQ(second.seq, 2U);
+  EXPECT_EQ(second.samples, node.steps_done() - 100U);
+}
+
+TEST(FleetNode, TornSnapshotFallsBackAGeneration) {
+  edge::IdleScheduler scheduler(1.0);
+  const edge::PeriodicIdleProfile profile(scheduler, 600.0);
+  NodeParams params;
+  params.profile = &profile;
+  params.step_seconds = 1.0;
+  params.snapshot_every_steps = 1000000;  // only sync suspends write
+  params.torn_snapshot_probability = 1.0;  // every crash tears the newest
+  FleetNode node(0, params, 5);
+
+  node.advance(0.0, 10.0);
+  (void)node.sync(10.0);  // durable generations: {10, 0}
+  node.advance(10.0, 20.0);
+  (void)node.sync(20.0);  // durable generations: {20, 10}
+  node.advance(20.0, 25.0);
+  node.crash(25.0);
+  // Newest (20) is torn: fall back to 10, wasting 15 steps.
+  EXPECT_EQ(node.steps_done(), 10U);
+  EXPECT_EQ(node.steps_wasted(), 15U);
+  EXPECT_EQ(node.torn_snapshots(), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// Student convergence model
+// ---------------------------------------------------------------------------
+
+TEST(StudentConvergenceModel, SaturatesMonotonically) {
+  const insitu::StudentConvergenceModel model;
+  EXPECT_DOUBLE_EQ(model.accuracy(0.0), model.baseline);
+  EXPECT_GT(model.accuracy(100.0), model.accuracy(10.0));
+  EXPECT_LT(model.accuracy(1e9), model.ceiling + 1e-12);
+  EXPECT_NEAR(model.accuracy(1e9), model.ceiling, 1e-9);
+}
+
+TEST(StudentConvergenceModel, StepsToReachInvertsAccuracy) {
+  const insitu::StudentConvergenceModel model;
+  const double target = 0.8;
+  const double steps = model.steps_to_reach(target);
+  EXPECT_NEAR(model.accuracy(steps), target, 1e-9);
+  EXPECT_EQ(model.steps_to_reach(model.baseline), 0.0);
+  EXPECT_TRUE(std::isinf(model.steps_to_reach(model.ceiling + 0.1)));
+}
+
+TEST(StudentConvergenceModel, ConvergedTracksTheGapFraction) {
+  const insitu::StudentConvergenceModel model;
+  EXPECT_FALSE(model.converged(0.0));
+  const double nearly =
+      model.steps_to_reach(model.baseline +
+                           0.96 * (model.ceiling - model.baseline));
+  EXPECT_TRUE(model.converged(nearly));
+}
+
+}  // namespace
+}  // namespace edgetrain::fleet

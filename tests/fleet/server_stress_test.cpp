@@ -1,0 +1,136 @@
+// Stress test for the sharded ingest pipeline (ctest label: slow; the CI
+// TSan job runs it). Many producers hammer the server while readers poll
+// the aggregate concurrently; at the end every delta must be merged
+// exactly once -- no losses, no double counts -- and deliberate replays
+// must all be dropped. The invariant checks are exact integer equalities,
+// so any lost wakeup, torn batch swap or racing merge shows up as a hard
+// failure (and any data race trips TSan).
+#include "fleet/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace edgetrain::fleet {
+namespace {
+
+StudentDelta stress_delta(std::uint32_t node, std::uint64_t seq) {
+  StudentDelta delta;
+  delta.node = node;
+  delta.seq = seq;
+  delta.samples = 1;
+  delta.loss_milli = 250;
+  for (std::size_t k = 0; k < kDeltaComponents; ++k) {
+    delta.weights[k] = static_cast<std::int32_t>((node + seq + k) % 11) - 5;
+  }
+  return delta;
+}
+
+TEST(FleetServerStress, NoLostOrDoubleCountedDeltas) {
+  constexpr unsigned kProducers = 8;
+  constexpr std::uint32_t kNodesPerProducer = 250;
+  constexpr std::uint64_t kSeqsPerNode = 200;
+  constexpr std::uint64_t kPerProducer =
+      static_cast<std::uint64_t>(kNodesPerProducer) * kSeqsPerNode;
+
+  ServerConfig config;
+  config.shards = 32;
+  config.merge_threads = 4;
+  config.queue_capacity = 256;  // small enough to hit back-pressure
+  FleetServer server(config);
+
+  std::atomic<bool> reading{true};
+  // Concurrent readers: aggregate() and stats() must be safe mid-ingest.
+  std::thread reader([&server, &reading] {
+    std::uint64_t last = 0;
+    while (reading.load(std::memory_order_acquire)) {
+      const FleetAggregate agg = server.aggregate();
+      EXPECT_GE(agg.deltas, last) << "merged count went backwards";
+      last = agg.deltas;
+      (void)server.stats();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&server, p] {
+      for (std::uint64_t seq = 1; seq <= kSeqsPerNode; ++seq) {
+        for (std::uint32_t n = 0; n < kNodesPerProducer; ++n) {
+          const std::uint32_t node = p * kNodesPerProducer + n;
+          server.ingest(stress_delta(node, seq));
+          // Every 16th upload is retransmitted (a flaky uplink): the
+          // server must drop the replay, not double-count it.
+          if ((seq + n) % 16 == 0) {
+            server.ingest(stress_delta(node, seq));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : producers) thread.join();
+  server.stop();
+  reading.store(false, std::memory_order_release);
+  reader.join();
+
+  constexpr std::uint64_t kUnique = kPerProducer * kProducers;
+  const FleetAggregate agg = server.aggregate();
+  const ServerStats stats = server.stats();
+
+  EXPECT_EQ(agg.deltas, kUnique) << "lost or double-counted deltas";
+  EXPECT_EQ(agg.samples, kUnique);
+  EXPECT_EQ(agg.nodes_seen, kProducers * kNodesPerProducer);
+  EXPECT_EQ(agg.loss_milli_sum,
+            static_cast<std::int64_t>(kUnique) * 250);
+  EXPECT_EQ(stats.merged, stats.ingested);
+  EXPECT_EQ(stats.ingested - stats.duplicate_drops, kUnique);
+  EXPECT_GT(stats.duplicate_drops, 0U) << "replays were injected";
+
+  // The weight sums are exactly the serial fold of the unique deltas.
+  FleetAggregate expected;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    for (std::uint64_t seq = 1; seq <= kSeqsPerNode; ++seq) {
+      for (std::uint32_t n = 0; n < kNodesPerProducer; ++n) {
+        const StudentDelta delta =
+            stress_delta(p * kNodesPerProducer + n, seq);
+        for (std::size_t k = 0; k < kDeltaComponents; ++k) {
+          expected.weight_sum[k] += delta.weights[k];
+        }
+      }
+    }
+  }
+  EXPECT_EQ(agg.weight_sum, expected.weight_sum);
+}
+
+TEST(FleetServerStress, StopUnderFireDrainsEverything) {
+  // Producers race stop(): whatever was accepted before stop() returned
+  // must be merged, because stop() drains before joining the mergers.
+  for (int round = 0; round < 5; ++round) {
+    ServerConfig config;
+    config.shards = 8;
+    config.merge_threads = 2;
+    config.queue_capacity = 64;
+    FleetServer server(config);
+
+    std::vector<std::thread> producers;
+    std::atomic<std::uint64_t> sent{0};
+    for (unsigned p = 0; p < 4; ++p) {
+      producers.emplace_back([&server, &sent, p] {
+        for (std::uint64_t seq = 1; seq <= 2000; ++seq) {
+          server.ingest(stress_delta(p, seq));
+          sent.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& thread : producers) thread.join();
+    server.stop();
+    EXPECT_EQ(server.aggregate().deltas, sent.load());
+    EXPECT_EQ(server.stats().merged, sent.load());
+  }
+}
+
+}  // namespace
+}  // namespace edgetrain::fleet

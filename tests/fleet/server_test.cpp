@@ -1,0 +1,243 @@
+// Tests for the sharded delta-aggregation server: exact merge counts,
+// order-independence (multi-threaded == serial), duplicate drops, flush
+// semantics, stats, and the durable "ETFA" aggregate snapshot.
+#include "fleet/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "persist/atomic_file.hpp"
+#include "persist/fault.hpp"
+
+namespace edgetrain::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+StudentDelta make_delta(std::uint32_t node, std::uint64_t seq) {
+  StudentDelta delta;
+  delta.node = node;
+  delta.seq = seq;
+  delta.samples = 3;
+  delta.loss_milli = static_cast<std::int32_t>(100 + node % 7);
+  for (std::size_t k = 0; k < kDeltaComponents; ++k) {
+    delta.weights[k] =
+        static_cast<std::int32_t>((node * 31 + seq * 7 + k) % 201) - 100;
+  }
+  return delta;
+}
+
+/// Ground truth: the serial fold every threaded run must reproduce.
+FleetAggregate serial_aggregate(const std::vector<StudentDelta>& deltas) {
+  FleetAggregate agg;
+  std::vector<std::uint64_t> last_seq;
+  for (const StudentDelta& delta : deltas) {
+    if (delta.node >= last_seq.size()) last_seq.resize(delta.node + 1, 0);
+    if (delta.seq <= last_seq[delta.node]) continue;
+    if (last_seq[delta.node] == 0) ++agg.nodes_seen;
+    last_seq[delta.node] = delta.seq;
+    ++agg.deltas;
+    agg.samples += delta.samples;
+    agg.loss_milli_sum += delta.loss_milli;
+    for (std::size_t k = 0; k < kDeltaComponents; ++k) {
+      agg.weight_sum[k] += delta.weights[k];
+    }
+  }
+  return agg;
+}
+
+TEST(FleetServer, MergesEveryDeltaExactlyOnce) {
+  ServerConfig config;
+  config.shards = 8;
+  config.merge_threads = 2;
+  FleetServer server(config);
+
+  std::vector<StudentDelta> deltas;
+  for (std::uint32_t node = 0; node < 200; ++node) {
+    for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+      deltas.push_back(make_delta(node, seq));
+    }
+  }
+  for (const StudentDelta& delta : deltas) server.ingest(delta);
+  server.flush();
+
+  EXPECT_EQ(server.aggregate(), serial_aggregate(deltas));
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.ingested, deltas.size());
+  EXPECT_EQ(stats.merged, deltas.size());
+  EXPECT_EQ(stats.duplicate_drops, 0U);
+  server.stop();
+}
+
+TEST(FleetServer, DropsDuplicateAndReplayedUploads) {
+  ServerConfig config;
+  config.shards = 4;
+  config.merge_threads = 1;
+  FleetServer server(config);
+
+  server.ingest(make_delta(1, 1));
+  server.ingest(make_delta(1, 2));
+  server.ingest(make_delta(1, 2));  // duplicate
+  server.ingest(make_delta(1, 1));  // stale replay
+  server.ingest(make_delta(2, 1));
+  server.flush();
+
+  const FleetAggregate agg = server.aggregate();
+  EXPECT_EQ(agg.deltas, 3U);
+  EXPECT_EQ(agg.nodes_seen, 2U);
+  EXPECT_EQ(server.stats().duplicate_drops, 2U);
+  server.stop();
+}
+
+TEST(FleetServer, ThreadedIngestMatchesSerialExactly) {
+  std::vector<StudentDelta> deltas;
+  for (std::uint32_t node = 0; node < 64; ++node) {
+    for (std::uint64_t seq = 1; seq <= 50; ++seq) {
+      deltas.push_back(make_delta(node, seq));
+    }
+  }
+  const FleetAggregate expected = serial_aggregate(deltas);
+
+  ServerConfig config;
+  config.shards = 16;
+  config.merge_threads = 3;
+  config.queue_capacity = 64;  // small: exercises back-pressure too
+  FleetServer server(config);
+
+  // 8 producers, node-striped so each node's seqs stay in order.
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < 8; ++p) {
+    producers.emplace_back([&server, &deltas, p] {
+      for (const StudentDelta& delta : deltas) {
+        if (delta.node % 8 == p) server.ingest(delta);
+      }
+    });
+  }
+  for (std::thread& thread : producers) thread.join();
+  server.stop();
+
+  EXPECT_EQ(server.aggregate(), expected)
+      << "threaded merge must be bit-identical to the serial fold";
+}
+
+TEST(FleetServer, TryIngestRefusesWhenFullInsteadOfBlocking) {
+  ServerConfig config;
+  config.shards = 1;
+  config.merge_threads = 1;
+  config.queue_capacity = 4;
+  FleetServer server(config);
+  // The merger drains continuously, so try_ingest may transiently fail but
+  // an ingest retry loop always lands every delta.
+  std::uint64_t accepted = 0;
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    if (server.try_ingest(make_delta(0, i))) {
+      ++accepted;
+    } else {
+      server.ingest(make_delta(0, i));  // blocking path picks it up
+      ++accepted;
+    }
+  }
+  server.stop();
+  EXPECT_EQ(accepted, 1000U);
+  EXPECT_EQ(server.aggregate().deltas, 1000U);
+}
+
+TEST(FleetServer, FlushIsExactAndStopIsIdempotent) {
+  FleetServer server(ServerConfig{});
+  for (std::uint64_t seq = 1; seq <= 100; ++seq) {
+    server.ingest(make_delta(7, seq));
+  }
+  server.flush();
+  EXPECT_EQ(server.stats().merged, 100U);
+  server.stop();
+  server.stop();  // must be a no-op
+  EXPECT_EQ(server.aggregate().deltas, 100U);
+}
+
+TEST(FleetServer, StatsTrackLatencyAndRate) {
+  ServerConfig config;
+  config.latency_sample_every = 1;  // sample every request
+  FleetServer server(config);
+  for (std::uint64_t seq = 1; seq <= 5000; ++seq) {
+    server.ingest(make_delta(static_cast<std::uint32_t>(seq % 50), seq / 50 + 1));
+  }
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_GT(stats.p50_ingest_us, 0.0);
+  EXPECT_GE(stats.p99_ingest_us, stats.p50_ingest_us);
+  EXPECT_GE(stats.max_ingest_us, stats.p99_ingest_us);
+  EXPECT_GT(stats.ingests_per_second, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Durable aggregate snapshots
+// ---------------------------------------------------------------------------
+
+class ServerSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("etfleet_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ServerSnapshotTest, AggregateRoundTripsThroughDisk) {
+  FleetServer server(ServerConfig{});
+  for (std::uint32_t node = 0; node < 30; ++node) {
+    server.ingest(make_delta(node, 1));
+    server.ingest(make_delta(node, 2));
+  }
+  server.flush();
+  const std::string path = dir_ + "/aggregate.etfa";
+  server.write_aggregate_snapshot(path);
+  server.stop();
+
+  EXPECT_EQ(FleetServer::read_aggregate_snapshot(path), server.aggregate());
+}
+
+TEST_F(ServerSnapshotTest, CorruptSnapshotIsRejected) {
+  FleetServer server(ServerConfig{});
+  server.ingest(make_delta(0, 1));
+  server.flush();
+  const std::string path = dir_ + "/aggregate.etfa";
+  server.write_aggregate_snapshot(path);
+  server.stop();
+
+  persist::flip_bit(path, persist::file_size(path) / 2);
+  EXPECT_THROW((void)FleetServer::read_aggregate_snapshot(path),
+               persist::AtomicFileError);
+  EXPECT_THROW((void)FleetServer::read_aggregate_snapshot(dir_ + "/missing"),
+               persist::AtomicFileError);
+}
+
+TEST_F(ServerSnapshotTest, MergersCommitPeriodically) {
+  ServerConfig config;
+  config.snapshot_path = dir_ + "/rolling.etfa";
+  config.snapshot_every_deltas = 100;
+  FleetServer server(config);
+  for (std::uint64_t seq = 1; seq <= 1000; ++seq) {
+    server.ingest(make_delta(static_cast<std::uint32_t>(seq % 20), seq / 20 + 1));
+  }
+  server.stop();
+  EXPECT_GE(server.stats().snapshots_written, 1U);
+  const FleetAggregate on_disk =
+      FleetServer::read_aggregate_snapshot(config.snapshot_path);
+  // The rolling snapshot is some consistent prefix of the merge stream.
+  EXPECT_GE(on_disk.deltas, 1U);
+  EXPECT_LE(on_disk.deltas, server.aggregate().deltas);
+}
+
+}  // namespace
+}  // namespace edgetrain::fleet

@@ -1,0 +1,153 @@
+// Tests for the shared durable-file protocol (persist/atomic_file):
+// frame/unframe inverses, every corruption class detected, and the
+// power-loss commit semantics (torn .tmp stays, final path never torn).
+#include "persist/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "persist/fault.hpp"
+
+namespace edgetrain::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kMagic = 0x54534554;  // "TEST"
+constexpr std::uint32_t kVersion = 3;
+
+std::vector<std::uint8_t> sample_payload() {
+  std::vector<std::uint8_t> payload(257);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>((i * 31 + 7) & 0xFF);
+  }
+  return payload;
+}
+
+class AtomicFileDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("etatomic_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------------
+
+TEST(AtomicFileFrame, RoundTrips) {
+  const auto payload = sample_payload();
+  const auto framed = frame_payload(kMagic, kVersion, payload);
+  EXPECT_EQ(framed.size(), payload.size() + kFrameHeaderBytes);
+  EXPECT_EQ(unframe_payload(kMagic, kVersion, framed), payload);
+}
+
+TEST(AtomicFileFrame, RoundTripsEmptyPayload) {
+  const std::vector<std::uint8_t> empty;
+  const auto framed = frame_payload(kMagic, kVersion, empty);
+  EXPECT_EQ(framed.size(), kFrameHeaderBytes);
+  EXPECT_TRUE(unframe_payload(kMagic, kVersion, framed).empty());
+}
+
+TEST(AtomicFileFrame, RejectsTruncation) {
+  auto framed = frame_payload(kMagic, kVersion, sample_payload());
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{10}, kFrameHeaderBytes - 1,
+        kFrameHeaderBytes, framed.size() - 1}) {
+    std::vector<std::uint8_t> cut(framed.begin(),
+                                  framed.begin() + static_cast<long>(keep));
+    EXPECT_THROW((void)unframe_payload(kMagic, kVersion, cut),
+                 AtomicFileError)
+        << "kept " << keep;
+  }
+}
+
+TEST(AtomicFileFrame, RejectsWrongMagicAndVersion) {
+  const auto framed = frame_payload(kMagic, kVersion, sample_payload());
+  EXPECT_THROW((void)unframe_payload(kMagic + 1, kVersion, framed),
+               AtomicFileError);
+  EXPECT_THROW((void)unframe_payload(kMagic, kVersion + 1, framed),
+               AtomicFileError);
+}
+
+TEST(AtomicFileFrame, DetectsEveryFlippedBitInHeaderAndPayload) {
+  const auto framed = frame_payload(kMagic, kVersion, sample_payload());
+  for (std::size_t byte = 0; byte < framed.size(); ++byte) {
+    auto corrupt = framed;
+    corrupt[byte] = static_cast<std::uint8_t>(corrupt[byte] ^ 0x10);
+    EXPECT_THROW((void)unframe_payload(kMagic, kVersion, corrupt),
+                 AtomicFileError)
+        << "byte " << byte;
+  }
+}
+
+TEST(AtomicFileFrame, RejectsTrailingGarbage) {
+  auto framed = frame_payload(kMagic, kVersion, sample_payload());
+  framed.push_back(0);
+  EXPECT_THROW((void)unframe_payload(kMagic, kVersion, framed),
+               AtomicFileError);
+}
+
+// ---------------------------------------------------------------------------
+// Commit protocol
+// ---------------------------------------------------------------------------
+
+TEST_F(AtomicFileDirTest, WriteReadRoundTrips) {
+  const auto framed = frame_payload(kMagic, kVersion, sample_payload());
+  const std::string path = dir_ + "/artefact.bin";
+  write_file_atomic(path, framed);
+  EXPECT_EQ(read_file_bytes(path), framed);
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "tmp must not survive a commit";
+}
+
+TEST_F(AtomicFileDirTest, OverwriteReplacesAtomically) {
+  const std::string path = dir_ + "/artefact.bin";
+  write_file_atomic(path, frame_payload(kMagic, kVersion, {1, 2, 3}));
+  const auto second = frame_payload(kMagic, kVersion, sample_payload());
+  write_file_atomic(path, second);
+  EXPECT_EQ(read_file_bytes(path), second);
+}
+
+TEST_F(AtomicFileDirTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_file_bytes(dir_ + "/nope.bin"), AtomicFileError);
+}
+
+TEST_F(AtomicFileDirTest, PowerLossTearsOnlyTheTmp) {
+  const auto first = frame_payload(kMagic, kVersion, {9, 9, 9, 9});
+  const std::string path = dir_ + "/artefact.bin";
+  write_file_atomic(path, first);
+
+  const auto second = frame_payload(kMagic, kVersion, sample_payload());
+  for (const std::uint64_t offset : {std::uint64_t{0}, std::uint64_t{8},
+                                     std::uint64_t{second.size() - 1}}) {
+    FaultInjector fault;
+    fault.arm_write_failure(offset);
+    EXPECT_THROW(write_file_atomic(path, second.data(), second.size(), &fault),
+                 PowerLoss)
+        << "offset " << offset;
+    // Death mid-write: the torn prefix is in the .tmp, the committed file
+    // still reads back the OLD generation.
+    EXPECT_TRUE(fs::exists(path + ".tmp")) << "offset " << offset;
+    EXPECT_EQ(read_file_bytes(path), first) << "offset " << offset;
+    fs::remove(path + ".tmp");
+  }
+
+  // The retry after "reboot" commits cleanly over the old generation.
+  write_file_atomic(path, second);
+  EXPECT_EQ(read_file_bytes(path), second);
+}
+
+}  // namespace
+}  // namespace edgetrain::persist
