@@ -1,0 +1,65 @@
+// edgetrain: seeded preemption-fuzz injector (PCT-style schedule fuzzing).
+//
+// Free-running TSan only checks the interleavings the OS scheduler happens
+// to produce, which on an idle CI runner is a vanishingly thin slice of the
+// schedule space. This injector perturbs the schedule *at the annotation
+// boundaries* -- every edgetrain::Mutex lock/unlock, CondVar wait/notify,
+// and instrumented guarded access is a potential preemption point -- with
+// decisions that are a pure function of (seed, site, per-thread ordinal):
+//
+//   decision(seed, site, ordinal) = splitmix64-mix, yield on 1/8 of points,
+//   occasionally a short sleep for a coarser displacement.
+//
+// Because the decision function takes no runtime input (no clocks, no
+// addresses, no global counter shared across threads), the decision stream
+// each thread sees is bit-reproducible per seed: re-running a harness with
+// the same seed replays the same per-thread yield pattern, and a different
+// seed explores a genuinely different neighbourhood of interleavings. The
+// fingerprint() is an order-independent XOR fold of every decision hash, so
+// two runs whose threads made identical decision streams report identical
+// fingerprints even though the OS interleaved them differently.
+//
+// Activation: compiled in when EDGETRAIN_GUARDS or EDGETRAIN_PREEMPT is
+// defined (the TSan CI job sets the latter so the preemption harness runs
+// instrumented without the guards' shadow-memory cost); a zero seed
+// (default) disables injection at runtime. Seed comes from set_seed() or,
+// if never called, the EDGETRAIN_PREEMPT_SEED environment variable.
+#pragma once
+
+#include <cstdint>
+
+namespace edgetrain::analysis::preempt {
+
+/// Sets the injection seed. 0 disables injection (the default). Overrides
+/// EDGETRAIN_PREEMPT_SEED. Takes effect for decision points evaluated after
+/// the call; tests set it before spawning their workload threads.
+void set_seed(std::uint64_t seed);
+
+/// Current seed (reads EDGETRAIN_PREEMPT_SEED on first use; 0 = disabled).
+[[nodiscard]] std::uint64_t seed();
+
+/// A potential preemption point (called by the annotated primitives with a
+/// stable PreemptSite id). No-op when the seed is 0.
+void point(unsigned site);
+
+/// The pure decision hash: depends only on the arguments, never on runtime
+/// state. Exposed so the harness can assert bit-reproducibility directly.
+[[nodiscard]] std::uint64_t decision_hash(std::uint64_t seed, unsigned site,
+                                          std::uint64_t ordinal);
+
+/// True when decision_hash says this point yields the processor.
+[[nodiscard]] bool decides_to_yield(std::uint64_t seed, unsigned site,
+                                    std::uint64_t ordinal);
+
+/// Decision points evaluated since start / reset_stats().
+[[nodiscard]] std::uint64_t decisions();
+
+/// Points that actually yielded or slept.
+[[nodiscard]] std::uint64_t yields();
+
+/// Order-independent XOR fold of every decision hash evaluated so far.
+[[nodiscard]] std::uint64_t fingerprint();
+
+void reset_stats();
+
+}  // namespace edgetrain::analysis::preempt

@@ -1,0 +1,247 @@
+#include "analysis/race/race.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace edgetrain::analysis::race {
+
+namespace {
+
+/// Everything below g_mu. The detector deliberately uses one plain
+/// std::mutex (never edgetrain::Mutex: the instrumented wrapper would
+/// re-enter the detector from its own hooks). Production mutexes are only
+/// ever acquired *before* detector entry, so the ordering
+/// production-lock -> g_mu is acyclic and cannot deadlock.
+std::mutex g_mu;
+
+struct ThreadState {
+  std::size_t tid = 0;
+  VectorClock vc;
+  std::vector<const void*> locks;  ///< currently-held Mutex addresses
+};
+
+struct Access {
+  std::size_t tid = 0;
+  std::uint64_t epoch = 0;  ///< owner's own clock component at access time
+  bool write = false;
+  std::vector<const void*> locks;  ///< lockset held at the access
+  const char* file = "";
+  int line = 0;
+};
+
+struct VarState {
+  bool has_write = false;
+  Access last_write;
+  /// Reads since the last write, one slot per reading thread.
+  std::vector<Access> reads;
+};
+
+struct Detector {
+  std::vector<std::unique_ptr<ThreadState>> threads;
+  std::unordered_map<const void*, VectorClock> sync_clocks;
+  std::unordered_map<const void*, VarState> vars;
+  std::map<std::string, Report> reports;  ///< keyed by text: dedup + sorted
+  bool report_to_stderr = true;
+};
+
+Detector& detector() {
+  static Detector* d = new Detector();  // leaked: alive for atexit checks
+  return *d;
+}
+
+ThreadState& self_locked() {
+  thread_local ThreadState* tls = nullptr;
+  if (tls == nullptr) {
+    Detector& d = detector();
+    auto state = std::make_unique<ThreadState>();
+    state->tid = d.threads.size();
+    state->vc.bump(state->tid);  // epoch 0 is reserved for "never"
+    tls = state.get();
+    d.threads.push_back(std::move(state));
+  }
+  return *tls;
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+std::string site_string(const Access& access) {
+  return std::string(basename_of(access.file)) + ":" +
+         std::to_string(access.line) +
+         (access.write ? " (write)" : " (read)");
+}
+
+bool locksets_disjoint(const std::vector<const void*>& a,
+                       const std::vector<const void*>& b) {
+  for (const void* lock : a) {
+    for (const void* other : b) {
+      if (lock == other) return false;
+    }
+  }
+  return true;
+}
+
+void report_locked(const char* what, const Access& a, const Access& b) {
+  Detector& d = detector();
+  Report report;
+  report.what = what;
+  report.site_a = site_string(a);
+  report.site_b = site_string(b);
+  if (report.site_b < report.site_a) std::swap(report.site_a, report.site_b);
+  const std::string key = report.to_string();
+  const auto [it, inserted] = d.reports.emplace(key, std::move(report));
+  if (inserted && d.report_to_stderr) {
+    std::fprintf(stderr, "edgetrain race detector: %s\n", key.c_str());
+  }
+}
+
+/// The hybrid check: same address, different threads, at least one write
+/// (guaranteed by the call sites), no happens-before edge, disjoint
+/// locksets. @p current_vc is the accessing thread's clock.
+void check_pair_locked(const char* what, const Access& prev,
+                       const Access& current, const VectorClock& current_vc) {
+  if (prev.tid == current.tid) return;
+  if (current_vc.knows(prev.tid, prev.epoch)) return;  // ordered: no race
+  if (!locksets_disjoint(prev.locks, current.locks)) return;  // common lock
+  report_locked(what, prev, current);
+}
+
+}  // namespace
+
+void reset() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  Detector& d = detector();
+  d.sync_clocks.clear();
+  d.vars.clear();
+  d.reports.clear();
+}
+
+std::size_t report_count() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return detector().reports.size();
+}
+
+std::vector<Report> reports() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::vector<Report> out;
+  out.reserve(detector().reports.size());
+  for (const auto& [key, report] : detector().reports) out.push_back(report);
+  return out;
+}
+
+void set_report_to_stderr(bool enabled) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  detector().report_to_stderr = enabled;
+}
+
+void on_acquire(const void* mutex) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ThreadState& ts = self_locked();
+  const auto it = detector().sync_clocks.find(mutex);
+  if (it != detector().sync_clocks.end()) ts.vc.merge(it->second);
+  ts.locks.push_back(mutex);
+}
+
+void on_release(const void* mutex) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ThreadState& ts = self_locked();
+  // Accumulating merge (not copy): a sync object released by several
+  // threads before the next acquire -- e.g. a counter -- must order ALL of
+  // them before the acquirer. For an exclusive mutex the merge degenerates
+  // to the classic copy because critical sections chain.
+  detector().sync_clocks[mutex].merge(ts.vc);
+  ts.vc.bump(ts.tid);
+  for (auto it = ts.locks.begin(); it != ts.locks.end(); ++it) {
+    if (*it == mutex) {
+      ts.locks.erase(it);
+      break;
+    }
+  }
+}
+
+void on_mutex_destroy(const void* mutex) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  // A new Mutex constructed at a recycled address must not inherit the dead
+  // one's release clock (that would fabricate happens-before edges).
+  detector().sync_clocks.erase(mutex);
+}
+
+void on_sync_release(const void* object) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ThreadState& ts = self_locked();
+  detector().sync_clocks[object].merge(ts.vc);
+  ts.vc.bump(ts.tid);
+}
+
+void on_sync_acquire(const void* object) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ThreadState& ts = self_locked();
+  const auto it = detector().sync_clocks.find(object);
+  if (it != detector().sync_clocks.end()) ts.vc.merge(it->second);
+}
+
+ForkToken fork() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ThreadState& ts = self_locked();
+  ForkToken token{ts.vc};
+  ts.vc.bump(ts.tid);
+  return token;
+}
+
+void task_begin(const ForkToken& token) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  self_locked().vc.merge(token.clock);
+}
+
+ForkToken task_end() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ThreadState& ts = self_locked();
+  ForkToken token{ts.vc};
+  ts.vc.bump(ts.tid);
+  return token;
+}
+
+void join(const ForkToken& token) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  self_locked().vc.merge(token.clock);
+}
+
+void on_access(const void* addr, bool is_write, const char* file, int line,
+               const char* what) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ThreadState& ts = self_locked();
+  Access current;
+  current.tid = ts.tid;
+  current.epoch = ts.vc.at(ts.tid);
+  current.write = is_write;
+  current.locks = ts.locks;
+  current.file = file;
+  current.line = line;
+
+  VarState& var = detector().vars[addr];
+  if (var.has_write) check_pair_locked(what, var.last_write, current, ts.vc);
+  if (is_write) {
+    for (const Access& read : var.reads) {
+      check_pair_locked(what, read, current, ts.vc);
+    }
+    var.last_write = current;
+    var.has_write = true;
+    var.reads.clear();
+  } else {
+    for (Access& read : var.reads) {
+      if (read.tid == current.tid) {
+        read = current;
+        return;
+      }
+    }
+    var.reads.push_back(current);
+  }
+}
+
+}  // namespace edgetrain::analysis::race

@@ -1,0 +1,125 @@
+// edgetrain: Eraser-style lockset race detector with vector-clock
+// happens-before refinement.
+//
+// The schedule abstract interpreter (analysis/interp) proved that
+// *analyzable* correctness beats hoping a fuzzer stumbles onto the bug;
+// this module extends the philosophy from schedules to threads. The static
+// half of the story is the clang -Wthread-safety capability annotations
+// (core/thread_annotations.hpp); this is the dynamic half, wired into the
+// same EDGETRAIN_GUARDS instrumentation layer as the shadow-memory guards:
+//
+//   * every edgetrain::Mutex acquire/release feeds the per-thread lockset
+//     AND the per-mutex release clock (so lock handoffs create
+//     happens-before edges);
+//   * parallel_for fork/join, BackgroundWorker job submission, and
+//     std::thread create/join report explicit fork/join edges through
+//     ForkToken;
+//   * instrumented field accesses (EDGETRAIN_RACE_READ / _WRITE, placed on
+//     the mutex-protected members of the concurrent subsystems) run the
+//     hybrid check: two accesses to the same address race iff at least one
+//     is a write, they come from different threads, their held locksets are
+//     DISJOINT (Eraser), and neither happens-before the other (FastTrack-
+//     style epochs). Pure lockset analysis would false-positive on
+//     fork/join and release/acquire handoffs; pure happens-before analysis
+//     misses races the current schedule didn't exercise. The hybrid flags a
+//     race *deterministically from metadata* -- the two accesses never have
+//     to interleave in real time for the report to fire.
+//
+// Reports carry both file:line sites, are deduplicated, and reports() is
+// sorted, so a racy fixture produces the identical report text on every
+// run -- the self-test corpus (tests/analysis/race_detector_test.cpp)
+// asserts that determinism.
+//
+// The runtime is always compiled (tests drive it directly); the hooks in
+// production code compile to nothing unless EDGETRAIN_GUARDS is on, so
+// release builds pay zero overhead (bench_async_io / bench_fleet guard the
+// claim).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/race/vector_clock.hpp"
+
+namespace edgetrain::analysis::race {
+
+/// One confirmed lockset/happens-before violation. site_a/site_b are
+/// "file:line (read|write)" strings in canonical (lexicographic) order, so
+/// the same race yields the same report no matter which access came second.
+struct Report {
+  std::string what;    ///< instrumentation-site name, e.g. "ram_ slot"
+  std::string site_a;  ///< one access, "file:line (write)"
+  std::string site_b;  ///< the other access
+  [[nodiscard]] std::string to_string() const {
+    return what + ": " + site_a + " <-> " + site_b;
+  }
+};
+
+/// Clears shadow variables, mutex clocks, and reports. Thread registrations
+/// and their clocks survive (they are monotonic and harmless). Tests call
+/// this between fixtures.
+void reset();
+
+/// Number of distinct races reported since construction / reset().
+[[nodiscard]] std::size_t report_count();
+
+/// All reports, deduplicated and sorted (deterministic).
+[[nodiscard]] std::vector<Report> reports();
+
+/// When true (default), each new report is also printed to stderr with an
+/// "edgetrain race detector:" prefix.
+void set_report_to_stderr(bool enabled);
+
+// --- synchronisation hooks (called by the annotated primitives) ----------
+
+void on_acquire(const void* mutex);
+void on_release(const void* mutex);
+void on_mutex_destroy(const void* mutex);
+
+/// Release/acquire edges through an atomic used as a synchronisation object
+/// (e.g. ThreadPool's `pending` counter): on_sync_release before the
+/// releasing store/RMW, on_sync_acquire after the acquire load observes it.
+void on_sync_release(const void* object);
+void on_sync_acquire(const void* object);
+
+// --- fork / join edges ----------------------------------------------------
+
+/// Captured parent clock: pass to the child (task_begin) to order
+/// everything the parent did so far before the child's work, and back to
+/// the parent (join) to order the child's work before what follows.
+struct ForkToken {
+  VectorClock clock;
+};
+
+[[nodiscard]] ForkToken fork();
+void task_begin(const ForkToken& token);
+[[nodiscard]] ForkToken task_end();
+void join(const ForkToken& token);
+
+// --- instrumented accesses ------------------------------------------------
+
+void on_access(const void* addr, bool is_write, const char* file, int line,
+               const char* what);
+
+}  // namespace edgetrain::analysis::race
+
+// Access macros: annotate the *use sites* of guarded members in concurrent
+// subsystems. Compiled out entirely without EDGETRAIN_GUARDS.
+#if defined(EDGETRAIN_GUARDS)
+#define EDGETRAIN_RACE_READ(lvalue, what)                                  \
+  ::edgetrain::analysis::race::on_access(&(lvalue), /*is_write=*/false,    \
+                                         __FILE__, __LINE__, (what))
+#define EDGETRAIN_RACE_WRITE(lvalue, what)                                 \
+  ::edgetrain::analysis::race::on_access(&(lvalue), /*is_write=*/true,     \
+                                         __FILE__, __LINE__, (what))
+#define EDGETRAIN_RACE_SYNC_RELEASE(ptr) \
+  ::edgetrain::analysis::race::on_sync_release(ptr)
+#define EDGETRAIN_RACE_SYNC_ACQUIRE(ptr) \
+  ::edgetrain::analysis::race::on_sync_acquire(ptr)
+#else
+#define EDGETRAIN_RACE_READ(lvalue, what) ((void)0)
+#define EDGETRAIN_RACE_WRITE(lvalue, what) ((void)0)
+#define EDGETRAIN_RACE_SYNC_RELEASE(ptr) ((void)0)
+#define EDGETRAIN_RACE_SYNC_ACQUIRE(ptr) ((void)0)
+#endif

@@ -1,0 +1,58 @@
+// edgetrain: vector clocks for the happens-before half of the race detector.
+//
+// Clock values are per-thread event counters keyed by a compact thread id
+// the detector registry hands out (see race.hpp). The representation is a
+// plain grow-on-demand vector: the detector tracks tens of threads at test
+// scale, never the million simulated fleet nodes (those are model objects,
+// not OS threads).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace edgetrain::analysis::race {
+
+class VectorClock {
+ public:
+  /// Component for thread @p tid (0 when never recorded).
+  [[nodiscard]] std::uint64_t at(std::size_t tid) const noexcept {
+    return tid < clock_.size() ? clock_[tid] : 0;
+  }
+
+  /// Advances thread @p tid's own component by one event.
+  void bump(std::size_t tid) {
+    grow_to(tid);
+    ++clock_[tid];
+  }
+
+  /// Component-wise maximum: after merge(o), every event o knew about
+  /// happens-before everything this clock subsequently tags.
+  void merge(const VectorClock& other) {
+    if (other.clock_.size() > clock_.size()) {
+      clock_.resize(other.clock_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.clock_.size(); ++i) {
+      clock_[i] = std::max(clock_[i], other.clock_[i]);
+    }
+  }
+
+  /// True when an event stamped (tid, epoch) happens-before the state this
+  /// clock represents: the owner has already synchronised with tid's
+  /// epoch-th event.
+  [[nodiscard]] bool knows(std::size_t tid, std::uint64_t epoch) const
+      noexcept {
+    return at(tid) >= epoch;
+  }
+
+  void clear() noexcept { clock_.clear(); }
+
+ private:
+  void grow_to(std::size_t tid) {
+    if (tid >= clock_.size()) clock_.resize(tid + 1, 0);
+  }
+
+  std::vector<std::uint64_t> clock_;
+};
+
+}  // namespace edgetrain::analysis::race

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/race/race.hpp"
 #include "core/slot_codec.hpp"
 #include "core/spill_io.hpp"
 #include "tensor/convert.hpp"
@@ -67,7 +68,13 @@ std::string AsyncDiskSlotStore::path_for(std::int32_t slot) const {
 
 void AsyncDiskSlotStore::put(std::int32_t slot, const Tensor& value) {
   if (!is_disk_slot(slot)) {
+    // The RAM tier shares mu_ with everything else: resident_bytes() walks
+    // ram_ from monitoring threads, so the fast path must not mutate the
+    // vector's elements unlocked (it used to -- a real data race, now a
+    // regression test under TSan).
+    MutexLock lock(mu_);
     Tensor& held = ram_.at(static_cast<std::size_t>(slot));
+    EDGETRAIN_RACE_WRITE(held, "AsyncDiskSlotStore ram_ slot");
     detail::poison_if_sole_owner(held);
     held = value;
     return;
@@ -81,11 +88,11 @@ void AsyncDiskSlotStore::put(std::int32_t slot, const Tensor& value) {
     blob = std::make_shared<std::vector<std::uint8_t>>(
         codec::encode(options_.codec, value));
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Back-pressure: the training thread may run at most write_staging_slots
   // spills ahead of the disk. Stale (superseded) jobs still occupy staging
   // until the worker retires them -- the queue itself is what is bounded.
-  cv_.wait(lock, [&] { return staged_writes_ < options_.write_staging_slots; });
+  while (staged_writes_ >= options_.write_staging_slots) cv_.wait(lock);
   DiskSlot& state = disk_at(slot);
   invalidate_locked(state);
   state.state = State::WritePending;
@@ -100,11 +107,14 @@ void AsyncDiskSlotStore::put(std::int32_t slot, const Tensor& value) {
 
 Tensor AsyncDiskSlotStore::get(std::int32_t slot) {
   if (!is_disk_slot(slot)) {
-    Tensor& held = ram_.at(static_cast<std::size_t>(slot));
+    MutexLock lock(mu_);
+    Tensor& slot_ref = ram_.at(static_cast<std::size_t>(slot));
+    EDGETRAIN_RACE_READ(slot_ref, "AsyncDiskSlotStore ram_ slot");
+    Tensor held = slot_ref;  // shared handle; copied under mu_
     if (!held.defined()) empty_slot(slot);
     return held;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     DiskSlot& state = disk_at(slot);
     switch (state.state) {
@@ -162,10 +172,9 @@ Tensor AsyncDiskSlotStore::get(std::int32_t slot) {
       // than issuing a second read. Re-evaluate from scratch afterwards
       // (a concurrent drop may have invalidated the slot meanwhile).
       const std::uint64_t gen = state.generation;
-      cv_.wait(lock, [&] {
-        const DiskSlot& s = disk_at(slot);
-        return s.generation != gen || !s.prefetch_queued;
-      });
+      while (disk_at(slot).generation == gen && disk_at(slot).prefetch_queued) {
+        cv_.wait(lock);
+      }
       continue;
     }
     // Prefetch never got to this slot: blocking read on the caller.
@@ -205,12 +214,14 @@ Tensor AsyncDiskSlotStore::get(std::int32_t slot) {
 
 void AsyncDiskSlotStore::drop(std::int32_t slot) {
   if (!is_disk_slot(slot)) {
+    MutexLock lock(mu_);  // same discipline as put(): ram_ is guarded
     Tensor& held = ram_.at(static_cast<std::size_t>(slot));
+    EDGETRAIN_RACE_WRITE(held, "AsyncDiskSlotStore ram_ slot");
     detail::poison_if_sole_owner(held);
     held.reset();
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DiskSlot& state = disk_at(slot);
   const bool on_disk = state.state == State::OnDisk;
   invalidate_locked(state);
@@ -226,9 +237,10 @@ void AsyncDiskSlotStore::drop(std::int32_t slot) {
 // --------------------------------------------------------------------------
 
 std::size_t AsyncDiskSlotStore::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::size_t total = 0;
   for (const Tensor& t : ram_) {
+    EDGETRAIN_RACE_READ(t, "AsyncDiskSlotStore ram_ slot");
     if (t.defined()) total += t.bytes();
   }
   // Staging is real RAM: spills not yet flushed and restores fetched early
@@ -242,34 +254,34 @@ std::size_t AsyncDiskSlotStore::resident_bytes() const {
 }
 
 std::size_t AsyncDiskSlotStore::external_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return disk_bytes_;
 }
 
 std::int64_t AsyncDiskSlotStore::disk_writes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return writes_;
 }
 std::int64_t AsyncDiskSlotStore::disk_reads() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return reads_;
 }
 std::int64_t AsyncDiskSlotStore::prefetch_hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return prefetch_hits_;
 }
 std::int64_t AsyncDiskSlotStore::write_behind_hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return write_behind_hits_;
 }
 std::int64_t AsyncDiskSlotStore::blocking_reads() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return blocking_reads_;
 }
 
 void AsyncDiskSlotStore::flush() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return staged_writes_ == 0; });
+  MutexLock lock(mu_);
+  while (staged_writes_ != 0) cv_.wait(lock);
 }
 
 // --------------------------------------------------------------------------
@@ -277,7 +289,7 @@ void AsyncDiskSlotStore::flush() {
 // --------------------------------------------------------------------------
 
 void AsyncDiskSlotStore::begin_replay(const Schedule& schedule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   future_restores_.clear();
   restore_cursor_ = 0;
   const auto& actions = schedule.actions();
@@ -293,7 +305,7 @@ void AsyncDiskSlotStore::begin_replay(const Schedule& schedule) {
 }
 
 void AsyncDiskSlotStore::on_replay_position(std::int64_t next_action) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!replay_active_) return;
   // Retire entries up to AND including the action about to execute: its
   // get() is served synchronously either way, so prefetching it now buys
@@ -307,7 +319,7 @@ void AsyncDiskSlotStore::on_replay_position(std::int64_t next_action) {
 }
 
 void AsyncDiskSlotStore::end_replay() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   replay_active_ = false;
   future_restores_.clear();
   restore_cursor_ = 0;
@@ -420,7 +432,7 @@ void AsyncDiskSlotStore::run_write(std::int32_t slot, std::uint64_t gen) {
   Tensor payload;
   std::shared_ptr<std::vector<std::uint8_t>> blob;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     DiskSlot& state = disk_at(slot);
     if (state.generation != gen) {
       // Superseded before we ran. The worker is FIFO, so no newer job for
@@ -452,7 +464,7 @@ void AsyncDiskSlotStore::run_write(std::int32_t slot, std::uint64_t gen) {
     error = std::current_exception();
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DiskSlot& state = disk_at(slot);
   --staged_writes_;
   if (state.generation != gen) {
@@ -486,7 +498,7 @@ void AsyncDiskSlotStore::run_prefetch(std::int32_t slot, std::uint64_t gen) {
   std::uint32_t crc = 0;
   std::size_t encoded_size = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     DiskSlot& state = disk_at(slot);
     if (state.generation != gen) return;  // invalidation paid our unit back
     shape = state.shape;
@@ -517,7 +529,7 @@ void AsyncDiskSlotStore::run_prefetch(std::int32_t slot, std::uint64_t gen) {
     error = std::current_exception();
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DiskSlot& state = disk_at(slot);
   if (state.generation != gen) {
     cv_.notify_all();  // a get() may be parked on the old generation

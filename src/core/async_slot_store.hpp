@@ -36,12 +36,11 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <condition_variable>
 #include <string>
 #include <vector>
 
 #include "core/slot_store.hpp"
+#include "core/thread_annotations.hpp"
 #include "tensor/parallel.hpp"
 
 namespace edgetrain::core {
@@ -132,45 +131,58 @@ class AsyncDiskSlotStore final : public SlotStore {
   [[nodiscard]] bool is_disk_slot(std::int32_t slot) const {
     return slot >= first_disk_slot_;
   }
-  [[nodiscard]] DiskSlot& disk_at(std::int32_t slot) {
+  [[nodiscard]] DiskSlot& disk_at(std::int32_t slot) REQUIRES(mu_) {
     return disk_.at(static_cast<std::size_t>(slot));
   }
 
-  // All private helpers below require mu_ held.
-  void invalidate_locked(DiskSlot& slot);
-  void maybe_prefetch_locked();
-  [[nodiscard]] bool restored_again_soon_locked(std::int32_t slot) const;
-  void enqueue_write_locked(std::int32_t slot);
-  void enqueue_prefetch_locked(std::int32_t slot);
-  [[nodiscard]] Tensor take_prefetched_locked(DiskSlot& slot);
+  // All private helpers below require mu_ held (enforced by clang TSA).
+  void invalidate_locked(DiskSlot& slot) REQUIRES(mu_);
+  void maybe_prefetch_locked() REQUIRES(mu_);
+  [[nodiscard]] bool restored_again_soon_locked(std::int32_t slot) const
+      REQUIRES(mu_);
+  void enqueue_write_locked(std::int32_t slot) REQUIRES(mu_);
+  void enqueue_prefetch_locked(std::int32_t slot) REQUIRES(mu_);
+  [[nodiscard]] Tensor take_prefetched_locked(DiskSlot& slot) REQUIRES(mu_);
 
   // IO-thread bodies (take mu_ themselves).
-  void run_write(std::int32_t slot, std::uint64_t generation);
-  void run_prefetch(std::int32_t slot, std::uint64_t generation);
+  void run_write(std::int32_t slot, std::uint64_t generation) EXCLUDES(mu_);
+  void run_prefetch(std::int32_t slot, std::uint64_t generation)
+      EXCLUDES(mu_);
 
   int first_disk_slot_;
   std::string directory_;
   AsyncDiskSlotStoreOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;   ///< staging space / job completion
-  std::vector<Tensor> ram_;      ///< RAM tier (slots below first_disk_slot)
-  std::vector<DiskSlot> disk_;
-  int staged_writes_ = 0;        ///< writes queued/in flight (<= budget)
-  int staged_reads_ = 0;         ///< prefetch buffers reserved (<= budget)
-  std::size_t disk_bytes_ = 0;
+  // Locking discipline: mu_ is the single lock for ALL mutable store state,
+  // including the RAM tier -- resident_bytes() walks ram_ from whatever
+  // thread polls memory while the training thread puts/drops, so the RAM
+  // fast path takes the lock too (it is uncontended and never held across
+  // IO). The lock is never held across a file read/write, a codec
+  // encode/decode, or a worker_.submit() callback boundary: IO-thread
+  // bodies copy what they need out under mu_, do the slow work unlocked,
+  // and re-acquire to publish. Waits are all while-loop shaped so the
+  // predicate reads are visibly under the capability.
+  mutable Mutex mu_;
+  CondVar cv_;                   ///< staging space / job completion
+  /// RAM tier (slots below first_disk_slot). Guarded: see discipline note.
+  std::vector<Tensor> ram_ GUARDED_BY(mu_);
+  std::vector<DiskSlot> disk_ GUARDED_BY(mu_);
+  int staged_writes_ GUARDED_BY(mu_) = 0;  ///< queued/in flight (<= budget)
+  int staged_reads_ GUARDED_BY(mu_) = 0;   ///< prefetch buffers (<= budget)
+  std::size_t disk_bytes_ GUARDED_BY(mu_) = 0;
 
   // Lookahead state: (action position, slot) of every future disk Restore,
   // and the replay cursor that retires them.
-  std::vector<std::pair<std::int64_t, std::int32_t>> future_restores_;
-  std::size_t restore_cursor_ = 0;
-  bool replay_active_ = false;
+  std::vector<std::pair<std::int64_t, std::int32_t>> future_restores_
+      GUARDED_BY(mu_);
+  std::size_t restore_cursor_ GUARDED_BY(mu_) = 0;
+  bool replay_active_ GUARDED_BY(mu_) = false;
 
-  std::int64_t writes_ = 0;
-  std::int64_t reads_ = 0;
-  std::int64_t prefetch_hits_ = 0;
-  std::int64_t write_behind_hits_ = 0;
-  std::int64_t blocking_reads_ = 0;
+  std::int64_t writes_ GUARDED_BY(mu_) = 0;
+  std::int64_t reads_ GUARDED_BY(mu_) = 0;
+  std::int64_t prefetch_hits_ GUARDED_BY(mu_) = 0;
+  std::int64_t write_behind_hits_ GUARDED_BY(mu_) = 0;
+  std::int64_t blocking_reads_ GUARDED_BY(mu_) = 0;
 
   BackgroundWorker worker_;  ///< last member: jobs reference state above
 };

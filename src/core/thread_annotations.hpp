@@ -1,0 +1,242 @@
+// edgetrain: clang thread-safety capability annotations + annotated
+// synchronisation primitives.
+//
+// Locking discipline in this codebase is *statically checked*, not folklore:
+// every mutex-protected member is declared GUARDED_BY its mutex, every
+// lock-requiring helper is declared REQUIRES, and the clang CI job compiles
+// all of src/ with -Wthread-safety -Werror, so an unannotated or lock-free
+// access to guarded state is a build failure, not a latent race. On GCC (and
+// any non-clang compiler) every annotation expands to nothing and the
+// wrappers below compile down to plain std::mutex / lock_guard.
+//
+// The wrappers are also the dynamic instrumentation boundary. When the
+// shadow-memory guards are on (-DEDGETRAIN_GUARDS=ON), Mutex and CondVar
+// report every acquire/release to the lockset/happens-before race detector
+// (analysis/race/race.hpp), and when the seeded preemption injector is
+// enabled (guards, or -DEDGETRAIN_PREEMPT=ON for TSan runs), every lock
+// boundary is a potential yield/sleep point that drives the schedule through
+// adversarial interleavings (analysis/race/preempt.hpp). Release builds with
+// both switches off pay zero bytes and zero cycles: the hooks compile away
+// and the classes below are thin inline shims.
+//
+// Three rules keep the static analysis airtight (see DESIGN.md §15):
+//   1. Never name std::mutex in src/ -- always edgetrain::Mutex, so every
+//      lock is annotated, race-instrumented, and preemption-fuzzable.
+//   2. Condition-variable waits use the while-loop form with the predicate
+//      spelled in the annotated function body (not a lambda): clang cannot
+//      see a captured lock inside a predicate lambda, the loop form it can.
+//   3. Escape hatches (NO_THREAD_SAFETY_ANALYSIS, native()) need a comment
+//      explaining which invariant replaces the lock.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define EDGETRAIN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EDGETRAIN_THREAD_ANNOTATION(x)  // non-clang: annotations vanish
+#endif
+
+// The classic capability-annotation macro set from the clang thread-safety
+// docs. Unprefixed on purpose: they appear on nearly every concurrent class
+// in src/ and the long form would drown the declarations they qualify.
+#define CAPABILITY(x) EDGETRAIN_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY EDGETRAIN_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) EDGETRAIN_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) EDGETRAIN_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  EDGETRAIN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  EDGETRAIN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  EDGETRAIN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  EDGETRAIN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  EDGETRAIN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  EDGETRAIN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) EDGETRAIN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) EDGETRAIN_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) EDGETRAIN_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  EDGETRAIN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Instrumentation hooks (declared here, defined in src/analysis/race/).
+// ---------------------------------------------------------------------------
+
+#if defined(EDGETRAIN_GUARDS)
+namespace edgetrain::analysis::race {
+void on_acquire(const void* mutex);
+void on_release(const void* mutex);
+void on_mutex_destroy(const void* mutex);
+}  // namespace edgetrain::analysis::race
+#define EDGETRAIN_SYNC_ACQUIRED(m) ::edgetrain::analysis::race::on_acquire(m)
+#define EDGETRAIN_SYNC_RELEASING(m) ::edgetrain::analysis::race::on_release(m)
+#define EDGETRAIN_SYNC_DESTROYED(m) \
+  ::edgetrain::analysis::race::on_mutex_destroy(m)
+#else
+#define EDGETRAIN_SYNC_ACQUIRED(m) ((void)0)
+#define EDGETRAIN_SYNC_RELEASING(m) ((void)0)
+#define EDGETRAIN_SYNC_DESTROYED(m) ((void)0)
+#endif
+
+#if defined(EDGETRAIN_GUARDS) || defined(EDGETRAIN_PREEMPT)
+namespace edgetrain::analysis::preempt {
+void point(unsigned site);
+}  // namespace edgetrain::analysis::preempt
+#define EDGETRAIN_PREEMPT_POINT(site) ::edgetrain::analysis::preempt::point(site)
+#else
+#define EDGETRAIN_PREEMPT_POINT(site) ((void)0)
+#endif
+
+namespace edgetrain {
+
+/// Stable preemption-site ids (never raw pointers: addresses change run to
+/// run under ASLR, and the injector's decision stream must be a pure
+/// function of seed/site/ordinal to stay bit-reproducible per seed).
+enum PreemptSite : unsigned {
+  kPreemptBeforeLock = 0,
+  kPreemptAfterUnlock = 1,
+  kPreemptBeforeWait = 2,
+  kPreemptBeforeNotify = 3,
+  kPreemptAtAccess = 4,
+};
+
+// ---------------------------------------------------------------------------
+// Annotated primitives
+// ---------------------------------------------------------------------------
+
+/// std::mutex with the "mutex" capability. The only mutex type allowed in
+/// src/: locking through it is what makes an acquire visible to both the
+/// static analysis and the dynamic race detector.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  ~Mutex() { EDGETRAIN_SYNC_DESTROYED(this); }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // The primitive bodies are exempt from the analysis (the contract is the
+  // declared attribute; inside, the capability expression for the wrapped
+  // std::mutex cannot be matched to `this`). Callers are still checked.
+  void lock() ACQUIRE() NO_THREAD_SAFETY_ANALYSIS {
+    EDGETRAIN_PREEMPT_POINT(kPreemptBeforeLock);
+    mu_.lock();
+    EDGETRAIN_SYNC_ACQUIRED(this);
+  }
+
+  void unlock() RELEASE() NO_THREAD_SAFETY_ANALYSIS {
+    EDGETRAIN_SYNC_RELEASING(this);
+    mu_.unlock();
+    EDGETRAIN_PREEMPT_POINT(kPreemptAfterUnlock);
+  }
+
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) NO_THREAD_SAFETY_ANALYSIS {
+    if (!mu_.try_lock()) return false;
+    EDGETRAIN_SYNC_ACQUIRED(this);
+    return true;
+  }
+
+  /// Escape hatch for CondVar (std::condition_variable demands the native
+  /// type). Callers other than CondVar/MutexLock must not use it.
+  [[nodiscard]] std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over Mutex with std::unique_lock ergonomics: RAII acquire on
+/// construction, manual unlock()/lock() for the drop-the-lock-around-IO
+/// pattern, and a native handle for CondVar. All transitions route through
+/// Mutex::lock/unlock so the race detector and the preemption injector see
+/// every boundary.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) NO_THREAD_SAFETY_ANALYSIS
+      : mu_(&mu), lock_(mu.native(), std::defer_lock) {
+    mu_->lock();
+    lock_ = std::unique_lock<std::mutex>(mu_->native(), std::adopt_lock);
+  }
+
+  ~MutexLock() RELEASE() NO_THREAD_SAFETY_ANALYSIS {
+    if (lock_.owns_lock()) {
+      lock_.release();  // disown without unlocking...
+      mu_->unlock();    // ...so the instrumented release path runs
+    }
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily drop the lock (e.g. around a blocking disk read).
+  void unlock() RELEASE() NO_THREAD_SAFETY_ANALYSIS {
+    lock_.release();
+    mu_->unlock();
+  }
+
+  /// Re-acquire after unlock().
+  void lock() ACQUIRE() NO_THREAD_SAFETY_ANALYSIS {
+    mu_->lock();
+    lock_ = std::unique_lock<std::mutex>(mu_->native(), std::adopt_lock);
+  }
+
+  /// For CondVar only.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept {
+    return lock_;
+  }
+  [[nodiscard]] const void* mutex_id() const noexcept { return mu_; }
+
+ private:
+  Mutex* mu_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over MutexLock. Waits are untimed/timed *without*
+/// predicates by design: spell the predicate as a while loop in the calling
+/// function so -Wthread-safety can see the guarded reads under the held
+/// lock (rule 2 above). The internal unlock/relock a wait performs is
+/// re-reported to the race detector, so the happens-before edge a
+/// notify-then-wake handoff creates is never lost.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) {
+    EDGETRAIN_PREEMPT_POINT(kPreemptBeforeWait);
+    EDGETRAIN_SYNC_RELEASING(lock.mutex_id());
+    cv_.wait(lock.native());
+    EDGETRAIN_SYNC_ACQUIRED(lock.mutex_id());
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    EDGETRAIN_PREEMPT_POINT(kPreemptBeforeWait);
+    EDGETRAIN_SYNC_RELEASING(lock.mutex_id());
+    const std::cv_status status = cv_.wait_for(lock.native(), timeout);
+    EDGETRAIN_SYNC_ACQUIRED(lock.mutex_id());
+    return status;
+  }
+
+  void notify_one() noexcept {
+    EDGETRAIN_PREEMPT_POINT(kPreemptBeforeNotify);
+    cv_.notify_one();
+  }
+
+  void notify_all() noexcept {
+    EDGETRAIN_PREEMPT_POINT(kPreemptBeforeNotify);
+    cv_.notify_all();
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace edgetrain

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "analysis/race/race.hpp"
 #include "persist/atomic_file.hpp"
 #include "persist/wire.hpp"
 
@@ -34,24 +35,29 @@ void atomic_store_max(std::atomic<std::uint64_t>& target,
 }  // namespace
 
 struct FleetServer::Shard {
-  std::mutex mutex;
-  std::condition_variable not_full;
-  std::vector<StudentDelta> queue;  ///< guarded by mutex
-  /// Queued + being-merged deltas; flush() waits for zero.
+  Mutex mutex;
+  CondVar not_full;
+  std::vector<StudentDelta> queue GUARDED_BY(mutex);
+  /// Queued + being-merged deltas; flush() waits for zero. release on the
+  /// producer / acquire on the consumer: flush() infers "my delta was
+  /// merged" from this counter, so it must order the merge writes.
   std::atomic<std::int64_t> pending{0};
   MergeGroup* group = nullptr;
 
-  // Merger-owned (only the one merge thread that owns this shard).
-  std::vector<StudentDelta> batch;         ///< swap buffer
-  std::vector<std::uint64_t> last_seq;     ///< per node-slot dedup high-water
+  /// Swap buffer. Merger-owned: it swaps with `queue` under `mutex` and is
+  /// then drained UNLOCKED by the single merge thread that owns this shard,
+  /// so it deliberately carries no GUARDED_BY (there is no lock to name).
+  std::vector<StudentDelta> batch;
+  std::vector<std::uint64_t> last_seq
+      GUARDED_BY(agg_mutex);  ///< per node-slot dedup high-water
 
-  mutable std::mutex agg_mutex;
-  FleetAggregate agg;  ///< guarded by agg_mutex
+  mutable Mutex agg_mutex;
+  FleetAggregate agg GUARDED_BY(agg_mutex);
 };
 
 struct FleetServer::MergeGroup {
-  std::mutex mutex;
-  std::condition_variable cv;
+  Mutex mutex;
+  CondVar cv;
   std::vector<Shard*> shards;
   std::thread thread;
 };
@@ -113,13 +119,14 @@ void FleetServer::ingest(const StudentDelta& delta) {
   }
 
   {
-    std::unique_lock<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     if (shard.queue.size() >= config_.queue_capacity) {
       backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
-      shard.not_full.wait(lock, [&] {
-        return shard.queue.size() < config_.queue_capacity;
-      });
+      while (shard.queue.size() >= config_.queue_capacity) {
+        shard.not_full.wait(lock);
+      }
     }
+    EDGETRAIN_RACE_WRITE(shard.queue, "FleetServer shard queue");
     shard.queue.push_back(delta);
   }
   shard.pending.fetch_add(1, std::memory_order_release);
@@ -132,8 +139,9 @@ void FleetServer::ingest(const StudentDelta& delta) {
 bool FleetServer::try_ingest(const StudentDelta& delta) {
   Shard& shard = *shards_[delta.node % config_.shards];
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     if (shard.queue.size() >= config_.queue_capacity) return false;
+    EDGETRAIN_RACE_WRITE(shard.queue, "FleetServer shard queue");
     shard.queue.push_back(delta);
   }
   shard.pending.fetch_add(1, std::memory_order_release);
@@ -144,7 +152,8 @@ bool FleetServer::try_ingest(const StudentDelta& delta) {
 
 void FleetServer::merge_batch(Shard& shard,
                               const std::vector<StudentDelta>& batch) {
-  std::lock_guard<std::mutex> lock(shard.agg_mutex);
+  MutexLock lock(shard.agg_mutex);
+  EDGETRAIN_RACE_WRITE(shard.agg, "FleetServer shard aggregate");
   for (const StudentDelta& delta : batch) {
     const std::size_t slot = delta.node / config_.shards;
     if (slot >= shard.last_seq.size()) shard.last_seq.resize(slot + 1, 0);
@@ -175,17 +184,21 @@ void FleetServer::merge_loop(MergeGroup& group) {
     {
       // Producers notify without the group lock, so a wakeup can race the
       // predicate check; the timed wait bounds any missed notification.
-      std::unique_lock<std::mutex> lock(group.mutex);
-      group.cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
-        return any_work() || stopping_.load(std::memory_order_acquire);
-      });
+      MutexLock lock(group.mutex);
+      while (!any_work() && !stopping_.load(std::memory_order_acquire)) {
+        if (group.cv.wait_for(lock, std::chrono::milliseconds(1)) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
     }
 
     bool drained_everything = true;
     for (Shard* shard : group.shards) {
       {
-        std::lock_guard<std::mutex> lock(shard->mutex);
+        MutexLock lock(shard->mutex);
         if (shard->queue.empty()) continue;
+        EDGETRAIN_RACE_WRITE(shard->queue, "FleetServer shard queue");
         shard->queue.swap(shard->batch);
       }
       shard->not_full.notify_all();
@@ -244,6 +257,10 @@ void FleetServer::flush() {
 }
 
 void FleetServer::stop() {
+  // Serialised: a concurrent stop() (say, an explicit stop racing the
+  // destructor from another thread) must block until the first finishes,
+  // not observe a half-joined server through an unsynchronised flag.
+  MutexLock lock(stop_mu_);
   if (joined_) return;
   flush();
   stopping_.store(true, std::memory_order_release);
@@ -257,7 +274,8 @@ void FleetServer::stop() {
 FleetAggregate FleetServer::aggregate() const {
   FleetAggregate total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->agg_mutex);
+    MutexLock lock(shard->agg_mutex);
+    EDGETRAIN_RACE_READ(shard->agg, "FleetServer shard aggregate");
     total.deltas += shard->agg.deltas;
     total.samples += shard->agg.samples;
     total.loss_milli_sum += shard->agg.loss_milli_sum;

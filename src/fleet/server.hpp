@@ -29,14 +29,13 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "fleet/delta.hpp"
 
 namespace edgetrain::fleet {
@@ -138,11 +137,24 @@ class FleetServer {
   void note_ingest_clock();
   void maybe_snapshot();
 
+  // Locking discipline: each Shard carries two independent capabilities --
+  // `mutex` guards the producer-facing bounded queue (held only for O(1)
+  // push/swap, never across a merge), `agg_mutex` guards the merged
+  // aggregate + dedup high-water marks (held for the batch merge, never
+  // while holding `mutex`). Server-wide counters are std::atomic with
+  // relaxed ordering on purpose: they are monotonic statistics, never used
+  // to publish other memory (the queue hand-off itself synchronises via
+  // `mutex`, and `pending` uses release/acquire because flush() infers
+  // "merge completed" from it). stop_mu_ serialises stop() calls.
   ServerConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<MergeGroup>> groups_;
   std::atomic<bool> stopping_{false};
-  bool joined_ = false;
+  Mutex stop_mu_;
+  /// True once the merge threads are joined. Guarded: two racing stop()
+  /// calls (e.g. explicit stop vs destructor on another thread) used to
+  /// both read false from a plain bool and double-join the threads.
+  bool joined_ GUARDED_BY(stop_mu_) = false;
 
   std::atomic<std::uint64_t> ingested_{0};
   std::atomic<std::uint64_t> merged_{0};

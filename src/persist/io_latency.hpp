@@ -26,6 +26,11 @@
 namespace edgetrain::persist {
 
 namespace detail {
+// memory_order_relaxed on this slot is intentional: the latency value is a
+// self-contained long -- readers act on the loaded value alone and never
+// infer that other memory was initialised, so no acquire/release pairing
+// is required. (The race detector's HB model agrees: nothing is published
+// through this cell.)
 inline std::atomic<long>& disk_latency_slot() {
   static std::atomic<long> latency_us{-1};  // -1: environment not read yet
   return latency_us;

@@ -94,6 +94,14 @@ class MemoryTracker {
  private:
   void bump_total_peak() noexcept;
 
+  // memory_order_relaxed throughout is intentional, not an optimisation
+  // oversight: these are pure statistics counters. No thread ever uses a
+  // counter value to decide that *other* memory is safe to read (nothing is
+  // published through them), so the only property needed is atomicity of
+  // each individual update. The peaks tolerate a documented, benign
+  // cross-thread approximation: a concurrent alloc/free pair can make
+  // total_peak_ momentarily over- or under-shoot by the in-flight delta,
+  // which is why ScopedPeakProbe is specified for single-threaded regions.
   std::atomic<std::size_t> current_{0};
   std::atomic<std::size_t> peak_{0};
   std::atomic<std::uint64_t> allocations_{0};

@@ -30,6 +30,9 @@ void default_handler(const char* message) {
 
 FailureHandler g_handler = &default_handler;
 
+// Relaxed ordering is intentional: a monotonic event counter that no
+// thread uses to publish or acquire other memory. Tests only compare
+// values they read after joining the threads that bumped it.
 std::atomic<std::int64_t> g_poison_fills{0};
 
 }  // namespace

@@ -1,11 +1,12 @@
 #include "tensor/parallel.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "analysis/race/race.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace edgetrain {
 
@@ -22,6 +23,12 @@ struct ThreadPool::Impl {
       num_threads = std::thread::hardware_concurrency();
       if (num_threads == 0) num_threads = 4;
     }
+#if defined(EDGETRAIN_GUARDS)
+    // Thread-create edge: everything the constructing thread did so far
+    // happens-before each worker's first action.
+    fork_token = analysis::race::fork();
+    end_tokens.resize(num_threads);
+#endif
     workers.reserve(num_threads);
     for (unsigned i = 0; i < num_threads; ++i) {
       workers.emplace_back([this, i] { worker_loop(i + 1); });
@@ -30,34 +37,53 @@ struct ThreadPool::Impl {
 
   ~Impl() {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       shutting_down = true;
     }
     cv_start.notify_all();
     for (auto& worker : workers) worker.join();
+#if defined(EDGETRAIN_GUARDS)
+    // Thread-join edge: each worker's entire history happens-before
+    // anything the destroying thread does next.
+    for (const auto& token : end_tokens) analysis::race::join(token);
+#endif
   }
 
   void worker_loop(unsigned worker_index) {
     mark_inside_pool_job();  // nested parallel_for from workers runs inline
+#if defined(EDGETRAIN_GUARDS)
+    analysis::race::task_begin(fork_token);
+#endif
     std::uint64_t seen_epoch = 0;
     for (;;) {
+      Job local;
       {
-        std::unique_lock<std::mutex> lock(mutex);
-        cv_start.wait(lock,
-                      [&] { return shutting_down || epoch != seen_epoch; });
-        if (shutting_down) return;
+        MutexLock lock(mutex);
+        while (!shutting_down && epoch == seen_epoch) cv_start.wait(lock);
+        if (shutting_down) {
+#if defined(EDGETRAIN_GUARDS)
+          end_tokens[worker_index - 1] = analysis::race::task_end();
+#endif
+          return;
+        }
         seen_epoch = epoch;
+        // Copied under the lock: `job` is only ever touched with `mutex`
+        // held, so the annotation story needs no escape hatch here.
+        EDGETRAIN_RACE_READ(job, "ThreadPool job");
+        local = job;
       }
-      run_chunk(worker_index);
+      run_chunk(local, worker_index);
+      // The pending counter is the join barrier: release this worker's
+      // clock into it before the decrement the caller's wait acquires.
+      EDGETRAIN_RACE_SYNC_RELEASE(&pending);
       if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         cv_done.notify_all();
       }
     }
   }
 
-  void run_chunk(unsigned chunk_index) {
-    const Job local = job;  // copied; fields set before epoch bump
+  static void run_chunk(const Job& local, unsigned chunk_index) {
     if (chunk_index >= local.num_chunks) return;
     const std::int64_t total = local.end - local.begin;
     const std::int64_t per =
@@ -70,16 +96,18 @@ struct ThreadPool::Impl {
 
   void run(std::int64_t begin, std::int64_t end, const ParallelFn& fn) {
     const unsigned num_chunks = static_cast<unsigned>(workers.size()) + 1;
+    const Job local{begin, end, &fn, num_chunks};
     {
-      std::lock_guard<std::mutex> lock(mutex);
-      job = Job{begin, end, &fn, num_chunks};
+      MutexLock lock(mutex);
+      EDGETRAIN_RACE_WRITE(job, "ThreadPool job");
+      job = local;
       pending.store(static_cast<int>(workers.size()),
                     std::memory_order_release);
       ++epoch;
     }
     cv_start.notify_all();
     try {
-      run_chunk(0);  // caller participates as chunk 0
+      run_chunk(local, 0);  // caller participates as chunk 0
     } catch (...) {
       // The workers still hold a pointer to `fn`, which lives in the
       // caller's frame: wait for them before letting the frame unwind.
@@ -90,21 +118,31 @@ struct ThreadPool::Impl {
   }
 
   void wait_done() {
-    std::unique_lock<std::mutex> lock(mutex);
-    cv_done.wait(lock,
-                 [&] { return pending.load(std::memory_order_acquire) == 0; });
+    {
+      MutexLock lock(mutex);
+      while (pending.load(std::memory_order_acquire) != 0) {
+        cv_done.wait(lock);
+      }
+    }
+    // Join edge: merge every worker's chunk history before the caller
+    // continues past the parallel_for.
+    EDGETRAIN_RACE_SYNC_ACQUIRE(&pending);
   }
 
   static void mark_inside_pool_job();
 
   std::vector<std::thread> workers;
-  std::mutex mutex;
-  std::condition_variable cv_start;
-  std::condition_variable cv_done;
-  std::uint64_t epoch = 0;
+  Mutex mutex;
+  CondVar cv_start;
+  CondVar cv_done;
+  std::uint64_t epoch GUARDED_BY(mutex) = 0;
+  Job job GUARDED_BY(mutex);
   std::atomic<int> pending{0};
-  Job job;
-  bool shutting_down = false;
+  bool shutting_down GUARDED_BY(mutex) = false;
+#if defined(EDGETRAIN_GUARDS)
+  analysis::race::ForkToken fork_token;  ///< written before workers start
+  std::vector<analysis::race::ForkToken> end_tokens GUARDED_BY(mutex);
+#endif
 };
 
 namespace {
@@ -165,23 +203,39 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
 // ---------------------------------------------------------------------------
 
 struct BackgroundWorker::Impl {
-  Impl() : thread([this] { loop(); }) {}
+  Impl() {
+#if defined(EDGETRAIN_GUARDS)
+    fork_token = analysis::race::fork();
+#endif
+    thread = std::thread([this] { loop(); });
+  }
 
   ~Impl() {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       shutting_down = true;
     }
     cv_work.notify_all();
     thread.join();
+#if defined(EDGETRAIN_GUARDS)
+    analysis::race::join(end_token);
+#endif
   }
 
   void loop() {
-    std::unique_lock<std::mutex> lock(mutex);
+#if defined(EDGETRAIN_GUARDS)
+    analysis::race::task_begin(fork_token);
+#endif
+    MutexLock lock(mutex);
     for (;;) {
-      cv_work.wait(lock, [&] { return shutting_down || !queue.empty(); });
+      while (!shutting_down && queue.empty()) cv_work.wait(lock);
       if (queue.empty()) {
-        if (shutting_down) return;  // drained: safe to exit
+        if (shutting_down) {
+#if defined(EDGETRAIN_GUARDS)
+          end_token = analysis::race::task_end();
+#endif
+          return;  // drained: safe to exit
+        }
         continue;
       }
       std::function<void()> job = std::move(queue.front());
@@ -195,12 +249,16 @@ struct BackgroundWorker::Impl {
     }
   }
 
-  std::mutex mutex;
-  std::condition_variable cv_work;
-  std::condition_variable cv_idle;
-  std::deque<std::function<void()>> queue;
-  int in_flight = 0;
-  bool shutting_down = false;
+  Mutex mutex;
+  CondVar cv_work;
+  CondVar cv_idle;
+  std::deque<std::function<void()>> queue GUARDED_BY(mutex);
+  int in_flight GUARDED_BY(mutex) = 0;
+  bool shutting_down GUARDED_BY(mutex) = false;
+#if defined(EDGETRAIN_GUARDS)
+  analysis::race::ForkToken fork_token;  ///< written before the thread starts
+  analysis::race::ForkToken end_token GUARDED_BY(mutex);
+#endif
   std::thread thread;  // last member: starts only once the state above exists
 };
 
@@ -210,20 +268,21 @@ BackgroundWorker::~BackgroundWorker() { delete impl_; }
 
 void BackgroundWorker::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->queue.push_back(std::move(job));
   }
   impl_->cv_work.notify_one();
 }
 
 void BackgroundWorker::drain() {
-  std::unique_lock<std::mutex> lock(impl_->mutex);
-  impl_->cv_idle.wait(
-      lock, [&] { return impl_->queue.empty() && impl_->in_flight == 0; });
+  MutexLock lock(impl_->mutex);
+  while (!impl_->queue.empty() || impl_->in_flight != 0) {
+    impl_->cv_idle.wait(lock);
+  }
 }
 
 std::size_t BackgroundWorker::pending() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->queue.size() + static_cast<std::size_t>(impl_->in_flight);
 }
 

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -392,6 +393,41 @@ TEST(AsyncDiskSlotStore, ExecutorEndsReplayOnThrowingPaths) {
   EXPECT_EQ(
       Tensor::max_abs_diff(reference.input_grad, recovered.input_grad),
       0.0F);
+}
+
+// Regression: the RAM-tier fast path used to mutate ram_ without taking
+// mu_, racing resident_bytes() (which walks ram_ under the lock from
+// whatever thread polls memory). Clean under TSan only with the fix; the
+// lockset race detector flags the unlocked variant deterministically.
+TEST(AsyncDiskSlotStore, RamTierPutGetDropIsSafeAgainstResidentBytesPolling) {
+  std::mt19937 rng(91);
+  AsyncDiskSlotStore store(4, /*first_disk_slot=*/2, test_dir("ram_race"));
+  const Tensor a = Tensor::randn(Shape{8, 8}, rng);
+  const Tensor b = Tensor::randn(Shape{8, 8}, rng);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> polls{0};
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)store.resident_bytes();
+      polls.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  store.put(0, a);
+  while (polls.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();  // make sure the poller really contends
+  }
+  for (int round = 0; round < 2000; ++round) {
+    store.put(0, round % 2 == 0 ? a : b);
+    store.put(1, a);
+    EXPECT_EQ(Tensor::max_abs_diff(store.get(0), round % 2 == 0 ? a : b),
+              0.0F);
+    store.drop(1);
+  }
+  done.store(true, std::memory_order_release);
+  poller.join();
+  EXPECT_GT(polls.load(std::memory_order_relaxed), 0U);
+  EXPECT_GE(store.resident_bytes(), a.bytes());  // slot 0 is still live
 }
 
 }  // namespace

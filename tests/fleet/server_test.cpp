@@ -239,5 +239,26 @@ TEST_F(ServerSnapshotTest, MergersCommitPeriodically) {
   EXPECT_LE(on_disk.deltas, server.aggregate().deltas);
 }
 
+// Regression: stop() used to gate on a plain unsynchronised bool, so two
+// racing stop() calls (an explicit stop vs the destructor, or two owners
+// shutting down) could both observe false and double-join the merge
+// threads (std::terminate). joined_ is now GUARDED_BY(stop_mu_).
+TEST(FleetServer, ConcurrentStopIsIdempotent) {
+  ServerConfig config;
+  config.shards = 4;
+  config.merge_threads = 2;
+  FleetServer server(config);
+  for (std::uint32_t node = 0; node < 50; ++node) {
+    server.ingest(make_delta(node, 1));
+  }
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&server] { server.stop(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+  server.stop();  // and again after everyone: still a no-op
+  EXPECT_EQ(server.aggregate().deltas, 50U);
+}
+
 }  // namespace
 }  // namespace edgetrain::fleet
