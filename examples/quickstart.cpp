@@ -10,11 +10,13 @@
 // write-behind/prefetching AsyncDiskSlotStore (DESIGN.md section 11):
 // gradients stay bit-identical while the spill IO overlaps recompute.
 //
-// With --compress[=lossless|fp16|bf16] checkpoints rest as codec blobs
-// (DESIGN.md section 12): lossless byte-plane RLE keeps gradients
-// bit-identical, the half-precision casts halve checkpoint bytes at
-// gradcheck-tolerance error. Composable with --async-io, where the store
-// stages and spills the *encoded* bytes.
+// With --compress[=lossless|fp16|bf16|bitmap|bitmap-fp16] checkpoints rest
+// as codec blobs (DESIGN.md sections 12 and 16): lossless byte-plane RLE
+// and the sparse bitmap codec keep gradients bit-identical (bitmap packs
+// only the nonzero values behind a nonzero bitmap, so post-ReLU boundaries
+// shrink with their zero fraction), the half-precision casts halve
+// checkpoint bytes at gradcheck-tolerance error. Composable with
+// --async-io, where the store stages and spills the *encoded* bytes.
 //
 // With --calibrate the schedule comes from measured costs instead of unit
 // counts (DESIGN.md section 13): the device is probed once (profile cached
@@ -55,7 +57,8 @@ int main(int argc, char** argv) {
       if (!parsed) {
         std::fprintf(stderr,
                      "quickstart: unknown codec in %s (expected "
-                     "--compress[=none|lossless|fp16|bf16])\n",
+                     "--compress[=none|lossless|fp16|bf16|bitmap|"
+                     "bitmap-fp16])\n",
                      argv[i]);
         return 1;
       }

@@ -227,7 +227,7 @@ class Interpreter {
         slots_[static_cast<std::size_t>(a.slot)] = a.index;
         if (cost_.is_disk_slot(a.slot)) {
           if (cost_.overlapped_io) {
-            model_overlapped_write();
+            model_overlapped_write(cost_.slot_ratio(a.slot));
           } else {
             report_.facts.io_cost += cost_.disk_write_cost;
           }
@@ -313,18 +313,18 @@ class Interpreter {
 
   void retire_writes() {
     while (!outstanding_writes_.empty() &&
-           outstanding_writes_.front() <= clock_ + 1e-12) {
+           outstanding_writes_.front().completion <= clock_ + 1e-12) {
       outstanding_writes_.pop_front();
     }
   }
 
-  void model_overlapped_write() {
+  void model_overlapped_write(double slot_ratio) {
     const double w = cost_.disk_write_cost;
     retire_writes();
     const auto budget =
         static_cast<std::size_t>(std::max(cost_.write_staging_slots, 1));
     if (outstanding_writes_.size() >= budget) {
-      const double wait_until = outstanding_writes_.front();
+      const double wait_until = outstanding_writes_.front().completion;
       if (wait_until > clock_) {
         report_.facts.io_cost += wait_until - clock_;
         clock_ = wait_until;
@@ -333,7 +333,7 @@ class Interpreter {
     }
     const double completion = std::max(clock_, io_free_at_) + w;
     io_free_at_ = completion;
-    outstanding_writes_.push_back(completion);
+    outstanding_writes_.push_back(StagedWrite{completion, slot_ratio});
     report_.facts.io_busy_cost += w;
     note_staged(static_cast<int>(outstanding_writes_.size()));
   }
@@ -369,6 +369,9 @@ class Interpreter {
       disk_slots_in_use_ += delta;
     } else {
       ram_slots_in_use_ += delta;
+      // Per-slot weighted occupancy; the chain-input slot 0 is the data
+      // buffer and never counts (the "- 1" of the homogeneous formula).
+      if (slot != 0) weighted_ram_units_ += delta * cost_.slot_ratio(slot);
     }
   }
 
@@ -395,12 +398,23 @@ class Interpreter {
     // Weighted variant: resting checkpoints (occupied slots minus the
     // input; staged write-behind blobs) rest encoded at the codec ratio,
     // live intermediates stay plaintext. Reduces to peak_memory_units at
-    // ratio 1.
-    f.peak_weighted_units =
-        std::max(f.peak_weighted_units,
-                 static_cast<double>(live_saves_) +
-                     cost_.slot_bytes_ratio *
-                         (std::max(ram_slots_in_use_ - 1, 0) + staged));
+    // ratio 1. With measured per-slot ratios every occupied RAM slot and
+    // every staged blob is charged at its own slot's ratio instead of the
+    // homogeneous fill (the empty-vector path stays bit-identical).
+    if (cost_.slot_bytes_ratios.empty()) {
+      f.peak_weighted_units =
+          std::max(f.peak_weighted_units,
+                   static_cast<double>(live_saves_) +
+                       cost_.slot_bytes_ratio *
+                           (std::max(ram_slots_in_use_ - 1, 0) + staged));
+    } else {
+      double resting = weighted_ram_units_;
+      for (const StagedWrite& write : outstanding_writes_) {
+        resting += write.ratio;
+      }
+      f.peak_weighted_units = std::max(
+          f.peak_weighted_units, static_cast<double>(live_saves_) + resting);
+    }
   }
 
   void finish() {
@@ -462,11 +476,18 @@ class Interpreter {
   int slots_in_use_ = 0;
   int ram_slots_in_use_ = 0;
   int disk_slots_in_use_ = 0;
+  /// Sum of CostModel::slot_ratio over occupied RAM slots excluding the
+  /// chain-input slot 0 (per-slot weighted peak accounting).
+  double weighted_ram_units_ = 0.0;
 
   // Overlapped-IO pipeline state (unused under the serial model).
+  struct StagedWrite {
+    double completion;  ///< clock time the background flush finishes
+    double ratio;       ///< resting ratio of the blob's target slot
+  };
   double clock_ = 0.0;       ///< compute timeline position
   double io_free_at_ = 0.0;  ///< when the background worker frees up
-  std::deque<double> outstanding_writes_;  ///< completion times, FIFO
+  std::deque<StagedWrite> outstanding_writes_;  ///< FIFO, completion order
 
   Report report_;
 };

@@ -107,6 +107,14 @@ struct CostModel {
   /// ratio while live intermediates stay at 1 -- exactly the planner's
   /// peak(s) = fixed + (1 + s * ratio) * act model, in activation units.
   double slot_bytes_ratio = 1.0;
+  /// Measured per-slot resting ratios, keyed by slot id (e.g. from
+  /// SlotStore::measured_slot_ratio after a pass). Slots past the vector's
+  /// end fall back to slot_bytes_ratio; empty keeps the homogeneous model
+  /// bit-identical. With per-slot ratios the weighted peak charges each
+  /// occupied RAM slot at its own ratio (chain-input slot 0 excluded, as
+  /// in peak_memory_units), which is the planner's per-slot prefix-sum
+  /// peak model and the bound schedule_lint re-checks after a re-plan.
+  std::vector<double> slot_bytes_ratios;
 
   [[nodiscard]] double step_cost(std::int32_t step) const {
     if (step_costs.empty()) return 1.0;
@@ -114,6 +122,14 @@ struct CostModel {
   }
   [[nodiscard]] bool is_disk_slot(std::int32_t slot) const noexcept {
     return slot >= first_disk_slot;
+  }
+  /// Resting ratio charged for @p slot: the measured per-slot entry when
+  /// one exists, slot_bytes_ratio otherwise.
+  [[nodiscard]] double slot_ratio(std::int32_t slot) const noexcept {
+    return slot >= 0 &&
+                   static_cast<std::size_t>(slot) < slot_bytes_ratios.size()
+               ? slot_bytes_ratios[static_cast<std::size_t>(slot)]
+               : slot_bytes_ratio;
   }
 };
 

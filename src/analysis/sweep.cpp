@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <sstream>
 
 #include "core/disk_revolve.hpp"
@@ -255,6 +256,116 @@ std::int64_t sweep_disk(const SweepConfig& config, const CaseVisitor& visit) {
   return count;
 }
 
+/// Deterministic "measured" bitmap ratios: the achieved compression of
+/// post-ReLU activations at 45..95% sparsity, cycling by checkpoint
+/// ordinal. Heterogeneous on purpose -- the per-slot accounting must not
+/// degenerate to a mean.
+double pseudo_measured_ratio(int k) {
+  constexpr double kRatios[] = {0.13, 0.31, 0.55, 0.82, 1.0, 0.22};
+  return kRatios[static_cast<std::size_t>(k) % std::size(kRatios)];
+}
+
+/// Re-planned schedules: the slot count is re-solved from measured
+/// per-slot ratios (the AdaptiveReplanner path) and the emitted schedule
+/// must obey the per-slot weighted prefix-sum bound -- the gate the issue
+/// adds for dynamic-ratio codecs. Covers single-level Revolve plus the
+/// serial and overlapped two-level families.
+std::int64_t sweep_replan(const SweepConfig& config,
+                          const CaseVisitor& visit) {
+  std::int64_t count = 0;
+  for (const int l : config.replan_l) {
+    if (l < 2) continue;
+    std::vector<double> measured(static_cast<std::size_t>(l - 1));
+    for (int k = 0; k < l - 1; ++k) {
+      measured[static_cast<std::size_t>(k)] = pseudo_measured_ratio(k);
+    }
+    for (const int target : config.replan_target_slots) {
+      if (target > l - 1) continue;
+      // Capacity sized (act = 1, fixed = 0) to exactly afford the first
+      // `target` measured slots: the re-solve must pick s = target.
+      double prefix = 0.0;
+      for (int k = 0; k < target; ++k) {
+        prefix += measured[static_cast<std::size_t>(k)];
+      }
+      const double capacity = 1.0 + prefix + 1e-9;
+      const int s = core::revolve::max_free_slots_for_bytes(
+          capacity, 0.0, 1.0, measured, 1.0);
+      SweepCase c;
+      c.family = "replan-revolve";
+      c.name = case_name("replan-revolve",
+                         {{"l", static_cast<double>(l)},
+                          {"s", static_cast<double>(s)}});
+      c.cost.slot_bytes_ratios.assign(static_cast<std::size_t>(s) + 1, 1.0);
+      double bound = 1.0;
+      for (int slot = 1; slot <= s; ++slot) {
+        const double ratio = measured[static_cast<std::size_t>(slot - 1)];
+        c.cost.slot_bytes_ratios[static_cast<std::size_t>(slot)] = ratio;
+        bound += ratio;
+      }
+      c.bounds.max_memory_units = s + 1;
+      c.bounds.max_ram_slots = s + 1;
+      c.bounds.max_weighted_units = bound;
+      c.schedule = core::revolve::make_schedule(l, s);
+      visit(c);
+      ++count;
+    }
+
+    for (const int ram : config.replan_ram_slots) {
+      for (const bool overlap : {false, true}) {
+        core::disk::DiskRevolveOptions options;
+        options.ram_slots = ram;
+        options.write_cost = 2.0;
+        options.read_cost = 2.0;
+        options.overlap_io = overlap;
+        // Measured spill ratios of the disk slots a previous pass filled:
+        // the DP prices IO at their mean; the interpreter still charges
+        // each slot its own ratio.
+        options.spill_slot_ratios = {0.2, 0.5, 0.35};
+        const core::disk::DiskRevolveSolver solver(l, options);
+        const int rs = solver.options().ram_slots;
+        const double disk_ratio = 0.5;  // >= every spill_slot_ratios entry
+        SweepCase c;
+        c.family = overlap ? "replan-disk-overlap" : "replan-disk";
+        c.name = case_name(c.family.c_str(),
+                           {{"l", static_cast<double>(l)},
+                            {"ram", static_cast<double>(rs)}});
+        c.cost.first_disk_slot = rs + 1;
+        c.cost.disk_write_cost = options.write_cost;
+        c.cost.disk_read_cost = options.read_cost;
+        c.schedule = solver.make_schedule();
+        c.cost.slot_bytes_ratios.assign(
+            static_cast<std::size_t>(c.schedule.num_slots()), disk_ratio);
+        c.cost.slot_bytes_ratios[0] = 1.0;
+        double ram_sum = 0.0;
+        for (int slot = 1; slot <= rs; ++slot) {
+          const double ratio = pseudo_measured_ratio(slot - 1);
+          c.cost.slot_bytes_ratios[static_cast<std::size_t>(slot)] = ratio;
+          ram_sum += ratio;
+        }
+        c.bounds.max_ram_slots = rs + 1;
+        if (overlap) {
+          c.cost.overlapped_io = true;
+          c.cost.write_staging_slots = 1;
+          c.cost.read_staging_slots = 1;
+          c.bounds.max_memory_units =
+              rs + 1 + c.cost.write_staging_slots;
+          // Staged write-behind blobs are charged at their target disk
+          // slot's ratio, all equal to disk_ratio here.
+          c.bounds.max_weighted_units =
+              1.0 + ram_sum +
+              disk_ratio * static_cast<double>(c.cost.write_staging_slots);
+        } else {
+          c.bounds.max_memory_units = rs + 1;
+          c.bounds.max_weighted_units = 1.0 + ram_sum;
+        }
+        visit(c);
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
 }  // namespace
 
 SweepConfig SweepConfig::quick() {
@@ -272,6 +383,9 @@ SweepConfig SweepConfig::quick() {
   config.disk_l = {1, 2, 5, 9, 16};
   config.disk_ram_slots = {0, 2};
   config.disk_io_costs = {2.0};
+  config.replan_l = {6, 12};
+  config.replan_target_slots = {1, 3};
+  config.replan_ram_slots = {2};
   return config;
 }
 
@@ -281,6 +395,7 @@ std::int64_t run_sweep(const SweepConfig& config, const CaseVisitor& visit) {
   count += sweep_sequential(config, visit);
   count += sweep_hetero(config, visit);
   count += sweep_disk(config, visit);
+  count += sweep_replan(config, visit);
   return count;
 }
 

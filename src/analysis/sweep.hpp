@@ -29,7 +29,9 @@ namespace edgetrain::analysis {
 
 /// One schedule plus the bounds its scheduler promised.
 struct SweepCase {
-  std::string family;  ///< "revolve" | "sequential" | "hetero" | "disk"
+  /// "revolve" | "sequential" | "hetero" | "disk" | "disk-overlap" |
+  /// "replan-revolve" | "replan-disk" | "replan-disk-overlap"
+  std::string family;
   std::string name;    ///< human-readable parameter string
   core::Schedule schedule;
   CostModel cost;
@@ -64,6 +66,15 @@ struct SweepConfig {
   std::vector<int> disk_l = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96};
   std::vector<int> disk_ram_slots = {0, 1, 2, 4};
   std::vector<double> disk_io_costs = {0.5, 2.0, 8.0};
+
+  // Re-planned per-slot cases: schedules re-solved from heterogeneous
+  // MEASURED per-slot ratios (the dynamic-ratio adaptive path), verified
+  // against the per-slot weighted memory bound across the revolve, disk,
+  // and disk-overlap families. target_slots are the measured-prefix
+  // lengths the synthetic capacity is sized to exactly afford.
+  std::vector<int> replan_l = {6, 12, 24, 48};
+  std::vector<int> replan_target_slots = {1, 2, 4, 8};
+  std::vector<int> replan_ram_slots = {1, 3};
 
   [[nodiscard]] static SweepConfig full() { return SweepConfig{}; }
   [[nodiscard]] static SweepConfig quick();

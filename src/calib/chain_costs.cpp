@@ -208,6 +208,27 @@ core::ChainSpec measured_chain_spec(std::string name, const ChainCosts& costs,
   return spec;
 }
 
+std::vector<double> measured_slot_ratios(const core::SlotStore& store,
+                                         std::int32_t first_slot,
+                                         std::int32_t count) {
+  std::vector<double> ratios;
+  ratios.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  for (std::int32_t slot = first_slot; slot < first_slot + count; ++slot) {
+    ratios.push_back(std::clamp(store.measured_slot_ratio(slot), 1e-6, 1.0));
+  }
+  return ratios;
+}
+
+core::ChainSpec measured_chain_spec(std::string name, const ChainCosts& costs,
+                                    double fixed_bytes,
+                                    std::vector<double> checkpoint_slot_ratios,
+                                    double fallback_ratio) {
+  core::ChainSpec spec = measured_chain_spec(std::move(name), costs,
+                                             fixed_bytes, fallback_ratio);
+  spec.checkpoint_slot_ratios = std::move(checkpoint_slot_ratios);
+  return spec;
+}
+
 core::disk::DiskRevolveOptions priced_disk_options(
     const ChainCosts& costs, const DeviceModel& model,
     core::disk::DiskRevolveOptions base) {
@@ -226,6 +247,14 @@ core::disk::DiskRevolveOptions priced_disk_options(
   return base;
 }
 
+core::disk::DiskRevolveOptions priced_disk_options(
+    const ChainCosts& costs, const DeviceModel& model,
+    core::disk::DiskRevolveOptions base,
+    std::vector<double> spill_slot_ratios) {
+  base.spill_slot_ratios = std::move(spill_slot_ratios);
+  return priced_disk_options(costs, model, std::move(base));
+}
+
 analysis::CostModel cost_model(const ChainCosts& costs,
                                const DeviceModel& model,
                                std::int32_t first_disk_slot) {
@@ -237,6 +266,15 @@ analysis::CostModel cost_model(const ChainCosts& costs,
                            : costs.output_bytes;
   cm.disk_write_cost = model.disk_write_us(bytes);
   cm.disk_read_cost = model.disk_read_us(bytes);
+  return cm;
+}
+
+analysis::CostModel cost_model(const ChainCosts& costs,
+                               const DeviceModel& model,
+                               std::int32_t first_disk_slot,
+                               std::vector<double> slot_bytes_ratios) {
+  analysis::CostModel cm = cost_model(costs, model, first_disk_slot);
+  cm.slot_bytes_ratios = std::move(slot_bytes_ratios);
   return cm;
 }
 

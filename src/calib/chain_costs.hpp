@@ -31,6 +31,7 @@
 #include "calib/device_model.hpp"
 #include "core/disk_revolve.hpp"
 #include "core/planner.hpp"
+#include "core/slot_store.hpp"
 #include "models/resnet.hpp"
 #include "nn/chain.hpp"
 
@@ -107,6 +108,27 @@ struct MeasureOptions {
     std::string name, const ChainCosts& costs, double fixed_bytes,
     double checkpoint_bytes_ratio = 1.0);
 
+/// Samples SlotStore::measured_slot_ratio for slots [first_slot,
+/// first_slot + count) in slot order -- the per-slot ratio vector the
+/// planners, interpreter, and DiskRevolveOptions accept. Ratios are
+/// clamped into (0, 1] (a blob a data-dependent codec could not shrink
+/// reports slightly above 1 because of its mode byte; the planners price
+/// it as plaintext).
+[[nodiscard]] std::vector<double> measured_slot_ratios(
+    const core::SlotStore& store, std::int32_t first_slot,
+    std::int32_t count);
+
+/// measured_chain_spec with measured per-slot checkpoint ratios (e.g. the
+/// measured_slot_ratios of the previous pass's store, slots 1..s): the
+/// planner then prices checkpoint slot k at entry k's MEASURED ratio
+/// instead of the single static checkpoint_bytes_ratio, which is what lets
+/// a data-dependent codec (SlotCodec::Bitmap) buy more slots than its
+/// worst-case planning ratio promises. @p fallback_ratio prices slots past
+/// the vector's end.
+[[nodiscard]] core::ChainSpec measured_chain_spec(
+    std::string name, const ChainCosts& costs, double fixed_bytes,
+    std::vector<double> checkpoint_slot_ratios, double fallback_ratio);
+
 /// Disk-revolve options whose write/read weights are the measured spill
 /// time of this chain's mean boundary (scaled by @p base.spill_bytes_ratio)
 /// divided by the measured mean forward step -- the DP's "forward-step
@@ -115,6 +137,16 @@ struct MeasureOptions {
     const ChainCosts& costs, const DeviceModel& model,
     core::disk::DiskRevolveOptions base);
 
+/// priced_disk_options additionally threading measured per-spill ratios
+/// (e.g. measured_slot_ratios of the disk slots a previous pass filled)
+/// into base.spill_slot_ratios: the DP then prices IO at the measured mean
+/// achieved ratio instead of the static spill_bytes_ratio -- the feeder
+/// that fixes the static-ratio blind spot for data-dependent codecs.
+[[nodiscard]] core::disk::DiskRevolveOptions priced_disk_options(
+    const ChainCosts& costs, const DeviceModel& model,
+    core::disk::DiskRevolveOptions base,
+    std::vector<double> spill_slot_ratios);
+
 /// Interpreter cost model in calibrated microseconds: per-step forward
 /// weights from the measurement, disk IO weights from the measured spill
 /// path. total_cost() of a clean interpretation is then the predicted
@@ -122,5 +154,13 @@ struct MeasureOptions {
 [[nodiscard]] analysis::CostModel cost_model(
     const ChainCosts& costs, const DeviceModel& model,
     std::int32_t first_disk_slot = std::numeric_limits<std::int32_t>::max());
+
+/// cost_model with measured per-slot resting ratios (keyed by slot id)
+/// threaded into the interpreter's per-slot weighted peak accounting, so
+/// schedule_lint re-checks a re-planned schedule against the ratios it was
+/// actually solved with.
+[[nodiscard]] analysis::CostModel cost_model(
+    const ChainCosts& costs, const DeviceModel& model,
+    std::int32_t first_disk_slot, std::vector<double> slot_bytes_ratios);
 
 }  // namespace edgetrain::calib

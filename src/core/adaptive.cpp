@@ -1,0 +1,121 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/revolve.hpp"
+
+namespace edgetrain::core {
+
+AdaptiveReplanner::AdaptiveReplanner(int num_steps,
+                                     const AdaptiveReplannerOptions& options)
+    : num_steps_(num_steps), options_(options) {
+  if (num_steps < 1) {
+    throw std::invalid_argument("AdaptiveReplanner: num_steps < 1");
+  }
+  if (options_.fallback_ratio <= 0.0 || options_.fallback_ratio > 1.0) {
+    throw std::invalid_argument(
+        "AdaptiveReplanner: fallback_ratio must be in (0, 1]");
+  }
+  if (!(options_.drift_threshold > 0.0)) {
+    throw std::invalid_argument(
+        "AdaptiveReplanner: drift_threshold must be > 0");
+  }
+  const int s = revolve::max_free_slots_for_bytes(
+      options_.capacity_bytes, options_.fixed_bytes,
+      options_.activation_bytes_per_step, options_.fallback_ratio);
+  if (s < 0) {
+    throw std::invalid_argument(
+        "AdaptiveReplanner: capacity cannot fit even the slot-less plan");
+  }
+  rebuild(std::min(s, num_steps_ - 1));
+}
+
+double AdaptiveReplanner::planned_ratio(std::int32_t slot) const {
+  const auto k = static_cast<std::size_t>(slot - 1);
+  return k < planned_ratios_.size() ? planned_ratios_[k]
+                                    : options_.fallback_ratio;
+}
+
+void AdaptiveReplanner::note_store(const SlotStore& store,
+                                   std::int32_t slot) {
+  if (slot <= 0) return;  // slot 0 is the chain input, never re-priced
+  stored_[static_cast<std::size_t>(slot)] = true;
+  if (drift_latched_) return;
+  // measured_slot_ratio(slot) reflects every put that already returned, so
+  // by the time a later Store fires, all earlier fills of this pass are
+  // visible -- the latch arms mid-pass, one action late at worst.
+  for (std::int32_t watched = 1;
+       watched < static_cast<std::int32_t>(stored_.size()); ++watched) {
+    if (!stored_[static_cast<std::size_t>(watched)]) continue;
+    const double planned = planned_ratio(watched);
+    const double measured = store.measured_slot_ratio(watched);
+    if (std::abs(measured - planned) / planned > options_.drift_threshold) {
+      drift_latched_ = true;
+      return;
+    }
+  }
+}
+
+ExecutorHooks AdaptiveReplanner::hooks(const SlotStore& store) {
+  ExecutorHooks hooks;
+  hooks.on_action = [this, &store](std::int64_t, const Action& action) {
+    if (action.type == ActionType::Store) note_store(store, action.slot);
+  };
+  return hooks;
+}
+
+bool AdaptiveReplanner::finish_pass(const SlotStore& store) {
+  // The last Store of a pass has no later hook invocation to observe it;
+  // run one final latch sweep before deciding.
+  for (std::int32_t slot = 1;
+       slot < static_cast<std::int32_t>(stored_.size()) && !drift_latched_;
+       ++slot) {
+    if (stored_[static_cast<std::size_t>(slot)]) note_store(store, slot);
+  }
+  const bool armed = drift_latched_;
+  drift_latched_ = false;
+  std::fill(stored_.begin(), stored_.end(), false);
+  if (!armed) return false;
+
+  // Measured ratios in checkpoint order (entry k = slot k + 1); slots the
+  // pass never filled keep their planned price.
+  std::vector<double> measured(static_cast<std::size_t>(free_slots_),
+                               options_.fallback_ratio);
+  for (int k = 0; k < free_slots_; ++k) {
+    const auto slot = static_cast<std::int32_t>(k + 1);
+    measured[static_cast<std::size_t>(k)] =
+        std::clamp(store.measured_slot_ratio(slot), 1e-6, 1.0);
+  }
+  // Slots beyond the measured prefix are priced at the WORST measured
+  // ratio: conservative among what this chain actually produced, yet able
+  // to buy more slots than the codec's static fallback -- the whole point
+  // of re-planning. If a new slot then measures worse, the next pass
+  // latches drift again and the plan shrinks back.
+  const double fill =
+      measured.empty()
+          ? options_.fallback_ratio
+          : *std::max_element(measured.begin(), measured.end());
+  const int s = revolve::max_free_slots_for_bytes(
+      options_.capacity_bytes, options_.fixed_bytes,
+      options_.activation_bytes_per_step, measured, fill);
+  if (s < 0) return false;  // nothing fits; keep the plan we have
+  const int clamped = std::min(s, num_steps_ - 1);
+  planned_ratios_ = std::move(measured);
+  planned_ratios_.resize(static_cast<std::size_t>(clamped), fill);
+  if (clamped == free_slots_) return false;  // same shape, just re-priced
+  rebuild(clamped);
+  ++replans_;
+  return true;
+}
+
+void AdaptiveReplanner::rebuild(int free_slots) {
+  free_slots_ = free_slots;
+  schedule_ = revolve::make_schedule(num_steps_, free_slots_);
+  planned_ratios_.resize(static_cast<std::size_t>(free_slots_),
+                         options_.fallback_ratio);
+  stored_.assign(static_cast<std::size_t>(schedule_.num_slots()), false);
+}
+
+}  // namespace edgetrain::core

@@ -34,7 +34,8 @@ AsyncDiskSlotStore::AsyncDiskSlotStore(int num_slots, int first_disk_slot,
       directory_(std::move(directory)),
       options_(std::move(options)),
       ram_(static_cast<std::size_t>(num_slots)),
-      disk_(static_cast<std::size_t>(num_slots)) {
+      disk_(static_cast<std::size_t>(num_slots)),
+      slot_ratios_(static_cast<std::size_t>(num_slots), 1.0) {
   if (options_.write_staging_slots < 1) {
     throw std::invalid_argument(
         "AsyncDiskSlotStore: write_staging_slots must be >= 1 (got " +
@@ -97,6 +98,11 @@ void AsyncDiskSlotStore::put(std::int32_t slot, const Tensor& value) {
   invalidate_locked(state);
   state.state = State::WritePending;
   if (blob) {
+    if (value.bytes() > 0) {
+      slot_ratios_[static_cast<std::size_t>(slot)] =
+          static_cast<double>(blob->size()) /
+          static_cast<double>(value.bytes());
+    }
     state.staged_blob = std::move(blob);
   } else {
     state.staged = value;  // shares the caller's storage; no copy
@@ -256,6 +262,11 @@ std::size_t AsyncDiskSlotStore::resident_bytes() const {
 std::size_t AsyncDiskSlotStore::external_bytes() const {
   MutexLock lock(mu_);
   return disk_bytes_;
+}
+
+double AsyncDiskSlotStore::measured_slot_ratio(std::int32_t slot) const {
+  MutexLock lock(mu_);
+  return slot_ratios_.at(static_cast<std::size_t>(slot));
 }
 
 std::int64_t AsyncDiskSlotStore::disk_writes() const {

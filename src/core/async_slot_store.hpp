@@ -82,6 +82,11 @@ class AsyncDiskSlotStore final : public SlotStore {
   void drop(std::int32_t slot) override;
   [[nodiscard]] std::size_t resident_bytes() const override;
   [[nodiscard]] std::size_t external_bytes() const override;
+  /// Encoded/plaintext ratio of the last put into @p slot (1.0 for RAM
+  /// slots, codec-less stores, and slots never spilled). Recorded at
+  /// encode time on the training thread, so it is current the moment
+  /// put() returns even while the write is still in flight.
+  [[nodiscard]] double measured_slot_ratio(std::int32_t slot) const override;
 
   void begin_replay(const Schedule& schedule) override;
   void on_replay_position(std::int64_t next_action) override;
@@ -167,6 +172,8 @@ class AsyncDiskSlotStore final : public SlotStore {
   /// RAM tier (slots below first_disk_slot). Guarded: see discipline note.
   std::vector<Tensor> ram_ GUARDED_BY(mu_);
   std::vector<DiskSlot> disk_ GUARDED_BY(mu_);
+  /// Last measured encoded/plaintext ratio per slot (1.0 until spilled).
+  std::vector<double> slot_ratios_ GUARDED_BY(mu_);
   int staged_writes_ GUARDED_BY(mu_) = 0;  ///< queued/in flight (<= budget)
   int staged_reads_ GUARDED_BY(mu_) = 0;   ///< prefetch buffers (<= budget)
   std::size_t disk_bytes_ GUARDED_BY(mu_) = 0;

@@ -20,6 +20,19 @@ DiskRevolveSolver::DiskRevolveSolver(int num_steps,
     throw std::invalid_argument(
         "DiskRevolve: spill_bytes_ratio must be in (0, 1]");
   }
+  double spill_ratio = options_.spill_bytes_ratio;
+  if (!options_.spill_slot_ratios.empty()) {
+    double sum = 0.0;
+    for (const double ratio : options_.spill_slot_ratios) {
+      if (ratio <= 0.0 || ratio > 1.0) {
+        throw std::invalid_argument(
+            "DiskRevolve: spill_slot_ratios must be in (0, 1]");
+      }
+      sum += ratio;
+    }
+    spill_ratio =
+        sum / static_cast<double>(options_.spill_slot_ratios.size());
+  }
   options_.ram_slots = std::min(options_.ram_slots, std::max(num_steps - 1, 0));
 
   const std::size_t size = static_cast<std::size_t>(num_steps + 1) *
@@ -32,9 +45,8 @@ DiskRevolveSolver::DiskRevolveSolver(int num_steps,
 
   // IO time is proportional to bytes moved, so the codec ratio scales the
   // calibrated per-checkpoint costs directly.
-  const double read[2] = {0.0, options_.read_cost * options_.spill_bytes_ratio};
-  const double write[2] = {0.0,
-                           options_.write_cost * options_.spill_bytes_ratio};
+  const double read[2] = {0.0, options_.read_cost * spill_ratio};
+  const double write[2] = {0.0, options_.write_cost * spill_ratio};
   // Overlap pricing (async store): a restore issued behind @p window forward
   // units of guaranteed compute only bills the part the pipeline cannot
   // hide. Serial pricing is the window = 0 special case.

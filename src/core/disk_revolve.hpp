@@ -37,6 +37,15 @@ struct DiskRevolveOptions {
   /// the IO penalty, shifting the optimal splits toward more disk
   /// checkpoints at the same write_cost calibration.
   double spill_bytes_ratio = 1.0;
+  /// Measured per-checkpoint spill ratios (each in (0, 1]), e.g. the
+  /// SlotStore::measured_slot_ratio values of the disk slots a previous
+  /// pass filled. The DP's state space does not track which disk ordinal
+  /// a checkpoint lands in, so when this is non-empty every spill is
+  /// priced at the vector's MEAN ratio instead of spill_bytes_ratio -- an
+  /// aggregate that keeps the solve exact in expectation; the per-slot
+  /// byte bound of the resulting schedule is enforced exactly downstream
+  /// by the analysis:: interpreter's per-slot WeightedMemoryBound.
+  std::vector<double> spill_slot_ratios;
   bool allow_disk = true;   ///< disable to recover single-level Revolve
   /// Price disk IO as overlapped with recompute instead of serial, matching
   /// AsyncDiskSlotStore: a write is hidden under the advance it trails

@@ -38,6 +38,14 @@ struct ChainSpec {
   /// planning_bytes_ratio(codec) or a measured_ratio() for lossless. The
   /// live frontier activation is always charged at full size.
   double checkpoint_bytes_ratio = 1.0;
+  /// Measured per-slot ratios, each in (0, 1]: entry k prices the k-th
+  /// checkpoint slot a plan occupies (the order the executor's store slots
+  /// fill, so SlotStore::measured_slot_ratio feeds this directly --
+  /// core/adaptive.hpp does). Slots past the vector's end fall back to
+  /// checkpoint_bytes_ratio. Empty (the default) keeps the homogeneous
+  /// model above bit for bit; non-empty switches every peak formula to the
+  /// prefix-sum form fixed + (1 + sum_k ratio[k]) * act_bytes.
+  std::vector<double> checkpoint_slot_ratios;
   /// Measured per-step forward costs (any positive unit; calib:: supplies
   /// microseconds), size == depth. Empty keeps the paper's unit-cost model
   /// (binomial Revolve); non-empty switches the planner to the
@@ -111,6 +119,12 @@ class MemoryPlanner {
   [[nodiscard]] static int max_depth_without_checkpointing(
       double capacity_bytes, double fixed_bytes,
       double activation_bytes_per_step);
+
+  /// Sum of the first @p free_slots per-slot ratios (scalar-filled past
+  /// the measured vector): the "s * ratio" term of the peak formula,
+  /// generalised. Equals free_slots * checkpoint_bytes_ratio when no
+  /// per-slot measurements are set.
+  [[nodiscard]] double weighted_slot_units(int free_slots) const noexcept;
 
  private:
   [[nodiscard]] PlanPoint point_for_slots(int free_slots) const;

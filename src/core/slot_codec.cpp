@@ -3,7 +3,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "persist/crc32.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/sparse.hpp"
 #include "tensor/workspace.hpp"
 
 namespace edgetrain::core {
@@ -115,6 +117,10 @@ void store_u32(std::uint8_t* dst, std::uint32_t value) {
   std::memcpy(dst, &value, sizeof(value));
 }
 
+void store_u64(std::uint8_t* dst, std::uint64_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
 [[nodiscard]] std::uint32_t load_u32(const std::uint8_t* src) {
   std::uint32_t value = 0;
   std::memcpy(&value, src, sizeof(value));
@@ -209,6 +215,187 @@ Tensor decode_lossless(const std::string& who, const Shape& shape,
   return out;
 }
 
+// --------------------------------------------------------------------------
+// Bitmap blob layout (shape travels out of band with the store):
+//
+//   byte 0            mode: 0 = dense fallback, 1 = sparse bitmap
+//   mode 0 (Bitmap)   the 4n plaintext fp32 payload bytes
+//   mode 0 (Fp16)     the 2n binary16 payload bytes
+//   mode 1            u32 crc (LE), u32 nnz (LE), ceil(n / 64) u64 bitmap
+//                     words (LE), then nnz packed values (fp32 or fp16)
+//
+// The sparse mode's crc is a CRC-32 (persist/crc32.hpp) seeded with the
+// element count n (which travels out of band with the store) and taken
+// over the mode byte and everything after the crc field, so every
+// truncation and every single-bit flip of a sparse blob -- mode byte, crc
+// itself, nnz, bitmap, packed values -- fails either a structural check or
+// the checksum; there is no silent corruption. Folding n in also rejects
+// decoding under the wrong shape even when the structural lengths happen
+// to line up (e.g. n-1 elements sharing the same bitmap word count with a
+// zero final element). Belt-and-braces structural checks (nnz vs the
+// bitmap's popcount, zero tail bits, exact size) run before the payload is
+// touched, so a hostile blob cannot drive an out-of-bounds gather. The
+// dense fallback keeps the Lossless raw-mode contract instead (pure
+// plaintext behind a mode byte, blob <= payload + 1): a value-byte flip
+// there is indistinguishable from the same flip on an uncompressed slot.
+// --------------------------------------------------------------------------
+
+constexpr std::uint8_t kBitmapModeDense = 0;
+constexpr std::uint8_t kBitmapModeSparse = 1;
+/// mode byte + u32 crc + u32 nnz.
+constexpr std::size_t kBitmapHeaderBytes = 1 + 2 * sizeof(std::uint32_t);
+constexpr std::size_t kBitmapCrcOffset = 1;
+constexpr std::size_t kBitmapNnzOffset = 1 + sizeof(std::uint32_t);
+
+[[nodiscard]] std::uint32_t bitmap_blob_crc(const std::uint8_t* data,
+                                            std::size_t size,
+                                            std::int64_t numel) {
+  std::uint32_t crc = persist::crc32_init();
+  std::uint8_t n_le[sizeof(std::uint64_t)];
+  store_u64(n_le, static_cast<std::uint64_t>(numel));
+  crc = persist::crc32_update(crc, n_le, sizeof(n_le));
+  crc = persist::crc32_update(crc, data, 1);  // mode byte
+  crc = persist::crc32_update(crc, data + kBitmapNnzOffset,
+                              size - kBitmapNnzOffset);
+  return persist::crc32_final(crc);
+}
+
+std::vector<std::uint8_t> encode_bitmap(const Tensor& value, bool halve,
+                                        convert::Threading threading) {
+  const std::int64_t n = value.numel();
+  const std::size_t value_size = halve ? sizeof(std::uint16_t) : sizeof(float);
+  const std::size_t dense_total = 1 + static_cast<std::size_t>(n) * value_size;
+
+  WorkspaceScope scope(Workspace::tls());
+  const std::int64_t n_words = sparse::bitmap_words(n);
+  auto* bitmap = reinterpret_cast<std::uint64_t*>(
+      scratch_bytes(static_cast<std::size_t>(n_words) * sizeof(std::uint64_t)));
+  const std::int64_t nnz = sparse::nonzero_bitmap(value.data(), n, bitmap,
+                                                  threading);
+
+  const std::size_t sparse_total =
+      kBitmapHeaderBytes +
+      static_cast<std::size_t>(n_words) * sizeof(std::uint64_t) +
+      static_cast<std::size_t>(nnz) * value_size;
+  if (sparse_total >= dense_total) {
+    // Too dense for the bitmap to pay: store the dense form behind the
+    // mode byte (raw fp32, or the straight fp16 cast).
+    std::vector<std::uint8_t> blob(dense_total);
+    blob[0] = kBitmapModeDense;
+    if (halve) {
+      auto* half = reinterpret_cast<std::uint16_t*>(
+          scratch_bytes(static_cast<std::size_t>(n) * sizeof(std::uint16_t)));
+      convert::fp32_to_fp16(value.data(), half, n, threading);
+      std::memcpy(blob.data() + 1, half, blob.size() - 1);
+    } else {
+      std::memcpy(blob.data() + 1, value.data(), blob.size() - 1);
+    }
+    return blob;
+  }
+
+  // Compact through aligned scratch: the blob's value area sits at an odd
+  // offset, so the kernels never store through it directly.
+  auto* packed = reinterpret_cast<float*>(
+      scratch_bytes(static_cast<std::size_t>(nnz) * sizeof(float)));
+  sparse::compact_nonzeros(value.data(), bitmap, n, packed, threading);
+
+  std::vector<std::uint8_t> blob(sparse_total);
+  blob[0] = kBitmapModeSparse;
+  store_u32(blob.data() + kBitmapNnzOffset, static_cast<std::uint32_t>(nnz));
+  std::memcpy(blob.data() + kBitmapHeaderBytes, bitmap,
+              static_cast<std::size_t>(n_words) * sizeof(std::uint64_t));
+  std::uint8_t* values =
+      blob.data() + kBitmapHeaderBytes +
+      static_cast<std::size_t>(n_words) * sizeof(std::uint64_t);
+  if (halve) {
+    auto* half = reinterpret_cast<std::uint16_t*>(
+        scratch_bytes(static_cast<std::size_t>(nnz) * sizeof(std::uint16_t)));
+    convert::fp32_to_fp16(packed, half, nnz, threading);
+    std::memcpy(values, half, static_cast<std::size_t>(nnz) * value_size);
+  } else {
+    std::memcpy(values, packed, static_cast<std::size_t>(nnz) * value_size);
+  }
+  store_u32(blob.data() + kBitmapCrcOffset,
+            bitmap_blob_crc(blob.data(), blob.size(), n));
+  return blob;
+}
+
+Tensor decode_bitmap(const std::string& who, const Shape& shape,
+                     const std::uint8_t* data, std::size_t size, bool halve,
+                     convert::Threading threading) {
+  const std::int64_t n = shape.numel();
+  const std::size_t value_size = halve ? sizeof(std::uint16_t) : sizeof(float);
+  if (size < 1) corrupt(who, "empty blob");
+
+  WorkspaceScope scope(Workspace::tls());
+  if (data[0] == kBitmapModeDense) {
+    if (size != 1 + static_cast<std::size_t>(n) * value_size) {
+      corrupt(who, "dense mode size mismatch");
+    }
+    Tensor out = Tensor::empty(shape);
+    if (halve) {
+      auto* half = reinterpret_cast<std::uint16_t*>(
+          scratch_bytes(static_cast<std::size_t>(n) * sizeof(std::uint16_t)));
+      std::memcpy(half, data + 1, size - 1);
+      convert::fp16_to_fp32(half, out.data(), n, threading);
+    } else {
+      std::memcpy(out.data(), data + 1, size - 1);
+    }
+    return out;
+  }
+  if (data[0] != kBitmapModeSparse) corrupt(who, "unknown mode byte");
+
+  if (size < kBitmapHeaderBytes) corrupt(who, "bitmap header truncated");
+  const std::uint32_t stored_crc = load_u32(data + kBitmapCrcOffset);
+  const std::uint32_t nnz_u32 = load_u32(data + kBitmapNnzOffset);
+  const auto nnz = static_cast<std::int64_t>(nnz_u32);
+  if (nnz > n) corrupt(who, "nonzero count exceeds the payload");
+  const std::int64_t n_words = sparse::bitmap_words(n);
+  const std::size_t expected =
+      kBitmapHeaderBytes +
+      static_cast<std::size_t>(n_words) * sizeof(std::uint64_t) +
+      static_cast<std::size_t>(nnz) * value_size;
+  if (size != expected) corrupt(who, "bitmap blob size mismatch");
+  if (bitmap_blob_crc(data, size, n) != stored_crc) {
+    corrupt(who, "checksum mismatch");
+  }
+
+  auto* bitmap = reinterpret_cast<std::uint64_t*>(
+      scratch_bytes(static_cast<std::size_t>(n_words) * sizeof(std::uint64_t)));
+  std::memcpy(bitmap, data + kBitmapHeaderBytes,
+              static_cast<std::size_t>(n_words) * sizeof(std::uint64_t));
+  // Redundant with the checksum, but these keep the scatter provably
+  // in-bounds without trusting 2^-32 odds: the bitmap's population must
+  // match nnz, and bits past the payload must be clear.
+  if (sparse::popcount_words(bitmap, n_words, threading) != nnz) {
+    corrupt(who, "bitmap population disagrees with the nonzero count");
+  }
+  if (n % 64 != 0 && n_words > 0) {
+    const std::uint64_t tail_mask =
+        ~((std::uint64_t{1} << static_cast<unsigned>(n % 64)) - 1);
+    if ((bitmap[n_words - 1] & tail_mask) != 0) {
+      corrupt(who, "bitmap tail bits set past the payload");
+    }
+  }
+
+  const std::uint8_t* values =
+      data + kBitmapHeaderBytes +
+      static_cast<std::size_t>(n_words) * sizeof(std::uint64_t);
+  auto* packed = reinterpret_cast<float*>(
+      scratch_bytes(static_cast<std::size_t>(nnz) * sizeof(float)));
+  if (halve) {
+    auto* half = reinterpret_cast<std::uint16_t*>(
+        scratch_bytes(static_cast<std::size_t>(nnz) * sizeof(std::uint16_t)));
+    std::memcpy(half, values, static_cast<std::size_t>(nnz) * value_size);
+    convert::fp16_to_fp32(half, packed, nnz, threading);
+  } else {
+    std::memcpy(packed, values, static_cast<std::size_t>(nnz) * value_size);
+  }
+  Tensor out = Tensor::empty(shape);
+  sparse::scatter_nonzeros(packed, bitmap, n, out.data(), threading);
+  return out;
+}
+
 }  // namespace
 
 std::string to_string(SlotCodec codec) {
@@ -217,6 +404,8 @@ std::string to_string(SlotCodec codec) {
     case SlotCodec::Lossless: return "lossless";
     case SlotCodec::Fp16: return "fp16";
     case SlotCodec::Bf16: return "bf16";
+    case SlotCodec::Bitmap: return "bitmap";
+    case SlotCodec::BitmapFp16: return "bitmap-fp16";
   }
   return "?";
 }
@@ -226,6 +415,8 @@ std::optional<SlotCodec> parse_slot_codec(std::string_view name) {
   if (name == "lossless") return SlotCodec::Lossless;
   if (name == "fp16") return SlotCodec::Fp16;
   if (name == "bf16") return SlotCodec::Bf16;
+  if (name == "bitmap") return SlotCodec::Bitmap;
+  if (name == "bitmap-fp16") return SlotCodec::BitmapFp16;
   return std::nullopt;
 }
 
@@ -233,9 +424,11 @@ double planning_bytes_ratio(SlotCodec codec) {
   switch (codec) {
     case SlotCodec::None:
     case SlotCodec::Lossless:
+    case SlotCodec::Bitmap:
       return 1.0;
     case SlotCodec::Fp16:
     case SlotCodec::Bf16:
+    case SlotCodec::BitmapFp16:
       return 0.5;
   }
   return 1.0;
@@ -251,6 +444,8 @@ std::size_t max_encoded_bytes(SlotCodec codec, std::int64_t numel) {
     case SlotCodec::Fp16:
     case SlotCodec::Bf16:
       return n * sizeof(std::uint16_t);
+    case SlotCodec::Bitmap: return 1 + n * sizeof(float);
+    case SlotCodec::BitmapFp16: return 1 + n * sizeof(std::uint16_t);
   }
   return n * sizeof(float);
 }
@@ -279,6 +474,10 @@ std::vector<std::uint8_t> encode(SlotCodec codec, const Tensor& value,
       }
       return blob;
     }
+    case SlotCodec::Bitmap:
+      return encode_bitmap(value, /*halve=*/false, threading);
+    case SlotCodec::BitmapFp16:
+      return encode_bitmap(value, /*halve=*/true, threading);
   }
   throw std::logic_error("SlotCodec: unknown codec");
 }
@@ -312,6 +511,11 @@ Tensor decode(SlotCodec codec, const std::string& who, const Shape& shape,
       }
       return out;
     }
+    case SlotCodec::Bitmap:
+      return decode_bitmap(who, shape, data, size, /*halve=*/false,
+                           threading);
+    case SlotCodec::BitmapFp16:
+      return decode_bitmap(who, shape, data, size, /*halve=*/true, threading);
   }
   throw std::logic_error("SlotCodec: unknown codec");
 }

@@ -15,6 +15,17 @@
 //               a raw-stored mode, bounding the blob at payload + 1 byte.
 //   Fp16     -- IEEE binary16 cast (round-to-nearest-even), 2 bytes/elem.
 //   Bf16     -- bfloat16 cast (round-to-nearest-even), 2 bytes/elem.
+//   Bitmap   -- nonzero bitmap + packed fp32 nonzeros (BitTrain-style),
+//               built on the tensor/sparse.hpp popcount/compact/scatter
+//               kernels. Bit-exact ("nonzero" means the 32-bit pattern, so
+//               -0.0f and NaNs survive; zeros restore as +0.0f exactly,
+//               which is what a ReLU produced). The sparse form carries a
+//               CRC32 over the whole blob, so any truncation or bit flip
+//               of a sparse-mode blob is rejected; incompressible payloads
+//               fall back to a raw-stored mode bounding the blob at
+//               payload + 1 byte (plaintext semantics, like Lossless raw).
+//   BitmapFp16 -- same bitmap, nonzeros cast to binary16; falls back to a
+//               dense fp16 cast, bounding the blob at payload/2 + 1.
 //
 // The lossy casts change recomputed forwards by the cast's rounding error;
 // tests/core/ validates end-to-end gradients against the gradcheck
@@ -42,17 +53,23 @@
 
 namespace edgetrain::core {
 
-enum class SlotCodec : std::uint8_t { None, Lossless, Fp16, Bf16 };
+enum class SlotCodec : std::uint8_t {
+  None, Lossless, Fp16, Bf16, Bitmap, BitmapFp16
+};
 
 [[nodiscard]] std::string to_string(SlotCodec codec);
 
-/// Parses "none" | "lossless" | "fp16" | "bf16" (the --compress flag
-/// vocabulary); nullopt on anything else.
+/// Parses "none" | "lossless" | "fp16" | "bf16" | "bitmap" | "bitmap-fp16"
+/// (the --compress flag vocabulary); nullopt on anything else.
 [[nodiscard]] std::optional<SlotCodec> parse_slot_codec(std::string_view name);
 
 /// Guaranteed worst-case encoded bytes / plaintext bytes for planning:
-/// None and Lossless 1.0 (lossless is data-dependent; its raw fallback
-/// bounds it at plaintext), Fp16/Bf16 exactly 0.5.
+/// None, Lossless and Bitmap 1.0 (data-dependent; their raw fallbacks
+/// bound them at plaintext), Fp16/Bf16/BitmapFp16 exactly 0.5. The
+/// data-dependent codecs usually land far below their worst case on real
+/// activations -- the slot stores report the achieved ratio per slot
+/// (SlotStore::measured_slot_ratio) so planners can re-solve with measured
+/// per-slot vectors instead of this static bound.
 [[nodiscard]] double planning_bytes_ratio(SlotCodec codec);
 
 namespace codec {

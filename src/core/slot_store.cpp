@@ -99,7 +99,8 @@ DiskSlotStore::DiskSlotStore(int num_slots, int first_disk_slot,
       disk_shapes_(static_cast<std::size_t>(num_slots)),
       disk_crcs_(static_cast<std::size_t>(num_slots), 0),
       disk_payload_bytes_(static_cast<std::size_t>(num_slots), 0),
-      on_disk_(static_cast<std::size_t>(num_slots), false) {}
+      on_disk_(static_cast<std::size_t>(num_slots), false),
+      slot_ratios_(static_cast<std::size_t>(num_slots), 1.0) {}
 
 DiskSlotStore::~DiskSlotStore() {
   for (std::int32_t slot = 0; slot < static_cast<std::int32_t>(on_disk_.size());
@@ -139,6 +140,10 @@ void DiskSlotStore::put(std::int32_t slot, const Tensor& value) {
   disk_bytes_ += payload;
   plain_seen_ += value.bytes();
   encoded_seen_ += payload;
+  if (value.bytes() > 0) {
+    slot_ratios_[idx] = static_cast<double>(payload) /
+                        static_cast<double>(value.bytes());
+  }
   ++writes_;
 }
 
@@ -200,7 +205,9 @@ std::size_t DiskSlotStore::external_bytes() const { return disk_bytes_; }
 // ---------------------------------------------------------------------------
 
 CompressedSlotStore::CompressedSlotStore(int num_slots, SlotCodec codec)
-    : codec_(codec), slots_(static_cast<std::size_t>(num_slots)) {}
+    : codec_(codec),
+      slots_(static_cast<std::size_t>(num_slots)),
+      slot_ratios_(static_cast<std::size_t>(num_slots), 1.0) {}
 
 CompressedSlotStore::~CompressedSlotStore() {
   for (EncodedSlot& slot : slots_) release(slot);
@@ -231,6 +238,11 @@ void CompressedSlotStore::put(std::int32_t slot, const Tensor& value) {
   encoded.occupied = true;
   plain_seen_ += value.bytes();
   encoded_seen_ += encoded.blob.size();
+  if (value.bytes() > 0) {
+    slot_ratios_[static_cast<std::size_t>(slot)] =
+        static_cast<double>(encoded.blob.size()) /
+        static_cast<double>(value.bytes());
+  }
 }
 
 Tensor CompressedSlotStore::get(std::int32_t slot) {

@@ -51,6 +51,16 @@ class SlotStore {
   /// Bytes currently held outside RAM (disk); 0 for RAM-only stores.
   [[nodiscard]] virtual std::size_t external_bytes() const = 0;
 
+  /// Measured encoded/plaintext byte ratio of the most recent put() into
+  /// @p slot; 1.0 for uncodecced stores or slots never stored. Codec
+  /// stores record this on every put, so after one pass the planners can
+  /// re-solve with the per-slot ratios this chain's activations actually
+  /// achieve instead of the codec's worst-case planning_bytes_ratio()
+  /// (core/adaptive.hpp closes that loop).
+  [[nodiscard]] virtual double measured_slot_ratio(std::int32_t /*slot*/) const {
+    return 1.0;
+  }
+
   // --- Schedule lookahead (optional) ---------------------------------------
   // A Schedule is a fully known tape, so every future Restore is visible
   // before it executes: the executor announces the tape once per run and
@@ -130,6 +140,12 @@ class DiskSlotStore final : public SlotStore {
                                   static_cast<double>(plain_seen_);
   }
 
+  /// Encoded/plaintext ratio of the last spill into @p slot (1.0 for RAM
+  /// slots and slots never spilled).
+  [[nodiscard]] double measured_slot_ratio(std::int32_t slot) const override {
+    return slot_ratios_.at(static_cast<std::size_t>(slot));
+  }
+
  private:
   [[nodiscard]] std::string path_for(std::int32_t slot) const;
   [[nodiscard]] bool is_disk_slot(std::int32_t slot) const {
@@ -144,6 +160,7 @@ class DiskSlotStore final : public SlotStore {
   std::vector<std::uint32_t> disk_crcs_;  // payload CRC32 per spilled slot
   std::vector<std::size_t> disk_payload_bytes_;  // on-disk payload per slot
   std::vector<bool> on_disk_;
+  std::vector<double> slot_ratios_;  // last measured ratio per slot
   std::size_t disk_bytes_ = 0;
   std::size_t plain_seen_ = 0;
   std::size_t encoded_seen_ = 0;
@@ -196,6 +213,11 @@ class CompressedSlotStore final : public SlotStore {
                                   static_cast<double>(plain_seen_);
   }
 
+  /// Encoded/plaintext ratio of the last put into @p slot (1.0 before any).
+  [[nodiscard]] double measured_slot_ratio(std::int32_t slot) const override {
+    return slot_ratios_.at(static_cast<std::size_t>(slot));
+  }
+
  private:
   struct EncodedSlot {
     Shape shape;
@@ -208,6 +230,7 @@ class CompressedSlotStore final : public SlotStore {
 
   SlotCodec codec_;
   std::vector<EncodedSlot> slots_;
+  std::vector<double> slot_ratios_;  // last measured ratio per slot
   std::size_t plain_seen_ = 0;
   std::size_t encoded_seen_ = 0;
 };

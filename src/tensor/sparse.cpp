@@ -1,0 +1,272 @@
+#include "tensor/sparse.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "tensor/guards.hpp"
+#include "tensor/parallel.hpp"
+
+namespace edgetrain::sparse {
+
+namespace {
+
+// Same micro-architecture dispatch as tensor/convert.cpp: v3/v4 clones
+// resolved by the loader's ifunc, disabled under sanitizers (the resolver
+// runs before __tsan_init/__asan_init and an instrumented resolver
+// segfaults there).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define EDGETRAIN_SPARSE_CLONES
+#elif defined(__GNUC__) && defined(__x86_64__) && !defined(__clang__)
+#define EDGETRAIN_SPARSE_CLONES \
+  __attribute__(                \
+      (target_clones("arch=x86-64-v4", "arch=x86-64-v3", "default")))
+#else
+#define EDGETRAIN_SPARSE_CLONES
+#endif
+
+/// Elements per parallel chunk. A multiple of 64 so each u64 bitmap word
+/// has exactly one owning chunk; the same 2^15 sweet spot as convert.cpp.
+constexpr std::int64_t kChunkElems = 1 << 15;
+constexpr std::int64_t kChunkWords = kChunkElems / 64;
+
+[[nodiscard]] std::int64_t num_chunks(std::int64_t n_words) noexcept {
+  return (n_words + kChunkWords - 1) / kChunkWords;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk kernels over half-open word ranges. The bitmap-build loop is a flat
+// 64-lane reduction the vectoriser turns into compare/movemask code; the
+// compact/scatter inner loops walk set bits with countr_zero + clear-lowest,
+// so their cost scales with nnz, not n.
+// ---------------------------------------------------------------------------
+
+EDGETRAIN_SPARSE_CLONES
+std::int64_t bitmap_chunk(const float* src, std::int64_t n,
+                          std::int64_t word_begin, std::int64_t word_end,
+                          std::uint64_t* bitmap) {
+  std::int64_t nnz = 0;
+  for (std::int64_t w = word_begin; w < word_end; ++w) {
+    const std::int64_t base = w * 64;
+    const std::int64_t lanes = std::min<std::int64_t>(64, n - base);
+    std::uint64_t bits = 0;
+    for (std::int64_t b = 0; b < lanes; ++b) {
+      const auto u = std::bit_cast<std::uint32_t>(src[base + b]);
+      bits |= static_cast<std::uint64_t>(u != 0U ? 1U : 0U)
+              << static_cast<unsigned>(b);
+    }
+    bitmap[w] = bits;
+    nnz += std::popcount(bits);
+  }
+  return nnz;
+}
+
+EDGETRAIN_SPARSE_CLONES
+std::int64_t popcount_chunk(const std::uint64_t* words, std::int64_t begin,
+                            std::int64_t end) {
+  std::int64_t total = 0;
+  for (std::int64_t i = begin; i < end; ++i) total += std::popcount(words[i]);
+  return total;
+}
+
+EDGETRAIN_SPARSE_CLONES
+void compact_chunk(const float* src, const std::uint64_t* bitmap,
+                   std::int64_t word_begin, std::int64_t word_end,
+                   float* dst) {
+  float* out = dst;
+  for (std::int64_t w = word_begin; w < word_end; ++w) {
+    const std::int64_t base = w * 64;
+    std::uint64_t bits = bitmap[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      *out++ = src[base + b];
+      bits &= bits - 1;
+    }
+  }
+}
+
+EDGETRAIN_SPARSE_CLONES
+void scatter_chunk(const float* packed, const std::uint64_t* bitmap,
+                   std::int64_t n, std::int64_t word_begin,
+                   std::int64_t word_end, float* dst) {
+  const float* in = packed;
+  for (std::int64_t w = word_begin; w < word_end; ++w) {
+    const std::int64_t base = w * 64;
+    const std::int64_t lanes = std::min<std::int64_t>(64, n - base);
+    for (std::int64_t b = 0; b < lanes; ++b) dst[base + b] = 0.0F;
+    std::uint64_t bits = bitmap[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      dst[base + b] = *in++;
+      bits &= bits - 1;
+    }
+  }
+}
+
+/// Per-chunk popcounts of the bitmap followed by a serial exclusive prefix
+/// sum: offsets[c] is where chunk c's packed values begin; returns nnz.
+std::int64_t chunk_offsets(const std::uint64_t* bitmap, std::int64_t n_words,
+                           std::vector<std::int64_t>& offsets,
+                           convert::Threading threading) {
+  const std::int64_t nc = num_chunks(n_words);
+  offsets.assign(static_cast<std::size_t>(nc) + 1, 0);
+  auto count = [&](std::int64_t cb, std::int64_t ce) {
+    for (std::int64_t c = cb; c < ce; ++c) {
+      const std::int64_t wb = c * kChunkWords;
+      const std::int64_t we = std::min(n_words, wb + kChunkWords);
+      offsets[static_cast<std::size_t>(c) + 1] =
+          popcount_chunk(bitmap, wb, we);
+    }
+  };
+  if (threading == convert::Threading::Serial) {
+    count(0, nc);
+  } else {
+    parallel_for(0, nc, 1, count);
+  }
+  for (std::int64_t c = 0; c < nc; ++c) {
+    offsets[static_cast<std::size_t>(c) + 1] +=
+        offsets[static_cast<std::size_t>(c)];
+  }
+  return offsets[static_cast<std::size_t>(nc)];
+}
+
+}  // namespace
+
+std::int64_t nonzero_bitmap_scalar(const float* src, std::int64_t n,
+                                   std::uint64_t* bitmap) noexcept {
+  const std::int64_t n_words = bitmap_words(n);
+  std::int64_t nnz = 0;
+  for (std::int64_t w = 0; w < n_words; ++w) bitmap[w] = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (std::bit_cast<std::uint32_t>(src[i]) != 0U) {
+      bitmap[i / 64] |= std::uint64_t{1} << static_cast<unsigned>(i % 64);
+      ++nnz;
+    }
+  }
+  return nnz;
+}
+
+std::int64_t popcount_words_scalar(const std::uint64_t* words,
+                                   std::int64_t n_words) noexcept {
+  std::int64_t total = 0;
+  for (std::int64_t i = 0; i < n_words; ++i) total += std::popcount(words[i]);
+  return total;
+}
+
+void compact_nonzeros_scalar(const float* src, const std::uint64_t* bitmap,
+                             std::int64_t n, float* dst) noexcept {
+  float* out = dst;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if ((bitmap[i / 64] >> static_cast<unsigned>(i % 64) & 1U) != 0U) {
+      *out++ = src[i];
+    }
+  }
+}
+
+void scatter_nonzeros_scalar(const float* packed, const std::uint64_t* bitmap,
+                             std::int64_t n, float* dst) noexcept {
+  const float* in = packed;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if ((bitmap[i / 64] >> static_cast<unsigned>(i % 64) & 1U) != 0U) {
+      dst[i] = *in++;
+    } else {
+      dst[i] = 0.0F;
+    }
+  }
+}
+
+std::int64_t nonzero_bitmap(const float* src, std::int64_t n,
+                            std::uint64_t* bitmap,
+                            convert::Threading threading) {
+  const std::int64_t n_words = bitmap_words(n);
+  EDGETRAIN_GUARD_DISJOINT(
+      "nonzero_bitmap", {src, n},
+      {reinterpret_cast<const float*>(bitmap), n_words * 2});
+  if (threading == convert::Threading::Serial || n_words <= kChunkWords) {
+    return bitmap_chunk(src, n, 0, n_words, bitmap);
+  }
+  const std::int64_t nc = num_chunks(n_words);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(nc), 0);
+  parallel_for(0, nc, 1, [&](std::int64_t cb, std::int64_t ce) {
+    for (std::int64_t c = cb; c < ce; ++c) {
+      const std::int64_t wb = c * kChunkWords;
+      const std::int64_t we = std::min(n_words, wb + kChunkWords);
+      counts[static_cast<std::size_t>(c)] = bitmap_chunk(src, n, wb, we,
+                                                         bitmap);
+    }
+  });
+  std::int64_t nnz = 0;
+  for (const std::int64_t c : counts) nnz += c;
+  return nnz;
+}
+
+std::int64_t popcount_words(const std::uint64_t* words, std::int64_t n_words,
+                            convert::Threading threading) {
+  if (threading == convert::Threading::Serial || n_words <= kChunkWords) {
+    return popcount_chunk(words, 0, n_words);
+  }
+  const std::int64_t nc = num_chunks(n_words);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(nc), 0);
+  parallel_for(0, nc, 1, [&](std::int64_t cb, std::int64_t ce) {
+    for (std::int64_t c = cb; c < ce; ++c) {
+      const std::int64_t wb = c * kChunkWords;
+      const std::int64_t we = std::min(n_words, wb + kChunkWords);
+      counts[static_cast<std::size_t>(c)] = popcount_chunk(words, wb, we);
+    }
+  });
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts) total += c;
+  return total;
+}
+
+void compact_nonzeros(const float* src, const std::uint64_t* bitmap,
+                      std::int64_t n, float* dst,
+                      convert::Threading threading) {
+  const std::int64_t n_words = bitmap_words(n);
+  EDGETRAIN_GUARD_DISJOINT(
+      "compact_nonzeros", {src, n},
+      {reinterpret_cast<const float*>(bitmap), n_words * 2},
+      {dst, popcount_words_scalar(bitmap, n_words)});
+  if (threading == convert::Threading::Serial || n_words <= kChunkWords) {
+    compact_chunk(src, bitmap, 0, n_words, dst);
+    return;
+  }
+  std::vector<std::int64_t> offsets;
+  chunk_offsets(bitmap, n_words, offsets, threading);
+  const std::int64_t nc = num_chunks(n_words);
+  parallel_for(0, nc, 1, [&](std::int64_t cb, std::int64_t ce) {
+    for (std::int64_t c = cb; c < ce; ++c) {
+      const std::int64_t wb = c * kChunkWords;
+      const std::int64_t we = std::min(n_words, wb + kChunkWords);
+      compact_chunk(src, bitmap, wb, we,
+                    dst + offsets[static_cast<std::size_t>(c)]);
+    }
+  });
+}
+
+void scatter_nonzeros(const float* packed, const std::uint64_t* bitmap,
+                      std::int64_t n, float* dst,
+                      convert::Threading threading) {
+  const std::int64_t n_words = bitmap_words(n);
+  EDGETRAIN_GUARD_DISJOINT(
+      "scatter_nonzeros",
+      {packed, popcount_words_scalar(bitmap, n_words)},
+      {reinterpret_cast<const float*>(bitmap), n_words * 2}, {dst, n});
+  if (threading == convert::Threading::Serial || n_words <= kChunkWords) {
+    scatter_chunk(packed, bitmap, n, 0, n_words, dst);
+    return;
+  }
+  std::vector<std::int64_t> offsets;
+  chunk_offsets(bitmap, n_words, offsets, threading);
+  const std::int64_t nc = num_chunks(n_words);
+  parallel_for(0, nc, 1, [&](std::int64_t cb, std::int64_t ce) {
+    for (std::int64_t c = cb; c < ce; ++c) {
+      const std::int64_t wb = c * kChunkWords;
+      const std::int64_t we = std::min(n_words, wb + kChunkWords);
+      scatter_chunk(packed + offsets[static_cast<std::size_t>(c)], bitmap, n,
+                    wb, we, dst);
+    }
+  });
+}
+
+}  // namespace edgetrain::sparse

@@ -1,0 +1,72 @@
+// edgetrain: sparse bitmap kernels (popcount / compact / scatter).
+//
+// Post-ReLU activations are mostly zeros, so a checkpoint slot can be
+// stored as a bitmap of nonzero positions plus the packed nonzero values
+// (BitTrain-style). The primitives here are the hot half of that codec
+// (core/slot_codec.hpp SlotCodec::Bitmap): building the bitmap, counting
+// its population, gathering the nonzeros into a dense payload, and
+// scattering them back. They follow the tensor/convert.cpp playbook --
+// branchless flat-loop chunk kernels under the target_clones v3/v4
+// dispatch, parallelised over the global pool -- with one extra wrinkle:
+// compact/scatter outputs are data-dependent offsets, so the parallel
+// drivers run a two-phase count -> exclusive-prefix -> disjoint-write plan
+// with the chunk grain a multiple of 64, giving every bitmap word (and
+// every packed output range) exactly one owning worker.
+//
+// Bit-exactness contract: a position is "nonzero" iff its 32-bit pattern
+// is nonzero, so -0.0f and NaN payloads survive; scatter writes the exact
+// 0x00000000 pattern (+0.0f) at every zero bit. Scalar `_scalar` variants
+// are the property-test references for the vectorised paths.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/convert.hpp"
+
+namespace edgetrain::sparse {
+
+/// u64 words needed to cover @p n bitmap bits.
+[[nodiscard]] constexpr std::int64_t bitmap_words(std::int64_t n) noexcept {
+  return (n + 63) / 64;
+}
+
+/// Builds the nonzero bitmap of src[0, n): bit (i % 64) of bitmap[i / 64]
+/// is set iff the 32-bit pattern of src[i] is nonzero. Tail bits of the
+/// last word are cleared. Writes bitmap_words(n) words; returns the number
+/// of set bits. src and bitmap must not overlap.
+std::int64_t nonzero_bitmap(
+    const float* src, std::int64_t n, std::uint64_t* bitmap,
+    convert::Threading threading = convert::Threading::Parallel);
+
+/// Total population count of words[0, n_words).
+[[nodiscard]] std::int64_t popcount_words(
+    const std::uint64_t* words, std::int64_t n_words,
+    convert::Threading threading = convert::Threading::Parallel);
+
+/// Gathers src values at the bitmap's set bits into dst, in ascending
+/// position order. dst must have room for the bitmap's population count
+/// over [0, n). src, bitmap and dst must be pairwise disjoint.
+void compact_nonzeros(
+    const float* src, const std::uint64_t* bitmap, std::int64_t n, float* dst,
+    convert::Threading threading = convert::Threading::Parallel);
+
+/// Inverse of compact_nonzeros: dst[i] gets the next packed value when bit
+/// i is set, the exact +0.0f pattern otherwise, for i in [0, n). packed,
+/// bitmap and dst must be pairwise disjoint.
+void scatter_nonzeros(
+    const float* packed, const std::uint64_t* bitmap, std::int64_t n,
+    float* dst,
+    convert::Threading threading = convert::Threading::Parallel);
+
+// Scalar references (one plain loop each) the vectorised/parallel paths
+// are property-tested against.
+std::int64_t nonzero_bitmap_scalar(const float* src, std::int64_t n,
+                                   std::uint64_t* bitmap) noexcept;
+[[nodiscard]] std::int64_t popcount_words_scalar(
+    const std::uint64_t* words, std::int64_t n_words) noexcept;
+void compact_nonzeros_scalar(const float* src, const std::uint64_t* bitmap,
+                             std::int64_t n, float* dst) noexcept;
+void scatter_nonzeros_scalar(const float* packed, const std::uint64_t* bitmap,
+                             std::int64_t n, float* dst) noexcept;
+
+}  // namespace edgetrain::sparse

@@ -331,6 +331,60 @@ TEST(InterpFindings, WarningsDoNotFail) {
   EXPECT_TRUE(has_warning(report, Check::RedundantFree));
 }
 
+TEST(InterpCost, PerSlotWeightedUnitsMatchHandComputedPeak) {
+  // Three checkpoints resident at the peak (slots 0, 1, 2 plus one live
+  // save): slot 0 is the chain input and is never charged, so with
+  // per-slot ratios the weighted peak is exactly 1 + r1 + r2.
+  Schedule sch(3, 3);
+  sch.store(0, 0);
+  sch.forward(0);
+  sch.store(1, 1);
+  sch.forward(1);
+  sch.store(2, 2);
+  sch.forward_save(2);  // peak: slots {0,1,2} occupied + live save
+  sch.backward(2);
+  sch.free(2);
+  sch.restore(1, 1);
+  sch.forward_save(1);
+  sch.backward(1);
+  sch.free(1);
+  sch.restore(0, 0);
+  sch.forward_save(0);
+  sch.backward(0);
+  sch.free(0);
+  ASSERT_EQ(sch.validate(), std::nullopt) << sch.to_string();
+
+  CostModel cost;
+  cost.slot_bytes_ratios = {1.0, 0.25, 0.5};
+  Bounds bounds;
+  bounds.max_weighted_units = 1.75;
+  const Report report = interpret(sch, cost, bounds);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_DOUBLE_EQ(report.facts.peak_weighted_units, 1.75);
+
+  // The bound is tight: shaving it must trip WeightedMemoryBound.
+  Bounds tight;
+  tight.max_weighted_units = 1.75 - 1e-3;
+  EXPECT_TRUE(has_error(interpret(sch, cost, tight),
+                        Check::WeightedMemoryBound));
+
+  // An all-equal vector must reproduce the homogeneous scalar model
+  // exactly -- same formula, different bookkeeping path.
+  CostModel scalar;
+  scalar.slot_bytes_ratio = 0.5;
+  CostModel vec;
+  vec.slot_bytes_ratios = {0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(interpret(sch, scalar, Bounds{}).facts.peak_weighted_units,
+                   interpret(sch, vec, Bounds{}).facts.peak_weighted_units);
+
+  // Slots past the vector's end fall back to the scalar ratio.
+  CostModel mixed;
+  mixed.slot_bytes_ratio = 0.5;
+  mixed.slot_bytes_ratios = {1.0, 0.25};  // slot 2 falls back to 0.5
+  EXPECT_DOUBLE_EQ(
+      interpret(sch, mixed, Bounds{}).facts.peak_weighted_units, 1.75);
+}
+
 TEST(InterpCost, DiskIoAccounting) {
   // One disk write + one disk read, weighted by the cost model.
   Schedule sch(2, 3);

@@ -328,6 +328,67 @@ TEST(Feeders, PricedDiskOptionsUseMeasuredSpillPath) {
   EXPECT_DOUBLE_EQ(priced.spill_bytes_ratio, 0.5);
 }
 
+// The static-ratio blind spot, closed: measured per-slot ratios read off a
+// live store must thread verbatim into all three planner inputs -- the
+// ChainSpec, the calibrated DiskRevolveOptions, and the interpreter's
+// CostModel -- with out-of-range measurements clamped into (0, 1].
+TEST(Feeders, MeasuredSlotRatiosThreadThroughEveryPlannerInput) {
+  class StepRatioStore : public core::SlotStore {
+   public:
+    explicit StepRatioStore(int num_slots) : inner_(num_slots) {}
+    void put(std::int32_t slot, const Tensor& value) override {
+      inner_.put(slot, value);
+    }
+    [[nodiscard]] Tensor get(std::int32_t slot) override {
+      return inner_.get(slot);
+    }
+    void drop(std::int32_t slot) override { inner_.drop(slot); }
+    [[nodiscard]] std::size_t resident_bytes() const override {
+      return inner_.resident_bytes();
+    }
+    [[nodiscard]] std::size_t external_bytes() const override { return 0; }
+    [[nodiscard]] double measured_slot_ratio(
+        std::int32_t slot) const override {
+      // Slot 3 reports a bogus >1 "ratio" (e.g. codec overhead on a tiny
+      // payload) that the feeder must clamp.
+      return slot == 3 ? 7.5 : static_cast<double>(slot) / 10.0;
+    }
+
+   private:
+    core::RamSlotStore inner_;
+  };
+  const StepRatioStore store(5);
+  const std::vector<double> ratios = measured_slot_ratios(store, 1, 3);
+  ASSERT_EQ(ratios.size(), 3U);
+  EXPECT_DOUBLE_EQ(ratios[0], 0.1);
+  EXPECT_DOUBLE_EQ(ratios[1], 0.2);
+  EXPECT_DOUBLE_EQ(ratios[2], 1.0);  // clamped
+
+  const ChainCosts costs = golden_costs();
+  const core::ChainSpec spec =
+      measured_chain_spec("golden", costs, 100.0, ratios, 0.5);
+  EXPECT_EQ(spec.checkpoint_slot_ratios, ratios);
+  EXPECT_DOUBLE_EQ(spec.checkpoint_bytes_ratio, 0.5);
+  EXPECT_EQ(spec.step_costs, costs.forward_us);
+
+  const DeviceModel m = sample_model();
+  core::disk::DiskRevolveOptions base;
+  base.ram_slots = 2;
+  const core::disk::DiskRevolveOptions priced =
+      priced_disk_options(costs, m, base, ratios);
+  EXPECT_EQ(priced.spill_slot_ratios, ratios);
+  // IO weights stay the plaintext spill times; the DP applies the
+  // per-slot ratios itself.
+  const double mean_fwd_us = 7.0 / 3.0;
+  EXPECT_DOUBLE_EQ(priced.write_cost, m.disk_write_us(1024.0) / mean_fwd_us);
+  EXPECT_DOUBLE_EQ(priced.read_cost, m.disk_read_us(1024.0) / mean_fwd_us);
+
+  const analysis::CostModel cm = cost_model(costs, m, 2, ratios);
+  EXPECT_EQ(cm.slot_bytes_ratios, ratios);
+  EXPECT_EQ(cm.first_disk_slot, 2);
+  EXPECT_EQ(cm.step_costs, costs.forward_us);
+}
+
 TEST(Feeders, CostModelPredictsScheduleMicroseconds) {
   const DeviceModel m = sample_model();
   const ChainCosts costs = golden_costs();

@@ -510,6 +510,96 @@ TEST(ScheduleFuzzCodecTest, AllFamiliesBitIdenticalUnderLosslessCodec) {
   }
 }
 
+// Schedules from all four scheduler families executed through the sparse
+// bitmap codec: "nonzero" is the 32-bit pattern, so restore is bit-exact
+// and every family's gradients must match full storage exactly. The store
+// must also have recorded a measured per-slot ratio strictly below the
+// codec's worst-case planning ratio on these (post-conv/ReLU, zero-heavy)
+// activations -- that measurement is what core/adaptive.hpp re-plans from.
+TEST(ScheduleFuzzCodecTest, AllFamiliesBitIdenticalUnderBitmapCodec) {
+  std::mt19937 net_rng(4040);
+  nn::LayerChain chain = models::build_mini_resnet(1, 4, 3, 1, net_rng);
+  Tensor input = Tensor::randn(Shape{2, 1, 12, 12}, net_rng);
+  const std::vector<std::int32_t> labels{0, 2};
+  const int l = chain.size();
+
+  const LossGradFn loss_grad = [&](const Tensor& logits) {
+    const ops::SoftmaxXentResult r = ops::softmax_xent_forward(logits, labels);
+    return ops::softmax_xent_backward(r.probs, labels);
+  };
+
+  auto run = [&](const Schedule& schedule, SlotStore* store) {
+    chain.zero_grad();
+    chain.clear_saved();
+    nn::LayerChainRunner runner(chain, nn::Phase::Train);
+    runner.begin_pass();
+    ScheduleExecutor executor;
+    const ExecutionResult result =
+        store != nullptr
+            ? executor.run(runner, schedule, input, loss_grad, *store)
+            : executor.run(runner, schedule, input, loss_grad);
+    std::vector<Tensor> grads{result.input_grad.clone()};
+    for (const nn::ParamRef& p : chain.params()) {
+      grads.push_back(p.grad->clone());
+    }
+    return grads;
+  };
+
+  const std::vector<Tensor> reference =
+      run(full_storage_schedule(l), nullptr);
+
+  std::vector<std::pair<std::string, Schedule>> schedules;
+  schedules.emplace_back("revolve(s=2)", revolve::make_schedule(l, 2));
+  schedules.emplace_back("revolve(s=0)", revolve::make_schedule(l, 0));
+  schedules.emplace_back("sequential(k=3)", seq::make_schedule(l, 3));
+  {
+    const hetero::HeteroSolver solver(
+        std::vector<double>(static_cast<std::size_t>(l), 1.0), 2);
+    schedules.emplace_back("hetero(s=2)", solver.make_schedule(2));
+  }
+  {
+    disk::DiskRevolveOptions options;
+    options.ram_slots = 2;
+    schedules.emplace_back("disk(ram=2)",
+                           disk::DiskRevolveSolver(l, options).make_schedule());
+  }
+
+  // measured_slot_ratio reflects the *last* put into a slot, and some
+  // families end a slot's life on a dense (post-conv) boundary, so the
+  // per-slot evidence is accumulated across families: at least one family
+  // must leave a slot measured strictly below the worst-case planning
+  // ratio -- the signal core/adaptive.hpp re-plans from.
+  bool saw_compressed_slot = false;
+  for (const auto& [name, schedule] : schedules) {
+    ASSERT_EQ(schedule.validate(), std::nullopt)
+        << name << "\n" << schedule.to_string();
+    CompressedSlotStore store(schedule.num_slots(), SlotCodec::Bitmap);
+    const std::vector<Tensor> grads = run(schedule, &store);
+
+    ASSERT_EQ(grads.size(), reference.size()) << name;
+    for (std::size_t g = 0; g < grads.size(); ++g) {
+      EXPECT_EQ(Tensor::max_abs_diff(grads[g], reference[g]), 0.0F)
+          << name << " grad=" << g;
+    }
+
+    EXPECT_GT(store.plain_bytes_seen(), 0U) << name;
+    // Checkpoint slots (>= 1) hold zero-heavy post-ReLU boundaries often
+    // enough that the aggregate footprint must land below plaintext. Slot
+    // 0 (white-noise input) is exempt -- its dense fallback measures
+    // ~1.0, which is exactly why the planners never re-price slot 0.
+    if (schedule.stats().peak_slots_in_use > 1) {
+      EXPECT_LT(store.measured_ratio(), 1.0) << name;
+      for (std::int32_t slot = 1; slot < schedule.num_slots(); ++slot) {
+        if (store.measured_slot_ratio(slot) <
+            planning_bytes_ratio(SlotCodec::Bitmap)) {
+          saw_compressed_slot = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_compressed_slot);
+}
+
 // The fp16 cast codec end-to-end: resting checkpoints at half precision
 // must land the final gradients within gradcheck-style tolerance of the
 // full-precision reference, at exactly half the resident checkpoint bytes.

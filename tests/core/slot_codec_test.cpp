@@ -305,11 +305,157 @@ TEST(SlotCodecTest, Bf16BlobErrorBound) {
   }
 }
 
+// --- sparse bitmap codec --------------------------------------------------
+
+std::vector<float> relu_like(int n, double density, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<float> dist(0.0F, 1.5F);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<float> values(static_cast<std::size_t>(n), 0.0F);
+  for (float& v : values) {
+    if (coin(rng) < density) {
+      float x = dist(rng);
+      if (x == 0.0F) x = 0.25F;
+      v = x;
+    }
+  }
+  return values;
+}
+
+TEST(SlotCodecTest, BitmapRoundTripsBitExactlyAcrossDensities) {
+  for (const int n : {1, 2, 63, 64, 65, 512, 4097, 70001}) {
+    for (const double density : {0.0, 0.01, 0.3, 0.5, 1.0}) {
+      const Tensor original = tensor_from(
+          relu_like(n, density, static_cast<std::uint32_t>(13 * n + 5)));
+      const std::vector<std::uint8_t> blob =
+          codec::encode(SlotCodec::Bitmap, original);
+      EXPECT_LE(blob.size(), codec::max_encoded_bytes(SlotCodec::Bitmap, n))
+          << "n=" << n << " d=" << density;
+      const Tensor decoded =
+          codec::decode(SlotCodec::Bitmap, "test", original.shape(),
+                        blob.data(), blob.size());
+      ASSERT_EQ(decoded.numel(), original.numel());
+      EXPECT_EQ(std::memcmp(decoded.data(), original.data(),
+                            original.bytes()),
+                0)
+          << "n=" << n << " d=" << density;
+    }
+  }
+}
+
+TEST(SlotCodecTest, BitmapCompressesSparseAndBoundsDense) {
+  // 90%-sparse activations: bitmap + packed values is far below plaintext.
+  const Tensor sparse = tensor_from(relu_like(1 << 16, 0.1, 71));
+  const std::vector<std::uint8_t> sparse_blob =
+      codec::encode(SlotCodec::Bitmap, sparse);
+  EXPECT_LT(static_cast<double>(sparse_blob.size()),
+            0.25 * static_cast<double>(sparse.bytes()));
+
+  // Fully dense input defeats the bitmap; the raw fallback must bound the
+  // blob at plaintext + 1 mode byte (the issue's fallback contract).
+  const Tensor dense = tensor_from(relu_like(4096, 1.0, 72));
+  const std::vector<std::uint8_t> dense_blob =
+      codec::encode(SlotCodec::Bitmap, dense);
+  EXPECT_LE(dense_blob.size(), dense.bytes() + 1);
+  const Tensor back = codec::decode(SlotCodec::Bitmap, "test", dense.shape(),
+                                    dense_blob.data(), dense_blob.size());
+  EXPECT_EQ(std::memcmp(back.data(), dense.data(), dense.bytes()), 0);
+
+  // BitmapFp16 dense fallback: half payload + 1 mode byte.
+  const std::vector<std::uint8_t> half_blob =
+      codec::encode(SlotCodec::BitmapFp16, dense);
+  EXPECT_LE(half_blob.size(), dense.bytes() / 2 + 1);
+}
+
+TEST(SlotCodecTest, BitmapFp16MatchesScalarHalfRoundTripOnNonzeros) {
+  const Tensor original = tensor_from(relu_like(3000, 0.25, 73));
+  const std::vector<std::uint8_t> blob =
+      codec::encode(SlotCodec::BitmapFp16, original);
+  EXPECT_LT(blob.size(), original.bytes() / 2);
+  const Tensor decoded =
+      codec::decode(SlotCodec::BitmapFp16, "test", original.shape(),
+                    blob.data(), blob.size());
+  const float* in = original.data();
+  const float* out = decoded.data();
+  for (std::int64_t i = 0; i < original.numel(); ++i) {
+    if (in[i] == 0.0F) {
+      EXPECT_EQ(out[i], 0.0F) << i;
+    } else {
+      EXPECT_EQ(out[i], half_to_float(float_to_half(in[i]))) << i;
+    }
+  }
+}
+
+TEST(SlotCodecTest, BitmapRejectsEveryPrefixTruncation) {
+  // Matching the RLE corpus: every proper prefix of a sparse-mode blob
+  // must throw -- never crash, never return garbage activations.
+  const Tensor original = tensor_from(relu_like(512, 0.3, 81));
+  const Shape& shape = original.shape();
+  for (const SlotCodec codec :
+       {SlotCodec::Bitmap, SlotCodec::BitmapFp16}) {
+    const std::vector<std::uint8_t> blob = codec::encode(codec, original);
+    ASSERT_EQ(blob[0], 1U);  // sparse mode, the CRC-protected layout
+    for (std::size_t size = 0; size < blob.size(); ++size) {
+      EXPECT_THROW(
+          codec::decode(codec, "test", shape, blob.data(), size),
+          std::runtime_error)
+          << "prefix size " << size;
+    }
+  }
+}
+
+TEST(SlotCodecTest, BitmapRejectsEverySingleBitFlip) {
+  // CRC-32 over the mode byte + body catches every 1-bit error; flips
+  // inside the stored CRC itself mismatch the recomputed value; mode-byte
+  // flips land on an unknown mode or a dense blob of the wrong size.
+  const Tensor original = tensor_from(relu_like(256, 0.3, 82));
+  const Shape& shape = original.shape();
+  for (const SlotCodec codec :
+       {SlotCodec::Bitmap, SlotCodec::BitmapFp16}) {
+    const std::vector<std::uint8_t> blob = codec::encode(codec, original);
+    ASSERT_EQ(blob[0], 1U);
+    for (std::size_t byte = 0; byte < blob.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> bad = blob;
+        bad[byte] = static_cast<std::uint8_t>(bad[byte] ^ (1U << bit));
+        EXPECT_THROW(
+            codec::decode(codec, "test", shape, bad.data(), bad.size()),
+            std::runtime_error)
+            << "byte " << byte << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(SlotCodecTest, BitmapRejectsShapeMismatchAndForgedCounts) {
+  const Tensor original = tensor_from(relu_like(512, 0.3, 83));
+  const std::vector<std::uint8_t> blob =
+      codec::encode(SlotCodec::Bitmap, original);
+  ASSERT_EQ(blob[0], 1U);
+  // Decoding under a larger or smaller shape is structural corruption.
+  EXPECT_THROW(codec::decode(SlotCodec::Bitmap, "test", Shape{511},
+                             blob.data(), blob.size()),
+               std::runtime_error);
+  EXPECT_THROW(codec::decode(SlotCodec::Bitmap, "test", Shape{513},
+                             blob.data(), blob.size()),
+               std::runtime_error);
+  // Empty blobs and unknown modes are rejected before any field reads.
+  EXPECT_THROW(
+      codec::decode(SlotCodec::Bitmap, "test", original.shape(), nullptr, 0),
+      std::runtime_error);
+  std::vector<std::uint8_t> bad = blob;
+  bad[0] = 0x7F;
+  EXPECT_THROW(codec::decode(SlotCodec::Bitmap, "test", original.shape(),
+                             bad.data(), bad.size()),
+               std::runtime_error);
+}
+
 // --- parsing / planning ratios --------------------------------------------
 
 TEST(SlotCodecTest, ParseAndToStringRoundTrip) {
   for (const SlotCodec codec : {SlotCodec::None, SlotCodec::Lossless,
-                                SlotCodec::Fp16, SlotCodec::Bf16}) {
+                                SlotCodec::Fp16, SlotCodec::Bf16,
+                                SlotCodec::Bitmap, SlotCodec::BitmapFp16}) {
     const auto parsed = parse_slot_codec(to_string(codec));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, codec);
@@ -323,6 +469,34 @@ TEST(SlotCodecTest, PlanningRatiosAreSound) {
   EXPECT_EQ(planning_bytes_ratio(SlotCodec::Lossless), 1.0);  // conservative
   EXPECT_EQ(planning_bytes_ratio(SlotCodec::Fp16), 0.5);
   EXPECT_EQ(planning_bytes_ratio(SlotCodec::Bf16), 0.5);
+  // Data-dependent codecs must plan at their worst-case fallback; the
+  // achieved per-slot ratio feeds back through measured_slot_ratio.
+  EXPECT_EQ(planning_bytes_ratio(SlotCodec::Bitmap), 1.0);
+  EXPECT_EQ(planning_bytes_ratio(SlotCodec::BitmapFp16), 0.5);
+}
+
+TEST(CompressedSlotStoreTest, BitmapStoreRecordsMeasuredPerSlotRatio) {
+  CompressedSlotStore store(3, SlotCodec::Bitmap);
+  // Unwritten slots default to the conservative plaintext ratio.
+  EXPECT_DOUBLE_EQ(store.measured_slot_ratio(0), 1.0);
+
+  const Tensor sparse = tensor_from(relu_like(1 << 14, 0.1, 91));
+  store.put(1, sparse);
+  const double sparse_ratio = store.measured_slot_ratio(1);
+  EXPECT_GT(sparse_ratio, 0.0);
+  EXPECT_LT(sparse_ratio, 0.3);  // ~90% zeros pack far below plaintext
+
+  const Tensor dense = tensor_from(relu_like(1 << 14, 1.0, 92));
+  store.put(2, dense);
+  EXPECT_GT(store.measured_slot_ratio(2), 0.9);
+
+  // Round trip stays bit-exact through the store.
+  const Tensor back = store.get(1);
+  EXPECT_EQ(std::memcmp(back.data(), sparse.data(), sparse.bytes()), 0);
+
+  // Overwriting a slot re-measures it.
+  store.put(1, dense);
+  EXPECT_GT(store.measured_slot_ratio(1), 0.9);
 }
 
 // --- CompressedSlotStore --------------------------------------------------
