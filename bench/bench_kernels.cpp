@@ -17,8 +17,10 @@
 #include <random>
 
 #include "bench_json.hpp"
+#include "tensor/convert.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/quant.hpp"
 
 namespace {
 
@@ -145,6 +147,52 @@ void BM_GemmThreads(benchmark::State& state) {
   set_flops(state, 2.0 * static_cast<double>(n) * n * n);
 }
 BENCHMARK(BM_GemmThreads)->Apply(thread_sweep_args);
+
+// bf16 GEMM across the same thread grid, operands pre-rounded once (the
+// steady-state shape: persistent bf16 weights). GFLOPS compares directly
+// against BM_GemmThreads -- the quantized-teacher speedup in isolation.
+void BM_GemmBf16(benchmark::State& state) {
+  ThreadPool::set_global_threads(static_cast<unsigned>(state.range(0)));
+  std::mt19937 rng(8);
+  const std::int64_t n = 192;
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c = Tensor::zeros(Shape{n, n});
+  std::vector<std::uint16_t> a16(static_cast<std::size_t>(n * n));
+  std::vector<std::uint16_t> b16(static_cast<std::size_t>(n * n));
+  convert::fp32_to_bf16(a.data(), a16.data(), n * n);
+  convert::fp32_to_bf16(b.data(), b16.data(), n * n);
+  for (auto _ : state) {
+    ops::gemm_bf16(false, false, n, n, n, 1.0F, a16.data(), b16.data(), 0.0F,
+                   c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  ThreadPool::set_global_threads(0);
+  set_flops(state, 2.0 * static_cast<double>(n) * n * n);
+}
+BENCHMARK(BM_GemmBf16)->Apply(thread_sweep_args);
+
+// int8 GEMM (s8 weights x u8 activations -> s32) across the thread grid.
+// One MAC counts as 2 "flops" so the GFLOPS column compares directly with
+// the fp32 rows.
+void BM_GemmInt8(benchmark::State& state) {
+  ThreadPool::set_global_threads(static_cast<unsigned>(state.range(0)));
+  const std::int64_t n = 192;
+  std::vector<std::int8_t> a8(static_cast<std::size_t>(n * n));
+  std::vector<std::uint8_t> b8(static_cast<std::size_t>(n * n));
+  for (std::size_t i = 0; i < a8.size(); ++i) {
+    a8[i] = static_cast<std::int8_t>(static_cast<int>(i * 37 % 255) - 127);
+    b8[i] = static_cast<std::uint8_t>(i * 101 % 256);
+  }
+  std::vector<std::int32_t> c32(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    quant::gemm_s8u8(n, n, n, a8.data(), b8.data(), /*zp_b=*/128, c32.data());
+    benchmark::DoNotOptimize(c32.data());
+  }
+  ThreadPool::set_global_threads(0);
+  set_flops(state, 2.0 * static_cast<double>(n) * n * n);
+}
+BENCHMARK(BM_GemmInt8)->Apply(thread_sweep_args);
 
 // Same sweep for conv2d forward+backward: the thread point a training step
 // actually runs at (and the probe calibrate() fits conv_gflops from).

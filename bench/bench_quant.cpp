@@ -1,0 +1,517 @@
+// Experiment E20: quantized teacher inference, measured end to end.
+//
+// The harvester's duty cycle is dominated by teacher labeling (pure
+// inference); this bench measures what the bf16/int8 path buys on the
+// running machine and GATES the claims by exit status:
+//
+//   * labeled-frames/sec of the fp32 teacher vs the fused-fp32, bf16 and
+//     int8 QuantizedPatchClassifier (speedup gates: int8 >= 2.0x fp32,
+//     bf16 >= 1.3x -- enforced in full Release runs, warn-only under
+//     --quick where shared-CI wall clocks are indicative at best);
+//   * label agreement with the fp32 teacher over a skew-swept eval set
+//     (int8 top-1 flip rate <= 1%; logit drift reported for the
+//     distillation path) -- always enforced;
+//   * bit-determinism of the quantized kernels across thread counts, and
+//     gemm_bf16 == fp32 gemm on pre-widened operands -- always enforced;
+//   * bf16 master-weight student training: final-loss parity with the
+//     fp32 run through the same Revolve schedule -- always enforced;
+//   * harvest -> train end to end at int8: throughput plus label-purity
+//     parity with the fp32 harvest (accuracy, not wall-clock, so it holds
+//     on loaded machines) -- always enforced.
+//
+// Release builds mirror every number into BENCH_quant.json (the committed
+// baseline; non-Release builds print the standard refusal and skip it).
+// Flags: --quick  CI smoke: smaller workload, wall-clock gates warn-only.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "calib/calibrate.hpp"
+#include "insitu/harvester.hpp"
+#include "insitu/scene.hpp"
+#include "insitu/teacher.hpp"
+#include "tensor/convert.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
+#include "tensor/quant.hpp"
+
+namespace {
+
+using namespace edgetrain;
+using insitu::TeacherPrecision;
+
+struct Gate {
+  std::string name;
+  double value = 0.0;
+  double threshold = 0.0;
+  bool higher_is_better = true;
+  bool enforced = true;
+  [[nodiscard]] bool pass() const {
+    return higher_is_better ? value >= threshold : value <= threshold;
+  }
+};
+
+struct Config {
+  bool quick = false;
+  int patch = 20;
+  int classes = 4;
+  std::int64_t channels = 8;
+  int teacher_per_class = 150;
+  int teacher_epochs = 8;
+  int eval_patches = 512;
+  int batch = 32;
+  double min_sample_seconds = 0.2;
+  int repeats = 3;
+  std::int64_t stream_frames = 600;
+  int student_per_class = 60;
+  int student_epochs = 6;
+};
+
+Config quick_config() {
+  Config c;
+  c.quick = true;
+  c.teacher_per_class = 60;
+  c.teacher_epochs = 3;
+  c.eval_patches = 128;
+  c.min_sample_seconds = 0.02;
+  c.repeats = 1;
+  c.stream_frames = 150;
+  c.student_per_class = 20;
+  c.student_epochs = 2;
+  return c;
+}
+
+insitu::SceneConfig scene_config() {
+  insitu::SceneConfig scene;
+  scene.frame_width = 128;
+  scene.frame_height = 44;
+  scene.object_size = 16;
+  scene.num_classes = 4;
+  scene.speed = 5.0F;
+  scene.max_skew = 0.85F;
+  scene.seed = 17;
+  return scene;
+}
+
+/// Eval set sweeping the viewpoint skew the harvester actually labels:
+/// x positions from mid-frame to the canonical right edge.
+Tensor build_eval_batch(insitu::SceneSimulator& sim, const Config& cfg) {
+  const auto n = static_cast<std::int64_t>(cfg.eval_patches);
+  Tensor batch = Tensor::empty(
+      Shape{n, 1, cfg.patch, cfg.patch});
+  const auto width = static_cast<float>(sim.config().frame_width);
+  const std::size_t per = static_cast<std::size_t>(cfg.patch) *
+                          static_cast<std::size_t>(cfg.patch);
+  for (int i = 0; i < cfg.eval_patches; ++i) {
+    const auto label = static_cast<std::int32_t>(i % cfg.classes);
+    const float frac =
+        0.35F + 0.63F * static_cast<float>(i) /
+                    static_cast<float>(std::max(1, cfg.eval_patches - 1));
+    const std::vector<float> pixels =
+        sim.skewed_patch(label, frac * width, cfg.patch);
+    std::copy(pixels.begin(), pixels.end(),
+              batch.data() + static_cast<std::size_t>(i) * per);
+  }
+  return batch;
+}
+
+/// Labeled patches per second: one "iteration" labels the whole eval set
+/// in cfg.batch-sized predict_batch calls (the harvester's calling shape).
+template <typename Label>
+double labeled_per_sec(const Config& cfg, const Tensor& eval, Label&& label) {
+  const std::int64_t n = eval.shape()[0];
+  const std::int64_t pixels = eval.numel() / n;
+  const double secs = calib::time_per_iteration_seconds(
+      cfg.min_sample_seconds, cfg.repeats, [&] {
+        for (std::int64_t at = 0; at < n; at += cfg.batch) {
+          const std::int64_t count = std::min<std::int64_t>(cfg.batch, n - at);
+          Tensor chunk = Tensor::empty(
+              Shape{count, 1, cfg.patch, cfg.patch});
+          std::memcpy(chunk.data(), eval.data() + at * pixels,
+                      static_cast<std::size_t>(count * pixels) *
+                          sizeof(float));
+          const auto out = label(chunk);
+          if (out.empty()) std::abort();
+        }
+      });
+  return static_cast<double>(n) / secs;
+}
+
+struct Agreement {
+  double flip_rate = 0.0;
+  double mean_logit_drift = 0.0;
+  double max_logit_drift = 0.0;
+};
+
+Agreement compare_logits(const Tensor& reference, const Tensor& other) {
+  Agreement out;
+  const std::int64_t rows = reference.shape()[0];
+  const std::int64_t cols = reference.shape()[1];
+  std::int64_t flips = 0;
+  double drift_sum = 0.0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* ref = reference.data() + r * cols;
+    const float* got = other.data() + r * cols;
+    std::int64_t ref_best = 0;
+    std::int64_t got_best = 0;
+    for (std::int64_t j = 1; j < cols; ++j) {
+      if (ref[j] > ref[ref_best]) ref_best = j;
+      if (got[j] > got[got_best]) got_best = j;
+    }
+    if (ref_best != got_best) ++flips;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const double d = std::abs(static_cast<double>(ref[j]) -
+                                static_cast<double>(got[j]));
+      drift_sum += d;
+      out.max_logit_drift = std::max(out.max_logit_drift, d);
+    }
+  }
+  out.flip_rate =
+      static_cast<double>(flips) / static_cast<double>(std::max<std::int64_t>(rows, 1));
+  out.mean_logit_drift =
+      drift_sum / static_cast<double>(std::max<std::int64_t>(rows * cols, 1));
+  return out;
+}
+
+/// Bit-determinism of every quantized kernel across pool sizes, plus the
+/// gemm_bf16 == fp32-gemm-on-widened-operands identity. Returns true when
+/// all checks hold.
+bool kernels_deterministic() {
+  const std::int64_t n = 160;
+  const std::size_t numel = static_cast<std::size_t>(n * n);
+  std::mt19937 rng(23);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  std::vector<std::uint16_t> a16(numel);
+  std::vector<std::uint16_t> b16(numel);
+  convert::fp32_to_bf16(a.data(), a16.data(), n * n);
+  convert::fp32_to_bf16(b.data(), b16.data(), n * n);
+  std::vector<std::int8_t> a8(numel);
+  std::vector<std::uint8_t> b8(numel);
+  for (std::size_t i = 0; i < numel; ++i) {
+    a8[i] = static_cast<std::int8_t>(static_cast<int>(i * 37 % 255) - 127);
+    b8[i] = static_cast<std::uint8_t>(i * 101 % 256);
+  }
+  // fp32 gemm on the pre-widened bf16 operands: the oracle gemm_bf16 must
+  // match bit for bit (same blocked kernel, same packing order).
+  std::vector<float> widened_a(numel);
+  std::vector<float> widened_b(numel);
+  convert::bf16_to_fp32(a16.data(), widened_a.data(), n * n);
+  convert::bf16_to_fp32(b16.data(), widened_b.data(), n * n);
+
+  const unsigned hw = std::max(1U, std::thread::hardware_concurrency());
+  const std::vector<unsigned> pools = {1U, 2U, hw};
+  std::vector<float> ref_f(numel);
+  std::vector<float> ref_bf(numel);
+  std::vector<std::int32_t> ref_s32(numel);
+  bool ok = true;
+  for (std::size_t t = 0; t < pools.size(); ++t) {
+    ThreadPool::set_global_threads(pools[t]);
+    std::vector<float> c_f(numel);
+    std::vector<float> c_bf(numel);
+    std::vector<float> c_w(numel);
+    std::vector<std::int32_t> c_s32(numel);
+    ops::gemm(false, false, n, n, n, 1.0F, a.data(), b.data(), 0.0F,
+              c_f.data());
+    ops::gemm_bf16(false, false, n, n, n, 1.0F, a16.data(), b16.data(), 0.0F,
+                   c_bf.data());
+    ops::gemm(false, false, n, n, n, 1.0F, widened_a.data(), widened_b.data(),
+              0.0F, c_w.data());
+    quant::gemm_s8u8(n, n, n, a8.data(), b8.data(), 128, c_s32.data());
+    if (std::memcmp(c_bf.data(), c_w.data(), numel * sizeof(float)) != 0) {
+      ok = false;
+    }
+    if (t == 0) {
+      ref_f = c_f;
+      ref_bf = c_bf;
+      ref_s32 = c_s32;
+    } else {
+      ok = ok &&
+           std::memcmp(c_f.data(), ref_f.data(), numel * sizeof(float)) == 0 &&
+           std::memcmp(c_bf.data(), ref_bf.data(), numel * sizeof(float)) ==
+               0 &&
+           std::memcmp(c_s32.data(), ref_s32.data(),
+                       numel * sizeof(std::int32_t)) == 0;
+    }
+  }
+  ThreadPool::set_global_threads(0);
+  return ok;
+}
+
+struct HarvestRun {
+  double frames_per_sec = 0.0;
+  double purity = 0.0;
+  long long images = 0;
+  long long queries = 0;
+  long long quantized_queries = 0;
+};
+
+HarvestRun run_harvest(insitu::PatchClassifier& teacher,
+                       const std::vector<insitu::Frame>& frames,
+                       const Config& cfg, TeacherPrecision precision) {
+  insitu::HarvestConfig harvest;
+  harvest.patch = cfg.patch;
+  harvest.teacher_confidence = 0.8F;
+  harvest.teacher_precision = precision;
+  insitu::Harvester harvester(teacher, harvest);
+  const auto start = std::chrono::steady_clock::now();
+  for (const insitu::Frame& frame : frames) harvester.consume(frame);
+  harvester.finish();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const insitu::HarvestStats stats = harvester.stats();
+  HarvestRun run;
+  run.frames_per_sec =
+      static_cast<double>(frames.size()) / std::max(secs, 1e-9);
+  run.purity = stats.label_purity;
+  run.images = static_cast<long long>(stats.images_harvested);
+  run.queries = static_cast<long long>(stats.teacher_queries);
+  run.quantized_queries = static_cast<long long>(stats.quantized_queries);
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) cfg = quick_config();
+  }
+#ifdef NDEBUG
+  const bool release = true;
+#else
+  const bool release = false;
+#endif
+  // Wall-clock ratio gates need a quiet machine and a Release build;
+  // accuracy, determinism and parity gates hold anywhere.
+  const bool enforce_wallclock = release && !cfg.quick;
+
+  std::printf("bench_quant: quantized teacher inference (%s mode)\n\n",
+              cfg.quick ? "quick" : "full");
+
+  // --- teacher -------------------------------------------------------------
+  insitu::SceneSimulator sim(scene_config());
+  insitu::PatchDataset teacher_data(cfg.patch);
+  for (int e = 0; e < cfg.teacher_per_class; ++e) {
+    for (int k = 0; k < cfg.classes; ++k) {
+      teacher_data.add(sim.canonical_patch(k, cfg.patch),
+                       static_cast<std::int32_t>(k));
+    }
+  }
+  insitu::PatchClassifier teacher(cfg.patch, cfg.classes, cfg.channels, 33);
+  insitu::TrainOptions teacher_train;
+  teacher_train.epochs = cfg.teacher_epochs;
+  teacher_train.checkpoint_free_slots = -1;
+  (void)teacher.train(teacher_data, teacher_train);
+
+  const Tensor eval = build_eval_batch(sim, cfg);
+  const std::int64_t calib_n = std::min<std::int64_t>(64, eval.shape()[0]);
+  Tensor calibration = Tensor::empty(
+      Shape{calib_n, 1, cfg.patch, cfg.patch});
+  std::memcpy(calibration.data(), eval.data(),
+              static_cast<std::size_t>(calibration.numel()) * sizeof(float));
+
+  insitu::QuantizedPatchClassifier fused_fp32(teacher, calibration,
+                                              TeacherPrecision::Fp32);
+  insitu::QuantizedPatchClassifier quant_bf16(teacher, calibration,
+                                              TeacherPrecision::Bf16);
+  insitu::QuantizedPatchClassifier quant_int8(teacher, calibration,
+                                              TeacherPrecision::Int8);
+
+  // --- determinism ---------------------------------------------------------
+  const bool deterministic = kernels_deterministic();
+  std::printf("kernel determinism across thread pools: %s\n",
+              deterministic ? "bitwise" : "MISMATCH");
+
+  // --- accuracy ------------------------------------------------------------
+  Tensor logits_ref = teacher.logits(eval);
+  const Agreement fused_vs_ref = compare_logits(logits_ref, fused_fp32.logits(eval));
+  const Agreement bf16_vs_ref = compare_logits(logits_ref, quant_bf16.logits(eval));
+  const Agreement int8_vs_ref = compare_logits(logits_ref, quant_int8.logits(eval));
+  std::printf("label flips vs fp32 teacher over %lld patches:\n",
+              static_cast<long long>(eval.shape()[0]));
+  std::printf("  fused fp32 %.3f%%  bf16 %.3f%%  int8 %.3f%%\n",
+              100.0 * fused_vs_ref.flip_rate, 100.0 * bf16_vs_ref.flip_rate,
+              100.0 * int8_vs_ref.flip_rate);
+  std::printf("logit drift (mean / max): bf16 %.4f / %.4f, int8 %.4f / %.4f\n\n",
+              bf16_vs_ref.mean_logit_drift, bf16_vs_ref.max_logit_drift,
+              int8_vs_ref.mean_logit_drift, int8_vs_ref.max_logit_drift);
+
+  // --- throughput ----------------------------------------------------------
+  const double fps_fp32 = labeled_per_sec(
+      cfg, eval, [&](const Tensor& chunk) { return teacher.predict_batch(chunk); });
+  const double fps_fused = labeled_per_sec(
+      cfg, eval,
+      [&](const Tensor& chunk) { return fused_fp32.predict_batch(chunk); });
+  const double fps_bf16 = labeled_per_sec(
+      cfg, eval,
+      [&](const Tensor& chunk) { return quant_bf16.predict_batch(chunk); });
+  const double fps_int8 = labeled_per_sec(
+      cfg, eval,
+      [&](const Tensor& chunk) { return quant_int8.predict_batch(chunk); });
+  std::printf("labeled patches/sec (batch %d):\n", cfg.batch);
+  std::printf("  %-12s %10.0f\n", "fp32", fps_fp32);
+  std::printf("  %-12s %10.0f  (%.2fx)\n", "fused fp32", fps_fused,
+              fps_fused / fps_fp32);
+  std::printf("  %-12s %10.0f  (%.2fx)\n", "bf16", fps_bf16,
+              fps_bf16 / fps_fp32);
+  std::printf("  %-12s %10.0f  (%.2fx)\n\n", "int8", fps_int8,
+              fps_int8 / fps_fp32);
+
+  // --- bf16 master-weight student training ---------------------------------
+  insitu::PatchDataset student_data(cfg.patch);
+  {
+    const auto width = static_cast<float>(sim.config().frame_width);
+    for (int e = 0; e < cfg.student_per_class; ++e) {
+      for (int k = 0; k < cfg.classes; ++k) {
+        const float frac =
+            0.3F + 0.65F * static_cast<float>(e) /
+                       static_cast<float>(std::max(1, cfg.student_per_class - 1));
+        student_data.add(sim.skewed_patch(k, frac * width, cfg.patch),
+                         static_cast<std::int32_t>(k));
+      }
+    }
+  }
+  insitu::TrainOptions student_train;
+  student_train.epochs = cfg.student_epochs;
+  student_train.checkpoint_free_slots = 2;  // through the Revolve schedule
+  insitu::PatchClassifier student_fp32(cfg.patch, cfg.classes, cfg.channels, 71);
+  insitu::PatchClassifier student_bf16(cfg.patch, cfg.classes, cfg.channels, 71);
+  const insitu::TrainStats fp32_stats =
+      student_fp32.train(student_data, student_train);
+  student_train.bf16_compute = true;
+  const insitu::TrainStats bf16_stats =
+      student_bf16.train(student_data, student_train);
+  const double loss_fp32 = static_cast<double>(fp32_stats.final_loss());
+  const double loss_bf16 = static_cast<double>(bf16_stats.final_loss());
+  const double loss_gap = std::abs(loss_bf16 - loss_fp32);
+  const double loss_tol = std::max(0.05, 0.15 * loss_fp32);
+  std::printf("bf16 student (Revolve schedule, fp32 masters): final loss "
+              "%.4f vs fp32 %.4f (|delta| %.4f, tol %.4f)\n\n",
+              loss_bf16, loss_fp32, loss_gap, loss_tol);
+
+  // --- harvest -> train end to end -----------------------------------------
+  std::vector<insitu::Frame> frames;
+  frames.reserve(static_cast<std::size_t>(cfg.stream_frames));
+  {
+    insitu::SceneSimulator stream(scene_config());
+    for (std::int64_t i = 0; i < cfg.stream_frames; ++i) {
+      frames.push_back(stream.next_frame());
+    }
+  }
+  const HarvestRun harvest_fp32 =
+      run_harvest(teacher, frames, cfg, TeacherPrecision::Fp32);
+  const HarvestRun harvest_int8 =
+      run_harvest(teacher, frames, cfg, TeacherPrecision::Int8);
+  const double purity_gap = std::abs(harvest_int8.purity - harvest_fp32.purity);
+  std::printf("harvest end to end over %lld frames:\n",
+              static_cast<long long>(cfg.stream_frames));
+  std::printf("  fp32: %7.1f frames/sec, %lld images, purity %.3f\n",
+              harvest_fp32.frames_per_sec, harvest_fp32.images,
+              harvest_fp32.purity);
+  std::printf("  int8: %7.1f frames/sec, %lld images, purity %.3f "
+              "(%lld/%lld queries quantized)\n\n",
+              harvest_int8.frames_per_sec, harvest_int8.images,
+              harvest_int8.purity, harvest_int8.quantized_queries,
+              harvest_int8.queries);
+
+  // --- gates ---------------------------------------------------------------
+  std::vector<Gate> gates;
+  gates.push_back({"int8_speedup_vs_fp32", fps_int8 / fps_fp32, 2.0, true,
+                   enforce_wallclock});
+  gates.push_back({"bf16_speedup_vs_fp32", fps_bf16 / fps_fp32, 1.3, true,
+                   enforce_wallclock});
+  gates.push_back({"int8_label_flip_rate", int8_vs_ref.flip_rate, 0.01, false,
+                   true});
+  gates.push_back({"bf16_label_flip_rate", bf16_vs_ref.flip_rate, 0.01, false,
+                   true});
+  gates.push_back({"kernel_thread_determinism", deterministic ? 1.0 : 0.0,
+                   1.0, true, true});
+  gates.push_back({"bf16_student_loss_gap", loss_gap, loss_tol, false, true});
+  gates.push_back({"harvest_purity_gap_int8", purity_gap, 0.03, false, true});
+  gates.push_back({"harvest_quantized_queries",
+                   static_cast<double>(harvest_int8.quantized_queries), 1.0,
+                   true, true});
+
+  bool failed = false;
+  std::printf("%-28s %12s %12s %-9s %s\n", "gate", "value", "threshold",
+              "enforced", "status");
+  for (const Gate& gate : gates) {
+    const bool pass = gate.pass();
+    if (gate.enforced && !pass) failed = true;
+    std::printf("%-28s %12.4f %12.4f %-9s %s\n", gate.name.c_str(), gate.value,
+                gate.threshold, gate.enforced ? "yes" : "warn-only",
+                pass ? "PASS" : (gate.enforced ? "FAIL" : "WARN"));
+  }
+
+  // --- JSON baseline -------------------------------------------------------
+  if (auto report = bench::BenchReport::create("bench_quant",
+                                               "BENCH_quant.json")) {
+    report->json().field("mode", cfg.quick ? "quick" : "full");
+    report->end_context();
+    bench::JsonWriter& json = report->json();
+    json.key("throughput").begin_object();
+    json.field("batch", cfg.batch);
+    json.field("eval_patches", static_cast<long long>(eval.shape()[0]));
+    json.field("fp32_labeled_per_sec", fps_fp32, "%.1f");
+    json.field("fused_fp32_labeled_per_sec", fps_fused, "%.1f");
+    json.field("bf16_labeled_per_sec", fps_bf16, "%.1f");
+    json.field("int8_labeled_per_sec", fps_int8, "%.1f");
+    json.field("bf16_speedup", fps_bf16 / fps_fp32, "%.3f");
+    json.field("int8_speedup", fps_int8 / fps_fp32, "%.3f");
+    json.end_object();
+    json.key("accuracy").begin_object();
+    json.field("fused_fp32_flip_rate", fused_vs_ref.flip_rate, "%.5f");
+    json.field("bf16_flip_rate", bf16_vs_ref.flip_rate, "%.5f");
+    json.field("int8_flip_rate", int8_vs_ref.flip_rate, "%.5f");
+    json.field("bf16_mean_logit_drift", bf16_vs_ref.mean_logit_drift, "%.5f");
+    json.field("bf16_max_logit_drift", bf16_vs_ref.max_logit_drift, "%.5f");
+    json.field("int8_mean_logit_drift", int8_vs_ref.mean_logit_drift, "%.5f");
+    json.field("int8_max_logit_drift", int8_vs_ref.max_logit_drift, "%.5f");
+    json.field("kernels_thread_deterministic", deterministic);
+    json.end_object();
+    json.key("bf16_student").begin_object();
+    json.field("fp32_final_loss", loss_fp32, "%.5f");
+    json.field("bf16_final_loss", loss_bf16, "%.5f");
+    json.field("loss_gap", loss_gap, "%.5f");
+    json.field("loss_tolerance", loss_tol, "%.5f");
+    json.end_object();
+    json.key("harvest").begin_object();
+    json.field("frames", static_cast<long long>(cfg.stream_frames));
+    json.field("fp32_frames_per_sec", harvest_fp32.frames_per_sec, "%.1f");
+    json.field("int8_frames_per_sec", harvest_int8.frames_per_sec, "%.1f");
+    json.field("fp32_images", harvest_fp32.images);
+    json.field("int8_images", harvest_int8.images);
+    json.field("fp32_purity", harvest_fp32.purity, "%.4f");
+    json.field("int8_purity", harvest_int8.purity, "%.4f");
+    json.field("int8_quantized_queries", harvest_int8.quantized_queries);
+    json.end_object();
+    json.key("gates").begin_array();
+    for (const Gate& gate : gates) {
+      json.begin_object();
+      json.field("name", gate.name);
+      json.field("value", gate.value, "%.5f");
+      json.field("threshold", gate.threshold, "%.5f");
+      json.field("enforced", gate.enforced);
+      json.field("pass", gate.pass());
+      json.end_object();
+    }
+    json.end_array();
+    report->close();
+  }
+
+  if (failed) {
+    std::printf("\nbench_quant: enforced gate FAILED\n");
+    return 1;
+  }
+  std::printf("\nbench_quant: all enforced gates passed\n");
+  return 0;
+}

@@ -23,10 +23,19 @@
 // under /tmp), the chain's real per-step times are measured, and the
 // heterogeneous DP plans against them -- with --async-io the disk spill
 // weights are additionally priced from the measured SD bandwidth.
+//
+// With --teacher-quant=bf16|int8 the training labels come from a small
+// patch teacher queried through the post-training-quantized inference path
+// (DESIGN.md section 17) instead of the planted ground truth, the way the
+// harvester labels frames in the in-situ pipeline. The loop reports the
+// teacher's agreement with the planted labels and its labeling throughput;
+// --teacher-quant=fp32 runs the same fused path unquantized for an A/B.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <random>
 
 #include "calib/calibrate.hpp"
@@ -36,6 +45,8 @@
 #include "core/dynprog.hpp"
 #include "core/executor.hpp"
 #include "core/revolve.hpp"
+#include "insitu/quant_classifier.hpp"
+#include "insitu/teacher.hpp"
 #include "models/small_nets.hpp"
 #include "nn/chain_runner.hpp"
 #include "nn/optim.hpp"
@@ -46,11 +57,27 @@ int main(int argc, char** argv) {
   bool async_io = false;
   bool calibrate = false;
   core::SlotCodec codec = core::SlotCodec::None;
+  std::optional<insitu::TeacherPrecision> teacher_quant;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--async-io") == 0) {
       async_io = true;
     } else if (std::strcmp(argv[i], "--calibrate") == 0) {
       calibrate = true;
+    } else if (std::strncmp(argv[i], "--teacher-quant=", 16) == 0) {
+      const char* mode = argv[i] + 16;
+      if (std::strcmp(mode, "fp32") == 0) {
+        teacher_quant = insitu::TeacherPrecision::Fp32;
+      } else if (std::strcmp(mode, "bf16") == 0) {
+        teacher_quant = insitu::TeacherPrecision::Bf16;
+      } else if (std::strcmp(mode, "int8") == 0) {
+        teacher_quant = insitu::TeacherPrecision::Int8;
+      } else {
+        std::fprintf(stderr,
+                     "quickstart: unknown precision in %s (expected "
+                     "--teacher-quant=fp32|bf16|int8)\n",
+                     argv[i]);
+        return 1;
+      }
     } else if (std::strncmp(argv[i], "--compress", 10) == 0) {
       const char* eq = std::strchr(argv[i], '=');
       const auto parsed = core::parse_slot_codec(eq ? eq + 1 : "lossless");
@@ -77,6 +104,41 @@ int main(int argc, char** argv) {
                                                  /*in_channels=*/1, rng);
   std::printf("network: %d chain steps, %lld parameters\n", net.size(),
               static_cast<long long>(net.param_count()));
+
+  // Optional quantized teacher (DESIGN.md section 17): train a small patch
+  // classifier on the planted-square distribution, then rebuild its eval
+  // forward at the requested precision. The training loop below asks *it*
+  // for labels, the way the harvester labels frames in the in-situ
+  // pipeline, instead of reading the planted ground truth.
+  std::unique_ptr<insitu::PatchClassifier> teacher;
+  std::unique_ptr<insitu::QuantizedPatchClassifier> quant_teacher;
+  if (teacher_quant) {
+    teacher = std::make_unique<insitu::PatchClassifier>(
+        /*patch=*/16, /*num_classes=*/4, /*base_channels=*/8, /*seed=*/11);
+    insitu::PatchDataset teach_data(16);
+    std::mt19937 teach_rng(23);
+    std::normal_distribution<float> noise(0.0F, 1.0F);
+    for (std::int32_t label = 0; label < 4; ++label) {
+      for (int sample = 0; sample < 40; ++sample) {
+        std::vector<float> pixels(256);
+        for (auto& p : pixels) p = noise(teach_rng);
+        const int oy = (label / 2) * 8;
+        const int ox = (label % 2) * 8;
+        for (int yy = 0; yy < 8; ++yy) {
+          for (int xx = 0; xx < 8; ++xx) {
+            pixels[static_cast<std::size_t>((oy + yy) * 16 + ox + xx)] +=
+                1.5F;
+          }
+        }
+        teach_data.add(std::move(pixels), label);
+      }
+    }
+    insitu::TrainOptions teach_options;
+    teach_options.epochs = 6;
+    (void)teacher->train(teach_data, teach_options);
+    quant_teacher = std::make_unique<insitu::QuantizedPatchClassifier>(
+        *teacher, teach_data.batch(0, 48), *teacher_quant);
+  }
 
   // Optional on-device calibration: probe the machine once (the profile is
   // cached and re-used across runs) and time the real chain so the DP
@@ -162,6 +224,9 @@ int main(int argc, char** argv) {
   nn::LayerChainRunner runner(net, nn::Phase::Train);
   core::ScheduleExecutor executor;
 
+  double teacher_us = 0.0;
+  int teacher_agree = 0;
+  int teacher_total = 0;
   for (int step = 0; step < 30; ++step) {
     Tensor x = Tensor::randn(Shape{8, 1, 16, 16}, rng);
     std::vector<std::int32_t> labels;
@@ -177,6 +242,20 @@ int main(int argc, char** argv) {
       for (int yy = 0; yy < 8; ++yy) {
         for (int xx = 0; xx < 8; ++xx) img[(oy + yy) * 16 + ox + xx] += 1.5F;
       }
+    }
+    if (quant_teacher != nullptr) {
+      // Replace the planted labels with the quantized teacher's verdicts,
+      // keeping the planted ones only to score agreement.
+      const auto start = std::chrono::steady_clock::now();
+      const auto teacher_out = quant_teacher->predict_batch(x);
+      teacher_us += std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+      for (std::size_t i = 0; i < teacher_out.size(); ++i) {
+        if (teacher_out[i].first == labels[i]) ++teacher_agree;
+        labels[i] = teacher_out[i].first;
+      }
+      teacher_total += static_cast<int>(teacher_out.size());
     }
 
     optimizer.zero_grad();
@@ -203,6 +282,13 @@ int main(int argc, char** argv) {
                       1024.0,
                   static_cast<long long>(result.stats.advances));
     }
+  }
+  if (quant_teacher != nullptr) {
+    std::printf("\nteacher labels (%s): %.1f%% agreement with planted "
+                "labels, %.0f labels/sec\n",
+                insitu::to_string(quant_teacher->precision()),
+                100.0 * teacher_agree / teacher_total,
+                1e6 * teacher_total / teacher_us);
   }
   std::printf("\ndone: the same loop with full_storage_schedule() gives "
               "bit-identical gradients at a higher footprint.\n");

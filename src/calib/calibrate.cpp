@@ -9,8 +9,10 @@
 #include <thread>
 
 #include "core/slot_store.hpp"
+#include "tensor/convert.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/quant.hpp"
 #include "tensor/tensor.hpp"
 
 namespace edgetrain::calib {
@@ -104,6 +106,35 @@ ThreadPoint measure_compute_point(int threads,
                     c.data());
         });
     point.gemm_gflops = flops / secs * 1e-9;
+
+    // bf16 GEMM probe on the same operands, pre-rounded once (the
+    // steady-state shape: persistent bf16 weights, repeated products).
+    std::vector<std::uint16_t> a16(static_cast<std::size_t>(n * n));
+    std::vector<std::uint16_t> b16(static_cast<std::size_t>(n * n));
+    convert::fp32_to_bf16(a.data(), a16.data(), n * n);
+    convert::fp32_to_bf16(b.data(), b16.data(), n * n);
+    const double bf16_secs = time_per_iteration_seconds(
+        options.min_sample_seconds, options.repeats, [&] {
+          ops::gemm_bf16(false, false, n, n, n, 1.0F, a16.data(), b16.data(),
+                         0.0F, c.data());
+        });
+    point.bf16_gemm_gflops = flops / bf16_secs * 1e-9;
+
+    // int8 GEMM probe: same dimensions, s8 weights x u8 activations into
+    // s32 -- one MAC counted as 2 ops so the rate compares to gemm_gflops.
+    std::vector<std::int8_t> a8(static_cast<std::size_t>(n * n));
+    std::vector<std::uint8_t> b8(static_cast<std::size_t>(n * n));
+    for (std::size_t i = 0; i < a8.size(); ++i) {
+      a8[i] = static_cast<std::int8_t>(static_cast<int>(i * 37 % 255) - 127);
+      b8[i] = static_cast<std::uint8_t>(i * 101 % 256);
+    }
+    std::vector<std::int32_t> c32(static_cast<std::size_t>(n * n));
+    const double s8_secs = time_per_iteration_seconds(
+        options.min_sample_seconds, options.repeats, [&] {
+          quant::gemm_s8u8(n, n, n, a8.data(), b8.data(), /*zp_b=*/128,
+                           c32.data());
+        });
+    point.s8_gemm_gops = flops / s8_secs * 1e-9;
   }
 
   {

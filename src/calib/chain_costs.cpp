@@ -133,9 +133,21 @@ ChainCosts measure_chain(nn::LayerChain& chain, const Tensor& input,
 
 ChainCosts predict_resnet(const models::ResNetSpec& spec, int image_size,
                           std::int64_t batch, const DeviceModel& model,
-                          int threads) {
+                          int threads, Precision precision) {
   if (!model.valid()) {
     throw std::invalid_argument("predict_resnet: invalid device model");
+  }
+  // Quantized pricing: conv work lowers to GEMM, so the measured
+  // fp32-GEMM/quantized-GEMM throughput ratio is the speedup the conv rate
+  // inherits. A factor of 1.0 (unmeasured quantized rate falls back to the
+  // fp32 gemm_us) degrades gracefully to the fp32 prediction.
+  double scale = 1.0;
+  if (precision != Precision::Fp32) {
+    const double fp32_us = model.gemm_us(1e9, threads);
+    const double quant_us = precision == Precision::Bf16
+                                ? model.bf16_gemm_us(1e9, threads)
+                                : model.s8_gemm_us(1e9, threads);
+    if (fp32_us > 0.0 && quant_us > 0.0) scale = quant_us / fp32_us;
   }
   ChainCosts costs;
   const std::vector<double> macs =
@@ -148,7 +160,7 @@ ChainCosts predict_resnet(const models::ResNetSpec& spec, int image_size,
   for (std::size_t i = 0; i < l; ++i) {
     // MACs -> flops (x2), priced at conv throughput: every step of a
     // ResNet is conv-dominated except the (negligible) head linear.
-    const double us = model.conv_us(2.0 * macs[i], threads);
+    const double us = scale * model.conv_us(2.0 * macs[i], threads);
     costs.forward_us.push_back(us);
     // Backward of a conv is the dX + dW GEMM pair: 2x the forward work.
     costs.backward_us.push_back(2.0 * us);

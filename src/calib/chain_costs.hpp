@@ -87,9 +87,16 @@ struct MeasureOptions {
 /// MAC counts through the fitted model: forward MACs at conv throughput,
 /// backward charged 2x forward (the dX + dW GEMM pair). Boundary bytes use
 /// the spec's per-step activation accounting.
+///
+/// @p precision prices the compute at the device's measured quantized GEMM
+/// rate (Bf16/Int8 probes; fp32 fallback when unmeasured): forward times
+/// scale by the fp32-GEMM/quantized-GEMM throughput ratio. Boundary bytes
+/// stay fp32 -- the planners checkpoint master-precision activations (the
+/// bf16 training path keeps fp32 boundaries; see ops::GemmPrecision).
 [[nodiscard]] ChainCosts predict_resnet(const models::ResNetSpec& spec,
                                         int image_size, std::int64_t batch,
-                                        const DeviceModel& model, int threads);
+                                        const DeviceModel& model, int threads,
+                                        Precision precision = Precision::Fp32);
 
 // --- planner feeders -------------------------------------------------------
 

@@ -28,6 +28,11 @@ bool DeviceModel::valid() const {
   for (const ThreadPoint& p : points) {
     if (p.threads <= prev) return false;  // ascending, >= 1
     if (!(p.gemm_gflops > 0.0) || !(p.conv_gflops > 0.0)) return false;
+    // Quantized rates may legitimately be 0.0 (unmeasured) but never
+    // negative or NaN.
+    if (!(p.bf16_gemm_gflops >= 0.0) || !(p.s8_gemm_gops >= 0.0)) {
+      return false;
+    }
     prev = p.threads;
   }
   if (!(memcpy_bytes_per_sec > 0.0)) return false;
@@ -82,6 +87,14 @@ double DeviceModel::conv_gflops_at(int threads) const {
   return interpolate(points, threads, &ThreadPoint::conv_gflops);
 }
 
+double DeviceModel::bf16_gemm_gflops_at(int threads) const {
+  return interpolate(points, threads, &ThreadPoint::bf16_gemm_gflops);
+}
+
+double DeviceModel::s8_gemm_gops_at(int threads) const {
+  return interpolate(points, threads, &ThreadPoint::s8_gemm_gops);
+}
+
 double DeviceModel::gemm_us(double flops, int threads) const {
   const double gflops = gemm_gflops_at(threads);
   return gflops > 0.0 ? flops / (gflops * 1e9) * 1e6 : 0.0;
@@ -90,6 +103,18 @@ double DeviceModel::gemm_us(double flops, int threads) const {
 double DeviceModel::conv_us(double flops, int threads) const {
   const double gflops = conv_gflops_at(threads);
   return gflops > 0.0 ? flops / (gflops * 1e9) * 1e6 : 0.0;
+}
+
+double DeviceModel::bf16_gemm_us(double flops, int threads) const {
+  const double gflops = bf16_gemm_gflops_at(threads);
+  if (gflops > 0.0) return flops / (gflops * 1e9) * 1e6;
+  return gemm_us(flops, threads);  // unmeasured: conservative fp32 rate
+}
+
+double DeviceModel::s8_gemm_us(double ops, int threads) const {
+  const double gops = s8_gemm_gops_at(threads);
+  if (gops > 0.0) return ops / (gops * 1e9) * 1e6;
+  return gemm_us(ops, threads);  // unmeasured: conservative fp32 rate
 }
 
 double DeviceModel::memcpy_us(double bytes) const {
@@ -117,6 +142,8 @@ std::vector<std::uint8_t> encode_profile(const DeviceModel& model) {
     payload.u32(static_cast<std::uint32_t>(p.threads));
     wr_f64(payload, p.gemm_gflops);
     wr_f64(payload, p.conv_gflops);
+    wr_f64(payload, p.bf16_gemm_gflops);
+    wr_f64(payload, p.s8_gemm_gops);
   }
   wr_f64(payload, model.memcpy_bytes_per_sec);
   wr_f64(payload, model.disk_write_bytes_per_sec);
@@ -146,6 +173,8 @@ DeviceModel decode_profile(const std::vector<std::uint8_t>& bytes) {
       p.threads = static_cast<int>(r.u32());
       p.gemm_gflops = rd_f64(r);
       p.conv_gflops = rd_f64(r);
+      p.bf16_gemm_gflops = rd_f64(r);
+      p.s8_gemm_gops = rd_f64(r);
       model.points.push_back(p);
     }
     model.memcpy_bytes_per_sec = rd_f64(r);

@@ -40,6 +40,13 @@ struct ThreadPoint {
   int threads = 1;
   double gemm_gflops = 0.0;
   double conv_gflops = 0.0;
+  /// Quantized-kernel throughput (profile v2). 0.0 means "not measured"
+  /// (e.g. a probe was skipped): still a valid point, and the precision
+  /// queries fall back to the fp32 GEMM rate.
+  double bf16_gemm_gflops = 0.0;
+  /// int8 GEMM in giga-ops/sec (one multiply-accumulate = 2 ops, the same
+  /// counting as GFLOPS, so ratios against gemm_gflops compare directly).
+  double s8_gemm_gops = 0.0;
 
   [[nodiscard]] bool operator==(const ThreadPoint&) const = default;
 };
@@ -72,10 +79,18 @@ struct DeviceModel {
   /// points, clamped at the ends (no extrapolation beyond measurements).
   [[nodiscard]] double gemm_gflops_at(int threads) const;
   [[nodiscard]] double conv_gflops_at(int threads) const;
+  /// Quantized GEMM rates. 0.0 when no point measured them (pre-v2
+  /// profiles or skipped probes).
+  [[nodiscard]] double bf16_gemm_gflops_at(int threads) const;
+  [[nodiscard]] double s8_gemm_gops_at(int threads) const;
 
   /// Predicted microseconds for @p flops of GEMM / conv work.
   [[nodiscard]] double gemm_us(double flops, int threads) const;
   [[nodiscard]] double conv_us(double flops, int threads) const;
+  /// Quantized-GEMM predictions; when the quantized rate is unmeasured
+  /// (0.0) these conservatively fall back to the fp32 GEMM rate.
+  [[nodiscard]] double bf16_gemm_us(double flops, int threads) const;
+  [[nodiscard]] double s8_gemm_us(double ops, int threads) const;
 
   /// Predicted microseconds to copy / spill-write / spill-read @p bytes.
   [[nodiscard]] double memcpy_us(double bytes) const;
@@ -90,7 +105,14 @@ class ProfileError : public std::runtime_error {
       : std::runtime_error("calib profile: " + what) {}
 };
 
-inline constexpr std::uint32_t kProfileVersion = 1;
+/// Numeric precision a planner wants work priced at. Fp32 is the measured
+/// baseline; Bf16/Int8 use the quantized GEMM probes (with fp32 fallback
+/// when a profile predates them).
+enum class Precision : std::uint8_t { Fp32, Bf16, Int8 };
+
+/// v2 adds bf16/int8 GEMM throughput per point. Cached v1 profiles fail
+/// the version check and are simply re-measured by load_or_calibrate.
+inline constexpr std::uint32_t kProfileVersion = 2;
 
 /// Serialises @p model into the versioned, CRC-protected "ETCP" container.
 [[nodiscard]] std::vector<std::uint8_t> encode_profile(

@@ -64,16 +64,39 @@ void Harvester::label_finished_tracks() {
 
     // Query the teacher on the track's canonical-region sightings only
     // (that is where the cloud model is trustworthy); a confidence-weighted
-    // vote across those sightings decides the track label.
+    // vote across those sightings decides the track label. All queryable
+    // sightings go through ONE batched forward -- per row the labels are
+    // bit-identical to per-patch predict(), but layer dispatch and GEMM
+    // setup amortize across the track.
+    std::vector<const BufferedSighting*> queryable_sightings;
+    for (const BufferedSighting& sighting : sightings) {
+      if (queryable(sighting)) queryable_sightings.push_back(&sighting);
+    }
     std::vector<double> votes(
         static_cast<std::size_t>(teacher_.num_classes()), 0.0);
     float best_confidence = 0.0F;
-    for (const BufferedSighting& sighting : sightings) {
-      if (!queryable(sighting)) continue;
-      const auto [label, confidence] = teacher_.predict(sighting.pixels);
-      ++stats_.teacher_queries;
-      votes[static_cast<std::size_t>(label)] += confidence;
-      best_confidence = std::max(best_confidence, confidence);
+    if (!queryable_sightings.empty()) {
+      const bool quantized = maybe_build_quant_teacher(queryable_sightings);
+      const auto count = static_cast<std::int64_t>(queryable_sightings.size());
+      Tensor batch = Tensor::empty(
+          Shape{count, 1, config_.patch, config_.patch});
+      const std::size_t per =
+          static_cast<std::size_t>(config_.patch) *
+          static_cast<std::size_t>(config_.patch);
+      for (std::size_t q = 0; q < queryable_sightings.size(); ++q) {
+        std::copy(queryable_sightings[q]->pixels.begin(),
+                  queryable_sightings[q]->pixels.end(),
+                  batch.data() + q * per);
+      }
+      const std::vector<std::pair<std::int32_t, float>> predictions =
+          quantized ? quant_teacher_->predict_batch(batch)
+                    : teacher_.predict_batch(batch);
+      stats_.teacher_queries += count;
+      if (quantized) stats_.quantized_queries += count;
+      for (const auto& [label, confidence] : predictions) {
+        votes[static_cast<std::size_t>(label)] += confidence;
+        best_confidence = std::max(best_confidence, confidence);
+      }
     }
     std::int32_t best_label = -1;
     double best_vote = 0.0;
@@ -121,6 +144,37 @@ void Harvester::label_finished_tracks() {
       ++stats_.images_harvested;
     }
   }
+}
+
+bool Harvester::maybe_build_quant_teacher(
+    const std::vector<const BufferedSighting*>& queryable_sightings) {
+  if (config_.teacher_precision == TeacherPrecision::Fp32) return false;
+  if (quant_teacher_ != nullptr) return true;
+  // Self-calibration: buffer this track's queryable patches (they get
+  // labelled fp32 below) until the calibration batch is full.
+  for (const BufferedSighting* sighting : queryable_sightings) {
+    calibration_buffer_.push_back(sighting->pixels);
+  }
+  if (calibration_buffer_.size() <
+      static_cast<std::size_t>(std::max(1, config_.quant_calibration_patches))) {
+    return false;
+  }
+  const auto count = static_cast<std::int64_t>(calibration_buffer_.size());
+  Tensor batch =
+      Tensor::empty(Shape{count, 1, config_.patch, config_.patch});
+  const std::size_t per = static_cast<std::size_t>(config_.patch) *
+                          static_cast<std::size_t>(config_.patch);
+  for (std::size_t i = 0; i < calibration_buffer_.size(); ++i) {
+    std::copy(calibration_buffer_[i].begin(), calibration_buffer_[i].end(),
+              batch.data() + i * per);
+  }
+  QuantOptions options;
+  options.percentile = config_.quant_percentile;
+  quant_teacher_ = std::make_unique<QuantizedPatchClassifier>(
+      teacher_, batch, config_.teacher_precision, options);
+  calibration_buffer_.clear();
+  calibration_buffer_.shrink_to_fit();
+  return true;
 }
 
 bool Harvester::queryable(const BufferedSighting& sighting) const {

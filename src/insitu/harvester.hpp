@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "edge/storage.hpp"
+#include "insitu/quant_classifier.hpp"
 #include "insitu/scene.hpp"
 #include "insitu/teacher.hpp"
 #include "insitu/tracker.hpp"
@@ -41,6 +43,17 @@ struct HarvestConfig {
   /// included. When false, bytes_per_image is charged per patch.
   bool lossy_storage = false;
   int codec_quality = 50;
+  /// Numeric precision of teacher labeling. Bf16/Int8 run the queries
+  /// through a QuantizedPatchClassifier built lazily from the harvest
+  /// itself: the first quant_calibration_patches queryable sightings are
+  /// labelled fp32 *and* buffered as the calibration batch, so ranges come
+  /// from the node's real data distribution with no extra provisioning.
+  TeacherPrecision teacher_precision = TeacherPrecision::Fp32;
+  /// Queryable patches buffered (and labelled fp32) before the quantized
+  /// teacher is calibrated and swapped in.
+  int quant_calibration_patches = 64;
+  /// Activation-range percentile for int8 calibration (1.0 = min/max).
+  float quant_percentile = 1.0F;
 };
 
 struct HarvestStats {
@@ -53,6 +66,9 @@ struct HarvestStats {
   std::int64_t images_harvested = 0;
   std::int64_t images_dropped_storage = 0;
   std::int64_t teacher_queries = 0;
+  /// Of teacher_queries, how many ran through the quantized path (the rest
+  /// ran fp32: precision is Fp32, or the calibration buffer was filling).
+  std::int64_t quantized_queries = 0;
   /// Mean encoded bytes per stored image (== bytes_per_image when the
   /// codec is off).
   double mean_image_bytes = 0.0;
@@ -92,7 +108,14 @@ class Harvester {
 
   void label_finished_tracks();
 
+  /// Feeds queryable patches into the calibration buffer and, once full,
+  /// builds the quantized teacher. Returns true when it is ready to serve.
+  bool maybe_build_quant_teacher(
+      const std::vector<const BufferedSighting*>& queryable_sightings);
+
   PatchClassifier& teacher_;
+  std::unique_ptr<QuantizedPatchClassifier> quant_teacher_;
+  std::vector<std::vector<float>> calibration_buffer_;
   HarvestConfig config_;
   IoUTracker tracker_;
   edge::ImageStore store_;

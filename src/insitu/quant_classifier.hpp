@@ -1,0 +1,130 @@
+// edgetrain: post-training-quantized inference path for the patch teacher.
+//
+// The harvester's teacher (insitu::PatchClassifier) is pure inference and
+// dominates the node's harvest duty cycle; this module rebuilds its eval
+// forward as a fused, preallocated pipeline at a chosen precision:
+//
+//   * Int8  -- u8 affine activations (ranges harvested from a calibration
+//     batch, min/max or central-percentile), s8 symmetric per-channel
+//     weights, exact s32 GEMM accumulation, fused requantize+ReLU, u8 max
+//     pooling (monotonic, so it commutes with quantization). Activations
+//     move at 1/4 the fp32 byte traffic and no intermediate tensors are
+//     allocated.
+//   * Bf16  -- fp32 activations, persistent bf16 folded weights, bf16 GEMM
+//     with fp32 accumulation, fused bias+ReLU.
+//   * Fp32  -- the same fused pipeline without narrowing: the BN-folded
+//     baseline that isolates quantization error from fusion effects (and
+//     the oracle the guardrail tests compare against).
+//
+// All precisions fold batch norm into the conv weights/bias using the
+// *running* statistics -- exactly what the fp32 eval-mode chain uses -- so
+// the Fp32 path matches PatchClassifier::logits to rounding error, and the
+// quantized paths' label-flip rate and logit drift are bounded by tests
+// (tests/insitu/quant_classifier_test.cpp) and gated by bench_quant.
+//
+// The classifier recognises the build_patch_cnn structure generically:
+// repeated [Conv2d (+BatchNorm2d) (+ReLU) (+MaxPool2d)] stages followed by
+// GlobalAvgPool + Linear; anything else is rejected at construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "insitu/teacher.hpp"
+#include "tensor/quant.hpp"
+#include "tensor/tensor.hpp"
+
+namespace edgetrain::insitu {
+
+/// Numeric precision of the teacher labeling path.
+enum class TeacherPrecision : std::uint8_t { Fp32, Bf16, Int8 };
+
+[[nodiscard]] const char* to_string(TeacherPrecision precision) noexcept;
+
+struct QuantOptions {
+  /// Central mass of calibration activations covered by the u8 range:
+  /// 1.0 uses exact min/max; e.g. 0.999 clips the extreme 0.1% tails,
+  /// trading saturation of outliers for finer resolution of the bulk.
+  float percentile = 1.0F;
+};
+
+class QuantizedPatchClassifier {
+ public:
+  /// Builds the quantized path from @p teacher's current weights.
+  /// @p calibration_batch ([N,1,p,p], N >= 1) supplies the activation
+  /// ranges for Int8; Bf16/Fp32 ignore its values but still validate shape.
+  /// The teacher is only read during construction -- no aliasing afterwards
+  /// (retraining the teacher requires rebuilding this object).
+  QuantizedPatchClassifier(PatchClassifier& teacher,
+                           const Tensor& calibration_batch,
+                           TeacherPrecision precision,
+                           const QuantOptions& options = {});
+
+  [[nodiscard]] TeacherPrecision precision() const noexcept {
+    return precision_;
+  }
+  [[nodiscard]] int patch() const noexcept { return patch_; }
+  [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
+
+  /// Eval logits for a batch [N,1,p,p] at the configured precision.
+  [[nodiscard]] Tensor logits(const Tensor& batch);
+
+  /// Batched (label, softmax confidence) -- same scoring recipe as
+  /// PatchClassifier::predict (see predictions_from_logits).
+  [[nodiscard]] std::vector<std::pair<std::int32_t, float>> predict_batch(
+      const Tensor& batch);
+
+  /// Single-patch convenience wrapper over predict_batch.
+  [[nodiscard]] std::pair<std::int32_t, float> predict(
+      const std::vector<float>& pixels);
+
+ private:
+  /// One fused [conv (+bn) (+relu) (+pool)] stage with folded parameters.
+  struct Stage {
+    // Geometry.
+    std::int64_t in_c = 0, in_h = 0, in_w = 0;
+    std::int64_t out_c = 0, conv_h = 0, conv_w = 0;  // post-conv
+    std::int64_t out_h = 0, out_w = 0;               // post-pool
+    std::int64_t kernel = 0;
+    ops::ConvParams conv_params;
+    bool has_relu = false;
+    bool has_pool = false;
+    std::int64_t pool_kernel = 0;
+    ops::ConvParams pool_params;
+
+    // BN-folded fp32 parameters: w2d[out_c, in_c*k*k], bias[out_c].
+    Tensor w2d;
+    std::vector<float> bias;
+
+    // Int8: symmetric per-channel s8 weights + activation quantization.
+    std::vector<std::int8_t> w_s8;
+    std::vector<float> w_scales;        // [out_c]
+    quant::QuantParams in_q, out_q;
+    std::vector<float> requant_mult;    // [out_c] s_in*s_w[o]/s_out
+    std::vector<float> requant_bias;    // [out_c] bias[o]/s_out
+
+    // Bf16: persistent bf16 folded weights.
+    std::vector<std::uint16_t> w_bf16;
+  };
+
+  void parse_chain(PatchClassifier& teacher);
+  void calibrate(const Tensor& calibration_batch, float percentile);
+  void quantize_weights();
+
+  [[nodiscard]] Tensor logits_fp32_like(const Tensor& batch, bool bf16);
+  [[nodiscard]] Tensor logits_int8(const Tensor& batch);
+
+  TeacherPrecision precision_;
+  int patch_ = 0;
+  int num_classes_ = 0;
+  std::vector<Stage> stages_;
+  Tensor linear_w_;   // [classes, features] fp32 (the head stays fp32: it
+  Tensor linear_b_;   // is ~1% of the MACs and feeds softmax directly)
+  std::int64_t max_col_ = 0;   // per-image scratch high-water marks
+  std::int64_t max_acc_ = 0;
+  std::int64_t max_act_ = 0;
+};
+
+}  // namespace edgetrain::insitu

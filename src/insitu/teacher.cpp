@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "core/executor.hpp"
@@ -80,6 +81,31 @@ std::vector<std::int32_t> PatchDataset::gather_labels(
   return out;
 }
 
+std::vector<std::pair<std::int32_t, float>> predictions_from_logits(
+    const Tensor& logits) {
+  const std::int64_t n = logits.shape()[0];
+  const std::int64_t k = logits.shape()[1];
+  std::vector<std::pair<std::int32_t, float>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    float mx = row[0];
+    std::int32_t best = 0;
+    for (std::int64_t j = 1; j < k; ++j) {
+      if (row[j] > mx) {
+        mx = row[j];
+        best = static_cast<std::int32_t>(j);
+      }
+    }
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      denom += std::exp(static_cast<double>(row[j]) - mx);
+    }
+    out.emplace_back(best, static_cast<float>(1.0 / denom));
+  }
+  return out;
+}
+
 PatchClassifier::PatchClassifier(int patch, int num_classes,
                                  std::int64_t base_channels,
                                  std::uint32_t seed)
@@ -102,6 +128,13 @@ TrainStats PatchClassifier::train(const PatchDataset& data,
       options.checkpoint_free_slots >= 0
           ? core::revolve::make_schedule(l, options.checkpoint_free_slots)
           : core::full_storage_schedule(l);
+
+  // Covers every executor pass (including checkpointed recompute) so all
+  // forwards of a step agree on precision; optimizer state stays fp32.
+  std::optional<ops::ScopedGemmPrecision> precision_scope;
+  if (options.bf16_compute) {
+    precision_scope.emplace(ops::GemmPrecision::Bf16);
+  }
 
   PatchDataset shuffled = data;  // local copy we can reshuffle per epoch
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
@@ -187,6 +220,11 @@ std::pair<std::int32_t, float> PatchClassifier::predict(
     denom += std::exp(static_cast<double>(logits.data()[j]) - mx);
   }
   return {best, static_cast<float>(1.0 / denom)};
+}
+
+std::vector<std::pair<std::int32_t, float>> PatchClassifier::predict_batch(
+    const Tensor& batch) {
+  return predictions_from_logits(logits(batch));
 }
 
 double PatchClassifier::evaluate(const PatchDataset& data) {

@@ -60,6 +60,12 @@ struct TrainOptions {
   /// loss = alpha * CE(hard labels) + (1-alpha) * T^2 * KL(teacher, student).
   float distill_alpha = 0.3F;
   float distill_temperature = 2.0F;
+  /// Mixed-precision training: forward/backward GEMMs round their operands
+  /// to bfloat16 (fp32 accumulate) while weights, gradients and optimizer
+  /// state stay fp32 masters (ops::ScopedGemmPrecision around the executor
+  /// run, so checkpointed recompute passes use the same precision and
+  /// schedules remain bit-deterministic).
+  bool bf16_compute = false;
 };
 
 struct TrainStats {
@@ -71,6 +77,13 @@ struct TrainStats {
     return epoch_losses.empty() ? 0.0F : epoch_losses.back();
   }
 };
+
+/// Row-wise argmax label + softmax confidence of that label, one pair per
+/// row of logits[N,K]; the numeric recipe (max-subtracted double-precision
+/// denominator) matches PatchClassifier::predict exactly, so fp32 batched,
+/// fp32 per-patch and quantized teachers all score confidence identically.
+[[nodiscard]] std::vector<std::pair<std::int32_t, float>>
+predictions_from_logits(const Tensor& logits);
 
 class PatchClassifier {
  public:
@@ -90,6 +103,14 @@ class PatchClassifier {
   /// Predicted label and softmax confidence for one patch.
   [[nodiscard]] std::pair<std::int32_t, float> predict(
       const std::vector<float>& pixels);
+
+  /// Batched predict: one chain forward for all rows of @p batch
+  /// ([N,1,p,p]), amortizing per-call layer overhead across patches. Per
+  /// row the result is bit-identical to predict() on that patch alone
+  /// (every kernel in the eval chain computes each image independently;
+  /// asserted by tests/insitu/quant_classifier_test.cpp).
+  [[nodiscard]] std::vector<std::pair<std::int32_t, float>> predict_batch(
+      const Tensor& batch);
 
   /// Eval-mode logits for a batch tensor [N,1,p,p].
   [[nodiscard]] Tensor logits(const Tensor& batch);

@@ -31,7 +31,16 @@ class Conv2d final : public Layer {
   [[nodiscard]] Shape output_shape(const Shape& in) const override;
   void clear_saved() override { saved_x_.reset(); }
 
+  // Read-only structure accessors: the post-training-quantized teacher path
+  // (insitu/quant_classifier.cpp) rebuilds the layer's arithmetic outside
+  // the Layer interface, so it needs the geometry and parameters.
   [[nodiscard]] const Tensor& weight() const noexcept { return w_; }
+  [[nodiscard]] const Tensor& bias() const noexcept { return b_; }
+  [[nodiscard]] bool has_bias() const noexcept { return with_bias_; }
+  [[nodiscard]] std::int64_t kernel() const noexcept { return kernel_; }
+  [[nodiscard]] const ops::ConvParams& conv_params() const noexcept {
+    return params_;
+  }
 
  private:
   std::int64_t in_channels_;
@@ -64,6 +73,9 @@ class BatchNorm2d final : public Layer {
   [[nodiscard]] const Tensor& running_var() const noexcept {
     return running_var_;
   }
+  [[nodiscard]] const Tensor& gamma() const noexcept { return gamma_; }
+  [[nodiscard]] const Tensor& beta() const noexcept { return beta_; }
+  [[nodiscard]] float eps() const noexcept { return eps_; }
 
  private:
   std::int64_t channels_;
@@ -97,6 +109,11 @@ class MaxPool2d final : public Layer {
   [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] Shape output_shape(const Shape& in) const override;
   void clear_saved() override;
+
+  [[nodiscard]] std::int64_t kernel() const noexcept { return kernel_; }
+  [[nodiscard]] const ops::ConvParams& pool_params() const noexcept {
+    return params_;
+  }
 
  private:
   std::int64_t kernel_;
@@ -209,6 +226,10 @@ class Linear final : public Layer {
   void collect_params(std::vector<ParamRef>& out) override;
   [[nodiscard]] Shape output_shape(const Shape& in) const override;
   void clear_saved() override { saved_x_.reset(); }
+
+  [[nodiscard]] const Tensor& weight() const noexcept { return w_; }
+  [[nodiscard]] const Tensor& bias() const noexcept { return b_; }
+  [[nodiscard]] bool has_bias() const noexcept { return with_bias_; }
 
  private:
   std::int64_t in_features_;

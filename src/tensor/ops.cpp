@@ -1,11 +1,13 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/convert.hpp"
 #include "tensor/guards.hpp"
 #include "tensor/parallel.hpp"
 #include "tensor/workspace.hpp"
@@ -77,26 +79,40 @@ constexpr std::int64_t kNC = 256;  // B-block cols per task (multiple of kNR)
 using Vec8f = float __attribute__((vector_size(32)));
 #endif
 
+/// Packing-time element widening: fp32 operands copy through, bf16 bit
+/// patterns decode (exactly -- bf16 is truncated fp32) while the panel is
+/// being laid out, so the micro-kernel always consumes fp32 and both
+/// precisions share one engine. The decode is inlined (same bit pattern as
+/// convert::bf16_to_fp32_scalar, exhaustively cross-checked in tests) so
+/// the packer loops stay call-free and vectorisable.
+inline float widen(float v) { return v; }
+inline float widen(std::uint16_t v) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(v) << 16);
+}
+
 /// Packs op(A)[i0:i0+mc, p0:p0+kc] as ceil(mc/kMR) micro-panels; panel ir
 /// holds kc columns of kMR rows each (zero-padded past the matrix edge).
-void pack_a(const float* a, bool trans, std::int64_t lda, std::int64_t i0,
+template <typename TA>
+void pack_a(const TA* a, bool trans, std::int64_t lda, std::int64_t i0,
             std::int64_t mc, std::int64_t p0, std::int64_t kc, float* dst) {
   for (std::int64_t ir = 0; ir < mc; ir += kMR) {
     const std::int64_t rows = std::min(kMR, mc - ir);
     if (trans) {
       // op(A)[i, p] = a[p * lda + i]: rows are contiguous in memory.
       for (std::int64_t p = 0; p < kc; ++p) {
-        const float* src = a + (p0 + p) * lda + i0 + ir;
+        const TA* src = a + (p0 + p) * lda + i0 + ir;
         float* out = dst + p * kMR;
-        for (std::int64_t r = 0; r < rows; ++r) out[r] = src[r];
+        for (std::int64_t r = 0; r < rows; ++r) out[r] = widen(src[r]);
         for (std::int64_t r = rows; r < kMR; ++r) out[r] = 0.0F;
       }
     } else {
       // a[i * lda + p]: depth is contiguous, scatter into panel slots.
       for (std::int64_t r = 0; r < kMR; ++r) {
         if (r < rows) {
-          const float* src = a + (i0 + ir + r) * lda + p0;
-          for (std::int64_t p = 0; p < kc; ++p) dst[p * kMR + r] = src[p];
+          const TA* src = a + (i0 + ir + r) * lda + p0;
+          for (std::int64_t p = 0; p < kc; ++p) {
+            dst[p * kMR + r] = widen(src[p]);
+          }
         } else {
           for (std::int64_t p = 0; p < kc; ++p) dst[p * kMR + r] = 0.0F;
         }
@@ -108,7 +124,8 @@ void pack_a(const float* a, bool trans, std::int64_t lda, std::int64_t i0,
 
 /// Packs op(B)[p0:p0+kc, j0:j0+nc] as ceil(nc/kNR) micro-panels; panel jr
 /// holds kc rows of kNR columns each (zero-padded past the matrix edge).
-void pack_b(const float* b, bool trans, std::int64_t ldb, std::int64_t p0,
+template <typename TB>
+void pack_b(const TB* b, bool trans, std::int64_t ldb, std::int64_t p0,
             std::int64_t kc, std::int64_t j0, std::int64_t nc, float* dst) {
   for (std::int64_t jr = 0; jr < nc; jr += kNR) {
     const std::int64_t cols = std::min(kNR, nc - jr);
@@ -116,8 +133,10 @@ void pack_b(const float* b, bool trans, std::int64_t ldb, std::int64_t p0,
       // op(B)[p, j] = b[j * ldb + p]: depth is contiguous per column.
       for (std::int64_t j = 0; j < kNR; ++j) {
         if (j < cols) {
-          const float* src = b + (j0 + jr + j) * ldb + p0;
-          for (std::int64_t p = 0; p < kc; ++p) dst[p * kNR + j] = src[p];
+          const TB* src = b + (j0 + jr + j) * ldb + p0;
+          for (std::int64_t p = 0; p < kc; ++p) {
+            dst[p * kNR + j] = widen(src[p]);
+          }
         } else {
           for (std::int64_t p = 0; p < kc; ++p) dst[p * kNR + j] = 0.0F;
         }
@@ -125,9 +144,9 @@ void pack_b(const float* b, bool trans, std::int64_t ldb, std::int64_t p0,
     } else {
       // b[p * ldb + j]: columns are contiguous per depth step.
       for (std::int64_t p = 0; p < kc; ++p) {
-        const float* src = b + (p0 + p) * ldb + j0 + jr;
+        const TB* src = b + (p0 + p) * ldb + j0 + jr;
         float* out = dst + p * kNR;
-        for (std::int64_t j = 0; j < cols; ++j) out[j] = src[j];
+        for (std::int64_t j = 0; j < cols; ++j) out[j] = widen(src[j]);
         for (std::int64_t j = cols; j < kNR; ++j) out[j] = 0.0F;
       }
     }
@@ -211,23 +230,17 @@ void scale_c(float* c, std::int64_t m, std::int64_t n, float beta) {
   });
 }
 
-}  // namespace
-
-void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
-          std::int64_t k, float alpha, const float* a, const float* b,
-          float beta, float* c) {
-  if (m <= 0 || n <= 0) return;
-  if (k <= 0 || alpha == 0.0F) {
-    scale_c(c, m, n, beta);
-    return;
-  }
+/// Shared blocked driver: fp32 and bf16 gemm differ only in the element
+/// type the packers widen from, so the task grid, workspace use and
+/// accumulation order -- hence the determinism guarantees -- are one piece
+/// of code. Callers have already handled degenerate shapes and guards.
+template <typename TA, typename TB>
+void gemm_blocked(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+                  std::int64_t k, float alpha, const TA* a, const TB* b,
+                  float beta, float* c) {
   // Row-major: A is m x k (lda=k) or, transposed, stored k x m (lda=m).
   const std::int64_t lda = trans_a ? m : k;
   const std::int64_t ldb = trans_b ? k : n;
-
-  // C tiles are written by concurrent workers that read A and B unsynchronised;
-  // an in-place gemm would race.
-  EDGETRAIN_GUARD_DISJOINT("gemm", {a, m * k}, {b, k * n}, {c, m * n});
 
   // 2-D task grid over (M-block x N-block). When the natural kMC blocking
   // yields fewer tasks than workers, M-blocks shrink (to a kMR multiple) so
@@ -272,6 +285,64 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
       }
     }
   });
+}
+
+// Per-thread gemm compute mode. thread_local (not global) so a bf16-scoped
+// training step never changes what a concurrently running fp32 caller sees;
+// pool workers never call gemm themselves, so the mode of the thread that
+// *enters* gemm is the one that applies to the whole operation.
+thread_local GemmPrecision tls_gemm_precision = GemmPrecision::Fp32;
+
+}  // namespace
+
+void set_gemm_precision(GemmPrecision mode) noexcept {
+  tls_gemm_precision = mode;
+}
+
+GemmPrecision gemm_precision() noexcept { return tls_gemm_precision; }
+
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, const float* b,
+          float beta, float* c) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0 || alpha == 0.0F) {
+    scale_c(c, m, n, beta);
+    return;
+  }
+  if (tls_gemm_precision == GemmPrecision::Bf16) {
+    // Mixed-precision mode: round both operands to bf16 in workspace
+    // scratch and run the bf16 engine (fp32 accumulate). C (and beta's
+    // read of it) stays full fp32 -- that is the master-weight contract.
+    Workspace& ws = Workspace::tls();
+    const WorkspaceScope scope(ws);
+    auto* ab = reinterpret_cast<std::uint16_t*>(ws.alloc((m * k + 1) / 2));
+    auto* bb = reinterpret_cast<std::uint16_t*>(ws.alloc((k * n + 1) / 2));
+    convert::fp32_to_bf16(a, ab, m * k);
+    convert::fp32_to_bf16(b, bb, k * n);
+    gemm_bf16(trans_a, trans_b, m, n, k, alpha, ab, bb, beta, c);
+    return;
+  }
+
+  // C tiles are written by concurrent workers that read A and B unsynchronised;
+  // an in-place gemm would race.
+  EDGETRAIN_GUARD_DISJOINT("gemm", {a, m * k}, {b, k * n}, {c, m * n});
+
+  gemm_blocked(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
+}
+
+void gemm_bf16(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+               std::int64_t k, float alpha, const std::uint16_t* a,
+               const std::uint16_t* b, float beta, float* c) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0 || alpha == 0.0F) {
+    scale_c(c, m, n, beta);
+    return;
+  }
+  EDGETRAIN_GUARD_DISJOINT("gemm_bf16",
+                           {reinterpret_cast<const float*>(a), (m * k + 1) / 2},
+                           {reinterpret_cast<const float*>(b), (k * n + 1) / 2},
+                           {c, m * n});
+  gemm_blocked(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
 }
 
 // ---------------------------------------------------------------------------

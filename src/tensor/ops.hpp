@@ -37,6 +37,42 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, const float* b,
           float beta, float* c);
 
+/// gemm with bfloat16 operands and fp32 accumulation: both panels widen to
+/// fp32 during packing and run through the *same* blocked micro-kernel as
+/// the fp32 gemm, so the result is bit-identical to ops::gemm called on
+/// pre-widened copies of a and b -- and inherits its determinism across
+/// thread counts. a/b hold bf16 bit patterns (see tensor/convert.hpp).
+void gemm_bf16(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+               std::int64_t k, float alpha, const std::uint16_t* a,
+               const std::uint16_t* b, float beta, float* c);
+
+/// Compute precision of ops::gemm on the *calling thread*. In Bf16 mode
+/// every gemm call rounds both operands to bfloat16 (round-to-nearest-even,
+/// into Workspace scratch) and accumulates in fp32 -- the mixed-precision
+/// recipe for master-weight training: parameters and optimizer state stay
+/// fp32, only the GEMM operands are rounded. Conv and linear layers (and
+/// their backwards) all funnel through gemm, so scoping a training step
+/// switches the whole chain.
+enum class GemmPrecision : std::uint8_t { Fp32, Bf16 };
+
+void set_gemm_precision(GemmPrecision mode) noexcept;
+[[nodiscard]] GemmPrecision gemm_precision() noexcept;
+
+/// RAII scope for GemmPrecision; restores the previous mode on exit.
+class ScopedGemmPrecision {
+ public:
+  explicit ScopedGemmPrecision(GemmPrecision mode) noexcept
+      : previous_(gemm_precision()) {
+    set_gemm_precision(mode);
+  }
+  ~ScopedGemmPrecision() { set_gemm_precision(previous_); }
+  ScopedGemmPrecision(const ScopedGemmPrecision&) = delete;
+  ScopedGemmPrecision& operator=(const ScopedGemmPrecision&) = delete;
+
+ private:
+  GemmPrecision previous_;
+};
+
 // ---------------------------------------------------------------------------
 // Convolution (im2col + GEMM)
 // ---------------------------------------------------------------------------

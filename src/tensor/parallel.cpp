@@ -23,14 +23,20 @@ struct ThreadPool::Impl {
       num_threads = std::thread::hardware_concurrency();
       if (num_threads == 0) num_threads = 4;
     }
+    // The caller participates in every parallel_for as chunk 0, so a pool
+    // of N compute threads needs only N-1 workers. Spawning N (the old
+    // behaviour) oversubscribed every machine by one core and -- worse --
+    // forced a wake/sleep context-switch pair per kernel on single-core
+    // edge devices, where the pool should degrade to plain inline calls.
+    const unsigned num_workers = num_threads - 1;
 #if defined(EDGETRAIN_GUARDS)
     // Thread-create edge: everything the constructing thread did so far
     // happens-before each worker's first action.
     fork_token = analysis::race::fork();
-    end_tokens.resize(num_threads);
+    end_tokens.resize(num_workers);
 #endif
-    workers.reserve(num_threads);
-    for (unsigned i = 0; i < num_threads; ++i) {
+    workers.reserve(num_workers);
+    for (unsigned i = 0; i < num_workers; ++i) {
       workers.emplace_back([this, i] { worker_loop(i + 1); });
     }
   }
@@ -170,6 +176,13 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
                               ParallelFn fn) {
   if (begin >= end) return;
   if (inside_pool_job) {  // no nested parallelism: run serially
+    fn(begin, end);
+    return;
+  }
+  if (size() == 1) {
+    // A single worker would receive the whole range as one chunk anyway;
+    // running it inline skips a wake/sleep context-switch pair per
+    // dispatch, which dominates small kernels on single-core devices.
     fn(begin, end);
     return;
   }

@@ -22,14 +22,18 @@ using ParallelFn = FunctionRef<void(std::int64_t, std::int64_t)>;
 /// Persistent worker pool executing half-open index ranges.
 class ThreadPool {
  public:
-  /// Creates @p num_threads workers. 0 means hardware_concurrency().
+  /// Creates a pool of @p num_threads compute threads: the calling thread
+  /// participates in every parallel_for as chunk 0, plus num_threads - 1
+  /// pool workers. 0 means hardware_concurrency(). A single-thread pool
+  /// has no workers at all and runs every range inline on the caller.
   explicit ThreadPool(unsigned num_threads = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Number of worker threads (>= 1).
+  /// Number of compute threads a parallel_for spans (caller + workers,
+  /// >= 1).
   [[nodiscard]] unsigned size() const noexcept;
 
   /// Runs fn(chunk_begin, chunk_end) over [begin, end) split statically

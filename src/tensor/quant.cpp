@@ -1,0 +1,699 @@
+#include "tensor/quant.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+// Dual-MAC int8 GEMM kernel (vpmaddwd) behind a runtime AVX2 check; see
+// the int8 GEMM section below.
+#define EDGETRAIN_QUANT_X86_MADD 1
+#include <immintrin.h>
+#endif
+
+#include "tensor/guards.hpp"
+#include "tensor/parallel.hpp"
+#include "tensor/workspace.hpp"
+
+namespace edgetrain::quant {
+
+namespace {
+
+// Same micro-architecture dispatch as tensor/ops.cpp and tensor/convert.cpp:
+// v3/v4 clones resolved by the loader's ifunc, disabled under sanitizers
+// (the resolver runs before __tsan_init/__asan_init and an instrumented
+// resolver segfaults there).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define EDGETRAIN_QUANT_CLONES
+#elif defined(__GNUC__) && defined(__x86_64__) && !defined(__clang__)
+#define EDGETRAIN_QUANT_CLONES \
+  __attribute__(               \
+      (target_clones("arch=x86-64-v4", "arch=x86-64-v3", "default")))
+#else
+#define EDGETRAIN_QUANT_CLONES
+#endif
+
+constexpr std::int64_t kGrain = 1 << 15;
+
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Round-to-nearest-even fp32 -> s32 (default FP environment), without
+/// lrintf: libm calls defeat the auto-vectoriser (GCC keeps them scalar
+/// unless -fno-math-errno), and a per-element call dominated the whole
+/// requantize pass. Adding 1.5 * 2^23 pushes the mantissa to integer
+/// precision (rounding to nearest-even on the way, the default mode) and
+/// the subtraction restores the rounded value exactly for |v| < 2^22;
+/// inputs are clamped into that range first, which changes nothing because
+/// every caller clamps the result into a narrow integer range anyway.
+inline std::int32_t round_to_s32(float value) noexcept {
+  const float clamped =
+      std::min(std::max(value, -4194304.0F), 4194304.0F);  // +/- 2^22
+  constexpr float kMagic = 12582912.0F;                    // 1.5 * 2^23
+  return static_cast<std::int32_t>((clamped + kMagic) - kMagic);
+}
+
+inline std::uint8_t clamp_u8(std::int32_t q) noexcept {
+  return static_cast<std::uint8_t>(std::clamp(q, 0, 255));
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise chunk kernels (flat loops for the auto-vectoriser) + driver.
+// ---------------------------------------------------------------------------
+
+EDGETRAIN_QUANT_CLONES
+void quantize_u8_chunk(const float* src, std::uint8_t* dst, std::int64_t begin,
+                       std::int64_t end, float inv_scale,
+                       std::int32_t zero_point) {
+  for (std::int64_t i = begin; i < end; ++i) {
+    dst[i] = clamp_u8(zero_point + round_to_s32(src[i] * inv_scale));
+  }
+}
+
+EDGETRAIN_QUANT_CLONES
+void dequantize_u8_chunk(const std::uint8_t* src, float* dst,
+                         std::int64_t begin, std::int64_t end, float scale,
+                         std::int32_t zero_point) {
+  for (std::int64_t i = begin; i < end; ++i) {
+    dst[i] =
+        scale * static_cast<float>(static_cast<std::int32_t>(src[i]) -
+                                   zero_point);
+  }
+}
+
+EDGETRAIN_QUANT_CLONES
+void quantize_s8_chunk(const float* src, std::int8_t* dst, std::int64_t begin,
+                       std::int64_t end, float inv_scale) {
+  for (std::int64_t i = begin; i < end; ++i) {
+    const std::int32_t q = round_to_s32(src[i] * inv_scale);
+    dst[i] = static_cast<std::int8_t>(std::clamp(q, -127, 127));
+  }
+}
+
+EDGETRAIN_QUANT_CLONES
+void requantize_row(const std::int32_t* src, std::uint8_t* dst,
+                    std::int64_t cols, float multiplier, float bias,
+                    std::int32_t zero_point, std::int32_t lo) {
+  for (std::int64_t j = 0; j < cols; ++j) {
+    const std::int32_t q =
+        zero_point +
+        round_to_s32(static_cast<float>(src[j]) * multiplier + bias);
+    dst[j] = static_cast<std::uint8_t>(std::clamp(q, lo, 255));
+  }
+}
+
+template <typename Fn>
+void drive(std::int64_t n, convert::Threading threading, Fn&& chunk) {
+  if (threading == convert::Threading::Serial) {
+    chunk(std::int64_t{0}, n);
+    return;
+  }
+  parallel_for(0, n, kGrain, chunk);
+}
+
+/// Byte count n viewed as a float span for the disjointness guard.
+inline std::int64_t float_span(std::int64_t bytes) { return (bytes + 3) / 4; }
+
+// ---------------------------------------------------------------------------
+// int8 GEMM: identical blocking/task-grid structure to the fp32 gemm in
+// tensor/ops.cpp. Two micro-kernel paths share it:
+//
+//   * s16-pair path (x86 with AVX2 at runtime): panels packed as adjacent
+//     k-pairs of int16 (A: s8 widened; B: u8 - zp, both in [-255, 255] so
+//     every product fits int16's range in s32), consumed by vpmaddwd --
+//     one instruction per 16 MACs, i.e. double the fp32 FMA MAC density,
+//     which is where the int8 teacher speedup actually comes from;
+//   * s32-widened generic path (everything else): plain vector multiply
+//     and add on s32 panels.
+//
+// Both accumulate exact s32 sums, so they agree bit for bit with each
+// other and with gemm_s8u8_ref, and (order-independence of exact integer
+// addition) across thread counts -- determinism needs no further argument.
+// ---------------------------------------------------------------------------
+
+constexpr std::int64_t kMR = 6;
+constexpr std::int64_t kNR = 16;
+constexpr std::int64_t kMC = 120;
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 256;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define EDGETRAIN_QUANT_VECTOR_EXT 1
+using Vec8i = std::int32_t __attribute__((vector_size(32)));
+#endif
+
+/// Packs A[i0:i0+mc, p0:p0+kc] (s8, row-major, lda = k) as ceil(mc/kMR)
+/// micro-panels of widened s32, zero-padded past the matrix edge.
+void pack_a_s32(const std::int8_t* a, std::int64_t lda, std::int64_t i0,
+                std::int64_t mc, std::int64_t p0, std::int64_t kc,
+                std::int32_t* dst) {
+  for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+    const std::int64_t rows = std::min(kMR, mc - ir);
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      if (r < rows) {
+        const std::int8_t* src = a + (i0 + ir + r) * lda + p0;
+        for (std::int64_t p = 0; p < kc; ++p) {
+          dst[p * kMR + r] = static_cast<std::int32_t>(src[p]);
+        }
+      } else {
+        for (std::int64_t p = 0; p < kc; ++p) dst[p * kMR + r] = 0;
+      }
+    }
+    dst += kMR * kc;
+  }
+}
+
+/// Packs B[p0:p0+kc, j0:j0+nc] (u8, row-major, ldb = n) as ceil(nc/kNR)
+/// micro-panels, widening u8 - zp_b to s32. Edge padding is 0, i.e. the
+/// zero point itself: padded columns contribute nothing, exactly like the
+/// zero-padded fp32 panels.
+void pack_b_s32(const std::uint8_t* b, std::int64_t ldb, std::int64_t p0,
+                std::int64_t kc, std::int64_t j0, std::int64_t nc,
+                std::int32_t zp_b, std::int32_t* dst) {
+  for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+    const std::int64_t cols = std::min(kNR, nc - jr);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const std::uint8_t* src = b + (p0 + p) * ldb + j0 + jr;
+      std::int32_t* out = dst + p * kNR;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        out[j] = static_cast<std::int32_t>(src[j]) - zp_b;
+      }
+      for (std::int64_t j = cols; j < kNR; ++j) out[j] = 0;
+    }
+    dst += kNR * kc;
+  }
+}
+
+/// acc[kMR, kNR] = sum_p ap[p, :] (outer) bp[p, :] in exact s32; the same
+/// register-tiled shape as the fp32 micro-kernel (vpmulld + vpaddd).
+EDGETRAIN_QUANT_CLONES
+void micro_kernel_s32(std::int64_t kc, const std::int32_t* __restrict ap,
+                      const std::int32_t* __restrict bp,
+                      std::int32_t* __restrict acc) {
+#if defined(EDGETRAIN_QUANT_VECTOR_EXT)
+  Vec8i c[kMR][2] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    Vec8i b0;
+    Vec8i b1;
+    std::memcpy(&b0, bp, sizeof b0);
+    std::memcpy(&b1, bp + 8, sizeof b1);
+#pragma GCC unroll 6
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const std::int32_t av = ap[i];
+      const Vec8i avv = {av, av, av, av, av, av, av, av};
+      c[i][0] += avv * b0;
+      c[i][1] += avv * b1;
+    }
+    ap += kMR;
+    bp += kNR;
+  }
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    std::memcpy(acc + i * kNR, &c[i][0], sizeof(Vec8i));
+    std::memcpy(acc + i * kNR + 8, &c[i][1], sizeof(Vec8i));
+  }
+#else
+  std::int32_t c[kMR * kNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const std::int32_t av = ap[i];
+      for (std::int64_t j = 0; j < kNR; ++j) c[i * kNR + j] += av * bp[j];
+    }
+    ap += kMR;
+    bp += kNR;
+  }
+  std::memcpy(acc, c, sizeof c);
+#endif
+}
+
+#if defined(EDGETRAIN_QUANT_X86_MADD)
+
+/// Two s16 values in one s32 lane, low half first (little-endian order
+/// vpmaddwd expects).
+inline std::int32_t pack_pair_s16(std::int32_t lo, std::int32_t hi) {
+  const std::uint32_t u =
+      static_cast<std::uint32_t>(static_cast<std::uint16_t>(lo)) |
+      (static_cast<std::uint32_t>(static_cast<std::uint16_t>(hi)) << 16);
+  return std::bit_cast<std::int32_t>(u);
+}
+
+/// pack_a_s32's layout with adjacent k values paired into s16 halves of
+/// one s32: panel stride per kMR row group is kp = ceil(kc/2). Odd kc
+/// pads the pair's high half with 0 (contributes nothing).
+void pack_a_pairs(const std::int8_t* a, std::int64_t lda, std::int64_t i0,
+                  std::int64_t mc, std::int64_t p0, std::int64_t kc,
+                  std::int32_t* dst) {
+  const std::int64_t kp = ceil_div(kc, 2);
+  for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+    const std::int64_t rows = std::min(kMR, mc - ir);
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      if (r < rows) {
+        const std::int8_t* src = a + (i0 + ir + r) * lda + p0;
+        for (std::int64_t p = 0; p < kp; ++p) {
+          const std::int32_t lo = src[2 * p];
+          const std::int32_t hi = (2 * p + 1 < kc) ? src[2 * p + 1] : 0;
+          dst[p * kMR + r] = pack_pair_s16(lo, hi);
+        }
+      } else {
+        for (std::int64_t p = 0; p < kp; ++p) dst[p * kMR + r] = 0;
+      }
+    }
+    dst += kMR * kp;
+  }
+}
+
+/// s16 view of the packed s32 panel (the interleaved halves vpmaddwd
+/// consumes); may_alias because the same bytes are also written as s32 by
+/// the padding stores.
+using PairHalf [[gnu::may_alias]] = std::int16_t;
+
+/// pack_b_s32's layout with the k-pair of one column interleaved into one
+/// s32 lane: (b[2p][j] - zp, b[2p+1][j] - zp). Edge columns pad 0.
+///
+/// Packing is the dominant fixed cost of conv-sized GEMMs (B is a fresh
+/// im2col buffer every image, so it cannot be cached the way weights
+/// could), hence the full-panel inner loops with constant trip count kNR:
+/// the auto-vectoriser turns the interleaved s16 stores into unpack
+/// shuffles instead of 16 scalar read-modify-writes.
+void pack_b_pairs(const std::uint8_t* b, std::int64_t ldb, std::int64_t p0,
+                  std::int64_t kc, std::int64_t j0, std::int64_t nc,
+                  std::int32_t zp_b, std::int32_t* dst) {
+  const std::int64_t kp = ceil_div(kc, 2);
+  const auto zp16 = static_cast<PairHalf>(zp_b);
+  for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+    const std::int64_t cols = std::min(kNR, nc - jr);
+    for (std::int64_t p = 0; p < kp; ++p) {
+      const std::uint8_t* even = b + (p0 + 2 * p) * ldb + j0 + jr;
+      const std::uint8_t* odd = even + ldb;
+      const bool has_odd = 2 * p + 1 < kc;
+      std::int32_t* out = dst + p * kNR;
+      auto* out16 = reinterpret_cast<PairHalf*>(out);
+      if (cols == kNR && has_odd) {
+        for (std::int64_t j = 0; j < kNR; ++j) {
+          out16[2 * j] =
+              static_cast<PairHalf>(static_cast<PairHalf>(even[j]) - zp16);
+          out16[2 * j + 1] =
+              static_cast<PairHalf>(static_cast<PairHalf>(odd[j]) - zp16);
+        }
+        continue;
+      }
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const std::int32_t lo = static_cast<std::int32_t>(even[j]) - zp_b;
+        const std::int32_t hi =
+            has_odd ? static_cast<std::int32_t>(odd[j]) - zp_b : 0;
+        out[j] = pack_pair_s16(lo, hi);
+      }
+      for (std::int64_t j = cols; j < kNR; ++j) out[j] = 0;
+    }
+    dst += kNR * kp;
+  }
+}
+
+/// vpmaddwd micro-kernel over the paired panels: each madd lane computes
+/// a[i][2p]*b[2p][j] + a[i][2p+1]*b[2p+1][j] exactly (products <= 128*255
+/// = 32640 fit s32 comfortably; the k <= 65536 guard below keeps the
+/// running sum under 2^31). Compiled for AVX2 via the target attribute and
+/// only reached when __builtin_cpu_supports("avx2") says so.
+__attribute__((target("avx2"))) void micro_kernel_madd(
+    std::int64_t kp, const std::int32_t* __restrict ap,
+    const std::int32_t* __restrict bp, std::int32_t* __restrict acc) {
+  __m256i c[kMR][2];
+  for (auto& row : c) {
+    row[0] = _mm256_setzero_si256();
+    row[1] = _mm256_setzero_si256();
+  }
+  for (std::int64_t p = 0; p < kp; ++p) {
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 8));
+#pragma GCC unroll 6
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const __m256i av = _mm256_set1_epi32(ap[i]);
+      c[i][0] = _mm256_add_epi32(c[i][0], _mm256_madd_epi16(av, b0));
+      c[i][1] = _mm256_add_epi32(c[i][1], _mm256_madd_epi16(av, b1));
+    }
+    ap += kMR;
+    bp += kNR;
+  }
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i * kNR), c[i][0]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i * kNR + 8),
+                        c[i][1]);
+  }
+}
+
+#endif  // EDGETRAIN_QUANT_X86_MADD
+
+/// c[rows, cols] = acc (first k panel) or += acc (subsequent panels).
+void apply_tile_s32(const std::int32_t* acc, std::int32_t* c, std::int64_t ldc,
+                    std::int64_t rows, std::int64_t cols, bool accumulate) {
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const std::int32_t* src = acc + i * kNR;
+    std::int32_t* dst = c + i * ldc;
+    if (accumulate) {
+      for (std::int64_t j = 0; j < cols; ++j) dst[j] += src[j];
+    } else {
+      for (std::int64_t j = 0; j < cols; ++j) dst[j] = src[j];
+    }
+  }
+}
+
+}  // namespace
+
+QuantParams choose_u8_params(float min_value, float max_value) noexcept {
+  // Widen to include 0.0 so the zero point is exact.
+  const float lo = std::min(min_value, 0.0F);
+  const float hi = std::max(max_value, 0.0F);
+  float scale = (hi - lo) / 255.0F;
+  if (!(scale > 0.0F)) {
+    // Degenerate (all-zero or invalid) range: any scale works, everything
+    // maps to the zero point.
+    return QuantParams{1.0F, 0};
+  }
+  const std::int32_t zero_point =
+      std::clamp(round_to_s32(-lo / scale), 0, 255);
+  return QuantParams{scale, zero_point};
+}
+
+float choose_s8_scale(float max_abs) noexcept {
+  if (!(max_abs > 0.0F)) return 1.0F;
+  return max_abs / 127.0F;
+}
+
+std::uint8_t quantize_u8_scalar(float value, const QuantParams& p) noexcept {
+  return clamp_u8(p.zero_point + round_to_s32(value / p.scale));
+}
+
+float dequantize_u8_scalar(std::uint8_t q, const QuantParams& p) noexcept {
+  return p.scale *
+         static_cast<float>(static_cast<std::int32_t>(q) - p.zero_point);
+}
+
+std::int8_t quantize_s8_scalar(float value, float scale) noexcept {
+  const std::int32_t q = round_to_s32(value / scale);
+  return static_cast<std::int8_t>(std::clamp(q, -127, 127));
+}
+
+std::uint8_t requantize_scalar(std::int32_t acc, float multiplier, float bias,
+                               std::int32_t zero_point,
+                               bool fuse_relu) noexcept {
+  const std::int32_t q =
+      zero_point + round_to_s32(static_cast<float>(acc) * multiplier + bias);
+  return static_cast<std::uint8_t>(
+      std::clamp(q, fuse_relu ? zero_point : 0, 255));
+}
+
+void quantize_u8(const float* src, std::uint8_t* dst, std::int64_t n,
+                 const QuantParams& p, convert::Threading threading) {
+  EDGETRAIN_GUARD_DISJOINT(
+      "quantize_u8",
+      {src, n}, {reinterpret_cast<const float*>(dst), float_span(n)});
+  const float inv_scale = 1.0F / p.scale;
+  drive(n, threading, [&](std::int64_t begin, std::int64_t end) {
+    quantize_u8_chunk(src, dst, begin, end, inv_scale, p.zero_point);
+  });
+}
+
+void dequantize_u8(const std::uint8_t* src, float* dst, std::int64_t n,
+                   const QuantParams& p, convert::Threading threading) {
+  EDGETRAIN_GUARD_DISJOINT(
+      "dequantize_u8",
+      {reinterpret_cast<const float*>(src), float_span(n)}, {dst, n});
+  drive(n, threading, [&](std::int64_t begin, std::int64_t end) {
+    dequantize_u8_chunk(src, dst, begin, end, p.scale, p.zero_point);
+  });
+}
+
+void quantize_s8(const float* src, std::int8_t* dst, std::int64_t n,
+                 float scale, convert::Threading threading) {
+  EDGETRAIN_GUARD_DISJOINT(
+      "quantize_s8",
+      {src, n}, {reinterpret_cast<const float*>(dst), float_span(n)});
+  const float inv_scale = 1.0F / scale;
+  drive(n, threading, [&](std::int64_t begin, std::int64_t end) {
+    quantize_s8_chunk(src, dst, begin, end, inv_scale);
+  });
+}
+
+void requantize_s32_u8(const std::int32_t* src, std::uint8_t* dst,
+                       std::int64_t rows, std::int64_t cols,
+                       const float* multipliers, const float* bias,
+                       std::int32_t zero_point, bool fuse_relu,
+                       convert::Threading threading) {
+  EDGETRAIN_GUARD_DISJOINT(
+      "requantize_s32_u8",
+      {reinterpret_cast<const float*>(src), rows * cols},
+      {reinterpret_cast<const float*>(dst), float_span(rows * cols)});
+  const std::int32_t lo = fuse_relu ? zero_point : 0;
+  const auto chunk = [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      requantize_row(src + r * cols, dst + r * cols, cols, multipliers[r],
+                     bias[r], zero_point, lo);
+    }
+  };
+  if (threading == convert::Threading::Serial) {
+    chunk(0, rows);
+    return;
+  }
+  const std::int64_t row_grain =
+      std::max<std::int64_t>(1, kGrain / std::max<std::int64_t>(1, cols));
+  parallel_for(0, rows, row_grain, chunk);
+}
+
+namespace {
+
+// Inline byte fills/copies for conv-sized rows. im2col on a patch-CNN
+// geometry issues thousands of ~10-byte row copies and 1-2 byte pad
+// fringes per image; a libc call per row costs more than the bytes moved.
+// Short runs go through constant-size 8-byte memcpy chunks, which compile
+// to single moves.
+inline void fill_u8(std::uint8_t* dst, std::int64_t n, std::uint8_t v) {
+  if (n >= 32) {
+    std::memset(dst, v, static_cast<std::size_t>(n));
+    return;
+  }
+  const std::uint64_t v8 = 0x0101010101010101ULL * v;
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) std::memcpy(dst + i, &v8, 8);
+  for (; i < n; ++i) dst[i] = v;
+}
+
+inline void copy_u8(std::uint8_t* dst, const std::uint8_t* src,
+                    std::int64_t n) {
+  if (n >= 32) {
+    std::memcpy(dst, src, static_cast<std::size_t>(n));
+    return;
+  }
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t chunk = 0;
+    std::memcpy(&chunk, src + i, 8);
+    std::memcpy(dst + i, &chunk, 8);
+  }
+  for (; i < n; ++i) dst[i] = src[i];
+}
+
+}  // namespace
+
+void im2col_u8(const std::uint8_t* x, std::int64_t channels, std::int64_t h,
+               std::int64_t w, std::int64_t kh, std::int64_t kw,
+               const ops::ConvParams& p, std::uint8_t pad_value,
+               std::uint8_t* col) {
+  const std::int64_t ho = ops::conv_out_size(h, kh, p.stride, p.pad);
+  const std::int64_t wo = ops::conv_out_size(w, kw, p.stride, p.pad);
+  const std::int64_t out_area = ho * wo;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t ki = 0; ki < kh; ++ki) {
+      for (std::int64_t kj = 0; kj < kw; ++kj) {
+        const std::int64_t row = (c * kh + ki) * kw + kj;
+        std::uint8_t* dst = col + row * out_area;
+        if (p.stride == 1) {
+          // Fast path mirror of the fp32 im2col: one contiguous memcpy per
+          // output row, memset fringes carry the zero point (real 0.0).
+          const std::int64_t ox_lo = std::max<std::int64_t>(0, p.pad - kj);
+          const std::int64_t ox_hi = std::min(wo, w + p.pad - kj);
+          const std::int64_t run = ox_hi - ox_lo;
+          for (std::int64_t oy = 0; oy < ho; ++oy) {
+            const std::int64_t iy = oy - p.pad + ki;
+            std::uint8_t* drow = dst + oy * wo;
+            if (iy < 0 || iy >= h || run <= 0) {
+              fill_u8(drow, wo, pad_value);
+              continue;
+            }
+            const std::uint8_t* src_row = x + (c * h + iy) * w + kj - p.pad;
+            if (ox_lo > 0) fill_u8(drow, ox_lo, pad_value);
+            copy_u8(drow + ox_lo, src_row + ox_lo, run);
+            if (ox_hi < wo) fill_u8(drow + ox_hi, wo - ox_hi, pad_value);
+          }
+          continue;
+        }
+        for (std::int64_t oy = 0; oy < ho; ++oy) {
+          const std::int64_t iy = oy * p.stride - p.pad + ki;
+          if (iy < 0 || iy >= h) {
+            fill_u8(dst + oy * wo, wo, pad_value);
+            continue;
+          }
+          const std::uint8_t* src_row = x + (c * h + iy) * w;
+          for (std::int64_t ox = 0; ox < wo; ++ox) {
+            const std::int64_t ix = ox * p.stride - p.pad + kj;
+            dst[oy * wo + ox] =
+                (ix >= 0 && ix < w) ? src_row[ix] : pad_value;
+          }
+        }
+      }
+    }
+  }
+}
+
+void maxpool2d_u8(const std::uint8_t* x, std::int64_t channels, std::int64_t h,
+                  std::int64_t w, std::int64_t k, const ops::ConvParams& p,
+                  std::uint8_t pad_value, std::uint8_t* y) {
+  const std::int64_t ho = ops::conv_out_size(h, k, p.stride, p.pad);
+  const std::int64_t wo = ops::conv_out_size(w, k, p.stride, p.pad);
+  if (k == 2 && p.stride == 2 && p.pad == 0) {
+    // The patch CNN's only pooling shape. Branch-free two-pass form: a
+    // vertical max of each row pair (vectorises to pmaxub) followed by a
+    // horizontal max of adjacent columns.
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const std::uint8_t* plane = x + c * h * w;
+      std::uint8_t* out = y + c * ho * wo;
+      for (std::int64_t oy = 0; oy < ho; ++oy) {
+        const std::uint8_t* top = plane + 2 * oy * w;
+        const std::uint8_t* bot = top + w;
+        std::uint8_t* orow = out + oy * wo;
+        for (std::int64_t ox = 0; ox < wo; ++ox) {
+          const std::uint8_t left = std::max(top[2 * ox], bot[2 * ox]);
+          const std::uint8_t right =
+              std::max(top[2 * ox + 1], bot[2 * ox + 1]);
+          orow[ox] = std::max(left, right);
+        }
+      }
+    }
+    return;
+  }
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const std::uint8_t* plane = x + c * h * w;
+    std::uint8_t* out = y + c * ho * wo;
+    for (std::int64_t oy = 0; oy < ho; ++oy) {
+      for (std::int64_t ox = 0; ox < wo; ++ox) {
+        std::uint8_t best = pad_value;
+        const std::int64_t iy0 = oy * p.stride - p.pad;
+        const std::int64_t ix0 = ox * p.stride - p.pad;
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          const std::int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= w) continue;
+            best = std::max(best, plane[iy * w + ix]);
+          }
+        }
+        out[oy * wo + ox] = best;
+      }
+    }
+  }
+}
+
+void gemm_s8u8_ref(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::int8_t* a, const std::uint8_t* b,
+                   std::int32_t zp_b, std::int32_t* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(a[i * k + p]) *
+               (static_cast<std::int32_t>(b[p * n + j]) - zp_b);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void gemm_s8u8(std::int64_t m, std::int64_t n, std::int64_t k,
+               const std::int8_t* a, const std::uint8_t* b,
+               std::int32_t zp_b, std::int32_t* c) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(std::int32_t));
+    return;
+  }
+  if (k > 65536) {
+    // |a*b| <= 127*255 = 32385, so 65536 products stay below 2^31.
+    throw std::invalid_argument("gemm_s8u8: k too large for s32 accumulation");
+  }
+  EDGETRAIN_GUARD_DISJOINT(
+      "gemm_s8u8",
+      {reinterpret_cast<const float*>(a), float_span(m * k)},
+      {reinterpret_cast<const float*>(b), float_span(k * n)},
+      {reinterpret_cast<const float*>(c), m * n});
+
+  // Same deterministic 2-D task grid as the fp32 gemm (tensor/ops.cpp):
+  // shrink M-blocks (to a kMR multiple) when the natural blocking yields
+  // fewer tasks than workers, one writer per C tile.
+  const std::int64_t n_blocks = ceil_div(n, kNC);
+  const auto threads = static_cast<std::int64_t>(ThreadPool::global().size());
+  std::int64_t m_blocks = ceil_div(m, kMC);
+  const std::int64_t max_m_blocks = ceil_div(m, kMR);
+  if (m_blocks * n_blocks < threads) {
+    m_blocks = std::min(max_m_blocks, ceil_div(threads, n_blocks));
+  }
+  const std::int64_t mc_max = ceil_div(ceil_div(m, m_blocks), kMR) * kMR;
+  m_blocks = ceil_div(m, mc_max);
+
+#if defined(EDGETRAIN_QUANT_X86_MADD)
+  static const bool use_madd = __builtin_cpu_supports("avx2") != 0;
+#endif
+
+  parallel_for(0, m_blocks * n_blocks, 1, [&](std::int64_t t0,
+                                              std::int64_t t1) {
+    Workspace& ws = Workspace::tls();
+    const WorkspaceScope scope(ws);
+    // s32 panels are the same byte size as fp32 panels; the arena hands out
+    // float-typed 64-byte-aligned spans, reinterpreted here.
+    auto* packed_a = reinterpret_cast<std::int32_t*>(ws.alloc(mc_max * kKC));
+    auto* packed_b = reinterpret_cast<std::int32_t*>(ws.alloc(kKC * kNC));
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t i0 = (t % m_blocks) * mc_max;
+      const std::int64_t j0 = (t / m_blocks) * kNC;
+      const std::int64_t mc = std::min(mc_max, m - i0);
+      const std::int64_t nc = std::min(kNC, n - j0);
+      for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
+        const std::int64_t kc = std::min(kKC, k - p0);
+#if defined(EDGETRAIN_QUANT_X86_MADD)
+        if (use_madd) {
+          const std::int64_t kp = ceil_div(kc, 2);
+          pack_a_pairs(a, k, i0, mc, p0, kc, packed_a);
+          pack_b_pairs(b, n, p0, kc, j0, nc, zp_b, packed_b);
+          for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+            for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+              alignas(64) std::int32_t acc[kMR * kNR];
+              micro_kernel_madd(kp, packed_a + ir * kp, packed_b + jr * kp,
+                                acc);
+              apply_tile_s32(acc, c + (i0 + ir) * n + j0 + jr, n,
+                             std::min(kMR, mc - ir), std::min(kNR, nc - jr),
+                             p0 != 0);
+            }
+          }
+          continue;
+        }
+#endif
+        pack_a_s32(a, k, i0, mc, p0, kc, packed_a);
+        pack_b_s32(b, n, p0, kc, j0, nc, zp_b, packed_b);
+        for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+          for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+            alignas(64) std::int32_t acc[kMR * kNR];
+            micro_kernel_s32(kc, packed_a + ir * kc, packed_b + jr * kc, acc);
+            apply_tile_s32(acc, c + (i0 + ir) * n + j0 + jr, n,
+                           std::min(kMR, mc - ir), std::min(kNR, nc - jr),
+                           p0 != 0);
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace edgetrain::quant

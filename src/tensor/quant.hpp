@@ -1,0 +1,134 @@
+// edgetrain: int8 quantization kernels (quantize / dequantize / requantize,
+// u8 im2col, and a blocked s8 x u8 -> s32 GEMM).
+//
+// The in-situ teacher (insitu::PatchClassifier) is pure inference and
+// dominates harvest throughput; these kernels are the compute substrate of
+// its post-training-quantized path (insitu::QuantizedPatchClassifier).
+// Scheme: activations are affine u8 (real = scale * (q - zero_point), the
+// zero point chosen so 0.0 is exactly representable -- required for exact
+// zero padding and ReLU), weights are symmetric per-output-channel s8
+// (real = scale * q). The GEMM accumulates in s32 *exactly* -- integer
+// addition is associative, so the result is independent of blocking and
+// thread count by construction: the same bit-determinism bar as the fp32
+// GEMM, met for free.
+//
+// Requantization (s32 accumulator -> next layer's u8 activation) applies
+// the per-channel fp32 multiplier and folded bias in one rounding step and
+// can fuse ReLU as a clamp at the output zero point, so a quantized conv
+// layer is im2col_u8 + gemm_s8u8 + requantize_s32_u8 with no intermediate
+// fp32 tensor and no heap traffic (all scratch from the Workspace arena).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/convert.hpp"
+#include "tensor/ops.hpp"
+
+namespace edgetrain::quant {
+
+/// Affine u8 quantization parameters: real = scale * (q - zero_point).
+struct QuantParams {
+  float scale = 1.0F;
+  std::int32_t zero_point = 0;  // in [0, 255]
+
+  [[nodiscard]] bool operator==(const QuantParams&) const = default;
+};
+
+/// Chooses u8 params covering [min_value, max_value]. The range is widened
+/// to include 0.0 so that the zero point is exact (padding and ReLU both
+/// need a representable zero); a degenerate (empty) range quantizes
+/// everything to the zero point.
+[[nodiscard]] QuantParams choose_u8_params(float min_value,
+                                           float max_value) noexcept;
+
+/// Symmetric s8 scale for weights with the given max |w|; q in [-127, 127].
+[[nodiscard]] float choose_s8_scale(float max_abs) noexcept;
+
+// ---------------------------------------------------------------------------
+// Scalar references (ground truth for the bulk kernels; used by tests and
+// by one-off conversions where bulk dispatch is not worth it).
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::uint8_t quantize_u8_scalar(float value,
+                                              const QuantParams& p) noexcept;
+[[nodiscard]] float dequantize_u8_scalar(std::uint8_t q,
+                                         const QuantParams& p) noexcept;
+[[nodiscard]] std::int8_t quantize_s8_scalar(float value,
+                                             float scale) noexcept;
+
+/// s32 accumulator -> u8: q = clamp(round(acc * multiplier + bias) +
+/// zero_point). With @p fuse_relu the lower clamp is the zero point itself
+/// (real 0.0), which is exactly ReLU in the quantized domain.
+[[nodiscard]] std::uint8_t requantize_scalar(std::int32_t acc,
+                                             float multiplier, float bias,
+                                             std::int32_t zero_point,
+                                             bool fuse_relu) noexcept;
+
+// ---------------------------------------------------------------------------
+// Bulk kernels (parallelised like tensor/convert.cpp; elementwise, so any
+// partition yields bit-identical results).
+// ---------------------------------------------------------------------------
+
+void quantize_u8(const float* src, std::uint8_t* dst, std::int64_t n,
+                 const QuantParams& p,
+                 convert::Threading threading = convert::Threading::Parallel);
+
+void dequantize_u8(const std::uint8_t* src, float* dst, std::int64_t n,
+                   const QuantParams& p,
+                   convert::Threading threading = convert::Threading::Parallel);
+
+void quantize_s8(const float* src, std::int8_t* dst, std::int64_t n,
+                 float scale,
+                 convert::Threading threading = convert::Threading::Parallel);
+
+/// Requantizes a [rows, cols] s32 accumulator row-by-row (row r uses
+/// multipliers[r] / bias[r] -- rows are output channels for conv layers).
+void requantize_s32_u8(const std::int32_t* src, std::uint8_t* dst,
+                       std::int64_t rows, std::int64_t cols,
+                       const float* multipliers, const float* bias,
+                       std::int32_t zero_point, bool fuse_relu,
+                       convert::Threading threading =
+                           convert::Threading::Parallel);
+
+// ---------------------------------------------------------------------------
+// Quantized conv support
+// ---------------------------------------------------------------------------
+
+/// u8 analogue of ops::im2col: lowers one image x[C,H,W] into
+/// col[C*kh*kw, Ho*Wo]. Out-of-bounds taps take @p pad_value (the input's
+/// zero point, i.e. real 0.0 -- the same semantics as fp32 zero padding).
+/// Stride-1 rows use contiguous memcpy runs like the fp32 fast path.
+void im2col_u8(const std::uint8_t* x, std::int64_t channels, std::int64_t h,
+               std::int64_t w, std::int64_t kh, std::int64_t kw,
+               const ops::ConvParams& p, std::uint8_t pad_value,
+               std::uint8_t* col);
+
+/// u8 max pooling over one plane set x[C,H,W] -> y[C,Ho,Wo]. Quantization
+/// is monotonic, so pooling commutes with (de)quantization and operates on
+/// the u8 codes directly. Padding contributes @p pad_value.
+void maxpool2d_u8(const std::uint8_t* x, std::int64_t channels, std::int64_t h,
+                  std::int64_t w, std::int64_t k, const ops::ConvParams& p,
+                  std::uint8_t pad_value, std::uint8_t* y);
+
+// ---------------------------------------------------------------------------
+// int8 GEMM
+// ---------------------------------------------------------------------------
+
+/// C[M,N] (s32) = op(A)(s8) x (B(u8) - zp_b), row-major; A is M x K
+/// (weights: s8 symmetric), B is K x N (activations: u8 affine). The
+/// activation zero point is subtracted while B's panel widens to s32 during
+/// packing, so no separate row-sum correction pass is needed. Blocked and
+/// parallelised exactly like ops::gemm (same tile sizes, 2-D task grid,
+/// Workspace panels); accumulation is exact in s32, hence bit-deterministic
+/// for any thread count. Requires k <= 65536 (overflow headroom:
+/// |a*b| <= 127*255, so 65536 products always fit s32).
+void gemm_s8u8(std::int64_t m, std::int64_t n, std::int64_t k,
+               const std::int8_t* a, const std::uint8_t* b,
+               std::int32_t zp_b, std::int32_t* c);
+
+/// Triple-loop scalar reference for gemm_s8u8 (tests).
+void gemm_s8u8_ref(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::int8_t* a, const std::uint8_t* b,
+                   std::int32_t zp_b, std::int32_t* c);
+
+}  // namespace edgetrain::quant

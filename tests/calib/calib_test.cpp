@@ -21,6 +21,7 @@
 #include "core/planner.hpp"
 #include "core/revolve.hpp"
 #include "core/slot_store.hpp"
+#include "models/resnet.hpp"
 #include "models/small_nets.hpp"
 #include "nn/chain_runner.hpp"
 
@@ -111,6 +112,60 @@ TEST(DeviceModel, PredictionsAreCalibratedMicroseconds) {
   // Spill path: fixed latency + bytes / bandwidth.
   EXPECT_DOUBLE_EQ(m.disk_write_us(50e6), 900.0 + 1e6);
   EXPECT_DOUBLE_EQ(m.disk_read_us(0.0), 400.0);
+}
+
+TEST(DeviceModel, QuantRatesInterpolateAndFallBack) {
+  DeviceModel m = sample_model();
+  // Unmeasured quant rates (0.0, e.g. a profile captured by an older probe
+  // grid) fall back to the fp32 GEMM rate rather than predicting nonsense.
+  EXPECT_DOUBLE_EQ(m.bf16_gemm_us(8e9, 4), m.gemm_us(8e9, 4));
+  EXPECT_DOUBLE_EQ(m.s8_gemm_us(8e9, 4), m.gemm_us(8e9, 4));
+
+  m.points[0].bf16_gemm_gflops = 8.0;
+  m.points[1].bf16_gemm_gflops = 20.0;
+  m.points[0].s8_gemm_gops = 16.0;
+  m.points[1].s8_gemm_gops = 40.0;
+  ASSERT_TRUE(m.valid());
+  EXPECT_DOUBLE_EQ(m.bf16_gemm_gflops_at(1), 8.0);
+  EXPECT_DOUBLE_EQ(m.bf16_gemm_gflops_at(2), 8.0 + (20.0 - 8.0) / 3.0);
+  EXPECT_DOUBLE_EQ(m.s8_gemm_gops_at(4), 40.0);
+  EXPECT_DOUBLE_EQ(m.bf16_gemm_us(8e9, 4), 0.4e6);
+  EXPECT_DOUBLE_EQ(m.s8_gemm_us(8e9, 4), 0.2e6);
+
+  DeviceModel bad = m;
+  bad.points[0].s8_gemm_gops = -1.0;
+  EXPECT_FALSE(bad.valid());
+
+  // The v2 profile round-trips the quant rates bit-exactly.
+  EXPECT_EQ(decode_profile(encode_profile(m)), m);
+}
+
+TEST(ChainCosts, QuantizedPrecisionScalesComputeNotBoundaries) {
+  DeviceModel m = sample_model();
+  for (auto& p : m.points) {
+    p.bf16_gemm_gflops = p.gemm_gflops * 1.5;
+    p.s8_gemm_gops = p.gemm_gflops * 2.0;
+  }
+  const models::ResNetSpec spec =
+      models::ResNetSpec::make(models::ResNetVariant::ResNet18);
+  const ChainCosts fp32 = predict_resnet(spec, 32, 4, m, 4);
+  const ChainCosts bf16 =
+      predict_resnet(spec, 32, 4, m, 4, Precision::Bf16);
+  const ChainCosts int8 =
+      predict_resnet(spec, 32, 4, m, 4, Precision::Int8);
+  ASSERT_TRUE(fp32.valid());
+  ASSERT_TRUE(bf16.valid());
+  ASSERT_TRUE(int8.valid());
+  for (std::size_t i = 0; i < fp32.forward_us.size(); ++i) {
+    // 1.5x / 2x measured rate => 1/1.5 / 0.5x predicted time.
+    EXPECT_NEAR(bf16.forward_us[i], fp32.forward_us[i] / 1.5,
+                1e-9 * fp32.forward_us[i] + 1e-12);
+    EXPECT_NEAR(int8.forward_us[i], fp32.forward_us[i] * 0.5,
+                1e-9 * fp32.forward_us[i] + 1e-12);
+  }
+  // Checkpointed boundaries stay master-precision fp32.
+  EXPECT_EQ(int8.boundary_bytes, fp32.boundary_bytes);
+  EXPECT_EQ(bf16.boundary_bytes, fp32.boundary_bytes);
 }
 
 TEST(Profile, EncodeDecodeRoundTrip) {

@@ -69,7 +69,7 @@ TEST(ParallelForHelper, SmallRangesRunInline) {
 
 TEST(ThreadPool, GlobalPoolResize) {
   ThreadPool::set_global_threads(2);
-  EXPECT_EQ(ThreadPool::global().size(), 3U);  // 2 workers + caller
+  EXPECT_EQ(ThreadPool::global().size(), 2U);  // caller + 1 worker
   ThreadPool::set_global_threads(0);           // hardware default
   EXPECT_GE(ThreadPool::global().size(), 1U);
 }

@@ -1,0 +1,190 @@
+// Randomized cross-checks of the int8 kernels (slow label): gemm_s8u8 vs
+// its scalar reference on random shapes / zero points / thread counts
+// (exact -- s32 accumulation is associative), im2col_u8 on random conv
+// geometries vs a naive gather, and a whole quantized conv stage (im2col +
+// gemm + requantize) against fp32 arithmetic on the dequantized operands
+// with the analytic rounding bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
+#include "tensor/quant.hpp"
+
+namespace edgetrain {
+namespace {
+
+TEST(QuantFuzz, GemmS8U8MatchesReferenceOnRandomShapes) {
+  std::mt19937 rng(777);
+  std::uniform_int_distribution<std::int64_t> dim(1, 70);
+  std::uniform_int_distribution<std::int64_t> kdim(1, 600);
+  std::uniform_int_distribution<int> zp_dist(0, 255);
+  std::uniform_int_distribution<int> s8(-127, 127);
+  std::uniform_int_distribution<int> u8(0, 255);
+  std::uniform_int_distribution<unsigned> threads(1, 6);
+  for (int iter = 0; iter < 120; ++iter) {
+    const std::int64_t m = dim(rng);
+    const std::int64_t n = dim(rng) * 8;  // reach across kNR/kNC tiles
+    const std::int64_t k = kdim(rng);
+    const std::int32_t zp = zp_dist(rng);
+    std::vector<std::int8_t> a(static_cast<std::size_t>(m * k));
+    std::vector<std::uint8_t> b(static_cast<std::size_t>(k * n));
+    for (auto& v : a) v = static_cast<std::int8_t>(s8(rng));
+    for (auto& v : b) v = static_cast<std::uint8_t>(u8(rng));
+    std::vector<std::int32_t> got(static_cast<std::size_t>(m * n));
+    std::vector<std::int32_t> ref(static_cast<std::size_t>(m * n));
+    ThreadPool::set_global_threads(threads(rng));
+    quant::gemm_s8u8(m, n, k, a.data(), b.data(), zp, got.data());
+    quant::gemm_s8u8_ref(m, n, k, a.data(), b.data(), zp, ref.data());
+    ASSERT_EQ(got, ref) << "iter=" << iter << " m=" << m << " n=" << n
+                        << " k=" << k << " zp=" << zp;
+  }
+  ThreadPool::set_global_threads(0);
+}
+
+TEST(QuantFuzz, Im2colU8RandomGeometries) {
+  std::mt19937 rng(888);
+  std::uniform_int_distribution<std::int64_t> chan(1, 6);
+  std::uniform_int_distribution<std::int64_t> extent(3, 24);
+  std::uniform_int_distribution<std::int64_t> kernel(1, 5);
+  std::uniform_int_distribution<std::int64_t> stride(1, 3);
+  std::uniform_int_distribution<std::int64_t> pad(0, 3);
+  std::uniform_int_distribution<int> byte(0, 255);
+  int tested = 0;
+  while (tested < 150) {
+    const std::int64_t c = chan(rng);
+    const std::int64_t h = extent(rng);
+    const std::int64_t w = extent(rng);
+    const std::int64_t kh = kernel(rng);
+    const std::int64_t kw = kernel(rng);
+    const ops::ConvParams p{static_cast<int>(stride(rng)),
+                            static_cast<int>(pad(rng))};
+    const std::int64_t ho = ops::conv_out_size(h, kh, p.stride, p.pad);
+    const std::int64_t wo = ops::conv_out_size(w, kw, p.stride, p.pad);
+    if (ho <= 0 || wo <= 0) continue;
+    ++tested;
+    const auto pad_value = static_cast<std::uint8_t>(byte(rng));
+    std::vector<std::uint8_t> x(static_cast<std::size_t>(c * h * w));
+    for (auto& v : x) v = static_cast<std::uint8_t>(byte(rng));
+    std::vector<std::uint8_t> col(
+        static_cast<std::size_t>(c * kh * kw * ho * wo));
+    quant::im2col_u8(x.data(), c, h, w, kh, kw, p, pad_value, col.data());
+    for (std::int64_t cc = 0; cc < c; ++cc) {
+      for (std::int64_t ki = 0; ki < kh; ++ki) {
+        for (std::int64_t kj = 0; kj < kw; ++kj) {
+          for (std::int64_t oy = 0; oy < ho; ++oy) {
+            for (std::int64_t ox = 0; ox < wo; ++ox) {
+              const std::int64_t iy = oy * p.stride - p.pad + ki;
+              const std::int64_t ix = ox * p.stride - p.pad + kj;
+              const bool in = iy >= 0 && iy < h && ix >= 0 && ix < w;
+              const std::uint8_t want =
+                  in ? x[static_cast<std::size_t>((cc * h + iy) * w + ix)]
+                     : pad_value;
+              const auto row = (cc * kh + ki) * kw + kj;
+              ASSERT_EQ(col[static_cast<std::size_t>(row * ho * wo + oy * wo +
+                                                     ox)],
+                        want)
+                  << "c=" << cc << " ki=" << ki << " kj=" << kj
+                  << " oy=" << oy << " ox=" << ox << " stride=" << p.stride
+                  << " pad=" << p.pad;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantFuzz, QuantizedConvStageTracksFp32WithinBound) {
+  // A full random conv stage at int8 vs fp32 arithmetic on the SAME
+  // (dequantized) values. The integer stage computes
+  //   acc = sum_k w_q * (x_q - zp)   exactly, so
+  //   s_w * s_x * acc == fp32 conv of the dequantized operands
+  // up to fp32 summation error; the requantize step then adds at most
+  // half an output scale of rounding. Verify the end-to-end bound.
+  std::mt19937 rng(999);
+  std::uniform_int_distribution<std::int64_t> chan(1, 4);
+  std::uniform_int_distribution<std::int64_t> ochan(1, 8);
+  std::uniform_int_distribution<std::int64_t> extent(6, 16);
+  std::uniform_real_distribution<float> xval(-1.0F, 3.0F);
+  std::uniform_real_distribution<float> wval(-0.5F, 0.5F);
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::int64_t ci = chan(rng);
+    const std::int64_t co = ochan(rng);
+    const std::int64_t h = extent(rng);
+    const std::int64_t w = extent(rng);
+    const std::int64_t kk = 3;
+    const ops::ConvParams p{1, 1};
+    const std::int64_t ho = ops::conv_out_size(h, kk, p.stride, p.pad);
+    const std::int64_t wo = ops::conv_out_size(w, kk, p.stride, p.pad);
+    const std::int64_t cols = ci * kk * kk;
+
+    // Random fp32 activations/weights, then quantize.
+    std::vector<float> x(static_cast<std::size_t>(ci * h * w));
+    for (auto& v : x) v = xval(rng);
+    std::vector<float> wt(static_cast<std::size_t>(co * cols));
+    for (auto& v : wt) v = wval(rng);
+
+    const quant::QuantParams in_q = quant::choose_u8_params(-1.0F, 3.0F);
+    std::vector<std::uint8_t> xq(x.size());
+    quant::quantize_u8(x.data(), xq.data(),
+                       static_cast<std::int64_t>(x.size()), in_q);
+    std::vector<std::int8_t> wq(wt.size());
+    std::vector<float> w_scales(static_cast<std::size_t>(co));
+    for (std::int64_t o = 0; o < co; ++o) {
+      float max_abs = 0.0F;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        max_abs = std::max(max_abs,
+                           std::abs(wt[static_cast<std::size_t>(o * cols + j)]));
+      }
+      const float scale = quant::choose_s8_scale(max_abs);
+      w_scales[static_cast<std::size_t>(o)] = scale;
+      quant::quantize_s8(wt.data() + o * cols, wq.data() + o * cols, cols,
+                         scale, convert::Threading::Serial);
+    }
+
+    // Integer stage.
+    const auto zp_in = static_cast<std::uint8_t>(in_q.zero_point);
+    std::vector<std::uint8_t> col(static_cast<std::size_t>(cols * ho * wo));
+    quant::im2col_u8(xq.data(), ci, h, w, kk, kk, p, zp_in, col.data());
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(co * ho * wo));
+    quant::gemm_s8u8(co, ho * wo, cols, wq.data(), col.data(),
+                     in_q.zero_point, acc.data());
+
+    // fp32 reference on the dequantized values (double accumulate: the
+    // integer product is exact, so double bounds the fp32 text tightly).
+    for (std::int64_t o = 0; o < co; ++o) {
+      const float s_out =
+          w_scales[static_cast<std::size_t>(o)] * in_q.scale;
+      for (std::int64_t j = 0; j < ho * wo; ++j) {
+        double want = 0.0;
+        for (std::int64_t t = 0; t < cols; ++t) {
+          const double xr =
+              static_cast<double>(in_q.scale) *
+              (static_cast<double>(col[static_cast<std::size_t>(j + t * ho *
+                                                                wo)]) -
+               static_cast<double>(in_q.zero_point));
+          const double wr =
+              static_cast<double>(w_scales[static_cast<std::size_t>(o)]) *
+              static_cast<double>(wq[static_cast<std::size_t>(o * cols + t)]);
+          want += wr * xr;
+        }
+        const double got =
+            static_cast<double>(s_out) *
+            static_cast<double>(acc[static_cast<std::size_t>(o * ho * wo +
+                                                             j)]);
+        // Exact integer accumulation: only the final scale multiply
+        // rounds. Tolerance covers double->float of the scales.
+        ASSERT_NEAR(got, want, 1e-4 + 1e-5 * std::abs(want))
+            << "iter=" << iter << " o=" << o << " j=" << j;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edgetrain
